@@ -1,0 +1,213 @@
+//! CART-style regression tree: the same recursive partitioning as M5', but
+//! with **constant** predictions at the leaves (Breiman et al. 1984).
+//!
+//! The paper contrasts model trees against exactly this class: "regression
+//! trees are used to fit piecewise constant functions, while model trees
+//! are used to fit piecewise multi-linear functions", and notes model trees'
+//! higher accuracy. The shared split machinery (`mtperf_mtree::best_split`)
+//! makes the comparison a pure leaf-model ablation.
+
+use serde::{Deserialize, Serialize};
+
+use mtperf_linalg::stats;
+use mtperf_mtree::{best_split, Dataset, Learner, MtreeError, Predictor};
+
+/// A fitted CART regression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CartTree {
+    root: CartNode,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum CartNode {
+    Leaf {
+        value: f64,
+        n: usize,
+    },
+    Split {
+        attr: usize,
+        threshold: f64,
+        left: Box<CartNode>,
+        right: Box<CartNode>,
+    },
+}
+
+impl CartTree {
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        fn count(n: &CartNode) -> usize {
+            match n {
+                CartNode::Leaf { .. } => 1,
+                CartNode::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+}
+
+impl Predictor for CartTree {
+    fn predict(&self, row: &[f64]) -> f64 {
+        let mut node = &self.root;
+        loop {
+            match node {
+                CartNode::Leaf { value, .. } => return *value,
+                CartNode::Split {
+                    attr,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*attr] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+}
+
+/// Learner for [`CartTree`].
+#[derive(Debug, Clone)]
+pub struct CartLearner {
+    /// Minimum instances per leaf.
+    pub min_instances: usize,
+    /// Stop splitting below this fraction of the root standard deviation.
+    pub sd_fraction: f64,
+}
+
+impl CartLearner {
+    /// Creates a learner with the given minimum leaf size.
+    pub fn new(min_instances: usize) -> Self {
+        CartLearner {
+            min_instances,
+            sd_fraction: 0.05,
+        }
+    }
+}
+
+impl Default for CartLearner {
+    fn default() -> Self {
+        CartLearner::new(4)
+    }
+}
+
+fn grow(
+    data: &Dataset,
+    idx: Vec<usize>,
+    min_instances: usize,
+    sd_stop: f64,
+) -> CartNode {
+    let ys: Vec<f64> = idx.iter().map(|&i| data.target(i)).collect();
+    let mean = stats::mean(&ys);
+    let sd = stats::std_dev(&ys);
+    if sd < sd_stop || idx.len() < 2 * min_instances {
+        return CartNode::Leaf {
+            value: mean,
+            n: idx.len(),
+        };
+    }
+    match best_split(data, &idx, min_instances) {
+        None => CartNode::Leaf {
+            value: mean,
+            n: idx.len(),
+        },
+        Some(s) => {
+            let col = data.column(s.attr);
+            let (l, r): (Vec<usize>, Vec<usize>) =
+                idx.iter().partition(|&&i| col[i] <= s.threshold);
+            CartNode::Split {
+                attr: s.attr,
+                threshold: s.threshold,
+                left: Box::new(grow(data, l, min_instances, sd_stop)),
+                right: Box::new(grow(data, r, min_instances, sd_stop)),
+            }
+        }
+    }
+}
+
+impl Learner for CartLearner {
+    fn fit(&self, data: &Dataset) -> Result<Box<dyn Predictor>, MtreeError> {
+        if data.n_rows() == 0 {
+            return Err(MtreeError::EmptyDataset);
+        }
+        if self.min_instances == 0 {
+            return Err(MtreeError::BadParams("min_instances must be >= 1".into()));
+        }
+        let idx: Vec<usize> = (0..data.n_rows()).collect();
+        let sd_stop = self.sd_fraction * stats::std_dev(data.targets());
+        Ok(Box::new(CartTree {
+            root: grow(data, idx, self.min_instances, sd_stop),
+        }))
+    }
+
+    fn name(&self) -> &str {
+        "CART regression tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step() -> Dataset {
+        let rows: Vec<[f64; 1]> = (0..40).map(|i| [i as f64]).collect();
+        let ys: Vec<f64> = rows
+            .iter()
+            .map(|r| if r[0] <= 20.0 { 1.0 } else { 5.0 })
+            .collect();
+        Dataset::from_rows(vec!["x".into()], &rows, &ys).unwrap()
+    }
+
+    #[test]
+    fn learns_step_function() {
+        let m = CartLearner::new(4).fit(&step()).unwrap();
+        assert!((m.predict(&[5.0]) - 1.0).abs() < 1e-9);
+        assert!((m.predict(&[35.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_leaves_cannot_fit_slopes() {
+        // y = x: CART approximates with a staircase; pointwise error is
+        // bounded by the leaf width, but a model tree would be exact.
+        let rows: Vec<[f64; 1]> = (0..64).map(|i| [i as f64]).collect();
+        let ys: Vec<f64> = rows.iter().map(|r| r[0]).collect();
+        let d = Dataset::from_rows(vec!["x".into()], &rows, &ys).unwrap();
+        let m = CartLearner::new(8).fit(&d).unwrap();
+        let worst = (0..64)
+            .map(|i| (m.predict(&[i as f64]) - i as f64).abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst > 1.0, "staircase must have visible error, got {worst}");
+        assert!(worst < 16.0, "but bounded by leaf width, got {worst}");
+    }
+
+    #[test]
+    fn min_instances_bounds_leaf_count() {
+        let d = step();
+        let fine = CartLearner::new(2).fit(&d).unwrap();
+        let coarse = CartLearner::new(20).fit(&d).unwrap();
+        // Both learn the step; the coarse one is a 2-leaf tree.
+        assert!((coarse.predict(&[0.0]) - 1.0).abs() < 1e-9);
+        let _ = fine;
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let d = Dataset::new(vec!["x".into()]).unwrap();
+        assert!(CartLearner::default().fit(&d).is_err());
+        let l = CartLearner {
+            min_instances: 0,
+            ..CartLearner::default()
+        };
+        assert!(l.fit(&step()).is_err());
+    }
+
+    #[test]
+    fn n_leaves_counts() {
+        let d = step();
+        let learner = CartLearner::new(4);
+        let idx: Vec<usize> = (0..d.n_rows()).collect();
+        let sd_stop = 0.05 * stats::std_dev(d.targets());
+        let tree = CartTree {
+            root: grow(&d, idx, learner.min_instances, sd_stop),
+        };
+        assert!(tree.n_leaves() >= 2);
+    }
+}

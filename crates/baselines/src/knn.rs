@@ -1,0 +1,137 @@
+//! k-nearest-neighbors regression over standardized features.
+//!
+//! A non-parametric yardstick: accurate when the event space is densely
+//! sampled, but opaque — it answers neither the "what" nor the "how much"
+//! question, illustrating the interpretability axis of the paper's
+//! comparison.
+
+use mtperf_mtree::{Dataset, Learner, MtreeError, Predictor};
+
+use crate::scale::Standardizer;
+
+/// A fitted k-NN model (stores the standardized training set).
+#[derive(Debug, Clone)]
+pub struct KnnModel {
+    k: usize,
+    points: Vec<Vec<f64>>,
+    targets: Vec<f64>,
+    scaler: Standardizer,
+}
+
+impl Predictor for KnnModel {
+    fn predict(&self, row: &[f64]) -> f64 {
+        let q = self.scaler.transform_row(row);
+        // Collect the k smallest distances with a simple partial selection.
+        let mut dists: Vec<(f64, f64)> = self
+            .points
+            .iter()
+            .zip(&self.targets)
+            .map(|(p, &y)| {
+                let d: f64 = p.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum();
+                (d, y)
+            })
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| {
+            a.0.partial_cmp(&b.0).expect("finite distances")
+        });
+        let sum: f64 = dists[..k].iter().map(|&(_, y)| y).sum();
+        sum / k as f64
+    }
+}
+
+/// Learner for [`KnnModel`].
+#[derive(Debug, Clone)]
+pub struct KnnLearner {
+    /// Number of neighbors averaged.
+    pub k: usize,
+}
+
+impl KnnLearner {
+    /// Creates a learner with `k` neighbors.
+    pub fn new(k: usize) -> Self {
+        KnnLearner { k }
+    }
+}
+
+impl Default for KnnLearner {
+    fn default() -> Self {
+        KnnLearner::new(5)
+    }
+}
+
+impl Learner for KnnLearner {
+    fn fit(&self, data: &Dataset) -> Result<Box<dyn Predictor>, MtreeError> {
+        if data.n_rows() == 0 {
+            return Err(MtreeError::EmptyDataset);
+        }
+        if self.k == 0 {
+            return Err(MtreeError::BadParams("k must be >= 1".into()));
+        }
+        let scaler = Standardizer::fit(data);
+        Ok(Box::new(KnnModel {
+            k: self.k,
+            points: scaler.transform_all(data),
+            targets: data.targets().to_vec(),
+            scaler,
+        }))
+    }
+
+    fn name(&self) -> &str {
+        "k-NN regression"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Dataset {
+        let rows: Vec<[f64; 1]> = (0..50).map(|i| [i as f64]).collect();
+        let ys: Vec<f64> = rows.iter().map(|r| 2.0 * r[0]).collect();
+        Dataset::from_rows(vec!["x".into()], &rows, &ys).unwrap()
+    }
+
+    #[test]
+    fn one_nn_memorizes() {
+        let m = KnnLearner::new(1).fit(&grid()).unwrap();
+        assert!((m.predict(&[17.0]) - 34.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_nn_interpolates() {
+        let m = KnnLearner::new(3).fit(&grid()).unwrap();
+        // Query between grid points: the 3-NN average is the middle point's
+        // value.
+        let p = m.predict(&[17.2]);
+        assert!((p - 34.0).abs() < 2.1, "p = {p}");
+    }
+
+    #[test]
+    fn k_larger_than_n_uses_all() {
+        let m = KnnLearner::new(500).fit(&grid()).unwrap();
+        let global_mean = 49.0; // mean of 2*0..2*49
+        assert!((m.predict(&[0.0]) - global_mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(KnnLearner::new(0).fit(&grid()).is_err());
+        let d = Dataset::new(vec!["x".into()]).unwrap();
+        assert!(KnnLearner::default().fit(&d).is_err());
+    }
+
+    #[test]
+    fn standardization_makes_scales_comparable() {
+        // Attribute b is on a 1000x scale but irrelevant; without
+        // standardization it would dominate distances.
+        let rows: Vec<[f64; 2]> = (0..40)
+            .map(|i| [i as f64, (i % 2) as f64 * 1000.0])
+            .collect();
+        let ys: Vec<f64> = rows.iter().map(|r| r[0]).collect();
+        let d = Dataset::from_rows(vec!["a".into(), "b".into()], &rows, &ys).unwrap();
+        let m = KnnLearner::new(3).fit(&d).unwrap();
+        let p = m.predict(&[20.0, 0.0]);
+        assert!((p - 20.0).abs() < 3.0, "p = {p}");
+    }
+}

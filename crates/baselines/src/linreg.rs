@@ -1,0 +1,93 @@
+//! Global ordinary-least-squares regression.
+//!
+//! This is the approach of the first-order models the paper's related-work
+//! section critiques ([10], [11]): a single linear formula for CPI over all
+//! events, with no notion of workload classes. Its gap to the model tree on
+//! phase-heterogeneous data is precisely the paper's motivation.
+
+use mtperf_mtree::{Dataset, Learner, LinearModel, MtreeError, Predictor};
+
+/// A single linear model over all attributes, fitted by least squares with
+/// M5-style term elimination.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalLinear {
+    /// When `true` (default), greedily drop terms that do not pay for
+    /// themselves under the inflated-error criterion.
+    pub eliminate_terms: bool,
+}
+
+impl GlobalLinear {
+    /// Creates the learner with term elimination enabled.
+    pub fn new() -> Self {
+        GlobalLinear {
+            eliminate_terms: true,
+        }
+    }
+}
+
+struct FittedLinear(LinearModel);
+
+impl Predictor for FittedLinear {
+    fn predict(&self, row: &[f64]) -> f64 {
+        self.0.predict(row)
+    }
+}
+
+impl Learner for GlobalLinear {
+    fn fit(&self, data: &Dataset) -> Result<Box<dyn Predictor>, MtreeError> {
+        if data.n_rows() == 0 {
+            return Err(MtreeError::EmptyDataset);
+        }
+        let idx: Vec<usize> = (0..data.n_rows()).collect();
+        let attrs: Vec<usize> = (0..data.n_attrs()).collect();
+        let model = if self.eliminate_terms {
+            LinearModel::fit_with_elimination(data, &idx, &attrs)?
+        } else {
+            LinearModel::fit(data, &idx, &attrs)?
+        };
+        Ok(Box::new(FittedLinear(model)))
+    }
+
+    fn name(&self) -> &str {
+        "Global linear regression"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_global_line() {
+        let rows: Vec<[f64; 2]> = (0..30).map(|i| [i as f64, (i % 4) as f64]).collect();
+        let ys: Vec<f64> = rows.iter().map(|r| 1.0 + 2.0 * r[0] - 0.5 * r[1]).collect();
+        let d = Dataset::from_rows(vec!["a".into(), "b".into()], &rows, &ys).unwrap();
+        let m = GlobalLinear::new().fit(&d).unwrap();
+        assert!((m.predict(&[10.0, 2.0]) - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn underfits_piecewise_data() {
+        // The motivating failure: a global line cannot capture two regimes.
+        let rows: Vec<[f64; 1]> = (0..100).map(|i| [i as f64]).collect();
+        let ys: Vec<f64> = rows
+            .iter()
+            .map(|r| if r[0] <= 50.0 { 0.0 } else { 100.0 })
+            .collect();
+        let d = Dataset::from_rows(vec!["x".into()], &rows, &ys).unwrap();
+        let m = GlobalLinear::new().fit(&d).unwrap();
+        // At the regime centers the line is badly wrong.
+        assert!((m.predict(&[25.0]) - 0.0).abs() > 10.0);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let d = Dataset::new(vec!["x".into()]).unwrap();
+        assert!(GlobalLinear::new().fit(&d).is_err());
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(GlobalLinear::new().name(), "Global linear regression");
+    }
+}

@@ -1,0 +1,214 @@
+//! Single-hidden-layer perceptron trained by mini-batch gradient descent —
+//! the "artificial neural network" of the paper's comparison (C ≈ 0.99 on
+//! their data, but a black box: no interpretable decomposition of CPI).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use mtperf_linalg::stats;
+use mtperf_mtree::{Dataset, Learner, MtreeError, Predictor};
+
+use crate::scale::Standardizer;
+
+/// A fitted MLP: standardize → linear → tanh → linear, with the target
+/// de-standardized on the way out.
+#[derive(Debug, Clone)]
+pub struct MlpModel {
+    scaler: Standardizer,
+    /// `w1[h]` is hidden unit h's input weight vector.
+    w1: Vec<Vec<f64>>,
+    b1: Vec<f64>,
+    w2: Vec<f64>,
+    b2: f64,
+    y_mean: f64,
+    y_std: f64,
+}
+
+impl MlpModel {
+    fn forward_hidden(&self, x: &[f64]) -> Vec<f64> {
+        self.w1
+            .iter()
+            .zip(&self.b1)
+            .map(|(w, b)| {
+                let z: f64 = w.iter().zip(x).map(|(a, v)| a * v).sum::<f64>() + b;
+                z.tanh()
+            })
+            .collect()
+    }
+}
+
+impl Predictor for MlpModel {
+    fn predict(&self, row: &[f64]) -> f64 {
+        let x = self.scaler.transform_row(row);
+        let h = self.forward_hidden(&x);
+        let z: f64 = self.w2.iter().zip(&h).map(|(w, v)| w * v).sum::<f64>() + self.b2;
+        z * self.y_std + self.y_mean
+    }
+}
+
+/// Learner for [`MlpModel`].
+#[derive(Debug, Clone)]
+pub struct MlpLearner {
+    /// Hidden-layer width.
+    pub hidden: usize,
+    /// Number of full passes over the training data.
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// RNG seed for weight initialization and shuffling.
+    pub seed: u64,
+}
+
+impl MlpLearner {
+    /// Creates a learner with the given hidden width and sensible training
+    /// defaults (200 epochs, learning rate 0.01).
+    pub fn new(hidden: usize) -> Self {
+        MlpLearner {
+            hidden,
+            epochs: 200,
+            learning_rate: 0.01,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the epoch count.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+}
+
+impl Default for MlpLearner {
+    fn default() -> Self {
+        MlpLearner::new(16)
+    }
+}
+
+impl Learner for MlpLearner {
+    fn fit(&self, data: &Dataset) -> Result<Box<dyn Predictor>, MtreeError> {
+        if data.n_rows() == 0 {
+            return Err(MtreeError::EmptyDataset);
+        }
+        if self.hidden == 0 || self.epochs == 0 || self.learning_rate <= 0.0 {
+            return Err(MtreeError::BadParams(
+                "hidden, epochs and learning_rate must be positive".into(),
+            ));
+        }
+        let scaler = Standardizer::fit(data);
+        let xs = scaler.transform_all(data);
+        let y_mean = stats::mean(data.targets());
+        let y_std = stats::std_dev(data.targets()).max(1e-12);
+        let ys: Vec<f64> = data.targets().iter().map(|y| (y - y_mean) / y_std).collect();
+
+        let n_in = data.n_attrs();
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let scale = (1.0 / n_in as f64).sqrt();
+        let mut model = MlpModel {
+            scaler,
+            w1: (0..self.hidden)
+                .map(|_| (0..n_in).map(|_| rng.gen_range(-scale..scale)).collect())
+                .collect(),
+            b1: vec![0.0; self.hidden],
+            w2: (0..self.hidden)
+                .map(|_| rng.gen_range(-0.5..0.5))
+                .collect(),
+            b2: 0.0,
+            y_mean,
+            y_std,
+        };
+
+        let n = xs.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let lr0 = self.learning_rate;
+        for epoch in 0..self.epochs {
+            // Fisher–Yates shuffle for stochastic order.
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            // Cosine-free simple decay keeps late epochs stable.
+            let lr = lr0 / (1.0 + epoch as f64 / 50.0);
+            for &i in &order {
+                let x = &xs[i];
+                let h = model.forward_hidden(x);
+                let out: f64 =
+                    model.w2.iter().zip(&h).map(|(w, v)| w * v).sum::<f64>() + model.b2;
+                let err = out - ys[i];
+                // Output layer.
+                for (w2, &hv) in model.w2.iter_mut().zip(&h) {
+                    *w2 -= lr * err * hv;
+                }
+                model.b2 -= lr * err;
+                // Hidden layer (tanh' = 1 - h²).
+                for (hidx, (&hv, &w2v)) in h.iter().zip(&model.w2).enumerate() {
+                    let grad_h = err * w2v * (1.0 - hv * hv);
+                    let w = &mut model.w1[hidx];
+                    for (wv, &xv) in w.iter_mut().zip(x) {
+                        *wv -= lr * grad_h * xv;
+                    }
+                    model.b1[hidx] -= lr * grad_h;
+                }
+            }
+        }
+        Ok(Box::new(model))
+    }
+
+    fn name(&self) -> &str {
+        "Artificial neural network (MLP)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line() -> Dataset {
+        let rows: Vec<[f64; 1]> = (0..60).map(|i| [i as f64]).collect();
+        let ys: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] + 2.0).collect();
+        Dataset::from_rows(vec!["x".into()], &rows, &ys).unwrap()
+    }
+
+    #[test]
+    fn learns_linear_function() {
+        let m = MlpLearner::new(8).fit(&line()).unwrap();
+        let p = m.predict(&[30.0]);
+        assert!((p - 92.0).abs() < 8.0, "p = {p}");
+    }
+
+    #[test]
+    fn learns_nonlinear_step() {
+        let rows: Vec<[f64; 1]> = (0..80).map(|i| [i as f64]).collect();
+        let ys: Vec<f64> = rows
+            .iter()
+            .map(|r| if r[0] <= 40.0 { 0.0 } else { 10.0 })
+            .collect();
+        let d = Dataset::from_rows(vec!["x".into()], &rows, &ys).unwrap();
+        let m = MlpLearner::new(16).with_epochs(400).fit(&d).unwrap();
+        assert!(m.predict(&[10.0]) < 3.0);
+        assert!(m.predict(&[70.0]) > 7.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d = line();
+        let a = MlpLearner::new(8).with_seed(7).fit(&d).unwrap();
+        let b = MlpLearner::new(8).with_seed(7).fit(&d).unwrap();
+        assert_eq!(a.predict(&[12.0]), b.predict(&[12.0]));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(MlpLearner::new(0).fit(&line()).is_err());
+        let mut l = MlpLearner::new(4);
+        l.epochs = 0;
+        assert!(l.fit(&line()).is_err());
+        let d = Dataset::new(vec!["x".into()]).unwrap();
+        assert!(MlpLearner::default().fit(&d).is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! Feature standardization shared by the distance- and gradient-based
+//! baselines (k-NN, MLP, SVR), whose behavior degrades badly on the raw
+//! event rates (which span five orders of magnitude).
+
+use serde::{Deserialize, Serialize};
+
+use mtperf_linalg::stats;
+use mtperf_mtree::Dataset;
+
+/// Per-column z-score standardizer fitted on a training set.
+///
+/// Columns with zero variance map to 0.0 (they carry no information).
+///
+/// # Example
+///
+/// ```
+/// use mtperf_baselines::Standardizer;
+/// use mtperf_mtree::Dataset;
+///
+/// let d = Dataset::from_rows(
+///     vec!["x".into()],
+///     &[[0.0], [10.0]],
+///     &[0.0, 0.0],
+/// ).unwrap();
+/// let s = Standardizer::fit(&d);
+/// let z = s.transform_row(&[5.0]);
+/// assert!(z[0].abs() < 1e-12); // 5.0 is the mean
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits column means and standard deviations on `data`.
+    pub fn fit(data: &Dataset) -> Self {
+        let mut means = Vec::with_capacity(data.n_attrs());
+        let mut stds = Vec::with_capacity(data.n_attrs());
+        for j in 0..data.n_attrs() {
+            let col = data.column(j);
+            means.push(stats::mean(col));
+            stds.push(stats::std_dev(col));
+        }
+        Standardizer { means, stds }
+    }
+
+    /// Number of columns the standardizer was fitted on.
+    pub fn n_attrs(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Standardizes one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is shorter than the fitted column count.
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        assert!(row.len() >= self.means.len());
+        self.means
+            .iter()
+            .zip(&self.stds)
+            .zip(row)
+            .map(|((m, s), v)| if *s > 0.0 { (v - m) / s } else { 0.0 })
+            .collect()
+    }
+
+    /// Standardizes every row of `data` into a dense row-major table.
+    pub fn transform_all(&self, data: &Dataset) -> Vec<Vec<f64>> {
+        (0..data.n_rows())
+            .map(|i| self.transform_row(&data.row(i)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Dataset {
+        Dataset::from_rows(
+            vec!["a".into(), "b".into()],
+            &[[0.0, 5.0], [2.0, 5.0], [4.0, 5.0]],
+            &[0.0, 0.0, 0.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_sd() {
+        let d = data();
+        let s = Standardizer::fit(&d);
+        let all = s.transform_all(&d);
+        let col0: Vec<f64> = all.iter().map(|r| r[0]).collect();
+        assert!(stats::mean(&col0).abs() < 1e-12);
+        assert!((stats::std_dev(&col0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_column_maps_to_zero() {
+        let d = data();
+        let s = Standardizer::fit(&d);
+        for r in s.transform_all(&d) {
+            assert_eq!(r[1], 0.0);
+        }
+    }
+
+    #[test]
+    fn transform_is_affine() {
+        let d = data();
+        let s = Standardizer::fit(&d);
+        let a = s.transform_row(&[1.0, 5.0]);
+        let b = s.transform_row(&[3.0, 5.0]);
+        let mid = s.transform_row(&[2.0, 5.0]);
+        assert!(((a[0] + b[0]) / 2.0 - mid[0]).abs() < 1e-12);
+    }
+}

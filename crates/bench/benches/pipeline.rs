@@ -1,0 +1,35 @@
+//! End-to-end pipeline cost: simulate → section → dataset → train →
+//! cross-validate, at a reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mtperf_bench::{suite_dataset, suite_samples};
+use mtperf_eval::cross_validate;
+use mtperf_mtree::{M5Learner, M5Params, ModelTree};
+
+const INSTRUCTIONS: u64 = 100_000;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+
+    group.bench_function("simulate_suite", |b| {
+        b.iter(|| suite_samples(black_box(INSTRUCTIONS)));
+    });
+
+    let data = suite_dataset(INSTRUCTIONS);
+    let params = M5Params::default().with_min_instances((data.n_rows() / 30).max(8));
+    group.bench_function("train", |b| {
+        b.iter(|| ModelTree::fit(black_box(&data), black_box(&params)).unwrap());
+    });
+
+    let learner = M5Learner::new(params);
+    group.bench_function("cross_validate_10fold", |b| {
+        b.iter(|| cross_validate(black_box(&learner), black_box(&data), 10, 7).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

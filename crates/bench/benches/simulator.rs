@@ -1,0 +1,81 @@
+//! Simulator throughput: instructions/second per profile, plus component
+//! microbenchmarks (cache, TLB, predictor, store buffer).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use mtperf_sim::workload::profiles;
+use mtperf_sim::{
+    Cache, CacheGeometry, GsharePredictor, MachineConfig, PredictorConfig, Simulator,
+    StoreBuffer, Tlb, TlbGeometry,
+};
+
+const INSTRUCTIONS: u64 = 100_000;
+
+fn bench_profiles(c: &mut Criterion) {
+    let sim = Simulator::new(MachineConfig::core2_duo()).with_seed(1);
+    let mut group = c.benchmark_group("simulator/profile");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(INSTRUCTIONS));
+    for w in [
+        profiles::namd_like(INSTRUCTIONS),
+        profiles::gcc_like(INSTRUCTIONS),
+        profiles::mcf_like(INSTRUCTIONS),
+        profiles::milc_like(INSTRUCTIONS),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(&w.name), &w, |b, w| {
+            b.iter(|| sim.run(black_box(w), 10_000));
+        });
+    }
+    group.finish();
+}
+
+fn bench_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/component");
+    group.throughput(Throughput::Elements(1));
+
+    let mut cache = Cache::new(CacheGeometry {
+        size_bytes: 32 * 1024,
+        line_bytes: 64,
+        ways: 8,
+    });
+    let mut addr = 0u64;
+    group.bench_function("cache_access", |b| {
+        b.iter(|| {
+            addr = addr.wrapping_mul(6364136223846793005).wrapping_add(1);
+            cache.access(black_box(addr % (1 << 22)))
+        });
+    });
+
+    let mut tlb = Tlb::new(TlbGeometry { entries: 256, ways: 4 }, 4096);
+    let mut vaddr = 0u64;
+    group.bench_function("tlb_translate", |b| {
+        b.iter(|| {
+            vaddr = vaddr.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            tlb.translate(black_box(vaddr % (1 << 30)))
+        });
+    });
+
+    let mut predictor = GsharePredictor::new(PredictorConfig { history_bits: 12 });
+    let mut pc = 0u64;
+    group.bench_function("branch_predict", |b| {
+        b.iter(|| {
+            pc = pc.wrapping_add(4) % 8192;
+            predictor.predict_and_update(black_box(pc), pc.is_multiple_of(3))
+        });
+    });
+
+    let mut sb = StoreBuffer::new();
+    let mut a = 0u64;
+    group.bench_function("store_buffer_check", |b| {
+        b.iter(|| {
+            a = a.wrapping_add(24) % 4096;
+            sb.record_store(a, 8);
+            sb.check_load(black_box(a ^ 8), 8)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_profiles, bench_components);
+criterion_main!(benches);

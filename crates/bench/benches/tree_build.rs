@@ -1,0 +1,43 @@
+//! Training-time benchmarks for M5': size sweep and the pruning/smoothing/
+//! min-instances ablations of DESIGN.md §6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mtperf_bench::synthetic_dataset;
+use mtperf_mtree::{M5Params, ModelTree};
+
+fn bench_size_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_build/size");
+    group.sample_size(10);
+    for &n in &[1_000usize, 5_000, 20_000] {
+        let data = synthetic_dataset(n, 20);
+        let params = M5Params::default().with_min_instances((n / 30).max(4));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| ModelTree::fit(black_box(&data), black_box(&params)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let data = synthetic_dataset(5_000, 20);
+    let base = M5Params::default().with_min_instances(100);
+    let mut group = c.benchmark_group("tree_build/ablation");
+    group.sample_size(10);
+    for (name, params) in [
+        ("default", base.clone()),
+        ("no_prune", base.clone().with_prune(false)),
+        ("no_smoothing", base.clone().with_smoothing(false)),
+        ("min_inst_10", base.clone().with_min_instances(10)),
+        ("min_inst_430", base.clone().with_min_instances(430)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| ModelTree::fit(black_box(&data), black_box(&params)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_size_sweep, bench_ablations);
+criterion_main!(benches);

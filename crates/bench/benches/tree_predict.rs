@@ -1,0 +1,54 @@
+//! Prediction-latency benchmarks: single section and batch, smoothed and
+//! raw.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use mtperf_bench::synthetic_dataset;
+use mtperf_mtree::{M5Params, ModelTree};
+
+fn bench_predict(c: &mut Criterion) {
+    let data = synthetic_dataset(10_000, 20);
+    let smoothed = ModelTree::fit(
+        &data,
+        &M5Params::default().with_min_instances(100).with_smoothing(true),
+    )
+    .unwrap();
+    let raw = ModelTree::fit(
+        &data,
+        &M5Params::default()
+            .with_min_instances(100)
+            .with_smoothing(false),
+    )
+    .unwrap();
+    let row = data.row(1234);
+
+    let mut group = c.benchmark_group("tree_predict/single");
+    group.bench_function("smoothed", |b| {
+        b.iter(|| smoothed.predict(black_box(&row)));
+    });
+    group.bench_function("raw", |b| {
+        b.iter(|| raw.predict(black_box(&row)));
+    });
+    group.bench_function("classify", |b| {
+        b.iter(|| raw.classify(black_box(&row)));
+    });
+    group.finish();
+
+    let rows: Vec<Vec<f64>> = (0..1000).map(|i| data.row(i)).collect();
+    let mut group = c.benchmark_group("tree_predict/batch_1000");
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("raw", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for r in &rows {
+                acc += raw.predict(black_box(r));
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_predict);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Shared fixtures for the Criterion benches.
+
+use mtperf_counters::SampleSet;
+use mtperf_mtree::Dataset;
+
+/// Simulates a small suite and returns the learning problem
+/// (deterministic: fixed seed).
+pub fn suite_dataset(instructions_per_workload: u64) -> Dataset {
+    let samples = suite_samples(instructions_per_workload);
+    mtperf::dataset_from_samples(&samples).expect("non-empty suite")
+}
+
+/// Simulates a small suite and returns the raw samples.
+pub fn suite_samples(instructions_per_workload: u64) -> SampleSet {
+    mtperf::sim::simulate_suite(instructions_per_workload, 10_000, 42)
+}
+
+/// A purely synthetic regression problem of `n` rows over `d` attributes
+/// (piecewise-linear in the first attribute), for size sweeps that do not
+/// need the simulator.
+pub fn synthetic_dataset(n: usize, d: usize) -> Dataset {
+    let names: Vec<String> = (0..d).map(|j| format!("x{j}")).collect();
+    let mut data = Dataset::new(names).expect("valid names");
+    let mut state = 0x9E37_79B9_u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for _ in 0..n {
+        let row: Vec<f64> = (0..d).map(|_| next() * 10.0).collect();
+        let y = if row[0] <= 5.0 {
+            1.0 + 0.4 * row[1 % d]
+        } else {
+            8.0 - 0.2 * row[2 % d]
+        } + (next() - 0.5) * 0.1;
+        data.push_row(&row, y).expect("finite row");
+    }
+    data
+}

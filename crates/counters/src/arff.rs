@@ -1,0 +1,113 @@
+//! ARFF export — WEKA's native dataset format.
+//!
+//! The paper ran M5' inside WEKA; exporting the simulated sections as ARFF
+//! makes our datasets directly loadable there, so anyone can cross-check
+//! this implementation against WEKA's `M5P` on identical data.
+//!
+//! ```text
+//! @relation mtperf-sections
+//! @attribute workload string
+//! @attribute InstLd numeric
+//! ...
+//! @attribute CPI numeric
+//! @data
+//! '429.mcf-like',0.31,...,1.92
+//! ```
+
+use std::io::{self, Write};
+
+use crate::events::Event;
+use crate::sampleset::SampleSet;
+
+/// Writes `set` to `w` as an ARFF relation with the workload name as a
+/// string attribute, the 20 event rates as numeric attributes, and CPI as
+/// the final (class) attribute — WEKA's convention for regression targets.
+///
+/// A `mut` reference is a valid `W`.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_arff<W: Write>(set: &SampleSet, mut w: W) -> io::Result<()> {
+    writeln!(w, "@relation mtperf-sections")?;
+    writeln!(w)?;
+    writeln!(w, "@attribute workload string")?;
+    writeln!(w, "@attribute section numeric")?;
+    for e in Event::iter() {
+        writeln!(w, "@attribute {} numeric", e.metric_name())?;
+    }
+    writeln!(w, "@attribute CPI numeric")?;
+    writeln!(w)?;
+    writeln!(w, "@data")?;
+    for s in set.iter() {
+        // Workload names contain no quotes; single-quote them for safety.
+        write!(w, "'{}',{}", s.workload, s.section_index)?;
+        for r in s.as_row() {
+            write!(w, ",{r}")?;
+        }
+        writeln!(w, ",{}", s.cpi)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::N_EVENTS;
+    use crate::sample::SectionSample;
+
+    fn set() -> SampleSet {
+        let mut rates = [0.0; N_EVENTS];
+        rates[Event::L2m.index()] = 0.0123;
+        vec![
+            SectionSample::new("429.mcf-like", 0, 1.9, rates),
+            SectionSample::new("444.namd-like", 3, 0.5, [0.0; N_EVENTS]),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn header_declares_all_attributes() {
+        let mut buf = Vec::new();
+        write_arff(&set(), &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("@relation mtperf-sections"));
+        assert_eq!(s.matches("@attribute").count(), 2 + N_EVENTS + 1);
+        assert!(s.contains("@attribute CPI numeric"));
+        assert!(s.contains("@attribute L2M numeric"));
+    }
+
+    #[test]
+    fn data_rows_match_samples() {
+        let mut buf = Vec::new();
+        write_arff(&set(), &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        let data_idx = s.find("@data").unwrap();
+        let rows: Vec<&str> = s[data_idx..].lines().skip(1).collect();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].starts_with("'429.mcf-like',0,"));
+        assert!(rows[0].ends_with(",1.9"));
+        assert!(rows[0].contains("0.0123"));
+        assert!(rows[1].starts_with("'444.namd-like',3,"));
+    }
+
+    #[test]
+    fn field_count_is_constant() {
+        let mut buf = Vec::new();
+        write_arff(&set(), &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        let data_idx = s.find("@data").unwrap();
+        for row in s[data_idx..].lines().skip(1) {
+            assert_eq!(row.split(',').count(), 2 + N_EVENTS + 1);
+        }
+    }
+
+    #[test]
+    fn empty_set_writes_header_only() {
+        let mut buf = Vec::new();
+        write_arff(&SampleSet::new(), &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.trim_end().ends_with("@data"));
+    }
+}

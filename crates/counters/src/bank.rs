@@ -1,0 +1,252 @@
+//! PMU counter bank and section-boundary bookkeeping.
+//!
+//! Real data collection in the paper programmed the Core 2 Duo PMU to count
+//! the Table I events and sliced the run into spans of equal retired
+//! instructions. [`CounterBank`] plays the PMU role for the simulator;
+//! [`Sectioner`] implements the slicing and rate normalization.
+
+use crate::events::{Event, N_EVENTS};
+use crate::sample::SectionSample;
+
+/// A bank of 20 software event counters, one per [`Event`].
+///
+/// The simulator calls [`CounterBank::add`] as micro-architectural events
+/// occur; the [`Sectioner`] drains the bank at each section boundary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterBank {
+    counts: [u64; N_EVENTS],
+}
+
+impl CounterBank {
+    /// Creates a bank with all counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments `event`'s counter by `n`.
+    pub fn add(&mut self, event: Event, n: u64) {
+        self.counts[event.index()] += n;
+    }
+
+    /// Current value of `event`'s counter.
+    pub fn count(&self, event: Event) -> u64 {
+        self.counts[event.index()]
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        self.counts = [0; N_EVENTS];
+    }
+
+    /// Sum of all counters (diagnostic).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Converts the raw counts into per-instruction rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instructions == 0`; a section always contains instructions.
+    pub fn rates(&self, instructions: u64) -> [f64; N_EVENTS] {
+        assert!(instructions > 0, "rates over an empty section");
+        let inv = 1.0 / instructions as f64;
+        let mut out = [0.0; N_EVENTS];
+        for (o, c) in out.iter_mut().zip(&self.counts) {
+            *o = *c as f64 * inv;
+        }
+        out
+    }
+}
+
+/// Cuts a simulated execution into sections of equal retired-instruction
+/// counts and emits one [`SectionSample`] per completed section.
+///
+/// Mirrors the paper's methodology: "Data collection was grouped into
+/// sections of equal counts of executed instructions."
+#[derive(Debug, Clone)]
+pub struct Sectioner {
+    workload: String,
+    section_len: u64,
+    instructions_in_section: u64,
+    cycles_in_section: u64,
+    next_index: usize,
+}
+
+impl Sectioner {
+    /// Creates a sectioner emitting one sample every `section_len` retired
+    /// instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `section_len == 0`.
+    pub fn new(workload: impl Into<String>, section_len: u64) -> Self {
+        let section_len_checked = section_len;
+        assert!(section_len_checked > 0, "section length must be positive");
+        Sectioner {
+            workload: workload.into(),
+            section_len,
+            instructions_in_section: 0,
+            cycles_in_section: 0,
+            next_index: 0,
+        }
+    }
+
+    /// The configured section length in instructions.
+    pub fn section_len(&self) -> u64 {
+        self.section_len
+    }
+
+    /// Index that the next emitted section will carry.
+    pub fn next_index(&self) -> usize {
+        self.next_index
+    }
+
+    /// Records the retirement of `instructions` costing `cycles` and, if the
+    /// section boundary has been reached, drains `bank` into a sample.
+    ///
+    /// Instruction retirement is reported in batches by the simulator; a
+    /// batch never straddles a boundary by more than its own size, and any
+    /// overshoot is accounted to the *current* section (sections are equal
+    /// to within one batch, as in real sampling).
+    pub fn retire(
+        &mut self,
+        bank: &mut CounterBank,
+        instructions: u64,
+        cycles: u64,
+    ) -> Option<SectionSample> {
+        self.instructions_in_section += instructions;
+        self.cycles_in_section += cycles;
+        if self.instructions_in_section < self.section_len {
+            return None;
+        }
+        let insts = self.instructions_in_section;
+        let cpi = self.cycles_in_section as f64 / insts as f64;
+        let rates = bank.rates(insts);
+        let sample = SectionSample::new(self.workload.clone(), self.next_index, cpi, rates);
+        bank.reset();
+        self.instructions_in_section = 0;
+        self.cycles_in_section = 0;
+        self.next_index += 1;
+        Some(sample)
+    }
+
+    /// Flushes a final partial section if it covers at least half of a full
+    /// section; shorter tails are discarded as too noisy (the paper drops
+    /// the trailing fragment as well by construction).
+    pub fn finish(&mut self, bank: &mut CounterBank) -> Option<SectionSample> {
+        if self.instructions_in_section * 2 < self.section_len {
+            bank.reset();
+            self.instructions_in_section = 0;
+            self.cycles_in_section = 0;
+            return None;
+        }
+        let insts = self.instructions_in_section;
+        let cpi = self.cycles_in_section as f64 / insts as f64;
+        let rates = bank.rates(insts);
+        let sample = SectionSample::new(self.workload.clone(), self.next_index, cpi, rates);
+        bank.reset();
+        self.instructions_in_section = 0;
+        self.cycles_in_section = 0;
+        self.next_index += 1;
+        Some(sample)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_add_count_reset() {
+        let mut b = CounterBank::new();
+        b.add(Event::L2m, 3);
+        b.add(Event::L2m, 2);
+        b.add(Event::InstLd, 7);
+        assert_eq!(b.count(Event::L2m), 5);
+        assert_eq!(b.count(Event::InstLd), 7);
+        assert_eq!(b.total(), 12);
+        b.reset();
+        assert_eq!(b.total(), 0);
+    }
+
+    #[test]
+    fn bank_rates_normalize_by_instructions() {
+        let mut b = CounterBank::new();
+        b.add(Event::BrMisPr, 10);
+        let r = b.rates(1000);
+        assert!((r[Event::BrMisPr.index()] - 0.01).abs() < 1e-12);
+        assert_eq!(r[Event::L2m.index()], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty section")]
+    fn bank_rates_reject_zero_instructions() {
+        CounterBank::new().rates(0);
+    }
+
+    #[test]
+    fn sectioner_emits_every_section_len() {
+        let mut s = Sectioner::new("w", 100);
+        let mut b = CounterBank::new();
+        let mut emitted = Vec::new();
+        // 100 batches of 10 instructions = 1000 instructions = 10 sections.
+        for _ in 0..100 {
+            b.add(Event::InstLd, 10);
+            if let Some(sample) = s.retire(&mut b, 10, 15) {
+                emitted.push(sample);
+            }
+        }
+        assert_eq!(emitted.len(), 10);
+        let sample = &emitted[0];
+        assert_eq!(sample.section_index, 0);
+        assert_eq!(emitted[9].section_index, 9);
+        assert!((sample.cpi - 1.5).abs() < 1e-12);
+        // One load per instruction in every section.
+        assert!((sample.rate(Event::InstLd) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sectioner_counts_reset_between_sections() {
+        let mut s = Sectioner::new("w", 10);
+        let mut b = CounterBank::new();
+        b.add(Event::L2m, 5);
+        let first = s.retire(&mut b, 10, 20).unwrap();
+        assert!((first.rate(Event::L2m) - 0.5).abs() < 1e-12);
+        // No events in second section.
+        let second = s.retire(&mut b, 10, 10).unwrap();
+        assert_eq!(second.rate(Event::L2m), 0.0);
+        assert_eq!(second.section_index, 1);
+        assert!((second.cpi - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sectioner_overshoot_accounted_to_current_section() {
+        let mut s = Sectioner::new("w", 10);
+        let mut b = CounterBank::new();
+        // One batch of 15 instructions crosses the 10-instruction boundary.
+        let sample = s.retire(&mut b, 15, 30).unwrap();
+        assert!((sample.cpi - 2.0).abs() < 1e-12);
+        assert_eq!(s.next_index(), 1);
+    }
+
+    #[test]
+    fn finish_keeps_long_tail_drops_short_tail() {
+        let mut s = Sectioner::new("w", 100);
+        let mut b = CounterBank::new();
+        // 60 instructions: >= half a section, kept.
+        assert!(s.retire(&mut b, 60, 90).is_none());
+        let tail = s.finish(&mut b).unwrap();
+        assert!((tail.cpi - 1.5).abs() < 1e-12);
+
+        // 30 instructions: < half a section, dropped.
+        assert!(s.retire(&mut b, 30, 90).is_none());
+        assert!(s.finish(&mut b).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn sectioner_rejects_zero_len() {
+        let _ = Sectioner::new("w", 0);
+    }
+}

@@ -1,0 +1,313 @@
+//! The predictor-event vocabulary of Table I.
+//!
+//! The paper predicts CPI from 20 per-instruction event rates collected on an
+//! Intel Core 2 Duo. [`Event`] enumerates them in the paper's order; the
+//! associated metadata reproduces Table I verbatim (metric name, underlying
+//! PMU event expression, description).
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of predictor events (the attribute count of the learning problem).
+pub const N_EVENTS: usize = 20;
+
+/// One of the 20 predictor events of Table I of the paper.
+///
+/// Each variant corresponds to a per-instruction rate: the raw PMU count for
+/// the section divided by the section's retired-instruction count.
+///
+/// # Example
+///
+/// ```
+/// use mtperf_counters::Event;
+///
+/// assert_eq!(Event::L2m.metric_name(), "L2M");
+/// assert_eq!(Event::L2m.counter_expr(), "MEM_LOAD_RETIRED.L2_LINE_MISS");
+/// assert_eq!("L2M".parse::<Event>().unwrap(), Event::L2m);
+/// assert_eq!(Event::ALL.len(), 20);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[repr(usize)]
+pub enum Event {
+    /// Loads per instruction (`INST_RETIRED.LOADS`).
+    InstLd,
+    /// Stores per instruction (`INST_RETIRED.STORES`).
+    InstSt,
+    /// Mispredicted branches per instruction (`BR_INST_RETIRED.MISPRED`).
+    BrMisPr,
+    /// Correctly predicted branches per instruction
+    /// (`BR_INST_RETIRED.ANY - BR_INST_RETIRED.MISPRED`).
+    BrPred,
+    /// Non-branch, non-memory instructions per instruction
+    /// (`INST_RETIRED.ANY - (LOADS + STORES + BR_INST_RETIRED.ANY)`).
+    InstOther,
+    /// L1 data-cache line misses per instruction
+    /// (`MEM_LOAD_RETIRED.L1D_LINE_MISS`).
+    L1dm,
+    /// L1 instruction-cache misses per instruction (`L1I_MISSES`).
+    L1im,
+    /// L2 cache line misses per instruction
+    /// (`MEM_LOAD_RETIRED.L2_LINE_MISS`).
+    L2m,
+    /// Lowest-level (L0) DTLB load misses per instruction
+    /// (`DTLB_MISSES.L0_MISS_LD`).
+    DtlbL0LdM,
+    /// Last-level DTLB load misses per instruction (`DTLB_MISSES.MISS_LD`).
+    DtlbLdM,
+    /// Retired loads that missed the last-level DTLB, per instruction
+    /// (`MEM_LOAD_RETIRED.DTLB_MISS`).
+    DtlbLdReM,
+    /// All last-level DTLB misses (loads and stores) per instruction
+    /// (`DTLB_MISSES.ANY`).
+    Dtlb,
+    /// ITLB misses per instruction (`ITLB.MISS_RETIRED`).
+    ItlbM,
+    /// Load-block store-address events per instruction (`LOAD_BLOCK.STA`).
+    LdBlSta,
+    /// Load-block store-data events per instruction (`LOAD_BLOCK.STD`).
+    LdBlStd,
+    /// Load-block overlap-store events per instruction
+    /// (`LOAD_BLOCK.OVERLAP_STORE`).
+    LdBlOvSt,
+    /// Misaligned memory references per instruction (`MISALIGN_MEM_REF`).
+    MisalRef,
+    /// L1 data split loads per instruction (`L1D_SPLIT.LOADS`).
+    L1dSpLd,
+    /// L1 data split stores per instruction (`L1D_SPLIT.STORES`).
+    L1dSpSt,
+    /// Length-changing-prefix stalls per instruction (`ILD_STALL`).
+    Lcp,
+}
+
+impl Event {
+    /// All 20 events in Table I order.
+    pub const ALL: [Event; N_EVENTS] = [
+        Event::InstLd,
+        Event::InstSt,
+        Event::BrMisPr,
+        Event::BrPred,
+        Event::InstOther,
+        Event::L1dm,
+        Event::L1im,
+        Event::L2m,
+        Event::DtlbL0LdM,
+        Event::DtlbLdM,
+        Event::DtlbLdReM,
+        Event::Dtlb,
+        Event::ItlbM,
+        Event::LdBlSta,
+        Event::LdBlStd,
+        Event::LdBlOvSt,
+        Event::MisalRef,
+        Event::L1dSpLd,
+        Event::L1dSpSt,
+        Event::Lcp,
+    ];
+
+    /// The event's position in [`Event::ALL`]; also its column index in
+    /// dataset rows.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Constructs an event from its column index.
+    ///
+    /// Returns `None` if `index >= N_EVENTS`.
+    pub fn from_index(index: usize) -> Option<Event> {
+        Event::ALL.get(index).copied()
+    }
+
+    /// The metric name used in Table I (e.g. `"L2M"`, `"BrMisPr"`).
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            Event::InstLd => "InstLd",
+            Event::InstSt => "InstSt",
+            Event::BrMisPr => "BrMisPr",
+            Event::BrPred => "BrPred",
+            Event::InstOther => "InstOther",
+            Event::L1dm => "L1DM",
+            Event::L1im => "L1IM",
+            Event::L2m => "L2M",
+            Event::DtlbL0LdM => "DtlbL0LdM",
+            Event::DtlbLdM => "DtlbLdM",
+            Event::DtlbLdReM => "DtlbLdReM",
+            Event::Dtlb => "Dtlb",
+            Event::ItlbM => "ItlbM",
+            Event::LdBlSta => "LdBlSta",
+            Event::LdBlStd => "LdBlStd",
+            Event::LdBlOvSt => "LdBlOvSt",
+            Event::MisalRef => "MisalRef",
+            Event::L1dSpLd => "L1DSpLd",
+            Event::L1dSpSt => "L1DSpSt",
+            Event::Lcp => "LCP",
+        }
+    }
+
+    /// The Core 2 Duo PMU event expression from Table I.
+    pub fn counter_expr(self) -> &'static str {
+        match self {
+            Event::InstLd => "INST_RETIRED.LOADS",
+            Event::InstSt => "INST_RETIRED.STORES",
+            Event::BrMisPr => "BR_INST_RETIRED.MISPRED",
+            Event::BrPred => "BR_INST_RETIRED.ANY - BR_INST_RETIRED.MISPRED",
+            Event::InstOther => {
+                "INST_RETIRED.ANY - (INST_RETIRED.LOADS + INST_RETIRED.STORES + BR_INST_RETIRED.ANY)"
+            }
+            Event::L1dm => "MEM_LOAD_RETIRED.L1D_LINE_MISS",
+            Event::L1im => "L1I_MISSES",
+            Event::L2m => "MEM_LOAD_RETIRED.L2_LINE_MISS",
+            Event::DtlbL0LdM => "DTLB_MISSES.L0_MISS_LD",
+            Event::DtlbLdM => "DTLB_MISSES.MISS_LD",
+            Event::DtlbLdReM => "MEM_LOAD_RETIRED.DTLB_MISS",
+            Event::Dtlb => "DTLB_MISSES.ANY",
+            Event::ItlbM => "ITLB.MISS_RETIRED",
+            Event::LdBlSta => "LOAD_BLOCK.STA",
+            Event::LdBlStd => "LOAD_BLOCK.STD",
+            Event::LdBlOvSt => "LOAD_BLOCK.OVERLAP_STORE",
+            Event::MisalRef => "MISALIGN_MEM_REF",
+            Event::L1dSpLd => "L1D_SPLIT.LOADS",
+            Event::L1dSpSt => "L1D_SPLIT.STORES",
+            Event::Lcp => "ILD_STALL",
+        }
+    }
+
+    /// The Table I description of the metric.
+    pub fn description(self) -> &'static str {
+        match self {
+            Event::InstLd => "Loads per instruction",
+            Event::InstSt => "Stores per instruction",
+            Event::BrMisPr => "Mispredicted branches per instruction",
+            Event::BrPred => "Correctly predicted branches per instruction",
+            Event::InstOther => "Non-branch and memory instructions per instruction",
+            Event::L1dm => "L1 data misses per instruction",
+            Event::L1im => "L1 instruction misses per instruction",
+            Event::L2m => "L2 misses per instruction",
+            Event::DtlbL0LdM => "Lowest level DTLB load misses per instruction",
+            Event::DtlbLdM => "Last level DTLB load misses per instruction",
+            Event::DtlbLdReM => "Last level DTLB retired load misses per instruction",
+            Event::Dtlb => "Last level DTLB misses (including loads) per instruction",
+            Event::ItlbM => "ITLB misses per instruction",
+            Event::LdBlSta => "Load block store address events per instruction",
+            Event::LdBlStd => "Load block store data events per instruction",
+            Event::LdBlOvSt => "Load block overlap store per instruction",
+            Event::MisalRef => "Misaligned memory references per instruction",
+            Event::L1dSpLd => "L1 data split loads per instruction",
+            Event::L1dSpSt => "L1 data split stores per instruction",
+            Event::Lcp => "Length changing prefix stalls per instruction",
+        }
+    }
+
+    /// Iterator over all events in Table I order.
+    pub fn iter() -> impl Iterator<Item = Event> {
+        Event::ALL.iter().copied()
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.metric_name())
+    }
+}
+
+/// Error returned when parsing an unknown metric name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventParseError {
+    name: String,
+}
+
+impl EventParseError {
+    /// The metric name that failed to parse.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for EventParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown performance metric name: {:?}", self.name)
+    }
+}
+
+impl Error for EventParseError {}
+
+impl FromStr for Event {
+    type Err = EventParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Event::iter()
+            .find(|e| e.metric_name() == s)
+            .ok_or_else(|| EventParseError { name: s.to_owned() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_has_20_distinct_events() {
+        assert_eq!(Event::ALL.len(), N_EVENTS);
+        let mut sorted = Event::ALL.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), N_EVENTS);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, e) in Event::ALL.iter().enumerate() {
+            assert_eq!(e.index(), i);
+            assert_eq!(Event::from_index(i), Some(*e));
+        }
+        assert_eq!(Event::from_index(N_EVENTS), None);
+    }
+
+    #[test]
+    fn metric_names_are_unique_and_parse_back() {
+        for e in Event::iter() {
+            let parsed: Event = e.metric_name().parse().unwrap();
+            assert_eq!(parsed, e);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        let err = "NotAMetric".parse::<Event>().unwrap_err();
+        assert_eq!(err.name(), "NotAMetric");
+        assert!(err.to_string().contains("NotAMetric"));
+    }
+
+    #[test]
+    fn display_matches_table1() {
+        assert_eq!(Event::L1dm.to_string(), "L1DM");
+        assert_eq!(Event::Lcp.to_string(), "LCP");
+        assert_eq!(Event::DtlbL0LdM.to_string(), "DtlbL0LdM");
+    }
+
+    #[test]
+    fn table1_expressions_present() {
+        assert_eq!(Event::Lcp.counter_expr(), "ILD_STALL");
+        assert!(Event::InstOther.counter_expr().contains("INST_RETIRED.ANY"));
+        assert!(Event::BrPred.counter_expr().contains("MISPRED"));
+    }
+
+    #[test]
+    fn descriptions_nonempty() {
+        for e in Event::iter() {
+            assert!(!e.description().is_empty());
+            assert!(e.description().contains("per instruction"));
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let json = serde_json::to_string(&Event::L2m).unwrap();
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Event::L2m);
+    }
+}

@@ -1,0 +1,116 @@
+//! A single section's measurement: per-instruction event rates plus CPI.
+
+use serde::{Deserialize, Serialize};
+
+use crate::events::{Event, N_EVENTS};
+
+/// The measurement of one *section* — a span of execution covering a fixed
+/// number of retired instructions (the paper's data-collection unit).
+///
+/// All event fields are **per-instruction rates** (raw count divided by the
+/// section's instruction count); `cpi` is the section's cycles per
+/// instruction, the learning target.
+///
+/// # Example
+///
+/// ```
+/// use mtperf_counters::{Event, SectionSample};
+///
+/// let mut rates = [0.0; mtperf_counters::N_EVENTS];
+/// rates[Event::L2m.index()] = 0.01;
+/// let s = SectionSample::new("429.mcf-like", 7, 1.8, rates);
+/// assert_eq!(s.rate(Event::L2m), 0.01);
+/// assert_eq!(s.workload, "429.mcf-like");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SectionSample {
+    /// Name of the workload this section came from.
+    pub workload: String,
+    /// Zero-based index of the section within its workload's execution.
+    pub section_index: usize,
+    /// Cycles per instruction over the section (the dependent variable).
+    pub cpi: f64,
+    /// Per-instruction rates for the 20 events, in [`Event::ALL`] order.
+    pub rates: [f64; N_EVENTS],
+}
+
+impl SectionSample {
+    /// Creates a sample from already-normalized rates.
+    pub fn new(
+        workload: impl Into<String>,
+        section_index: usize,
+        cpi: f64,
+        rates: [f64; N_EVENTS],
+    ) -> Self {
+        SectionSample {
+            workload: workload.into(),
+            section_index,
+            cpi,
+            rates,
+        }
+    }
+
+    /// The per-instruction rate of `event` in this section.
+    pub fn rate(&self, event: Event) -> f64 {
+        self.rates[event.index()]
+    }
+
+    /// The rates as a slice in [`Event::ALL`] order (dataset row layout).
+    pub fn as_row(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Returns `true` if every rate and the CPI are finite and non-negative —
+    /// the validity contract the simulator and CSV reader must uphold.
+    pub fn is_well_formed(&self) -> bool {
+        self.cpi.is_finite()
+            && self.cpi >= 0.0
+            && self.rates.iter().all(|r| r.is_finite() && *r >= 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SectionSample {
+        let mut rates = [0.0; N_EVENTS];
+        rates[Event::InstLd.index()] = 0.3;
+        rates[Event::L2m.index()] = 0.005;
+        SectionSample::new("w", 3, 1.25, rates)
+    }
+
+    #[test]
+    fn rate_lookup() {
+        let s = sample();
+        assert_eq!(s.rate(Event::InstLd), 0.3);
+        assert_eq!(s.rate(Event::L2m), 0.005);
+        assert_eq!(s.rate(Event::Lcp), 0.0);
+    }
+
+    #[test]
+    fn as_row_layout_matches_event_order() {
+        let s = sample();
+        assert_eq!(s.as_row()[Event::InstLd.index()], 0.3);
+        assert_eq!(s.as_row().len(), N_EVENTS);
+    }
+
+    #[test]
+    fn well_formedness() {
+        let mut s = sample();
+        assert!(s.is_well_formed());
+        s.cpi = f64::NAN;
+        assert!(!s.is_well_formed());
+        s.cpi = 1.0;
+        s.rates[0] = -0.1;
+        assert!(!s.is_well_formed());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = sample();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: SectionSample = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

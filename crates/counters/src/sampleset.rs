@@ -1,0 +1,275 @@
+//! Collections of section samples with summary statistics.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::events::{Event, N_EVENTS};
+use crate::sample::SectionSample;
+
+/// Per-event summary statistics over a [`SampleSet`] (used to regenerate the
+/// Table I companion statistics and to sanity-check simulated suites).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EventSummary {
+    /// Mean per-instruction rate across all sections.
+    pub mean: f64,
+    /// Minimum rate observed.
+    pub min: f64,
+    /// Maximum rate observed.
+    pub max: f64,
+    /// Fraction of sections with a non-zero rate.
+    pub nonzero_fraction: f64,
+}
+
+/// An owned collection of [`SectionSample`]s — the dataset the model tree is
+/// trained on.
+///
+/// # Example
+///
+/// ```
+/// use mtperf_counters::{Event, SampleSet, SectionSample};
+///
+/// let mut set = SampleSet::new();
+/// set.push(SectionSample::new("a", 0, 1.0, [0.0; mtperf_counters::N_EVENTS]));
+/// set.push(SectionSample::new("b", 0, 2.0, [0.0; mtperf_counters::N_EVENTS]));
+/// assert_eq!(set.len(), 2);
+/// assert_eq!(set.workloads(), vec!["a".to_string(), "b".to_string()]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SampleSet {
+    samples: Vec<SectionSample>,
+}
+
+impl SampleSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one sample.
+    pub fn push(&mut self, sample: SectionSample) {
+        self.samples.push(sample);
+    }
+
+    /// Number of sections in the set.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the set contains no sections.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Borrows the samples.
+    pub fn samples(&self) -> &[SectionSample] {
+        &self.samples
+    }
+
+    /// Iterates over the samples.
+    pub fn iter(&self) -> std::slice::Iter<'_, SectionSample> {
+        self.samples.iter()
+    }
+
+    /// Sorted, deduplicated list of workload names present in the set.
+    pub fn workloads(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.samples.iter().map(|s| s.workload.clone()).collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Returns the subset of sections belonging to `workload`.
+    pub fn for_workload(&self, workload: &str) -> SampleSet {
+        SampleSet {
+            samples: self
+                .samples
+                .iter()
+                .filter(|s| s.workload == workload)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// The CPI column.
+    pub fn cpis(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.cpi).collect()
+    }
+
+    /// The rate column for one event.
+    pub fn rates_of(&self, event: Event) -> Vec<f64> {
+        self.samples.iter().map(|s| s.rate(event)).collect()
+    }
+
+    /// Per-event summary statistics, keyed by metric name in Table I order.
+    pub fn summarize(&self) -> BTreeMap<&'static str, EventSummary> {
+        let mut out = BTreeMap::new();
+        if self.samples.is_empty() {
+            return out;
+        }
+        let n = self.samples.len() as f64;
+        for e in Event::iter() {
+            let mut sum = 0.0;
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            let mut nonzero = 0usize;
+            for s in &self.samples {
+                let r = s.rate(e);
+                sum += r;
+                min = min.min(r);
+                max = max.max(r);
+                if r > 0.0 {
+                    nonzero += 1;
+                }
+            }
+            out.insert(
+                e.metric_name(),
+                EventSummary {
+                    mean: sum / n,
+                    min,
+                    max,
+                    nonzero_fraction: nonzero as f64 / n,
+                },
+            );
+        }
+        out
+    }
+
+    /// Decomposes the set into the pieces the learner consumes: attribute
+    /// names (Table I metric names), one rate row per section, and the CPI
+    /// target column.
+    pub fn to_learning_parts(&self) -> (Vec<String>, Vec<[f64; N_EVENTS]>, Vec<f64>) {
+        let names = Event::iter().map(|e| e.metric_name().to_owned()).collect();
+        let rows = self.samples.iter().map(|s| s.rates).collect();
+        let targets = self.cpis();
+        (names, rows, targets)
+    }
+
+    /// Returns `true` if every sample satisfies
+    /// [`SectionSample::is_well_formed`].
+    pub fn is_well_formed(&self) -> bool {
+        self.samples.iter().all(SectionSample::is_well_formed)
+    }
+}
+
+impl FromIterator<SectionSample> for SampleSet {
+    fn from_iter<I: IntoIterator<Item = SectionSample>>(iter: I) -> Self {
+        SampleSet {
+            samples: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<SectionSample> for SampleSet {
+    fn extend<I: IntoIterator<Item = SectionSample>>(&mut self, iter: I) {
+        self.samples.extend(iter);
+    }
+}
+
+impl IntoIterator for SampleSet {
+    type Item = SectionSample;
+    type IntoIter = std::vec::IntoIter<SectionSample>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a SampleSet {
+    type Item = &'a SectionSample;
+    type IntoIter = std::slice::Iter<'a, SectionSample>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(w: &str, idx: usize, cpi: f64, l2m: f64) -> SectionSample {
+        let mut rates = [0.0; N_EVENTS];
+        rates[Event::L2m.index()] = l2m;
+        SectionSample::new(w, idx, cpi, rates)
+    }
+
+    fn set() -> SampleSet {
+        vec![
+            sample("mcf", 0, 2.0, 0.01),
+            sample("mcf", 1, 2.2, 0.012),
+            sample("gcc", 0, 0.8, 0.0),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn len_and_workloads() {
+        let s = set();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.workloads(), vec!["gcc".to_string(), "mcf".to_string()]);
+    }
+
+    #[test]
+    fn for_workload_filters() {
+        let s = set();
+        let mcf = s.for_workload("mcf");
+        assert_eq!(mcf.len(), 2);
+        assert!(mcf.iter().all(|x| x.workload == "mcf"));
+        assert!(s.for_workload("nope").is_empty());
+    }
+
+    #[test]
+    fn columns() {
+        let s = set();
+        assert_eq!(s.cpis(), vec![2.0, 2.2, 0.8]);
+        assert_eq!(s.rates_of(Event::L2m), vec![0.01, 0.012, 0.0]);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = set();
+        let summary = s.summarize();
+        let l2 = &summary["L2M"];
+        assert!((l2.mean - (0.01 + 0.012) / 3.0).abs() < 1e-12);
+        assert_eq!(l2.min, 0.0);
+        assert_eq!(l2.max, 0.012);
+        assert!((l2.nonzero_fraction - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(summary.len(), N_EVENTS);
+    }
+
+    #[test]
+    fn summary_of_empty_set_is_empty() {
+        assert!(SampleSet::new().summarize().is_empty());
+    }
+
+    #[test]
+    fn learning_parts_shapes() {
+        let s = set();
+        let (names, rows, targets) = s.to_learning_parts();
+        assert_eq!(names.len(), N_EVENTS);
+        assert_eq!(names[Event::L2m.index()], "L2M");
+        assert_eq!(rows.len(), 3);
+        assert_eq!(targets.len(), 3);
+        assert_eq!(rows[0][Event::L2m.index()], 0.01);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut s: SampleSet = std::iter::once(sample("a", 0, 1.0, 0.0)).collect();
+        s.extend(vec![sample("b", 0, 1.0, 0.0)]);
+        assert_eq!(s.len(), 2);
+        let names: Vec<&str> = (&s).into_iter().map(|x| x.workload.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn well_formed_check() {
+        let mut s = set();
+        assert!(s.is_well_formed());
+        s.push(sample("bad", 0, f64::INFINITY, 0.0));
+        assert!(!s.is_well_formed());
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the counter substrate.
+
+use mtperf_counters::{
+    read_csv, write_csv, CounterBank, Event, SampleSet, SectionSample, Sectioner, N_EVENTS,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random but well-formed section sample.
+fn sample() -> impl Strategy<Value = SectionSample> {
+    (
+        "[a-z0-9.]{1,12}",
+        0usize..10_000,
+        0.1..10.0f64,
+        prop::collection::vec(0.0..0.5f64, N_EVENTS),
+    )
+        .prop_map(|(name, idx, cpi, rates)| {
+            let mut arr = [0.0; N_EVENTS];
+            arr.copy_from_slice(&rates);
+            SectionSample::new(name, idx, cpi, arr)
+        })
+}
+
+proptest! {
+    /// CSV round-trips arbitrary well-formed sample sets exactly.
+    #[test]
+    fn csv_roundtrip(samples in prop::collection::vec(sample(), 0..20)) {
+        let set: SampleSet = samples.into_iter().collect();
+        let mut buf = Vec::new();
+        write_csv(&set, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, set);
+    }
+
+    /// The sectioner conserves instructions: emitted sections (plus any
+    /// retained tail) account for every retired instruction, and every
+    /// sample's CPI equals cycles/instructions of its span.
+    #[test]
+    fn sectioner_conserves_instructions(
+        batches in prop::collection::vec((1u64..50, 1u64..100), 1..60),
+        section_len in 10u64..200,
+    ) {
+        let mut sec = Sectioner::new("w", section_len);
+        let mut bank = CounterBank::new();
+        let mut emitted = Vec::new();
+        let mut total_instr = 0u64;
+        for &(instr, cycles) in &batches {
+            total_instr += instr;
+            bank.add(Event::InstLd, instr);
+            if let Some(s) = sec.retire(&mut bank, instr, cycles) {
+                emitted.push(s);
+            }
+        }
+        if let Some(s) = sec.finish(&mut bank) {
+            emitted.push(s);
+        }
+        // Every emitted section covers at least section_len/2 instructions
+        // (tail rule) and InstLd rate is exactly 1 (we added one per
+        // instruction).
+        for s in &emitted {
+            prop_assert!((s.rate(Event::InstLd) - 1.0).abs() < 1e-12);
+            prop_assert!(s.is_well_formed());
+            prop_assert!(s.cpi > 0.0);
+        }
+        // Section indices are sequential from 0.
+        for (i, s) in emitted.iter().enumerate() {
+            prop_assert_eq!(s.section_index, i);
+        }
+        // The number of full sections is bounded by total instructions.
+        prop_assert!(emitted.len() as u64 <= total_instr / (section_len / 2).max(1) + 1);
+    }
+
+    /// Counter bank rates scale linearly with counts.
+    #[test]
+    fn bank_rates_are_linear(count in 0u64..10_000, instructions in 1u64..100_000) {
+        let mut bank = CounterBank::new();
+        bank.add(Event::L2m, count);
+        let rates = bank.rates(instructions);
+        prop_assert!((rates[Event::L2m.index()] - count as f64 / instructions as f64).abs() < 1e-12);
+        // All other events zero.
+        for e in Event::iter() {
+            if e != Event::L2m {
+                prop_assert_eq!(rates[e.index()], 0.0);
+            }
+        }
+    }
+
+    /// Summaries respect min <= mean <= max per event.
+    #[test]
+    fn summary_order(samples in prop::collection::vec(sample(), 1..20)) {
+        let set: SampleSet = samples.into_iter().collect();
+        for (_, s) in set.summarize() {
+            prop_assert!(s.min <= s.mean + 1e-12);
+            prop_assert!(s.mean <= s.max + 1e-12);
+            prop_assert!((0.0..=1.0).contains(&s.nonzero_fraction));
+        }
+    }
+
+    /// to_learning_parts preserves every value.
+    #[test]
+    fn learning_parts_lossless(samples in prop::collection::vec(sample(), 1..15)) {
+        let set: SampleSet = samples.into_iter().collect();
+        let (names, rows, targets) = set.to_learning_parts();
+        prop_assert_eq!(names.len(), N_EVENTS);
+        prop_assert_eq!(rows.len(), set.len());
+        prop_assert_eq!(targets.len(), set.len());
+        for (i, s) in set.iter().enumerate() {
+            prop_assert_eq!(&rows[i][..], s.as_row());
+            prop_assert_eq!(targets[i], s.cpi);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Per-label error breakdown: which workloads the model predicts well and
+//! which it struggles on — the diagnostic behind Figure 3's outliers.
+
+use std::collections::BTreeMap;
+
+use mtperf_mtree::{Dataset, Predictor};
+
+use crate::Metrics;
+
+/// Computes metrics separately for each label (e.g. workload name).
+///
+/// Labels with fewer than 2 instances are still included (their correlation
+/// is reported as 0 when undefined).
+///
+/// # Panics
+///
+/// Panics if `labels.len() != data.n_rows()`.
+pub fn per_label_metrics(
+    model: &dyn Predictor,
+    data: &Dataset,
+    labels: &[String],
+) -> BTreeMap<String, Metrics> {
+    assert_eq!(labels.len(), data.n_rows(), "one label per row");
+    let mut groups: BTreeMap<&str, (Vec<f64>, Vec<f64>)> = BTreeMap::new();
+    for (i, label) in labels.iter().enumerate() {
+        let entry = groups.entry(label.as_str()).or_default();
+        entry.0.push(data.target(i));
+        entry.1.push(model.predict(&data.row(i)));
+    }
+    groups
+        .into_iter()
+        .map(|(label, (actual, predicted))| {
+            (label.to_string(), Metrics::compute(&actual, &predicted))
+        })
+        .collect()
+}
+
+/// Formats a per-label breakdown table, worst RAE first.
+pub fn breakdown_table(breakdown: &BTreeMap<String, Metrics>) -> String {
+    use std::fmt::Write as _;
+    let mut rows: Vec<(&String, &Metrics)> = breakdown.iter().collect();
+    rows.sort_by(|a, b| {
+        b.1.rae_percent
+            .partial_cmp(&a.1.rae_percent)
+            .expect("finite RAE")
+    });
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<26} {:>6} {:>10} {:>10} {:>8}",
+        "label", "n", "C", "MAE", "RAE %"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(64));
+    for (label, m) in rows {
+        let _ = writeln!(
+            out,
+            "{:<26} {:>6} {:>10.4} {:>10.4} {:>8.2}",
+            label, m.n, m.correlation, m.mae, m.rae_percent
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtperf_mtree::{Learner, M5Learner, M5Params};
+
+    fn fixture() -> (Dataset, Vec<String>) {
+        let mut rows: Vec<[f64; 1]> = Vec::new();
+        let mut ys = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60 {
+            rows.push([i as f64]);
+            ys.push(2.0 * i as f64);
+            labels.push(if i % 2 == 0 { "even".into() } else { "odd".into() });
+        }
+        (
+            Dataset::from_rows(vec!["x".into()], &rows, &ys).unwrap(),
+            labels,
+        )
+    }
+
+    #[test]
+    fn groups_and_counts() {
+        let (d, labels) = fixture();
+        let model = M5Learner::new(M5Params::default()).fit(&d).unwrap();
+        let breakdown = per_label_metrics(model.as_ref(), &d, &labels);
+        assert_eq!(breakdown.len(), 2);
+        assert_eq!(breakdown["even"].n, 30);
+        assert_eq!(breakdown["odd"].n, 30);
+        assert!(breakdown["even"].correlation > 0.99);
+    }
+
+    #[test]
+    fn table_sorts_worst_first() {
+        let (d, labels) = fixture();
+        let model = M5Learner::new(M5Params::default()).fit(&d).unwrap();
+        let breakdown = per_label_metrics(model.as_ref(), &d, &labels);
+        let table = breakdown_table(&breakdown);
+        assert!(table.contains("even"));
+        assert!(table.contains("odd"));
+        assert_eq!(table.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per row")]
+    fn label_length_checked() {
+        let (d, _) = fixture();
+        let model = M5Learner::new(M5Params::default()).fit(&d).unwrap();
+        per_label_metrics(model.as_ref(), &d, &[]);
+    }
+}

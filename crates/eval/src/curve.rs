@@ -1,0 +1,141 @@
+//! Learning curves: accuracy as a function of training-set size.
+//!
+//! Useful for judging whether the paper-scale dataset is large enough for
+//! its 430-instance pre-pruning — the curve flattens where extra sections
+//! stop buying accuracy.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use mtperf_mtree::{Dataset, Learner, MtreeError};
+
+use crate::Metrics;
+
+/// One point of a learning curve.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Training-set size used.
+    pub train_size: usize,
+    /// Metrics on the fixed held-out test set.
+    pub metrics: Metrics,
+}
+
+/// Computes a learning curve: hold out `test_fraction` of the data once,
+/// then train on growing nested prefixes of the remainder and evaluate each
+/// model on the same held-out set.
+///
+/// `sizes` are requested training sizes; sizes exceeding the available
+/// training pool are clamped (and deduplicated).
+///
+/// # Errors
+///
+/// Returns [`MtreeError::BadParams`] for an invalid `test_fraction` or
+/// empty `sizes`, and propagates learner failures.
+pub fn learning_curve(
+    learner: &dyn Learner,
+    data: &Dataset,
+    sizes: &[usize],
+    test_fraction: f64,
+    seed: u64,
+) -> Result<Vec<CurvePoint>, MtreeError> {
+    if sizes.is_empty() {
+        return Err(MtreeError::BadParams("sizes must be non-empty".into()));
+    }
+    if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 {
+        return Err(MtreeError::BadParams(
+            "test_fraction must be in (0, 1)".into(),
+        ));
+    }
+    let n = data.n_rows();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let n_test = ((n as f64 * test_fraction).round() as usize).clamp(1, n - 1);
+    let (test_idx, pool) = order.split_at(n_test);
+    let test = data.subset(test_idx);
+    let actual: Vec<f64> = test.targets().to_vec();
+
+    let mut clamped: Vec<usize> = sizes
+        .iter()
+        .map(|&s| s.clamp(1, pool.len()))
+        .collect();
+    clamped.sort_unstable();
+    clamped.dedup();
+
+    let mut out = Vec::with_capacity(clamped.len());
+    for &size in &clamped {
+        let train = data.subset(&pool[..size]);
+        let model = learner.fit(&train)?;
+        let predicted: Vec<f64> = (0..test.n_rows())
+            .map(|i| model.predict(&test.row(i)))
+            .collect();
+        out.push(CurvePoint {
+            train_size: size,
+            metrics: Metrics::compute(&actual, &predicted),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtperf_mtree::{M5Learner, M5Params};
+
+    fn data(n: usize) -> Dataset {
+        let rows: Vec<[f64; 1]> = (0..n).map(|i| [(i % 97) as f64]).collect();
+        let ys: Vec<f64> = rows
+            .iter()
+            .map(|r| if r[0] <= 48.0 { r[0] } else { 100.0 - r[0] })
+            .collect();
+        Dataset::from_rows(vec!["x".into()], &rows, &ys).unwrap()
+    }
+
+    #[test]
+    fn curve_improves_with_more_data() {
+        let d = data(600);
+        let learner = M5Learner::new(M5Params::default().with_min_instances(8));
+        let curve = learning_curve(&learner, &d, &[20, 100, 400], 0.25, 3).unwrap();
+        assert_eq!(curve.len(), 3);
+        assert!(curve[0].train_size < curve[2].train_size);
+        // More data must not be (much) worse.
+        assert!(
+            curve[2].metrics.mae <= curve[0].metrics.mae * 1.5 + 1e-9,
+            "{:?}",
+            curve
+        );
+    }
+
+    #[test]
+    fn sizes_are_clamped_and_deduped() {
+        let d = data(100);
+        let learner = M5Learner::new(M5Params::default());
+        let curve =
+            learning_curve(&learner, &d, &[50, 1_000_000, 999_999], 0.2, 1).unwrap();
+        // 1e6 and 999999 both clamp to the pool size (80) -> dedup to one.
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve.last().unwrap().train_size, 80);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let d = data(50);
+        let learner = M5Learner::new(M5Params::default());
+        assert!(learning_curve(&learner, &d, &[], 0.2, 0).is_err());
+        assert!(learning_curve(&learner, &d, &[10], 0.0, 0).is_err());
+        assert!(learning_curve(&learner, &d, &[10], 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d = data(200);
+        let learner = M5Learner::new(M5Params::default().with_min_instances(8));
+        let a = learning_curve(&learner, &d, &[50], 0.25, 9).unwrap();
+        let b = learning_curve(&learner, &d, &[50], 0.25, 9).unwrap();
+        assert_eq!(a[0].metrics, b[0].metrics);
+    }
+}

@@ -1,0 +1,232 @@
+//! Seeded k-fold cross validation and train/test splitting.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use mtperf_mtree::{Dataset, Learner, MtreeError};
+
+use crate::Metrics;
+
+/// Result of evaluating one fold.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FoldResult {
+    /// Fold number (0-based).
+    pub fold: usize,
+    /// Metrics on the held-out instances.
+    pub metrics: Metrics,
+    /// Held-out actual values.
+    pub actual: Vec<f64>,
+    /// Predictions for the held-out instances.
+    pub predicted: Vec<f64>,
+}
+
+/// Result of a full k-fold cross validation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CvResult {
+    /// Per-fold results.
+    pub folds: Vec<FoldResult>,
+    /// Instance-weighted aggregate metrics (the numbers the paper reports).
+    pub aggregate: Metrics,
+    /// Metrics computed over the pooled out-of-fold predictions — exactly
+    /// the population plotted in the paper's Figure 3.
+    pub pooled: Metrics,
+}
+
+impl CvResult {
+    /// All out-of-fold `(actual, predicted)` pairs, pooled — the series of
+    /// the paper's predicted-vs-actual scatter (Figure 3).
+    pub fn scatter(&self) -> Vec<(f64, f64)> {
+        self.folds
+            .iter()
+            .flat_map(|f| f.actual.iter().copied().zip(f.predicted.iter().copied()))
+            .collect()
+    }
+}
+
+/// Seeded Fisher–Yates shuffle of `0..n`.
+fn shuffled_indices(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+/// k-fold cross validation: shuffle once (seeded), cut into `k` near-equal
+/// folds, train on `k−1`, evaluate on the held-out fold, and aggregate —
+/// the paper's 10-fold protocol (its reference \[24\]).
+///
+/// # Errors
+///
+/// Returns [`MtreeError::BadParams`] when `k < 2` or `k > n`, and
+/// propagates learner failures.
+pub fn cross_validate(
+    learner: &dyn Learner,
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+) -> Result<CvResult, MtreeError> {
+    let n = data.n_rows();
+    if k < 2 || k > n {
+        return Err(MtreeError::BadParams(format!(
+            "k must be in 2..=n (k={k}, n={n})"
+        )));
+    }
+    let order = shuffled_indices(n, seed);
+    let mut folds = Vec::with_capacity(k);
+    for fold in 0..k {
+        // Fold f takes every k-th element: near-equal sizes, one pass.
+        let test_idx: Vec<usize> = order
+            .iter()
+            .copied()
+            .skip(fold)
+            .step_by(k)
+            .collect();
+        let train_idx: Vec<usize> = order
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(pos, _)| pos % k != fold)
+            .map(|(_, i)| i)
+            .collect();
+        let train = data.subset(&train_idx);
+        let model = learner.fit(&train)?;
+        let actual: Vec<f64> = test_idx.iter().map(|&i| data.target(i)).collect();
+        let predicted: Vec<f64> = test_idx
+            .iter()
+            .map(|&i| model.predict(&data.row(i)))
+            .collect();
+        folds.push(FoldResult {
+            fold,
+            metrics: Metrics::compute(&actual, &predicted),
+            actual,
+            predicted,
+        });
+    }
+    let aggregate = Metrics::aggregate(&folds.iter().map(|f| f.metrics).collect::<Vec<_>>());
+    let (all_a, all_p): (Vec<f64>, Vec<f64>) = folds
+        .iter()
+        .flat_map(|f| f.actual.iter().copied().zip(f.predicted.iter().copied()))
+        .unzip();
+    let pooled = Metrics::compute(&all_a, &all_p);
+    Ok(CvResult {
+        folds,
+        aggregate,
+        pooled,
+    })
+}
+
+/// Seeded random train/test split; `test_fraction` of instances go to the
+/// test set (at least one instance in each side).
+///
+/// # Errors
+///
+/// Returns [`MtreeError::BadParams`] for fractions outside `(0, 1)` or
+/// datasets with fewer than 2 rows.
+pub fn train_test_split(
+    data: &Dataset,
+    test_fraction: f64,
+    seed: u64,
+) -> Result<(Dataset, Dataset), MtreeError> {
+    let n = data.n_rows();
+    if n < 2 {
+        return Err(MtreeError::BadParams("need at least 2 rows".into()));
+    }
+    if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 {
+        return Err(MtreeError::BadParams(
+            "test_fraction must be in (0, 1)".into(),
+        ));
+    }
+    let order = shuffled_indices(n, seed);
+    let n_test = ((n as f64 * test_fraction).round() as usize).clamp(1, n - 1);
+    let test = data.subset(&order[..n_test]);
+    let train = data.subset(&order[n_test..]);
+    Ok((train, test))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtperf_mtree::{M5Learner, M5Params};
+
+    fn data(n: usize) -> Dataset {
+        let rows: Vec<[f64; 1]> = (0..n).map(|i| [i as f64]).collect();
+        let ys: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] + 1.0).collect();
+        Dataset::from_rows(vec!["x".into()], &rows, &ys).unwrap()
+    }
+
+    #[test]
+    fn folds_partition_data() {
+        let d = data(53);
+        let learner = M5Learner::new(M5Params::default());
+        let cv = cross_validate(&learner, &d, 10, 7).unwrap();
+        assert_eq!(cv.folds.len(), 10);
+        let total: usize = cv.folds.iter().map(|f| f.actual.len()).sum();
+        assert_eq!(total, 53);
+        // Near-equal fold sizes.
+        for f in &cv.folds {
+            assert!((5..=6).contains(&f.actual.len()));
+        }
+        assert_eq!(cv.aggregate.n, 53);
+        assert_eq!(cv.pooled.n, 53);
+        assert_eq!(cv.scatter().len(), 53);
+    }
+
+    #[test]
+    fn linear_data_cross_validates_perfectly() {
+        let d = data(100);
+        let learner = M5Learner::new(M5Params::default());
+        let cv = cross_validate(&learner, &d, 10, 1).unwrap();
+        assert!(cv.aggregate.correlation > 0.999);
+        assert!(cv.aggregate.rae_percent < 1.0);
+        assert!(cv.pooled.correlation > 0.999);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d = data(40);
+        let learner = M5Learner::new(M5Params::default());
+        let a = cross_validate(&learner, &d, 5, 9).unwrap();
+        let b = cross_validate(&learner, &d, 5, 9).unwrap();
+        assert_eq!(a.aggregate, b.aggregate);
+        let c = cross_validate(&learner, &d, 5, 10).unwrap();
+        // Different shuffles -> (almost surely) different fold contents.
+        assert_ne!(
+            a.folds[0].actual, c.folds[0].actual,
+            "different seeds should shuffle differently"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_k() {
+        let d = data(10);
+        let learner = M5Learner::new(M5Params::default());
+        assert!(cross_validate(&learner, &d, 1, 0).is_err());
+        assert!(cross_validate(&learner, &d, 11, 0).is_err());
+        assert!(cross_validate(&learner, &d, 10, 0).is_ok());
+    }
+
+    #[test]
+    fn split_sizes_and_disjointness() {
+        let d = data(100);
+        let (train, test) = train_test_split(&d, 0.25, 3).unwrap();
+        assert_eq!(test.n_rows(), 25);
+        assert_eq!(train.n_rows(), 75);
+        // Disjoint: x values are unique, so check no overlap.
+        let train_x: std::collections::HashSet<u64> =
+            train.column(0).iter().map(|v| v.to_bits()).collect();
+        assert!(test.column(0).iter().all(|v| !train_x.contains(&v.to_bits())));
+    }
+
+    #[test]
+    fn split_rejects_bad_fraction() {
+        let d = data(10);
+        assert!(train_test_split(&d, 0.0, 0).is_err());
+        assert!(train_test_split(&d, 1.0, 0).is_err());
+        let one = Dataset::from_rows(vec!["x".into()], &[[1.0]], &[1.0]).unwrap();
+        assert!(train_test_split(&one, 0.5, 0).is_err());
+    }
+}

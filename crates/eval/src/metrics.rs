@@ -1,0 +1,193 @@
+//! Prediction-accuracy metrics.
+
+use serde::{Deserialize, Serialize};
+
+use mtperf_linalg::stats;
+
+/// The accuracy metrics of one evaluation, matching the paper's §V.B:
+/// correlation coefficient, mean absolute error and relative absolute error,
+/// plus RMSE/RRSE for completeness.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Number of evaluated instances.
+    pub n: usize,
+    /// Pearson correlation between actual and predicted values (`C`);
+    /// 0.0 when undefined (constant actuals or predictions).
+    pub correlation: f64,
+    /// Mean absolute error.
+    pub mae: f64,
+    /// Relative absolute error in percent:
+    /// `100 · Σ|ŷ−y| / Σ|ȳ−y|` (absolute error relative to the
+    /// mean-predictor's absolute error).
+    pub rae_percent: f64,
+    /// Root mean squared error.
+    pub rmse: f64,
+    /// Root relative squared error in percent (RMSE relative to the
+    /// mean-predictor's RMSE).
+    pub rrse_percent: f64,
+}
+
+impl Metrics {
+    /// Computes all metrics from actual/predicted pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or are empty.
+    pub fn compute(actual: &[f64], predicted: &[f64]) -> Metrics {
+        assert_eq!(actual.len(), predicted.len(), "length mismatch");
+        assert!(!actual.is_empty(), "empty evaluation");
+        let n = actual.len();
+        let nf = n as f64;
+        let mean_actual = stats::mean(actual);
+
+        let mut abs_err = 0.0;
+        let mut abs_base = 0.0;
+        let mut sq_err = 0.0;
+        let mut sq_base = 0.0;
+        for (&y, &p) in actual.iter().zip(predicted) {
+            abs_err += (p - y).abs();
+            abs_base += (mean_actual - y).abs();
+            sq_err += (p - y) * (p - y);
+            sq_base += (mean_actual - y) * (mean_actual - y);
+        }
+        let mae = abs_err / nf;
+        let rmse = (sq_err / nf).sqrt();
+        let rae_percent = if abs_base > 0.0 {
+            100.0 * abs_err / abs_base
+        } else {
+            0.0
+        };
+        let rrse_percent = if sq_base > 0.0 {
+            100.0 * (sq_err / sq_base).sqrt()
+        } else {
+            0.0
+        };
+        Metrics {
+            n,
+            correlation: stats::correlation(actual, predicted).unwrap_or(0.0),
+            mae,
+            rae_percent,
+            rmse,
+            rrse_percent,
+        }
+    }
+
+    /// Instance-weighted average of several fold metrics (correlation is
+    /// weighted by fold size, as WEKA reports it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `folds` is empty.
+    pub fn aggregate(folds: &[Metrics]) -> Metrics {
+        assert!(!folds.is_empty(), "no folds to aggregate");
+        let total: usize = folds.iter().map(|m| m.n).sum();
+        let tf = total as f64;
+        let w = |f: fn(&Metrics) -> f64| -> f64 {
+            folds.iter().map(|m| f(m) * m.n as f64).sum::<f64>() / tf
+        };
+        Metrics {
+            n: total,
+            correlation: w(|m| m.correlation),
+            mae: w(|m| m.mae),
+            rae_percent: w(|m| m.rae_percent),
+            rmse: w(|m| m.rmse),
+            rrse_percent: w(|m| m.rrse_percent),
+        }
+    }
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} C={:.4} MAE={:.4} RAE={:.2}% RMSE={:.4} RRSE={:.2}%",
+            self.n, self.correlation, self.mae, self.rae_percent, self.rmse, self.rrse_percent
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let m = Metrics::compute(&y, &y);
+        assert_eq!(m.n, 4);
+        assert!((m.correlation - 1.0).abs() < 1e-12);
+        assert_eq!(m.mae, 0.0);
+        assert_eq!(m.rae_percent, 0.0);
+        assert_eq!(m.rmse, 0.0);
+        assert_eq!(m.rrse_percent, 0.0);
+    }
+
+    #[test]
+    fn mean_predictor_has_100_percent_rae() {
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let mean = 2.5;
+        let p = [mean; 4];
+        let m = Metrics::compute(&y, &p);
+        assert!((m.rae_percent - 100.0).abs() < 1e-9);
+        assert!((m.rrse_percent - 100.0).abs() < 1e-9);
+        assert_eq!(m.correlation, 0.0, "constant predictions: undefined -> 0");
+    }
+
+    #[test]
+    fn known_values() {
+        let y = [0.0, 2.0];
+        let p = [1.0, 3.0]; // off by one everywhere
+        let m = Metrics::compute(&y, &p);
+        assert!((m.mae - 1.0).abs() < 1e-12);
+        assert!((m.rmse - 1.0).abs() < 1e-12);
+        // Baseline absolute error: |1-0| + |1-2| = 2 -> RAE = 2/2 = 100%.
+        assert!((m.rae_percent - 100.0).abs() < 1e-9);
+        assert!((m.correlation - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_weights_by_size() {
+        let a = Metrics {
+            n: 1,
+            correlation: 1.0,
+            mae: 0.0,
+            rae_percent: 0.0,
+            rmse: 0.0,
+            rrse_percent: 0.0,
+        };
+        let b = Metrics {
+            n: 3,
+            correlation: 0.0,
+            mae: 4.0,
+            rae_percent: 100.0,
+            rmse: 4.0,
+            rrse_percent: 100.0,
+        };
+        let agg = Metrics::aggregate(&[a, b]);
+        assert_eq!(agg.n, 4);
+        assert!((agg.correlation - 0.25).abs() < 1e-12);
+        assert!((agg.mae - 3.0).abs() < 1e-12);
+        assert!((agg.rae_percent - 75.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_lengths() {
+        Metrics::compute(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty() {
+        Metrics::compute(&[], &[]);
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let y = [1.0, 2.0];
+        let m = Metrics::compute(&y, &y);
+        let s = m.to_string();
+        assert!(s.contains("C=1.0000"));
+        assert!(s.contains("RAE=0.00%"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Repeated cross validation: n independent k-fold runs with different
+//! shuffles, reporting the spread of the aggregate metrics. A single 10-fold
+//! number (the paper's protocol) carries shuffle luck; the repeat spread
+//! quantifies it.
+
+use serde::{Deserialize, Serialize};
+
+use mtperf_linalg::stats;
+use mtperf_mtree::{Dataset, Learner, MtreeError};
+
+use crate::{cross_validate, Metrics};
+
+/// Mean and standard deviation of a metric over repeated CV runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Spread {
+    /// Mean over repeats.
+    pub mean: f64,
+    /// Sample standard deviation over repeats.
+    pub sd: f64,
+}
+
+impl Spread {
+    fn of(values: &[f64]) -> Spread {
+        Spread {
+            mean: stats::mean(values),
+            sd: stats::sample_variance(values).sqrt(),
+        }
+    }
+}
+
+/// Result of repeated cross validation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RepeatedCv {
+    /// The pooled metrics of every repeat.
+    pub repeats: Vec<Metrics>,
+    /// Spread of the correlation coefficient.
+    pub correlation: Spread,
+    /// Spread of the MAE.
+    pub mae: Spread,
+    /// Spread of the RAE (percent).
+    pub rae_percent: Spread,
+}
+
+/// Runs `repeats` independent k-fold cross validations (seeds
+/// `seed, seed+1, …`) and summarizes the spread.
+///
+/// # Errors
+///
+/// Returns [`MtreeError::BadParams`] when `repeats == 0` and propagates
+/// [`cross_validate`] errors.
+pub fn repeated_cv(
+    learner: &dyn Learner,
+    data: &Dataset,
+    k: usize,
+    repeats: usize,
+    seed: u64,
+) -> Result<RepeatedCv, MtreeError> {
+    if repeats == 0 {
+        return Err(MtreeError::BadParams("repeats must be >= 1".into()));
+    }
+    let mut metrics = Vec::with_capacity(repeats);
+    for r in 0..repeats {
+        let cv = cross_validate(learner, data, k, seed + r as u64)?;
+        metrics.push(cv.pooled);
+    }
+    let corr: Vec<f64> = metrics.iter().map(|m| m.correlation).collect();
+    let mae: Vec<f64> = metrics.iter().map(|m| m.mae).collect();
+    let rae: Vec<f64> = metrics.iter().map(|m| m.rae_percent).collect();
+    Ok(RepeatedCv {
+        correlation: Spread::of(&corr),
+        mae: Spread::of(&mae),
+        rae_percent: Spread::of(&rae),
+        repeats: metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtperf_mtree::{M5Learner, M5Params};
+
+    fn data() -> Dataset {
+        let rows: Vec<[f64; 1]> = (0..150).map(|i| [i as f64]).collect();
+        let ys: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] + 1.0).collect();
+        Dataset::from_rows(vec!["x".into()], &rows, &ys).unwrap()
+    }
+
+    #[test]
+    fn runs_all_repeats() {
+        let learner = M5Learner::new(M5Params::default());
+        let r = repeated_cv(&learner, &data(), 5, 3, 7).unwrap();
+        assert_eq!(r.repeats.len(), 3);
+        assert!(r.correlation.mean > 0.99);
+        assert!(r.correlation.sd >= 0.0);
+        assert!(r.rae_percent.mean < 5.0);
+    }
+
+    #[test]
+    fn zero_repeats_rejected() {
+        let learner = M5Learner::new(M5Params::default());
+        assert!(repeated_cv(&learner, &data(), 5, 0, 7).is_err());
+    }
+
+    #[test]
+    fn single_repeat_has_zero_sd() {
+        let learner = M5Learner::new(M5Params::default());
+        let r = repeated_cv(&learner, &data(), 5, 1, 7).unwrap();
+        assert_eq!(r.mae.sd, 0.0);
+    }
+}

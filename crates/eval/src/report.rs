@@ -1,0 +1,77 @@
+//! Text report formatting for comparisons and figure data.
+
+use std::fmt::Write as _;
+
+use crate::Metrics;
+
+/// Formats a learner-comparison table (the shape of the paper's §V.B
+/// comparison against ANN and SVM).
+///
+/// # Example
+///
+/// ```
+/// use mtperf_eval::{comparison_table, Metrics};
+///
+/// let m = Metrics::compute(&[1.0, 2.0], &[1.0, 2.0]);
+/// let table = comparison_table(&[("M5'".to_string(), m)]);
+/// assert!(table.contains("M5'"));
+/// assert!(table.contains("Correlation"));
+/// ```
+pub fn comparison_table(rows: &[(String, Metrics)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<34} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "Algorithm", "Correlation", "MAE", "RAE %", "RMSE", "RRSE %"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(90));
+    for (name, m) in rows {
+        let _ = writeln!(
+            out,
+            "{:<34} {:>12.4} {:>10.4} {:>10.2} {:>10.4} {:>10.2}",
+            name, m.correlation, m.mae, m.rae_percent, m.rmse, m.rrse_percent
+        );
+    }
+    out
+}
+
+/// Formats `(actual, predicted)` pairs as a two-column CSV — the data series
+/// behind the paper's Figure 3 scatter.
+pub fn scatter_csv(pairs: &[(f64, f64)]) -> String {
+    let mut out = String::from("actual,predicted\n");
+    for (a, p) in pairs {
+        let _ = writeln!(out, "{a},{p}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_lists_all_rows() {
+        let m = Metrics::compute(&[1.0, 2.0, 3.0], &[1.1, 2.1, 2.9]);
+        let t = comparison_table(&[
+            ("A".to_string(), m),
+            ("B with long name".to_string(), m),
+        ]);
+        assert!(t.contains("A "));
+        assert!(t.contains("B with long name"));
+        assert_eq!(t.lines().count(), 4);
+    }
+
+    #[test]
+    fn scatter_csv_format() {
+        let csv = scatter_csv(&[(1.0, 1.5), (2.0, 1.9)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "actual,predicted");
+        assert_eq!(lines[1], "1,1.5");
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn empty_scatter_has_header_only() {
+        assert_eq!(scatter_csv(&[]), "actual,predicted\n");
+    }
+}

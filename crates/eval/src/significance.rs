@@ -1,0 +1,137 @@
+//! Paired significance testing for learner comparisons.
+//!
+//! "A beats B by 0.3 % RAE" means little without knowing the fold-to-fold
+//! spread. [`paired_t_test`] runs both learners on identical folds and tests
+//! the per-fold MAE differences with a paired Student's t — the standard
+//! check the paper's comparison table leaves implicit.
+
+use serde::{Deserialize, Serialize};
+
+use mtperf_linalg::stats;
+use mtperf_mtree::{Dataset, Learner, MtreeError};
+
+use crate::cross_validate;
+
+/// Result of a paired t-test between two learners over shared CV folds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairedTTest {
+    /// Number of folds (pairs).
+    pub n: usize,
+    /// Mean per-fold MAE difference (A − B); negative favors A.
+    pub mean_difference: f64,
+    /// The t statistic (0.0 when the differences have no variance).
+    pub t_statistic: f64,
+    /// Two-sided significance at the 5 % level (|t| exceeds the critical
+    /// value for n−1 degrees of freedom).
+    pub significant_at_5pct: bool,
+}
+
+/// Two-sided 5 % critical values of Student's t for 1..=30 degrees of
+/// freedom (standard table values).
+const T_CRIT_5PCT: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+    2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+    2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+];
+
+fn t_critical(df: usize) -> f64 {
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= 30 {
+        T_CRIT_5PCT[df - 1]
+    } else {
+        1.96 // normal approximation
+    }
+}
+
+/// Cross-validates both learners on identical folds and t-tests the
+/// per-fold MAE differences.
+///
+/// # Errors
+///
+/// Propagates [`cross_validate`] errors.
+pub fn paired_t_test(
+    a: &dyn Learner,
+    b: &dyn Learner,
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+) -> Result<PairedTTest, MtreeError> {
+    let cv_a = cross_validate(a, data, k, seed)?;
+    let cv_b = cross_validate(b, data, k, seed)?;
+    let diffs: Vec<f64> = cv_a
+        .folds
+        .iter()
+        .zip(&cv_b.folds)
+        .map(|(fa, fb)| fa.metrics.mae - fb.metrics.mae)
+        .collect();
+    let n = diffs.len();
+    let mean = stats::mean(&diffs);
+    let sd = stats::sample_variance(&diffs).sqrt();
+    let t = if sd > 0.0 {
+        mean / (sd / (n as f64).sqrt())
+    } else {
+        0.0
+    };
+    Ok(PairedTTest {
+        n,
+        mean_difference: mean,
+        t_statistic: t,
+        significant_at_5pct: t.abs() > t_critical(n.saturating_sub(1)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtperf_mtree::{M5Learner, M5Params, Predictor};
+
+    /// A deliberately bad learner: always predicts 0.
+    struct Zero;
+    struct ZeroModel;
+    impl Predictor for ZeroModel {
+        fn predict(&self, _row: &[f64]) -> f64 {
+            0.0
+        }
+    }
+    impl Learner for Zero {
+        fn fit(&self, _data: &Dataset) -> Result<Box<dyn Predictor>, MtreeError> {
+            Ok(Box::new(ZeroModel))
+        }
+        fn name(&self) -> &str {
+            "zero"
+        }
+    }
+
+    fn data() -> Dataset {
+        let rows: Vec<[f64; 1]> = (0..200).map(|i| [i as f64]).collect();
+        let ys: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] + 5.0).collect();
+        Dataset::from_rows(vec!["x".into()], &rows, &ys).unwrap()
+    }
+
+    #[test]
+    fn detects_a_clear_winner() {
+        let m5 = M5Learner::new(M5Params::default());
+        let t = paired_t_test(&m5, &Zero, &data(), 10, 3).unwrap();
+        assert_eq!(t.n, 10);
+        assert!(t.mean_difference < 0.0, "M5 must have lower MAE");
+        assert!(t.significant_at_5pct, "{t:?}");
+    }
+
+    #[test]
+    fn identical_learners_are_not_significant() {
+        let m5 = M5Learner::new(M5Params::default());
+        let t = paired_t_test(&m5, &m5, &data(), 10, 3).unwrap();
+        assert_eq!(t.mean_difference, 0.0);
+        assert!(!t.significant_at_5pct);
+        assert_eq!(t.t_statistic, 0.0);
+    }
+
+    #[test]
+    fn critical_values_monotone() {
+        assert!(t_critical(1) > t_critical(2));
+        assert!(t_critical(30) > t_critical(31));
+        assert_eq!(t_critical(100), 1.96);
+        assert!(t_critical(0).is_infinite());
+    }
+}

@@ -1,0 +1,354 @@
+//! Implementation of the `mtperf` command-line tool.
+//!
+//! The binary (`src/bin/mtperf.rs`) is a thin wrapper over these functions,
+//! which keeps every code path unit-testable. Argument handling is a small
+//! hand-rolled parser: flags are `--key value` pairs after a subcommand.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fs::File;
+use std::path::Path;
+
+use mtperf_counters::SampleSet;
+use mtperf_eval::{cross_validate, per_label_metrics, breakdown_table};
+use mtperf_mtree::{analysis, Dataset, M5Learner, M5Params, ModelTree, RuleSet};
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand name.
+    pub command: String,
+    /// `--key value` options (keys without the dashes).
+    pub options: BTreeMap<String, String>,
+    /// Bare `--flag` switches.
+    pub flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses raw arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when no subcommand is given or an option is
+    /// missing its value.
+    pub fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut iter = raw.iter().peekable();
+        let command = iter
+            .next()
+            .ok_or_else(|| "missing subcommand".to_string())?
+            .clone();
+        let mut options = BTreeMap::new();
+        let mut flags = Vec::new();
+        while let Some(arg) = iter.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument {arg:?}"));
+            };
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    options.insert(key.to_string(), iter.next().expect("peeked").clone());
+                }
+                _ => flags.push(key.to_string()),
+            }
+        }
+        Ok(Args {
+            command,
+            options,
+            flags,
+        })
+    }
+
+    /// Fetches a required option.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing option.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// Fetches an optional numeric option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value does not parse.
+    pub fn numeric<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("option --{key} has invalid value {v:?}")),
+        }
+    }
+
+    /// Whether a bare flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+/// The usage text.
+pub const USAGE: &str = "\
+mtperf — model-tree performance analysis
+
+USAGE: mtperf <command> [options]
+
+COMMANDS
+  simulate   --out <csv> [--arff <arff>] [--instructions N] [--section-len N] [--seed N]
+             Simulate the SPEC-like suite on the Core 2 Duo model and write sections.
+  train      --data <csv> --out <model.json> [--min-instances N] [--no-smoothing]
+             Train an M5' model tree on a section CSV.
+  show       --model <model.json> [--rules]
+             Print a trained tree (or its ordered rule list).
+  evaluate   --data <csv> [--k N] [--min-instances N]
+             10-fold cross validation with per-workload breakdown.
+  analyze    --model <model.json> --data <csv> [--top N]
+             Classify each workload's median section and rank its
+             optimization opportunities (the paper's what/how-much report).
+";
+
+/// Loads a section CSV into a sample set.
+fn load_samples(path: &str) -> Result<SampleSet, Box<dyn Error>> {
+    let file = File::open(path)?;
+    Ok(mtperf_counters::read_csv(file)?)
+}
+
+fn to_dataset(samples: &SampleSet) -> Result<(Dataset, Vec<String>), Box<dyn Error>> {
+    let labels = crate::labels_from_samples(samples);
+    let data = crate::dataset_from_samples(samples)?;
+    Ok((data, labels))
+}
+
+/// `mtperf simulate`.
+pub fn cmd_simulate(args: &Args) -> Result<(), Box<dyn Error>> {
+    let out = args.require("out")?;
+    let instructions: u64 = args.numeric("instructions", 2_000_000)?;
+    let section_len: u64 = args.numeric("section-len", 10_000)?;
+    let seed: u64 = args.numeric("seed", 2007)?;
+    eprintln!("simulating {instructions} instructions/workload (seed {seed})...");
+    let samples = crate::sim::simulate_suite(instructions, section_len, seed);
+    let mut file = File::create(out)?;
+    mtperf_counters::write_csv(&samples, &mut file)?;
+    println!("{} sections -> {out}", samples.len());
+    if let Some(arff) = args.options.get("arff") {
+        let mut file = File::create(arff)?;
+        mtperf_counters::write_arff(&samples, &mut file)?;
+        println!("ARFF (WEKA) copy -> {arff}");
+    }
+    Ok(())
+}
+
+fn params_from(args: &Args, n_rows: usize) -> Result<M5Params, String> {
+    let default_min = (n_rows / 30).max(8);
+    let min: usize = args.numeric("min-instances", default_min)?;
+    Ok(M5Params::default()
+        .with_min_instances(min)
+        .with_smoothing(!args.flag("no-smoothing")))
+}
+
+/// `mtperf train`.
+pub fn cmd_train(args: &Args) -> Result<(), Box<dyn Error>> {
+    let data_path = args.require("data")?;
+    let out = args.require("out")?;
+    let samples = load_samples(data_path)?;
+    let (data, _) = to_dataset(&samples)?;
+    let params = params_from(args, data.n_rows())?;
+    let tree = ModelTree::fit(&data, &params)?;
+    tree.save(out)?;
+    println!(
+        "trained on {} sections: {} classes, depth {} -> {out}",
+        data.n_rows(),
+        tree.n_leaves(),
+        tree.depth()
+    );
+    Ok(())
+}
+
+/// `mtperf show`.
+pub fn cmd_show(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    let tree = ModelTree::load(args.require("model")?)?;
+    if args.flag("rules") {
+        write!(out, "{}", RuleSet::from_tree(&tree).render("CPI"))?;
+    } else {
+        write!(out, "{}", tree.render("CPI"))?;
+    }
+    Ok(())
+}
+
+/// `mtperf evaluate`.
+pub fn cmd_evaluate(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    let samples = load_samples(args.require("data")?)?;
+    let (data, labels) = to_dataset(&samples)?;
+    let k: usize = args.numeric("k", 10)?;
+    let params = params_from(args, data.n_rows())?;
+    let learner = M5Learner::new(params.clone());
+    let cv = cross_validate(&learner, &data, k, 7)?;
+    writeln!(out, "{k}-fold CV: {}", cv.pooled)?;
+    let model = ModelTree::fit(&data, &params)?;
+    writeln!(out, "\nper-workload breakdown (training-set fit):")?;
+    let breakdown = per_label_metrics(&model, &data, &labels);
+    write!(out, "{}", breakdown_table(&breakdown))?;
+    Ok(())
+}
+
+/// `mtperf analyze`.
+pub fn cmd_analyze(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    let tree = ModelTree::load(args.require("model")?)?;
+    let samples = load_samples(args.require("data")?)?;
+    let (data, labels) = to_dataset(&samples)?;
+    let top: usize = args.numeric("top", 3)?;
+
+    let mut by_workload: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, label) in labels.iter().enumerate() {
+        by_workload.entry(label.as_str()).or_default().push(i);
+    }
+    for (workload, mut indices) in by_workload {
+        indices.sort_by(|&a, &b| {
+            data.target(a)
+                .partial_cmp(&data.target(b))
+                .expect("finite CPI")
+        });
+        let median = indices[indices.len() / 2];
+        let row = data.row(median);
+        let class = tree.classify(&row);
+        writeln!(
+            out,
+            "{workload}: median CPI {:.2}, class {}",
+            data.target(median),
+            class.leaf
+        )?;
+        let ops = analysis::rank_opportunities(&tree, &row);
+        if ops.is_empty() {
+            let levers: Vec<&str> = class
+                .high_side_attrs()
+                .into_iter()
+                .map(|a| data.attr_name(a))
+                .collect();
+            writeln!(out, "  constant class; split-variable levers: {levers:?}")?;
+        }
+        for c in ops.iter().take(top) {
+            writeln!(
+                out,
+                "  eliminate {:<10} -> up to {:.1}% faster",
+                data.attr_name(c.attr),
+                100.0 * c.fraction
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Dispatches a parsed command line.
+///
+/// # Errors
+///
+/// Propagates subcommand failures; unknown commands return a usage hint.
+pub fn dispatch(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    match args.command.as_str() {
+        "simulate" => cmd_simulate(args),
+        "train" => cmd_train(args),
+        "show" => cmd_show(args, out),
+        "evaluate" => cmd_evaluate(args, out),
+        "analyze" => cmd_analyze(args, out),
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}").into()),
+    }
+}
+
+/// `true` if `path` exists (test helper for artifacts).
+pub fn exists(path: impl AsRef<Path>) -> bool {
+    path.as_ref().exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Args {
+        Args::parse(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn parse_command_options_flags() {
+        let a = args(&["train", "--data", "x.csv", "--no-smoothing", "--out", "m.json"]);
+        assert_eq!(a.command, "train");
+        assert_eq!(a.require("data").unwrap(), "x.csv");
+        assert_eq!(a.require("out").unwrap(), "m.json");
+        assert!(a.flag("no-smoothing"));
+        assert!(!a.flag("other"));
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(Args::parse(&[]).is_err());
+        assert!(Args::parse(&["train".into(), "positional".into()]).is_err());
+    }
+
+    #[test]
+    fn numeric_defaults_and_errors() {
+        let a = args(&["simulate", "--seed", "42"]);
+        assert_eq!(a.numeric::<u64>("seed", 0).unwrap(), 42);
+        assert_eq!(a.numeric::<u64>("missing", 7).unwrap(), 7);
+        let bad = args(&["simulate", "--seed", "xyz"]);
+        assert!(bad.numeric::<u64>("seed", 0).is_err());
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let a = args(&["train"]);
+        let err = a.require("data").unwrap_err();
+        assert!(err.contains("--data"));
+    }
+
+    #[test]
+    fn unknown_command_mentions_usage() {
+        let a = args(&["frobnicate"]);
+        let mut out = Vec::new();
+        let err = dispatch(&a, &mut out).unwrap_err();
+        assert!(err.to_string().contains("USAGE"));
+    }
+
+    #[test]
+    fn end_to_end_simulate_train_show_analyze() {
+        let dir = std::env::temp_dir().join("mtperf-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("suite.csv").display().to_string();
+        let arff = dir.join("suite.arff").display().to_string();
+        let model = dir.join("model.json").display().to_string();
+
+        // simulate (tiny)
+        cmd_simulate(&args(&[
+            "simulate", "--out", &csv, "--arff", &arff, "--instructions", "60000",
+            "--seed", "3",
+        ]))
+        .unwrap();
+        assert!(exists(&csv) && exists(&arff));
+
+        // train
+        cmd_train(&args(&["train", "--data", &csv, "--out", &model])).unwrap();
+        assert!(exists(&model));
+
+        // show
+        let mut shown = Vec::new();
+        cmd_show(&args(&["show", "--model", &model]), &mut shown).unwrap();
+        let shown = String::from_utf8(shown).unwrap();
+        assert!(shown.contains("LM1"), "{shown}");
+
+        let mut rules = Vec::new();
+        cmd_show(&args(&["show", "--model", &model, "--rules"]), &mut rules).unwrap();
+        assert!(String::from_utf8(rules).unwrap().contains("Rule 1"));
+
+        // analyze
+        let mut report = Vec::new();
+        cmd_analyze(
+            &args(&["analyze", "--model", &model, "--data", &csv]),
+            &mut report,
+        )
+        .unwrap();
+        let report = String::from_utf8(report).unwrap();
+        assert!(report.contains("median CPI"), "{report}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

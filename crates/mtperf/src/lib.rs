@@ -1,0 +1,119 @@
+//! `mtperf` — model-tree performance analysis of software applications.
+//!
+//! A from-scratch Rust reproduction of *"Using Model Trees for Computer
+//! Architecture Performance Analysis of Software Applications"*
+//! (Ould-Ahmed-Vall, Woodlee, Yount, Doshi, Abraham — ISPASS 2007): predict
+//! a workload section's CPI from 20 hardware-event rates with an M5' model
+//! tree, read the tree's classes as performance phases, and decompose each
+//! class's CPI into actionable per-event contributions.
+//!
+//! The crate is a facade over the workspace:
+//!
+//! | Piece | Crate |
+//! |---|---|
+//! | M5' model trees + analysis layer | [`mtree`] |
+//! | Table-I event vocabulary, sectioning, CSV | [`counters`] |
+//! | Core 2 Duo-like simulator + SPEC-like workloads | [`sim`] |
+//! | Baseline regressors (OLS, CART, k-NN, MLP, SVR) | [`baselines`] |
+//! | Metrics and cross validation | [`eval`] |
+//! | Dense linear algebra and statistics | [`linalg`] |
+//!
+//! # Quick start
+//!
+//! ```
+//! use mtperf::prelude::*;
+//!
+//! // 1. Simulate a (tiny, for docs) SPEC-like suite on the Core 2 Duo model.
+//! let samples = mtperf::sim::simulate_suite(40_000, 10_000, 42);
+//!
+//! // 2. Turn the sections into a learning problem and train M5'.
+//! let data = mtperf::dataset_from_samples(&samples).unwrap();
+//! let params = M5Params::default().with_min_instances(8);
+//! let tree = ModelTree::fit(&data, &params).unwrap();
+//!
+//! // 3. Ask the paper's questions about any section.
+//! let row = data.row(0);
+//! let class = tree.classify(&row);
+//! assert!(class.leaf.0 >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use mtperf_baselines as baselines;
+pub use mtperf_counters as counters;
+pub use mtperf_eval as eval;
+pub use mtperf_linalg as linalg;
+pub use mtperf_mtree as mtree;
+pub use mtperf_sim as sim;
+
+use mtperf_counters::SampleSet;
+use mtperf_mtree::{Dataset, MtreeError};
+
+/// Commonly used items, re-exported flat.
+pub mod prelude {
+    pub use mtperf_counters::{Event, SampleSet, SectionSample};
+    pub use mtperf_eval::{cross_validate, Metrics};
+    pub use mtperf_mtree::{
+        analysis, Dataset, Learner, M5Learner, M5Params, ModelTree, Predictor,
+    };
+    pub use mtperf_sim::{MachineConfig, Simulator};
+}
+
+/// Converts a set of simulated (or imported) section samples into the
+/// learning problem of the paper: attributes are the 20 Table-I event rates,
+/// the target is CPI.
+///
+/// # Errors
+///
+/// Returns [`MtreeError::EmptyDataset`] when `samples` is empty.
+///
+/// # Example
+///
+/// ```
+/// use mtperf_counters::{SampleSet, SectionSample};
+///
+/// let mut set = SampleSet::new();
+/// set.push(SectionSample::new("w", 0, 1.0, [0.0; mtperf_counters::N_EVENTS]));
+/// let data = mtperf::dataset_from_samples(&set).unwrap();
+/// assert_eq!(data.n_attrs(), 20);
+/// assert_eq!(data.n_rows(), 1);
+/// ```
+pub fn dataset_from_samples(samples: &SampleSet) -> Result<Dataset, MtreeError> {
+    let (names, rows, targets) = samples.to_learning_parts();
+    Dataset::from_rows(names, &rows, &targets)
+}
+
+/// The workload label of every sample, aligned with
+/// [`dataset_from_samples`]'s row order (for occupancy analyses).
+pub fn labels_from_samples(samples: &SampleSet) -> Vec<String> {
+    samples.iter().map(|s| s.workload.clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtperf_counters::SectionSample;
+
+    #[test]
+    fn dataset_conversion_preserves_shape() {
+        let mut set = SampleSet::new();
+        let mut rates = [0.0; mtperf_counters::N_EVENTS];
+        rates[3] = 0.5;
+        set.push(SectionSample::new("a", 0, 1.5, rates));
+        set.push(SectionSample::new("b", 0, 2.5, [0.0; mtperf_counters::N_EVENTS]));
+        let d = dataset_from_samples(&set).unwrap();
+        assert_eq!(d.n_rows(), 2);
+        assert_eq!(d.n_attrs(), 20);
+        assert_eq!(d.target(1), 2.5);
+        assert_eq!(d.value(0, 3), 0.5);
+        assert_eq!(labels_from_samples(&set), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn empty_sample_set_is_error() {
+        assert!(dataset_from_samples(&SampleSet::new()).is_err());
+    }
+}

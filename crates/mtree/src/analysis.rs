@@ -1,0 +1,508 @@
+//! The performance-analysis layer: the paper's "what" and "how much"
+//! questions (§III, §IV.C, §V.A.2).
+//!
+//! Given a fitted tree over hardware-event attributes:
+//!
+//! * [`ModelTree::classify`] routes a section to its performance class and
+//!   records the decision rules on the way — the *implicit categorical
+//!   factors* of that class;
+//! * [`contributions`] decomposes the predicted CPI into per-event terms
+//!   `coefⱼ·xⱼ / ŷ` — the paper's worked example: with LM8's
+//!   `6.69·L1IM` term, `L1IM = 0.03` and `CPI = 1.0`, instruction-cache
+//!   misses account for `6.69·0.03/1.0 ≈ 20 %` of execution time;
+//! * [`rank_opportunities`] orders those contributions into an optimization
+//!   to-do list (answering *what* to fix first and *how much* it may help);
+//! * [`split_impacts`] quantifies split variables that do not appear in the
+//!   leaf models, by the paper's two methods: the mean-CPI difference across
+//!   the split and the R² of a simple regression of CPI on the variable.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use mtperf_linalg::stats;
+
+use crate::node::{LeafId, Node};
+use crate::{Dataset, ModelTree};
+
+/// One decision on the path from root to leaf.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Decision {
+    /// Attribute tested.
+    pub attr: usize,
+    /// Threshold tested against.
+    pub threshold: f64,
+    /// `true` if the instance went to the high (`>`) side — per the paper,
+    /// the side flagging the event as a potential performance problem.
+    pub went_high: bool,
+}
+
+/// The classification of one instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Classification {
+    /// The leaf (performance class) reached.
+    pub leaf: LeafId,
+    /// Decision rules from root to leaf.
+    pub path: Vec<Decision>,
+    /// Raw (unsmoothed) leaf-model prediction.
+    pub prediction: f64,
+}
+
+impl Classification {
+    /// Attributes whose *high* side was taken on the path — the implicit
+    /// performance limiters of this class.
+    pub fn high_side_attrs(&self) -> Vec<usize> {
+        self.path
+            .iter()
+            .filter(|d| d.went_high)
+            .map(|d| d.attr)
+            .collect()
+    }
+}
+
+/// One event's share of a predicted CPI.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Contribution {
+    /// Attribute (event) index.
+    pub attr: usize,
+    /// Model coefficient of the event.
+    pub coefficient: f64,
+    /// The instance's per-instruction rate for the event.
+    pub value: f64,
+    /// Absolute contribution `coefficient · value` (CPI units).
+    pub amount: f64,
+    /// Fractional contribution `amount / prediction`; the expected relative
+    /// gain from eliminating the event entirely.
+    pub fraction: f64,
+}
+
+/// Impact of one split variable, by the paper's two estimators.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SplitImpact {
+    /// Attribute tested by the split.
+    pub attr: usize,
+    /// Threshold of the split.
+    pub threshold: f64,
+    /// Training instances reaching the split node.
+    pub n: usize,
+    /// Mean target of the low (`<=`) side.
+    pub mean_low: f64,
+    /// Mean target of the high (`>`) side.
+    pub mean_high: f64,
+    /// `mean_high − mean_low`: the average cost of being on the high side.
+    pub mean_difference: f64,
+    /// `mean_difference / mean_high`: the fraction of the high side's CPI
+    /// attributable to the variable (the paper's "0.30, i.e. 35 % of CPI").
+    pub fraction_of_high: f64,
+    /// R² of a simple regression of the target on the variable over the
+    /// node's instances (the paper's more sophisticated alternative).
+    pub r_squared: f64,
+}
+
+impl ModelTree {
+    /// Classifies `row`: which leaf it lands in, through which rules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is shorter than the attribute count.
+    pub fn classify(&self, row: &[f64]) -> Classification {
+        assert!(row.len() >= self.attr_names().len());
+        let mut path = Vec::new();
+        let mut node = self.root();
+        loop {
+            match node {
+                Node::Leaf { id, model, .. } => {
+                    return Classification {
+                        leaf: *id,
+                        path,
+                        prediction: model.predict(row),
+                    };
+                }
+                Node::Split {
+                    attr,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    let went_high = row[*attr] > *threshold;
+                    path.push(Decision {
+                        attr: *attr,
+                        threshold: *threshold,
+                        went_high,
+                    });
+                    node = if went_high { right } else { left };
+                }
+            }
+        }
+    }
+}
+
+/// Decomposes the (raw) predicted target for `row` into per-attribute
+/// contributions, sorted by descending absolute fraction.
+///
+/// Only attributes present in the leaf's linear model appear; split-variable
+/// effects are covered by [`split_impacts`].
+pub fn contributions(tree: &ModelTree, row: &[f64]) -> Vec<Contribution> {
+    let c = tree.classify(row);
+    let leaf = tree.leaf_for(row);
+    let model = leaf.model();
+    let pred = c.prediction;
+    let mut out: Vec<Contribution> = model
+        .terms()
+        .iter()
+        .map(|&(attr, coefficient)| {
+            let value = row[attr];
+            let amount = coefficient * value;
+            Contribution {
+                attr,
+                coefficient,
+                value,
+                amount,
+                fraction: if pred != 0.0 { amount / pred } else { 0.0 },
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.fraction
+            .abs()
+            .partial_cmp(&a.fraction.abs())
+            .expect("finite fractions")
+    });
+    out
+}
+
+/// Ranks the *positive* contributions — the events whose mitigation the
+/// model predicts would help, best first. This is the paper's answer to the
+/// "what" (order) and "how much" (fraction) questions.
+pub fn rank_opportunities(tree: &ModelTree, row: &[f64]) -> Vec<Contribution> {
+    contributions(tree, row)
+        .into_iter()
+        .filter(|c| c.amount > 0.0)
+        .collect()
+}
+
+/// Computes a [`SplitImpact`] for every split node, pre-order.
+///
+/// `data` should be the training set (or any representative set); it is
+/// routed down the tree to evaluate the per-node regressions.
+pub fn split_impacts(tree: &ModelTree, data: &Dataset) -> Vec<SplitImpact> {
+    let mut out = Vec::new();
+    let idx: Vec<usize> = (0..data.n_rows()).collect();
+    walk(tree.root(), data, idx, &mut out);
+    out
+}
+
+fn walk(node: &Node, data: &Dataset, idx: Vec<usize>, out: &mut Vec<SplitImpact>) {
+    let Node::Split {
+        attr,
+        threshold,
+        left,
+        right,
+        ..
+    } = node
+    else {
+        return;
+    };
+    let col = data.column(*attr);
+    let (low, high): (Vec<usize>, Vec<usize>) =
+        idx.iter().partition(|&&i| col[i] <= *threshold);
+    let ys_low: Vec<f64> = low.iter().map(|&i| data.target(i)).collect();
+    let ys_high: Vec<f64> = high.iter().map(|&i| data.target(i)).collect();
+    let mean_low = stats::mean(&ys_low);
+    let mean_high = stats::mean(&ys_high);
+    let xs: Vec<f64> = idx.iter().map(|&i| col[i]).collect();
+    let ys: Vec<f64> = idx.iter().map(|&i| data.target(i)).collect();
+    let r_squared = stats::simple_regression(&xs, &ys)
+        .map(|(_, _, r2)| r2)
+        .unwrap_or(0.0);
+    out.push(SplitImpact {
+        attr: *attr,
+        threshold: *threshold,
+        n: idx.len(),
+        mean_low,
+        mean_high,
+        mean_difference: mean_high - mean_low,
+        fraction_of_high: if mean_high != 0.0 {
+            (mean_high - mean_low) / mean_high
+        } else {
+            0.0
+        },
+        r_squared,
+    });
+    walk(left, data, low, out);
+    walk(right, data, high, out);
+}
+
+/// Counterfactual prediction: the target if `attr` were forced to
+/// `new_value` — the instance is **re-routed** through the tree, so a change
+/// that crosses a split boundary switches performance class, unlike the
+/// within-leaf linear extrapolation of [`contributions`].
+///
+/// This is the honest estimator for the paper's "how much" question: the
+/// linear decomposition assumes the section stays in its class after the
+/// optimization, while `what_if` lets it move (e.g. eliminating all L2
+/// misses moves a section from the LM17-like class to the low-L2M subtree).
+pub fn what_if(tree: &ModelTree, row: &[f64], attr: usize, new_value: f64) -> f64 {
+    let mut modified = row.to_vec();
+    modified[attr] = new_value;
+    tree.predict_raw(&modified)
+}
+
+/// Counterfactual prediction with several attributes forced at once
+/// (e.g. zeroing the whole DTLB event family to model a perfect TLB).
+pub fn what_if_many(tree: &ModelTree, row: &[f64], changes: &[(usize, f64)]) -> f64 {
+    let mut modified = row.to_vec();
+    for &(attr, value) in changes {
+        modified[attr] = value;
+    }
+    tree.predict_raw(&modified)
+}
+
+/// The predicted relative gain from eliminating `attr` entirely
+/// (`what_if(.., 0.0)` against the current prediction); positive means the
+/// model expects an improvement.
+pub fn elimination_gain(tree: &ModelTree, row: &[f64], attr: usize) -> f64 {
+    let before = tree.predict_raw(row);
+    if before == 0.0 {
+        return 0.0;
+    }
+    let after = what_if(tree, row, attr, 0.0);
+    (before - after) / before
+}
+
+/// Pairwise interaction cost of two events, in the sense of Fields et al.
+/// (the paper's reference \[17\], computed statistically instead of with
+/// dedicated hardware):
+///
+/// ```text
+/// icost(a, b) = gain(a and b eliminated) − gain(a) − gain(b)
+/// ```
+///
+/// Zero means the events are independent (serial costs); positive means
+/// eliminating both is worth more than the sum of the parts (parallel
+/// interaction, e.g. an L2 miss hiding a page walk); negative means the
+/// gains overlap.
+pub fn interaction_cost(tree: &ModelTree, row: &[f64], a: usize, b: usize) -> f64 {
+    let before = tree.predict_raw(row);
+    if before == 0.0 {
+        return 0.0;
+    }
+    let mut both = row.to_vec();
+    both[a] = 0.0;
+    both[b] = 0.0;
+    let gain_both = (before - tree.predict_raw(&both)) / before;
+    gain_both - elimination_gain(tree, row, a) - elimination_gain(tree, row, b)
+}
+
+/// Counts how many of `rows` land in each leaf.
+pub fn leaf_occupancy<R: AsRef<[f64]>>(tree: &ModelTree, rows: &[R]) -> BTreeMap<LeafId, usize> {
+    let mut out = BTreeMap::new();
+    for row in rows {
+        *out.entry(tree.leaf_id_for(row.as_ref())).or_insert(0) += 1;
+    }
+    out
+}
+
+/// Per-label leaf occupancy: for each label (e.g. workload name), the
+/// distribution of its rows over leaves. This regenerates the paper's
+/// observations like "more than 95 % of 436.cactusADM's sections fall into
+/// LM18" and "more than 70 % of 429.mcf's sections are classified in LM17".
+pub fn occupancy_by_label<R: AsRef<[f64]>>(
+    tree: &ModelTree,
+    rows: &[R],
+    labels: &[String],
+) -> BTreeMap<String, BTreeMap<LeafId, usize>> {
+    assert_eq!(rows.len(), labels.len(), "one label per row");
+    let mut out: BTreeMap<String, BTreeMap<LeafId, usize>> = BTreeMap::new();
+    for (row, label) in rows.iter().zip(labels) {
+        let id = tree.leaf_id_for(row.as_ref());
+        *out.entry(label.clone()).or_default().entry(id).or_insert(0) += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::M5Params;
+
+    /// Two regimes separated by attribute 0 ("L2M"-like): below the step the
+    /// target is linear in attribute 1; above it the target is high/flat.
+    fn perf_data() -> Dataset {
+        let mut rows: Vec<[f64; 2]> = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..200 {
+            let l2m = if i % 2 == 0 { 0.001 } else { 0.03 };
+            let dtlb = (i % 10) as f64 * 0.01;
+            rows.push([l2m, dtlb]);
+            ys.push(if l2m <= 0.01 {
+                0.5 + 3.0 * dtlb
+            } else {
+                2.0 + 5.0 * dtlb
+            });
+        }
+        Dataset::from_rows(vec!["L2M".into(), "Dtlb".into()], &rows, &ys).unwrap()
+    }
+
+    fn tree() -> ModelTree {
+        ModelTree::fit(
+            &perf_data(),
+            &M5Params::default().with_min_instances(10).with_smoothing(false),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn classify_routes_and_records_path() {
+        let t = tree();
+        let c = t.classify(&[0.03, 0.05]);
+        assert!(!c.path.is_empty());
+        // First decision should be on L2M (attr 0) and go high.
+        assert_eq!(c.path[0].attr, 0);
+        assert!(c.path[0].went_high);
+        assert!(c.high_side_attrs().contains(&0));
+        let c2 = t.classify(&[0.001, 0.05]);
+        assert!(!c2.path[0].went_high);
+        assert_ne!(c.leaf, c2.leaf);
+    }
+
+    #[test]
+    fn contribution_math_matches_papers_example() {
+        // Direct check of the worked example: coefficient 6.69, rate 0.03,
+        // CPI 1.0 -> 20 % contribution.
+        let amount: f64 = 6.69 * 0.03;
+        let fraction: f64 = amount / 1.0;
+        assert!((fraction - 0.2007).abs() < 1e-4);
+    }
+
+    #[test]
+    fn contributions_decompose_prediction() {
+        let t = tree();
+        let row = [0.001, 0.07];
+        let cs = contributions(&t, &row);
+        let pred = t.predict_raw(&row);
+        let leaf_model = t.leaf_for(&row).model();
+        let total: f64 = leaf_model.intercept() + cs.iter().map(|c| c.amount).sum::<f64>();
+        assert!((total - pred).abs() < 1e-9);
+        // Fractions are amounts over prediction.
+        for c in &cs {
+            assert!((c.fraction - c.amount / pred).abs() < 1e-12);
+        }
+        // Sorted by descending |fraction|.
+        for w in cs.windows(2) {
+            assert!(w[0].fraction.abs() >= w[1].fraction.abs());
+        }
+    }
+
+    #[test]
+    fn opportunities_are_positive_and_ranked() {
+        let t = tree();
+        let ops = rank_opportunities(&t, &[0.001, 0.07]);
+        assert!(ops.iter().all(|c| c.amount > 0.0));
+        for w in ops.windows(2) {
+            assert!(w[0].fraction.abs() >= w[1].fraction.abs());
+        }
+    }
+
+    #[test]
+    fn split_impacts_reflect_regime_gap() {
+        let t = tree();
+        let d = perf_data();
+        let impacts = split_impacts(&t, &d);
+        assert!(!impacts.is_empty());
+        let root = &impacts[0];
+        assert_eq!(root.attr, 0);
+        assert_eq!(root.n, d.n_rows());
+        // High side (L2M-heavy) averages well above the low side.
+        assert!(root.mean_difference > 1.0, "{root:?}");
+        assert!(root.fraction_of_high > 0.3);
+        // CPI correlates with L2M over the whole set.
+        assert!(root.r_squared > 0.3);
+    }
+
+    #[test]
+    fn what_if_reroutes_across_splits() {
+        let t = tree();
+        // A high-L2M section: forcing L2M to 0 must move it to the low
+        // subtree and drop the prediction markedly.
+        let row = [0.03, 0.05];
+        let before = t.predict_raw(&row);
+        let after = what_if(&t, &row, 0, 0.0);
+        assert!(after < before, "{after} vs {before}");
+        assert_ne!(
+            t.leaf_id_for(&row),
+            t.leaf_id_for(&[0.0, 0.05]),
+            "class must change"
+        );
+        let gain = elimination_gain(&t, &row, 0);
+        assert!(gain > 0.2, "gain = {gain}");
+    }
+
+    #[test]
+    fn what_if_within_leaf_matches_linear_model() {
+        let t = tree();
+        // Change the Dtlb rate without crossing any split on attribute 1:
+        // prediction must follow the leaf's linear model.
+        let row = [0.001, 0.05];
+        let leaf = t.leaf_for(&row);
+        let new = what_if(&t, &row, 1, 0.06);
+        if t.leaf_id_for(&[0.001, 0.06]) == t.leaf_id_for(&row) {
+            let expect = leaf.model().predict(&[0.001, 0.06]);
+            assert!((new - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn interaction_cost_zero_for_independent_terms() {
+        // Within one leaf, a linear model has no interactions; pick a row
+        // whose eliminations stay in the same leaf.
+        let t = tree();
+        let row = [0.001, 0.03];
+        let same_class = t.leaf_id_for(&row) == t.leaf_id_for(&[0.0, 0.03])
+            && t.leaf_id_for(&row) == t.leaf_id_for(&[0.001, 0.0])
+            && t.leaf_id_for(&row) == t.leaf_id_for(&[0.0, 0.0]);
+        if same_class {
+            let ic = interaction_cost(&t, &row, 0, 1);
+            assert!(ic.abs() < 1e-9, "ic = {ic}");
+        }
+    }
+
+    #[test]
+    fn elimination_gain_is_bounded_sane() {
+        let t = tree();
+        for &row in &[[0.03, 0.07], [0.001, 0.02]] {
+            for attr in 0..2 {
+                let g = elimination_gain(&t, &row, attr);
+                assert!(g.is_finite());
+                assert!(g < 1.0, "gain cannot exceed 100%: {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn occupancy_counts_everything_once() {
+        let t = tree();
+        let d = perf_data();
+        let rows: Vec<Vec<f64>> = (0..d.n_rows()).map(|i| d.row(i)).collect();
+        let occ = leaf_occupancy(&t, &rows);
+        assert_eq!(occ.values().sum::<usize>(), d.n_rows());
+
+        let labels: Vec<String> = (0..d.n_rows())
+            .map(|i| if i % 2 == 0 { "low".into() } else { "high".into() })
+            .collect();
+        let by_label = occupancy_by_label(&t, &rows, &labels);
+        assert_eq!(by_label.len(), 2);
+        // Even rows (low L2M) should concentrate in one leaf side.
+        let low = &by_label["low"];
+        let dominant = low.values().max().unwrap();
+        assert!(*dominant as f64 / 100.0 > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per row")]
+    fn occupancy_by_label_checks_lengths() {
+        let t = tree();
+        occupancy_by_label(&t, &[vec![0.0, 0.0]], &[]);
+    }
+}

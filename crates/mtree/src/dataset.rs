@@ -1,0 +1,346 @@
+//! Training data container.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::MtreeError;
+
+/// A column-major numeric dataset: named continuous attributes plus one
+/// continuous target.
+///
+/// Column-major storage suits M5' training, which repeatedly sorts and scans
+/// a single attribute across a node's instances.
+///
+/// # Example
+///
+/// ```
+/// use mtperf_mtree::Dataset;
+///
+/// let mut d = Dataset::new(vec!["a".into(), "b".into()]).unwrap();
+/// d.push_row(&[1.0, 2.0], 3.0).unwrap();
+/// assert_eq!(d.n_rows(), 1);
+/// assert_eq!(d.value(0, 1), 2.0);
+/// assert_eq!(d.target(0), 3.0);
+/// assert_eq!(d.attr_index("b"), Some(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    attr_names: Vec<String>,
+    /// `columns[j][i]`: attribute `j` of instance `i`.
+    columns: Vec<Vec<f64>>,
+    targets: Vec<f64>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset with the given attribute names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MtreeError::BadAttributeNames`] if names are empty,
+    /// duplicated, or the list is empty.
+    pub fn new(attr_names: Vec<String>) -> Result<Self, MtreeError> {
+        if attr_names.is_empty() || attr_names.iter().any(String::is_empty) {
+            return Err(MtreeError::BadAttributeNames);
+        }
+        let unique: HashSet<&str> = attr_names.iter().map(String::as_str).collect();
+        if unique.len() != attr_names.len() {
+            return Err(MtreeError::BadAttributeNames);
+        }
+        let n = attr_names.len();
+        Ok(Dataset {
+            attr_names,
+            columns: vec![Vec::new(); n],
+            targets: Vec::new(),
+        })
+    }
+
+    /// Builds a dataset from rows and targets in one call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`Dataset::new`] and [`Dataset::push_row`],
+    /// plus [`MtreeError::EmptyDataset`] when `rows` is empty.
+    pub fn from_rows<R: AsRef<[f64]>>(
+        attr_names: Vec<String>,
+        rows: &[R],
+        targets: &[f64],
+    ) -> Result<Self, MtreeError> {
+        if rows.is_empty() {
+            return Err(MtreeError::EmptyDataset);
+        }
+        if rows.len() != targets.len() {
+            return Err(MtreeError::RowLengthMismatch {
+                expected: rows.len(),
+                found: targets.len(),
+            });
+        }
+        let mut d = Dataset::new(attr_names)?;
+        for (row, &y) in rows.iter().zip(targets) {
+            d.push_row(row.as_ref(), y)?;
+        }
+        Ok(d)
+    }
+
+    /// Appends one instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MtreeError::RowLengthMismatch`] on a wrong-length row and
+    /// [`MtreeError::NonFiniteValue`] if any value (or the target) is NaN or
+    /// infinite.
+    pub fn push_row(&mut self, row: &[f64], target: f64) -> Result<(), MtreeError> {
+        if row.len() != self.attr_names.len() {
+            return Err(MtreeError::RowLengthMismatch {
+                expected: self.attr_names.len(),
+                found: row.len(),
+            });
+        }
+        if !target.is_finite() || row.iter().any(|v| !v.is_finite()) {
+            return Err(MtreeError::NonFiniteValue {
+                row: self.targets.len(),
+            });
+        }
+        for (col, &v) in self.columns.iter_mut().zip(row) {
+            col.push(v);
+        }
+        self.targets.push(target);
+        Ok(())
+    }
+
+    /// Number of instances.
+    pub fn n_rows(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Number of attributes.
+    pub fn n_attrs(&self) -> usize {
+        self.attr_names.len()
+    }
+
+    /// Attribute names, in column order.
+    pub fn attr_names(&self) -> &[String] {
+        &self.attr_names
+    }
+
+    /// Name of attribute `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn attr_name(&self, j: usize) -> &str {
+        &self.attr_names[j]
+    }
+
+    /// Index of the attribute called `name`, if present.
+    pub fn attr_index(&self, name: &str) -> Option<usize> {
+        self.attr_names.iter().position(|n| n == name)
+    }
+
+    /// The full column of attribute `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn column(&self, j: usize) -> &[f64] {
+        &self.columns[j]
+    }
+
+    /// Value of attribute `j` for instance `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn value(&self, i: usize, j: usize) -> f64 {
+        self.columns[j][i]
+    }
+
+    /// Target of instance `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn target(&self, i: usize) -> f64 {
+        self.targets[i]
+    }
+
+    /// All targets.
+    pub fn targets(&self) -> &[f64] {
+        &self.targets
+    }
+
+    /// Materializes instance `i` as a row vector (attribute order).
+    pub fn row(&self, i: usize) -> Vec<f64> {
+        self.columns.iter().map(|c| c[i]).collect()
+    }
+
+    /// Returns a new dataset containing only the attributes in `attrs`
+    /// (column order follows `attrs`); targets are unchanged. Useful for
+    /// feature-ablation studies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MtreeError::BadAttributeNames`] if `attrs` is empty or
+    /// contains duplicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any attribute index is out of range.
+    pub fn select_attrs(&self, attrs: &[usize]) -> Result<Dataset, MtreeError> {
+        let names: Vec<String> = attrs
+            .iter()
+            .map(|&j| self.attr_names[j].clone())
+            .collect();
+        let unique: HashSet<&str> = names.iter().map(String::as_str).collect();
+        if names.is_empty() || unique.len() != names.len() {
+            return Err(MtreeError::BadAttributeNames);
+        }
+        Ok(Dataset {
+            attr_names: names,
+            columns: attrs.iter().map(|&j| self.columns[j].clone()).collect(),
+            targets: self.targets.clone(),
+        })
+    }
+
+    /// Returns a new dataset containing only the instances in `idx`
+    /// (useful for train/test splits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn subset(&self, idx: &[usize]) -> Dataset {
+        Dataset {
+            attr_names: self.attr_names.clone(),
+            columns: self
+                .columns
+                .iter()
+                .map(|c| idx.iter().map(|&i| c[i]).collect())
+                .collect(),
+            targets: idx.iter().map(|&i| self.targets[i]).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d3() -> Dataset {
+        Dataset::from_rows(
+            vec!["a".into(), "b".into()],
+            &[
+                [1.0, 10.0],
+                [2.0, 20.0],
+                [3.0, 30.0],
+            ],
+            &[0.1, 0.2, 0.3],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let d = d3();
+        assert_eq!(d.n_rows(), 3);
+        assert_eq!(d.n_attrs(), 2);
+        assert_eq!(d.column(1), &[10.0, 20.0, 30.0]);
+        assert_eq!(d.value(2, 0), 3.0);
+        assert_eq!(d.target(1), 0.2);
+        assert_eq!(d.row(1), vec![2.0, 20.0]);
+        assert_eq!(d.attr_index("a"), Some(0));
+        assert_eq!(d.attr_index("zzz"), None);
+        assert_eq!(d.attr_name(1), "b");
+    }
+
+    #[test]
+    fn rejects_bad_names() {
+        assert_eq!(
+            Dataset::new(vec![]).unwrap_err(),
+            MtreeError::BadAttributeNames
+        );
+        assert_eq!(
+            Dataset::new(vec!["a".into(), "a".into()]).unwrap_err(),
+            MtreeError::BadAttributeNames
+        );
+        assert_eq!(
+            Dataset::new(vec!["".into()]).unwrap_err(),
+            MtreeError::BadAttributeNames
+        );
+    }
+
+    #[test]
+    fn rejects_bad_rows() {
+        let mut d = Dataset::new(vec!["a".into()]).unwrap();
+        assert!(matches!(
+            d.push_row(&[1.0, 2.0], 0.0),
+            Err(MtreeError::RowLengthMismatch { .. })
+        ));
+        assert!(matches!(
+            d.push_row(&[f64::NAN], 0.0),
+            Err(MtreeError::NonFiniteValue { .. })
+        ));
+        assert!(matches!(
+            d.push_row(&[1.0], f64::INFINITY),
+            Err(MtreeError::NonFiniteValue { .. })
+        ));
+        assert_eq!(d.n_rows(), 0, "failed pushes must not mutate");
+    }
+
+    #[test]
+    fn from_rows_validates_lengths() {
+        let err = Dataset::from_rows::<[f64; 1]>(vec!["a".into()], &[], &[]).unwrap_err();
+        assert_eq!(err, MtreeError::EmptyDataset);
+        let err =
+            Dataset::from_rows(vec!["a".into()], &[[1.0]], &[1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, MtreeError::RowLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn select_attrs_projects_columns() {
+        let d = d3();
+        let p = d.select_attrs(&[1]).unwrap();
+        assert_eq!(p.n_attrs(), 1);
+        assert_eq!(p.attr_name(0), "b");
+        assert_eq!(p.column(0), d.column(1));
+        assert_eq!(p.targets(), d.targets());
+        // Reordering works too.
+        let r = d.select_attrs(&[1, 0]).unwrap();
+        assert_eq!(r.attr_names(), &["b".to_string(), "a".to_string()]);
+        assert_eq!(r.row(0), vec![10.0, 1.0]);
+    }
+
+    #[test]
+    fn select_attrs_rejects_empty_and_duplicates() {
+        let d = d3();
+        assert!(d.select_attrs(&[]).is_err());
+        assert!(d.select_attrs(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn subset_extracts_rows() {
+        let d = d3();
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.n_rows(), 2);
+        assert_eq!(s.row(0), vec![3.0, 30.0]);
+        assert_eq!(s.target(1), 0.1);
+        assert_eq!(s.attr_names(), d.attr_names());
+    }
+
+    #[test]
+    fn failed_push_keeps_columns_consistent() {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]).unwrap();
+        d.push_row(&[1.0, 2.0], 3.0).unwrap();
+        let _ = d.push_row(&[1.0], 9.9);
+        // Column lengths must still agree.
+        assert_eq!(d.column(0).len(), d.column(1).len());
+        assert_eq!(d.column(0).len(), d.n_rows());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = d3();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Dataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+}

@@ -1,0 +1,89 @@
+use std::error::Error;
+use std::fmt;
+
+use mtperf_linalg::LinalgError;
+
+/// Error type for dataset construction and model-tree training.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MtreeError {
+    /// The dataset has no rows or no attributes.
+    EmptyDataset,
+    /// A row's length does not match the attribute count.
+    RowLengthMismatch {
+        /// Expected attribute count.
+        expected: usize,
+        /// Length of the offending row.
+        found: usize,
+    },
+    /// A value in the dataset is NaN or infinite.
+    NonFiniteValue {
+        /// Row index of the offending value.
+        row: usize,
+    },
+    /// Attribute names must be unique and non-empty.
+    BadAttributeNames,
+    /// Training parameters are inconsistent.
+    BadParams(String),
+    /// An underlying linear-algebra failure that could not be recovered.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for MtreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MtreeError::EmptyDataset => write!(f, "dataset has no rows or no attributes"),
+            MtreeError::RowLengthMismatch { expected, found } => {
+                write!(f, "row has {found} values, expected {expected}")
+            }
+            MtreeError::NonFiniteValue { row } => {
+                write!(f, "non-finite value in row {row}")
+            }
+            MtreeError::BadAttributeNames => {
+                write!(f, "attribute names must be unique and non-empty")
+            }
+            MtreeError::BadParams(msg) => write!(f, "bad training parameters: {msg}"),
+            MtreeError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl Error for MtreeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MtreeError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for MtreeError {
+    fn from(e: LinalgError) -> Self {
+        MtreeError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(MtreeError::EmptyDataset.to_string().contains("no rows"));
+        assert!(MtreeError::RowLengthMismatch {
+            expected: 3,
+            found: 2
+        }
+        .to_string()
+        .contains("expected 3"));
+        assert!(MtreeError::NonFiniteValue { row: 7 }.to_string().contains("7"));
+        assert!(MtreeError::BadParams("x".into()).to_string().contains("x"));
+    }
+
+    #[test]
+    fn from_linalg() {
+        let e: MtreeError = LinalgError::Singular.into();
+        assert!(matches!(e, MtreeError::Linalg(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,103 @@
+//! Learner/predictor abstraction shared by the model tree and the baseline
+//! regressors, so the evaluation harness (`mtperf-eval`) can cross-validate
+//! any of them uniformly.
+
+use crate::{Dataset, M5Params, ModelTree, MtreeError};
+
+/// A fitted regression model: maps an attribute row to a prediction.
+pub trait Predictor {
+    /// Predicts the target for `row`.
+    fn predict(&self, row: &[f64]) -> f64;
+}
+
+/// A trainable regression algorithm.
+pub trait Learner {
+    /// Fits a model to `data`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return an [`MtreeError`] when the dataset is
+    /// malformed or fitting fails irrecoverably.
+    fn fit(&self, data: &Dataset) -> Result<Box<dyn Predictor>, MtreeError>;
+
+    /// Human-readable algorithm name (used in comparison tables).
+    fn name(&self) -> &str;
+}
+
+impl Predictor for ModelTree {
+    fn predict(&self, row: &[f64]) -> f64 {
+        ModelTree::predict(self, row)
+    }
+}
+
+/// [`Learner`] wrapper around [`ModelTree::fit`].
+///
+/// # Example
+///
+/// ```
+/// use mtperf_mtree::{Dataset, Learner, M5Learner, M5Params};
+///
+/// let d = Dataset::from_rows(
+///     vec!["x".into()],
+///     &[[0.0], [1.0], [2.0], [3.0]],
+///     &[0.0, 1.0, 2.0, 3.0],
+/// ).unwrap();
+/// let model = M5Learner::new(M5Params::default()).fit(&d).unwrap();
+/// assert!((model.predict(&[1.5]) - 1.5).abs() < 0.2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct M5Learner {
+    params: M5Params,
+}
+
+impl M5Learner {
+    /// Creates a learner with the given parameters.
+    pub fn new(params: M5Params) -> Self {
+        M5Learner { params }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &M5Params {
+        &self.params
+    }
+}
+
+impl Learner for M5Learner {
+    fn fit(&self, data: &Dataset) -> Result<Box<dyn Predictor>, MtreeError> {
+        Ok(Box::new(ModelTree::fit(data, &self.params)?))
+    }
+
+    fn name(&self) -> &str {
+        "M5' model tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learner_trains_and_predicts() {
+        let rows: Vec<[f64; 1]> = (0..50).map(|i| [i as f64]).collect();
+        let ys: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] + 1.0).collect();
+        let d = Dataset::from_rows(vec!["x".into()], &rows, &ys).unwrap();
+        let learner = M5Learner::new(M5Params::default());
+        assert_eq!(learner.name(), "M5' model tree");
+        let model = learner.fit(&d).unwrap();
+        assert!((model.predict(&[10.0]) - 21.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn learner_propagates_errors() {
+        let d = Dataset::new(vec!["x".into()]).unwrap();
+        let learner = M5Learner::default();
+        assert!(learner.fit(&d).is_err());
+    }
+
+    #[test]
+    fn trait_objects_compose() {
+        let learners: Vec<Box<dyn Learner>> =
+            vec![Box::new(M5Learner::default())];
+        assert_eq!(learners[0].name(), "M5' model tree");
+    }
+}

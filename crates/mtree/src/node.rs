@@ -1,0 +1,194 @@
+//! Tree node representation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::LinearModel;
+
+/// Identifier of a leaf (performance class), numbered `LM1, LM2, …` in
+/// left-to-right order, as in WEKA's output and the paper's figures.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct LeafId(pub usize);
+
+impl std::fmt::Display for LeafId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LM{}", self.0)
+    }
+}
+
+/// A node of a fitted model tree.
+///
+/// Every node carries the linear model fitted over its training subset
+/// (leaves use theirs for prediction; interior models drive smoothing and
+/// remain available to the analysis layer), plus the subset's size and
+/// target mean (used by the split-impact analysis of the paper's §V.A.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Node {
+    /// A terminal node holding the prediction model of its class.
+    Leaf {
+        /// Leaf identifier (`LM<n>`).
+        id: LeafId,
+        /// The prediction model.
+        model: LinearModel,
+        /// Training instances that reached this leaf.
+        n: usize,
+        /// Mean target over those instances.
+        mean: f64,
+    },
+    /// An interior decision node: `attr <= threshold` goes left.
+    Split {
+        /// Attribute (column) index tested.
+        attr: usize,
+        /// Decision threshold.
+        threshold: f64,
+        /// Model fitted over this node's whole subset (for smoothing).
+        model: LinearModel,
+        /// Training instances that reached this node.
+        n: usize,
+        /// Mean target over those instances.
+        mean: f64,
+        /// Subtree for `attr <= threshold`.
+        left: Box<Node>,
+        /// Subtree for `attr > threshold`.
+        right: Box<Node>,
+    },
+}
+
+impl Node {
+    /// Training-instance count of the node.
+    pub fn n(&self) -> usize {
+        match self {
+            Node::Leaf { n, .. } | Node::Split { n, .. } => *n,
+        }
+    }
+
+    /// Mean training target of the node.
+    pub fn mean(&self) -> f64 {
+        match self {
+            Node::Leaf { mean, .. } | Node::Split { mean, .. } => *mean,
+        }
+    }
+
+    /// The node's fitted model.
+    pub fn model(&self) -> &LinearModel {
+        match self {
+            Node::Leaf { model, .. } | Node::Split { model, .. } => model,
+        }
+    }
+
+    /// `true` for leaves.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+
+    /// Number of leaves in the subtree.
+    pub fn n_leaves(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Split { left, right, .. } => left.n_leaves() + right.n_leaves(),
+        }
+    }
+
+    /// Depth of the subtree (a lone leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Split { left, right, .. } => 1 + left.depth().max(right.depth()),
+        }
+    }
+
+    /// Collects the attribute indices used by splits in the subtree.
+    pub fn split_attrs(&self, out: &mut Vec<usize>) {
+        if let Node::Split {
+            attr, left, right, ..
+        } = self
+        {
+            out.push(*attr);
+            left.split_attrs(out);
+            right.split_attrs(out);
+        }
+    }
+
+    /// Visits every leaf, left to right.
+    pub fn for_each_leaf<'a>(&'a self, f: &mut impl FnMut(&'a Node)) {
+        match self {
+            Node::Leaf { .. } => f(self),
+            Node::Split { left, right, .. } => {
+                left.for_each_leaf(f);
+                right.for_each_leaf(f);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(id: usize, n: usize, mean: f64) -> Node {
+        Node::Leaf {
+            id: LeafId(id),
+            model: LinearModel::constant(mean),
+            n,
+            mean,
+        }
+    }
+
+    fn small_tree() -> Node {
+        Node::Split {
+            attr: 0,
+            threshold: 1.0,
+            model: LinearModel::constant(0.5),
+            n: 10,
+            mean: 0.5,
+            left: Box::new(leaf(1, 6, 0.2)),
+            right: Box::new(Node::Split {
+                attr: 1,
+                threshold: 2.0,
+                model: LinearModel::constant(1.0),
+                n: 4,
+                mean: 1.0,
+                left: Box::new(leaf(2, 2, 0.8)),
+                right: Box::new(leaf(3, 2, 1.2)),
+            }),
+        }
+    }
+
+    #[test]
+    fn counts_and_shape() {
+        let t = small_tree();
+        assert_eq!(t.n_leaves(), 3);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.n(), 10);
+        assert!(!t.is_leaf());
+        let mut attrs = Vec::new();
+        t.split_attrs(&mut attrs);
+        assert_eq!(attrs, vec![0, 1]);
+    }
+
+    #[test]
+    fn leaf_visit_order() {
+        let t = small_tree();
+        let mut ids = Vec::new();
+        t.for_each_leaf(&mut |n| {
+            if let Node::Leaf { id, .. } = n {
+                ids.push(id.0);
+            }
+        });
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn leaf_id_display() {
+        assert_eq!(LeafId(8).to_string(), "LM8");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = small_tree();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Node = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

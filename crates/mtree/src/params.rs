@@ -1,0 +1,198 @@
+//! Training parameters for M5'.
+
+use serde::{Deserialize, Serialize};
+
+use crate::MtreeError;
+
+/// Parameters controlling M5' tree construction.
+///
+/// Defaults follow WEKA's `M5P`: minimum of 4 instances per leaf, split
+/// abandoned when a subset's standard deviation falls below 5 % of the
+/// training set's, pruning and smoothing enabled. The paper determined
+/// experimentally that **430** instances per leaf suited its dataset; pass
+/// that via [`M5Params::with_min_instances`] when reproducing its tree.
+///
+/// # Example
+///
+/// ```
+/// use mtperf_mtree::M5Params;
+///
+/// let p = M5Params::default()
+///     .with_min_instances(430)
+///     .with_smoothing(false);
+/// assert_eq!(p.min_instances(), 430);
+/// assert!(!p.smoothing());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct M5Params {
+    min_instances: usize,
+    sd_fraction: f64,
+    prune: bool,
+    smoothing: bool,
+    smoothing_k: f64,
+    max_depth: Option<usize>,
+}
+
+impl M5Params {
+    /// Minimum number of training instances in a leaf (pre-pruning).
+    pub fn min_instances(&self) -> usize {
+        self.min_instances
+    }
+
+    /// Splitting stops when a subset's target standard deviation is below
+    /// this fraction of the root's.
+    pub fn sd_fraction(&self) -> f64 {
+        self.sd_fraction
+    }
+
+    /// Whether bottom-up error pruning runs after growth.
+    pub fn prune(&self) -> bool {
+        self.prune
+    }
+
+    /// Whether leaf predictions are smoothed along the root path.
+    pub fn smoothing(&self) -> bool {
+        self.smoothing
+    }
+
+    /// The smoothing constant `k` in `p' = (n·p + k·q)/(n + k)`.
+    pub fn smoothing_k(&self) -> f64 {
+        self.smoothing_k
+    }
+
+    /// Optional hard depth limit (mostly for tests and ablations).
+    pub fn max_depth(&self) -> Option<usize> {
+        self.max_depth
+    }
+
+    /// Sets the minimum instances per leaf.
+    pub fn with_min_instances(mut self, n: usize) -> Self {
+        self.min_instances = n;
+        self
+    }
+
+    /// Sets the standard-deviation stopping fraction.
+    pub fn with_sd_fraction(mut self, f: f64) -> Self {
+        self.sd_fraction = f;
+        self
+    }
+
+    /// Enables or disables pruning.
+    pub fn with_prune(mut self, prune: bool) -> Self {
+        self.prune = prune;
+        self
+    }
+
+    /// Enables or disables smoothing.
+    pub fn with_smoothing(mut self, smoothing: bool) -> Self {
+        self.smoothing = smoothing;
+        self
+    }
+
+    /// Sets the smoothing constant.
+    pub fn with_smoothing_k(mut self, k: f64) -> Self {
+        self.smoothing_k = k;
+        self
+    }
+
+    /// Sets a hard depth limit.
+    pub fn with_max_depth(mut self, depth: Option<usize>) -> Self {
+        self.max_depth = depth;
+        self
+    }
+
+    /// Validates the parameter combination.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MtreeError::BadParams`] when a field is out of range.
+    pub fn validate(&self) -> Result<(), MtreeError> {
+        if self.min_instances == 0 {
+            return Err(MtreeError::BadParams("min_instances must be >= 1".into()));
+        }
+        if !(0.0..1.0).contains(&self.sd_fraction) {
+            return Err(MtreeError::BadParams(
+                "sd_fraction must be in [0, 1)".into(),
+            ));
+        }
+        if !self.smoothing_k.is_finite() || self.smoothing_k < 0.0 {
+            return Err(MtreeError::BadParams(
+                "smoothing_k must be finite and non-negative".into(),
+            ));
+        }
+        if self.max_depth == Some(0) {
+            return Err(MtreeError::BadParams("max_depth must be >= 1".into()));
+        }
+        Ok(())
+    }
+}
+
+impl Default for M5Params {
+    fn default() -> Self {
+        M5Params {
+            min_instances: 4,
+            sd_fraction: 0.05,
+            prune: true,
+            smoothing: true,
+            smoothing_k: 15.0,
+            max_depth: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_weka() {
+        let p = M5Params::default();
+        assert_eq!(p.min_instances(), 4);
+        assert!((p.sd_fraction() - 0.05).abs() < 1e-12);
+        assert!(p.prune());
+        assert!(p.smoothing());
+        assert!((p.smoothing_k() - 15.0).abs() < 1e-12);
+        assert_eq!(p.max_depth(), None);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_chains() {
+        let p = M5Params::default()
+            .with_min_instances(430)
+            .with_sd_fraction(0.01)
+            .with_prune(false)
+            .with_smoothing(false)
+            .with_smoothing_k(10.0)
+            .with_max_depth(Some(3));
+        assert_eq!(p.min_instances(), 430);
+        assert_eq!(p.max_depth(), Some(3));
+        assert!(!p.prune());
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        assert!(M5Params::default()
+            .with_min_instances(0)
+            .validate()
+            .is_err());
+        assert!(M5Params::default().with_sd_fraction(1.5).validate().is_err());
+        assert!(M5Params::default()
+            .with_smoothing_k(-1.0)
+            .validate()
+            .is_err());
+        assert!(M5Params::default()
+            .with_max_depth(Some(0))
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = M5Params::default().with_min_instances(99);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: M5Params = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,173 @@
+//! Model persistence: save and load fitted trees as JSON.
+//!
+//! The tree (structure, models, parameters, attribute names) serializes via
+//! serde; these helpers add the file plumbing plus a version marker so
+//! incompatible dumps fail loudly instead of deserializing garbage.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ModelTree;
+
+/// On-disk format version; bumped on breaking model-layout changes.
+const FORMAT_VERSION: u32 = 1;
+
+#[derive(Serialize, Deserialize)]
+struct Envelope {
+    format: String,
+    version: u32,
+    tree: ModelTree,
+}
+
+/// Error loading or saving a persisted model.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a model dump or has an incompatible version.
+    Format(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "model i/o error: {e}"),
+            PersistError::Format(msg) => write!(f, "model format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl ModelTree {
+    /// Serializes the tree to a JSON string (versioned envelope).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&Envelope {
+            format: "mtperf-model-tree".into(),
+            version: FORMAT_VERSION,
+            tree: self.clone(),
+        })
+        .expect("tree serialization cannot fail")
+    }
+
+    /// Deserializes a tree from [`ModelTree::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Format`] for non-model JSON or version
+    /// mismatches.
+    pub fn from_json(json: &str) -> Result<ModelTree, PersistError> {
+        let env: Envelope = serde_json::from_str(json)
+            .map_err(|e| PersistError::Format(e.to_string()))?;
+        if env.format != "mtperf-model-tree" {
+            return Err(PersistError::Format(format!(
+                "unexpected format marker {:?}",
+                env.format
+            )));
+        }
+        if env.version != FORMAT_VERSION {
+            return Err(PersistError::Format(format!(
+                "unsupported version {} (expected {FORMAT_VERSION})",
+                env.version
+            )));
+        }
+        Ok(env.tree)
+    }
+
+    /// Saves the tree to `path` as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on write failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        fs::write(path, self.to_json())?;
+        Ok(())
+    }
+
+    /// Loads a tree from a file written by [`ModelTree::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on read failure and
+    /// [`PersistError::Format`] on malformed content.
+    pub fn load(path: impl AsRef<Path>) -> Result<ModelTree, PersistError> {
+        let json = fs::read_to_string(path)?;
+        Self::from_json(&json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dataset, M5Params};
+
+    fn tree() -> ModelTree {
+        let rows: Vec<[f64; 1]> = (0..80).map(|i| [i as f64]).collect();
+        let ys: Vec<f64> = rows
+            .iter()
+            .map(|r| if r[0] <= 40.0 { r[0] } else { 80.0 - r[0] })
+            .collect();
+        let d = Dataset::from_rows(vec!["x".into()], &rows, &ys).unwrap();
+        ModelTree::fit(&d, &M5Params::default().with_min_instances(8)).unwrap()
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = tree();
+        let back = ModelTree::from_json(&t.to_json()).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.predict(&[17.0]), t.predict(&[17.0]));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = tree();
+        let dir = std::env::temp_dir().join("mtperf-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        t.save(&path).unwrap();
+        let back = ModelTree::load(&path).unwrap();
+        assert_eq!(back, t);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_wrong_format() {
+        let err = ModelTree::from_json("{\"format\":\"other\",\"version\":1,\"tree\":null}")
+            .unwrap_err();
+        assert!(matches!(err, PersistError::Format(_)), "{err}");
+        let err = ModelTree::from_json("not json at all").unwrap_err();
+        assert!(matches!(err, PersistError::Format(_)));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let t = tree();
+        let json = t.to_json().replace("\"version\": 1", "\"version\": 999");
+        let err = ModelTree::from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = ModelTree::load("/nonexistent/nope.json").unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+    }
+}

@@ -1,0 +1,243 @@
+//! Phase tracking over section streams.
+//!
+//! The paper assumes workloads embody multiple phases (citing Sherwood's
+//! phase tracking) and lets the tree's classes stand in for phases. This
+//! module makes that operational: feed sections in execution order to a
+//! [`PhaseTracker`] and get back the phase timeline — stable runs of one
+//! class, with short blips smoothed by a hysteresis window.
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::LeafId;
+use crate::ModelTree;
+
+/// One detected phase: a maximal run of sections in the same class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Phase {
+    /// The performance class of the phase.
+    pub class: LeafId,
+    /// Index of the first section in the phase.
+    pub start: usize,
+    /// Number of sections in the phase.
+    pub len: usize,
+}
+
+/// Streaming phase detector with hysteresis.
+///
+/// A class change is only committed once `hysteresis` consecutive sections
+/// agree on the new class; isolated blips (a single section straddling a
+/// transition) stay inside the surrounding phase, matching how phase
+/// trackers debounce.
+///
+/// # Example
+///
+/// ```
+/// use mtperf_mtree::{Dataset, M5Params, ModelTree, PhaseTracker};
+///
+/// let rows: Vec<[f64; 1]> = (0..100).map(|i| [i as f64]).collect();
+/// let ys: Vec<f64> = rows.iter().map(|r| if r[0] <= 50.0 { 1.0 } else { 5.0 }).collect();
+/// let d = Dataset::from_rows(vec!["x".into()], &rows, &ys).unwrap();
+/// let tree = ModelTree::fit(&d, &M5Params::default().with_min_instances(10)).unwrap();
+///
+/// let mut tracker = PhaseTracker::new(&tree, 2);
+/// for i in 0..100 {
+///     tracker.observe(&[i as f64]);
+/// }
+/// let phases = tracker.finish();
+/// assert_eq!(phases.len(), 2); // low phase, then high phase
+/// ```
+#[derive(Debug)]
+pub struct PhaseTracker<'t> {
+    tree: &'t ModelTree,
+    hysteresis: usize,
+    current: Option<LeafId>,
+    current_start: usize,
+    position: usize,
+    pending: Option<(LeafId, usize)>,
+    phases: Vec<Phase>,
+}
+
+impl<'t> PhaseTracker<'t> {
+    /// Creates a tracker over `tree` requiring `hysteresis` consecutive
+    /// agreeing sections to commit a phase change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hysteresis` is 0.
+    pub fn new(tree: &'t ModelTree, hysteresis: usize) -> Self {
+        assert!(hysteresis >= 1, "hysteresis must be >= 1");
+        PhaseTracker {
+            tree,
+            hysteresis,
+            current: None,
+            current_start: 0,
+            position: 0,
+            pending: None,
+            phases: Vec::new(),
+        }
+    }
+
+    /// Number of sections observed so far.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// The class of the phase currently in progress.
+    pub fn current_class(&self) -> Option<LeafId> {
+        self.current
+    }
+
+    /// Feeds the next section (its attribute row) and returns its raw class.
+    pub fn observe(&mut self, row: &[f64]) -> LeafId {
+        let class = self.tree.leaf_id_for(row);
+        match self.current {
+            None => {
+                self.current = Some(class);
+                self.current_start = self.position;
+            }
+            Some(cur) if class == cur => {
+                self.pending = None;
+            }
+            Some(cur) => {
+                let run = match self.pending {
+                    Some((p, n)) if p == class => n + 1,
+                    _ => 1,
+                };
+                if run >= self.hysteresis {
+                    // Commit: the phase ended where the new run began.
+                    let boundary = self.position + 1 - run;
+                    self.phases.push(Phase {
+                        class: cur,
+                        start: self.current_start,
+                        len: boundary - self.current_start,
+                    });
+                    self.current = Some(class);
+                    self.current_start = boundary;
+                    self.pending = None;
+                } else {
+                    self.pending = Some((class, run));
+                }
+            }
+        }
+        self.position += 1;
+        class
+    }
+
+    /// Closes the stream and returns the phase timeline.
+    pub fn finish(mut self) -> Vec<Phase> {
+        if let Some(cur) = self.current {
+            self.phases.push(Phase {
+                class: cur,
+                start: self.current_start,
+                len: self.position - self.current_start,
+            });
+        }
+        self.phases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dataset, M5Params};
+
+    fn step_tree() -> ModelTree {
+        let rows: Vec<[f64; 1]> = (0..100).map(|i| [i as f64]).collect();
+        let ys: Vec<f64> = rows
+            .iter()
+            .map(|r| if r[0] <= 50.0 { 1.0 } else { 5.0 })
+            .collect();
+        let d = Dataset::from_rows(vec!["x".into()], &rows, &ys).unwrap();
+        ModelTree::fit(
+            &d,
+            &M5Params::default().with_min_instances(10).with_smoothing(false),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn two_clean_phases() {
+        let tree = step_tree();
+        let mut t = PhaseTracker::new(&tree, 2);
+        for i in 0..100 {
+            t.observe(&[i as f64]);
+        }
+        let phases = t.finish();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].start, 0);
+        assert_eq!(phases[0].len + phases[1].len, 100);
+        assert_ne!(phases[0].class, phases[1].class);
+    }
+
+    #[test]
+    fn blips_are_absorbed_by_hysteresis() {
+        let tree = step_tree();
+        let mut t = PhaseTracker::new(&tree, 3);
+        // Steady low phase with two isolated high blips.
+        let xs: Vec<f64> = (0..40)
+            .map(|i| if i == 10 || i == 25 { 90.0 } else { 5.0 })
+            .collect();
+        for x in &xs {
+            t.observe(&[*x]);
+        }
+        let phases = t.finish();
+        assert_eq!(phases.len(), 1, "{phases:?}");
+        assert_eq!(phases[0].len, 40);
+    }
+
+    #[test]
+    fn hysteresis_one_commits_immediately() {
+        let tree = step_tree();
+        let mut t = PhaseTracker::new(&tree, 1);
+        for &x in &[5.0, 5.0, 90.0, 5.0, 5.0] {
+            t.observe(&[x]);
+        }
+        let phases = t.finish();
+        assert_eq!(phases.len(), 3, "{phases:?}");
+        assert_eq!(phases[1].len, 1);
+    }
+
+    #[test]
+    fn phases_tile_the_stream() {
+        let tree = step_tree();
+        let mut t = PhaseTracker::new(&tree, 2);
+        let xs: Vec<f64> = (0..60).map(|i| ((i / 7) % 2) as f64 * 80.0 + 5.0).collect();
+        for x in &xs {
+            t.observe(&[*x]);
+        }
+        let phases = t.finish();
+        let mut pos = 0;
+        for p in &phases {
+            assert_eq!(p.start, pos);
+            assert!(p.len > 0);
+            pos += p.len;
+        }
+        assert_eq!(pos, 60);
+    }
+
+    #[test]
+    fn empty_stream_yields_no_phases() {
+        let tree = step_tree();
+        let t = PhaseTracker::new(&tree, 2);
+        assert!(t.finish().is_empty());
+    }
+
+    #[test]
+    fn observe_returns_raw_class() {
+        let tree = step_tree();
+        let mut t = PhaseTracker::new(&tree, 5);
+        let low = t.observe(&[5.0]);
+        let high = t.observe(&[90.0]);
+        assert_ne!(low, high);
+        // Current phase is still the low one (hysteresis not met).
+        assert_eq!(t.current_class(), Some(low));
+        assert_eq!(t.position(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis")]
+    fn zero_hysteresis_rejected() {
+        let tree = step_tree();
+        let _ = PhaseTracker::new(&tree, 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! WEKA-style text rendering of a fitted tree (the format of the paper's
+//! Figures 1 and 2).
+
+use std::fmt::Write as _;
+
+use crate::node::Node;
+use crate::ModelTree;
+
+impl ModelTree {
+    /// Renders the decision structure plus the leaf-model listing, WEKA
+    /// style:
+    ///
+    /// ```text
+    /// L2M <= 0.0021 :
+    /// |   Dtlb <= 0.0043 : LM1 (2345 instances, 19.5%)
+    /// |   Dtlb > 0.0043 : LM2 (812 instances, 6.8%)
+    /// L2M > 0.0021 : LM3 (...)
+    ///
+    /// LM1: CPI = 0.52 + 6.69 * L1IM + ...
+    /// ```
+    pub fn render(&self, target_name: &str) -> String {
+        let mut out = String::new();
+        self.render_node(self.root(), 0, &mut out);
+        out.push('\n');
+        for leaf in self.leaves() {
+            if let Node::Leaf { id, model, .. } = leaf {
+                let _ = writeln!(
+                    out,
+                    "{id}: {}",
+                    model.render(target_name, self.attr_names())
+                );
+            }
+        }
+        out
+    }
+
+    fn render_node(&self, node: &Node, depth: usize, out: &mut String) {
+        let indent = "|   ".repeat(depth);
+        match node {
+            Node::Leaf { .. } => {
+                // A root that is a single leaf.
+                let _ = writeln!(out, "{indent}{}", self.leaf_label(node));
+            }
+            Node::Split {
+                attr,
+                threshold,
+                left,
+                right,
+                ..
+            } => {
+                let name = &self.attr_names()[*attr];
+                self.render_branch(left, &format!("{indent}{name} <= {threshold:.6} :"), depth, out);
+                self.render_branch(right, &format!("{indent}{name} > {threshold:.6} :"), depth, out);
+            }
+        }
+    }
+
+    fn render_branch(&self, child: &Node, label: &str, depth: usize, out: &mut String) {
+        if child.is_leaf() {
+            let _ = writeln!(out, "{label} {}", self.leaf_label(child));
+        } else {
+            let _ = writeln!(out, "{label}");
+            self.render_node(child, depth + 1, out);
+        }
+    }
+
+    fn leaf_label(&self, node: &Node) -> String {
+        match node {
+            Node::Leaf { id, n, .. } => {
+                let pct = 100.0 * *n as f64 / self.n_train() as f64;
+                format!("{id} ({n} instances, {pct:.1}%)")
+            }
+            Node::Split { .. } => unreachable!("leaf_label takes leaves"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Dataset, M5Params, ModelTree};
+
+    fn tree() -> ModelTree {
+        let rows: Vec<[f64; 1]> = (0..100).map(|i| [i as f64]).collect();
+        let ys: Vec<f64> = rows
+            .iter()
+            .map(|r| if r[0] <= 50.0 { r[0] } else { 200.0 - r[0] })
+            .collect();
+        let d = Dataset::from_rows(vec!["x".into()], &rows, &ys).unwrap();
+        ModelTree::fit(&d, &M5Params::default().with_min_instances(10)).unwrap()
+    }
+
+    #[test]
+    fn render_contains_structure_and_models() {
+        let t = tree();
+        let s = t.render("y");
+        assert!(s.contains("x <= "), "{s}");
+        assert!(s.contains("x > "), "{s}");
+        assert!(s.contains("LM1"), "{s}");
+        assert!(s.contains("instances"), "{s}");
+        assert!(s.contains("y = "), "{s}");
+        // Every leaf's model is listed.
+        for i in 1..=t.n_leaves() {
+            assert!(s.contains(&format!("LM{i}:")), "missing LM{i} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn percentages_sum_to_100() {
+        let t = tree();
+        let s = t.render("y");
+        let total: f64 = s
+            .lines()
+            .filter_map(|l| {
+                let open = l.find(", ")?;
+                let close = l.find("%)")?;
+                l[open + 2..close].parse::<f64>().ok()
+            })
+            .sum();
+        assert!((total - 100.0).abs() < 1.0, "sum = {total}\n{s}");
+    }
+
+    #[test]
+    fn single_leaf_tree_renders() {
+        let d = Dataset::from_rows(
+            vec!["x".into()],
+            &[[1.0], [2.0]],
+            &[5.0, 5.0],
+        )
+        .unwrap();
+        let t = ModelTree::fit(&d, &M5Params::default()).unwrap();
+        let s = t.render("y");
+        assert!(s.contains("LM1"), "{s}");
+    }
+}

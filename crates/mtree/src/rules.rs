@@ -1,0 +1,319 @@
+//! Rule extraction: flattening a model tree into an ordered rule list.
+//!
+//! WEKA pairs M5' with *M5Rules*, which presents the same piecewise-linear
+//! model as ordered IF-THEN rules — often the form performance analysts
+//! prefer to read ("IF L2M > t AND L1IM > u THEN CPI = 2.2"). Here the rule
+//! list is derived directly from a fitted tree: one rule per leaf, ordered
+//! by coverage, each carrying the conjunctive conditions of its root path
+//! and the leaf's linear model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::{LeafId, Node};
+use crate::{LinearModel, ModelTree};
+
+/// One atomic condition `attr <= threshold` or `attr > threshold`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Condition {
+    /// Attribute index tested.
+    pub attr: usize,
+    /// Threshold.
+    pub threshold: f64,
+    /// `true` for `attr > threshold`, `false` for `attr <= threshold`.
+    pub greater: bool,
+}
+
+impl Condition {
+    /// Evaluates the condition on a row.
+    pub fn matches(&self, row: &[f64]) -> bool {
+        if self.greater {
+            row[self.attr] > self.threshold
+        } else {
+            row[self.attr] <= self.threshold
+        }
+    }
+}
+
+/// One rule: a conjunction of conditions and the model that applies when
+/// they all hold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    /// The leaf this rule came from.
+    pub leaf: LeafId,
+    /// Conjunctive conditions (root-to-leaf order).
+    pub conditions: Vec<Condition>,
+    /// The model predicting the target when the rule fires.
+    pub model: LinearModel,
+    /// Training instances covered by the rule.
+    pub coverage: usize,
+    /// Mean training target under the rule.
+    pub mean: f64,
+}
+
+impl Rule {
+    /// `true` when every condition holds for `row`.
+    pub fn matches(&self, row: &[f64]) -> bool {
+        self.conditions.iter().all(|c| c.matches(row))
+    }
+}
+
+/// An ordered list of rules extracted from a [`ModelTree`].
+///
+/// Because the rules partition the input space (they come from a tree),
+/// exactly one rule fires for any row, and prediction agrees with the
+/// (unsmoothed) tree.
+///
+/// # Example
+///
+/// ```
+/// use mtperf_mtree::{Dataset, M5Params, ModelTree, RuleSet};
+///
+/// let rows: Vec<[f64; 1]> = (0..100).map(|i| [i as f64]).collect();
+/// let ys: Vec<f64> = rows.iter()
+///     .map(|r| if r[0] <= 50.0 { 1.0 } else { 5.0 })
+///     .collect();
+/// let d = Dataset::from_rows(vec!["x".into()], &rows, &ys).unwrap();
+/// let tree = ModelTree::fit(&d, &M5Params::default().with_min_instances(10)).unwrap();
+/// let rules = RuleSet::from_tree(&tree);
+/// assert_eq!(rules.len(), tree.n_leaves());
+/// assert_eq!(rules.predict(&[10.0]), tree.predict_raw(&[10.0]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuleSet {
+    rules: Vec<Rule>,
+    attr_names: Vec<String>,
+}
+
+impl RuleSet {
+    /// Extracts the rules of `tree`, ordered by descending coverage (the
+    /// most common performance classes first, as an analyst would list
+    /// them).
+    pub fn from_tree(tree: &ModelTree) -> RuleSet {
+        let mut rules = Vec::new();
+        let mut path = Vec::new();
+        collect(tree.root(), &mut path, &mut rules);
+        rules.sort_by_key(|r| std::cmp::Reverse(r.coverage));
+        RuleSet {
+            rules,
+            attr_names: tree.attr_names().to_vec(),
+        }
+    }
+
+    /// Number of rules (= leaves of the source tree).
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// `true` when there are no rules (never happens for a fitted tree).
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The rules, most-covering first.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// The first matching rule for `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no rule matches — impossible for rule sets produced by
+    /// [`RuleSet::from_tree`], whose rules partition the space.
+    pub fn matching_rule(&self, row: &[f64]) -> &Rule {
+        self.rules
+            .iter()
+            .find(|r| r.matches(row))
+            .expect("tree-derived rules partition the input space")
+    }
+
+    /// Predicts via the first matching rule (agrees with the unsmoothed
+    /// tree).
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        self.matching_rule(row).model.predict(row)
+    }
+
+    /// Renders the ordered rule list.
+    pub fn render(&self, target_name: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, rule) in self.rules.iter().enumerate() {
+            let _ = write!(out, "Rule {} ({} instances", i + 1, rule.coverage);
+            let _ = writeln!(out, ", mean {target_name} {:.2}):", rule.mean);
+            if rule.conditions.is_empty() {
+                let _ = writeln!(out, "  IF true");
+            } else {
+                for (j, c) in rule.conditions.iter().enumerate() {
+                    let kw = if j == 0 { "IF  " } else { "AND " };
+                    let _ = writeln!(
+                        out,
+                        "  {kw}{} {} {:.6}",
+                        self.attr_names[c.attr],
+                        if c.greater { ">" } else { "<=" },
+                        c.threshold
+                    );
+                }
+            }
+            let _ = writeln!(
+                out,
+                "  THEN {}\n",
+                rule.model.render(target_name, &self.attr_names)
+            );
+        }
+        out
+    }
+}
+
+fn collect(node: &Node, path: &mut Vec<Condition>, out: &mut Vec<Rule>) {
+    match node {
+        Node::Leaf { id, model, n, mean } => {
+            out.push(Rule {
+                leaf: *id,
+                conditions: path.clone(),
+                model: model.clone(),
+                coverage: *n,
+                mean: *mean,
+            });
+        }
+        Node::Split {
+            attr,
+            threshold,
+            left,
+            right,
+            ..
+        } => {
+            path.push(Condition {
+                attr: *attr,
+                threshold: *threshold,
+                greater: false,
+            });
+            collect(left, path, out);
+            path.pop();
+            path.push(Condition {
+                attr: *attr,
+                threshold: *threshold,
+                greater: true,
+            });
+            collect(right, path, out);
+            path.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dataset, M5Params};
+
+    fn tree() -> ModelTree {
+        let rows: Vec<[f64; 2]> = (0..200)
+            .map(|i| [(i % 20) as f64, (i % 7) as f64])
+            .collect();
+        let ys: Vec<f64> = rows
+            .iter()
+            .map(|r| {
+                if r[0] <= 10.0 {
+                    1.0 + 0.3 * r[1]
+                } else {
+                    6.0 - 0.2 * r[1]
+                }
+            })
+            .collect();
+        let d = Dataset::from_rows(vec!["a".into(), "b".into()], &rows, &ys).unwrap();
+        ModelTree::fit(
+            &d,
+            &M5Params::default().with_min_instances(10).with_smoothing(false),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn one_rule_per_leaf() {
+        let t = tree();
+        let rs = RuleSet::from_tree(&t);
+        assert_eq!(rs.len(), t.n_leaves());
+        assert!(!rs.is_empty());
+    }
+
+    #[test]
+    fn rules_are_ordered_by_coverage() {
+        let rs = RuleSet::from_tree(&tree());
+        for w in rs.rules().windows(2) {
+            assert!(w[0].coverage >= w[1].coverage);
+        }
+    }
+
+    #[test]
+    fn coverage_sums_to_training_size() {
+        let t = tree();
+        let rs = RuleSet::from_tree(&t);
+        let total: usize = rs.rules().iter().map(|r| r.coverage).sum();
+        assert_eq!(total, t.n_train());
+    }
+
+    #[test]
+    fn exactly_one_rule_matches_each_row() {
+        let t = tree();
+        let rs = RuleSet::from_tree(&t);
+        for i in 0..40 {
+            let row = [(i % 20) as f64, (i % 7) as f64];
+            let matches = rs.rules().iter().filter(|r| r.matches(&row)).count();
+            assert_eq!(matches, 1, "row {row:?} matched {matches} rules");
+        }
+    }
+
+    #[test]
+    fn prediction_agrees_with_tree() {
+        let t = tree();
+        let rs = RuleSet::from_tree(&t);
+        for i in 0..40 {
+            let row = [(i % 23) as f64 * 0.9, (i % 5) as f64];
+            assert_eq!(rs.predict(&row), t.predict_raw(&row));
+        }
+    }
+
+    #[test]
+    fn render_lists_conditions_and_models() {
+        let rs = RuleSet::from_tree(&tree());
+        let s = rs.render("CPI");
+        assert!(s.contains("Rule 1"), "{s}");
+        assert!(s.contains("IF  "), "{s}");
+        assert!(s.contains("THEN CPI = "), "{s}");
+    }
+
+    #[test]
+    fn single_leaf_tree_yields_unconditional_rule() {
+        let d = Dataset::from_rows(vec!["x".into()], &[[1.0], [2.0]], &[3.0, 3.0]).unwrap();
+        let t = ModelTree::fit(&d, &M5Params::default()).unwrap();
+        let rs = RuleSet::from_tree(&t);
+        assert_eq!(rs.len(), 1);
+        assert!(rs.rules()[0].conditions.is_empty());
+        assert!(rs.render("y").contains("IF true"));
+        assert_eq!(rs.predict(&[99.0]), 3.0);
+    }
+
+    #[test]
+    fn condition_matching() {
+        let c = Condition {
+            attr: 0,
+            threshold: 1.5,
+            greater: true,
+        };
+        assert!(c.matches(&[2.0]));
+        assert!(!c.matches(&[1.5]));
+        let le = Condition {
+            attr: 0,
+            threshold: 1.5,
+            greater: false,
+        };
+        assert!(le.matches(&[1.5]));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let rs = RuleSet::from_tree(&tree());
+        let json = serde_json::to_string(&rs).unwrap();
+        let back: RuleSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rs);
+    }
+}

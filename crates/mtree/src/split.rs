@@ -1,0 +1,212 @@
+//! Split search: the standard-deviation-reduction (SDR) criterion.
+
+use crate::Dataset;
+
+/// A candidate binary split: instances with `attr <= threshold` go left.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Split {
+    /// Attribute (column) index tested.
+    pub attr: usize,
+    /// Split threshold (midpoint between adjacent attribute values).
+    pub threshold: f64,
+    /// Standard-deviation reduction achieved.
+    pub sdr: f64,
+}
+
+/// Population standard deviation from sums: `sqrt(E[y²] − E[y]²)`.
+fn sd_from_sums(sum: f64, sum_sq: f64, n: f64) -> f64 {
+    if n <= 0.0 {
+        return 0.0;
+    }
+    let mean = sum / n;
+    (sum_sq / n - mean * mean).max(0.0).sqrt()
+}
+
+/// Finds the best split of the instances in `idx` over all attributes.
+///
+/// Implements M5's criterion: maximize
+/// `SDR = sd(S) − Σᵢ |Sᵢ|/|S| · sd(Sᵢ)` over all `(attribute, threshold)`
+/// pairs, where thresholds are midpoints between consecutive distinct
+/// attribute values. Splits leaving either side with fewer than
+/// `min_instances` are not considered.
+///
+/// Returns `None` when no admissible split has positive SDR (constant
+/// attributes, too few instances, or a constant target).
+///
+/// # Example
+///
+/// ```
+/// use mtperf_mtree::{best_split, Dataset};
+///
+/// let d = Dataset::from_rows(
+///     vec!["x".into()],
+///     &[[0.0], [1.0], [2.0], [3.0]],
+///     &[0.0, 0.0, 10.0, 10.0],
+/// ).unwrap();
+/// let s = best_split(&d, &[0, 1, 2, 3], 1).unwrap();
+/// assert_eq!(s.attr, 0);
+/// assert!((s.threshold - 1.5).abs() < 1e-12);
+/// ```
+pub fn best_split(data: &Dataset, idx: &[usize], min_instances: usize) -> Option<Split> {
+    let n = idx.len();
+    if n < 2 * min_instances.max(1) {
+        return None;
+    }
+    let nf = n as f64;
+    let (sum, sum_sq) = idx.iter().fold((0.0, 0.0), |(s, q), &i| {
+        let y = data.target(i);
+        (s + y, q + y * y)
+    });
+    let sd_total = sd_from_sums(sum, sum_sq, nf);
+    if sd_total <= 0.0 {
+        return None;
+    }
+
+    let mut best: Option<Split> = None;
+    let mut order: Vec<usize> = idx.to_vec();
+    for attr in 0..data.n_attrs() {
+        let col = data.column(attr);
+        order.sort_unstable_by(|&a, &b| {
+            col[a].partial_cmp(&col[b]).expect("finite attribute values")
+        });
+        // Scan boundaries between consecutive instances with prefix sums.
+        let mut left_sum = 0.0;
+        let mut left_sq = 0.0;
+        for (k, &i) in order.iter().enumerate().take(n - 1) {
+            let y = data.target(i);
+            left_sum += y;
+            left_sq += y * y;
+            let n_left = k + 1;
+            let n_right = n - n_left;
+            if n_left < min_instances || n_right < min_instances {
+                continue;
+            }
+            let v = col[i];
+            let v_next = col[order[k + 1]];
+            if v == v_next {
+                continue; // not a boundary between distinct values
+            }
+            let sd_left = sd_from_sums(left_sum, left_sq, n_left as f64);
+            let sd_right =
+                sd_from_sums(sum - left_sum, sum_sq - left_sq, n_right as f64);
+            let sdr = sd_total
+                - (n_left as f64 / nf) * sd_left
+                - (n_right as f64 / nf) * sd_right;
+            if sdr > best.map_or(0.0, |b| b.sdr) {
+                best = Some(Split {
+                    attr,
+                    threshold: (v + v_next) / 2.0,
+                    sdr,
+                });
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data() -> Dataset {
+        // Perfect step on x at 2.5; y independent of z.
+        let rows: Vec<[f64; 2]> = (0..6).map(|i| [i as f64, (i % 2) as f64]).collect();
+        let ys = [1.0, 1.0, 1.0, 9.0, 9.0, 9.0];
+        Dataset::from_rows(vec!["x".into(), "z".into()], &rows, &ys).unwrap()
+    }
+
+    #[test]
+    fn finds_the_step() {
+        let d = step_data();
+        let idx: Vec<usize> = (0..6).collect();
+        let s = best_split(&d, &idx, 1).unwrap();
+        assert_eq!(s.attr, 0);
+        assert!((s.threshold - 2.5).abs() < 1e-12);
+        // SDR of a perfect split equals sd(total): both sides become
+        // zero-variance.
+        let sd_total = mtperf_linalg::stats::std_dev(&ys());
+        assert!((s.sdr - sd_total).abs() < 1e-9);
+
+        fn ys() -> Vec<f64> {
+            vec![1.0, 1.0, 1.0, 9.0, 9.0, 9.0]
+        }
+    }
+
+    #[test]
+    fn respects_min_instances() {
+        let d = step_data();
+        let idx: Vec<usize> = (0..6).collect();
+        // min 3 allows only the 3|3 boundary.
+        let s = best_split(&d, &idx, 3).unwrap();
+        assert!((s.threshold - 2.5).abs() < 1e-12);
+        // min 4 admits nothing.
+        assert!(best_split(&d, &idx, 4).is_none());
+    }
+
+    #[test]
+    fn constant_target_has_no_split() {
+        let rows: Vec<[f64; 1]> = (0..4).map(|i| [i as f64]).collect();
+        let d = Dataset::from_rows(vec!["x".into()], &rows, &[5.0; 4]).unwrap();
+        assert!(best_split(&d, &(0..4).collect::<Vec<_>>(), 1).is_none());
+    }
+
+    #[test]
+    fn constant_attribute_has_no_split() {
+        let rows = [[1.0], [1.0], [1.0], [1.0]];
+        let d =
+            Dataset::from_rows(vec!["x".into()], &rows, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!(best_split(&d, &(0..4).collect::<Vec<_>>(), 1).is_none());
+    }
+
+    #[test]
+    fn threshold_is_midpoint_of_distinct_values() {
+        let rows = [[0.0], [0.0], [4.0], [4.0]];
+        let d =
+            Dataset::from_rows(vec!["x".into()], &rows, &[0.0, 0.0, 8.0, 8.0]).unwrap();
+        let s = best_split(&d, &(0..4).collect::<Vec<_>>(), 1).unwrap();
+        assert!((s.threshold - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_values_never_split_apart() {
+        // All x equal except one; boundary must fall between distinct values.
+        let rows = [[1.0], [1.0], [1.0], [2.0]];
+        let d =
+            Dataset::from_rows(vec!["x".into()], &rows, &[0.0, 0.0, 0.0, 10.0]).unwrap();
+        let s = best_split(&d, &(0..4).collect::<Vec<_>>(), 1).unwrap();
+        assert!((s.threshold - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn picks_most_discriminative_attribute() {
+        // x separates targets perfectly; z only partially.
+        let rows = [
+            [0.0, 0.0],
+            [1.0, 1.0],
+            [2.0, 0.0],
+            [3.0, 1.0],
+        ];
+        let d = Dataset::from_rows(
+            vec!["x".into(), "z".into()],
+            &rows,
+            &[0.0, 0.0, 10.0, 10.0],
+        )
+        .unwrap();
+        let s = best_split(&d, &(0..4).collect::<Vec<_>>(), 1).unwrap();
+        assert_eq!(s.attr, 0);
+    }
+
+    #[test]
+    fn works_on_subsets() {
+        let d = step_data();
+        // Subset covering only the low half: constant target, no split.
+        assert!(best_split(&d, &[0, 1, 2], 1).is_none());
+    }
+
+    #[test]
+    fn too_few_instances() {
+        let d = step_data();
+        assert!(best_split(&d, &[0], 1).is_none());
+        assert!(best_split(&d, &[0, 5], 2).is_none());
+    }
+}

@@ -1,0 +1,124 @@
+//! Hand-verified reference cases for the M5' machinery: golden values
+//! computed by hand (shown in comments) pin the implementation to the
+//! published algorithm.
+
+use mtperf_mtree::{best_split, Dataset, LinearModel, M5Params, ModelTree};
+
+/// SDR of a known split, computed by hand.
+///
+/// Data: x = [1,2,3,4], y = [0, 0, 10, 10].
+/// sd(total): mean 5, deviations (−5,−5,5,5) → variance 25 → sd 5.
+/// Split at x ≤ 2.5: both halves constant → sd 0.
+/// SDR = 5 − (2/4)·0 − (2/4)·0 = 5.
+#[test]
+fn sdr_golden_value() {
+    let d = Dataset::from_rows(
+        vec!["x".into()],
+        &[[1.0], [2.0], [3.0], [4.0]],
+        &[0.0, 0.0, 10.0, 10.0],
+    )
+    .unwrap();
+    let s = best_split(&d, &[0, 1, 2, 3], 1).unwrap();
+    assert!((s.sdr - 5.0).abs() < 1e-12, "sdr = {}", s.sdr);
+    assert!((s.threshold - 2.5).abs() < 1e-12);
+}
+
+/// SDR of an imperfect split, by hand.
+///
+/// Data: x = [1,2,3,4], y = [0, 2, 8, 10].
+/// total: mean 5, deviations (−5,−3,3,5) → variance (25+9+9+25)/4 = 17 → sd 4.1231.
+/// Best split x ≤ 2.5: left y = [0,2] sd 1; right y = [8,10] sd 1.
+/// SDR = 4.1231 − 0.5·1 − 0.5·1 = 3.1231.
+#[test]
+fn sdr_imperfect_split_golden_value() {
+    let d = Dataset::from_rows(
+        vec!["x".into()],
+        &[[1.0], [2.0], [3.0], [4.0]],
+        &[0.0, 2.0, 8.0, 10.0],
+    )
+    .unwrap();
+    let s = best_split(&d, &[0, 1, 2, 3], 1).unwrap();
+    let expected = 17.0_f64.sqrt() - 1.0;
+    assert!((s.sdr - expected).abs() < 1e-9, "sdr = {}", s.sdr);
+}
+
+/// The inflation factor (n + v) / (n − v), by hand.
+///
+/// A constant model (v = 1) on 5 instances with residuals summing to 5
+/// (MAE = 1) gets inflated error 1 · (5+1)/(5−1) = 1.5.
+#[test]
+fn inflation_factor_golden_value() {
+    let d = Dataset::from_rows(
+        vec!["x".into()],
+        &[[1.0], [2.0], [3.0], [4.0], [5.0]],
+        &[1.0, 3.0, 2.0, 1.0, 3.0], // mean 2, |residuals| = 1,1,0,1,1 → MAE 0.8
+    )
+    .unwrap();
+    let idx = [0, 1, 2, 3, 4];
+    let m = LinearModel::constant(2.0);
+    assert!((m.mean_abs_error(&d, &idx) - 0.8).abs() < 1e-12);
+    assert!((m.inflated_error(&d, &idx) - 0.8 * 6.0 / 4.0).abs() < 1e-12);
+}
+
+/// M5 smoothing, by hand, on a depth-1 tree.
+///
+/// Construct data where the tree splits once and each side is constant:
+/// left n = 4 (y = 0), right n = 4 (y = 8). The root model is fitted over
+/// the split attribute; for a point on the left:
+///
+///   p' = (n·p + k·q) / (n + k)  with n = 4, k = 15,
+///
+/// where p is the leaf prediction and q the root model's prediction.
+#[test]
+fn smoothing_golden_formula() {
+    let rows: Vec<[f64; 1]> = (0..8).map(|i| [i as f64]).collect();
+    let ys = [0.0, 0.0, 0.0, 0.0, 8.0, 8.0, 8.0, 8.0];
+    let d = Dataset::from_rows(vec!["x".into()], &rows, &ys).unwrap();
+    let params = M5Params::default()
+        .with_min_instances(4)
+        .with_prune(false)
+        .with_smoothing(true);
+    let tree = ModelTree::fit(&d, &params).unwrap();
+    // One split, two leaves expected.
+    assert_eq!(tree.n_leaves(), 2, "{}", tree.render("y"));
+
+    let row = [1.0];
+    let leaf_pred = tree.leaf_for(&row).model().predict(&row);
+    let root_pred = tree.root().model().predict(&row);
+    let n = tree.leaf_for(&row).n() as f64;
+    let k = params.smoothing_k();
+    let expected = (n * leaf_pred + k * root_pred) / (n + k);
+    let got = tree.predict(&row);
+    assert!(
+        (got - expected).abs() < 1e-12,
+        "got {got}, expected {expected} (leaf {leaf_pred}, root {root_pred})"
+    );
+}
+
+/// OLS on two points is exact, by hand: through (0, 1) and (2, 5) the line
+/// is y = 1 + 2x.
+#[test]
+fn ols_two_point_golden_value() {
+    let d = Dataset::from_rows(vec!["x".into()], &[[0.0], [2.0]], &[1.0, 5.0]).unwrap();
+    let m = LinearModel::fit(&d, &[0, 1], &[0]).unwrap();
+    assert!((m.intercept() - 1.0).abs() < 1e-9);
+    assert!((m.coefficient(0).unwrap() - 2.0).abs() < 1e-9);
+    assert!((m.predict(&[7.0]) - 15.0).abs() < 1e-9);
+}
+
+/// WEKA-compatible behavior: the split threshold is the midpoint between
+/// observed values, never an observed value itself.
+#[test]
+fn threshold_is_never_an_observed_value() {
+    let d = Dataset::from_rows(
+        vec!["x".into()],
+        &[[1.0], [3.0], [5.0], [7.0], [9.0], [11.0]],
+        &[0.0, 0.0, 0.0, 6.0, 6.0, 6.0],
+    )
+    .unwrap();
+    let s = best_split(&d, &[0, 1, 2, 3, 4, 5], 1).unwrap();
+    assert!((s.threshold - 6.0).abs() < 1e-12);
+    for v in [1.0, 3.0, 5.0, 7.0, 9.0, 11.0] {
+        assert_ne!(s.threshold, v);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests for the M5' implementation.
+
+use mtperf_mtree::{best_split, Dataset, LinearModel, M5Params, ModelTree};
+use proptest::prelude::*;
+
+/// Strategy: a dataset of n rows over two attributes with targets generated
+/// by a piecewise function plus bounded noise.
+fn dataset(n: usize) -> impl Strategy<Value = Dataset> {
+    (
+        prop::collection::vec((-10.0..10.0f64, -10.0..10.0f64), n),
+        prop::collection::vec(-0.1..0.1f64, n),
+    )
+        .prop_map(|(xs, noise)| {
+            let rows: Vec<[f64; 2]> = xs.iter().map(|&(a, b)| [a, b]).collect();
+            let ys: Vec<f64> = xs
+                .iter()
+                .zip(&noise)
+                .map(|(&(a, b), &e)| {
+                    let base = if a <= 0.0 { 1.0 + 0.5 * b } else { 5.0 - 0.3 * b };
+                    base + e
+                })
+                .collect();
+            Dataset::from_rows(vec!["a".into(), "b".into()], &rows, &ys).unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SDR is non-negative and at most the total standard deviation.
+    #[test]
+    fn sdr_is_bounded(d in dataset(40), min_inst in 1usize..6) {
+        let idx: Vec<usize> = (0..d.n_rows()).collect();
+        if let Some(s) = best_split(&d, &idx, min_inst) {
+            let sd = mtperf_linalg::stats::std_dev(d.targets());
+            prop_assert!(s.sdr > 0.0);
+            prop_assert!(s.sdr <= sd + 1e-9, "sdr {} vs sd {}", s.sdr, sd);
+            prop_assert!(s.attr < d.n_attrs());
+            prop_assert!(s.threshold.is_finite());
+        }
+    }
+
+    /// The split's threshold actually separates the instances into two
+    /// admissible groups.
+    #[test]
+    fn split_partitions_admissibly(d in dataset(40), min_inst in 1usize..6) {
+        let idx: Vec<usize> = (0..d.n_rows()).collect();
+        if let Some(s) = best_split(&d, &idx, min_inst) {
+            let col = d.column(s.attr);
+            let left = idx.iter().filter(|&&i| col[i] <= s.threshold).count();
+            let right = idx.len() - left;
+            prop_assert!(left >= min_inst && right >= min_inst);
+        }
+    }
+
+    /// Unsmoothed trees trained without pruning predict the exact training
+    /// target mean when asked for the mean (sanity: prediction is finite
+    /// and within a sane envelope of the target range).
+    #[test]
+    fn predictions_are_finite_and_bounded(d in dataset(60)) {
+        let params = M5Params::default().with_min_instances(5).with_smoothing(false);
+        let tree = ModelTree::fit(&d, &params).unwrap();
+        let (lo, hi) = mtperf_linalg::stats::min_max(d.targets()).unwrap();
+        let span = (hi - lo).max(1.0);
+        for i in 0..d.n_rows() {
+            let p = tree.predict(&d.row(i));
+            prop_assert!(p.is_finite());
+            // Leaf linear models can extrapolate mildly but must stay near
+            // the training hull on training points.
+            prop_assert!(p > lo - span && p < hi + span, "p = {p}, range [{lo}, {hi}]");
+        }
+    }
+
+    /// Smoothing is a convex combination of the node models along the
+    /// root path, so the smoothed prediction must lie within the hull of
+    /// *all* node-model predictions of the tree (a superset of the path).
+    #[test]
+    fn smoothing_is_a_convex_blend(d in dataset(60)) {
+        let smooth = ModelTree::fit(
+            &d,
+            &M5Params::default().with_min_instances(5).with_smoothing(true),
+        )
+        .unwrap();
+        fn collect_preds(node: &mtperf_mtree::Node, row: &[f64], out: &mut Vec<f64>) {
+            out.push(node.model().predict(row));
+            if let mtperf_mtree::Node::Split { left, right, .. } = node {
+                collect_preds(left, row, out);
+                collect_preds(right, row, out);
+            }
+        }
+        for i in (0..d.n_rows()).step_by(7) {
+            let row = d.row(i);
+            let ps = smooth.predict(&row);
+            prop_assert!(ps.is_finite());
+            let mut preds = Vec::new();
+            collect_preds(smooth.root(), &row, &mut preds);
+            let lo = preds.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = preds.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(
+                ps >= lo - 1e-9 && ps <= hi + 1e-9,
+                "smoothed {ps} outside hull [{lo}, {hi}]"
+            );
+        }
+    }
+
+    /// More training instances per leaf never increases the leaf count.
+    #[test]
+    fn min_instances_monotone_in_leaf_count(d in dataset(80)) {
+        let small = ModelTree::fit(
+            &d,
+            &M5Params::default().with_min_instances(4).with_prune(false),
+        )
+        .unwrap();
+        let large = ModelTree::fit(
+            &d,
+            &M5Params::default().with_min_instances(20).with_prune(false),
+        )
+        .unwrap();
+        prop_assert!(large.n_leaves() <= small.n_leaves());
+    }
+
+    /// Pruning never increases the leaf count.
+    #[test]
+    fn pruning_shrinks_or_keeps(d in dataset(80)) {
+        let pruned = ModelTree::fit(
+            &d,
+            &M5Params::default().with_min_instances(5),
+        )
+        .unwrap();
+        let unpruned = ModelTree::fit(
+            &d,
+            &M5Params::default().with_min_instances(5).with_prune(false),
+        )
+        .unwrap();
+        prop_assert!(pruned.n_leaves() <= unpruned.n_leaves());
+    }
+
+    /// A linear model's OLS fit has mean absolute error no worse than the
+    /// constant-mean model on the same data.
+    #[test]
+    fn ols_beats_mean_in_training_error(d in dataset(30)) {
+        let idx: Vec<usize> = (0..d.n_rows()).collect();
+        let ols = LinearModel::fit(&d, &idx, &[0, 1]).unwrap();
+        let mean = mtperf_linalg::stats::mean(d.targets());
+        let constant = LinearModel::constant(mean);
+        // MAE isn't what OLS minimizes, so allow slack proportional to the
+        // target spread; the squared-error optimum can't be grossly worse.
+        let spread = mtperf_linalg::stats::std_dev(d.targets());
+        prop_assert!(
+            ols.mean_abs_error(&d, &idx)
+                <= constant.mean_abs_error(&d, &idx) + 0.5 * spread + 1e-9
+        );
+    }
+
+    /// Classification routes every instance to a declared leaf, and the
+    /// occupancy over all leaves accounts for every instance exactly once.
+    #[test]
+    fn classification_partition(d in dataset(60)) {
+        let tree = ModelTree::fit(
+            &d,
+            &M5Params::default().with_min_instances(5).with_smoothing(false),
+        )
+        .unwrap();
+        let rows: Vec<Vec<f64>> = (0..d.n_rows()).map(|i| d.row(i)).collect();
+        let occ = mtperf_mtree::analysis::leaf_occupancy(&tree, &rows);
+        prop_assert_eq!(occ.values().sum::<usize>(), d.n_rows());
+        for id in occ.keys() {
+            prop_assert!(id.0 >= 1 && id.0 <= tree.n_leaves());
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Shared experiment context: the simulated dataset and the trained tree.
+
+use std::fs;
+use std::path::PathBuf;
+
+use mtperf::prelude::*;
+use mtperf_counters::SampleSet;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper scale: 8 M instructions per workload → 12 000 sections; the
+    /// tree is pre-pruned at 150 instances per leaf — determined
+    /// experimentally on this dataset exactly as the paper determined its
+    /// 430 on theirs (the ablation experiment shows the knee), and yielding
+    /// the same ~18-leaf tree as the paper's Figure 2.
+    Full,
+    /// Quick scale for smoke runs: 800 k instructions per workload → 1 200
+    /// sections; pre-pruning scales to n/30.
+    Quick,
+}
+
+impl Scale {
+    /// Instructions per workload at this scale.
+    pub fn instructions(self) -> u64 {
+        match self {
+            Scale::Full => 8_000_000,
+            Scale::Quick => 800_000,
+        }
+    }
+
+    /// Pre-pruning minimum instances for a dataset of `n` sections.
+    pub fn min_instances(self, n: usize) -> usize {
+        match self {
+            // Determined experimentally for this dataset (see the ablation
+            // experiment), as the paper determined its 430 for its own.
+            Scale::Full => 150,
+            Scale::Quick => (n / 30).max(8),
+        }
+    }
+}
+
+/// Everything the experiments share: the simulated suite, the learning
+/// problem, and the trained performance-analysis tree.
+pub struct Context {
+    /// Simulated section samples of the whole suite.
+    pub samples: SampleSet,
+    /// The learning problem (20 event-rate attributes → CPI).
+    pub data: Dataset,
+    /// Workload label of each row.
+    pub labels: Vec<String>,
+    /// Training parameters used for the headline tree.
+    pub params: M5Params,
+    /// The tree trained on the full dataset.
+    pub tree: ModelTree,
+    /// Scale the context was built at.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+}
+
+/// Section length used throughout (retired instructions per sample).
+pub const SECTION_LEN: u64 = 10_000;
+/// Master seed of the reproduction runs.
+pub const SEED: u64 = 2007;
+
+impl Context {
+    /// Simulates the suite and trains the headline tree.
+    pub fn build(scale: Scale) -> Context {
+        eprintln!(
+            "[context] simulating suite ({} instructions/workload)...",
+            scale.instructions()
+        );
+        let samples = mtperf::sim::simulate_suite(scale.instructions(), SECTION_LEN, SEED);
+        eprintln!("[context] {} sections collected", samples.len());
+        let labels = mtperf::labels_from_samples(&samples);
+        let data = mtperf::dataset_from_samples(&samples).expect("non-empty suite");
+        let params = M5Params::default()
+            .with_min_instances(scale.min_instances(data.n_rows()))
+            .with_smoothing(false);
+        eprintln!(
+            "[context] training M5' (min {} instances/leaf)...",
+            params.min_instances()
+        );
+        let tree = ModelTree::fit(&data, &params).expect("training succeeds");
+        eprintln!(
+            "[context] tree: {} classes, depth {}",
+            tree.n_leaves(),
+            tree.depth()
+        );
+        Context {
+            samples,
+            data,
+            labels,
+            params,
+            tree,
+            scale,
+            seed: SEED,
+        }
+    }
+
+    /// Directory for CSV artifacts (`results/`), created on demand.
+    pub fn results_dir() -> PathBuf {
+        let dir = PathBuf::from("results");
+        fs::create_dir_all(&dir).expect("create results dir");
+        dir
+    }
+
+    /// Writes a text artifact under `results/` and reports the path.
+    pub fn save_artifact(name: &str, contents: &str) {
+        let path = Self::results_dir().join(name);
+        fs::write(&path, contents).expect("write artifact");
+        println!("[artifact] {}", path.display());
+    }
+}

@@ -1,0 +1,104 @@
+//! E10 — ablations of the design choices DESIGN.md calls out:
+//! smoothing, pruning, the min-instances pre-pruning knob, and term
+//! elimination (via a full-OLS-at-leaves variant approximated by the
+//! global linear baseline at the extremes).
+
+use mtperf::prelude::*;
+
+use crate::Context;
+
+fn cv(data: &Dataset, params: &M5Params) -> (Metrics, usize) {
+    let learner = M5Learner::new(params.clone());
+    let m = cross_validate(&learner, data, 10, 7)
+        .expect("cv succeeds")
+        .pooled;
+    let leaves = ModelTree::fit(data, params).expect("fit succeeds").n_leaves();
+    (m, leaves)
+}
+
+/// Runs the experiment.
+pub fn run(ctx: &Context) {
+    let base = ctx.params.clone();
+
+    println!("=== Ablation: smoothing ===\n");
+    println!(
+        "{:<28} {:>10} {:>8} {:>8}",
+        "variant", "C", "RAE %", "leaves"
+    );
+    println!("{}", "-".repeat(58));
+    for (name, params) in [
+        ("smoothing off (default)", base.clone().with_smoothing(false)),
+        ("smoothing on (k = 15)", base.clone().with_smoothing(true)),
+    ] {
+        let (m, leaves) = cv(&ctx.data, &params);
+        println!(
+            "{:<28} {:>10.4} {:>8.2} {:>8}",
+            name, m.correlation, m.rae_percent, leaves
+        );
+    }
+
+    println!("\n=== Ablation: pruning ===\n");
+    println!(
+        "{:<28} {:>10} {:>8} {:>8}",
+        "variant", "C", "RAE %", "leaves"
+    );
+    println!("{}", "-".repeat(58));
+    for (name, params) in [
+        ("pruned (default)", base.clone().with_prune(true)),
+        ("unpruned", base.clone().with_prune(false)),
+    ] {
+        let (m, leaves) = cv(&ctx.data, &params);
+        println!(
+            "{:<28} {:>10.4} {:>8.2} {:>8}",
+            name, m.correlation, m.rae_percent, leaves
+        );
+    }
+
+    println!("\n=== Ablation: min instances per leaf (paper chose 430) ===\n");
+    println!(
+        "{:<28} {:>10} {:>8} {:>8}",
+        "min_instances", "C", "RAE %", "leaves"
+    );
+    println!("{}", "-".repeat(58));
+    let n = ctx.data.n_rows();
+    for &mi in &[10usize, 50, 100, 150, 430, 1000] {
+        if mi * 2 > n {
+            continue;
+        }
+        let params = base.clone().with_min_instances(mi);
+        let (m, leaves) = cv(&ctx.data, &params);
+        println!(
+            "{:<28} {:>10.4} {:>8.2} {:>8}",
+            mi, m.correlation, m.rae_percent, leaves
+        );
+    }
+
+    println!("\n=== Ablation: sectioning granularity ===\n");
+    println!(
+        "{:<28} {:>10} {:>8} {:>8}",
+        "instructions/section", "C", "RAE %", "n"
+    );
+    println!("{}", "-".repeat(58));
+    let instructions = match ctx.scale {
+        crate::Scale::Full => 2_000_000,
+        crate::Scale::Quick => 400_000,
+    };
+    for &len in &[2_000u64, 10_000, 50_000] {
+        let samples = mtperf::sim::simulate_suite(instructions, len, ctx.seed);
+        let data = mtperf::dataset_from_samples(&samples).expect("non-empty");
+        let params = base
+            .clone()
+            .with_min_instances((data.n_rows() / 30).max(8));
+        let learner = M5Learner::new(params);
+        let m = cross_validate(&learner, &data, 10, 7)
+            .expect("cv succeeds")
+            .pooled;
+        println!(
+            "{:<28} {:>10.4} {:>8.2} {:>8}",
+            len,
+            m.correlation,
+            m.rae_percent,
+            data.n_rows()
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! E12 (extension) — per-workload error breakdown: where Figure 3's
+//! outliers come from.
+
+use mtperf::prelude::*;
+use mtperf_eval::{breakdown_table, per_label_metrics};
+
+use crate::Context;
+
+/// Runs the experiment.
+pub fn run(ctx: &Context) {
+    println!("=== Per-workload prediction quality ===\n");
+    // Out-of-sample flavor: train on 75%, break down the held-out 25%.
+    let (train, test_idx) = {
+        // Deterministic interleaved split keeps every workload represented.
+        let train_idx: Vec<usize> =
+            (0..ctx.data.n_rows()).filter(|i| i % 4 != 0).collect();
+        let test_idx: Vec<usize> = (0..ctx.data.n_rows()).filter(|i| i % 4 == 0).collect();
+        (ctx.data.subset(&train_idx), test_idx)
+    };
+    let tree = ModelTree::fit(&train, &ctx.params).expect("training succeeds");
+    let test = ctx.data.subset(&test_idx);
+    let labels: Vec<String> = test_idx
+        .iter()
+        .map(|&i| ctx.labels[i].clone())
+        .collect();
+    let breakdown = per_label_metrics(&tree, &test, &labels);
+    let table = breakdown_table(&breakdown);
+    println!("{table}");
+    Context::save_artifact("breakdown.txt", &table);
+    println!(
+        "(per-workload RAE is relative to that workload's own mean predictor, so \
+         near-constant workloads can exceed 100% while still having tiny MAE — \
+         read MAE and C per row, RAE across rows)"
+    );
+}

@@ -1,0 +1,87 @@
+//! E15 (extension) — event-set ablation: which of Table I's 20 counters
+//! carry the model?
+//!
+//! The paper says its events "were chosen identified as candidates likely to
+//! be most relevant" but never measures their marginal value. Here we drop
+//! one event *family* at a time, retrain, and report the accuracy cost —
+//! plus a minimal-set run using only the events the paper's Figure 2 splits
+//! on.
+
+use mtperf::prelude::*;
+
+use crate::Context;
+
+/// Event families of Table I.
+const FAMILIES: &[(&str, &[&str])] = &[
+    ("instruction mix", &["InstLd", "InstSt", "InstOther"]),
+    ("branches", &["BrMisPr", "BrPred"]),
+    ("caches", &["L1DM", "L1IM", "L2M"]),
+    (
+        "TLBs",
+        &["DtlbL0LdM", "DtlbLdM", "DtlbLdReM", "Dtlb", "ItlbM"],
+    ),
+    ("load blocks", &["LdBlSta", "LdBlStd", "LdBlOvSt"]),
+    ("alignment", &["MisalRef", "L1DSpLd", "L1DSpSt"]),
+    ("LCP", &["LCP"]),
+];
+
+fn cv_rae(ctx: &Context, data: &Dataset) -> (f64, f64) {
+    let params = ctx.params.clone();
+    let learner = M5Learner::new(params);
+    let m = cross_validate(&learner, data, 10, 7)
+        .expect("cv succeeds")
+        .pooled;
+    (m.correlation, m.rae_percent)
+}
+
+/// Runs the experiment.
+pub fn run(ctx: &Context) {
+    println!("=== Event-set ablation: drop one family, retrain ===\n");
+    let (c_all, rae_all) = cv_rae(ctx, &ctx.data);
+    println!(
+        "{:<22} {:>10} {:>8} {:>12}",
+        "events used", "C", "RAE %", "RAE delta"
+    );
+    println!("{}", "-".repeat(56));
+    println!(
+        "{:<22} {:>10.4} {:>8.2} {:>12}",
+        "all 20 (baseline)", c_all, rae_all, "-"
+    );
+
+    for (family, members) in FAMILIES {
+        let keep: Vec<usize> = (0..ctx.data.n_attrs())
+            .filter(|&j| !members.contains(&ctx.data.attr_name(j)))
+            .collect();
+        let reduced = ctx.data.select_attrs(&keep).expect("non-empty selection");
+        let (c, rae) = cv_rae(ctx, &reduced);
+        println!(
+            "{:<22} {:>10.4} {:>8.2} {:>+11.2}%",
+            format!("- {family}"),
+            c,
+            rae,
+            rae - rae_all
+        );
+    }
+
+    // Minimal set: only the splits the full tree actually uses.
+    let mut used = Vec::new();
+    ctx.tree.root().split_attrs(&mut used);
+    used.sort_unstable();
+    used.dedup();
+    let minimal = ctx.data.select_attrs(&used).expect("non-empty selection");
+    let (c, rae) = cv_rae(ctx, &minimal);
+    let names: Vec<&str> = used.iter().map(|&j| ctx.data.attr_name(j)).collect();
+    println!(
+        "{:<22} {:>10.4} {:>8.2} {:>+11.2}%",
+        format!("only {} split vars", used.len()),
+        c,
+        rae,
+        rae - rae_all
+    );
+    println!("\nsplit variables of the full tree: {names:?}");
+    println!(
+        "(families whose removal barely moves RAE are explainable by the\n\
+         correlated events that remain — the redundancy that makes counter\n\
+         attribution hard, cf. the what-if experiment)"
+    );
+}

@@ -1,0 +1,69 @@
+//! E6 — Figure 3: predicted vs. actual CPI under 10-fold cross validation.
+//!
+//! The paper plots every out-of-fold prediction against its measured CPI
+//! and observes the cloud hugging the unity line with a few outliers. We
+//! emit the same series as CSV plus an ASCII rendering and the unity-line
+//! statistics.
+
+use mtperf::prelude::*;
+use mtperf_eval::scatter_csv;
+
+use crate::Context;
+
+/// Runs the experiment.
+pub fn run(ctx: &Context) {
+    println!("=== Figure 3: predicted vs actual CPI (10-fold CV) ===\n");
+    let learner = M5Learner::new(ctx.params.clone());
+    let cv = cross_validate(&learner, &ctx.data, 10, 7).expect("cv succeeds");
+    let pairs = cv.scatter();
+    Context::save_artifact("figure3_scatter.csv", &scatter_csv(&pairs));
+
+    // ASCII scatter: 56x24 grid over the observed CPI range.
+    let max_cpi = pairs
+        .iter()
+        .flat_map(|&(a, p)| [a, p])
+        .fold(0.0f64, f64::max)
+        .ceil();
+    const W: usize = 56;
+    const H: usize = 24;
+    let mut grid = vec![[' '; W]; H];
+    for &(a, p) in &pairs {
+        let x = ((a / max_cpi) * (W - 1) as f64).round() as usize;
+        let y = ((p / max_cpi) * (H - 1) as f64).round() as usize;
+        let cell = &mut grid[H - 1 - y.min(H - 1)][x.min(W - 1)];
+        *cell = match *cell {
+            ' ' => '.',
+            '.' => 'o',
+            _ => '@',
+        };
+    }
+    // Unity line.
+    for (x, y) in (0..W).map(|x| {
+        (
+            x,
+            ((x as f64 / (W - 1) as f64) * (H - 1) as f64).round() as usize,
+        )
+    }) {
+        let cell = &mut grid[H - 1 - y][x];
+        if *cell == ' ' {
+            *cell = '/';
+        }
+    }
+    println!("predicted CPI (0..{max_cpi}) vs actual CPI (0..{max_cpi}), '/' = unity line\n");
+    for row in &grid {
+        println!("  |{}", row.iter().collect::<String>());
+    }
+    println!("  +{}", "-".repeat(W));
+
+    // Unity-line statistics.
+    let within_10: usize = pairs
+        .iter()
+        .filter(|&&(a, p)| (p - a).abs() <= 0.1 * a.max(0.2))
+        .count();
+    println!(
+        "\n{} points; {:.1}% within 10% of the unity line; pooled {}",
+        pairs.len(),
+        100.0 * within_10 as f64 / pairs.len() as f64,
+        cv.pooled
+    );
+}

@@ -1,0 +1,77 @@
+//! E16 (extension) — generalization to unseen workloads.
+//!
+//! The paper's intended use is analyzing a *new* workload with the trained
+//! model ("To analyze the performance of a given workload, data is
+//! collected ... each section then traverses the tree"), but its evaluation
+//! only cross-validates within the training suite. Here we simulate ten
+//! CPU2006-like profiles the tree never saw, push their sections through
+//! the headline tree, and measure out-of-distribution accuracy and class
+//! placement.
+
+use mtperf::prelude::*;
+use mtperf_mtree::analysis;
+use mtperf_sim::workload::profiles;
+
+use crate::Context;
+
+/// Runs the experiment.
+pub fn run(ctx: &Context) {
+    println!("=== Generalization to unseen workloads ===\n");
+    let instructions = match ctx.scale {
+        crate::Scale::Full => 2_000_000,
+        crate::Scale::Quick => 400_000,
+    };
+    // The extended suite minus the training profiles.
+    let base_names: Vec<String> = profiles::suite(1)
+        .iter()
+        .map(|w| w.name.clone())
+        .collect();
+    let unseen: Vec<_> = profiles::extended_suite(instructions)
+        .into_iter()
+        .filter(|w| !base_names.contains(&w.name))
+        .collect();
+
+    let sim = Simulator::new(MachineConfig::core2_duo()).with_seed(ctx.seed);
+    println!(
+        "{:<24} {:>8} {:>10} {:>10} {:>24}",
+        "unseen workload", "n", "mean CPI", "MAE", "dominant class"
+    );
+    println!("{}", "-".repeat(80));
+
+    let mut all_actual = Vec::new();
+    let mut all_predicted = Vec::new();
+    for w in &unseen {
+        let samples = sim.run(w, crate::context::SECTION_LEN);
+        let data = mtperf::dataset_from_samples(&samples).expect("non-empty run");
+        let actual: Vec<f64> = data.targets().to_vec();
+        let predicted: Vec<f64> = (0..data.n_rows())
+            .map(|i| ctx.tree.predict(&data.row(i)))
+            .collect();
+        let m = Metrics::compute(&actual, &predicted);
+        let rows: Vec<Vec<f64>> = (0..data.n_rows()).map(|i| data.row(i)).collect();
+        let occ = analysis::leaf_occupancy(&ctx.tree, &rows);
+        let (top, top_n) = occ
+            .iter()
+            .max_by_key(|(_, &n)| n)
+            .expect("non-empty occupancy");
+        println!(
+            "{:<24} {:>8} {:>10.2} {:>10.3} {:>17} ({:.0}%)",
+            w.name,
+            data.n_rows(),
+            mtperf::linalg::stats::mean(&actual),
+            m.mae,
+            top.to_string(),
+            100.0 * *top_n as f64 / data.n_rows() as f64
+        );
+        all_actual.extend(actual);
+        all_predicted.extend(predicted);
+    }
+
+    let pooled = Metrics::compute(&all_actual, &all_predicted);
+    println!("\npooled over all unseen workloads: {pooled}");
+    println!(
+        "(compare the in-suite 10-fold CV of the headline experiment; the gap is\n\
+         the price of analyzing workloads outside the training distribution —\n\
+         the deployment regime the paper describes but never measures)"
+    );
+}

@@ -1,0 +1,49 @@
+//! E7 — headline accuracy: the paper's C ≈ 0.98, MAE ≈ 0.05, RAE = 7.83 %.
+
+use mtperf::prelude::*;
+
+use crate::Context;
+
+/// Runs the experiment.
+pub fn run(ctx: &Context) {
+    println!("=== Headline accuracy (10-fold cross validation) ===\n");
+    let learner = M5Learner::new(ctx.params.clone());
+    let cv = cross_validate(&learner, &ctx.data, 10, 7).expect("cv succeeds");
+
+    println!("{:<26} {:>10} {:>10}", "metric", "paper", "measured");
+    println!("{}", "-".repeat(50));
+    println!(
+        "{:<26} {:>10} {:>10.4}",
+        "correlation coefficient", "0.98", cv.pooled.correlation
+    );
+    println!("{:<26} {:>10} {:>10.4}", "mean absolute error", "0.05", cv.pooled.mae);
+    println!(
+        "{:<26} {:>10} {:>9.2}%",
+        "relative absolute error", "7.83%", cv.pooled.rae_percent
+    );
+    println!(
+        "\nper-fold: {}",
+        cv.folds
+            .iter()
+            .map(|f| format!("{:.3}", f.metrics.correlation))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    println!(
+        "\ntraining-set size {} sections, {} classes, min {} instances/leaf",
+        ctx.data.n_rows(),
+        ctx.tree.n_leaves(),
+        ctx.params.min_instances()
+    );
+    // The tight band applies at the paper's dataset scale; the quick run
+    // has 10x fewer sections and correspondingly noisier folds.
+    let rae_limit = match ctx.scale {
+        crate::Scale::Full => 12.0,
+        crate::Scale::Quick => 16.0,
+    };
+    let verdict = cv.pooled.correlation >= 0.97 && cv.pooled.rae_percent <= rae_limit;
+    println!(
+        "shape check (C >= 0.97 and RAE <= {rae_limit}%): {}",
+        if verdict { "PASS" } else { "FAIL" }
+    );
+}

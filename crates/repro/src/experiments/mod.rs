@@ -1,0 +1,19 @@
+//! One module per reproduced table/figure. See DESIGN.md §5.
+
+pub mod ablation;
+pub mod breakdown;
+pub mod comparison;
+pub mod curve;
+pub mod events;
+pub mod figure1;
+pub mod generalize;
+pub mod figure2;
+pub mod figure3;
+pub mod headline;
+pub mod interactions;
+pub mod lm_analysis;
+pub mod netburst;
+pub mod occupancy;
+pub mod split_impact;
+pub mod table1;
+pub mod whatif;

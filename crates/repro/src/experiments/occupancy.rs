@@ -1,0 +1,82 @@
+//! E9 — per-benchmark class occupancy.
+//!
+//! The paper's §V.A.1 reads the tree through the workloads: "more than 95%
+//! of [436.cactusADM's] sections experience high L2 cache misses combined
+//! with a high rate of L1 instruction misses" (LM18); "more than 70% of
+//! [429.mcf's] sections are classified in LM17"; "about 20% of [403.gcc's]
+//! sections experience performance degradation due to LCP stalls".
+
+use std::fmt::Write as _;
+
+use crate::Context;
+use mtperf_mtree::analysis;
+
+/// Runs the experiment.
+pub fn run(ctx: &Context) {
+    println!("=== Class occupancy by workload ===\n");
+    let rows: Vec<Vec<f64>> = (0..ctx.data.n_rows()).map(|i| ctx.data.row(i)).collect();
+    let occupancy = analysis::occupancy_by_label(&ctx.tree, &rows, &ctx.labels);
+
+    let mut csv = String::from("workload,class,sections,fraction\n");
+    for (workload, classes) in &occupancy {
+        let total: usize = classes.values().sum();
+        let mut parts: Vec<(String, f64)> = classes
+            .iter()
+            .map(|(leaf, &n)| (leaf.to_string(), n as f64 / total as f64))
+            .collect();
+        parts.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite fractions"));
+        let line = parts
+            .iter()
+            .map(|(l, f)| format!("{l} {:.0}%", f * 100.0))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!("{workload:<24} {line}");
+        for (leaf, &n) in classes {
+            let _ = writeln!(
+                csv,
+                "{workload},{leaf},{n},{}",
+                n as f64 / total as f64
+            );
+        }
+    }
+    Context::save_artifact("occupancy.csv", &csv);
+
+    // The paper's three concrete claims, checked on our data.
+    println!("\npaper-shape checks:");
+    let concentration = |needle: &str| -> f64 {
+        let classes = &occupancy[occupancy
+            .keys()
+            .find(|k| k.contains(needle))
+            .expect("workload present")
+            .as_str()];
+        let total: usize = classes.values().sum();
+        *classes.values().max().expect("non-empty") as f64 / total as f64
+    };
+    let cactus = concentration("cactusADM");
+    let mcf = concentration("mcf");
+    println!(
+        "  cactusADM concentration {:.0}% (paper: >95% in LM18)  {}",
+        cactus * 100.0,
+        if cactus > 0.6 { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "  mcf concentration {:.0}% (paper: >70% in LM17)       {}",
+        mcf * 100.0,
+        if mcf > 0.55 { "PASS" } else { "FAIL" }
+    );
+    let lcp = ctx
+        .data
+        .attr_index("LCP")
+        .expect("LCP attribute");
+    let gcc_total = ctx.labels.iter().filter(|l| l.contains("gcc")).count();
+    // Codegen-level LCP rates (perl's regex engine emits trace amounts too).
+    let gcc_lcp = (0..ctx.data.n_rows())
+        .filter(|&i| ctx.labels[i].contains("gcc") && ctx.data.value(i, lcp) > 0.03)
+        .count();
+    let frac = gcc_lcp as f64 / gcc_total as f64;
+    println!(
+        "  gcc sections with LCP stalls {:.0}% (paper: ~20%)     {}",
+        frac * 100.0,
+        if (0.08..=0.40).contains(&frac) { "PASS" } else { "FAIL" }
+    );
+}

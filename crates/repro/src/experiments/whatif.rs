@@ -1,0 +1,209 @@
+//! E13 (extension) — validating the "how much" answer against ground truth.
+//!
+//! The paper can only argue its gain estimates are plausible; with a
+//! simulated substrate we can *check* them. For each scenario we compute:
+//!
+//! * the **linear estimate** of §V.A.2 — the event's terms in the section's
+//!   class model, `Σ coefⱼ·xⱼ / ŷ` (assumes the section stays in its
+//!   class);
+//! * the **re-routing estimate** — a counterfactual row with the events
+//!   zeroed, classified through the whole tree (lets the section change
+//!   class, but can overshoot when the zeroed events are *correlated* with
+//!   others across classes);
+//! * the **simulated truth** — actually remove the bottleneck (a machine or
+//!   workload change) and re-measure.
+
+use mtperf::prelude::*;
+use mtperf_mtree::analysis;
+use mtperf_sim::workload::{profiles, WorkloadSpec};
+use mtperf_sim::MachineConfig;
+
+use crate::Context;
+
+/// Mean CPI of a simulated run, skipping the first quarter (transient).
+fn mean_cpi(samples: &mtperf::counters::SampleSet) -> f64 {
+    let cpis = samples.cpis();
+    let skip = cpis.len() / 4;
+    let tail = &cpis[skip..];
+    tail.iter().sum::<f64>() / tail.len() as f64
+}
+
+/// The median-CPI section index of `workload`.
+fn median_section(ctx: &Context, workload: &str) -> usize {
+    let mut indices: Vec<usize> = (0..ctx.data.n_rows())
+        .filter(|&i| ctx.labels[i].contains(workload))
+        .collect();
+    assert!(!indices.is_empty(), "workload {workload} present");
+    indices.sort_by(|&a, &b| {
+        ctx.data
+            .target(a)
+            .partial_cmp(&ctx.data.target(b))
+            .expect("finite CPI")
+    });
+    indices[indices.len() / 2]
+}
+
+/// Linear (within-class) gain estimate for zeroing `events`.
+fn linear_gain(ctx: &Context, row: &[f64], events: &[&str]) -> f64 {
+    let pred = ctx.tree.predict_raw(row);
+    if pred == 0.0 {
+        return 0.0;
+    }
+    let model = ctx.tree.leaf_for(row).model();
+    let amount: f64 = events
+        .iter()
+        .filter_map(|name| {
+            let attr = ctx.data.attr_index(name)?;
+            let coef = model.coefficient(attr)?;
+            Some(coef * row[attr])
+        })
+        .sum();
+    amount / pred
+}
+
+/// Re-routing gain estimate for zeroing `events`.
+fn reroute_gain(ctx: &Context, row: &[f64], events: &[&str]) -> f64 {
+    let changes: Vec<(usize, f64)> = events
+        .iter()
+        .map(|name| (ctx.data.attr_index(name).expect("known event"), 0.0))
+        .collect();
+    let before = ctx.tree.predict_raw(row);
+    let after = analysis::what_if_many(&ctx.tree, row, &changes);
+    (before - after) / before
+}
+
+/// Simulated actual relative gain: baseline vs modified run.
+fn actual_gain(
+    baseline_cfg: &MachineConfig,
+    baseline_w: &WorkloadSpec,
+    modified_cfg: &MachineConfig,
+    modified_w: &WorkloadSpec,
+) -> f64 {
+    let base = Simulator::new(baseline_cfg.clone())
+        .with_seed(crate::context::SEED)
+        .run(baseline_w, crate::context::SECTION_LEN);
+    let modified = Simulator::new(modified_cfg.clone())
+        .with_seed(crate::context::SEED)
+        .run(modified_w, crate::context::SECTION_LEN);
+    let before = mean_cpi(&base);
+    let after = mean_cpi(&modified);
+    (before - after) / before
+}
+
+struct Scenario {
+    label: &'static str,
+    linear: f64,
+    reroute: f64,
+    actual: f64,
+}
+
+/// Runs the experiment.
+pub fn run(ctx: &Context) {
+    println!("=== What-if validation: predicted vs simulated gains ===\n");
+    let instr = match ctx.scale {
+        crate::Scale::Full => 2_000_000,
+        crate::Scale::Quick => 400_000,
+    };
+    let cfg = MachineConfig::core2_duo();
+    let mut scenarios = Vec::new();
+
+    // 1. soplex with a perfect DTLB.
+    {
+        let events = ["Dtlb", "DtlbLdM", "DtlbLdReM", "DtlbL0LdM"];
+        let row = ctx.data.row(median_section(ctx, "soplex"));
+        let mut perfect_tlb = cfg.clone();
+        perfect_tlb.dtlb0 = mtperf::sim::TlbGeometry {
+            entries: 4096,
+            ways: 4,
+        };
+        perfect_tlb.dtlb1 = mtperf::sim::TlbGeometry {
+            entries: 8192,
+            ways: 4,
+        };
+        let w = profiles::soplex_like(instr);
+        scenarios.push(Scenario {
+            label: "soplex-like: eliminate DTLB misses",
+            linear: linear_gain(ctx, &row, &events),
+            reroute: reroute_gain(ctx, &row, &events),
+            actual: actual_gain(&cfg, &w, &perfect_tlb, &w),
+        });
+    }
+
+    // 2. gcc/perl without length-changing prefixes (the paper's suggested
+    //    compiler fix). Gains are averaged over the LCP-affected sections
+    //    and weighted by their share of the workload.
+    {
+        let lcp = ctx.data.attr_index("LCP").expect("LCP attribute");
+        let mut linear_sum = 0.0;
+        let mut reroute_sum = 0.0;
+        let mut affected = 0usize;
+        let mut total = 0usize;
+        for i in 0..ctx.data.n_rows() {
+            if !ctx.labels[i].contains("gcc") {
+                continue;
+            }
+            total += 1;
+            if ctx.data.value(i, lcp) <= 0.03 {
+                continue;
+            }
+            affected += 1;
+            let row = ctx.data.row(i);
+            linear_sum += linear_gain(ctx, &row, &["LCP"]);
+            reroute_sum += reroute_gain(ctx, &row, &["LCP"]);
+        }
+        let weight = affected as f64 / total.max(1) as f64;
+        let per_section = |sum: f64| sum / affected.max(1) as f64 * weight;
+
+        let baseline = profiles::gcc_like(instr);
+        let mut fixed = baseline.clone();
+        for p in &mut fixed.phases {
+            p.spec.lcp_frac = 0.0;
+        }
+        scenarios.push(Scenario {
+            label: "gcc-like: recompile away LCP prefixes",
+            linear: per_section(linear_sum),
+            reroute: per_section(reroute_sum),
+            actual: actual_gain(&cfg, &baseline, &cfg, &fixed),
+        });
+    }
+
+    // 3. gobmk with free branch recovery.
+    {
+        let row = ctx.data.row(median_section(ctx, "gobmk"));
+        let mut free_flush = cfg.clone();
+        free_flush.mispredict_penalty = 0.0;
+        let w = profiles::gobmk_like(instr);
+        scenarios.push(Scenario {
+            label: "gobmk-like: perfect branch prediction",
+            linear: linear_gain(ctx, &row, &["BrMisPr"]),
+            reroute: reroute_gain(ctx, &row, &["BrMisPr"]),
+            actual: actual_gain(&cfg, &w, &free_flush, &w),
+        });
+    }
+
+    println!(
+        "{:<44} {:>10} {:>10} {:>10}",
+        "scenario", "linear", "re-route", "simulated"
+    );
+    println!("{}", "-".repeat(78));
+    for s in &scenarios {
+        println!(
+            "{:<44} {:>9.1}% {:>9.1}% {:>9.1}%",
+            s.label,
+            s.linear * 100.0,
+            s.reroute * 100.0,
+            s.actual * 100.0
+        );
+    }
+
+    println!(
+        "\nreading: branch gains are estimated well (BrMisPr varies independently, so \
+         its coefficient is identified). DTLB gains are overestimated because DTLB \
+         misses co-vary with cache misses and page walks hide under them — the \
+         regression attributes shared cost to whichever event it likes. The paper \
+         shows the same signature: its LM11 coefficient of 193.98 per DtlbLdReM is \
+         ~6x any physical walk cost. Counter-based 'how much' answers are upper \
+         bounds whenever events are correlated; only an intervention (here: \
+         simulation, on real systems an actual fix) settles it."
+    );
+}

@@ -1,0 +1,15 @@
+//! Reproduction harness for the ISPASS 2007 paper.
+//!
+//! Each module regenerates one artifact of the paper's evaluation; the
+//! `mtperf-repro` binary dispatches on the experiment id. See `DESIGN.md`
+//! (§5, the experiment index) for the mapping from paper tables/figures to
+//! modules, and `EXPERIMENTS.md` for the recorded paper-vs-measured
+//! comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod experiments;
+
+pub use context::{Context, Scale};

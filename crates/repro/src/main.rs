@@ -1,0 +1,100 @@
+//! `mtperf-repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! USAGE: mtperf-repro [--quick] <experiment>...
+//!
+//! experiments:
+//!   table1        Table I        selected metrics + measured suite statistics
+//!   figure1       Figure 1       example M5' tree for Y = f(X1..X4)
+//!   figure2       Figure 2       the performance-analysis tree
+//!   figure3       Figure 3       predicted-vs-actual CPI scatter (10-fold CV)
+//!   lm-analysis   Eq. 4/5, LM18  leaf-model listings + worked contribution math
+//!   split-impact  §V.A.2         split-variable impact, both estimators
+//!   headline      §V.B           C / MAE / RAE vs the paper's numbers
+//!   comparison    §V.B           M5' vs OLS / CART / k-NN / MLP / SVR
+//!   occupancy     §V.A.1         per-benchmark class concentration claims
+//!   ablation      DESIGN.md §6   smoothing / pruning / min-instances / sectioning
+//!   curve         extension      learning curve over training-set size
+//!   breakdown     extension      per-workload held-out error breakdown
+//!   whatif        extension      predicted vs simulated gains (ground-truth check)
+//!   interactions  extension      pairwise interaction costs (vs the paper's ref [17])
+//!   events        extension      event-family ablation: which counters matter
+//!   generalize    extension      accuracy on ten workloads the tree never saw
+//!   netburst      extension      Core 2 vs NetBurst branch-sensitivity contrast
+//!   all           everything above, in order
+//! ```
+
+use std::process::ExitCode;
+
+use mtperf_repro::{experiments, Context, Scale};
+
+const EXPERIMENTS: &[&str] = &[
+    "table1",
+    "figure1",
+    "figure2",
+    "figure3",
+    "lm-analysis",
+    "split-impact",
+    "headline",
+    "comparison",
+    "occupancy",
+    "ablation",
+    "curve",
+    "breakdown",
+    "whatif",
+    "interactions",
+    "events",
+    "generalize",
+    "netburst",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut requested: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if requested.is_empty() {
+        eprintln!("usage: mtperf-repro [--quick] <experiment>...");
+        eprintln!("experiments: {} all", EXPERIMENTS.join(" "));
+        return ExitCode::FAILURE;
+    }
+    if requested.contains(&"all") {
+        requested = EXPERIMENTS.to_vec();
+    }
+    for name in &requested {
+        if !EXPERIMENTS.contains(name) {
+            eprintln!("unknown experiment {name:?}; known: {}", EXPERIMENTS.join(" "));
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let ctx = Context::build(scale);
+    for name in requested {
+        println!("\n################ {name} ################\n");
+        match name {
+            "table1" => experiments::table1::run(&ctx),
+            "figure1" => experiments::figure1::run(&ctx),
+            "figure2" => experiments::figure2::run(&ctx),
+            "figure3" => experiments::figure3::run(&ctx),
+            "lm-analysis" => experiments::lm_analysis::run(&ctx),
+            "split-impact" => experiments::split_impact::run(&ctx),
+            "headline" => experiments::headline::run(&ctx),
+            "comparison" => experiments::comparison::run(&ctx),
+            "occupancy" => experiments::occupancy::run(&ctx),
+            "ablation" => experiments::ablation::run(&ctx),
+            "curve" => experiments::curve::run(&ctx),
+            "breakdown" => experiments::breakdown::run(&ctx),
+            "whatif" => experiments::whatif::run(&ctx),
+            "interactions" => experiments::interactions::run(&ctx),
+            "events" => experiments::events::run(&ctx),
+            "generalize" => experiments::generalize::run(&ctx),
+            "netburst" => experiments::netburst::run(&ctx),
+            _ => unreachable!("validated above"),
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,194 @@
+//! Branch target buffer.
+//!
+//! Direction prediction alone is not enough to keep fetch on track: a taken
+//! branch whose *target* is unknown stalls the front end for a couple of
+//! cycles while the target resolves (a BACLEAR-style redirect, much cheaper
+//! than a full mispredict flush). The BTB caches targets by branch PC;
+//! indirect-ish branches that keep changing targets keep missing.
+
+use crate::config::TlbGeometry;
+
+/// BTB statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BtbStats {
+    /// Taken branches whose target was correctly cached.
+    pub hits: u64,
+    /// Taken branches that missed or had a stale target.
+    pub misses: u64,
+}
+
+impl BtbStats {
+    /// Total taken-branch lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio; 0.0 before any lookup.
+    pub fn miss_ratio(&self) -> f64 {
+        let n = self.lookups();
+        if n == 0 {
+            0.0
+        } else {
+            self.misses as f64 / n as f64
+        }
+    }
+}
+
+/// A set-associative branch target buffer keyed by branch PC, storing the
+/// last observed target.
+///
+/// Reuses [`TlbGeometry`] for its shape (entries/ways) since the structures
+/// are isomorphic.
+///
+/// # Example
+///
+/// ```
+/// use mtperf_sim::{Btb, TlbGeometry};
+///
+/// let mut btb = Btb::new(TlbGeometry { entries: 512, ways: 4 });
+/// assert!(btb.lookup_update(0x100, 0x4000)); // cold miss
+/// assert!(!btb.lookup_update(0x100, 0x4000)); // cached
+/// assert!(btb.lookup_update(0x100, 0x8000)); // target changed -> stale
+/// ```
+#[derive(Debug, Clone)]
+pub struct Btb {
+    sets: u32,
+    ways: u32,
+    /// `(branch pc, target)` per slot; pc `u64::MAX` marks invalid.
+    slots: Vec<(u64, u64)>,
+    stamps: Vec<u64>,
+    clock: u64,
+    stats: BtbStats,
+}
+
+const INVALID: u64 = u64::MAX;
+
+impl Btb {
+    /// Creates an empty BTB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (see [`TlbGeometry::sets`]).
+    pub fn new(geometry: TlbGeometry) -> Self {
+        let sets = geometry.sets();
+        let n = (sets * geometry.ways) as usize;
+        Btb {
+            sets,
+            ways: geometry.ways,
+            slots: vec![(INVALID, 0); n],
+            stamps: vec![0; n],
+            clock: 0,
+            stats: BtbStats::default(),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> BtbStats {
+        self.stats
+    }
+
+    /// Looks up the cached target for a **taken** branch at `pc` and
+    /// installs/updates the actual `target`. Returns `true` on a **miss**
+    /// (absent or stale target — the front end redirects).
+    pub fn lookup_update(&mut self, pc: u64, target: u64) -> bool {
+        let set = ((pc >> 2) % self.sets as u64) as usize;
+        let ways = self.ways as usize;
+        let base = set * ways;
+        self.clock += 1;
+        if let Some(way) = self.slots[base..base + ways]
+            .iter()
+            .position(|&(p, _)| p == pc)
+        {
+            let hit = self.slots[base + way].1 == target;
+            self.slots[base + way] = (pc, target);
+            self.stamps[base + way] = self.clock;
+            if hit {
+                self.stats.hits += 1;
+            } else {
+                self.stats.misses += 1;
+            }
+            return !hit;
+        }
+        // Absent: install over an invalid or LRU way.
+        let victim = self.slots[base..base + ways]
+            .iter()
+            .position(|&(p, _)| p == INVALID)
+            .unwrap_or_else(|| {
+                let mut lru = 0;
+                let mut lru_stamp = u64::MAX;
+                for (w, &s) in self.stamps[base..base + ways].iter().enumerate() {
+                    if s < lru_stamp {
+                        lru_stamp = s;
+                        lru = w;
+                    }
+                }
+                lru
+            });
+        self.slots[base + victim] = (pc, target);
+        self.stamps[base + victim] = self.clock;
+        self.stats.misses += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn btb() -> Btb {
+        Btb::new(TlbGeometry { entries: 8, ways: 2 })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut b = btb();
+        assert!(b.lookup_update(0x40, 0x1000));
+        assert!(!b.lookup_update(0x40, 0x1000));
+        assert_eq!(b.stats().hits, 1);
+        assert_eq!(b.stats().misses, 1);
+    }
+
+    #[test]
+    fn stale_target_misses() {
+        let mut b = btb();
+        b.lookup_update(0x40, 0x1000);
+        assert!(b.lookup_update(0x40, 0x2000), "changed target must miss");
+        // The new target is now cached.
+        assert!(!b.lookup_update(0x40, 0x2000));
+    }
+
+    #[test]
+    fn capacity_eviction() {
+        let mut b = btb(); // 4 sets x 2 ways
+        // Three branches in the same set (pc >> 2 congruent mod 4).
+        let pcs = [0x10u64, 0x50, 0x90];
+        for &pc in &pcs {
+            b.lookup_update(pc, 0x1000);
+        }
+        // First pc evicted by LRU; re-lookup misses.
+        assert!(b.lookup_update(pcs[0], 0x1000));
+    }
+
+    #[test]
+    fn stable_targets_converge_to_hits() {
+        let mut b = Btb::new(TlbGeometry {
+            entries: 512,
+            ways: 4,
+        });
+        for round in 0..4 {
+            for i in 0..64u64 {
+                let miss = b.lookup_update(i * 4, 0x4000 + i * 64);
+                if round > 0 {
+                    assert!(!miss, "pc {i} missed in round {round}");
+                }
+            }
+        }
+        assert!(b.stats().miss_ratio() < 0.3);
+    }
+
+    #[test]
+    fn empty_stats() {
+        assert_eq!(BtbStats::default().miss_ratio(), 0.0);
+        assert_eq!(BtbStats::default().lookups(), 0);
+    }
+}

@@ -1,0 +1,343 @@
+//! Machine configuration: geometry and penalty parameters.
+//!
+//! The default, [`MachineConfig::core2_duo`], models the platform of the
+//! paper's measurements: a 2.4 GHz Intel Core 2 Duo with 32 KB split L1
+//! caches, a 4 MB shared L2, a two-level DTLB whose last level maps roughly a
+//! quarter of the L2 (the capacity relationship the paper calls out when
+//! explaining why DTLB misses matter even when data hits the L2), and a
+//! ~15-cycle branch-misprediction pipeline flush.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes (must be a power of two).
+    pub line_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+}
+
+impl CacheGeometry {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sizes, non-power-of-two
+    /// line size, or capacity not divisible by `line * ways`).
+    pub fn sets(&self) -> u64 {
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(self.size_bytes > 0 && self.ways > 0, "degenerate cache geometry");
+        let lines = self.size_bytes / self.line_bytes;
+        assert!(
+            lines.is_multiple_of(self.ways as u64) && lines > 0,
+            "capacity must divide into line*ways"
+        );
+        lines / self.ways as u64
+    }
+}
+
+/// Geometry of a TLB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbGeometry {
+    /// Total number of entries.
+    pub entries: u32,
+    /// Associativity (ways per set).
+    pub ways: u32,
+}
+
+impl TlbGeometry {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not divisible by `ways` or either is zero.
+    pub fn sets(&self) -> u32 {
+        assert!(self.entries > 0 && self.ways > 0, "degenerate TLB geometry");
+        assert!(self.entries.is_multiple_of(self.ways), "entries must divide into ways");
+        self.entries / self.ways
+    }
+}
+
+/// Branch predictor configuration (gshare).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredictorConfig {
+    /// Global-history length in bits; the pattern table has `2^history_bits`
+    /// two-bit counters.
+    pub history_bits: u32,
+}
+
+/// Which hardware prefetcher the L2 runs.
+///
+/// Prefetching is one of the features the paper names as complicating the
+/// interpretation of raw counters; making it a knob lets the ablations
+/// measure exactly how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrefetcherKind {
+    /// No prefetching.
+    Off,
+    /// Next-line streams only (`+1` line deltas).
+    NextLine,
+    /// Constant-stride streams of any line delta (catches strided stencil
+    /// sweeps that defeat a next-line scheme).
+    Stride,
+}
+
+/// Full machine model: cache/TLB/predictor geometry plus the latency and
+/// penalty parameters consumed by the cycle-accounting model.
+///
+/// All latencies are in core cycles.
+///
+/// # Example
+///
+/// ```
+/// let m = mtperf_sim::MachineConfig::core2_duo();
+/// assert_eq!(m.l2.size_bytes, 4 * 1024 * 1024);
+/// // Last-level DTLB reach is about a quarter of the L2 capacity.
+/// let reach = m.dtlb1.entries as u64 * m.page_bytes;
+/// assert_eq!(reach * 4, m.l2.size_bytes);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// L1 instruction cache geometry.
+    pub l1i: CacheGeometry,
+    /// L1 data cache geometry.
+    pub l1d: CacheGeometry,
+    /// Unified L2 cache geometry.
+    pub l2: CacheGeometry,
+    /// First-level (L0) micro-DTLB geometry.
+    pub dtlb0: TlbGeometry,
+    /// Last-level DTLB geometry.
+    pub dtlb1: TlbGeometry,
+    /// ITLB geometry.
+    pub itlb: TlbGeometry,
+    /// Branch-target-buffer geometry.
+    pub btb: TlbGeometry,
+    /// Page size in bytes.
+    pub page_bytes: u64,
+    /// Branch predictor configuration.
+    pub predictor: PredictorConfig,
+    /// L2 prefetcher scheme.
+    pub prefetcher: PrefetcherKind,
+
+    /// Sustainable issue width (instructions per cycle) of the core.
+    pub issue_width: f64,
+    /// Extra per-instruction dependency-stall cost coefficient; the cycle
+    /// model charges `dep_stall_coeff / dep_distance` per instruction.
+    pub dep_stall_coeff: f64,
+    /// L1-miss / L2-hit load-to-use latency.
+    pub lat_l2: f64,
+    /// L2-miss memory latency.
+    pub lat_mem: f64,
+    /// Maximum memory-level parallelism the core can expose.
+    pub max_mlp: f64,
+    /// Penalty of an L0 DTLB miss that hits the big DTLB.
+    pub dtlb0_penalty: f64,
+    /// Page-walk cost of a last-level DTLB miss.
+    pub page_walk: f64,
+    /// Page-walk cost of an ITLB miss.
+    pub itlb_walk: f64,
+    /// Branch-misprediction flush penalty.
+    pub mispredict_penalty: f64,
+    /// Front-end redirect cost of a correctly-predicted taken branch whose
+    /// target missed the BTB (BACLEAR-style).
+    pub baclear_penalty: f64,
+    /// Length-changing-prefix pre-decode stall.
+    pub lcp_stall: f64,
+    /// Load-block penalty (STA/STD/overlapping-store replay).
+    pub ld_block_penalty: f64,
+    /// Cache-line-split access penalty.
+    pub split_penalty: f64,
+    /// Misaligned (but non-split) access penalty.
+    pub misalign_penalty: f64,
+}
+
+impl MachineConfig {
+    /// The 2.4 GHz Core 2 Duo-like configuration used for all paper
+    /// reproductions.
+    pub fn core2_duo() -> Self {
+        MachineConfig {
+            l1i: CacheGeometry {
+                size_bytes: 32 * 1024,
+                line_bytes: 64,
+                ways: 8,
+            },
+            l1d: CacheGeometry {
+                size_bytes: 32 * 1024,
+                line_bytes: 64,
+                ways: 8,
+            },
+            l2: CacheGeometry {
+                size_bytes: 4 * 1024 * 1024,
+                line_bytes: 64,
+                ways: 16,
+            },
+            dtlb0: TlbGeometry { entries: 16, ways: 4 },
+            dtlb1: TlbGeometry {
+                entries: 256,
+                ways: 4,
+            },
+            itlb: TlbGeometry {
+                entries: 128,
+                ways: 4,
+            },
+            btb: TlbGeometry {
+                entries: 2048,
+                ways: 4,
+            },
+            page_bytes: 4096,
+            predictor: PredictorConfig { history_bits: 12 },
+            prefetcher: PrefetcherKind::NextLine,
+
+            issue_width: 4.0,
+            dep_stall_coeff: 0.35,
+            lat_l2: 14.0,
+            lat_mem: 165.0,
+            max_mlp: 4.0,
+            dtlb0_penalty: 2.0,
+            page_walk: 12.0,
+            itlb_walk: 20.0,
+            mispredict_penalty: 15.0,
+            baclear_penalty: 3.0,
+            lcp_stall: 6.0,
+            ld_block_penalty: 5.0,
+            split_penalty: 4.0,
+            misalign_penalty: 2.0,
+        }
+    }
+
+    /// A Pentium 4 (NetBurst)-flavored configuration: the paper's §V.A.1
+    /// contrasts Core 2's moderate branch sensitivity with NetBurst, "where
+    /// the much longer pipeline translated into a greater pipeline flush and
+    /// resteering cost". Narrower issue, twice the flush cost, smaller L1D,
+    /// and a 1 MiB L2 (a Prescott-class part).
+    pub fn netburst_like() -> Self {
+        let mut m = Self::core2_duo();
+        m.l1d = CacheGeometry {
+            size_bytes: 16 * 1024,
+            line_bytes: 64,
+            ways: 8,
+        };
+        m.l1i = CacheGeometry {
+            // Trace cache stand-in: small effective instruction storage.
+            size_bytes: 16 * 1024,
+            line_bytes: 64,
+            ways: 8,
+        };
+        m.l2 = CacheGeometry {
+            size_bytes: 1024 * 1024,
+            line_bytes: 64,
+            ways: 8,
+        };
+        m.issue_width = 3.0;
+        m.mispredict_penalty = 30.0;
+        m.baclear_penalty = 6.0;
+        m.lat_l2 = 18.0;
+        m
+    }
+
+    /// A scaled-down machine for fast unit tests: tiny caches and TLBs so
+    /// miss behavior can be provoked with small footprints.
+    pub fn tiny() -> Self {
+        let mut m = Self::core2_duo();
+        m.l1i = CacheGeometry {
+            size_bytes: 1024,
+            line_bytes: 64,
+            ways: 2,
+        };
+        m.l1d = CacheGeometry {
+            size_bytes: 1024,
+            line_bytes: 64,
+            ways: 2,
+        };
+        m.l2 = CacheGeometry {
+            size_bytes: 8 * 1024,
+            line_bytes: 64,
+            ways: 4,
+        };
+        m.dtlb0 = TlbGeometry { entries: 4, ways: 2 };
+        m.dtlb1 = TlbGeometry { entries: 8, ways: 2 };
+        m.itlb = TlbGeometry { entries: 4, ways: 2 };
+        m.btb = TlbGeometry { entries: 16, ways: 2 };
+        m
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::core2_duo()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core2_geometry_is_consistent() {
+        let m = MachineConfig::core2_duo();
+        assert_eq!(m.l1d.sets(), 64); // 32K / 64B / 8 ways
+        assert_eq!(m.l1i.sets(), 64);
+        assert_eq!(m.l2.sets(), 4096); // 4M / 64B / 16 ways
+        assert_eq!(m.dtlb0.sets(), 4);
+        assert_eq!(m.dtlb1.sets(), 64);
+        assert_eq!(m.itlb.sets(), 32);
+    }
+
+    #[test]
+    fn dtlb_reach_is_quarter_of_l2() {
+        // The paper: "the DTLB contains only enough entries to map about 1/4
+        // of the full L2 cache."
+        let m = MachineConfig::core2_duo();
+        assert_eq!(m.dtlb1.entries as u64 * m.page_bytes * 4, m.l2.size_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_line_size() {
+        CacheGeometry {
+            size_bytes: 1024,
+            line_bytes: 48,
+            ways: 2,
+        }
+        .sets();
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn rejects_bad_tlb_ways() {
+        TlbGeometry { entries: 10, ways: 4 }.sets();
+    }
+
+    #[test]
+    fn default_is_core2() {
+        assert_eq!(MachineConfig::default(), MachineConfig::core2_duo());
+    }
+
+    #[test]
+    fn netburst_is_flushier() {
+        let nb = MachineConfig::netburst_like();
+        let c2 = MachineConfig::core2_duo();
+        assert!(nb.mispredict_penalty > c2.mispredict_penalty);
+        assert!(nb.l2.size_bytes < c2.l2.size_bytes);
+        assert!(nb.issue_width < c2.issue_width);
+    }
+
+    #[test]
+    fn tiny_is_smaller() {
+        let t = MachineConfig::tiny();
+        let c = MachineConfig::core2_duo();
+        assert!(t.l1d.size_bytes < c.l1d.size_bytes);
+        assert!(t.dtlb1.entries < c.dtlb1.entries);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = MachineConfig::core2_duo();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: MachineConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

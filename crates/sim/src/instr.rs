@@ -1,0 +1,118 @@
+//! Dynamic-instruction representation produced by the workload generator and
+//! consumed by the simulator core.
+
+/// The class of a dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstrKind {
+    /// A load from `addr` of `size` bytes.
+    Load {
+        /// Virtual byte address accessed.
+        addr: u64,
+        /// Access size in bytes.
+        size: u8,
+    },
+    /// A store to `addr` of `size` bytes.
+    Store {
+        /// Virtual byte address accessed.
+        addr: u64,
+        /// Access size in bytes.
+        size: u8,
+    },
+    /// A conditional branch with its resolved direction and (for taken
+    /// branches) its target.
+    Branch {
+        /// Actual direction of the branch.
+        taken: bool,
+        /// Branch target when taken.
+        target: u64,
+    },
+    /// Any other (ALU-class) instruction; `lcp` marks instructions whose
+    /// encoding carries a length-changing prefix and therefore stalls the
+    /// pre-decoder.
+    Other {
+        /// Length-changing-prefix flag.
+        lcp: bool,
+    },
+}
+
+/// One dynamic instruction.
+///
+/// `dep_distance` is the distance (in instructions) to the consumer of this
+/// instruction's result — the generator's proxy for the instruction-level
+/// parallelism around it. It shapes how much latency the out-of-order core
+/// can hide but is *not* observable through any Table I counter, exactly
+/// like real ILP: it contributes the irreducible error term of the paper's
+/// Equation 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Instr {
+    /// Instruction class and operands.
+    pub kind: InstrKind,
+    /// Distance to the dependent consumer, `>= 1`.
+    pub dep_distance: u32,
+}
+
+impl Instr {
+    /// Convenience constructor for an ALU instruction without LCP.
+    pub fn other(dep_distance: u32) -> Self {
+        Instr {
+            kind: InstrKind::Other { lcp: false },
+            dep_distance,
+        }
+    }
+
+    /// Returns the memory access `(addr, size, is_store)` if this is a load
+    /// or store.
+    pub fn mem_access(&self) -> Option<(u64, u8, bool)> {
+        match self.kind {
+            InstrKind::Load { addr, size } => Some((addr, size, false)),
+            InstrKind::Store { addr, size } => Some((addr, size, true)),
+            _ => None,
+        }
+    }
+
+    /// `true` for loads.
+    pub fn is_load(&self) -> bool {
+        matches!(self.kind, InstrKind::Load { .. })
+    }
+
+    /// `true` for stores.
+    pub fn is_store(&self) -> bool {
+        matches!(self.kind, InstrKind::Store { .. })
+    }
+
+    /// `true` for branches.
+    pub fn is_branch(&self) -> bool {
+        matches!(self.kind, InstrKind::Branch { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_access_extraction() {
+        let ld = Instr {
+            kind: InstrKind::Load { addr: 0x10, size: 8 },
+            dep_distance: 1,
+        };
+        assert_eq!(ld.mem_access(), Some((0x10, 8, false)));
+        assert!(ld.is_load() && !ld.is_store() && !ld.is_branch());
+
+        let st = Instr {
+            kind: InstrKind::Store { addr: 0x20, size: 4 },
+            dep_distance: 2,
+        };
+        assert_eq!(st.mem_access(), Some((0x20, 4, true)));
+        assert!(st.is_store());
+
+        let br = Instr {
+            kind: InstrKind::Branch { taken: true, target: 0x40 },
+            dep_distance: 1,
+        };
+        assert_eq!(br.mem_access(), None);
+        assert!(br.is_branch());
+
+        assert_eq!(Instr::other(3).mem_access(), None);
+    }
+}

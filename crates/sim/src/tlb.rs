@@ -1,0 +1,242 @@
+//! Translation-lookaside-buffer model.
+//!
+//! A TLB here is a set-associative cache over virtual *page numbers*. The
+//! Core 2 Duo data-side hierarchy has a small L0 micro-TLB backed by a
+//! 256-entry last-level DTLB; instruction fetch uses a separate ITLB. The
+//! simulator composes three [`Tlb`] instances (see `memory.rs`).
+
+use crate::config::TlbGeometry;
+
+/// Hit/miss counters for a TLB instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Number of translations that hit.
+    pub hits: u64,
+    /// Number of translations that missed.
+    pub misses: u64,
+}
+
+impl TlbStats {
+    /// Total translations.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio; 0.0 before any translation.
+    pub fn miss_ratio(&self) -> f64 {
+        let a = self.accesses();
+        if a == 0 {
+            0.0
+        } else {
+            self.misses as f64 / a as f64
+        }
+    }
+}
+
+/// A set-associative TLB with true-LRU replacement, keyed by virtual page
+/// number.
+///
+/// # Example
+///
+/// ```
+/// use mtperf_sim::{Tlb, TlbGeometry};
+///
+/// let mut t = Tlb::new(TlbGeometry { entries: 8, ways: 2 }, 4096);
+/// assert!(t.translate(0x0000)); // cold miss
+/// assert!(!t.translate(0x0800)); // same 4 KiB page -> hit
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    sets: u32,
+    ways: u32,
+    page_shift: u32,
+    /// `pages[set * ways + way]`; `u64::MAX` marks an invalid entry.
+    pages: Vec<u64>,
+    stamps: Vec<u64>,
+    clock: u64,
+    stats: TlbStats,
+}
+
+const INVALID: u64 = u64::MAX;
+
+impl Tlb {
+    /// Creates an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate or `page_bytes` is not a power
+    /// of two.
+    pub fn new(geometry: TlbGeometry, page_bytes: u64) -> Self {
+        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        let sets = geometry.sets();
+        Tlb {
+            sets,
+            ways: geometry.ways,
+            page_shift: page_bytes.trailing_zeros(),
+            pages: vec![INVALID; (sets * geometry.ways) as usize],
+            stamps: vec![0; (sets * geometry.ways) as usize],
+            clock: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Reach in bytes: entries × page size.
+    pub fn reach_bytes(&self) -> u64 {
+        (self.sets as u64 * self.ways as u64) << self.page_shift
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Translates a virtual address; returns `true` on a **miss** (a page
+    /// walk happened and the entry was installed).
+    pub fn translate(&mut self, vaddr: u64) -> bool {
+        let page = vaddr >> self.page_shift;
+        let set = (page % self.sets as u64) as usize;
+        let ways = self.ways as usize;
+        let base = set * ways;
+        self.clock += 1;
+        let slots = &mut self.pages[base..base + ways];
+        if let Some(way) = slots.iter().position(|&p| p == page) {
+            self.stamps[base + way] = self.clock;
+            self.stats.hits += 1;
+            return false;
+        }
+        let victim = match slots.iter().position(|&p| p == INVALID) {
+            Some(w) => w,
+            None => {
+                let mut lru_way = 0;
+                let mut lru_stamp = u64::MAX;
+                for (w, &s) in self.stamps[base..base + ways].iter().enumerate() {
+                    if s < lru_stamp {
+                        lru_stamp = s;
+                        lru_way = w;
+                    }
+                }
+                lru_way
+            }
+        };
+        self.pages[base + victim] = page;
+        self.stamps[base + victim] = self.clock;
+        self.stats.misses += 1;
+        true
+    }
+
+    /// Installs the entry for `vaddr` without counting a hit or a miss
+    /// (warmup fill).
+    pub fn install(&mut self, vaddr: u64) {
+        let page = vaddr >> self.page_shift;
+        let set = (page % self.sets as u64) as usize;
+        let ways = self.ways as usize;
+        let base = set * ways;
+        self.clock += 1;
+        let slots = &mut self.pages[base..base + ways];
+        if let Some(way) = slots.iter().position(|&p| p == page) {
+            self.stamps[base + way] = self.clock;
+            return;
+        }
+        let victim = match slots.iter().position(|&p| p == INVALID) {
+            Some(w) => w,
+            None => {
+                let mut lru_way = 0;
+                let mut lru_stamp = u64::MAX;
+                for (w, &s) in self.stamps[base..base + ways].iter().enumerate() {
+                    if s < lru_stamp {
+                        lru_stamp = s;
+                        lru_way = w;
+                    }
+                }
+                lru_way
+            }
+        };
+        self.pages[base + victim] = page;
+        self.stamps[base + victim] = self.clock;
+    }
+
+    /// Invalidates all entries and clears statistics.
+    pub fn flush(&mut self) {
+        self.pages.fill(INVALID);
+        self.stamps.fill(0);
+        self.clock = 0;
+        self.stats = TlbStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TlbGeometry;
+
+    fn tlb4() -> Tlb {
+        Tlb::new(TlbGeometry { entries: 4, ways: 2 }, 4096)
+    }
+
+    #[test]
+    fn same_page_hits() {
+        let mut t = tlb4();
+        assert!(t.translate(0x1000));
+        assert!(!t.translate(0x1fff));
+        assert!(!t.translate(0x1800));
+        assert_eq!(t.stats().misses, 1);
+        assert_eq!(t.stats().hits, 2);
+    }
+
+    #[test]
+    fn reach_is_entries_times_page() {
+        let t = tlb4();
+        assert_eq!(t.reach_bytes(), 4 * 4096);
+    }
+
+    #[test]
+    fn working_set_within_reach_steady_hits() {
+        let mut t = tlb4();
+        // 4 pages spread over both sets (page numbers 0..4, 2 per set).
+        for p in 0..4u64 {
+            t.translate(p * 4096);
+        }
+        for _ in 0..3 {
+            for p in 0..4u64 {
+                assert!(!t.translate(p * 4096));
+            }
+        }
+    }
+
+    #[test]
+    fn exceeding_reach_thrashes() {
+        let mut t = tlb4();
+        for _ in 0..4 {
+            for p in 0..16u64 {
+                t.translate(p * 4096);
+            }
+        }
+        assert!(t.stats().miss_ratio() > 0.9);
+    }
+
+    #[test]
+    fn lru_within_set() {
+        let mut t = tlb4(); // 2 sets x 2 ways; pages with equal parity share a set
+        t.translate(0); // set 0
+        t.translate(2 * 4096); // set 0
+        t.translate(0); // refresh page 0
+        t.translate(4 * 4096); // set 0 -> evicts page 2
+        assert!(!t.translate(0), "page 0 must have survived");
+        assert!(t.translate(2 * 4096), "page 2 must have been evicted");
+    }
+
+    #[test]
+    fn flush_resets() {
+        let mut t = tlb4();
+        t.translate(0);
+        t.flush();
+        assert_eq!(t.stats().accesses(), 0);
+        assert!(t.translate(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_page_size() {
+        Tlb::new(TlbGeometry { entries: 4, ways: 2 }, 1000);
+    }
+}

@@ -1,0 +1,21 @@
+//! Synthetic workload modeling.
+//!
+//! We do not have SPEC CPU2006 binaries; what the learning problem needs is
+//! a population of workload *sections* spanning distinct performance classes.
+//! A [`PhaseSpec`] parameterizes the statistical character of one execution
+//! phase — instruction mix, data working set and access patterns, code
+//! footprint, branch predictability, ILP, alignment discipline — and a
+//! [`WorkloadSpec`] strings phases together the way real programs move
+//! through phases (the paper leans on Sherwood-style phase behavior).
+//!
+//! [`profiles`] instantiates a suite of specs mimicking the published
+//! bottleneck structure of SPEC CPU2006 members (mcf's pointer chasing,
+//! cactusADM's combined instruction+data cache pressure, gcc's
+//! length-changing prefixes, …).
+
+mod gen;
+pub mod profiles;
+mod spec;
+
+pub use gen::{InstrStream, CODE_BASE, DATA_BASE, HOT_BASE, HOT_BYTES};
+pub use spec::{AccessMix, InstrMix, PhasePlan, PhaseSpec, WorkloadSpec};

@@ -1,0 +1,655 @@
+//! Synthetic profiles mimicking the bottleneck structure of SPEC CPU2006
+//! benchmarks.
+//!
+//! Each profile is parameterized from the *published* performance character
+//! of the benchmark it is named after — e.g. 429.mcf is dominated by
+//! dependent pointer chasing over a working set far beyond any cache,
+//! 436.cactusADM combines instruction-cache pressure with data-side L2
+//! misses, 403.gcc mixes instruction-cache pressure with length-changing
+//! prefixes — so the simulated suite spans the same performance *classes*
+//! the paper's model tree discovers, even though the instruction streams are
+//! synthetic.
+//!
+//! Use [`suite`] for the full set or [`toy_suite`] for a fast three-workload
+//! set in tests.
+
+use crate::workload::spec::{AccessMix, InstrMix, PhaseSpec, WorkloadSpec};
+
+const KIB: u64 = 1024;
+const MIB: u64 = 1024 * 1024;
+
+fn phase(name: &str) -> PhaseSpec {
+    PhaseSpec::balanced(name)
+}
+
+/// `400.perlbench`-like: branchy interpreter, moderate code footprint,
+/// data mostly cache-resident.
+pub fn perlbench_like(instructions: u64) -> WorkloadSpec {
+    let mut interp = phase("interp");
+    interp.mix = InstrMix { load: 0.30, store: 0.12, branch: 0.22 };
+    interp.code_bytes = 96 * KIB;
+    interp.data_ws_bytes = MIB;
+    interp.hot_fraction = 0.75;
+    interp.random_branch_frac = 0.12;
+    interp.ilp = 4.0;
+
+    let mut regex = phase("regex");
+    regex.mix = InstrMix { load: 0.32, store: 0.08, branch: 0.20 };
+    regex.code_bytes = 64 * KIB;
+    regex.data_ws_bytes = 512 * KIB;
+    regex.hot_fraction = 0.8;
+    regex.random_branch_frac = 0.15;
+    // Perl's regex engine carries some 16-bit-immediate encodings too.
+    regex.lcp_frac = 0.04;
+    regex.ilp = 5.0;
+
+    WorkloadSpec::new("400.perlbench-like")
+        .phase(interp, instructions * 6 / 10)
+        .phase(regex, instructions * 4 / 10)
+}
+
+/// `401.bzip2`-like: alternating compress/decompress phases with moderate
+/// random traffic in a few-MiB block.
+pub fn bzip2_like(instructions: u64) -> WorkloadSpec {
+    let mut compress = phase("compress");
+    compress.mix = InstrMix { load: 0.26, store: 0.14, branch: 0.16 };
+    compress.data_ws_bytes = 4 * MIB;
+    compress.hot_fraction = 0.72;
+    compress.access = AccessMix { sequential: 0.35, chase: 0.0, stride: 64 };
+    compress.random_branch_frac = 0.30;
+    compress.ilp = 5.0;
+
+    let mut decompress = phase("decompress");
+    decompress.mix = InstrMix { load: 0.28, store: 0.16, branch: 0.14 };
+    decompress.data_ws_bytes = MIB;
+    decompress.hot_fraction = 0.8;
+    decompress.access = AccessMix { sequential: 0.6, chase: 0.0, stride: 64 };
+    decompress.random_branch_frac = 0.2;
+    decompress.ilp = 6.0;
+
+    WorkloadSpec::new("401.bzip2-like")
+        .phase(compress, instructions / 4)
+        .phase(decompress, instructions / 4)
+        .repeats(2)
+}
+
+/// `403.gcc`-like: large code footprint and the suite's signature
+/// length-changing-prefix stalls, concentrated in a codegen phase.
+pub fn gcc_like(instructions: u64) -> WorkloadSpec {
+    let mut parse = phase("parse");
+    parse.mix = InstrMix { load: 0.28, store: 0.12, branch: 0.22 };
+    parse.code_bytes = 384 * KIB;
+    parse.data_ws_bytes = 2 * MIB;
+    parse.hot_fraction = 0.75;
+    parse.random_branch_frac = 0.3;
+    parse.code_locality = 0.7;
+    parse.lcp_frac = 0.05;
+    parse.ilp = 4.0;
+
+    let mut optimize = phase("optimize");
+    optimize.mix = InstrMix { load: 0.3, store: 0.12, branch: 0.18 };
+    optimize.code_bytes = 512 * KIB;
+    optimize.data_ws_bytes = 3 * MIB;
+    optimize.hot_fraction = 0.75;
+    optimize.random_branch_frac = 0.2;
+    optimize.ilp = 4.5;
+
+    let mut codegen = phase("codegen");
+    codegen.mix = InstrMix { load: 0.26, store: 0.14, branch: 0.16 };
+    codegen.code_bytes = 256 * KIB;
+    codegen.data_ws_bytes = MIB;
+    codegen.hot_fraction = 0.8;
+    // The paper: ~20% of gcc sections suffer LCP stalls.
+    codegen.lcp_frac = 0.12;
+    codegen.ilp = 5.0;
+
+    WorkloadSpec::new("403.gcc-like")
+        .phase(parse, instructions * 4 / 10)
+        .phase(optimize, instructions * 4 / 10)
+        .phase(codegen, instructions * 2 / 10)
+}
+
+/// `429.mcf`-like: dependent pointer chasing across a working set far
+/// beyond the L2 — the highest-CPI workload of the suite; most sections
+/// land in the L2-miss-dominated leaf (LM17 in the paper).
+pub fn mcf_like(instructions: u64) -> WorkloadSpec {
+    let mut chase = phase("chase");
+    chase.mix = InstrMix { load: 0.32, store: 0.08, branch: 0.18 };
+    chase.data_ws_bytes = 48 * MIB;
+    chase.hot_fraction = 0.88;
+    chase.access = AccessMix { sequential: 0.0, chase: 0.75, stride: 64 };
+    chase.random_branch_frac = 0.35;
+    chase.ilp = 3.0;
+
+    let mut relax = phase("relax");
+    relax.mix = InstrMix { load: 0.3, store: 0.1, branch: 0.16 };
+    relax.data_ws_bytes = 48 * MIB;
+    relax.hot_fraction = 0.92;
+    relax.access = AccessMix { sequential: 0.1, chase: 0.6, stride: 64 };
+    relax.random_branch_frac = 0.3;
+    relax.ilp = 3.5;
+
+    WorkloadSpec::new("429.mcf-like")
+        .phase(chase, instructions * 3 / 4)
+        .phase(relax, instructions / 4)
+}
+
+/// `433.milc`-like: streaming lattice sweeps — large-footprint sequential
+/// traffic with high memory-level parallelism and prefetch-friendly strides.
+pub fn milc_like(instructions: u64) -> WorkloadSpec {
+    let mut sweep = phase("sweep");
+    sweep.mix = InstrMix { load: 0.32, store: 0.14, branch: 0.08 };
+    sweep.data_ws_bytes = 24 * MIB;
+    sweep.hot_fraction = 0.55;
+    sweep.access = AccessMix { sequential: 0.9, chase: 0.0, stride: 64 };
+    sweep.random_branch_frac = 0.05;
+    sweep.ilp = 9.0;
+
+    WorkloadSpec::new("433.milc-like").phase(sweep, instructions)
+}
+
+/// `436.cactusADM`-like: the paper's LM18 citizen — heavy L1 instruction
+/// misses combined with data-side L2 misses saturate CPI.
+pub fn cactus_like(instructions: u64) -> WorkloadSpec {
+    let mut stencil = phase("stencil");
+    stencil.mix = InstrMix { load: 0.34, store: 0.14, branch: 0.06 };
+    stencil.code_bytes = 640 * KIB;
+    stencil.data_ws_bytes = 16 * MIB;
+    stencil.hot_fraction = 0.78;
+    stencil.access = AccessMix { sequential: 0.45, chase: 0.0, stride: 192 };
+    stencil.random_branch_frac = 0.05;
+    stencil.code_locality = 0.15;
+    stencil.ilp = 5.0;
+
+    WorkloadSpec::new("436.cactusADM-like").phase(stencil, instructions)
+}
+
+/// `444.namd`-like: compute-dense molecular dynamics; high ILP, everything
+/// cache-resident — the suite's CPI floor.
+pub fn namd_like(instructions: u64) -> WorkloadSpec {
+    let mut force = phase("force");
+    force.mix = InstrMix { load: 0.24, store: 0.08, branch: 0.08 };
+    force.data_ws_bytes = 512 * KIB;
+    force.hot_fraction = 0.8;
+    force.access = AccessMix { sequential: 0.7, chase: 0.0, stride: 32 };
+    force.random_branch_frac = 0.04;
+    force.ilp = 10.0;
+
+    WorkloadSpec::new("444.namd-like").phase(force, instructions)
+}
+
+/// `445.gobmk`-like: game-tree search with data-dependent branches — the
+/// branch-misprediction stressor.
+pub fn gobmk_like(instructions: u64) -> WorkloadSpec {
+    let mut search = phase("search");
+    search.mix = InstrMix { load: 0.27, store: 0.1, branch: 0.24 };
+    search.code_bytes = 256 * KIB;
+    search.data_ws_bytes = MIB;
+    search.hot_fraction = 0.78;
+    search.random_branch_frac = 0.55;
+    search.ilp = 3.5;
+
+    let mut pattern = phase("pattern");
+    pattern.mix = InstrMix { load: 0.3, store: 0.08, branch: 0.2 };
+    pattern.code_bytes = 192 * KIB;
+    pattern.data_ws_bytes = 2 * MIB;
+    pattern.hot_fraction = 0.75;
+    pattern.random_branch_frac = 0.4;
+    pattern.ilp = 4.0;
+
+    WorkloadSpec::new("445.gobmk-like")
+        .phase(search, instructions * 6 / 10)
+        .phase(pattern, instructions * 4 / 10)
+}
+
+/// `450.soplex`-like: sparse linear algebra whose working set fits the L2
+/// but overflows the DTLB — the paper's DTLB-without-L2-miss class.
+pub fn soplex_like(instructions: u64) -> WorkloadSpec {
+    let mut factor = phase("factor");
+    factor.mix = InstrMix { load: 0.34, store: 0.1, branch: 0.14 };
+    factor.data_ws_bytes = 2560 * KIB; // 2.5 MiB: inside L2, beyond DTLB reach
+    factor.hot_fraction = 0.5;
+    factor.access = AccessMix { sequential: 0.15, chase: 0.0, stride: 64 };
+    factor.random_branch_frac = 0.2;
+    factor.ilp = 5.0;
+
+    let mut price = phase("price");
+    price.mix = InstrMix { load: 0.3, store: 0.12, branch: 0.16 };
+    price.data_ws_bytes = 1536 * KIB;
+    price.hot_fraction = 0.6;
+    price.access = AccessMix { sequential: 0.4, chase: 0.0, stride: 64 };
+    price.random_branch_frac = 0.18;
+    price.ilp = 5.5;
+
+    WorkloadSpec::new("450.soplex-like")
+        .phase(factor, instructions * 6 / 10)
+        .phase(price, instructions * 4 / 10)
+}
+
+/// `456.hmmer`-like: profile HMM scoring — store-heavy inner loop with
+/// store-to-load forwarding hazards.
+pub fn hmmer_like(instructions: u64) -> WorkloadSpec {
+    let mut viterbi = phase("viterbi");
+    viterbi.mix = InstrMix { load: 0.3, store: 0.2, branch: 0.1 };
+    viterbi.data_ws_bytes = 256 * KIB;
+    viterbi.hot_fraction = 0.8;
+    viterbi.access = AccessMix { sequential: 0.8, chase: 0.0, stride: 16 };
+    viterbi.store_reuse_frac = 0.18;
+    viterbi.random_branch_frac = 0.05;
+    viterbi.ilp = 8.0;
+
+    WorkloadSpec::new("456.hmmer-like").phase(viterbi, instructions)
+}
+
+/// `458.sjeng`-like: chess search — branchy with a mid-size working set.
+pub fn sjeng_like(instructions: u64) -> WorkloadSpec {
+    let mut search = phase("search");
+    search.mix = InstrMix { load: 0.26, store: 0.1, branch: 0.22 };
+    search.code_bytes = 128 * KIB;
+    search.data_ws_bytes = 768 * KIB;
+    search.hot_fraction = 0.75;
+    search.random_branch_frac = 0.38;
+    search.ilp = 4.0;
+
+    WorkloadSpec::new("458.sjeng-like").phase(search, instructions)
+}
+
+/// `462.libquantum`-like: long streaming sweeps over a huge array — many L2
+/// misses, all prefetchable and deeply overlapped.
+pub fn libquantum_like(instructions: u64) -> WorkloadSpec {
+    let mut gate = phase("gate");
+    gate.mix = InstrMix { load: 0.28, store: 0.12, branch: 0.12 };
+    gate.data_ws_bytes = 32 * MIB;
+    gate.hot_fraction = 0.45;
+    gate.access = AccessMix { sequential: 0.95, chase: 0.0, stride: 16 };
+    gate.random_branch_frac = 0.03;
+    gate.ilp = 12.0;
+
+    WorkloadSpec::new("462.libquantum-like").phase(gate, instructions)
+}
+
+/// `464.h264ref`-like: video coding — misaligned and line-split accesses
+/// plus store-forwarding traffic.
+pub fn h264_like(instructions: u64) -> WorkloadSpec {
+    let mut motion = phase("motion");
+    motion.mix = InstrMix { load: 0.33, store: 0.15, branch: 0.12 };
+    motion.data_ws_bytes = 2 * MIB;
+    motion.hot_fraction = 0.7;
+    motion.access = AccessMix { sequential: 0.55, chase: 0.0, stride: 48 };
+    motion.misalign_frac = 0.22;
+    motion.store_reuse_frac = 0.12;
+    motion.random_branch_frac = 0.15;
+    motion.ilp = 6.0;
+
+    WorkloadSpec::new("464.h264ref-like").phase(motion, instructions)
+}
+
+/// `471.omnetpp`-like: discrete-event simulation — pointer-rich heap traffic
+/// plus unpredictable dispatch branches.
+pub fn omnetpp_like(instructions: u64) -> WorkloadSpec {
+    let mut events = phase("events");
+    events.mix = InstrMix { load: 0.3, store: 0.12, branch: 0.2 };
+    events.code_bytes = 320 * KIB;
+    events.data_ws_bytes = 12 * MIB;
+    events.hot_fraction = 0.93;
+    events.access = AccessMix { sequential: 0.1, chase: 0.4, stride: 64 };
+    events.random_branch_frac = 0.3;
+    events.ilp = 3.5;
+
+    WorkloadSpec::new("471.omnetpp-like").phase(events, instructions)
+}
+
+/// `473.astar`-like: path search whose graph fits the L2 but whose pages
+/// overflow the DTLB; dependent walks without many L2 misses.
+pub fn astar_like(instructions: u64) -> WorkloadSpec {
+    let mut path = phase("path");
+    path.mix = InstrMix { load: 0.3, store: 0.1, branch: 0.18 };
+    path.data_ws_bytes = 3 * MIB;
+    path.hot_fraction = 0.55;
+    path.access = AccessMix { sequential: 0.05, chase: 0.45, stride: 64 };
+    path.random_branch_frac = 0.35;
+    path.ilp = 3.5;
+
+    WorkloadSpec::new("473.astar-like").phase(path, instructions)
+}
+
+/// `483.xalancbmk`-like: XSLT processing — a code footprint beyond the ITLB
+/// reach drives instruction-side misses of every flavor.
+pub fn xalanc_like(instructions: u64) -> WorkloadSpec {
+    let mut transform = phase("transform");
+    transform.mix = InstrMix { load: 0.3, store: 0.12, branch: 0.2 };
+    transform.code_bytes = 1536 * KIB;
+    transform.data_ws_bytes = 4 * MIB;
+    transform.hot_fraction = 0.78;
+    transform.random_branch_frac = 0.18;
+    transform.code_locality = 0.8;
+    transform.ilp = 5.0;
+    transform.ilp = 4.0;
+
+    WorkloadSpec::new("483.xalancbmk-like").phase(transform, instructions)
+}
+
+/// The full synthetic suite, one entry per profile, each executing about
+/// `instructions_per_workload` dynamic instructions.
+///
+/// # Example
+///
+/// ```
+/// let suite = mtperf_sim::workload::profiles::suite(100_000);
+/// assert_eq!(suite.len(), 15);
+/// assert!(suite.iter().all(|w| w.is_valid()));
+/// ```
+pub fn suite(instructions_per_workload: u64) -> Vec<WorkloadSpec> {
+    vec![
+        perlbench_like(instructions_per_workload),
+        bzip2_like(instructions_per_workload),
+        gcc_like(instructions_per_workload),
+        mcf_like(instructions_per_workload),
+        milc_like(instructions_per_workload),
+        cactus_like(instructions_per_workload),
+        namd_like(instructions_per_workload),
+        gobmk_like(instructions_per_workload),
+        soplex_like(instructions_per_workload),
+        hmmer_like(instructions_per_workload),
+        sjeng_like(instructions_per_workload),
+        libquantum_like(instructions_per_workload),
+        h264_like(instructions_per_workload),
+        omnetpp_like(instructions_per_workload),
+        xalanc_like(instructions_per_workload),
+    ]
+}
+
+/// A three-workload suite spanning low/medium/high CPI, for fast tests.
+pub fn toy_suite(instructions_per_workload: u64) -> Vec<WorkloadSpec> {
+    vec![
+        namd_like(instructions_per_workload),
+        soplex_like(instructions_per_workload),
+        mcf_like(instructions_per_workload),
+    ]
+}
+
+/// `410.bwaves`-like: blast-wave CFD — long unit-stride sweeps over a large
+/// grid, deeply overlapped.
+pub fn bwaves_like(instructions: u64) -> WorkloadSpec {
+    let mut sweep = phase("sweep");
+    sweep.mix = InstrMix { load: 0.34, store: 0.12, branch: 0.06 };
+    sweep.data_ws_bytes = 28 * MIB;
+    sweep.hot_fraction = 0.5;
+    sweep.access = AccessMix { sequential: 0.92, chase: 0.0, stride: 64 };
+    sweep.random_branch_frac = 0.03;
+    sweep.ilp = 10.0;
+
+    WorkloadSpec::new("410.bwaves-like").phase(sweep, instructions)
+}
+
+/// `416.gamess`-like: quantum chemistry — compute-dense, cache-resident.
+pub fn gamess_like(instructions: u64) -> WorkloadSpec {
+    let mut scf = phase("scf");
+    scf.mix = InstrMix { load: 0.26, store: 0.08, branch: 0.07 };
+    scf.data_ws_bytes = 768 * KIB;
+    scf.hot_fraction = 0.78;
+    scf.access = AccessMix { sequential: 0.6, chase: 0.0, stride: 32 };
+    scf.random_branch_frac = 0.05;
+    scf.ilp = 9.0;
+
+    WorkloadSpec::new("416.gamess-like").phase(scf, instructions)
+}
+
+/// `434.zeusmp`-like: magnetohydrodynamics stencil with a multi-line stride
+/// that defeats a next-line prefetcher.
+pub fn zeusmp_like(instructions: u64) -> WorkloadSpec {
+    let mut stencil = phase("stencil");
+    stencil.mix = InstrMix { load: 0.33, store: 0.13, branch: 0.06 };
+    stencil.data_ws_bytes = 20 * MIB;
+    stencil.hot_fraction = 0.74;
+    stencil.access = AccessMix { sequential: 0.8, chase: 0.0, stride: 160 };
+    stencil.random_branch_frac = 0.04;
+    stencil.ilp = 7.0;
+
+    WorkloadSpec::new("434.zeusmp-like").phase(stencil, instructions)
+}
+
+/// `435.gromacs`-like: molecular dynamics — mostly compute with neighbor
+/// list lookups.
+pub fn gromacs_like(instructions: u64) -> WorkloadSpec {
+    let mut force = phase("force");
+    force.mix = InstrMix { load: 0.28, store: 0.1, branch: 0.1 };
+    force.data_ws_bytes = 1536 * KIB;
+    force.hot_fraction = 0.72;
+    force.access = AccessMix { sequential: 0.45, chase: 0.0, stride: 48 };
+    force.random_branch_frac = 0.08;
+    force.ilp = 8.0;
+
+    WorkloadSpec::new("435.gromacs-like").phase(force, instructions)
+}
+
+/// `447.dealII`-like: finite elements — templated C++ with moderate code
+/// footprint and mixed access patterns.
+pub fn dealii_like(instructions: u64) -> WorkloadSpec {
+    let mut assemble = phase("assemble");
+    assemble.mix = InstrMix { load: 0.3, store: 0.12, branch: 0.16 };
+    assemble.code_bytes = 448 * KIB;
+    assemble.data_ws_bytes = 3 * MIB;
+    assemble.hot_fraction = 0.68;
+    assemble.access = AccessMix { sequential: 0.35, chase: 0.1, stride: 64 };
+    assemble.random_branch_frac = 0.15;
+    assemble.ilp = 5.0;
+
+    let mut solve = phase("solve");
+    solve.mix = InstrMix { load: 0.34, store: 0.1, branch: 0.08 };
+    solve.data_ws_bytes = 6 * MIB;
+    solve.hot_fraction = 0.6;
+    solve.access = AccessMix { sequential: 0.75, chase: 0.0, stride: 64 };
+    solve.random_branch_frac = 0.05;
+    solve.ilp = 7.0;
+
+    WorkloadSpec::new("447.dealII-like")
+        .phase(assemble, instructions / 2)
+        .phase(solve, instructions / 2)
+}
+
+/// `453.povray`-like: ray tracing — branchy compute over a small scene.
+pub fn povray_like(instructions: u64) -> WorkloadSpec {
+    let mut trace = phase("trace");
+    trace.mix = InstrMix { load: 0.27, store: 0.09, branch: 0.18 };
+    trace.code_bytes = 192 * KIB;
+    trace.data_ws_bytes = 512 * KIB;
+    trace.hot_fraction = 0.8;
+    trace.random_branch_frac = 0.25;
+    trace.ilp = 5.0;
+
+    WorkloadSpec::new("453.povray-like").phase(trace, instructions)
+}
+
+/// `459.GemsFDTD`-like: finite-difference time domain — giant grid sweeps,
+/// strongly memory bound even with prefetching.
+pub fn gemsfdtd_like(instructions: u64) -> WorkloadSpec {
+    let mut update = phase("update");
+    update.mix = InstrMix { load: 0.36, store: 0.16, branch: 0.04 };
+    update.data_ws_bytes = 40 * MIB;
+    update.hot_fraction = 0.42;
+    update.access = AccessMix { sequential: 0.9, chase: 0.0, stride: 64 };
+    update.random_branch_frac = 0.02;
+    update.ilp = 9.0;
+
+    WorkloadSpec::new("459.GemsFDTD-like").phase(update, instructions)
+}
+
+/// `465.tonto`-like: quantum crystallography — compute with periodic
+/// matrix phases.
+pub fn tonto_like(instructions: u64) -> WorkloadSpec {
+    let mut integrals = phase("integrals");
+    integrals.mix = InstrMix { load: 0.27, store: 0.1, branch: 0.09 };
+    integrals.data_ws_bytes = MIB;
+    integrals.hot_fraction = 0.75;
+    integrals.access = AccessMix { sequential: 0.55, chase: 0.0, stride: 32 };
+    integrals.random_branch_frac = 0.06;
+    integrals.ilp = 8.0;
+
+    let mut diag = phase("diag");
+    diag.mix = InstrMix { load: 0.32, store: 0.12, branch: 0.06 };
+    diag.data_ws_bytes = 2 * MIB;
+    diag.hot_fraction = 0.62;
+    diag.access = AccessMix { sequential: 0.85, chase: 0.0, stride: 64 };
+    diag.random_branch_frac = 0.04;
+    diag.ilp = 8.0;
+
+    WorkloadSpec::new("465.tonto-like")
+        .phase(integrals, instructions * 6 / 10)
+        .phase(diag, instructions * 4 / 10)
+}
+
+/// `481.wrf`-like: weather simulation — large multi-phase stencil code with
+/// a sizeable instruction footprint.
+pub fn wrf_like(instructions: u64) -> WorkloadSpec {
+    let mut physics = phase("physics");
+    physics.mix = InstrMix { load: 0.31, store: 0.13, branch: 0.09 };
+    physics.code_bytes = 768 * KIB;
+    physics.data_ws_bytes = 10 * MIB;
+    physics.hot_fraction = 0.66;
+    physics.access = AccessMix { sequential: 0.7, chase: 0.0, stride: 96 };
+    physics.random_branch_frac = 0.08;
+    physics.code_locality = 0.5;
+    physics.ilp = 6.0;
+
+    WorkloadSpec::new("481.wrf-like").phase(physics, instructions)
+}
+
+/// `482.sphinx3`-like: speech recognition — streaming scoring with
+/// data-dependent pruning branches.
+pub fn sphinx_like(instructions: u64) -> WorkloadSpec {
+    let mut score = phase("score");
+    score.mix = InstrMix { load: 0.32, store: 0.08, branch: 0.14 };
+    score.data_ws_bytes = 2 * MIB;
+    score.hot_fraction = 0.6;
+    score.access = AccessMix { sequential: 0.7, chase: 0.0, stride: 32 };
+    score.random_branch_frac = 0.3;
+    score.ilp = 6.0;
+
+    WorkloadSpec::new("482.sphinx3-like").phase(score, instructions)
+}
+
+/// An extended suite: the base [`suite`] plus ten further CPU2006-like
+/// profiles. The paper evaluated a *subset* of SPEC CPU2006, which `suite`
+/// mirrors; the extended set is for studies that want broader class
+/// coverage (at the cost of re-tuning any shape expectations).
+pub fn extended_suite(instructions_per_workload: u64) -> Vec<WorkloadSpec> {
+    let mut all = suite(instructions_per_workload);
+    all.extend([
+        bwaves_like(instructions_per_workload),
+        gamess_like(instructions_per_workload),
+        zeusmp_like(instructions_per_workload),
+        gromacs_like(instructions_per_workload),
+        dealii_like(instructions_per_workload),
+        povray_like(instructions_per_workload),
+        gemsfdtd_like(instructions_per_workload),
+        tonto_like(instructions_per_workload),
+        wrf_like(instructions_per_workload),
+        sphinx_like(instructions_per_workload),
+    ]);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_valid() {
+        for w in suite(1_000_000) {
+            assert!(w.is_valid(), "{} invalid", w.name);
+            assert!(w.total_instructions() > 0);
+        }
+    }
+
+    #[test]
+    fn suite_names_unique() {
+        let s = suite(1000);
+        let mut names: Vec<&str> = s.iter().map(|w| w.name.as_str()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), s.len());
+    }
+
+    #[test]
+    fn instruction_budgets_approximately_honored() {
+        for w in suite(1_000_000) {
+            let total = w.total_instructions();
+            assert!(
+                (900_000..=1_100_000).contains(&total),
+                "{}: {total}",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn toy_suite_is_subset_flavor() {
+        let t = toy_suite(1000);
+        assert_eq!(t.len(), 3);
+        assert!(t.iter().all(|w| w.is_valid()));
+    }
+
+    #[test]
+    fn soplex_ws_exceeds_dtlb_reach_but_fits_l2() {
+        let w = soplex_like(1000);
+        let machine = crate::config::MachineConfig::core2_duo();
+        let reach = machine.dtlb1.entries as u64 * machine.page_bytes;
+        for p in &w.phases {
+            assert!(p.spec.data_ws_bytes > reach);
+            assert!(p.spec.data_ws_bytes < machine.l2.size_bytes);
+        }
+    }
+
+    #[test]
+    fn mcf_ws_exceeds_l2() {
+        let w = mcf_like(1000);
+        let machine = crate::config::MachineConfig::core2_duo();
+        for p in &w.phases {
+            assert!(p.spec.data_ws_bytes > machine.l2.size_bytes);
+            assert!(p.spec.access.chase > 0.5);
+        }
+    }
+
+    #[test]
+    fn xalanc_code_exceeds_itlb_reach() {
+        let w = xalanc_like(1000);
+        let machine = crate::config::MachineConfig::core2_duo();
+        let reach = machine.itlb.entries as u64 * machine.page_bytes;
+        assert!(w.phases[0].spec.code_bytes > reach);
+    }
+
+    #[test]
+    fn extended_suite_is_valid_and_superset() {
+        let base = suite(1000);
+        let ext = extended_suite(1000);
+        assert_eq!(ext.len(), base.len() + 10);
+        let mut names: Vec<&str> = ext.iter().map(|w| w.name.as_str()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), ext.len(), "extended names must be unique");
+        assert!(ext.iter().all(|w| w.is_valid()));
+        // The base suite is a prefix of the extended one.
+        for (b, e) in base.iter().zip(ext.iter()) {
+            assert_eq!(b.name, e.name);
+        }
+    }
+
+    #[test]
+    fn gemsfdtd_is_the_biggest_footprint() {
+        let g = gemsfdtd_like(1000);
+        let max_ws = extended_suite(1000)
+            .iter()
+            .flat_map(|w| w.phases.iter().map(|p| p.spec.data_ws_bytes))
+            .max()
+            .unwrap();
+        assert!(g.phases[0].spec.data_ws_bytes >= max_ws * 8 / 10);
+    }
+
+    #[test]
+    fn gcc_has_lcp_phase() {
+        let w = gcc_like(1000);
+        assert!(w.phases.iter().any(|p| p.spec.lcp_frac > 0.05));
+    }
+}
+

@@ -1,0 +1,313 @@
+//! Phase and workload specifications.
+
+use serde::{Deserialize, Serialize};
+
+/// Instruction-class mix of a phase, as fractions of the dynamic stream.
+///
+/// The remainder `1 - load - store - branch` is ALU/other instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstrMix {
+    /// Fraction of loads.
+    pub load: f64,
+    /// Fraction of stores.
+    pub store: f64,
+    /// Fraction of branches.
+    pub branch: f64,
+}
+
+impl InstrMix {
+    /// Fraction of ALU/other instructions.
+    pub fn other(&self) -> f64 {
+        1.0 - self.load - self.store - self.branch
+    }
+
+    /// Validates that all fractions are in `[0, 1]` and sum to at most 1.
+    pub fn is_valid(&self) -> bool {
+        let parts = [self.load, self.store, self.branch];
+        parts.iter().all(|p| (0.0..=1.0).contains(p)) && self.other() >= -1e-9
+    }
+}
+
+/// Data-access pattern mix of a phase, as fractions of memory accesses.
+///
+/// The remainder `1 - sequential - chase` is random accesses uniformly
+/// distributed over the working set.
+///
+/// * `sequential` accesses walk the working set with a fixed stride —
+///   prefetch-friendly, high memory-level parallelism;
+/// * `chase` accesses follow a pseudo-random dependent chain — each access
+///   depends on the previous one (`dep_distance = 1`), defeating both the
+///   prefetcher and memory-level parallelism, as in 429.mcf;
+/// * `random` accesses are independent uniform accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccessMix {
+    /// Fraction of sequential (strided) accesses.
+    pub sequential: f64,
+    /// Fraction of dependent pointer-chase accesses.
+    pub chase: f64,
+    /// Stride in bytes for sequential accesses.
+    pub stride: u64,
+}
+
+impl AccessMix {
+    /// Fraction of independent random accesses.
+    pub fn random(&self) -> f64 {
+        1.0 - self.sequential - self.chase
+    }
+
+    /// Validates fractions.
+    pub fn is_valid(&self) -> bool {
+        (0.0..=1.0).contains(&self.sequential)
+            && (0.0..=1.0).contains(&self.chase)
+            && self.random() >= -1e-9
+            && self.stride > 0
+    }
+}
+
+/// Statistical specification of one execution phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSpec {
+    /// Human-readable phase name (diagnostics only).
+    pub name: String,
+    /// Instruction-class mix.
+    pub mix: InstrMix,
+    /// Memory-access pattern mix.
+    pub access: AccessMix,
+    /// Fraction of memory accesses that go to a small "hot" region that
+    /// always fits in the L1 (stack/locals traffic). The rest go to the main
+    /// working set per [`AccessMix`].
+    pub hot_fraction: f64,
+    /// Main data working-set size in bytes.
+    pub data_ws_bytes: u64,
+    /// Static code footprint in bytes; instruction fetch walks this region.
+    pub code_bytes: u64,
+    /// Number of static branch sites.
+    pub branch_sites: u32,
+    /// Fraction of branch sites with data-dependent (unpredictable, p≈0.5)
+    /// direction; the rest are strongly biased and learnable.
+    pub random_branch_frac: f64,
+    /// Fraction of taken branches that jump to the hot-target set (loop
+    /// headers). Low values model large unrolled/straight-line code that
+    /// sweeps its footprint — the instruction-cache stressor.
+    pub code_locality: f64,
+    /// Mean dependency distance (ILP proxy); larger = more latency hiding.
+    pub ilp: f64,
+    /// Fraction of loads that read an address recently stored to (provokes
+    /// store-forwarding load blocks).
+    pub store_reuse_frac: f64,
+    /// Fraction of memory accesses that are misaligned.
+    pub misalign_frac: f64,
+    /// Fraction of ALU instructions whose encoding has a length-changing
+    /// prefix (e.g. 16-bit immediate forms).
+    pub lcp_frac: f64,
+    /// Within-phase drift amplitude in `[0, 1]`. Real program phases are
+    /// not stationary: miss rates, branch behavior and ILP wander as inputs
+    /// flow through. The generator slowly random-walks the effective
+    /// parameters around their spec values with this amplitude, which gives
+    /// sections *within* one class the continuous variation that the
+    /// paper's leaf linear models (LM8 and friends) capture.
+    pub variability: f64,
+}
+
+impl PhaseSpec {
+    /// A neutral compute-ish phase, useful as a starting point in tests.
+    pub fn balanced(name: impl Into<String>) -> Self {
+        PhaseSpec {
+            name: name.into(),
+            mix: InstrMix {
+                load: 0.28,
+                store: 0.12,
+                branch: 0.15,
+            },
+            access: AccessMix {
+                sequential: 0.5,
+                chase: 0.0,
+                stride: 64,
+            },
+            hot_fraction: 0.7,
+            data_ws_bytes: 16 * 1024,
+            code_bytes: 8 * 1024,
+            branch_sites: 64,
+            random_branch_frac: 0.05,
+            code_locality: 0.85,
+            ilp: 6.0,
+            store_reuse_frac: 0.02,
+            misalign_frac: 0.0,
+            lcp_frac: 0.0,
+            variability: 0.15,
+        }
+    }
+
+    /// Validates all fractions and sizes.
+    pub fn is_valid(&self) -> bool {
+        self.mix.is_valid()
+            && self.access.is_valid()
+            && (0.0..=1.0).contains(&self.hot_fraction)
+            && (0.0..=1.0).contains(&self.random_branch_frac)
+            && (0.0..=1.0).contains(&self.code_locality)
+            && (0.0..=1.0).contains(&self.store_reuse_frac)
+            && (0.0..=1.0).contains(&self.misalign_frac)
+            && (0.0..=1.0).contains(&self.lcp_frac)
+            && (0.0..=1.0).contains(&self.variability)
+            && self.data_ws_bytes >= 64
+            && self.code_bytes >= 64
+            && self.branch_sites > 0
+            && self.ilp >= 1.0
+    }
+}
+
+/// One phase together with how many instructions of it to execute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhasePlan {
+    /// The phase's statistical character.
+    pub spec: PhaseSpec,
+    /// Number of dynamic instructions this phase contributes per repetition.
+    pub instructions: u64,
+}
+
+/// A complete workload: a named sequence of phases, optionally repeated.
+///
+/// # Example
+///
+/// ```
+/// use mtperf_sim::workload::{PhasePlan, PhaseSpec, WorkloadSpec};
+///
+/// let w = WorkloadSpec::new("toy")
+///     .phase(PhaseSpec::balanced("only"), 10_000)
+///     .repeats(2);
+/// assert_eq!(w.total_instructions(), 20_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Workload name (labels every emitted section).
+    pub name: String,
+    /// The phase sequence.
+    pub phases: Vec<PhasePlan>,
+    /// How many times the phase sequence repeats.
+    pub repeats: u32,
+}
+
+impl WorkloadSpec {
+    /// Creates an empty workload with one repetition.
+    pub fn new(name: impl Into<String>) -> Self {
+        WorkloadSpec {
+            name: name.into(),
+            phases: Vec::new(),
+            repeats: 1,
+        }
+    }
+
+    /// Appends a phase executing `instructions` instructions.
+    pub fn phase(mut self, spec: PhaseSpec, instructions: u64) -> Self {
+        self.phases.push(PhasePlan { spec, instructions });
+        self
+    }
+
+    /// Sets the repetition count of the whole phase sequence.
+    pub fn repeats(mut self, n: u32) -> Self {
+        self.repeats = n;
+        self
+    }
+
+    /// Total dynamic instructions across all repetitions.
+    pub fn total_instructions(&self) -> u64 {
+        self.phases.iter().map(|p| p.instructions).sum::<u64>() * self.repeats as u64
+    }
+
+    /// Validates every phase spec.
+    pub fn is_valid(&self) -> bool {
+        !self.phases.is_empty()
+            && self.repeats > 0
+            && self.phases.iter().all(|p| p.spec.is_valid() && p.instructions > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_other_and_validity() {
+        let mix = InstrMix {
+            load: 0.3,
+            store: 0.1,
+            branch: 0.2,
+        };
+        assert!((mix.other() - 0.4).abs() < 1e-12);
+        assert!(mix.is_valid());
+        let bad = InstrMix {
+            load: 0.8,
+            store: 0.3,
+            branch: 0.2,
+        };
+        assert!(!bad.is_valid());
+    }
+
+    #[test]
+    fn access_mix_validity() {
+        let a = AccessMix {
+            sequential: 0.5,
+            chase: 0.3,
+            stride: 8,
+        };
+        assert!((a.random() - 0.2).abs() < 1e-12);
+        assert!(a.is_valid());
+        assert!(!AccessMix {
+            sequential: 0.9,
+            chase: 0.3,
+            stride: 8
+        }
+        .is_valid());
+        assert!(!AccessMix {
+            sequential: 0.1,
+            chase: 0.1,
+            stride: 0
+        }
+        .is_valid());
+    }
+
+    #[test]
+    fn balanced_phase_is_valid() {
+        assert!(PhaseSpec::balanced("p").is_valid());
+    }
+
+    #[test]
+    fn phase_validity_guards() {
+        let mut p = PhaseSpec::balanced("p");
+        p.ilp = 0.5;
+        assert!(!p.is_valid());
+        let mut p = PhaseSpec::balanced("p");
+        p.data_ws_bytes = 1;
+        assert!(!p.is_valid());
+        let mut p = PhaseSpec::balanced("p");
+        p.lcp_frac = 1.5;
+        assert!(!p.is_valid());
+    }
+
+    #[test]
+    fn workload_builder_and_totals() {
+        let w = WorkloadSpec::new("w")
+            .phase(PhaseSpec::balanced("a"), 100)
+            .phase(PhaseSpec::balanced("b"), 50)
+            .repeats(3);
+        assert_eq!(w.total_instructions(), 450);
+        assert!(w.is_valid());
+    }
+
+    #[test]
+    fn empty_workload_invalid() {
+        assert!(!WorkloadSpec::new("w").is_valid());
+        let w = WorkloadSpec::new("w")
+            .phase(PhaseSpec::balanced("a"), 100)
+            .repeats(0);
+        assert!(!w.is_valid());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let w = WorkloadSpec::new("w").phase(PhaseSpec::balanced("a"), 10);
+        let json = serde_json::to_string(&w).unwrap();
+        let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, w);
+    }
+}

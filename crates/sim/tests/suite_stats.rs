@@ -1,0 +1,155 @@
+//! Cross-profile integration checks: the simulated suite must span the
+//! performance classes the paper's tree discovers, with the right workloads
+//! in the right corners of event space.
+//!
+//! Run with `--nocapture` to see the per-workload summary table.
+
+use mtperf_counters::{Event, SampleSet};
+use mtperf_sim::workload::profiles;
+use mtperf_sim::{MachineConfig, Simulator};
+
+/// Instructions per workload: enough to get past cold start on the bigger
+/// working sets while staying fast in CI.
+const INSTRUCTIONS: u64 = 400_000;
+const SECTION_LEN: u64 = 10_000;
+
+fn simulate(name_filter: Option<&str>) -> Vec<(String, SampleSet)> {
+    let sim = Simulator::new(MachineConfig::core2_duo()).with_seed(1234);
+    profiles::suite(INSTRUCTIONS)
+        .into_iter()
+        .filter(|w| name_filter.is_none_or(|f| w.name.contains(f)))
+        .map(|w| {
+            let set = sim.run(&w, SECTION_LEN);
+            (w.name.clone(), set)
+        })
+        .collect()
+}
+
+fn warm(set: &SampleSet) -> SampleSet {
+    // Drop the first quarter of sections: cold-start transient.
+    set.iter().skip(set.len() / 4).cloned().collect()
+}
+
+fn mean(set: &SampleSet, e: Event) -> f64 {
+    let v = set.rates_of(e);
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+fn mean_cpi(set: &SampleSet) -> f64 {
+    let v = set.cpis();
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+#[test]
+fn suite_spans_the_papers_performance_classes() {
+    let runs = simulate(None);
+    let by_name = |needle: &str| -> SampleSet {
+        warm(
+            &runs
+                .iter()
+                .find(|(n, _)| n.contains(needle))
+                .unwrap_or_else(|| panic!("missing {needle}"))
+                .1,
+        )
+    };
+
+    println!(
+        "{:<24} {:>6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "workload", "CPI", "L2M", "L1DM", "L1IM", "Dtlb", "BrMisPr", "LCP"
+    );
+    for (name, set) in &runs {
+        let w = warm(set);
+        println!(
+            "{:<24} {:>6.2} {:>8.5} {:>8.5} {:>8.5} {:>8.5} {:>8.5} {:>8.5}",
+            name,
+            mean_cpi(&w),
+            mean(&w, Event::L2m),
+            mean(&w, Event::L1dm),
+            mean(&w, Event::L1im),
+            mean(&w, Event::Dtlb),
+            mean(&w, Event::BrMisPr),
+            mean(&w, Event::Lcp),
+        );
+    }
+
+    let mcf = by_name("mcf");
+    let namd = by_name("namd");
+    let cactus = by_name("cactus");
+    let soplex = by_name("soplex");
+    let gcc = by_name("gcc");
+    let gobmk = by_name("gobmk");
+    let xalanc = by_name("xalanc");
+
+    // CPI ordering: mcf is the ceiling, namd the floor.
+    assert!(mean_cpi(&mcf) > 2.0, "mcf CPI = {}", mean_cpi(&mcf));
+    assert!(mean_cpi(&namd) < 0.8, "namd CPI = {}", mean_cpi(&namd));
+    for (name, set) in &runs {
+        let c = mean_cpi(&warm(set));
+        assert!(
+            mean_cpi(&namd) <= c + 0.2 && c <= mean_cpi(&mcf) + 1.0,
+            "{name} CPI {c} outside suite envelope"
+        );
+        assert!((0.2..12.0).contains(&c), "{name} CPI {c} implausible");
+    }
+
+    // mcf: L2-miss dominated; it must sit among the suite's top L2M rates
+    // (cactus legitimately shares the corner — that is the paper's LM18).
+    assert!(mean(&mcf, Event::L2m) > 0.01);
+    let mut l2_rates: Vec<f64> = runs
+        .iter()
+        .map(|(_, set)| mean(&warm(set), Event::L2m))
+        .collect();
+    l2_rates.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    assert!(
+        mean(&mcf, Event::L2m) >= l2_rates[2],
+        "mcf not in the top-3 L2M rates"
+    );
+
+    // cactus: high L1IM *and* high L2M (the paper's LM18 corner).
+    assert!(mean(&cactus, Event::L1im) > 0.01, "cactus L1IM");
+    assert!(mean(&cactus, Event::L2m) > 0.003, "cactus L2M");
+
+    // soplex: DTLB misses without a significant L2M rate.
+    assert!(mean(&soplex, Event::Dtlb) > 0.02, "soplex Dtlb = {}", mean(&soplex, Event::Dtlb));
+    assert!(mean(&soplex, Event::L2m) < 0.004, "soplex L2M = {}", mean(&soplex, Event::L2m));
+
+    // gcc: the LCP citizen.
+    for (name, set) in &runs {
+        if !name.contains("gcc") {
+            assert!(
+                mean(&warm(set), Event::Lcp) <= mean(&gcc, Event::Lcp) + 1e-9,
+                "{name} out-LCPs gcc"
+            );
+        }
+    }
+    assert!(mean(&gcc, Event::Lcp) > 0.002);
+
+    // gobmk: worst branch behavior.
+    assert!(mean(&gobmk, Event::BrMisPr) > 0.015, "gobmk BrMisPr");
+
+    // xalanc: the ITLB-pressure profile.
+    assert!(mean(&xalanc, Event::ItlbM) > 0.001, "xalanc ItlbM = {}", mean(&xalanc, Event::ItlbM));
+}
+
+#[test]
+fn counters_satisfy_structural_identities() {
+    let runs = simulate(Some("perlbench"));
+    let (_, set) = &runs[0];
+    for s in set.iter() {
+        // Retired-load DTLB misses never exceed all-load DTLB misses, which
+        // never exceed all DTLB misses.
+        assert!(s.rate(Event::DtlbLdReM) <= s.rate(Event::DtlbLdM) + 1e-12);
+        assert!(s.rate(Event::DtlbLdM) <= s.rate(Event::Dtlb) + 1e-12);
+        // L2 misses (load-retired) cannot exceed L1D misses (load-retired).
+        assert!(s.rate(Event::L2m) <= s.rate(Event::L1dm) + 1e-12);
+        // L0 DTLB load misses bound the last-level retired-load misses.
+        assert!(s.rate(Event::DtlbLdReM) <= s.rate(Event::DtlbL0LdM) + 1e-12);
+        // Mix identities: classes sum to 1.
+        let sum = s.rate(Event::InstLd)
+            + s.rate(Event::InstSt)
+            + s.rate(Event::BrMisPr)
+            + s.rate(Event::BrPred)
+            + s.rate(Event::InstOther);
+        assert!((sum - 1.0).abs() < 1e-9, "mix sum = {sum}");
+    }
+}

@@ -1,0 +1,67 @@
+//! Phase detection: the tree's classes double as a phase detector.
+//!
+//! The paper builds on Sherwood-style phase behavior — a workload's sections
+//! shift between classes as it moves through phases. Here we run the
+//! three-phase gcc-like profile and print the class timeline; the phase
+//! boundaries (parse → optimize → codegen) are visible as class changes.
+//!
+//! Run with: `cargo run --release --example phase_detection`
+
+use mtperf::prelude::*;
+use mtperf_sim::workload::profiles;
+
+fn main() {
+    // Train the classifier on the whole suite (as the paper does)...
+    let suite = mtperf::sim::simulate_suite(400_000, 10_000, 42);
+    let data = mtperf::dataset_from_samples(&suite).expect("non-empty sample set");
+    let min_instances = (data.n_rows() / 30).max(8);
+    let tree = ModelTree::fit(
+        &data,
+        &M5Params::default()
+            .with_min_instances(min_instances)
+            .with_smoothing(false),
+    )
+    .expect("training succeeds");
+
+    // ...then replay one phased workload and classify its sections in time
+    // order.
+    let sim = Simulator::new(MachineConfig::core2_duo()).with_seed(42);
+    let gcc = profiles::gcc_like(600_000);
+    let run = sim.run(&gcc, 10_000);
+
+    println!("section timeline of {} ({} sections):\n", gcc.name, run.len());
+    println!("{:>8} {:>8} {:>8}   class", "section", "CPI", "LCP");
+    let mut previous = None;
+    for s in run.iter() {
+        let class = tree.classify(s.as_row());
+        let marker = if previous.is_some() && previous != Some(class.leaf) {
+            "  <-- phase change"
+        } else {
+            ""
+        };
+        println!(
+            "{:>8} {:>8.2} {:>8.4}   {}{marker}",
+            s.section_index,
+            s.cpi,
+            s.rate(Event::Lcp),
+            class.leaf,
+        );
+        previous = Some(class.leaf);
+    }
+
+    // Summarize detected phases with the hysteresis tracker (blips at phase
+    // boundaries are absorbed).
+    let mut tracker = mtperf::mtree::PhaseTracker::new(&tree, 2);
+    for s in run.iter() {
+        tracker.observe(s.as_row());
+    }
+    println!("\ndetected phase structure (hysteresis 2):");
+    for phase in tracker.finish() {
+        println!(
+            "  sections {:>3}..{:<3} class {}",
+            phase.start,
+            phase.start + phase.len - 1,
+            phase.class
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Rule report: the tree as an ordered IF-THEN rule list, saved and
+//! reloaded — the form a performance analyst would paste into a report.
+//!
+//! Run with: `cargo run --release --example rule_report`
+
+use mtperf::prelude::*;
+use mtperf::mtree::RuleSet;
+
+fn main() {
+    let samples = mtperf::sim::simulate_suite(400_000, 10_000, 7);
+    let data = mtperf::dataset_from_samples(&samples).expect("non-empty sample set");
+    let min_instances = (data.n_rows() / 30).max(8);
+    let tree = ModelTree::fit(
+        &data,
+        &M5Params::default()
+            .with_min_instances(min_instances)
+            .with_smoothing(false),
+    )
+    .expect("training succeeds");
+
+    // Persist and reload: models are plain JSON.
+    let path = std::env::temp_dir().join("mtperf-rule-report-model.json");
+    tree.save(&path).expect("save succeeds");
+    let reloaded = ModelTree::load(&path).expect("load succeeds");
+    println!(
+        "model saved to {} ({} classes) and reloaded\n",
+        path.display(),
+        reloaded.n_leaves()
+    );
+
+    // The same model, flattened to ordered rules (most-covering first).
+    let rules = RuleSet::from_tree(&reloaded);
+    println!("{}", rules.render("CPI"));
+
+    // Rules and tree agree on every section.
+    let disagreements = (0..data.n_rows())
+        .filter(|&i| {
+            let row = data.row(i);
+            rules.predict(&row) != reloaded.predict_raw(&row)
+        })
+        .count();
+    println!("rule/tree prediction disagreements: {disagreements} (must be 0)");
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,58 @@
+//! Full suite analysis: train the tree, then read it the way the paper does
+//! in §V.A — which workloads fall into which performance classes, what each
+//! class's model says, and what the split variables cost.
+//!
+//! Run with: `cargo run --release --example spec_analysis`
+
+use mtperf::prelude::*;
+use mtperf_mtree::analysis;
+
+fn main() {
+    let samples = mtperf::sim::simulate_suite(600_000, 10_000, 2007);
+    let labels = mtperf::labels_from_samples(&samples);
+    let data = mtperf::dataset_from_samples(&samples).expect("non-empty sample set");
+
+    let min_instances = (data.n_rows() / 30).max(8);
+    let tree = ModelTree::fit(
+        &data,
+        &M5Params::default()
+            .with_min_instances(min_instances)
+            .with_smoothing(false),
+    )
+    .expect("training succeeds");
+
+    println!("=== Performance-analysis tree ===\n");
+    println!("{}", tree.render("CPI"));
+
+    // Class occupancy per workload (the paper: ">95% of cactusADM in LM18",
+    // ">70% of mcf in LM17").
+    println!("=== Class occupancy by workload ===\n");
+    let rows: Vec<Vec<f64>> = (0..data.n_rows()).map(|i| data.row(i)).collect();
+    let occupancy = analysis::occupancy_by_label(&tree, &rows, &labels);
+    for (workload, classes) in &occupancy {
+        let total: usize = classes.values().sum();
+        let (top_leaf, top_n) = classes
+            .iter()
+            .max_by_key(|(_, &n)| n)
+            .expect("non-empty class map");
+        println!(
+            "{workload:<24} dominant class {top_leaf} ({:.0}% of {total} sections)",
+            100.0 * *top_n as f64 / total as f64
+        );
+    }
+
+    // Split-variable impact, both of the paper's estimators.
+    println!("\n=== Split-variable impact (top of the tree) ===\n");
+    for impact in analysis::split_impacts(&tree, &data).iter().take(6) {
+        println!(
+            "{:<10} <= {:.6}  |  mean CPI {:.2} vs {:.2}  (Δ = {:.2}, {:.0}% of the high side; R² = {:.2})",
+            data.attr_name(impact.attr),
+            impact.threshold,
+            impact.mean_low,
+            impact.mean_high,
+            impact.mean_difference,
+            100.0 * impact.fraction_of_high,
+            impact.r_squared,
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Tuning advisor: the paper's "what" and "how much" questions as a tool.
+//!
+//! For each workload, classify its sections, pick the dominant performance
+//! class, and print the ranked optimization opportunities with their
+//! expected gains — the ranking of §V.A.2 ("this ranking shows performance
+//! analysts which micro-architectural events to target first and how much
+//! gain to expect").
+//!
+//! Run with: `cargo run --release --example tuning_advisor`
+
+use std::collections::BTreeMap;
+
+use mtperf::prelude::*;
+use mtperf_mtree::analysis;
+
+fn main() {
+    let samples = mtperf::sim::simulate_suite(500_000, 10_000, 77);
+    let labels = mtperf::labels_from_samples(&samples);
+    let data = mtperf::dataset_from_samples(&samples).expect("non-empty sample set");
+    let min_instances = (data.n_rows() / 30).max(8);
+    let tree = ModelTree::fit(
+        &data,
+        &M5Params::default()
+            .with_min_instances(min_instances)
+            .with_smoothing(false),
+    )
+    .expect("training succeeds");
+
+    // Group section indices per workload.
+    let mut by_workload: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, label) in labels.iter().enumerate() {
+        by_workload.entry(label.as_str()).or_default().push(i);
+    }
+
+    for (workload, indices) in by_workload {
+        // Representative section: the one with the median CPI.
+        let mut sorted = indices.clone();
+        sorted.sort_by(|&a, &b| {
+            data.target(a).partial_cmp(&data.target(b)).expect("finite CPI")
+        });
+        let median = sorted[sorted.len() / 2];
+        let row = data.row(median);
+        let class = tree.classify(&row);
+
+        println!("== {workload} ==");
+        println!(
+            "   median section CPI {:.2}, class {}, rule path: {}",
+            data.target(median),
+            class.leaf,
+            class
+                .path
+                .iter()
+                .map(|d| format!(
+                    "{} {} {:.4}",
+                    data.attr_name(d.attr),
+                    if d.went_high { ">" } else { "<=" },
+                    d.threshold
+                ))
+                .collect::<Vec<_>>()
+                .join("  &  ")
+        );
+        let opportunities = analysis::rank_opportunities(&tree, &row);
+        if opportunities.is_empty() {
+            println!("   no in-model opportunities (constant class model);");
+            println!("   the split variables on the path above are the levers.");
+        } else {
+            for (rank, c) in opportunities.iter().take(4).enumerate() {
+                println!(
+                    "   #{} eliminate {:<10} -> up to {:>4.1}% faster ({:.4}/instr x coefficient {:.2})",
+                    rank + 1,
+                    data.attr_name(c.attr),
+                    100.0 * c.fraction,
+                    c.value,
+                    c.coefficient,
+                );
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,112 @@
+//! Method-comparison integration test: the orderings the paper reports.
+//!
+//! On section data spanning multiple performance classes, the model tree
+//! must clearly beat the single global linear model and the constant-leaf
+//! regression tree, and land in the same accuracy neighborhood as the
+//! black-box MLP/SVR (the paper: M5' 0.98 vs ANN 0.99 vs SVM 0.98).
+
+use mtperf::baselines::{CartLearner, GlobalLinear, KnnLearner, MlpLearner, SvrLearner};
+use mtperf::prelude::*;
+use mtperf_sim::workload::profiles;
+use mtperf_sim::{MachineConfig, Simulator};
+
+fn dataset() -> Dataset {
+    // The full suite: the model tree's edge over a single global linear
+    // model comes from regime-dependent slopes (an L2 miss costs ~165
+    // cycles on mcf's dependent chains but ~40 on milc's overlapped
+    // streams), which only appear when both kinds of workload are present.
+    let samples = mtperf::sim::simulate_suite(400_000, 10_000, 99);
+    mtperf::dataset_from_samples(&samples).unwrap()
+}
+
+fn toy_dataset() -> Dataset {
+    let sim = Simulator::new(MachineConfig::core2_duo()).with_seed(99);
+    let mut samples = mtperf::counters::SampleSet::new();
+    for w in profiles::toy_suite(400_000) {
+        samples.extend(sim.run(&w, 10_000));
+    }
+    mtperf::dataset_from_samples(&samples).unwrap()
+}
+
+#[test]
+fn model_tree_beats_interpretable_baselines_and_matches_black_boxes() {
+    let data = dataset();
+    let k = 10;
+    let seed = 5;
+    let min_instances = (data.n_rows() / 30).max(8);
+
+    let m5 = cross_validate(
+        &M5Learner::new(M5Params::default().with_min_instances(min_instances)),
+        &data,
+        k,
+        seed,
+    )
+    .unwrap()
+    .pooled;
+    let ols = cross_validate(&GlobalLinear::new(), &data, k, seed)
+        .unwrap()
+        .pooled;
+    let cart = cross_validate(&CartLearner::new(min_instances), &data, k, seed)
+        .unwrap()
+        .pooled;
+    let mlp = cross_validate(
+        &MlpLearner::new(12).with_epochs(60),
+        &data,
+        k,
+        seed,
+    )
+    .unwrap()
+    .pooled;
+
+    println!("M5'  {m5}");
+    println!("OLS  {ols}");
+    println!("CART {cart}");
+    println!("MLP  {mlp}");
+
+    // The paper's qualitative ordering.
+    assert!(m5.correlation > 0.9, "M5' C = {}", m5.correlation);
+    assert!(
+        m5.rae_percent < ols.rae_percent,
+        "M5' RAE {} vs OLS {}",
+        m5.rae_percent,
+        ols.rae_percent
+    );
+    assert!(
+        m5.rae_percent < cart.rae_percent,
+        "M5' RAE {} vs CART {}",
+        m5.rae_percent,
+        cart.rae_percent
+    );
+    // Black-box parity: within a few hundredths of correlation.
+    assert!(
+        m5.correlation > mlp.correlation - 0.05,
+        "M5' C {} vs MLP {}",
+        m5.correlation,
+        mlp.correlation
+    );
+}
+
+#[test]
+fn svr_and_knn_train_and_predict_reasonably() {
+    let data = toy_dataset();
+    let (train, test) = mtperf::eval::train_test_split(&data, 0.3, 11).unwrap();
+
+    let svr = SvrLearner::default().fit(&train).unwrap();
+    let knn = KnnLearner::new(5).fit(&train).unwrap();
+
+    let actual: Vec<f64> = test.targets().to_vec();
+    let svr_pred: Vec<f64> = (0..test.n_rows())
+        .map(|i| svr.predict(&test.row(i)))
+        .collect();
+    let knn_pred: Vec<f64> = (0..test.n_rows())
+        .map(|i| knn.predict(&test.row(i)))
+        .collect();
+
+    let svr_m = Metrics::compute(&actual, &svr_pred);
+    let knn_m = Metrics::compute(&actual, &knn_pred);
+    println!("SVR {svr_m}");
+    println!("kNN {knn_m}");
+
+    assert!(svr_m.correlation > 0.85, "SVR C = {}", svr_m.correlation);
+    assert!(knn_m.correlation > 0.85, "kNN C = {}", knn_m.correlation);
+}

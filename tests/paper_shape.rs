@@ -1,0 +1,217 @@
+//! Shape assertions against the paper's qualitative findings (§V.A):
+//!
+//! * the root split is on L2 misses, "the single event that most strongly
+//!   impacts performance";
+//! * DTLB-family tests appear on the low-L2M side (the DTLB reaches only a
+//!   quarter of the L2, so its misses matter even when data hits the L2);
+//! * cactusADM-like sections concentrate in a high-CPI class characterized
+//!   by both L2 and L1I misses (the paper's LM18, ≥ 95 %);
+//! * mcf-like sections concentrate in an L2M-dominated class (LM17, ≥ 70 %);
+//! * gcc-like sections are the dominant population of the LCP-affected
+//!   region of event space.
+
+use mtperf::prelude::*;
+use mtperf_mtree::analysis;
+
+const INSTRUCTIONS: u64 = 400_000;
+const SECTION_LEN: u64 = 10_000;
+const SEED: u64 = 1955;
+
+struct Fixture {
+    data: Dataset,
+    labels: Vec<String>,
+    tree: ModelTree,
+}
+
+fn fixture() -> Fixture {
+    let samples = mtperf::sim::simulate_suite(INSTRUCTIONS, SECTION_LEN, SEED);
+    let labels = mtperf::labels_from_samples(&samples);
+    let data = mtperf::dataset_from_samples(&samples).unwrap();
+    // Scale the paper's 430-instance pre-pruning to our dataset size.
+    let min_instances = (data.n_rows() / 30).max(8);
+    let tree = ModelTree::fit(
+        &data,
+        &M5Params::default()
+            .with_min_instances(min_instances)
+            .with_smoothing(false),
+    )
+    .unwrap();
+    Fixture { data, labels, tree }
+}
+
+fn attr(data: &Dataset, name: &str) -> usize {
+    data.attr_index(name).unwrap_or_else(|| panic!("no attr {name}"))
+}
+
+#[test]
+fn root_splits_on_l2_misses() {
+    let f = fixture();
+    let impacts = analysis::split_impacts(&f.tree, &f.data);
+    let root = &impacts[0];
+    assert_eq!(
+        f.data.attr_name(root.attr),
+        "L2M",
+        "root split is {} (tree:\n{})",
+        f.data.attr_name(root.attr),
+        f.tree.render("CPI")
+    );
+    // The high-L2M side must be substantially slower.
+    assert!(root.mean_difference > 0.5, "{root:?}");
+}
+
+#[test]
+fn dtlb_tested_in_absence_of_l2_misses() {
+    let f = fixture();
+    // Among the split nodes, some must test a DTLB-family event; at least
+    // one of those must sit on the low side of the root L2M split. We check
+    // the weaker, directly-observable form: classify a soplex-like section
+    // (DTLB-bound, no L2 misses) and require a DTLB event on its rule path.
+    let dtlb_names = ["Dtlb", "DtlbLdM", "DtlbLdReM", "DtlbL0LdM"];
+    let mut found = false;
+    for (i, label) in f.labels.iter().enumerate() {
+        if !label.contains("soplex") {
+            continue;
+        }
+        let c = f.tree.classify(&f.data.row(i));
+        if c.path.iter().any(|d| {
+            dtlb_names
+                .iter()
+                .any(|n| f.data.attr_name(d.attr) == *n)
+        }) {
+            found = true;
+            break;
+        }
+    }
+    assert!(
+        found,
+        "no DTLB rule on any soplex-like path (tree:\n{})",
+        f.tree.render("CPI")
+    );
+}
+
+#[test]
+fn cactus_sections_concentrate_in_one_class() {
+    let f = fixture();
+    let rows: Vec<Vec<f64>> = (0..f.data.n_rows()).map(|i| f.data.row(i)).collect();
+    let occ = analysis::occupancy_by_label(&f.tree, &rows, &f.labels);
+    let cactus = &occ["436.cactusADM-like"];
+    let total: usize = cactus.values().sum();
+    let dominant = cactus.values().max().copied().unwrap_or(0);
+    // The paper reports >= 95 %; we require strong concentration.
+    assert!(
+        dominant as f64 / total as f64 > 0.6,
+        "cactus occupancy: {cactus:?}"
+    );
+    // And that class must be a high-CPI one.
+    let (leaf, _) = cactus
+        .iter()
+        .max_by_key(|(_, &n)| n)
+        .expect("non-empty occupancy");
+    let leaf_node = f
+        .tree
+        .leaves()
+        .into_iter()
+        .find(|n| matches!(n, mtperf_mtree::Node::Leaf { id, .. } if id == leaf))
+        .expect("leaf exists");
+    assert!(
+        leaf_node.mean() > 1.5,
+        "cactus class mean CPI = {}",
+        leaf_node.mean()
+    );
+}
+
+#[test]
+fn mcf_sections_concentrate_in_l2_dominated_classes() {
+    let f = fixture();
+    let l2m = attr(&f.data, "L2M");
+    let mut high_side = 0usize;
+    let mut total = 0usize;
+    for (i, label) in f.labels.iter().enumerate() {
+        if !label.contains("mcf") {
+            continue;
+        }
+        total += 1;
+        let c = f.tree.classify(&f.data.row(i));
+        if c.path
+            .iter()
+            .any(|d| d.attr == l2m && d.went_high)
+        {
+            high_side += 1;
+        }
+    }
+    assert!(total > 0);
+    // The paper: > 70 % of mcf sections in the L2-miss class (we require a
+    // clear majority; the exact fraction depends on the synthetic phase
+    // split).
+    assert!(
+        high_side as f64 / total as f64 > 0.65,
+        "{high_side}/{total} mcf sections on the high-L2M side"
+    );
+}
+
+#[test]
+fn lcp_region_is_dominated_by_gcc() {
+    let f = fixture();
+    let lcp = attr(&f.data, "LCP");
+    // Sections *degraded* by LCP stalls (codegen-level rates, not the trace
+    // amounts perl's regex engine emits) should be overwhelmingly gcc-like.
+    let mut gcc = 0usize;
+    let mut total = 0usize;
+    for i in 0..f.data.n_rows() {
+        if f.data.value(i, lcp) > 0.03 {
+            total += 1;
+            if f.labels[i].contains("gcc") {
+                gcc += 1;
+            }
+        }
+    }
+    assert!(total > 5, "too few LCP-degraded sections ({total})");
+    assert!(gcc * 10 >= total * 9, "{gcc}/{total} LCP sections are gcc");
+    // And roughly the paper's "about 20 % of gcc sections" magnitude
+    // (we configured the codegen phase at 20 % of gcc's instructions).
+    let gcc_total = f.labels.iter().filter(|l| l.contains("gcc")).count();
+    let frac = gcc as f64 / gcc_total as f64;
+    assert!(
+        (0.08..=0.4).contains(&frac),
+        "LCP-degraded fraction of gcc = {frac}"
+    );
+}
+
+#[test]
+fn contribution_ranking_answers_what_and_how_much() {
+    let f = fixture();
+    // Pick the mcf-like section with the largest L2M rate.
+    let l2m = attr(&f.data, "L2M");
+    let (idx, _) = (0..f.data.n_rows())
+        .filter(|&i| f.labels[i].contains("mcf"))
+        .map(|i| (i, f.data.value(i, l2m)))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .expect("mcf sections exist");
+    let row = f.data.row(idx);
+    let ops = analysis::rank_opportunities(&f.tree, &row);
+    let memory_events = ["L2M", "L1DM", "DtlbLdReM", "DtlbLdM", "Dtlb", "DtlbL0LdM", "InstLd"];
+    if ops.is_empty() {
+        // The section landed in a constant-model class (the paper's LM18
+        // situation): the levers are the split variables on the rule path,
+        // which must include the high side of a memory event.
+        let class = f.tree.classify(&row);
+        let high = class.high_side_attrs();
+        assert!(
+            high.iter()
+                .any(|&a| memory_events.contains(&f.data.attr_name(a))),
+            "constant class without memory split variables: {:?}",
+            high.iter().map(|&a| f.data.attr_name(a)).collect::<Vec<_>>()
+        );
+    } else {
+        // Memory-system events must rank at the top for an mcf-like section.
+        let top = f.data.attr_name(ops[0].attr);
+        assert!(
+            memory_events.contains(&top),
+            "top opportunity for mcf is {top}"
+        );
+        for c in &ops {
+            assert!(c.fraction.is_finite());
+            assert!(c.fraction > -1.0 && c.fraction < 2.0);
+        }
+    }
+}
