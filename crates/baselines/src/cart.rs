@@ -57,7 +57,11 @@ impl Predictor for CartTree {
                     left,
                     right,
                 } => {
-                    node = if row[*attr] <= *threshold { left } else { right };
+                    node = if row[*attr] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -89,12 +93,7 @@ impl Default for CartLearner {
     }
 }
 
-fn grow(
-    data: &Dataset,
-    idx: Vec<usize>,
-    min_instances: usize,
-    sd_stop: f64,
-) -> CartNode {
+fn grow(data: &Dataset, idx: Vec<usize>, min_instances: usize, sd_stop: f64) -> CartNode {
     let ys: Vec<f64> = idx.iter().map(|&i| data.target(i)).collect();
     let mean = stats::mean(&ys);
     let sd = stats::std_dev(&ys);
@@ -174,7 +173,10 @@ mod tests {
         let worst = (0..64)
             .map(|i| (m.predict(&[i as f64]) - i as f64).abs())
             .fold(0.0f64, f64::max);
-        assert!(worst > 1.0, "staircase must have visible error, got {worst}");
+        assert!(
+            worst > 1.0,
+            "staircase must have visible error, got {worst}"
+        );
         assert!(worst < 16.0, "but bounded by leaf width, got {worst}");
     }
 

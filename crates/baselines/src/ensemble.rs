@@ -123,7 +123,9 @@ mod tests {
     }
 
     fn params() -> M5Params {
-        M5Params::default().with_min_instances(10).with_smoothing(false)
+        M5Params::default()
+            .with_min_instances(10)
+            .with_smoothing(false)
     }
 
     #[test]
@@ -139,8 +141,7 @@ mod tests {
         let d = noisy_piecewise(200);
         let bag = BaggingLearner::new(5, params()).fit_bag(&d).unwrap();
         let row = [25.0];
-        let mean: f64 =
-            bag.trees().iter().map(|t| t.predict(&row)).sum::<f64>() / 5.0;
+        let mean: f64 = bag.trees().iter().map(|t| t.predict(&row)).sum::<f64>() / 5.0;
         assert!((bag.predict(&row) - mean).abs() < 1e-12);
     }
 
@@ -171,8 +172,14 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let d = noisy_piecewise(150);
-        let a = BaggingLearner::new(3, params()).with_seed(5).fit_bag(&d).unwrap();
-        let b = BaggingLearner::new(3, params()).with_seed(5).fit_bag(&d).unwrap();
+        let a = BaggingLearner::new(3, params())
+            .with_seed(5)
+            .fit_bag(&d)
+            .unwrap();
+        let b = BaggingLearner::new(3, params())
+            .with_seed(5)
+            .fit_bag(&d)
+            .unwrap();
         assert_eq!(a.predict(&[10.0]), b.predict(&[10.0]));
     }
 

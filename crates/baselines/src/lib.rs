@@ -32,6 +32,7 @@ mod knn;
 mod linreg;
 mod mlp;
 mod scale;
+mod suite;
 mod svr;
 
 pub use cart::{CartLearner, CartTree};
@@ -40,4 +41,5 @@ pub use knn::{KnnLearner, KnnModel};
 pub use linreg::GlobalLinear;
 pub use mlp::{MlpLearner, MlpModel};
 pub use scale::Standardizer;
+pub use suite::{standard_suite, train_suite};
 pub use svr::{SvrLearner, SvrModel};

@@ -104,7 +104,11 @@ impl Learner for MlpLearner {
         let xs = scaler.transform_all(data);
         let y_mean = stats::mean(data.targets());
         let y_std = stats::std_dev(data.targets()).max(1e-12);
-        let ys: Vec<f64> = data.targets().iter().map(|y| (y - y_mean) / y_std).collect();
+        let ys: Vec<f64> = data
+            .targets()
+            .iter()
+            .map(|y| (y - y_mean) / y_std)
+            .collect();
 
         let n_in = data.n_attrs();
         let mut rng = SmallRng::seed_from_u64(self.seed);
@@ -115,9 +119,7 @@ impl Learner for MlpLearner {
                 .map(|_| (0..n_in).map(|_| rng.gen_range(-scale..scale)).collect())
                 .collect(),
             b1: vec![0.0; self.hidden],
-            w2: (0..self.hidden)
-                .map(|_| rng.gen_range(-0.5..0.5))
-                .collect(),
+            w2: (0..self.hidden).map(|_| rng.gen_range(-0.5..0.5)).collect(),
             b2: 0.0,
             y_mean,
             y_std,
@@ -137,8 +139,7 @@ impl Learner for MlpLearner {
             for &i in &order {
                 let x = &xs[i];
                 let h = model.forward_hidden(x);
-                let out: f64 =
-                    model.w2.iter().zip(&h).map(|(w, v)| w * v).sum::<f64>() + model.b2;
+                let out: f64 = model.w2.iter().zip(&h).map(|(w, v)| w * v).sum::<f64>() + model.b2;
                 let err = out - ys[i];
                 // Output layer.
                 for (w2, &hv) in model.w2.iter_mut().zip(&h) {

@@ -122,7 +122,11 @@ impl SvrLearner {
         let mut xs = scaler.transform_all(data);
         let y_mean = stats::mean(data.targets());
         let y_std = stats::std_dev(data.targets()).max(1e-12);
-        let mut ys: Vec<f64> = data.targets().iter().map(|y| (y - y_mean) / y_std).collect();
+        let mut ys: Vec<f64> = data
+            .targets()
+            .iter()
+            .map(|y| (y - y_mean) / y_std)
+            .collect();
 
         // Subsample oversized training sets.
         if xs.len() > self.max_train_size {

@@ -6,8 +6,8 @@ use std::hint::black_box;
 
 use mtperf_sim::workload::profiles;
 use mtperf_sim::{
-    Cache, CacheGeometry, GsharePredictor, MachineConfig, PredictorConfig, Simulator,
-    StoreBuffer, Tlb, TlbGeometry,
+    Cache, CacheGeometry, GsharePredictor, MachineConfig, PredictorConfig, Simulator, StoreBuffer,
+    Tlb, TlbGeometry,
 };
 
 const INSTRUCTIONS: u64 = 100_000;
@@ -47,11 +47,19 @@ fn bench_components(c: &mut Criterion) {
         });
     });
 
-    let mut tlb = Tlb::new(TlbGeometry { entries: 256, ways: 4 }, 4096);
+    let mut tlb = Tlb::new(
+        TlbGeometry {
+            entries: 256,
+            ways: 4,
+        },
+        4096,
+    );
     let mut vaddr = 0u64;
     group.bench_function("tlb_translate", |b| {
         b.iter(|| {
-            vaddr = vaddr.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            vaddr = vaddr
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             tlb.translate(black_box(vaddr % (1 << 30)))
         });
     });

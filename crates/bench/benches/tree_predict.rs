@@ -11,7 +11,9 @@ fn bench_predict(c: &mut Criterion) {
     let data = synthetic_dataset(10_000, 20);
     let smoothed = ModelTree::fit(
         &data,
-        &M5Params::default().with_min_instances(100).with_smoothing(true),
+        &M5Params::default()
+            .with_min_instances(100)
+            .with_smoothing(true),
     )
     .unwrap();
     let raw = ModelTree::fit(

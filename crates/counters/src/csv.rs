@@ -150,12 +150,26 @@ pub fn read_csv<R: Read>(r: R) -> Result<SampleSet, CsvError> {
             line: lineno,
             reason: format!("bad CPI {:?}: {e}", fields[2]),
         })?;
-        let mut rates = [0.0; N_EVENTS];
+        // `str::parse::<f64>` accepts "NaN" and "inf"; such values would
+        // only blow up later, deep inside training, so reject them here.
+        if !cpi.is_finite() {
+            return Err(CsvError::BadRow {
+                line: lineno,
+                reason: format!("non-finite CPI {:?}", fields[2]),
+            });
+        }
+        let mut rates = [0.0f64; N_EVENTS];
         for (j, f) in fields[3..].iter().enumerate() {
             rates[j] = f.parse().map_err(|e| CsvError::BadRow {
                 line: lineno,
                 reason: format!("bad rate {f:?}: {e}"),
             })?;
+            if !rates[j].is_finite() {
+                return Err(CsvError::BadRow {
+                    line: lineno,
+                    reason: format!("non-finite rate {f:?}"),
+                });
+            }
         }
         set.push(SectionSample::new(fields[0], section_index, cpi, rates));
     }
@@ -224,6 +238,22 @@ mod tests {
         let err = read_csv(input.as_bytes()).unwrap_err();
         assert!(matches!(err, CsvError::BadRow { .. }));
         assert!(err.to_string().contains("CPI"));
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        let zeros = vec!["0"; N_EVENTS].join(",");
+        for cpi in ["NaN", "inf", "-inf"] {
+            let input = format!("{}\nw,0,{cpi},{zeros}\n", header());
+            let err = read_csv(input.as_bytes()).unwrap_err();
+            assert!(matches!(err, CsvError::BadRow { .. }), "{cpi}");
+            assert!(err.to_string().contains("non-finite CPI"), "{err}");
+        }
+        let mut fields = vec!["0"; N_EVENTS];
+        fields[3] = "NaN";
+        let input = format!("{}\nw,0,1.5,{}\n", header(), fields.join(","));
+        let err = read_csv(input.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("non-finite rate"), "{err}");
     }
 
     #[test]

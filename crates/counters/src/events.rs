@@ -29,9 +29,7 @@ pub const N_EVENTS: usize = 20;
 /// assert_eq!("L2M".parse::<Event>().unwrap(), Event::L2m);
 /// assert_eq!(Event::ALL.len(), 20);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[repr(usize)]
 pub enum Event {
     /// Loads per instruction (`INST_RETIRED.LOADS`).

@@ -73,7 +73,11 @@ mod tests {
         for i in 0..60 {
             rows.push([i as f64]);
             ys.push(2.0 * i as f64);
-            labels.push(if i % 2 == 0 { "even".into() } else { "odd".into() });
+            labels.push(if i % 2 == 0 {
+                "even".into()
+            } else {
+                "odd".into()
+            });
         }
         (
             Dataset::from_rows(vec!["x".into()], &rows, &ys).unwrap(),

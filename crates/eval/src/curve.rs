@@ -59,10 +59,7 @@ pub fn learning_curve(
     let test = data.subset(test_idx);
     let actual: Vec<f64> = test.targets().to_vec();
 
-    let mut clamped: Vec<usize> = sizes
-        .iter()
-        .map(|&s| s.clamp(1, pool.len()))
-        .collect();
+    let mut clamped: Vec<usize> = sizes.iter().map(|&s| s.clamp(1, pool.len())).collect();
     clamped.sort_unstable();
     clamped.dedup();
 
@@ -114,8 +111,7 @@ mod tests {
     fn sizes_are_clamped_and_deduped() {
         let d = data(100);
         let learner = M5Learner::new(M5Params::default());
-        let curve =
-            learning_curve(&learner, &d, &[50, 1_000_000, 999_999], 0.2, 1).unwrap();
+        let curve = learning_curve(&learner, &d, &[50, 1_000_000, 999_999], 0.2, 1).unwrap();
         // 1e6 and 999999 both clamp to the pool size (80) -> dedup to one.
         assert_eq!(curve.len(), 2);
         assert_eq!(curve.last().unwrap().train_size, 80);

@@ -4,6 +4,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use mtperf_linalg::parallel::{self, par_map, Parallelism};
 use mtperf_mtree::{Dataset, Learner, MtreeError};
 
 use crate::Metrics;
@@ -69,6 +70,25 @@ pub fn cross_validate(
     k: usize,
     seed: u64,
 ) -> Result<CvResult, MtreeError> {
+    cross_validate_with(learner, data, k, seed, parallel::global())
+}
+
+/// [`cross_validate`] with an explicit thread budget.
+///
+/// Folds train concurrently (each on its own training subset) and results
+/// merge in fold order, so the returned [`CvResult`] is bit-identical to the
+/// serial run at any [`Parallelism`] setting.
+///
+/// # Errors
+///
+/// Same as [`cross_validate`].
+pub fn cross_validate_with(
+    learner: &dyn Learner,
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+    par: Parallelism,
+) -> Result<CvResult, MtreeError> {
     let n = data.n_rows();
     if k < 2 || k > n {
         return Err(MtreeError::BadParams(format!(
@@ -76,36 +96,37 @@ pub fn cross_validate(
         )));
     }
     let order = shuffled_indices(n, seed);
-    let mut folds = Vec::with_capacity(k);
-    for fold in 0..k {
-        // Fold f takes every k-th element: near-equal sizes, one pass.
-        let test_idx: Vec<usize> = order
-            .iter()
-            .copied()
-            .skip(fold)
-            .step_by(k)
-            .collect();
-        let train_idx: Vec<usize> = order
-            .iter()
-            .copied()
-            .enumerate()
-            .filter(|(pos, _)| pos % k != fold)
-            .map(|(_, i)| i)
-            .collect();
-        let train = data.subset(&train_idx);
-        let model = learner.fit(&train)?;
-        let actual: Vec<f64> = test_idx.iter().map(|&i| data.target(i)).collect();
-        let predicted: Vec<f64> = test_idx
-            .iter()
-            .map(|&i| model.predict(&data.row(i)))
-            .collect();
-        folds.push(FoldResult {
-            fold,
-            metrics: Metrics::compute(&actual, &predicted),
-            actual,
-            predicted,
-        });
-    }
+    let fold_ids: Vec<usize> = (0..k).collect();
+    let folds = par_map(
+        par,
+        &fold_ids,
+        1,
+        |&fold| -> Result<FoldResult, MtreeError> {
+            // Fold f takes every k-th element: near-equal sizes, one pass.
+            let test_idx: Vec<usize> = order.iter().copied().skip(fold).step_by(k).collect();
+            let train_idx: Vec<usize> = order
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|(pos, _)| pos % k != fold)
+                .map(|(_, i)| i)
+                .collect();
+            let train = data.subset(&train_idx);
+            let model = learner.fit(&train)?;
+            let actual: Vec<f64> = test_idx.iter().map(|&i| data.target(i)).collect();
+            let predicted: Vec<f64> = test_idx
+                .iter()
+                .map(|&i| model.predict(&data.row(i)))
+                .collect();
+            Ok(FoldResult {
+                fold,
+                metrics: Metrics::compute(&actual, &predicted),
+                actual,
+                predicted,
+            })
+        },
+    );
+    let folds = folds.into_iter().collect::<Result<Vec<_>, _>>()?;
     let aggregate = Metrics::aggregate(&folds.iter().map(|f| f.metrics).collect::<Vec<_>>());
     let (all_a, all_p): (Vec<f64>, Vec<f64>) = folds
         .iter()
@@ -201,6 +222,24 @@ mod tests {
     }
 
     #[test]
+    fn parallel_folds_match_serial_bit_for_bit() {
+        let d = data(60);
+        let learner = M5Learner::new(M5Params::default().with_min_instances(5));
+        let serial = cross_validate_with(&learner, &d, 6, 11, Parallelism::Off).unwrap();
+        for threads in [1, 2, 3, 6, 8] {
+            let par =
+                cross_validate_with(&learner, &d, 6, 11, Parallelism::Fixed(threads)).unwrap();
+            assert_eq!(par.aggregate, serial.aggregate, "threads = {threads}");
+            assert_eq!(par.pooled, serial.pooled, "threads = {threads}");
+            for (a, b) in par.folds.iter().zip(serial.folds.iter()) {
+                assert_eq!(a.fold, b.fold);
+                assert_eq!(a.actual, b.actual);
+                assert_eq!(a.predicted, b.predicted);
+            }
+        }
+    }
+
+    #[test]
     fn rejects_bad_k() {
         let d = data(10);
         let learner = M5Learner::new(M5Params::default());
@@ -218,7 +257,10 @@ mod tests {
         // Disjoint: x values are unique, so check no overlap.
         let train_x: std::collections::HashSet<u64> =
             train.column(0).iter().map(|v| v.to_bits()).collect();
-        assert!(test.column(0).iter().all(|v| !train_x.contains(&v.to_bits())));
+        assert!(test
+            .column(0)
+            .iter()
+            .all(|v| !train_x.contains(&v.to_bits())));
     }
 
     #[test]

@@ -34,8 +34,8 @@ mod significance;
 
 pub use breakdown::{breakdown_table, per_label_metrics};
 pub use curve::{learning_curve, CurvePoint};
-pub use cv::{cross_validate, train_test_split, CvResult, FoldResult};
+pub use cv::{cross_validate, cross_validate_with, train_test_split, CvResult, FoldResult};
 pub use metrics::Metrics;
-pub use repeat::{repeated_cv, RepeatedCv, Spread};
+pub use repeat::{repeated_cv, repeated_cv_with, RepeatedCv, Spread};
 pub use report::{comparison_table, scatter_csv};
 pub use significance::{paired_t_test, PairedTTest};

@@ -5,10 +5,11 @@
 
 use serde::{Deserialize, Serialize};
 
+use mtperf_linalg::parallel::{self, par_map, Parallelism};
 use mtperf_linalg::stats;
 use mtperf_mtree::{Dataset, Learner, MtreeError};
 
-use crate::{cross_validate, Metrics};
+use crate::{cross_validate_with, Metrics};
 
 /// Mean and standard deviation of a metric over repeated CV runs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -55,14 +56,35 @@ pub fn repeated_cv(
     repeats: usize,
     seed: u64,
 ) -> Result<RepeatedCv, MtreeError> {
+    repeated_cv_with(learner, data, k, repeats, seed, parallel::global())
+}
+
+/// [`repeated_cv`] with an explicit thread budget.
+///
+/// Repeats run concurrently (each an independent seeded shuffle) and merge
+/// in seed order; any inner parallel section runs serially inside a worker,
+/// so results are bit-identical to the serial run at any setting.
+///
+/// # Errors
+///
+/// Same as [`repeated_cv`].
+pub fn repeated_cv_with(
+    learner: &dyn Learner,
+    data: &Dataset,
+    k: usize,
+    repeats: usize,
+    seed: u64,
+    par: Parallelism,
+) -> Result<RepeatedCv, MtreeError> {
     if repeats == 0 {
         return Err(MtreeError::BadParams("repeats must be >= 1".into()));
     }
-    let mut metrics = Vec::with_capacity(repeats);
-    for r in 0..repeats {
-        let cv = cross_validate(learner, data, k, seed + r as u64)?;
-        metrics.push(cv.pooled);
-    }
+    let seeds: Vec<u64> = (0..repeats).map(|r| seed + r as u64).collect();
+    let metrics = par_map(par, &seeds, 1, |&s| {
+        cross_validate_with(learner, data, k, s, par).map(|cv| cv.pooled)
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
     let corr: Vec<f64> = metrics.iter().map(|m| m.correlation).collect();
     let mae: Vec<f64> = metrics.iter().map(|m| m.mae).collect();
     let rae: Vec<f64> = metrics.iter().map(|m| m.rae_percent).collect();
@@ -93,6 +115,20 @@ mod tests {
         assert!(r.correlation.mean > 0.99);
         assert!(r.correlation.sd >= 0.0);
         assert!(r.rae_percent.mean < 5.0);
+    }
+
+    #[test]
+    fn parallel_repeats_match_serial_bit_for_bit() {
+        let learner = M5Learner::new(M5Params::default());
+        let serial = repeated_cv_with(&learner, &data(), 5, 4, 7, Parallelism::Off).unwrap();
+        for threads in [2, 4, 8] {
+            let par =
+                repeated_cv_with(&learner, &data(), 5, 4, 7, Parallelism::Fixed(threads)).unwrap();
+            assert_eq!(par.repeats, serial.repeats, "threads = {threads}");
+            assert_eq!(par.correlation, serial.correlation);
+            assert_eq!(par.mae, serial.mae);
+            assert_eq!(par.rae_percent, serial.rae_percent);
+        }
     }
 
     #[test]

@@ -52,10 +52,7 @@ mod tests {
     #[test]
     fn table_lists_all_rows() {
         let m = Metrics::compute(&[1.0, 2.0, 3.0], &[1.1, 2.1, 2.9]);
-        let t = comparison_table(&[
-            ("A".to_string(), m),
-            ("B with long name".to_string(), m),
-        ]);
+        let t = comparison_table(&[("A".to_string(), m), ("B with long name".to_string(), m)]);
         assert!(t.contains("A "));
         assert!(t.contains("B with long name"));
         assert_eq!(t.lines().count(), 4);

@@ -37,10 +37,9 @@ impl fmt::Display for LinalgError {
                 left.0, left.1, right.0, right.1
             ),
             LinalgError::Singular => write!(f, "matrix is singular to working precision"),
-            LinalgError::RaggedRows { expected, found } => write!(
-                f,
-                "ragged rows: expected length {expected}, found {found}"
-            ),
+            LinalgError::RaggedRows { expected, found } => {
+                write!(f, "ragged rows: expected length {expected}, found {found}")
+            }
             LinalgError::Empty => write!(f, "operation requires a non-empty matrix"),
         }
     }
@@ -59,10 +58,7 @@ mod tests {
             right: (4, 5),
             op: "mul",
         };
-        assert_eq!(
-            err.to_string(),
-            "shape mismatch in mul: 2x3 vs 4x5"
-        );
+        assert_eq!(err.to_string(), "shape mismatch in mul: 2x3 vs 4x5");
     }
 
     #[test]

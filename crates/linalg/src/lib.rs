@@ -31,11 +31,13 @@
 
 mod error;
 mod matrix;
+pub mod parallel;
 mod qr;
 mod solve;
 pub mod stats;
 
 pub use error::LinalgError;
 pub use matrix::Matrix;
+pub use parallel::Parallelism;
 pub use qr::lstsq_qr;
 pub use solve::{cholesky, cholesky_solve, lstsq, lstsq_ridge, solve_lower, solve_upper};

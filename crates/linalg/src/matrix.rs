@@ -195,13 +195,7 @@ impl Matrix {
             });
         }
         Ok((0..self.rows)
-            .map(|r| {
-                self.row(r)
-                    .iter()
-                    .zip(v)
-                    .map(|(a, b)| a * b)
-                    .sum::<f64>()
-            })
+            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum::<f64>())
             .collect())
     }
 
@@ -316,7 +310,13 @@ mod tests {
     #[test]
     fn from_rows_rejects_ragged() {
         let err = Matrix::from_rows(&[&[1.0], &[1.0, 2.0]]).unwrap_err();
-        assert_eq!(err, LinalgError::RaggedRows { expected: 1, found: 2 });
+        assert_eq!(
+            err,
+            LinalgError::RaggedRows {
+                expected: 1,
+                found: 2
+            }
+        );
     }
 
     #[test]
@@ -371,7 +371,10 @@ mod tests {
         let a = m22();
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
         let p = a.matmul(&b).unwrap();
-        assert_eq!(p, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+        assert_eq!(
+            p,
+            Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap()
+        );
     }
 
     #[test]

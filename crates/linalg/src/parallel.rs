@@ -1,0 +1,265 @@
+//! Deterministic data parallelism on scoped OS threads.
+//!
+//! The workspace deliberately has no external dependencies (the registry is
+//! not reachable from every build environment), so this module builds its
+//! map-reduce helper directly on [`std::thread::scope`].
+//!
+//! # Determinism contract
+//!
+//! [`par_map`] computes `f` on each item independently and returns results in
+//! **input order**, regardless of thread count or scheduling. Callers that
+//! keep their per-item computation free of shared mutable state therefore get
+//! bit-identical results at any [`Parallelism`] setting — the property the
+//! split search, cross validation, and baseline suite rely on.
+//!
+//! # Example
+//!
+//! ```
+//! use mtperf_linalg::parallel::{par_map, Parallelism};
+//!
+//! let squares = par_map(Parallelism::Auto, &[1, 2, 3, 4], 1, |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::cell::Cell;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How many worker threads parallel sections may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Use the machine's available parallelism.
+    #[default]
+    Auto,
+    /// Run everything serially on the calling thread.
+    Off,
+    /// Use exactly this many threads (≥ 1; 1 behaves like [`Parallelism::Off`]).
+    Fixed(usize),
+}
+
+impl Parallelism {
+    /// The concrete thread count this setting resolves to on this machine.
+    pub fn threads(self) -> usize {
+        match self {
+            Parallelism::Off => 1,
+            Parallelism::Fixed(n) => n.max(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+}
+
+impl FromStr for Parallelism {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(Parallelism::Auto),
+            "off" => Ok(Parallelism::Off),
+            n => n
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .map(Parallelism::Fixed)
+                .ok_or_else(|| {
+                    format!("invalid parallelism {s:?}: expected \"auto\", \"off\", or a thread count >= 1")
+                }),
+        }
+    }
+}
+
+impl fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Parallelism::Auto => write!(f, "auto"),
+            Parallelism::Off => write!(f, "off"),
+            Parallelism::Fixed(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Global default used when a caller does not pass an explicit setting.
+/// Encoding: 0 = Auto, 1 = Off, n ≥ 2 = Fixed(n − 1).
+static GLOBAL: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default [`Parallelism`] (e.g. from a `--threads`
+/// CLI flag).
+pub fn set_global(par: Parallelism) {
+    let encoded = match par {
+        Parallelism::Auto => 0,
+        Parallelism::Off => 1,
+        Parallelism::Fixed(n) => n.max(1) + 1,
+    };
+    GLOBAL.store(encoded, Ordering::Relaxed);
+}
+
+/// The process-wide default [`Parallelism`].
+pub fn global() -> Parallelism {
+    match GLOBAL.load(Ordering::Relaxed) {
+        0 => Parallelism::Auto,
+        1 => Parallelism::Off,
+        n => Parallelism::Fixed(n - 1),
+    }
+}
+
+thread_local! {
+    /// True inside a `par_map` worker: nested calls run serially instead of
+    /// oversubscribing the machine.
+    static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Maps `f` over `items`, possibly on multiple threads, preserving input
+/// order in the result.
+///
+/// Items are split into at most `threads` contiguous chunks of at least
+/// `min_chunk` items each, so small inputs stay on one thread and avoid
+/// spawn overhead. Results are concatenated chunk by chunk: element `i` of
+/// the return value is always `f(&items[i])`.
+///
+/// # Panics
+///
+/// Propagates the first worker panic to the caller.
+pub fn par_map<T, R, F>(par: Parallelism, items: &[T], min_chunk: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = par.threads().min(
+        if min_chunk == 0 {
+            n
+        } else {
+            n / min_chunk.max(1)
+        }
+        .max(1),
+    );
+    if threads <= 1 || n <= 1 || IN_PARALLEL.with(Cell::get) {
+        return items.iter().map(f).collect();
+    }
+
+    // Contiguous near-equal chunks; the first `rem` chunks get one extra.
+    let base = n / threads;
+    let rem = n % threads;
+    let mut chunks: Vec<&[T]> = Vec::with_capacity(threads);
+    let mut start = 0;
+    for t in 0..threads {
+        let len = base + usize::from(t < rem);
+        chunks.push(&items[start..start + len]);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+
+    let run_chunk = |chunk: &[T]| -> Vec<R> {
+        IN_PARALLEL.with(|flag| flag.set(true));
+        let out = chunk.iter().map(&f).collect();
+        IN_PARALLEL.with(|flag| flag.set(false));
+        out
+    };
+
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .skip(1)
+            .map(|chunk| scope.spawn(|| run_chunk(chunk)))
+            .collect();
+        // The calling thread works the first chunk instead of idling.
+        results.push(run_chunk(chunks[0]));
+        for handle in handles {
+            match handle.join() {
+                Ok(chunk_results) => results.push(chunk_results),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_at_any_thread_count() {
+        let items: Vec<usize> = (0..1000).collect();
+        let serial = par_map(Parallelism::Off, &items, 1, |&x| x * 3);
+        for threads in [1, 2, 3, 4, 7, 16] {
+            let parallel = par_map(Parallelism::Fixed(threads), &items, 1, |&x| x * 3);
+            assert_eq!(parallel, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(Parallelism::Auto, &empty, 1, |&x| x).is_empty());
+        assert_eq!(
+            par_map(Parallelism::Fixed(8), &[5u32], 1, |&x| x + 1),
+            vec![6]
+        );
+    }
+
+    #[test]
+    fn min_chunk_limits_fan_out() {
+        // 10 items with min_chunk 8 must not use more than one thread; the
+        // observable contract is just that results stay correct and ordered.
+        let items: Vec<usize> = (0..10).collect();
+        let got = par_map(Parallelism::Fixed(8), &items, 8, |&x| x + 1);
+        assert_eq!(got, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_calls_run_serially_and_correctly() {
+        let outer: Vec<usize> = (0..8).collect();
+        let got = par_map(Parallelism::Fixed(4), &outer, 1, |&i| {
+            let inner: Vec<usize> = (0..4).collect();
+            par_map(Parallelism::Fixed(4), &inner, 1, move |&j| i * 10 + j)
+        });
+        for (i, row) in got.iter().enumerate() {
+            assert_eq!(row, &vec![i * 10, i * 10 + 1, i * 10 + 2, i * 10 + 3]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..64).collect();
+        par_map(Parallelism::Fixed(4), &items, 1, |&x| {
+            assert!(x < 60, "worker boom");
+            x
+        });
+    }
+
+    #[test]
+    fn parallelism_parses_and_displays() {
+        assert_eq!("auto".parse::<Parallelism>().unwrap(), Parallelism::Auto);
+        assert_eq!("off".parse::<Parallelism>().unwrap(), Parallelism::Off);
+        assert_eq!("6".parse::<Parallelism>().unwrap(), Parallelism::Fixed(6));
+        assert!("0".parse::<Parallelism>().is_err());
+        assert!("fast".parse::<Parallelism>().is_err());
+        for p in [Parallelism::Auto, Parallelism::Off, Parallelism::Fixed(3)] {
+            assert_eq!(p.to_string().parse::<Parallelism>().unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn global_default_round_trips() {
+        let original = global();
+        for p in [Parallelism::Off, Parallelism::Fixed(5), Parallelism::Auto] {
+            set_global(p);
+            assert_eq!(global(), p);
+        }
+        set_global(original);
+    }
+
+    #[test]
+    fn threads_resolves_sensibly() {
+        assert_eq!(Parallelism::Off.threads(), 1);
+        assert_eq!(Parallelism::Fixed(3).threads(), 3);
+        assert_eq!(Parallelism::Fixed(0).threads(), 1);
+        assert!(Parallelism::Auto.threads() >= 1);
+    }
+}

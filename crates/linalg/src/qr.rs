@@ -171,7 +171,10 @@ mod tests {
     #[test]
     fn rejects_rank_deficiency() {
         let x = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
-        assert_eq!(lstsq_qr(&x, &[1.0, 2.0, 3.0]).unwrap_err(), LinalgError::Singular);
+        assert_eq!(
+            lstsq_qr(&x, &[1.0, 2.0, 3.0]).unwrap_err(),
+            LinalgError::Singular
+        );
     }
 
     #[test]

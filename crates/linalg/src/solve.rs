@@ -155,7 +155,9 @@ pub fn lstsq(x: &Matrix, y: &[f64]) -> Result<Vec<f64>, LinalgError> {
     if let Ok(beta) = cholesky_solve(&g, &rhs) {
         return Ok(beta);
     }
-    let scale = (0..g.rows()).fold(0.0_f64, |m, i| m.max(g[(i, i)])).max(1.0);
+    let scale = (0..g.rows())
+        .fold(0.0_f64, |m, i| m.max(g[(i, i)]))
+        .max(1.0);
     for rel in RIDGE_LADDER {
         let mut gr = g.clone();
         for i in 0..gr.rows() {
@@ -254,7 +256,10 @@ mod tests {
     #[test]
     fn triangular_solve_singular() {
         let l = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]).unwrap();
-        assert_eq!(solve_lower(&l, &[1.0, 1.0]).unwrap_err(), LinalgError::Singular);
+        assert_eq!(
+            solve_lower(&l, &[1.0, 1.0]).unwrap_err(),
+            LinalgError::Singular
+        );
     }
 
     #[test]
@@ -280,13 +285,7 @@ mod tests {
     #[test]
     fn lstsq_overdetermined_minimizes_residual() {
         // Noisy line fit: residuals must be orthogonal to the columns.
-        let x = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[1.0, 1.0],
-            &[1.0, 2.0],
-            &[1.0, 3.0],
-        ])
-        .unwrap();
+        let x = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]).unwrap();
         let y = [0.1, 1.9, 4.2, 5.8];
         let beta = lstsq(&x, &y).unwrap();
         let yhat = x.matvec(&beta).unwrap();
@@ -300,12 +299,7 @@ mod tests {
     #[test]
     fn lstsq_handles_zero_column() {
         // Second column never fires: Gram is singular, ridge fallback kicks in.
-        let x = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[2.0, 0.0],
-            &[3.0, 0.0],
-        ])
-        .unwrap();
+        let x = Matrix::from_rows(&[&[1.0, 0.0], &[2.0, 0.0], &[3.0, 0.0]]).unwrap();
         let y = [2.0, 4.0, 6.0];
         let beta = lstsq(&x, &y).unwrap();
         assert!((beta[0] - 2.0).abs() < 1e-4);
@@ -314,12 +308,7 @@ mod tests {
 
     #[test]
     fn lstsq_handles_duplicate_columns() {
-        let x = Matrix::from_rows(&[
-            &[1.0, 1.0],
-            &[2.0, 2.0],
-            &[3.0, 3.0],
-        ])
-        .unwrap();
+        let x = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]).unwrap();
         let y = [2.0, 4.0, 6.0];
         let beta = lstsq(&x, &y).unwrap();
         // Ridge splits the weight; the sum must still predict y.

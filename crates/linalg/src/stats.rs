@@ -100,9 +100,10 @@ pub fn r_squared(y: &[f64], yhat: &[f64]) -> Option<f64> {
 /// Minimum and maximum of a slice; `None` for an empty slice.
 pub fn min_max(xs: &[f64]) -> Option<(f64, f64)> {
     let first = *xs.first()?;
-    Some(xs.iter().fold((first, first), |(lo, hi), &v| {
-        (lo.min(v), hi.max(v))
-    }))
+    Some(
+        xs.iter()
+            .fold((first, first), |(lo, hi), &v| (lo.min(v), hi.max(v))),
+    )
 }
 
 /// Linear interpolation quantile (`q` in `[0, 1]`) of an **unsorted** slice.

@@ -10,7 +10,8 @@ use std::fs::File;
 use std::path::Path;
 
 use mtperf_counters::SampleSet;
-use mtperf_eval::{cross_validate, per_label_metrics, breakdown_table};
+use mtperf_eval::{breakdown_table, cross_validate, per_label_metrics};
+use mtperf_linalg::parallel::{self, Parallelism};
 use mtperf_mtree::{analysis, Dataset, M5Learner, M5Params, ModelTree, RuleSet};
 
 /// Parsed command line: a subcommand plus `--key value` options.
@@ -107,6 +108,11 @@ COMMANDS
   analyze    --model <model.json> --data <csv> [--top N]
              Classify each workload's median section and rank its
              optimization opportunities (the paper's what/how-much report).
+
+GLOBAL OPTIONS
+  --threads <auto|off|N>
+             Thread budget for training and cross validation (default auto).
+             Results are bit-identical at any setting; only wall time changes.
 ";
 
 /// Loads a section CSV into a sample set.
@@ -145,7 +151,8 @@ fn params_from(args: &Args, n_rows: usize) -> Result<M5Params, String> {
     let min: usize = args.numeric("min-instances", default_min)?;
     Ok(M5Params::default()
         .with_min_instances(min)
-        .with_smoothing(!args.flag("no-smoothing")))
+        .with_smoothing(!args.flag("no-smoothing"))
+        .with_parallelism(parallel::global()))
 }
 
 /// `mtperf train`.
@@ -246,6 +253,12 @@ pub fn cmd_analyze(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<
 ///
 /// Propagates subcommand failures; unknown commands return a usage hint.
 pub fn dispatch(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    if let Some(threads) = args.options.get("threads") {
+        let par: Parallelism = threads
+            .parse()
+            .map_err(|e| format!("option --threads: {e}"))?;
+        parallel::set_global(par);
+    }
     match args.command.as_str() {
         "simulate" => cmd_simulate(args),
         "train" => cmd_train(args),
@@ -271,7 +284,14 @@ mod tests {
 
     #[test]
     fn parse_command_options_flags() {
-        let a = args(&["train", "--data", "x.csv", "--no-smoothing", "--out", "m.json"]);
+        let a = args(&[
+            "train",
+            "--data",
+            "x.csv",
+            "--no-smoothing",
+            "--out",
+            "m.json",
+        ]);
         assert_eq!(a.command, "train");
         assert_eq!(a.require("data").unwrap(), "x.csv");
         assert_eq!(a.require("out").unwrap(), "m.json");
@@ -310,6 +330,25 @@ mod tests {
     }
 
     #[test]
+    fn threads_flag_sets_global_parallelism() {
+        let original = parallel::global();
+        let a = args(&["frobnicate", "--threads", "3"]);
+        let mut out = Vec::new();
+        // Unknown command still errors, but the global is set first.
+        assert!(dispatch(&a, &mut out).is_err());
+        assert_eq!(parallel::global(), Parallelism::Fixed(3));
+        parallel::set_global(original);
+    }
+
+    #[test]
+    fn bad_threads_value_is_rejected() {
+        let a = args(&["evaluate", "--threads", "zero"]);
+        let mut out = Vec::new();
+        let err = dispatch(&a, &mut out).unwrap_err();
+        assert!(err.to_string().contains("--threads"), "{err}");
+    }
+
+    #[test]
     fn end_to_end_simulate_train_show_analyze() {
         let dir = std::env::temp_dir().join("mtperf-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -319,8 +358,15 @@ mod tests {
 
         // simulate (tiny)
         cmd_simulate(&args(&[
-            "simulate", "--out", &csv, "--arff", &arff, "--instructions", "60000",
-            "--seed", "3",
+            "simulate",
+            "--out",
+            &csv,
+            "--arff",
+            &arff,
+            "--instructions",
+            "60000",
+            "--seed",
+            "3",
         ]))
         .unwrap();
         assert!(exists(&csv) && exists(&arff));

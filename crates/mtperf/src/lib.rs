@@ -56,9 +56,7 @@ use mtperf_mtree::{Dataset, MtreeError};
 pub mod prelude {
     pub use mtperf_counters::{Event, SampleSet, SectionSample};
     pub use mtperf_eval::{cross_validate, Metrics};
-    pub use mtperf_mtree::{
-        analysis, Dataset, Learner, M5Learner, M5Params, ModelTree, Predictor,
-    };
+    pub use mtperf_mtree::{analysis, Dataset, Learner, M5Learner, M5Params, ModelTree, Predictor};
     pub use mtperf_sim::{MachineConfig, Simulator};
 }
 
@@ -103,7 +101,12 @@ mod tests {
         let mut rates = [0.0; mtperf_counters::N_EVENTS];
         rates[3] = 0.5;
         set.push(SectionSample::new("a", 0, 1.5, rates));
-        set.push(SectionSample::new("b", 0, 2.5, [0.0; mtperf_counters::N_EVENTS]));
+        set.push(SectionSample::new(
+            "b",
+            0,
+            2.5,
+            [0.0; mtperf_counters::N_EVENTS],
+        ));
         let d = dataset_from_samples(&set).unwrap();
         assert_eq!(d.n_rows(), 2);
         assert_eq!(d.n_attrs(), 20);

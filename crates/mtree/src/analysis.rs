@@ -205,8 +205,7 @@ fn walk(node: &Node, data: &Dataset, idx: Vec<usize>, out: &mut Vec<SplitImpact>
         return;
     };
     let col = data.column(*attr);
-    let (low, high): (Vec<usize>, Vec<usize>) =
-        idx.iter().partition(|&&i| col[i] <= *threshold);
+    let (low, high): (Vec<usize>, Vec<usize>) = idx.iter().partition(|&&i| col[i] <= *threshold);
     let ys_low: Vec<f64> = low.iter().map(|&i| data.target(i)).collect();
     let ys_high: Vec<f64> = high.iter().map(|&i| data.target(i)).collect();
     let mean_low = stats::mean(&ys_low);
@@ -348,7 +347,9 @@ mod tests {
     fn tree() -> ModelTree {
         ModelTree::fit(
             &perf_data(),
-            &M5Params::default().with_min_instances(10).with_smoothing(false),
+            &M5Params::default()
+                .with_min_instances(10)
+                .with_smoothing(false),
         )
         .unwrap()
     }
@@ -489,7 +490,13 @@ mod tests {
         assert_eq!(occ.values().sum::<usize>(), d.n_rows());
 
         let labels: Vec<String> = (0..d.n_rows())
-            .map(|i| if i % 2 == 0 { "low".into() } else { "high".into() })
+            .map(|i| {
+                if i % 2 == 0 {
+                    "low".into()
+                } else {
+                    "high".into()
+                }
+            })
             .collect();
         let by_label = occupancy_by_label(&t, &rows, &labels);
         assert_eq!(by_label.len(), 2);

@@ -4,7 +4,7 @@
 use mtperf_linalg::stats;
 
 use crate::node::{LeafId, Node};
-use crate::split::best_split;
+use crate::split::best_split_with;
 use crate::{Dataset, LinearModel, M5Params, MtreeError};
 
 /// Result of building one subtree.
@@ -46,7 +46,7 @@ pub(crate) fn build(
     let depth_ok = params.max_depth().is_none_or(|d| depth < d);
     let homogeneous = sd < params.sd_fraction() * root_sd;
     let split = if depth_ok && !homogeneous && n >= 2 * params.min_instances() {
-        best_split(data, &idx, params.min_instances())
+        best_split_with(data, &idx, params.min_instances(), params.parallelism())
     } else {
         None
     };
@@ -136,13 +136,21 @@ mod tests {
         let rows: Vec<[f64; 1]> = (-60..60).map(|i| [i as f64 / 10.0]).collect();
         let ys: Vec<f64> = rows
             .iter()
-            .map(|r| if r[0] <= 0.0 { 2.0 * r[0] } else { 10.0 - 3.0 * r[0] })
+            .map(|r| {
+                if r[0] <= 0.0 {
+                    2.0 * r[0]
+                } else {
+                    10.0 - 3.0 * r[0]
+                }
+            })
             .collect();
         Dataset::from_rows(vec!["x".into()], &rows, &ys).unwrap()
     }
 
     fn params() -> M5Params {
-        M5Params::default().with_min_instances(10).with_smoothing(false)
+        M5Params::default()
+            .with_min_instances(10)
+            .with_smoothing(false)
     }
 
     #[test]
@@ -179,8 +187,7 @@ mod tests {
         let idx: Vec<usize> = (0..d.n_rows()).collect();
         let root_sd = stats::std_dev(d.targets());
         let pruned = build(&d, idx.clone(), &params(), root_sd, 0).unwrap();
-        let unpruned =
-            build(&d, idx, &params().with_prune(false), root_sd, 0).unwrap();
+        let unpruned = build(&d, idx, &params().with_prune(false), root_sd, 0).unwrap();
         assert!(unpruned.node.n_leaves() >= pruned.node.n_leaves());
     }
 
@@ -205,8 +212,7 @@ mod tests {
         let d = piecewise();
         let idx: Vec<usize> = (0..d.n_rows()).collect();
         let root_sd = stats::std_dev(d.targets());
-        let mut built =
-            build(&d, idx, &params().with_prune(false), root_sd, 0).unwrap();
+        let mut built = build(&d, idx, &params().with_prune(false), root_sd, 0).unwrap();
         let mut next = 0;
         assign_leaf_ids(&mut built.node, &mut next);
         assert_eq!(next, built.node.n_leaves());
@@ -227,7 +233,13 @@ mod tests {
         let root_sd = stats::std_dev(d.targets());
         let built = build(&d, idx, &params(), root_sd, 0).unwrap();
         fn check(n: &Node) {
-            if let Node::Split { left, right, n: total, .. } = n {
+            if let Node::Split {
+                left,
+                right,
+                n: total,
+                ..
+            } = n
+            {
                 assert_eq!(left.n() + right.n(), *total);
                 check(left);
                 check(right);

@@ -2,7 +2,7 @@
 
 use std::collections::HashSet;
 
-use serde::{Deserialize, Serialize};
+use serde::{de, Deserialize, Serialize, Value};
 
 use crate::MtreeError;
 
@@ -24,12 +24,33 @@ use crate::MtreeError;
 /// assert_eq!(d.target(0), 3.0);
 /// assert_eq!(d.attr_index("b"), Some(1));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Dataset {
     attr_names: Vec<String>,
     /// `columns[j][i]`: attribute `j` of instance `i`.
     columns: Vec<Vec<f64>>,
     targets: Vec<f64>,
+}
+
+// Deserialization goes through [`Dataset::from_columns`], so a hand-edited
+// or corrupted JSON blob cannot smuggle in the states every constructor
+// rejects (NaN/infinite values, ragged columns, duplicate names).
+impl Deserialize for Dataset {
+    fn deserialize(value: &Value) -> Result<Self, de::Error> {
+        fn field<T: Deserialize>(value: &Value, name: &str) -> Result<T, de::Error> {
+            T::deserialize(value.get_field(name).unwrap_or(&Value::Null))
+                .map_err(|e| e.context(name).context("Dataset"))
+        }
+        if value.as_object().is_none() {
+            return Err(de::Error::mismatch("object", value).context("Dataset"));
+        }
+        Dataset::from_columns(
+            field(value, "attr_names")?,
+            field(value, "columns")?,
+            field(value, "targets")?,
+        )
+        .map_err(|e| de::Error::custom(e.to_string()).context("Dataset"))
+    }
 }
 
 impl Dataset {
@@ -80,6 +101,47 @@ impl Dataset {
             d.push_row(row.as_ref(), y)?;
         }
         Ok(d)
+    }
+
+    /// Builds a dataset directly from column-major parts, applying every
+    /// constructor validation (names, shape, finiteness). This is the path
+    /// deserialization takes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`Dataset::new`] and [`Dataset::push_row`]:
+    /// [`MtreeError::BadAttributeNames`], [`MtreeError::RowLengthMismatch`]
+    /// when `columns` does not match `attr_names` or a column's length does
+    /// not match `targets`, and [`MtreeError::NonFiniteValue`] for NaN or
+    /// infinite entries.
+    pub fn from_columns(
+        attr_names: Vec<String>,
+        columns: Vec<Vec<f64>>,
+        targets: Vec<f64>,
+    ) -> Result<Self, MtreeError> {
+        let d = Dataset::new(attr_names)?;
+        if columns.len() != d.attr_names.len() {
+            return Err(MtreeError::RowLengthMismatch {
+                expected: d.attr_names.len(),
+                found: columns.len(),
+            });
+        }
+        if let Some(col) = columns.iter().find(|c| c.len() != targets.len()) {
+            return Err(MtreeError::RowLengthMismatch {
+                expected: targets.len(),
+                found: col.len(),
+            });
+        }
+        for i in 0..targets.len() {
+            if !targets[i].is_finite() || columns.iter().any(|c| !c[i].is_finite()) {
+                return Err(MtreeError::NonFiniteValue { row: i });
+            }
+        }
+        Ok(Dataset {
+            columns,
+            targets,
+            ..d
+        })
     }
 
     /// Appends one instance.
@@ -187,10 +249,7 @@ impl Dataset {
     ///
     /// Panics if any attribute index is out of range.
     pub fn select_attrs(&self, attrs: &[usize]) -> Result<Dataset, MtreeError> {
-        let names: Vec<String> = attrs
-            .iter()
-            .map(|&j| self.attr_names[j].clone())
-            .collect();
+        let names: Vec<String> = attrs.iter().map(|&j| self.attr_names[j].clone()).collect();
         let unique: HashSet<&str> = names.iter().map(String::as_str).collect();
         if names.is_empty() || unique.len() != names.len() {
             return Err(MtreeError::BadAttributeNames);
@@ -228,11 +287,7 @@ mod tests {
     fn d3() -> Dataset {
         Dataset::from_rows(
             vec!["a".into(), "b".into()],
-            &[
-                [1.0, 10.0],
-                [2.0, 20.0],
-                [3.0, 30.0],
-            ],
+            &[[1.0, 10.0], [2.0, 20.0], [3.0, 30.0]],
             &[0.1, 0.2, 0.3],
         )
         .unwrap()
@@ -290,8 +345,7 @@ mod tests {
     fn from_rows_validates_lengths() {
         let err = Dataset::from_rows::<[f64; 1]>(vec!["a".into()], &[], &[]).unwrap_err();
         assert_eq!(err, MtreeError::EmptyDataset);
-        let err =
-            Dataset::from_rows(vec!["a".into()], &[[1.0]], &[1.0, 2.0]).unwrap_err();
+        let err = Dataset::from_rows(vec!["a".into()], &[[1.0]], &[1.0, 2.0]).unwrap_err();
         assert!(matches!(err, MtreeError::RowLengthMismatch { .. }));
     }
 
@@ -342,5 +396,52 @@ mod tests {
         let json = serde_json::to_string(&d).unwrap();
         let back: Dataset = serde_json::from_str(&json).unwrap();
         assert_eq!(back, d);
+    }
+
+    #[test]
+    fn from_columns_validates() {
+        assert!(
+            Dataset::from_columns(vec!["a".into()], vec![vec![1.0, 2.0]], vec![0.1, 0.2]).is_ok()
+        );
+        // Column count != attribute count.
+        assert!(matches!(
+            Dataset::from_columns(vec!["a".into()], vec![], vec![]),
+            Err(MtreeError::RowLengthMismatch { .. })
+        ));
+        // Ragged column.
+        assert!(matches!(
+            Dataset::from_columns(vec!["a".into()], vec![vec![1.0]], vec![0.1, 0.2]),
+            Err(MtreeError::RowLengthMismatch { .. })
+        ));
+        // Non-finite entries.
+        assert!(matches!(
+            Dataset::from_columns(vec!["a".into()], vec![vec![f64::INFINITY]], vec![0.1]),
+            Err(MtreeError::NonFiniteValue { row: 0 })
+        ));
+        assert!(matches!(
+            Dataset::from_columns(vec!["a".into()], vec![vec![1.0]], vec![f64::NAN]),
+            Err(MtreeError::NonFiniteValue { row: 0 })
+        ));
+    }
+
+    #[test]
+    fn deserialization_rejects_invalid_blobs() {
+        // `1e999` overflows to infinity in the JSON reader; the validated
+        // deserializer must refuse it rather than build a poisoned dataset.
+        let err = serde_json::from_str::<Dataset>(
+            r#"{"attr_names":["a"],"columns":[[1e999]],"targets":[1.0]}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
+        // Ragged columns.
+        assert!(serde_json::from_str::<Dataset>(
+            r#"{"attr_names":["a"],"columns":[[1.0,2.0]],"targets":[1.0]}"#,
+        )
+        .is_err());
+        // Duplicate attribute names.
+        assert!(serde_json::from_str::<Dataset>(
+            r#"{"attr_names":["a","a"],"columns":[[1.0],[1.0]],"targets":[1.0]}"#,
+        )
+        .is_err());
     }
 }

@@ -76,7 +76,9 @@ mod tests {
         }
         .to_string()
         .contains("expected 3"));
-        assert!(MtreeError::NonFiniteValue { row: 7 }.to_string().contains("7"));
+        assert!(MtreeError::NonFiniteValue { row: 7 }
+            .to_string()
+            .contains("7"));
         assert!(MtreeError::BadParams("x".into()).to_string().contains("x"));
     }
 

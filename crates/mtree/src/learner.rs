@@ -5,13 +5,20 @@
 use crate::{Dataset, M5Params, ModelTree, MtreeError};
 
 /// A fitted regression model: maps an attribute row to a prediction.
-pub trait Predictor {
+///
+/// `Send` so trained models can be handed back from worker threads (the
+/// evaluation harness trains folds and baseline suites concurrently).
+pub trait Predictor: Send {
     /// Predicts the target for `row`.
     fn predict(&self, row: &[f64]) -> f64;
 }
 
 /// A trainable regression algorithm.
-pub trait Learner {
+///
+/// `Send + Sync` so one learner can be shared by reference across the
+/// evaluation harness's worker threads. Implementations hold plain
+/// configuration data and fit without interior mutability.
+pub trait Learner: Send + Sync {
     /// Fits a model to `data`.
     ///
     /// # Errors
@@ -96,8 +103,7 @@ mod tests {
 
     #[test]
     fn trait_objects_compose() {
-        let learners: Vec<Box<dyn Learner>> =
-            vec![Box::new(M5Learner::default())];
+        let learners: Vec<Box<dyn Learner>> = vec![Box::new(M5Learner::default())];
         assert_eq!(learners[0].name(), "M5' model tree");
     }
 }

@@ -70,5 +70,5 @@ pub use params::M5Params;
 pub use persist::PersistError;
 pub use phase::{Phase, PhaseTracker};
 pub use rules::{Condition, Rule, RuleSet};
-pub use split::{best_split, Split};
+pub use split::{best_split, best_split_with, Split};
 pub use tree::ModelTree;

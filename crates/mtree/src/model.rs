@@ -86,7 +86,11 @@ impl LinearModel {
         let beta = lstsq(&x, &y)?;
         Ok(LinearModel {
             intercept: beta[0],
-            terms: live.iter().copied().zip(beta[1..].iter().copied()).collect(),
+            terms: live
+                .iter()
+                .copied()
+                .zip(beta[1..].iter().copied())
+                .collect(),
         })
     }
 
@@ -115,8 +119,7 @@ impl LinearModel {
             }
             let mut improved = false;
             for drop in &current {
-                let reduced: Vec<usize> =
-                    current.iter().copied().filter(|j| j != drop).collect();
+                let reduced: Vec<usize> = current.iter().copied().filter(|j| j != drop).collect();
                 let candidate = LinearModel::fit(data, idx, &reduced)?;
                 let err = candidate.inflated_error(data, idx);
                 if err < best_err {
@@ -161,12 +164,7 @@ impl LinearModel {
     ///
     /// Panics if `row` is shorter than the largest attribute index used.
     pub fn predict(&self, row: &[f64]) -> f64 {
-        self.intercept
-            + self
-                .terms
-                .iter()
-                .map(|&(j, c)| c * row[j])
-                .sum::<f64>()
+        self.intercept + self.terms.iter().map(|&(j, c)| c * row[j]).sum::<f64>()
     }
 
     /// Mean absolute residual of this model on the instances in `idx`.
@@ -255,12 +253,8 @@ mod tests {
 
     #[test]
     fn all_constant_attrs_yield_mean_model() {
-        let d = Dataset::from_rows(
-            vec!["x".into()],
-            &[[3.0], [3.0], [3.0]],
-            &[1.0, 2.0, 3.0],
-        )
-        .unwrap();
+        let d =
+            Dataset::from_rows(vec!["x".into()], &[[3.0], [3.0], [3.0]], &[1.0, 2.0, 3.0]).unwrap();
         let m = LinearModel::fit(&d, &[0, 1, 2], &[0]).unwrap();
         assert_eq!(m.terms().len(), 0);
         assert!((m.intercept() - 2.0).abs() < 1e-12);
@@ -301,9 +295,7 @@ mod tests {
         // Either constant or nearly-zero slope; the inflated error of the
         // constant model must not be worse.
         let constant = LinearModel::constant(5.0);
-        assert!(
-            m.inflated_error(&d, &idx) <= constant.inflated_error(&d, &idx) + 1e-9
-        );
+        assert!(m.inflated_error(&d, &idx) <= constant.inflated_error(&d, &idx) + 1e-9);
     }
 
     #[test]

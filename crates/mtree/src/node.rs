@@ -6,9 +6,7 @@ use crate::LinearModel;
 
 /// Identifier of a leaf (performance class), numbered `LM1, LM2, …` in
 /// left-to-right order, as in WEKA's output and the paper's figures.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct LeafId(pub usize);
 
 impl std::fmt::Display for LeafId {

@@ -1,6 +1,7 @@
 //! Training parameters for M5'.
 
-use serde::{Deserialize, Serialize};
+use mtperf_linalg::Parallelism;
+use serde::{de, Deserialize, Serialize, Value};
 
 use crate::MtreeError;
 
@@ -23,7 +24,7 @@ use crate::MtreeError;
 /// assert_eq!(p.min_instances(), 430);
 /// assert!(!p.smoothing());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct M5Params {
     min_instances: usize,
     sd_fraction: f64,
@@ -31,6 +32,7 @@ pub struct M5Params {
     smoothing: bool,
     smoothing_k: f64,
     max_depth: Option<usize>,
+    parallelism: Parallelism,
 }
 
 impl M5Params {
@@ -63,6 +65,12 @@ impl M5Params {
     /// Optional hard depth limit (mostly for tests and ablations).
     pub fn max_depth(&self) -> Option<usize> {
         self.max_depth
+    }
+
+    /// Thread budget for the split search. Any setting produces bit-identical
+    /// trees; it only changes wall-clock time.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// Sets the minimum instances per leaf.
@@ -101,6 +109,12 @@ impl M5Params {
         self
     }
 
+    /// Sets the thread budget for the split search.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
     /// Validates the parameter combination.
     ///
     /// # Errors
@@ -136,7 +150,75 @@ impl Default for M5Params {
             smoothing: true,
             smoothing_k: 15.0,
             max_depth: None,
+            parallelism: Parallelism::default(),
         }
+    }
+}
+
+// Manual serde impls: `parallelism` is an execution-resource knob, not a
+// model property — it never changes what gets learned — so it is NOT
+// serialized (saved models stay byte-identical across thread budgets) and
+// is optional on the way back in (older or foreign blobs that do carry the
+// field still load; absent means Auto).
+
+impl Serialize for M5Params {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            (
+                "min_instances".to_string(),
+                Serialize::serialize(&self.min_instances),
+            ),
+            (
+                "sd_fraction".to_string(),
+                Serialize::serialize(&self.sd_fraction),
+            ),
+            ("prune".to_string(), Serialize::serialize(&self.prune)),
+            (
+                "smoothing".to_string(),
+                Serialize::serialize(&self.smoothing),
+            ),
+            (
+                "smoothing_k".to_string(),
+                Serialize::serialize(&self.smoothing_k),
+            ),
+            (
+                "max_depth".to_string(),
+                Serialize::serialize(&self.max_depth),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for M5Params {
+    fn deserialize(value: &Value) -> Result<Self, de::Error> {
+        fn field<T: Deserialize>(value: &Value, name: &str) -> Result<T, de::Error> {
+            T::deserialize(value.get_field(name).unwrap_or(&Value::Null))
+                .map_err(|e| e.context(name).context("M5Params"))
+        }
+        if value.as_object().is_none() {
+            return Err(de::Error::mismatch("object", value).context("M5Params"));
+        }
+        let parallelism = match value.get_field("parallelism") {
+            None | Some(Value::Null) => Parallelism::default(),
+            Some(v) => {
+                let text: String = String::deserialize(v)
+                    .map_err(|e| e.context("parallelism").context("M5Params"))?;
+                text.parse().map_err(|e: String| {
+                    de::Error::custom(e)
+                        .context("parallelism")
+                        .context("M5Params")
+                })?
+            }
+        };
+        Ok(M5Params {
+            min_instances: field(value, "min_instances")?,
+            sd_fraction: field(value, "sd_fraction")?,
+            prune: field(value, "prune")?,
+            smoothing: field(value, "smoothing")?,
+            smoothing_k: field(value, "smoothing_k")?,
+            max_depth: field(value, "max_depth")?,
+            parallelism,
+        })
     }
 }
 
@@ -177,7 +259,10 @@ mod tests {
             .with_min_instances(0)
             .validate()
             .is_err());
-        assert!(M5Params::default().with_sd_fraction(1.5).validate().is_err());
+        assert!(M5Params::default()
+            .with_sd_fraction(1.5)
+            .validate()
+            .is_err());
         assert!(M5Params::default()
             .with_smoothing_k(-1.0)
             .validate()
@@ -190,9 +275,49 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let p = M5Params::default().with_min_instances(99);
+        let p = M5Params::default()
+            .with_min_instances(99)
+            .with_parallelism(Parallelism::Fixed(4));
         let json = serde_json::to_string(&p).unwrap();
+        // The thread budget is an execution knob, not a model property: it
+        // must not leak into the serialized form...
+        assert!(!json.contains("parallelism"), "{json}");
         let back: M5Params = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, p);
+        // ...so it comes back as the default while everything else holds.
+        assert_eq!(back.parallelism(), Parallelism::Auto);
+        assert_eq!(back, p.with_parallelism(Parallelism::Auto));
+    }
+
+    #[test]
+    fn deserializes_blobs_with_explicit_parallelism_field() {
+        // Blobs written by builds that did serialize the field still load.
+        let json = r#"{
+            "min_instances": 4,
+            "sd_fraction": 0.05,
+            "prune": true,
+            "smoothing": true,
+            "smoothing_k": 15.0,
+            "max_depth": null,
+            "parallelism": "6"
+        }"#;
+        let p: M5Params = serde_json::from_str(json).unwrap();
+        assert_eq!(p.parallelism(), Parallelism::Fixed(6));
+        assert!(serde_json::from_str::<M5Params>(&json.replace("\"6\"", "\"minus-one\"")).is_err());
+    }
+
+    #[test]
+    fn deserializes_blobs_without_parallelism_field() {
+        // Parameter JSON written before the field existed.
+        let json = r#"{
+            "min_instances": 4,
+            "sd_fraction": 0.05,
+            "prune": true,
+            "smoothing": true,
+            "smoothing_k": 15.0,
+            "max_depth": null
+        }"#;
+        let p: M5Params = serde_json::from_str(json).unwrap();
+        assert_eq!(p.parallelism(), Parallelism::Auto);
+        assert_eq!(p.min_instances(), 4);
     }
 }

@@ -74,8 +74,8 @@ impl ModelTree {
     /// Returns [`PersistError::Format`] for non-model JSON or version
     /// mismatches.
     pub fn from_json(json: &str) -> Result<ModelTree, PersistError> {
-        let env: Envelope = serde_json::from_str(json)
-            .map_err(|e| PersistError::Format(e.to_string()))?;
+        let env: Envelope =
+            serde_json::from_str(json).map_err(|e| PersistError::Format(e.to_string()))?;
         if env.format != "mtperf-model-tree" {
             return Err(PersistError::Format(format!(
                 "unexpected format marker {:?}",
@@ -150,8 +150,8 @@ mod tests {
 
     #[test]
     fn rejects_wrong_format() {
-        let err = ModelTree::from_json("{\"format\":\"other\",\"version\":1,\"tree\":null}")
-            .unwrap_err();
+        let err =
+            ModelTree::from_json("{\"format\":\"other\",\"version\":1,\"tree\":null}").unwrap_err();
         assert!(matches!(err, PersistError::Format(_)), "{err}");
         let err = ModelTree::from_json("not json at all").unwrap_err();
         assert!(matches!(err, PersistError::Format(_)));

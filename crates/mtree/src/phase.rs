@@ -150,7 +150,9 @@ mod tests {
         let d = Dataset::from_rows(vec!["x".into()], &rows, &ys).unwrap();
         ModelTree::fit(
             &d,
-            &M5Params::default().with_min_instances(10).with_smoothing(false),
+            &M5Params::default()
+                .with_min_instances(10)
+                .with_smoothing(false),
         )
         .unwrap()
     }

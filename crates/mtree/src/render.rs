@@ -49,8 +49,18 @@ impl ModelTree {
                 ..
             } => {
                 let name = &self.attr_names()[*attr];
-                self.render_branch(left, &format!("{indent}{name} <= {threshold:.6} :"), depth, out);
-                self.render_branch(right, &format!("{indent}{name} > {threshold:.6} :"), depth, out);
+                self.render_branch(
+                    left,
+                    &format!("{indent}{name} <= {threshold:.6} :"),
+                    depth,
+                    out,
+                );
+                self.render_branch(
+                    right,
+                    &format!("{indent}{name} > {threshold:.6} :"),
+                    depth,
+                    out,
+                );
             }
         }
     }
@@ -121,12 +131,7 @@ mod tests {
 
     #[test]
     fn single_leaf_tree_renders() {
-        let d = Dataset::from_rows(
-            vec!["x".into()],
-            &[[1.0], [2.0]],
-            &[5.0, 5.0],
-        )
-        .unwrap();
+        let d = Dataset::from_rows(vec!["x".into()], &[[1.0], [2.0]], &[5.0, 5.0]).unwrap();
         let t = ModelTree::fit(&d, &M5Params::default()).unwrap();
         let s = t.render("y");
         assert!(s.contains("LM1"), "{s}");

@@ -222,7 +222,9 @@ mod tests {
         let d = Dataset::from_rows(vec!["a".into(), "b".into()], &rows, &ys).unwrap();
         ModelTree::fit(
             &d,
-            &M5Params::default().with_min_instances(10).with_smoothing(false),
+            &M5Params::default()
+                .with_min_instances(10)
+                .with_smoothing(false),
         )
         .unwrap()
     }

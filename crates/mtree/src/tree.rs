@@ -149,7 +149,11 @@ impl ModelTree {
                     right,
                     ..
                 } => {
-                    node = if row[*attr] <= *threshold { left } else { right };
+                    node = if row[*attr] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -179,7 +183,11 @@ impl ModelTree {
                     right,
                     ..
                 } => {
-                    node = if row[*attr] <= *threshold { left } else { right };
+                    node = if row[*attr] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -206,9 +214,7 @@ mod tests {
     use super::*;
 
     fn piecewise(n: i64) -> Dataset {
-        let rows: Vec<[f64; 2]> = (0..n)
-            .map(|i| [(i % 40) as f64, (i % 7) as f64])
-            .collect();
+        let rows: Vec<[f64; 2]> = (0..n).map(|i| [(i % 40) as f64, (i % 7) as f64]).collect();
         let ys: Vec<f64> = rows
             .iter()
             .map(|r| {
@@ -227,13 +233,19 @@ mod tests {
         let d = piecewise(400);
         let tree = ModelTree::fit(
             &d,
-            &M5Params::default().with_min_instances(10).with_smoothing(false),
+            &M5Params::default()
+                .with_min_instances(10)
+                .with_smoothing(false),
         )
         .unwrap();
         // In-sample predictions must be near-exact for noise-free data.
         for i in 0..d.n_rows() {
             let p = tree.predict(&d.row(i));
-            assert!((p - d.target(i)).abs() < 0.5, "row {i}: {p} vs {}", d.target(i));
+            assert!(
+                (p - d.target(i)).abs() < 0.5,
+                "row {i}: {p} vs {}",
+                d.target(i)
+            );
         }
         assert_eq!(tree.n_train(), 400);
         assert!(tree.n_leaves() >= 2);
@@ -244,7 +256,9 @@ mod tests {
         let d = piecewise(400);
         let smooth = ModelTree::fit(
             &d,
-            &M5Params::default().with_min_instances(10).with_smoothing(true),
+            &M5Params::default()
+                .with_min_instances(10)
+                .with_smoothing(true),
         )
         .unwrap();
         let raw = smooth.predict_raw(&[5.0, 3.0]);
@@ -276,8 +290,7 @@ mod tests {
 
     #[test]
     fn single_instance_dataset_is_one_leaf() {
-        let d =
-            Dataset::from_rows(vec!["x".into()], &[[1.0]], &[7.0]).unwrap();
+        let d = Dataset::from_rows(vec!["x".into()], &[[1.0]], &[7.0]).unwrap();
         let tree = ModelTree::fit(&d, &M5Params::default()).unwrap();
         assert_eq!(tree.n_leaves(), 1);
         assert_eq!(tree.predict(&[123.0]), 7.0);
@@ -288,7 +301,9 @@ mod tests {
         let d = piecewise(200);
         let tree = ModelTree::fit(
             &d,
-            &M5Params::default().with_min_instances(10).with_smoothing(false),
+            &M5Params::default()
+                .with_min_instances(10)
+                .with_smoothing(false),
         )
         .unwrap();
         for i in (0..d.n_rows()).step_by(17) {
@@ -311,16 +326,14 @@ mod tests {
     #[test]
     fn leaves_enumeration_matches_count() {
         let d = piecewise(400);
-        let tree =
-            ModelTree::fit(&d, &M5Params::default().with_min_instances(10)).unwrap();
+        let tree = ModelTree::fit(&d, &M5Params::default().with_min_instances(10)).unwrap();
         assert_eq!(tree.leaves().len(), tree.n_leaves());
     }
 
     #[test]
     fn serde_roundtrip() {
         let d = piecewise(100);
-        let tree =
-            ModelTree::fit(&d, &M5Params::default().with_min_instances(10)).unwrap();
+        let tree = ModelTree::fit(&d, &M5Params::default().with_min_instances(10)).unwrap();
         let json = serde_json::to_string(&tree).unwrap();
         let back: ModelTree = serde_json::from_str(&json).unwrap();
         assert_eq!(back, tree);

@@ -16,7 +16,11 @@ fn dataset(n: usize) -> impl Strategy<Value = Dataset> {
                 .iter()
                 .zip(&noise)
                 .map(|(&(a, b), &e)| {
-                    let base = if a <= 0.0 { 1.0 + 0.5 * b } else { 5.0 - 0.3 * b };
+                    let base = if a <= 0.0 {
+                        1.0 + 0.5 * b
+                    } else {
+                        5.0 - 0.3 * b
+                    };
                     base + e
                 })
                 .collect();

@@ -77,7 +77,8 @@ impl Context {
         let data = mtperf::dataset_from_samples(&samples).expect("non-empty suite");
         let params = M5Params::default()
             .with_min_instances(scale.min_instances(data.n_rows()))
-            .with_smoothing(false);
+            .with_smoothing(false)
+            .with_parallelism(mtperf_linalg::parallel::global());
         eprintln!(
             "[context] training M5' (min {} instances/leaf)...",
             params.min_instances()

@@ -12,7 +12,9 @@ fn cv(data: &Dataset, params: &M5Params) -> (Metrics, usize) {
     let m = cross_validate(&learner, data, 10, 7)
         .expect("cv succeeds")
         .pooled;
-    let leaves = ModelTree::fit(data, params).expect("fit succeeds").n_leaves();
+    let leaves = ModelTree::fit(data, params)
+        .expect("fit succeeds")
+        .n_leaves();
     (m, leaves)
 }
 
@@ -27,7 +29,10 @@ pub fn run(ctx: &Context) {
     );
     println!("{}", "-".repeat(58));
     for (name, params) in [
-        ("smoothing off (default)", base.clone().with_smoothing(false)),
+        (
+            "smoothing off (default)",
+            base.clone().with_smoothing(false),
+        ),
         ("smoothing on (k = 15)", base.clone().with_smoothing(true)),
     ] {
         let (m, leaves) = cv(&ctx.data, &params);
@@ -86,9 +91,7 @@ pub fn run(ctx: &Context) {
     for &len in &[2_000u64, 10_000, 50_000] {
         let samples = mtperf::sim::simulate_suite(instructions, len, ctx.seed);
         let data = mtperf::dataset_from_samples(&samples).expect("non-empty");
-        let params = base
-            .clone()
-            .with_min_instances((data.n_rows() / 30).max(8));
+        let params = base.clone().with_min_instances((data.n_rows() / 30).max(8));
         let learner = M5Learner::new(params);
         let m = cross_validate(&learner, &data, 10, 7)
             .expect("cv succeeds")

@@ -12,17 +12,13 @@ pub fn run(ctx: &Context) {
     // Out-of-sample flavor: train on 75%, break down the held-out 25%.
     let (train, test_idx) = {
         // Deterministic interleaved split keeps every workload represented.
-        let train_idx: Vec<usize> =
-            (0..ctx.data.n_rows()).filter(|i| i % 4 != 0).collect();
+        let train_idx: Vec<usize> = (0..ctx.data.n_rows()).filter(|i| i % 4 != 0).collect();
         let test_idx: Vec<usize> = (0..ctx.data.n_rows()).filter(|i| i % 4 == 0).collect();
         (ctx.data.subset(&train_idx), test_idx)
     };
     let tree = ModelTree::fit(&train, &ctx.params).expect("training succeeds");
     let test = ctx.data.subset(&test_idx);
-    let labels: Vec<String> = test_idx
-        .iter()
-        .map(|&i| ctx.labels[i].clone())
-        .collect();
+    let labels: Vec<String> = test_idx.iter().map(|&i| ctx.labels[i].clone()).collect();
     let breakdown = per_label_metrics(&tree, &test, &labels);
     let table = breakdown_table(&breakdown);
     println!("{table}");

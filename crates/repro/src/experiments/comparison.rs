@@ -5,9 +5,10 @@
 //! black boxes while staying interpretable, and both beat first-order
 //! linear formulas and constant-leaf trees.
 
-use mtperf::baselines::{CartLearner, GlobalLinear, KnnLearner, MlpLearner, SvrLearner};
+use mtperf::baselines::{standard_suite, CartLearner, GlobalLinear};
 use mtperf::prelude::*;
 use mtperf_eval::{comparison_table, paired_t_test};
+use mtperf_linalg::parallel::{self, par_map};
 
 use crate::Context;
 
@@ -16,20 +17,14 @@ pub fn run(ctx: &Context) {
     println!("=== Method comparison (10-fold CV on the same folds) ===\n");
     let k = 10;
     let seed = 7;
-    let learners: Vec<Box<dyn Learner>> = vec![
-        Box::new(M5Learner::new(ctx.params.clone())),
-        Box::new(GlobalLinear::new()),
-        Box::new(CartLearner::new(ctx.params.min_instances())),
-        Box::new(KnnLearner::new(5)),
-        Box::new(MlpLearner::new(16).with_epochs(80)),
-        Box::new(SvrLearner::default()),
-    ];
-    let mut rows = Vec::new();
-    for learner in &learners {
+    // The six-model line-up cross-validates concurrently; results merge in
+    // suite order, identical at any thread budget.
+    let learners = standard_suite(&ctx.params);
+    let rows: Vec<(String, Metrics)> = par_map(parallel::global(), &learners, 1, |learner| {
         eprintln!("[comparison] cross-validating {}...", learner.name());
         let cv = cross_validate(learner.as_ref(), &ctx.data, k, seed).expect("cv succeeds");
-        rows.push((learner.name().to_string(), cv.pooled));
-    }
+        (learner.name().to_string(), cv.pooled)
+    });
     let table = comparison_table(&rows);
     println!("{table}");
     Context::save_artifact("comparison.txt", &table);

@@ -20,8 +20,7 @@ pub fn run(ctx: &Context) {
         .map(|&s| s.max(20))
         .collect();
     let learner = M5Learner::new(ctx.params.clone());
-    let curve = learning_curve(&learner, &ctx.data, &sizes, 0.25, 7)
-        .expect("curve succeeds");
+    let curve = learning_curve(&learner, &ctx.data, &sizes, 0.25, 7).expect("curve succeeds");
 
     println!(
         "{:<14} {:>10} {:>10} {:>8}",

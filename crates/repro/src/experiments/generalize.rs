@@ -22,10 +22,7 @@ pub fn run(ctx: &Context) {
         crate::Scale::Quick => 400_000,
     };
     // The extended suite minus the training profiles.
-    let base_names: Vec<String> = profiles::suite(1)
-        .iter()
-        .map(|w| w.name.clone())
-        .collect();
+    let base_names: Vec<String> = profiles::suite(1).iter().map(|w| w.name.clone()).collect();
     let unseen: Vec<_> = profiles::extended_suite(instructions)
         .into_iter()
         .filter(|w| !base_names.contains(&w.name))

@@ -16,7 +16,10 @@ pub fn run(ctx: &Context) {
         "{:<26} {:>10} {:>10.4}",
         "correlation coefficient", "0.98", cv.pooled.correlation
     );
-    println!("{:<26} {:>10} {:>10.4}", "mean absolute error", "0.05", cv.pooled.mae);
+    println!(
+        "{:<26} {:>10} {:>10.4}",
+        "mean absolute error", "0.05", cv.pooled.mae
+    );
     println!(
         "{:<26} {:>10} {:>9.2}%",
         "relative absolute error", "7.83%", cv.pooled.rae_percent

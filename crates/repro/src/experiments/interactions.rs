@@ -15,7 +15,15 @@ use crate::Context;
 
 /// Events worth pairing (miss/stall events, not mix accounting).
 const EVENTS: &[&str] = &[
-    "L1DM", "L1IM", "L2M", "DtlbL0LdM", "DtlbLdM", "Dtlb", "ItlbM", "BrMisPr", "LCP",
+    "L1DM",
+    "L1IM",
+    "L2M",
+    "DtlbL0LdM",
+    "DtlbLdM",
+    "Dtlb",
+    "ItlbM",
+    "BrMisPr",
+    "LCP",
     "MisalRef",
 ];
 
@@ -31,11 +39,7 @@ pub fn run(ctx: &Context) {
     // For each workload, take the median section and find its strongest
     // interaction pair.
     let mut rows: Vec<(String, String, String, f64)> = Vec::new();
-    for workload in ctx
-        .labels
-        .iter()
-        .collect::<std::collections::BTreeSet<_>>()
-    {
+    for workload in ctx.labels.iter().collect::<std::collections::BTreeSet<_>>() {
         let mut indices: Vec<usize> = (0..ctx.data.n_rows())
             .filter(|&i| &ctx.labels[i] == workload)
             .collect();

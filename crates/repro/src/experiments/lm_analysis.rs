@@ -35,8 +35,21 @@ pub fn run(ctx: &Context) {
     // Restrict to events an optimization could actually eliminate (miss
     // and stall events — not the instruction-mix accounting terms).
     let actionable = [
-        "L1DM", "L1IM", "L2M", "DtlbL0LdM", "DtlbLdM", "DtlbLdReM", "Dtlb", "ItlbM",
-        "BrMisPr", "LdBlSta", "LdBlStd", "LdBlOvSt", "MisalRef", "L1DSpLd", "L1DSpSt",
+        "L1DM",
+        "L1IM",
+        "L2M",
+        "DtlbL0LdM",
+        "DtlbLdM",
+        "DtlbLdReM",
+        "Dtlb",
+        "ItlbM",
+        "BrMisPr",
+        "LdBlSta",
+        "LdBlStd",
+        "LdBlOvSt",
+        "MisalRef",
+        "L1DSpLd",
+        "L1DSpSt",
         "LCP",
     ];
     let mut best: Option<(usize, analysis::Contribution)> = None;
@@ -46,8 +59,7 @@ pub fn run(ctx: &Context) {
             if !actionable.contains(&ctx.data.attr_name(c.attr)) {
                 continue;
             }
-            if best.as_ref().is_none_or(|(_, b)| c.fraction > b.fraction) && c.fraction < 1.0
-            {
+            if best.as_ref().is_none_or(|(_, b)| c.fraction > b.fraction) && c.fraction < 1.0 {
                 best = Some((i, c));
             }
         }

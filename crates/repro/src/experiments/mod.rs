@@ -6,9 +6,9 @@ pub mod comparison;
 pub mod curve;
 pub mod events;
 pub mod figure1;
-pub mod generalize;
 pub mod figure2;
 pub mod figure3;
+pub mod generalize;
 pub mod headline;
 pub mod interactions;
 pub mod lm_analysis;

@@ -24,7 +24,12 @@ struct BranchProfile {
     branch_ruled_fraction: f64,
 }
 
-fn analyze(machine: MachineConfig, name: &'static str, instructions: u64, seed: u64) -> BranchProfile {
+fn analyze(
+    machine: MachineConfig,
+    name: &'static str,
+    instructions: u64,
+    seed: u64,
+) -> BranchProfile {
     let sim = Simulator::new(machine).with_seed(seed);
     let mut samples = mtperf::counters::SampleSet::new();
     for w in profiles::suite(instructions) {
@@ -80,7 +85,12 @@ pub fn run(ctx: &Context) {
         crate::Scale::Quick => 400_000,
     };
     let profiles = [
-        analyze(MachineConfig::core2_duo(), "Core 2 Duo", instructions, ctx.seed),
+        analyze(
+            MachineConfig::core2_duo(),
+            "Core 2 Duo",
+            instructions,
+            ctx.seed,
+        ),
         analyze(
             MachineConfig::netburst_like(),
             "NetBurst-like",

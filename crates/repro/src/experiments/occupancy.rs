@@ -32,11 +32,7 @@ pub fn run(ctx: &Context) {
             .join(", ");
         println!("{workload:<24} {line}");
         for (leaf, &n) in classes {
-            let _ = writeln!(
-                csv,
-                "{workload},{leaf},{n},{}",
-                n as f64 / total as f64
-            );
+            let _ = writeln!(csv, "{workload},{leaf},{n},{}", n as f64 / total as f64);
         }
     }
     Context::save_artifact("occupancy.csv", &csv);
@@ -64,10 +60,7 @@ pub fn run(ctx: &Context) {
         mcf * 100.0,
         if mcf > 0.55 { "PASS" } else { "FAIL" }
     );
-    let lcp = ctx
-        .data
-        .attr_index("LCP")
-        .expect("LCP attribute");
+    let lcp = ctx.data.attr_index("LCP").expect("LCP attribute");
     let gcc_total = ctx.labels.iter().filter(|l| l.contains("gcc")).count();
     // Codegen-level LCP rates (perl's regex engine emits trace amounts too).
     let gcc_lcp = (0..ctx.data.n_rows())
@@ -77,6 +70,10 @@ pub fn run(ctx: &Context) {
     println!(
         "  gcc sections with LCP stalls {:.0}% (paper: ~20%)     {}",
         frac * 100.0,
-        if (0.08..=0.40).contains(&frac) { "PASS" } else { "FAIL" }
+        if (0.08..=0.40).contains(&frac) {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
 }

@@ -7,8 +7,8 @@
 
 use std::fmt::Write as _;
 
-use mtperf::prelude::*;
 use crate::Context;
+use mtperf::prelude::*;
 
 /// Runs the experiment and prints the regenerated table.
 pub fn run(ctx: &Context) {

@@ -1,7 +1,7 @@
 //! `mtperf-repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! USAGE: mtperf-repro [--quick] <experiment>...
+//! USAGE: mtperf-repro [--quick] [--threads <auto|off|N>] <experiment>...
 //!
 //! experiments:
 //!   table1        Table I        selected metrics + measured suite statistics
@@ -50,14 +50,34 @@ const EXPERIMENTS: &[&str] = &[
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let mut requested: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let mut quick = false;
+    let mut requested: Vec<&str> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--threads" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--threads needs a value (auto, off, or a count)");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse::<mtperf_linalg::Parallelism>() {
+                    Ok(par) => mtperf_linalg::parallel::set_global(par),
+                    Err(e) => {
+                        eprintln!("--threads: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other:?}");
+                return ExitCode::FAILURE;
+            }
+            name => requested.push(name),
+        }
+    }
     if requested.is_empty() {
-        eprintln!("usage: mtperf-repro [--quick] <experiment>...");
+        eprintln!("usage: mtperf-repro [--quick] [--threads <auto|off|N>] <experiment>...");
         eprintln!("experiments: {} all", EXPERIMENTS.join(" "));
         return ExitCode::FAILURE;
     }
@@ -66,7 +86,10 @@ fn main() -> ExitCode {
     }
     for name in &requested {
         if !EXPERIMENTS.contains(name) {
-            eprintln!("unknown experiment {name:?}; known: {}", EXPERIMENTS.join(" "));
+            eprintln!(
+                "unknown experiment {name:?}; known: {}",
+                EXPERIMENTS.join(" ")
+            );
             return ExitCode::FAILURE;
         }
     }

@@ -110,7 +110,11 @@ impl GsharePredictor {
         let bimodal_taken = self.bimodal[bi] >= 2;
         let gshare_taken = self.gshare[gi] >= 2;
         let use_gshare = self.chooser[bi] >= 2;
-        let predicted = if use_gshare { gshare_taken } else { bimodal_taken };
+        let predicted = if use_gshare {
+            gshare_taken
+        } else {
+            bimodal_taken
+        };
         let mispredicted = predicted != taken;
 
         // Chooser trains toward whichever component was right (only when
@@ -228,7 +232,9 @@ mod tests {
         let mut p = predictor();
         let mut x: u64 = 0x9E3779B97F4A7C15;
         for _ in 0..20_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let taken = (x >> 33) & 1 == 1;
             p.predict_and_update(0x4000, taken);
         }

@@ -136,7 +136,10 @@ mod tests {
     use super::*;
 
     fn btb() -> Btb {
-        Btb::new(TlbGeometry { entries: 8, ways: 2 })
+        Btb::new(TlbGeometry {
+            entries: 8,
+            ways: 2,
+        })
     }
 
     #[test]
@@ -160,7 +163,7 @@ mod tests {
     #[test]
     fn capacity_eviction() {
         let mut b = btb(); // 4 sets x 2 ways
-        // Three branches in the same set (pc >> 2 congruent mod 4).
+                           // Three branches in the same set (pc >> 2 congruent mod 4).
         let pcs = [0x10u64, 0x50, 0x90];
         for &pc in &pcs {
             b.lookup_update(pc, 0x1000);

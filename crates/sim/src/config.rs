@@ -28,8 +28,14 @@ impl CacheGeometry {
     /// Panics if the geometry is degenerate (zero sizes, non-power-of-two
     /// line size, or capacity not divisible by `line * ways`).
     pub fn sets(&self) -> u64 {
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
-        assert!(self.size_bytes > 0 && self.ways > 0, "degenerate cache geometry");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            self.size_bytes > 0 && self.ways > 0,
+            "degenerate cache geometry"
+        );
         let lines = self.size_bytes / self.line_bytes;
         assert!(
             lines.is_multiple_of(self.ways as u64) && lines > 0,
@@ -56,7 +62,10 @@ impl TlbGeometry {
     /// Panics if `entries` is not divisible by `ways` or either is zero.
     pub fn sets(&self) -> u32 {
         assert!(self.entries > 0 && self.ways > 0, "degenerate TLB geometry");
-        assert!(self.entries.is_multiple_of(self.ways), "entries must divide into ways");
+        assert!(
+            self.entries.is_multiple_of(self.ways),
+            "entries must divide into ways"
+        );
         self.entries / self.ways
     }
 }
@@ -174,7 +183,10 @@ impl MachineConfig {
                 line_bytes: 64,
                 ways: 16,
             },
-            dtlb0: TlbGeometry { entries: 16, ways: 4 },
+            dtlb0: TlbGeometry {
+                entries: 16,
+                ways: 4,
+            },
             dtlb1: TlbGeometry {
                 entries: 256,
                 ways: 4,
@@ -257,10 +269,22 @@ impl MachineConfig {
             line_bytes: 64,
             ways: 4,
         };
-        m.dtlb0 = TlbGeometry { entries: 4, ways: 2 };
-        m.dtlb1 = TlbGeometry { entries: 8, ways: 2 };
-        m.itlb = TlbGeometry { entries: 4, ways: 2 };
-        m.btb = TlbGeometry { entries: 16, ways: 2 };
+        m.dtlb0 = TlbGeometry {
+            entries: 4,
+            ways: 2,
+        };
+        m.dtlb1 = TlbGeometry {
+            entries: 8,
+            ways: 2,
+        };
+        m.itlb = TlbGeometry {
+            entries: 4,
+            ways: 2,
+        };
+        m.btb = TlbGeometry {
+            entries: 16,
+            ways: 2,
+        };
         m
     }
 }
@@ -308,7 +332,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "divide")]
     fn rejects_bad_tlb_ways() {
-        TlbGeometry { entries: 10, ways: 4 }.sets();
+        TlbGeometry {
+            entries: 10,
+            ways: 4,
+        }
+        .sets();
     }
 
     #[test]

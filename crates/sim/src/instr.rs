@@ -93,21 +93,30 @@ mod tests {
     #[test]
     fn mem_access_extraction() {
         let ld = Instr {
-            kind: InstrKind::Load { addr: 0x10, size: 8 },
+            kind: InstrKind::Load {
+                addr: 0x10,
+                size: 8,
+            },
             dep_distance: 1,
         };
         assert_eq!(ld.mem_access(), Some((0x10, 8, false)));
         assert!(ld.is_load() && !ld.is_store() && !ld.is_branch());
 
         let st = Instr {
-            kind: InstrKind::Store { addr: 0x20, size: 4 },
+            kind: InstrKind::Store {
+                addr: 0x20,
+                size: 4,
+            },
             dep_distance: 2,
         };
         assert_eq!(st.mem_access(), Some((0x20, 4, true)));
         assert!(st.is_store());
 
         let br = Instr {
-            kind: InstrKind::Branch { taken: true, target: 0x40 },
+            kind: InstrKind::Branch {
+                taken: true,
+                target: 0x40,
+            },
             dep_distance: 1,
         };
         assert_eq!(br.mem_access(), None);

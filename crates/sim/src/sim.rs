@@ -257,8 +257,7 @@ impl Simulator {
                     // (MEM_LOAD_RETIRED.DTLB_MISS), as on real hardware.
                     if rng.gen::<f64>() < 0.3 {
                         let ws = stream.spec().data_ws_bytes;
-                        let addr =
-                            crate::workload::DATA_BASE + rng.gen_range(0..ws / 8) * 8;
+                        let addr = crate::workload::DATA_BASE + rng.gen_range(0..ws / 8) * 8;
                         if mem.speculative_touch(addr) {
                             bank.add(Event::DtlbLdM, 1);
                             bank.add(Event::Dtlb, 1);
@@ -349,9 +348,11 @@ mod tests {
         let mix = PhaseSpec::balanced("p").mix;
         assert!((mean_rate(&set, Event::InstLd) - mix.load).abs() < 0.05);
         assert!((mean_rate(&set, Event::InstSt) - mix.store).abs() < 0.05);
-        let branches =
-            mean_rate(&set, Event::BrMisPr) + mean_rate(&set, Event::BrPred);
-        assert!((branches - mix.branch).abs() < 0.08, "branches = {branches}");
+        let branches = mean_rate(&set, Event::BrMisPr) + mean_rate(&set, Event::BrPred);
+        assert!(
+            (branches - mix.branch).abs() < 0.08,
+            "branches = {branches}"
+        );
         assert!(
             (mean_rate(&set, Event::InstOther) - mix.other()).abs() < 0.08,
             "other = {}",
@@ -364,7 +365,11 @@ mod tests {
         let set = run_phase(PhaseSpec::balanced("small"), 50_000);
         // Skip the cold-start section: steady state is what matters.
         let warm: SampleSet = set.iter().skip(2).cloned().collect();
-        assert!(mean_rate(&warm, Event::L2m) < 0.002, "L2M = {}", mean_rate(&warm, Event::L2m));
+        assert!(
+            mean_rate(&warm, Event::L2m) < 0.002,
+            "L2M = {}",
+            mean_rate(&warm, Event::L2m)
+        );
         assert!(mean_rate(&warm, Event::Dtlb) < 0.01);
         let cpi = mean_cpi(&warm);
         assert!(cpi < 1.2, "cpi = {cpi}");
@@ -381,7 +386,11 @@ mod tests {
             stride: 64,
         };
         let set = run_phase(spec, 60_000);
-        assert!(mean_rate(&set, Event::L2m) > 0.01, "L2M = {}", mean_rate(&set, Event::L2m));
+        assert!(
+            mean_rate(&set, Event::L2m) > 0.01,
+            "L2M = {}",
+            mean_rate(&set, Event::L2m)
+        );
         assert!(mean_rate(&set, Event::Dtlb) > 0.01);
         let cpi = mean_cpi(&set);
         assert!(cpi > 1.5, "cpi = {cpi}");
@@ -402,12 +411,12 @@ mod tests {
         // most of the run (cold fills alone touch ~32k lines).
         let set = run_phase(spec, 600_000);
         // Skip warm-up sections: look at the last quarter.
-        let half: SampleSet = set
-            .iter()
-            .skip(set.len() * 3 / 4)
-            .cloned()
-            .collect();
-        assert!(mean_rate(&half, Event::Dtlb) > 0.02, "Dtlb = {}", mean_rate(&half, Event::Dtlb));
+        let half: SampleSet = set.iter().skip(set.len() * 3 / 4).cloned().collect();
+        assert!(
+            mean_rate(&half, Event::Dtlb) > 0.02,
+            "Dtlb = {}",
+            mean_rate(&half, Event::Dtlb)
+        );
         assert!(
             mean_rate(&half, Event::L2m) < 0.005,
             "L2M = {}",
@@ -486,9 +495,7 @@ mod tests {
         spec.misalign_frac = 0.3;
         let set = run_phase(spec, 50_000);
         assert!(mean_rate(&set, Event::MisalRef) > 0.05);
-        assert!(
-            mean_rate(&set, Event::L1dSpLd) + mean_rate(&set, Event::L1dSpSt) > 0.002
-        );
+        assert!(mean_rate(&set, Event::L1dSpLd) + mean_rate(&set, Event::L1dSpSt) > 0.002);
     }
 
     #[test]

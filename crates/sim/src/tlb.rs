@@ -67,7 +67,10 @@ impl Tlb {
     /// Panics if the geometry is degenerate or `page_bytes` is not a power
     /// of two.
     pub fn new(geometry: TlbGeometry, page_bytes: u64) -> Self {
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         let sets = geometry.sets();
         Tlb {
             sets,
@@ -170,7 +173,13 @@ mod tests {
     use crate::config::TlbGeometry;
 
     fn tlb4() -> Tlb {
-        Tlb::new(TlbGeometry { entries: 4, ways: 2 }, 4096)
+        Tlb::new(
+            TlbGeometry {
+                entries: 4,
+                ways: 2,
+            },
+            4096,
+        )
     }
 
     #[test]
@@ -237,6 +246,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn rejects_bad_page_size() {
-        Tlb::new(TlbGeometry { entries: 4, ways: 2 }, 1000);
+        Tlb::new(
+            TlbGeometry {
+                entries: 4,
+                ways: 2,
+            },
+            1000,
+        );
     }
 }

@@ -112,9 +112,7 @@ impl InstrStream {
         // handful of loops, huge codes have hundreds of active regions.
         let n_hot = (spec.code_bytes / 1024).clamp(8, 1024);
         let hot_targets = (0..n_hot)
-            .map(|i| {
-                CODE_BASE + (splitmix64(seed ^ (i << 17)) % (spec.code_bytes / 4)) * 4
-            })
+            .map(|i| CODE_BASE + (splitmix64(seed ^ (i << 17)) % (spec.code_bytes / 4)) * 4)
             .collect();
         InstrStream {
             spec: spec.clone(),
@@ -144,12 +142,10 @@ impl InstrStream {
         }
         self.drift.step(&mut self.rng);
         let [locality, branches, align, ilp, ws] = self.drift.walks;
-        self.eff_hot =
-            (self.spec.hot_fraction - 0.12 * v * locality).clamp(0.0, 0.99);
+        self.eff_hot = (self.spec.hot_fraction - 0.12 * v * locality).clamp(0.0, 0.99);
         self.eff_random_branch =
             (self.spec.random_branch_frac * (1.0 + v * branches)).clamp(0.0, 1.0);
-        self.eff_misalign =
-            (self.spec.misalign_frac * (1.0 + v * align)).clamp(0.0, 1.0);
+        self.eff_misalign = (self.spec.misalign_frac * (1.0 + v * align)).clamp(0.0, 1.0);
         self.eff_lcp = (self.spec.lcp_frac * (1.0 + v * align)).clamp(0.0, 1.0);
         // ILP drift is invisible to every counter (the paper's error term);
         // keep its amplitude modest.
@@ -210,7 +206,10 @@ impl InstrStream {
         // Advance the PC: taken branches redirect, everything else falls
         // through; wrap inside the code footprint.
         self.pc = match instr.kind {
-            InstrKind::Branch { taken: true, target } => target,
+            InstrKind::Branch {
+                taken: true,
+                target,
+            } => target,
             _ => {
                 let next = pc + 4;
                 if next >= CODE_BASE + self.spec.code_bytes {
@@ -274,13 +273,15 @@ impl InstrStream {
 
     fn gen_load(&mut self) -> Instr {
         // Store-forwarding reuse: read back a recently stored address.
-        if !self.recent_stores.is_empty()
-            && self.rng.gen::<f64>() < self.spec.store_reuse_frac
-        {
+        if !self.recent_stores.is_empty() && self.rng.gen::<f64>() < self.spec.store_reuse_frac {
             let idx = self.rng.gen_range(0..self.recent_stores.len());
             let base = self.recent_stores[idx];
             // Mostly exact-address reads, sometimes partial overlaps.
-            let addr = if self.rng.gen::<f64>() < 0.3 { base + 2 } else { base };
+            let addr = if self.rng.gen::<f64>() < 0.3 {
+                base + 2
+            } else {
+                base
+            };
             return Instr {
                 kind: InstrKind::Load { addr, size: 8 },
                 dep_distance: self.dep_distance(),
@@ -317,8 +318,7 @@ impl InstrStream {
         // Deterministic split of sites into unpredictable vs biased: the
         // first `random_branch_frac` of site indices are data-dependent, so
         // the realized fraction tracks the spec instead of hash luck.
-        let unpredictable =
-            (site as f64 + 0.5) / (sites as f64) < self.eff_random_branch;
+        let unpredictable = (site as f64 + 0.5) / (sites as f64) < self.eff_random_branch;
         let bias = if unpredictable {
             0.5
         } else if h & (1 << 40) != 0 {
@@ -330,8 +330,7 @@ impl InstrStream {
         // Direct branches have a fixed, site-determined target drawn from
         // the hot set; a minority are indirect/far jumps landing anywhere in
         // the code region.
-        let hot_jump =
-            ((h >> 20) % 10_000) as f64 / 10_000.0 < self.spec.code_locality;
+        let hot_jump = ((h >> 20) % 10_000) as f64 / 10_000.0 < self.spec.code_locality;
         let target = if hot_jump {
             let idx = (splitmix64(site ^ 0xB10C_0FF5) as usize) % self.hot_targets.len();
             self.hot_targets[idx]

@@ -26,7 +26,11 @@ fn phase(name: &str) -> PhaseSpec {
 /// data mostly cache-resident.
 pub fn perlbench_like(instructions: u64) -> WorkloadSpec {
     let mut interp = phase("interp");
-    interp.mix = InstrMix { load: 0.30, store: 0.12, branch: 0.22 };
+    interp.mix = InstrMix {
+        load: 0.30,
+        store: 0.12,
+        branch: 0.22,
+    };
     interp.code_bytes = 96 * KIB;
     interp.data_ws_bytes = MIB;
     interp.hot_fraction = 0.75;
@@ -34,7 +38,11 @@ pub fn perlbench_like(instructions: u64) -> WorkloadSpec {
     interp.ilp = 4.0;
 
     let mut regex = phase("regex");
-    regex.mix = InstrMix { load: 0.32, store: 0.08, branch: 0.20 };
+    regex.mix = InstrMix {
+        load: 0.32,
+        store: 0.08,
+        branch: 0.20,
+    };
     regex.code_bytes = 64 * KIB;
     regex.data_ws_bytes = 512 * KIB;
     regex.hot_fraction = 0.8;
@@ -52,18 +60,34 @@ pub fn perlbench_like(instructions: u64) -> WorkloadSpec {
 /// random traffic in a few-MiB block.
 pub fn bzip2_like(instructions: u64) -> WorkloadSpec {
     let mut compress = phase("compress");
-    compress.mix = InstrMix { load: 0.26, store: 0.14, branch: 0.16 };
+    compress.mix = InstrMix {
+        load: 0.26,
+        store: 0.14,
+        branch: 0.16,
+    };
     compress.data_ws_bytes = 4 * MIB;
     compress.hot_fraction = 0.72;
-    compress.access = AccessMix { sequential: 0.35, chase: 0.0, stride: 64 };
+    compress.access = AccessMix {
+        sequential: 0.35,
+        chase: 0.0,
+        stride: 64,
+    };
     compress.random_branch_frac = 0.30;
     compress.ilp = 5.0;
 
     let mut decompress = phase("decompress");
-    decompress.mix = InstrMix { load: 0.28, store: 0.16, branch: 0.14 };
+    decompress.mix = InstrMix {
+        load: 0.28,
+        store: 0.16,
+        branch: 0.14,
+    };
     decompress.data_ws_bytes = MIB;
     decompress.hot_fraction = 0.8;
-    decompress.access = AccessMix { sequential: 0.6, chase: 0.0, stride: 64 };
+    decompress.access = AccessMix {
+        sequential: 0.6,
+        chase: 0.0,
+        stride: 64,
+    };
     decompress.random_branch_frac = 0.2;
     decompress.ilp = 6.0;
 
@@ -77,7 +101,11 @@ pub fn bzip2_like(instructions: u64) -> WorkloadSpec {
 /// length-changing-prefix stalls, concentrated in a codegen phase.
 pub fn gcc_like(instructions: u64) -> WorkloadSpec {
     let mut parse = phase("parse");
-    parse.mix = InstrMix { load: 0.28, store: 0.12, branch: 0.22 };
+    parse.mix = InstrMix {
+        load: 0.28,
+        store: 0.12,
+        branch: 0.22,
+    };
     parse.code_bytes = 384 * KIB;
     parse.data_ws_bytes = 2 * MIB;
     parse.hot_fraction = 0.75;
@@ -87,7 +115,11 @@ pub fn gcc_like(instructions: u64) -> WorkloadSpec {
     parse.ilp = 4.0;
 
     let mut optimize = phase("optimize");
-    optimize.mix = InstrMix { load: 0.3, store: 0.12, branch: 0.18 };
+    optimize.mix = InstrMix {
+        load: 0.3,
+        store: 0.12,
+        branch: 0.18,
+    };
     optimize.code_bytes = 512 * KIB;
     optimize.data_ws_bytes = 3 * MIB;
     optimize.hot_fraction = 0.75;
@@ -95,7 +127,11 @@ pub fn gcc_like(instructions: u64) -> WorkloadSpec {
     optimize.ilp = 4.5;
 
     let mut codegen = phase("codegen");
-    codegen.mix = InstrMix { load: 0.26, store: 0.14, branch: 0.16 };
+    codegen.mix = InstrMix {
+        load: 0.26,
+        store: 0.14,
+        branch: 0.16,
+    };
     codegen.code_bytes = 256 * KIB;
     codegen.data_ws_bytes = MIB;
     codegen.hot_fraction = 0.8;
@@ -114,18 +150,34 @@ pub fn gcc_like(instructions: u64) -> WorkloadSpec {
 /// land in the L2-miss-dominated leaf (LM17 in the paper).
 pub fn mcf_like(instructions: u64) -> WorkloadSpec {
     let mut chase = phase("chase");
-    chase.mix = InstrMix { load: 0.32, store: 0.08, branch: 0.18 };
+    chase.mix = InstrMix {
+        load: 0.32,
+        store: 0.08,
+        branch: 0.18,
+    };
     chase.data_ws_bytes = 48 * MIB;
     chase.hot_fraction = 0.88;
-    chase.access = AccessMix { sequential: 0.0, chase: 0.75, stride: 64 };
+    chase.access = AccessMix {
+        sequential: 0.0,
+        chase: 0.75,
+        stride: 64,
+    };
     chase.random_branch_frac = 0.35;
     chase.ilp = 3.0;
 
     let mut relax = phase("relax");
-    relax.mix = InstrMix { load: 0.3, store: 0.1, branch: 0.16 };
+    relax.mix = InstrMix {
+        load: 0.3,
+        store: 0.1,
+        branch: 0.16,
+    };
     relax.data_ws_bytes = 48 * MIB;
     relax.hot_fraction = 0.92;
-    relax.access = AccessMix { sequential: 0.1, chase: 0.6, stride: 64 };
+    relax.access = AccessMix {
+        sequential: 0.1,
+        chase: 0.6,
+        stride: 64,
+    };
     relax.random_branch_frac = 0.3;
     relax.ilp = 3.5;
 
@@ -138,10 +190,18 @@ pub fn mcf_like(instructions: u64) -> WorkloadSpec {
 /// traffic with high memory-level parallelism and prefetch-friendly strides.
 pub fn milc_like(instructions: u64) -> WorkloadSpec {
     let mut sweep = phase("sweep");
-    sweep.mix = InstrMix { load: 0.32, store: 0.14, branch: 0.08 };
+    sweep.mix = InstrMix {
+        load: 0.32,
+        store: 0.14,
+        branch: 0.08,
+    };
     sweep.data_ws_bytes = 24 * MIB;
     sweep.hot_fraction = 0.55;
-    sweep.access = AccessMix { sequential: 0.9, chase: 0.0, stride: 64 };
+    sweep.access = AccessMix {
+        sequential: 0.9,
+        chase: 0.0,
+        stride: 64,
+    };
     sweep.random_branch_frac = 0.05;
     sweep.ilp = 9.0;
 
@@ -152,11 +212,19 @@ pub fn milc_like(instructions: u64) -> WorkloadSpec {
 /// misses combined with data-side L2 misses saturate CPI.
 pub fn cactus_like(instructions: u64) -> WorkloadSpec {
     let mut stencil = phase("stencil");
-    stencil.mix = InstrMix { load: 0.34, store: 0.14, branch: 0.06 };
+    stencil.mix = InstrMix {
+        load: 0.34,
+        store: 0.14,
+        branch: 0.06,
+    };
     stencil.code_bytes = 640 * KIB;
     stencil.data_ws_bytes = 16 * MIB;
     stencil.hot_fraction = 0.78;
-    stencil.access = AccessMix { sequential: 0.45, chase: 0.0, stride: 192 };
+    stencil.access = AccessMix {
+        sequential: 0.45,
+        chase: 0.0,
+        stride: 192,
+    };
     stencil.random_branch_frac = 0.05;
     stencil.code_locality = 0.15;
     stencil.ilp = 5.0;
@@ -168,10 +236,18 @@ pub fn cactus_like(instructions: u64) -> WorkloadSpec {
 /// cache-resident — the suite's CPI floor.
 pub fn namd_like(instructions: u64) -> WorkloadSpec {
     let mut force = phase("force");
-    force.mix = InstrMix { load: 0.24, store: 0.08, branch: 0.08 };
+    force.mix = InstrMix {
+        load: 0.24,
+        store: 0.08,
+        branch: 0.08,
+    };
     force.data_ws_bytes = 512 * KIB;
     force.hot_fraction = 0.8;
-    force.access = AccessMix { sequential: 0.7, chase: 0.0, stride: 32 };
+    force.access = AccessMix {
+        sequential: 0.7,
+        chase: 0.0,
+        stride: 32,
+    };
     force.random_branch_frac = 0.04;
     force.ilp = 10.0;
 
@@ -182,7 +258,11 @@ pub fn namd_like(instructions: u64) -> WorkloadSpec {
 /// branch-misprediction stressor.
 pub fn gobmk_like(instructions: u64) -> WorkloadSpec {
     let mut search = phase("search");
-    search.mix = InstrMix { load: 0.27, store: 0.1, branch: 0.24 };
+    search.mix = InstrMix {
+        load: 0.27,
+        store: 0.1,
+        branch: 0.24,
+    };
     search.code_bytes = 256 * KIB;
     search.data_ws_bytes = MIB;
     search.hot_fraction = 0.78;
@@ -190,7 +270,11 @@ pub fn gobmk_like(instructions: u64) -> WorkloadSpec {
     search.ilp = 3.5;
 
     let mut pattern = phase("pattern");
-    pattern.mix = InstrMix { load: 0.3, store: 0.08, branch: 0.2 };
+    pattern.mix = InstrMix {
+        load: 0.3,
+        store: 0.08,
+        branch: 0.2,
+    };
     pattern.code_bytes = 192 * KIB;
     pattern.data_ws_bytes = 2 * MIB;
     pattern.hot_fraction = 0.75;
@@ -206,18 +290,34 @@ pub fn gobmk_like(instructions: u64) -> WorkloadSpec {
 /// but overflows the DTLB — the paper's DTLB-without-L2-miss class.
 pub fn soplex_like(instructions: u64) -> WorkloadSpec {
     let mut factor = phase("factor");
-    factor.mix = InstrMix { load: 0.34, store: 0.1, branch: 0.14 };
+    factor.mix = InstrMix {
+        load: 0.34,
+        store: 0.1,
+        branch: 0.14,
+    };
     factor.data_ws_bytes = 2560 * KIB; // 2.5 MiB: inside L2, beyond DTLB reach
     factor.hot_fraction = 0.5;
-    factor.access = AccessMix { sequential: 0.15, chase: 0.0, stride: 64 };
+    factor.access = AccessMix {
+        sequential: 0.15,
+        chase: 0.0,
+        stride: 64,
+    };
     factor.random_branch_frac = 0.2;
     factor.ilp = 5.0;
 
     let mut price = phase("price");
-    price.mix = InstrMix { load: 0.3, store: 0.12, branch: 0.16 };
+    price.mix = InstrMix {
+        load: 0.3,
+        store: 0.12,
+        branch: 0.16,
+    };
     price.data_ws_bytes = 1536 * KIB;
     price.hot_fraction = 0.6;
-    price.access = AccessMix { sequential: 0.4, chase: 0.0, stride: 64 };
+    price.access = AccessMix {
+        sequential: 0.4,
+        chase: 0.0,
+        stride: 64,
+    };
     price.random_branch_frac = 0.18;
     price.ilp = 5.5;
 
@@ -230,10 +330,18 @@ pub fn soplex_like(instructions: u64) -> WorkloadSpec {
 /// store-to-load forwarding hazards.
 pub fn hmmer_like(instructions: u64) -> WorkloadSpec {
     let mut viterbi = phase("viterbi");
-    viterbi.mix = InstrMix { load: 0.3, store: 0.2, branch: 0.1 };
+    viterbi.mix = InstrMix {
+        load: 0.3,
+        store: 0.2,
+        branch: 0.1,
+    };
     viterbi.data_ws_bytes = 256 * KIB;
     viterbi.hot_fraction = 0.8;
-    viterbi.access = AccessMix { sequential: 0.8, chase: 0.0, stride: 16 };
+    viterbi.access = AccessMix {
+        sequential: 0.8,
+        chase: 0.0,
+        stride: 16,
+    };
     viterbi.store_reuse_frac = 0.18;
     viterbi.random_branch_frac = 0.05;
     viterbi.ilp = 8.0;
@@ -244,7 +352,11 @@ pub fn hmmer_like(instructions: u64) -> WorkloadSpec {
 /// `458.sjeng`-like: chess search — branchy with a mid-size working set.
 pub fn sjeng_like(instructions: u64) -> WorkloadSpec {
     let mut search = phase("search");
-    search.mix = InstrMix { load: 0.26, store: 0.1, branch: 0.22 };
+    search.mix = InstrMix {
+        load: 0.26,
+        store: 0.1,
+        branch: 0.22,
+    };
     search.code_bytes = 128 * KIB;
     search.data_ws_bytes = 768 * KIB;
     search.hot_fraction = 0.75;
@@ -258,10 +370,18 @@ pub fn sjeng_like(instructions: u64) -> WorkloadSpec {
 /// misses, all prefetchable and deeply overlapped.
 pub fn libquantum_like(instructions: u64) -> WorkloadSpec {
     let mut gate = phase("gate");
-    gate.mix = InstrMix { load: 0.28, store: 0.12, branch: 0.12 };
+    gate.mix = InstrMix {
+        load: 0.28,
+        store: 0.12,
+        branch: 0.12,
+    };
     gate.data_ws_bytes = 32 * MIB;
     gate.hot_fraction = 0.45;
-    gate.access = AccessMix { sequential: 0.95, chase: 0.0, stride: 16 };
+    gate.access = AccessMix {
+        sequential: 0.95,
+        chase: 0.0,
+        stride: 16,
+    };
     gate.random_branch_frac = 0.03;
     gate.ilp = 12.0;
 
@@ -272,10 +392,18 @@ pub fn libquantum_like(instructions: u64) -> WorkloadSpec {
 /// plus store-forwarding traffic.
 pub fn h264_like(instructions: u64) -> WorkloadSpec {
     let mut motion = phase("motion");
-    motion.mix = InstrMix { load: 0.33, store: 0.15, branch: 0.12 };
+    motion.mix = InstrMix {
+        load: 0.33,
+        store: 0.15,
+        branch: 0.12,
+    };
     motion.data_ws_bytes = 2 * MIB;
     motion.hot_fraction = 0.7;
-    motion.access = AccessMix { sequential: 0.55, chase: 0.0, stride: 48 };
+    motion.access = AccessMix {
+        sequential: 0.55,
+        chase: 0.0,
+        stride: 48,
+    };
     motion.misalign_frac = 0.22;
     motion.store_reuse_frac = 0.12;
     motion.random_branch_frac = 0.15;
@@ -288,11 +416,19 @@ pub fn h264_like(instructions: u64) -> WorkloadSpec {
 /// plus unpredictable dispatch branches.
 pub fn omnetpp_like(instructions: u64) -> WorkloadSpec {
     let mut events = phase("events");
-    events.mix = InstrMix { load: 0.3, store: 0.12, branch: 0.2 };
+    events.mix = InstrMix {
+        load: 0.3,
+        store: 0.12,
+        branch: 0.2,
+    };
     events.code_bytes = 320 * KIB;
     events.data_ws_bytes = 12 * MIB;
     events.hot_fraction = 0.93;
-    events.access = AccessMix { sequential: 0.1, chase: 0.4, stride: 64 };
+    events.access = AccessMix {
+        sequential: 0.1,
+        chase: 0.4,
+        stride: 64,
+    };
     events.random_branch_frac = 0.3;
     events.ilp = 3.5;
 
@@ -303,10 +439,18 @@ pub fn omnetpp_like(instructions: u64) -> WorkloadSpec {
 /// overflow the DTLB; dependent walks without many L2 misses.
 pub fn astar_like(instructions: u64) -> WorkloadSpec {
     let mut path = phase("path");
-    path.mix = InstrMix { load: 0.3, store: 0.1, branch: 0.18 };
+    path.mix = InstrMix {
+        load: 0.3,
+        store: 0.1,
+        branch: 0.18,
+    };
     path.data_ws_bytes = 3 * MIB;
     path.hot_fraction = 0.55;
-    path.access = AccessMix { sequential: 0.05, chase: 0.45, stride: 64 };
+    path.access = AccessMix {
+        sequential: 0.05,
+        chase: 0.45,
+        stride: 64,
+    };
     path.random_branch_frac = 0.35;
     path.ilp = 3.5;
 
@@ -317,7 +461,11 @@ pub fn astar_like(instructions: u64) -> WorkloadSpec {
 /// reach drives instruction-side misses of every flavor.
 pub fn xalanc_like(instructions: u64) -> WorkloadSpec {
     let mut transform = phase("transform");
-    transform.mix = InstrMix { load: 0.3, store: 0.12, branch: 0.2 };
+    transform.mix = InstrMix {
+        load: 0.3,
+        store: 0.12,
+        branch: 0.2,
+    };
     transform.code_bytes = 1536 * KIB;
     transform.data_ws_bytes = 4 * MIB;
     transform.hot_fraction = 0.78;
@@ -372,10 +520,18 @@ pub fn toy_suite(instructions_per_workload: u64) -> Vec<WorkloadSpec> {
 /// grid, deeply overlapped.
 pub fn bwaves_like(instructions: u64) -> WorkloadSpec {
     let mut sweep = phase("sweep");
-    sweep.mix = InstrMix { load: 0.34, store: 0.12, branch: 0.06 };
+    sweep.mix = InstrMix {
+        load: 0.34,
+        store: 0.12,
+        branch: 0.06,
+    };
     sweep.data_ws_bytes = 28 * MIB;
     sweep.hot_fraction = 0.5;
-    sweep.access = AccessMix { sequential: 0.92, chase: 0.0, stride: 64 };
+    sweep.access = AccessMix {
+        sequential: 0.92,
+        chase: 0.0,
+        stride: 64,
+    };
     sweep.random_branch_frac = 0.03;
     sweep.ilp = 10.0;
 
@@ -385,10 +541,18 @@ pub fn bwaves_like(instructions: u64) -> WorkloadSpec {
 /// `416.gamess`-like: quantum chemistry — compute-dense, cache-resident.
 pub fn gamess_like(instructions: u64) -> WorkloadSpec {
     let mut scf = phase("scf");
-    scf.mix = InstrMix { load: 0.26, store: 0.08, branch: 0.07 };
+    scf.mix = InstrMix {
+        load: 0.26,
+        store: 0.08,
+        branch: 0.07,
+    };
     scf.data_ws_bytes = 768 * KIB;
     scf.hot_fraction = 0.78;
-    scf.access = AccessMix { sequential: 0.6, chase: 0.0, stride: 32 };
+    scf.access = AccessMix {
+        sequential: 0.6,
+        chase: 0.0,
+        stride: 32,
+    };
     scf.random_branch_frac = 0.05;
     scf.ilp = 9.0;
 
@@ -399,10 +563,18 @@ pub fn gamess_like(instructions: u64) -> WorkloadSpec {
 /// that defeats a next-line prefetcher.
 pub fn zeusmp_like(instructions: u64) -> WorkloadSpec {
     let mut stencil = phase("stencil");
-    stencil.mix = InstrMix { load: 0.33, store: 0.13, branch: 0.06 };
+    stencil.mix = InstrMix {
+        load: 0.33,
+        store: 0.13,
+        branch: 0.06,
+    };
     stencil.data_ws_bytes = 20 * MIB;
     stencil.hot_fraction = 0.74;
-    stencil.access = AccessMix { sequential: 0.8, chase: 0.0, stride: 160 };
+    stencil.access = AccessMix {
+        sequential: 0.8,
+        chase: 0.0,
+        stride: 160,
+    };
     stencil.random_branch_frac = 0.04;
     stencil.ilp = 7.0;
 
@@ -413,10 +585,18 @@ pub fn zeusmp_like(instructions: u64) -> WorkloadSpec {
 /// list lookups.
 pub fn gromacs_like(instructions: u64) -> WorkloadSpec {
     let mut force = phase("force");
-    force.mix = InstrMix { load: 0.28, store: 0.1, branch: 0.1 };
+    force.mix = InstrMix {
+        load: 0.28,
+        store: 0.1,
+        branch: 0.1,
+    };
     force.data_ws_bytes = 1536 * KIB;
     force.hot_fraction = 0.72;
-    force.access = AccessMix { sequential: 0.45, chase: 0.0, stride: 48 };
+    force.access = AccessMix {
+        sequential: 0.45,
+        chase: 0.0,
+        stride: 48,
+    };
     force.random_branch_frac = 0.08;
     force.ilp = 8.0;
 
@@ -427,19 +607,35 @@ pub fn gromacs_like(instructions: u64) -> WorkloadSpec {
 /// footprint and mixed access patterns.
 pub fn dealii_like(instructions: u64) -> WorkloadSpec {
     let mut assemble = phase("assemble");
-    assemble.mix = InstrMix { load: 0.3, store: 0.12, branch: 0.16 };
+    assemble.mix = InstrMix {
+        load: 0.3,
+        store: 0.12,
+        branch: 0.16,
+    };
     assemble.code_bytes = 448 * KIB;
     assemble.data_ws_bytes = 3 * MIB;
     assemble.hot_fraction = 0.68;
-    assemble.access = AccessMix { sequential: 0.35, chase: 0.1, stride: 64 };
+    assemble.access = AccessMix {
+        sequential: 0.35,
+        chase: 0.1,
+        stride: 64,
+    };
     assemble.random_branch_frac = 0.15;
     assemble.ilp = 5.0;
 
     let mut solve = phase("solve");
-    solve.mix = InstrMix { load: 0.34, store: 0.1, branch: 0.08 };
+    solve.mix = InstrMix {
+        load: 0.34,
+        store: 0.1,
+        branch: 0.08,
+    };
     solve.data_ws_bytes = 6 * MIB;
     solve.hot_fraction = 0.6;
-    solve.access = AccessMix { sequential: 0.75, chase: 0.0, stride: 64 };
+    solve.access = AccessMix {
+        sequential: 0.75,
+        chase: 0.0,
+        stride: 64,
+    };
     solve.random_branch_frac = 0.05;
     solve.ilp = 7.0;
 
@@ -451,7 +647,11 @@ pub fn dealii_like(instructions: u64) -> WorkloadSpec {
 /// `453.povray`-like: ray tracing — branchy compute over a small scene.
 pub fn povray_like(instructions: u64) -> WorkloadSpec {
     let mut trace = phase("trace");
-    trace.mix = InstrMix { load: 0.27, store: 0.09, branch: 0.18 };
+    trace.mix = InstrMix {
+        load: 0.27,
+        store: 0.09,
+        branch: 0.18,
+    };
     trace.code_bytes = 192 * KIB;
     trace.data_ws_bytes = 512 * KIB;
     trace.hot_fraction = 0.8;
@@ -465,10 +665,18 @@ pub fn povray_like(instructions: u64) -> WorkloadSpec {
 /// strongly memory bound even with prefetching.
 pub fn gemsfdtd_like(instructions: u64) -> WorkloadSpec {
     let mut update = phase("update");
-    update.mix = InstrMix { load: 0.36, store: 0.16, branch: 0.04 };
+    update.mix = InstrMix {
+        load: 0.36,
+        store: 0.16,
+        branch: 0.04,
+    };
     update.data_ws_bytes = 40 * MIB;
     update.hot_fraction = 0.42;
-    update.access = AccessMix { sequential: 0.9, chase: 0.0, stride: 64 };
+    update.access = AccessMix {
+        sequential: 0.9,
+        chase: 0.0,
+        stride: 64,
+    };
     update.random_branch_frac = 0.02;
     update.ilp = 9.0;
 
@@ -479,18 +687,34 @@ pub fn gemsfdtd_like(instructions: u64) -> WorkloadSpec {
 /// matrix phases.
 pub fn tonto_like(instructions: u64) -> WorkloadSpec {
     let mut integrals = phase("integrals");
-    integrals.mix = InstrMix { load: 0.27, store: 0.1, branch: 0.09 };
+    integrals.mix = InstrMix {
+        load: 0.27,
+        store: 0.1,
+        branch: 0.09,
+    };
     integrals.data_ws_bytes = MIB;
     integrals.hot_fraction = 0.75;
-    integrals.access = AccessMix { sequential: 0.55, chase: 0.0, stride: 32 };
+    integrals.access = AccessMix {
+        sequential: 0.55,
+        chase: 0.0,
+        stride: 32,
+    };
     integrals.random_branch_frac = 0.06;
     integrals.ilp = 8.0;
 
     let mut diag = phase("diag");
-    diag.mix = InstrMix { load: 0.32, store: 0.12, branch: 0.06 };
+    diag.mix = InstrMix {
+        load: 0.32,
+        store: 0.12,
+        branch: 0.06,
+    };
     diag.data_ws_bytes = 2 * MIB;
     diag.hot_fraction = 0.62;
-    diag.access = AccessMix { sequential: 0.85, chase: 0.0, stride: 64 };
+    diag.access = AccessMix {
+        sequential: 0.85,
+        chase: 0.0,
+        stride: 64,
+    };
     diag.random_branch_frac = 0.04;
     diag.ilp = 8.0;
 
@@ -503,11 +727,19 @@ pub fn tonto_like(instructions: u64) -> WorkloadSpec {
 /// a sizeable instruction footprint.
 pub fn wrf_like(instructions: u64) -> WorkloadSpec {
     let mut physics = phase("physics");
-    physics.mix = InstrMix { load: 0.31, store: 0.13, branch: 0.09 };
+    physics.mix = InstrMix {
+        load: 0.31,
+        store: 0.13,
+        branch: 0.09,
+    };
     physics.code_bytes = 768 * KIB;
     physics.data_ws_bytes = 10 * MIB;
     physics.hot_fraction = 0.66;
-    physics.access = AccessMix { sequential: 0.7, chase: 0.0, stride: 96 };
+    physics.access = AccessMix {
+        sequential: 0.7,
+        chase: 0.0,
+        stride: 96,
+    };
     physics.random_branch_frac = 0.08;
     physics.code_locality = 0.5;
     physics.ilp = 6.0;
@@ -519,10 +751,18 @@ pub fn wrf_like(instructions: u64) -> WorkloadSpec {
 /// data-dependent pruning branches.
 pub fn sphinx_like(instructions: u64) -> WorkloadSpec {
     let mut score = phase("score");
-    score.mix = InstrMix { load: 0.32, store: 0.08, branch: 0.14 };
+    score.mix = InstrMix {
+        load: 0.32,
+        store: 0.08,
+        branch: 0.14,
+    };
     score.data_ws_bytes = 2 * MIB;
     score.hot_fraction = 0.6;
-    score.access = AccessMix { sequential: 0.7, chase: 0.0, stride: 32 };
+    score.access = AccessMix {
+        sequential: 0.7,
+        chase: 0.0,
+        stride: 32,
+    };
     score.random_branch_frac = 0.3;
     score.ilp = 6.0;
 
@@ -652,4 +892,3 @@ mod tests {
         assert!(w.phases.iter().any(|p| p.spec.lcp_frac > 0.05));
     }
 }
-

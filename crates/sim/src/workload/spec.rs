@@ -218,7 +218,10 @@ impl WorkloadSpec {
     pub fn is_valid(&self) -> bool {
         !self.phases.is_empty()
             && self.repeats > 0
-            && self.phases.iter().all(|p| p.spec.is_valid() && p.instructions > 0)
+            && self
+                .phases
+                .iter()
+                .all(|p| p.spec.is_valid() && p.instructions > 0)
     }
 }
 

@@ -8,23 +8,27 @@ use proptest::prelude::*;
 /// Strategy: a valid phase spec drawn from broad but sane ranges.
 fn phase_spec() -> impl Strategy<Value = PhaseSpec> {
     (
-        0.1..0.4f64,              // load
-        0.05..0.2f64,             // store
-        0.05..0.25f64,            // branch
-        0.0..1.0f64,              // sequential share
-        0.0..1.0f64,              // chase share (normalized below)
-        0.3..0.95f64,             // hot fraction
-        10u64..14,                // log2 ws (1 KiB .. 8 MiB)
-        7u64..19,                 // log2 code (128 B .. 256 KiB)
-        0.0..0.6f64,              // random branches
-        1.0..12.0f64,             // ilp
-        0.0..0.2f64,              // misalign
-        0.0..0.2f64,              // lcp
+        0.1..0.4f64,   // load
+        0.05..0.2f64,  // store
+        0.05..0.25f64, // branch
+        0.0..1.0f64,   // sequential share
+        0.0..1.0f64,   // chase share (normalized below)
+        0.3..0.95f64,  // hot fraction
+        10u64..14,     // log2 ws (1 KiB .. 8 MiB)
+        7u64..19,      // log2 code (128 B .. 256 KiB)
+        0.0..0.6f64,   // random branches
+        1.0..12.0f64,  // ilp
+        0.0..0.2f64,   // misalign
+        0.0..0.2f64,   // lcp
     )
         .prop_map(
             |(load, store, branch, seq, chase, hot, lws, lcode, rnd, ilp, mis, lcp)| {
                 let mut p = PhaseSpec::balanced("prop");
-                p.mix = InstrMix { load, store, branch };
+                p.mix = InstrMix {
+                    load,
+                    store,
+                    branch,
+                };
                 // Normalize seq+chase to at most 1.
                 let total = (seq + chase).max(1.0);
                 p.access = AccessMix {

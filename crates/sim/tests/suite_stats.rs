@@ -110,8 +110,16 @@ fn suite_spans_the_papers_performance_classes() {
     assert!(mean(&cactus, Event::L2m) > 0.003, "cactus L2M");
 
     // soplex: DTLB misses without a significant L2M rate.
-    assert!(mean(&soplex, Event::Dtlb) > 0.02, "soplex Dtlb = {}", mean(&soplex, Event::Dtlb));
-    assert!(mean(&soplex, Event::L2m) < 0.004, "soplex L2M = {}", mean(&soplex, Event::L2m));
+    assert!(
+        mean(&soplex, Event::Dtlb) > 0.02,
+        "soplex Dtlb = {}",
+        mean(&soplex, Event::Dtlb)
+    );
+    assert!(
+        mean(&soplex, Event::L2m) < 0.004,
+        "soplex L2M = {}",
+        mean(&soplex, Event::L2m)
+    );
 
     // gcc: the LCP citizen.
     for (name, set) in &runs {
@@ -128,7 +136,11 @@ fn suite_spans_the_papers_performance_classes() {
     assert!(mean(&gobmk, Event::BrMisPr) > 0.015, "gobmk BrMisPr");
 
     // xalanc: the ITLB-pressure profile.
-    assert!(mean(&xalanc, Event::ItlbM) > 0.001, "xalanc ItlbM = {}", mean(&xalanc, Event::ItlbM));
+    assert!(
+        mean(&xalanc, Event::ItlbM) > 0.001,
+        "xalanc ItlbM = {}",
+        mean(&xalanc, Event::ItlbM)
+    );
 }
 
 #[test]

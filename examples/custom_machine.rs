@@ -57,7 +57,10 @@ fn main() {
     // What if the prefetcher also caught strided streams?
     let mut stride = MachineConfig::core2_duo();
     stride.prefetcher = mtperf::sim::PrefetcherKind::Stride;
-    run(stride, "stride prefetcher (watch cactus-style strided sweeps)");
+    run(
+        stride,
+        "stride prefetcher (watch cactus-style strided sweeps)",
+    );
 
     // What if the pipeline were NetBurst-deep? The paper contrasts Core 2's
     // branch sensitivity with the Pentium 4's much costlier flushes.

@@ -29,7 +29,11 @@ fn main() {
     let gcc = profiles::gcc_like(600_000);
     let run = sim.run(&gcc, 10_000);
 
-    println!("section timeline of {} ({} sections):\n", gcc.name, run.len());
+    println!(
+        "section timeline of {} ({} sections):\n",
+        gcc.name,
+        run.len()
+    );
     println!("{:>8} {:>8} {:>8}   class", "section", "CPI", "LCP");
     let mut previous = None;
     for s in run.iter() {

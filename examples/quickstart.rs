@@ -36,7 +36,5 @@ fn main() {
     let learner = M5Learner::new(params);
     let cv = cross_validate(&learner, &data, 10, 7).expect("cv succeeds");
     println!("10-fold CV: {}", cv.pooled);
-    println!(
-        "(paper reports C = 0.98, MAE = 0.05, RAE = 7.83% on real Core 2 Duo data)"
-    );
+    println!("(paper reports C = 0.98, MAE = 0.05, RAE = 7.83% on real Core 2 Duo data)");
 }

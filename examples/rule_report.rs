@@ -3,8 +3,8 @@
 //!
 //! Run with: `cargo run --release --example rule_report`
 
-use mtperf::prelude::*;
 use mtperf::mtree::RuleSet;
+use mtperf::prelude::*;
 
 fn main() {
     let samples = mtperf::sim::simulate_suite(400_000, 10_000, 7);

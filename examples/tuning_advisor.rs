@@ -36,7 +36,9 @@ fn main() {
         // Representative section: the one with the median CPI.
         let mut sorted = indices.clone();
         sorted.sort_by(|&a, &b| {
-            data.target(a).partial_cmp(&data.target(b)).expect("finite CPI")
+            data.target(a)
+                .partial_cmp(&data.target(b))
+                .expect("finite CPI")
         });
         let median = sorted[sorted.len() / 2];
         let row = data.row(median);

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baselines-09b7188988bad1a0.d: crates/bench/benches/baselines.rs
+
+/root/repo/target/release/deps/baselines-09b7188988bad1a0: crates/bench/benches/baselines.rs
+
+crates/bench/benches/baselines.rs:

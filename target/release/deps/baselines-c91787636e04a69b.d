@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/baselines-c91787636e04a69b.d: crates/bench/benches/baselines.rs Cargo.toml
+
+/root/repo/target/release/deps/libbaselines-c91787636e04a69b.rmeta: crates/bench/benches/baselines.rs Cargo.toml
+
+crates/bench/benches/baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

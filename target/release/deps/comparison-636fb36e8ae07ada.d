@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/comparison-636fb36e8ae07ada.d: crates/mtperf/../../tests/comparison.rs Cargo.toml
+
+/root/repo/target/release/deps/libcomparison-636fb36e8ae07ada.rmeta: crates/mtperf/../../tests/comparison.rs Cargo.toml
+
+crates/mtperf/../../tests/comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/comparison-95d1e1e7f77740ae.d: crates/mtperf/../../tests/comparison.rs
+
+/root/repo/target/release/deps/comparison-95d1e1e7f77740ae: crates/mtperf/../../tests/comparison.rs
+
+crates/mtperf/../../tests/comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-bf78be0e63806501.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-bf78be0e63806501: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

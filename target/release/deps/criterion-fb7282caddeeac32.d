@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-fb7282caddeeac32.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-fb7282caddeeac32.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-fb7282caddeeac32.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

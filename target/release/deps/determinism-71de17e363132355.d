@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-71de17e363132355.d: crates/eval/tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-71de17e363132355: crates/eval/tests/determinism.rs
+
+crates/eval/tests/determinism.rs:

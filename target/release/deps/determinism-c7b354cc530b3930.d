@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/determinism-c7b354cc530b3930.d: crates/eval/tests/determinism.rs Cargo.toml
+
+/root/repo/target/release/deps/libdeterminism-c7b354cc530b3930.rmeta: crates/eval/tests/determinism.rs Cargo.toml
+
+crates/eval/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/m5_reference-3019fd13a1c89a56.d: crates/mtree/tests/m5_reference.rs Cargo.toml
+
+/root/repo/target/release/deps/libm5_reference-3019fd13a1c89a56.rmeta: crates/mtree/tests/m5_reference.rs Cargo.toml
+
+crates/mtree/tests/m5_reference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/m5_reference-ed682300e2d99f02.d: crates/mtree/tests/m5_reference.rs
+
+/root/repo/target/release/deps/m5_reference-ed682300e2d99f02: crates/mtree/tests/m5_reference.rs
+
+crates/mtree/tests/m5_reference.rs:

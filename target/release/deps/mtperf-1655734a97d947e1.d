@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mtperf-1655734a97d947e1.d: crates/mtperf/src/bin/mtperf.rs
+
+/root/repo/target/release/deps/mtperf-1655734a97d947e1: crates/mtperf/src/bin/mtperf.rs
+
+crates/mtperf/src/bin/mtperf.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/mtperf-33055fa74d631ea1.d: crates/mtperf/src/lib.rs crates/mtperf/src/cli.rs
+
+/root/repo/target/release/deps/mtperf-33055fa74d631ea1: crates/mtperf/src/lib.rs crates/mtperf/src/cli.rs
+
+crates/mtperf/src/lib.rs:
+crates/mtperf/src/cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mtperf-3ac8cc3cfd8b3884.d: crates/mtperf/src/bin/mtperf.rs
+
+/root/repo/target/release/deps/mtperf-3ac8cc3cfd8b3884: crates/mtperf/src/bin/mtperf.rs
+
+crates/mtperf/src/bin/mtperf.rs:

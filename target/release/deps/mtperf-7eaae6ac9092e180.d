@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/mtperf-7eaae6ac9092e180.d: crates/mtperf/src/lib.rs crates/mtperf/src/cli.rs
+
+/root/repo/target/release/deps/libmtperf-7eaae6ac9092e180.rlib: crates/mtperf/src/lib.rs crates/mtperf/src/cli.rs
+
+/root/repo/target/release/deps/libmtperf-7eaae6ac9092e180.rmeta: crates/mtperf/src/lib.rs crates/mtperf/src/cli.rs
+
+crates/mtperf/src/lib.rs:
+crates/mtperf/src/cli.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mtperf-a2f983a5c105e3c8.d: crates/mtperf/src/bin/mtperf.rs Cargo.toml
+
+/root/repo/target/release/deps/libmtperf-a2f983a5c105e3c8.rmeta: crates/mtperf/src/bin/mtperf.rs Cargo.toml
+
+crates/mtperf/src/bin/mtperf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

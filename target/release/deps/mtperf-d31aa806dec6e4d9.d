@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mtperf-d31aa806dec6e4d9.d: crates/mtperf/src/lib.rs crates/mtperf/src/cli.rs Cargo.toml
+
+/root/repo/target/release/deps/libmtperf-d31aa806dec6e4d9.rmeta: crates/mtperf/src/lib.rs crates/mtperf/src/cli.rs Cargo.toml
+
+crates/mtperf/src/lib.rs:
+crates/mtperf/src/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

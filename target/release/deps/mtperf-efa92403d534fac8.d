@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/mtperf-efa92403d534fac8.d: crates/mtperf/src/lib.rs crates/mtperf/src/cli.rs
+
+/root/repo/target/release/deps/libmtperf-efa92403d534fac8.rlib: crates/mtperf/src/lib.rs crates/mtperf/src/cli.rs
+
+/root/repo/target/release/deps/libmtperf-efa92403d534fac8.rmeta: crates/mtperf/src/lib.rs crates/mtperf/src/cli.rs
+
+crates/mtperf/src/lib.rs:
+crates/mtperf/src/cli.rs:

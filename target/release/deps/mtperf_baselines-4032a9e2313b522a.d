@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/mtperf_baselines-4032a9e2313b522a.d: crates/baselines/src/lib.rs crates/baselines/src/cart.rs crates/baselines/src/ensemble.rs crates/baselines/src/knn.rs crates/baselines/src/linreg.rs crates/baselines/src/mlp.rs crates/baselines/src/scale.rs crates/baselines/src/suite.rs crates/baselines/src/svr.rs
+
+/root/repo/target/release/deps/libmtperf_baselines-4032a9e2313b522a.rlib: crates/baselines/src/lib.rs crates/baselines/src/cart.rs crates/baselines/src/ensemble.rs crates/baselines/src/knn.rs crates/baselines/src/linreg.rs crates/baselines/src/mlp.rs crates/baselines/src/scale.rs crates/baselines/src/suite.rs crates/baselines/src/svr.rs
+
+/root/repo/target/release/deps/libmtperf_baselines-4032a9e2313b522a.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cart.rs crates/baselines/src/ensemble.rs crates/baselines/src/knn.rs crates/baselines/src/linreg.rs crates/baselines/src/mlp.rs crates/baselines/src/scale.rs crates/baselines/src/suite.rs crates/baselines/src/svr.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cart.rs:
+crates/baselines/src/ensemble.rs:
+crates/baselines/src/knn.rs:
+crates/baselines/src/linreg.rs:
+crates/baselines/src/mlp.rs:
+crates/baselines/src/scale.rs:
+crates/baselines/src/suite.rs:
+crates/baselines/src/svr.rs:

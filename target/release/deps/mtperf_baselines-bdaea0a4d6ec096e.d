@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/mtperf_baselines-bdaea0a4d6ec096e.d: crates/baselines/src/lib.rs crates/baselines/src/cart.rs crates/baselines/src/ensemble.rs crates/baselines/src/knn.rs crates/baselines/src/linreg.rs crates/baselines/src/mlp.rs crates/baselines/src/scale.rs crates/baselines/src/suite.rs crates/baselines/src/svr.rs Cargo.toml
+
+/root/repo/target/release/deps/libmtperf_baselines-bdaea0a4d6ec096e.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cart.rs crates/baselines/src/ensemble.rs crates/baselines/src/knn.rs crates/baselines/src/linreg.rs crates/baselines/src/mlp.rs crates/baselines/src/scale.rs crates/baselines/src/suite.rs crates/baselines/src/svr.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cart.rs:
+crates/baselines/src/ensemble.rs:
+crates/baselines/src/knn.rs:
+crates/baselines/src/linreg.rs:
+crates/baselines/src/mlp.rs:
+crates/baselines/src/scale.rs:
+crates/baselines/src/suite.rs:
+crates/baselines/src/svr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

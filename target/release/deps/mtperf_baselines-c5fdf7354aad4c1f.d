@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/mtperf_baselines-c5fdf7354aad4c1f.d: crates/baselines/src/lib.rs crates/baselines/src/cart.rs crates/baselines/src/ensemble.rs crates/baselines/src/knn.rs crates/baselines/src/linreg.rs crates/baselines/src/mlp.rs crates/baselines/src/scale.rs crates/baselines/src/suite.rs crates/baselines/src/svr.rs
+
+/root/repo/target/release/deps/libmtperf_baselines-c5fdf7354aad4c1f.rlib: crates/baselines/src/lib.rs crates/baselines/src/cart.rs crates/baselines/src/ensemble.rs crates/baselines/src/knn.rs crates/baselines/src/linreg.rs crates/baselines/src/mlp.rs crates/baselines/src/scale.rs crates/baselines/src/suite.rs crates/baselines/src/svr.rs
+
+/root/repo/target/release/deps/libmtperf_baselines-c5fdf7354aad4c1f.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cart.rs crates/baselines/src/ensemble.rs crates/baselines/src/knn.rs crates/baselines/src/linreg.rs crates/baselines/src/mlp.rs crates/baselines/src/scale.rs crates/baselines/src/suite.rs crates/baselines/src/svr.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cart.rs:
+crates/baselines/src/ensemble.rs:
+crates/baselines/src/knn.rs:
+crates/baselines/src/linreg.rs:
+crates/baselines/src/mlp.rs:
+crates/baselines/src/scale.rs:
+crates/baselines/src/suite.rs:
+crates/baselines/src/svr.rs:

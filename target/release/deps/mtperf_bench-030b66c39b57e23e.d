@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mtperf_bench-030b66c39b57e23e.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/mtperf_bench-030b66c39b57e23e: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

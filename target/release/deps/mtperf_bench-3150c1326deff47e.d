@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mtperf_bench-3150c1326deff47e.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libmtperf_bench-3150c1326deff47e.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

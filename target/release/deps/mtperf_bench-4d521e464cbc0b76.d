@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mtperf_bench-4d521e464cbc0b76.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmtperf_bench-4d521e464cbc0b76.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmtperf_bench-4d521e464cbc0b76.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mtperf_bench-8040f7a4035f8cf8.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmtperf_bench-8040f7a4035f8cf8.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmtperf_bench-8040f7a4035f8cf8.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

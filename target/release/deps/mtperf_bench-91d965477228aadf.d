@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mtperf_bench-91d965477228aadf.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/mtperf_bench-91d965477228aadf: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

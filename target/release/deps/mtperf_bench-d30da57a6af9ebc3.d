@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mtperf_bench-d30da57a6af9ebc3.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/mtperf_bench-d30da57a6af9ebc3: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mtperf_bench-df6a24b2260691d1.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmtperf_bench-df6a24b2260691d1.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmtperf_bench-df6a24b2260691d1.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mtperf_bench-f10971570aeae5e2.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libmtperf_bench-f10971570aeae5e2.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

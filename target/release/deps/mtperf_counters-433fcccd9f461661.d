@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mtperf_counters-433fcccd9f461661.d: crates/counters/src/lib.rs crates/counters/src/arff.rs crates/counters/src/bank.rs crates/counters/src/csv.rs crates/counters/src/events.rs crates/counters/src/sample.rs crates/counters/src/sampleset.rs
+
+/root/repo/target/release/deps/mtperf_counters-433fcccd9f461661: crates/counters/src/lib.rs crates/counters/src/arff.rs crates/counters/src/bank.rs crates/counters/src/csv.rs crates/counters/src/events.rs crates/counters/src/sample.rs crates/counters/src/sampleset.rs
+
+crates/counters/src/lib.rs:
+crates/counters/src/arff.rs:
+crates/counters/src/bank.rs:
+crates/counters/src/csv.rs:
+crates/counters/src/events.rs:
+crates/counters/src/sample.rs:
+crates/counters/src/sampleset.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mtperf_counters-4a4878fa8dba650b.d: crates/counters/src/lib.rs crates/counters/src/arff.rs crates/counters/src/bank.rs crates/counters/src/csv.rs crates/counters/src/events.rs crates/counters/src/sample.rs crates/counters/src/sampleset.rs
+
+/root/repo/target/release/deps/libmtperf_counters-4a4878fa8dba650b.rlib: crates/counters/src/lib.rs crates/counters/src/arff.rs crates/counters/src/bank.rs crates/counters/src/csv.rs crates/counters/src/events.rs crates/counters/src/sample.rs crates/counters/src/sampleset.rs
+
+/root/repo/target/release/deps/libmtperf_counters-4a4878fa8dba650b.rmeta: crates/counters/src/lib.rs crates/counters/src/arff.rs crates/counters/src/bank.rs crates/counters/src/csv.rs crates/counters/src/events.rs crates/counters/src/sample.rs crates/counters/src/sampleset.rs
+
+crates/counters/src/lib.rs:
+crates/counters/src/arff.rs:
+crates/counters/src/bank.rs:
+crates/counters/src/csv.rs:
+crates/counters/src/events.rs:
+crates/counters/src/sample.rs:
+crates/counters/src/sampleset.rs:

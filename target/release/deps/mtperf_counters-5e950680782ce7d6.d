@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/mtperf_counters-5e950680782ce7d6.d: crates/counters/src/lib.rs crates/counters/src/arff.rs crates/counters/src/bank.rs crates/counters/src/csv.rs crates/counters/src/events.rs crates/counters/src/sample.rs crates/counters/src/sampleset.rs Cargo.toml
+
+/root/repo/target/release/deps/libmtperf_counters-5e950680782ce7d6.rmeta: crates/counters/src/lib.rs crates/counters/src/arff.rs crates/counters/src/bank.rs crates/counters/src/csv.rs crates/counters/src/events.rs crates/counters/src/sample.rs crates/counters/src/sampleset.rs Cargo.toml
+
+crates/counters/src/lib.rs:
+crates/counters/src/arff.rs:
+crates/counters/src/bank.rs:
+crates/counters/src/csv.rs:
+crates/counters/src/events.rs:
+crates/counters/src/sample.rs:
+crates/counters/src/sampleset.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/mtperf_eval-685185d9308f9002.d: crates/eval/src/lib.rs crates/eval/src/breakdown.rs crates/eval/src/curve.rs crates/eval/src/cv.rs crates/eval/src/metrics.rs crates/eval/src/repeat.rs crates/eval/src/report.rs crates/eval/src/significance.rs
+
+/root/repo/target/release/deps/libmtperf_eval-685185d9308f9002.rlib: crates/eval/src/lib.rs crates/eval/src/breakdown.rs crates/eval/src/curve.rs crates/eval/src/cv.rs crates/eval/src/metrics.rs crates/eval/src/repeat.rs crates/eval/src/report.rs crates/eval/src/significance.rs
+
+/root/repo/target/release/deps/libmtperf_eval-685185d9308f9002.rmeta: crates/eval/src/lib.rs crates/eval/src/breakdown.rs crates/eval/src/curve.rs crates/eval/src/cv.rs crates/eval/src/metrics.rs crates/eval/src/repeat.rs crates/eval/src/report.rs crates/eval/src/significance.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/breakdown.rs:
+crates/eval/src/curve.rs:
+crates/eval/src/cv.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/repeat.rs:
+crates/eval/src/report.rs:
+crates/eval/src/significance.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/mtperf_eval-78c7819c1fe521a4.d: crates/eval/src/lib.rs crates/eval/src/breakdown.rs crates/eval/src/curve.rs crates/eval/src/cv.rs crates/eval/src/metrics.rs crates/eval/src/repeat.rs crates/eval/src/report.rs crates/eval/src/significance.rs
+
+/root/repo/target/release/deps/libmtperf_eval-78c7819c1fe521a4.rlib: crates/eval/src/lib.rs crates/eval/src/breakdown.rs crates/eval/src/curve.rs crates/eval/src/cv.rs crates/eval/src/metrics.rs crates/eval/src/repeat.rs crates/eval/src/report.rs crates/eval/src/significance.rs
+
+/root/repo/target/release/deps/libmtperf_eval-78c7819c1fe521a4.rmeta: crates/eval/src/lib.rs crates/eval/src/breakdown.rs crates/eval/src/curve.rs crates/eval/src/cv.rs crates/eval/src/metrics.rs crates/eval/src/repeat.rs crates/eval/src/report.rs crates/eval/src/significance.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/breakdown.rs:
+crates/eval/src/curve.rs:
+crates/eval/src/cv.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/repeat.rs:
+crates/eval/src/report.rs:
+crates/eval/src/significance.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/mtperf_eval-df52ccfe4ddade27.d: crates/eval/src/lib.rs crates/eval/src/breakdown.rs crates/eval/src/curve.rs crates/eval/src/cv.rs crates/eval/src/metrics.rs crates/eval/src/repeat.rs crates/eval/src/report.rs crates/eval/src/significance.rs Cargo.toml
+
+/root/repo/target/release/deps/libmtperf_eval-df52ccfe4ddade27.rmeta: crates/eval/src/lib.rs crates/eval/src/breakdown.rs crates/eval/src/curve.rs crates/eval/src/cv.rs crates/eval/src/metrics.rs crates/eval/src/repeat.rs crates/eval/src/report.rs crates/eval/src/significance.rs Cargo.toml
+
+crates/eval/src/lib.rs:
+crates/eval/src/breakdown.rs:
+crates/eval/src/curve.rs:
+crates/eval/src/cv.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/repeat.rs:
+crates/eval/src/report.rs:
+crates/eval/src/significance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/mtperf_linalg-52366fdb28ab06db.d: crates/linalg/src/lib.rs crates/linalg/src/error.rs crates/linalg/src/matrix.rs crates/linalg/src/parallel.rs crates/linalg/src/qr.rs crates/linalg/src/solve.rs crates/linalg/src/stats.rs Cargo.toml
+
+/root/repo/target/release/deps/libmtperf_linalg-52366fdb28ab06db.rmeta: crates/linalg/src/lib.rs crates/linalg/src/error.rs crates/linalg/src/matrix.rs crates/linalg/src/parallel.rs crates/linalg/src/qr.rs crates/linalg/src/solve.rs crates/linalg/src/stats.rs Cargo.toml
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/error.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/parallel.rs:
+crates/linalg/src/qr.rs:
+crates/linalg/src/solve.rs:
+crates/linalg/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

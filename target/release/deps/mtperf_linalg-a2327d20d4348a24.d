@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mtperf_linalg-a2327d20d4348a24.d: crates/linalg/src/lib.rs crates/linalg/src/error.rs crates/linalg/src/matrix.rs crates/linalg/src/parallel.rs crates/linalg/src/qr.rs crates/linalg/src/solve.rs crates/linalg/src/stats.rs
+
+/root/repo/target/release/deps/mtperf_linalg-a2327d20d4348a24: crates/linalg/src/lib.rs crates/linalg/src/error.rs crates/linalg/src/matrix.rs crates/linalg/src/parallel.rs crates/linalg/src/qr.rs crates/linalg/src/solve.rs crates/linalg/src/stats.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/error.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/parallel.rs:
+crates/linalg/src/qr.rs:
+crates/linalg/src/solve.rs:
+crates/linalg/src/stats.rs:

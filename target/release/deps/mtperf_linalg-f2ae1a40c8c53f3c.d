@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mtperf_linalg-f2ae1a40c8c53f3c.d: crates/linalg/src/lib.rs crates/linalg/src/error.rs crates/linalg/src/matrix.rs crates/linalg/src/parallel.rs crates/linalg/src/qr.rs crates/linalg/src/solve.rs crates/linalg/src/stats.rs
+
+/root/repo/target/release/deps/libmtperf_linalg-f2ae1a40c8c53f3c.rlib: crates/linalg/src/lib.rs crates/linalg/src/error.rs crates/linalg/src/matrix.rs crates/linalg/src/parallel.rs crates/linalg/src/qr.rs crates/linalg/src/solve.rs crates/linalg/src/stats.rs
+
+/root/repo/target/release/deps/libmtperf_linalg-f2ae1a40c8c53f3c.rmeta: crates/linalg/src/lib.rs crates/linalg/src/error.rs crates/linalg/src/matrix.rs crates/linalg/src/parallel.rs crates/linalg/src/qr.rs crates/linalg/src/solve.rs crates/linalg/src/stats.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/error.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/parallel.rs:
+crates/linalg/src/qr.rs:
+crates/linalg/src/solve.rs:
+crates/linalg/src/stats.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/mtperf_mtree-507521933da18af7.d: crates/mtree/src/lib.rs crates/mtree/src/analysis.rs crates/mtree/src/build.rs crates/mtree/src/dataset.rs crates/mtree/src/error.rs crates/mtree/src/learner.rs crates/mtree/src/model.rs crates/mtree/src/node.rs crates/mtree/src/params.rs crates/mtree/src/persist.rs crates/mtree/src/phase.rs crates/mtree/src/render.rs crates/mtree/src/rules.rs crates/mtree/src/split.rs crates/mtree/src/tree.rs Cargo.toml
+
+/root/repo/target/release/deps/libmtperf_mtree-507521933da18af7.rmeta: crates/mtree/src/lib.rs crates/mtree/src/analysis.rs crates/mtree/src/build.rs crates/mtree/src/dataset.rs crates/mtree/src/error.rs crates/mtree/src/learner.rs crates/mtree/src/model.rs crates/mtree/src/node.rs crates/mtree/src/params.rs crates/mtree/src/persist.rs crates/mtree/src/phase.rs crates/mtree/src/render.rs crates/mtree/src/rules.rs crates/mtree/src/split.rs crates/mtree/src/tree.rs Cargo.toml
+
+crates/mtree/src/lib.rs:
+crates/mtree/src/analysis.rs:
+crates/mtree/src/build.rs:
+crates/mtree/src/dataset.rs:
+crates/mtree/src/error.rs:
+crates/mtree/src/learner.rs:
+crates/mtree/src/model.rs:
+crates/mtree/src/node.rs:
+crates/mtree/src/params.rs:
+crates/mtree/src/persist.rs:
+crates/mtree/src/phase.rs:
+crates/mtree/src/render.rs:
+crates/mtree/src/rules.rs:
+crates/mtree/src/split.rs:
+crates/mtree/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mtperf_repro-67673a977d05b651.d: crates/repro/src/main.rs Cargo.toml
+
+/root/repo/target/release/deps/libmtperf_repro-67673a977d05b651.rmeta: crates/repro/src/main.rs Cargo.toml
+
+crates/repro/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

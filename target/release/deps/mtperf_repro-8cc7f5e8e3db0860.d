@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mtperf_repro-8cc7f5e8e3db0860.d: crates/repro/src/main.rs
+
+/root/repo/target/release/deps/mtperf_repro-8cc7f5e8e3db0860: crates/repro/src/main.rs
+
+crates/repro/src/main.rs:

@@ -1,0 +1,28 @@
+/root/repo/target/release/deps/mtperf_repro-a78c803794e4e703.d: crates/repro/src/lib.rs crates/repro/src/context.rs crates/repro/src/experiments/mod.rs crates/repro/src/experiments/ablation.rs crates/repro/src/experiments/breakdown.rs crates/repro/src/experiments/comparison.rs crates/repro/src/experiments/curve.rs crates/repro/src/experiments/events.rs crates/repro/src/experiments/figure1.rs crates/repro/src/experiments/figure2.rs crates/repro/src/experiments/figure3.rs crates/repro/src/experiments/generalize.rs crates/repro/src/experiments/headline.rs crates/repro/src/experiments/interactions.rs crates/repro/src/experiments/lm_analysis.rs crates/repro/src/experiments/netburst.rs crates/repro/src/experiments/occupancy.rs crates/repro/src/experiments/split_impact.rs crates/repro/src/experiments/table1.rs crates/repro/src/experiments/whatif.rs Cargo.toml
+
+/root/repo/target/release/deps/libmtperf_repro-a78c803794e4e703.rmeta: crates/repro/src/lib.rs crates/repro/src/context.rs crates/repro/src/experiments/mod.rs crates/repro/src/experiments/ablation.rs crates/repro/src/experiments/breakdown.rs crates/repro/src/experiments/comparison.rs crates/repro/src/experiments/curve.rs crates/repro/src/experiments/events.rs crates/repro/src/experiments/figure1.rs crates/repro/src/experiments/figure2.rs crates/repro/src/experiments/figure3.rs crates/repro/src/experiments/generalize.rs crates/repro/src/experiments/headline.rs crates/repro/src/experiments/interactions.rs crates/repro/src/experiments/lm_analysis.rs crates/repro/src/experiments/netburst.rs crates/repro/src/experiments/occupancy.rs crates/repro/src/experiments/split_impact.rs crates/repro/src/experiments/table1.rs crates/repro/src/experiments/whatif.rs Cargo.toml
+
+crates/repro/src/lib.rs:
+crates/repro/src/context.rs:
+crates/repro/src/experiments/mod.rs:
+crates/repro/src/experiments/ablation.rs:
+crates/repro/src/experiments/breakdown.rs:
+crates/repro/src/experiments/comparison.rs:
+crates/repro/src/experiments/curve.rs:
+crates/repro/src/experiments/events.rs:
+crates/repro/src/experiments/figure1.rs:
+crates/repro/src/experiments/figure2.rs:
+crates/repro/src/experiments/figure3.rs:
+crates/repro/src/experiments/generalize.rs:
+crates/repro/src/experiments/headline.rs:
+crates/repro/src/experiments/interactions.rs:
+crates/repro/src/experiments/lm_analysis.rs:
+crates/repro/src/experiments/netburst.rs:
+crates/repro/src/experiments/occupancy.rs:
+crates/repro/src/experiments/split_impact.rs:
+crates/repro/src/experiments/table1.rs:
+crates/repro/src/experiments/whatif.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

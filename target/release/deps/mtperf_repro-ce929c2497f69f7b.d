@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mtperf_repro-ce929c2497f69f7b.d: crates/repro/src/main.rs
+
+/root/repo/target/release/deps/mtperf_repro-ce929c2497f69f7b: crates/repro/src/main.rs
+
+crates/repro/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mtperf_repro-e7d9ed1bbbdad6b9.d: crates/repro/src/main.rs Cargo.toml
+
+/root/repo/target/release/deps/libmtperf_repro-e7d9ed1bbbdad6b9.rmeta: crates/repro/src/main.rs Cargo.toml
+
+crates/repro/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/mtperf_sim-488c363aa25cdd3c.d: crates/sim/src/lib.rs crates/sim/src/branch.rs crates/sim/src/btb.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/cycle.rs crates/sim/src/instr.rs crates/sim/src/loadblock.rs crates/sim/src/memory.rs crates/sim/src/sim.rs crates/sim/src/tlb.rs crates/sim/src/workload/mod.rs crates/sim/src/workload/gen.rs crates/sim/src/workload/profiles.rs crates/sim/src/workload/spec.rs Cargo.toml
+
+/root/repo/target/release/deps/libmtperf_sim-488c363aa25cdd3c.rmeta: crates/sim/src/lib.rs crates/sim/src/branch.rs crates/sim/src/btb.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/cycle.rs crates/sim/src/instr.rs crates/sim/src/loadblock.rs crates/sim/src/memory.rs crates/sim/src/sim.rs crates/sim/src/tlb.rs crates/sim/src/workload/mod.rs crates/sim/src/workload/gen.rs crates/sim/src/workload/profiles.rs crates/sim/src/workload/spec.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/branch.rs:
+crates/sim/src/btb.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/config.rs:
+crates/sim/src/cycle.rs:
+crates/sim/src/instr.rs:
+crates/sim/src/loadblock.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/tlb.rs:
+crates/sim/src/workload/mod.rs:
+crates/sim/src/workload/gen.rs:
+crates/sim/src/workload/profiles.rs:
+crates/sim/src/workload/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

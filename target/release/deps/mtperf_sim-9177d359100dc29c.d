@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/mtperf_sim-9177d359100dc29c.d: crates/sim/src/lib.rs crates/sim/src/branch.rs crates/sim/src/btb.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/cycle.rs crates/sim/src/instr.rs crates/sim/src/loadblock.rs crates/sim/src/memory.rs crates/sim/src/sim.rs crates/sim/src/tlb.rs crates/sim/src/workload/mod.rs crates/sim/src/workload/gen.rs crates/sim/src/workload/profiles.rs crates/sim/src/workload/spec.rs
+
+/root/repo/target/release/deps/libmtperf_sim-9177d359100dc29c.rlib: crates/sim/src/lib.rs crates/sim/src/branch.rs crates/sim/src/btb.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/cycle.rs crates/sim/src/instr.rs crates/sim/src/loadblock.rs crates/sim/src/memory.rs crates/sim/src/sim.rs crates/sim/src/tlb.rs crates/sim/src/workload/mod.rs crates/sim/src/workload/gen.rs crates/sim/src/workload/profiles.rs crates/sim/src/workload/spec.rs
+
+/root/repo/target/release/deps/libmtperf_sim-9177d359100dc29c.rmeta: crates/sim/src/lib.rs crates/sim/src/branch.rs crates/sim/src/btb.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/cycle.rs crates/sim/src/instr.rs crates/sim/src/loadblock.rs crates/sim/src/memory.rs crates/sim/src/sim.rs crates/sim/src/tlb.rs crates/sim/src/workload/mod.rs crates/sim/src/workload/gen.rs crates/sim/src/workload/profiles.rs crates/sim/src/workload/spec.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/branch.rs:
+crates/sim/src/btb.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/config.rs:
+crates/sim/src/cycle.rs:
+crates/sim/src/instr.rs:
+crates/sim/src/loadblock.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/tlb.rs:
+crates/sim/src/workload/mod.rs:
+crates/sim/src/workload/gen.rs:
+crates/sim/src/workload/profiles.rs:
+crates/sim/src/workload/spec.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/paper_shape-730d581daf3ce69a.d: crates/mtperf/../../tests/paper_shape.rs Cargo.toml
+
+/root/repo/target/release/deps/libpaper_shape-730d581daf3ce69a.rmeta: crates/mtperf/../../tests/paper_shape.rs Cargo.toml
+
+crates/mtperf/../../tests/paper_shape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_shape-bc0be088f7811485.d: crates/mtperf/../../tests/paper_shape.rs
+
+/root/repo/target/release/deps/paper_shape-bc0be088f7811485: crates/mtperf/../../tests/paper_shape.rs
+
+crates/mtperf/../../tests/paper_shape.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_speedup-39efa7f1fbe37742.d: crates/bench/benches/parallel_speedup.rs
+
+/root/repo/target/release/deps/parallel_speedup-39efa7f1fbe37742: crates/bench/benches/parallel_speedup.rs
+
+crates/bench/benches/parallel_speedup.rs:

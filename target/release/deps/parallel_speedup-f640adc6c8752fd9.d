@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/parallel_speedup-f640adc6c8752fd9.d: crates/bench/benches/parallel_speedup.rs Cargo.toml
+
+/root/repo/target/release/deps/libparallel_speedup-f640adc6c8752fd9.rmeta: crates/bench/benches/parallel_speedup.rs Cargo.toml
+
+crates/bench/benches/parallel_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

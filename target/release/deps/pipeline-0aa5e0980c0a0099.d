@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-0aa5e0980c0a0099.d: crates/bench/benches/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-0aa5e0980c0a0099: crates/bench/benches/pipeline.rs
+
+crates/bench/benches/pipeline.rs:

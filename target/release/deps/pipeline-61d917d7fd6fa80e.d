@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pipeline-61d917d7fd6fa80e.d: crates/mtperf/../../tests/pipeline.rs Cargo.toml
+
+/root/repo/target/release/deps/libpipeline-61d917d7fd6fa80e.rmeta: crates/mtperf/../../tests/pipeline.rs Cargo.toml
+
+crates/mtperf/../../tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-c05a3014c1922e4d.d: crates/mtperf/../../tests/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-c05a3014c1922e4d: crates/mtperf/../../tests/pipeline.rs
+
+crates/mtperf/../../tests/pipeline.rs:

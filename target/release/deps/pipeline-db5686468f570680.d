@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pipeline-db5686468f570680.d: crates/bench/benches/pipeline.rs Cargo.toml
+
+/root/repo/target/release/deps/libpipeline-db5686468f570680.rmeta: crates/bench/benches/pipeline.rs Cargo.toml
+
+crates/bench/benches/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_counters-71ed608c3a3485f2.d: crates/counters/tests/prop_counters.rs
+
+/root/repo/target/release/deps/prop_counters-71ed608c3a3485f2: crates/counters/tests/prop_counters.rs
+
+crates/counters/tests/prop_counters.rs:

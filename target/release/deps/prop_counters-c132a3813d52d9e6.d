@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/prop_counters-c132a3813d52d9e6.d: crates/counters/tests/prop_counters.rs Cargo.toml
+
+/root/repo/target/release/deps/libprop_counters-c132a3813d52d9e6.rmeta: crates/counters/tests/prop_counters.rs Cargo.toml
+
+crates/counters/tests/prop_counters.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/prop_linalg-bca74c730f654248.d: crates/linalg/tests/prop_linalg.rs Cargo.toml
+
+/root/repo/target/release/deps/libprop_linalg-bca74c730f654248.rmeta: crates/linalg/tests/prop_linalg.rs Cargo.toml
+
+crates/linalg/tests/prop_linalg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

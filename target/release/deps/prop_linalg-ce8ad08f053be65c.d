@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_linalg-ce8ad08f053be65c.d: crates/linalg/tests/prop_linalg.rs
+
+/root/repo/target/release/deps/prop_linalg-ce8ad08f053be65c: crates/linalg/tests/prop_linalg.rs
+
+crates/linalg/tests/prop_linalg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_mtree-22bb713d757e72f0.d: crates/mtree/tests/prop_mtree.rs
+
+/root/repo/target/release/deps/prop_mtree-22bb713d757e72f0: crates/mtree/tests/prop_mtree.rs
+
+crates/mtree/tests/prop_mtree.rs:

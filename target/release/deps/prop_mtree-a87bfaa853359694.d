@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/prop_mtree-a87bfaa853359694.d: crates/mtree/tests/prop_mtree.rs Cargo.toml
+
+/root/repo/target/release/deps/libprop_mtree-a87bfaa853359694.rmeta: crates/mtree/tests/prop_mtree.rs Cargo.toml
+
+crates/mtree/tests/prop_mtree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_sim-036730b672a49d5b.d: crates/sim/tests/prop_sim.rs
+
+/root/repo/target/release/deps/prop_sim-036730b672a49d5b: crates/sim/tests/prop_sim.rs
+
+crates/sim/tests/prop_sim.rs:

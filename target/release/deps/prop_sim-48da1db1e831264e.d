@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/prop_sim-48da1db1e831264e.d: crates/sim/tests/prop_sim.rs Cargo.toml
+
+/root/repo/target/release/deps/libprop_sim-48da1db1e831264e.rmeta: crates/sim/tests/prop_sim.rs Cargo.toml
+
+crates/sim/tests/prop_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

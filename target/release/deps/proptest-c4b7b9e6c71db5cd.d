@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-c4b7b9e6c71db5cd.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/strategy.rs vendor/proptest/src/string.rs vendor/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/proptest-c4b7b9e6c71db5cd: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/strategy.rs vendor/proptest/src/string.rs vendor/proptest/src/test_runner.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/strategy.rs:
+vendor/proptest/src/string.rs:
+vendor/proptest/src/test_runner.rs:

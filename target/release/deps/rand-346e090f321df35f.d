@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rand-346e090f321df35f.d: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/distributions.rs vendor/rand/src/uniform.rs
+
+/root/repo/target/release/deps/librand-346e090f321df35f.rlib: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/distributions.rs vendor/rand/src/uniform.rs
+
+/root/repo/target/release/deps/librand-346e090f321df35f.rmeta: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/distributions.rs vendor/rand/src/uniform.rs
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/rngs.rs:
+vendor/rand/src/distributions.rs:
+vendor/rand/src/uniform.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rand-726f8d23fae64191.d: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/distributions.rs vendor/rand/src/uniform.rs
+
+/root/repo/target/release/deps/librand-726f8d23fae64191.rlib: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/distributions.rs vendor/rand/src/uniform.rs
+
+/root/repo/target/release/deps/librand-726f8d23fae64191.rmeta: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/distributions.rs vendor/rand/src/uniform.rs
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/rngs.rs:
+vendor/rand/src/distributions.rs:
+vendor/rand/src/uniform.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rand-f7edfb601a01fd7b.d: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/distributions.rs vendor/rand/src/uniform.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-f7edfb601a01fd7b.rmeta: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/distributions.rs vendor/rand/src/uniform.rs Cargo.toml
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/rngs.rs:
+vendor/rand/src/distributions.rs:
+vendor/rand/src/uniform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-2186c75cb96c9f8a.d: vendor/serde/src/lib.rs vendor/serde/src/de.rs vendor/serde/src/value.rs
+
+/root/repo/target/release/deps/serde-2186c75cb96c9f8a: vendor/serde/src/lib.rs vendor/serde/src/de.rs vendor/serde/src/value.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/de.rs:
+vendor/serde/src/value.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/serde-2fb0fa613086c6de.d: vendor/serde/src/lib.rs vendor/serde/src/de.rs vendor/serde/src/value.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde-2fb0fa613086c6de.rmeta: vendor/serde/src/lib.rs vendor/serde/src/de.rs vendor/serde/src/value.rs Cargo.toml
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/de.rs:
+vendor/serde/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

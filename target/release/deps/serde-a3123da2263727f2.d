@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/serde-a3123da2263727f2.d: vendor/serde/src/lib.rs vendor/serde/src/de.rs vendor/serde/src/value.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde-a3123da2263727f2.rmeta: vendor/serde/src/lib.rs vendor/serde/src/de.rs vendor/serde/src/value.rs Cargo.toml
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/de.rs:
+vendor/serde/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

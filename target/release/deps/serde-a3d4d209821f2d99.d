@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde-a3d4d209821f2d99.d: vendor/serde/src/lib.rs vendor/serde/src/de.rs vendor/serde/src/value.rs
+
+/root/repo/target/release/deps/libserde-a3d4d209821f2d99.rlib: vendor/serde/src/lib.rs vendor/serde/src/de.rs vendor/serde/src/value.rs
+
+/root/repo/target/release/deps/libserde-a3d4d209821f2d99.rmeta: vendor/serde/src/lib.rs vendor/serde/src/de.rs vendor/serde/src/value.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/de.rs:
+vendor/serde/src/value.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-3cd6026f76dca6b4.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-3cd6026f76dca6b4.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

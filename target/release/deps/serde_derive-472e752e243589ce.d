@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-472e752e243589ce.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive-472e752e243589ce: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-5eac2ef8a9b2bac7.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-5eac2ef8a9b2bac7.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

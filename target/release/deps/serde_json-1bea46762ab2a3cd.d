@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde_json-1bea46762ab2a3cd.d: vendor/serde_json/src/lib.rs vendor/serde_json/src/read.rs vendor/serde_json/src/write.rs
+
+/root/repo/target/release/deps/libserde_json-1bea46762ab2a3cd.rlib: vendor/serde_json/src/lib.rs vendor/serde_json/src/read.rs vendor/serde_json/src/write.rs
+
+/root/repo/target/release/deps/libserde_json-1bea46762ab2a3cd.rmeta: vendor/serde_json/src/lib.rs vendor/serde_json/src/read.rs vendor/serde_json/src/write.rs
+
+vendor/serde_json/src/lib.rs:
+vendor/serde_json/src/read.rs:
+vendor/serde_json/src/write.rs:

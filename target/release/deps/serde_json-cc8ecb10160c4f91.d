@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/serde_json-cc8ecb10160c4f91.d: vendor/serde_json/src/lib.rs vendor/serde_json/src/read.rs vendor/serde_json/src/write.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde_json-cc8ecb10160c4f91.rmeta: vendor/serde_json/src/lib.rs vendor/serde_json/src/read.rs vendor/serde_json/src/write.rs Cargo.toml
+
+vendor/serde_json/src/lib.rs:
+vendor/serde_json/src/read.rs:
+vendor/serde_json/src/write.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

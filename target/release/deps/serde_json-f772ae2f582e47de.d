@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-f772ae2f582e47de.d: vendor/serde_json/src/lib.rs vendor/serde_json/src/read.rs vendor/serde_json/src/write.rs
+
+/root/repo/target/release/deps/serde_json-f772ae2f582e47de: vendor/serde_json/src/lib.rs vendor/serde_json/src/read.rs vendor/serde_json/src/write.rs
+
+vendor/serde_json/src/lib.rs:
+vendor/serde_json/src/read.rs:
+vendor/serde_json/src/write.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulator-d82c374a1f5a30f5.d: crates/bench/benches/simulator.rs
+
+/root/repo/target/release/deps/simulator-d82c374a1f5a30f5: crates/bench/benches/simulator.rs
+
+crates/bench/benches/simulator.rs:

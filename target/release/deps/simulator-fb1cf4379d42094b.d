@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/simulator-fb1cf4379d42094b.d: crates/bench/benches/simulator.rs Cargo.toml
+
+/root/repo/target/release/deps/libsimulator-fb1cf4379d42094b.rmeta: crates/bench/benches/simulator.rs Cargo.toml
+
+crates/bench/benches/simulator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/suite_stats-9a377bfc97605197.d: crates/sim/tests/suite_stats.rs
+
+/root/repo/target/release/deps/suite_stats-9a377bfc97605197: crates/sim/tests/suite_stats.rs
+
+crates/sim/tests/suite_stats.rs:

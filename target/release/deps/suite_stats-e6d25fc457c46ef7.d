@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/suite_stats-e6d25fc457c46ef7.d: crates/sim/tests/suite_stats.rs Cargo.toml
+
+/root/repo/target/release/deps/libsuite_stats-e6d25fc457c46ef7.rmeta: crates/sim/tests/suite_stats.rs Cargo.toml
+
+crates/sim/tests/suite_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

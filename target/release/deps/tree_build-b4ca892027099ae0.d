@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tree_build-b4ca892027099ae0.d: crates/bench/benches/tree_build.rs Cargo.toml
+
+/root/repo/target/release/deps/libtree_build-b4ca892027099ae0.rmeta: crates/bench/benches/tree_build.rs Cargo.toml
+
+crates/bench/benches/tree_build.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

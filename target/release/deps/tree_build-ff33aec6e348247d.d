@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tree_build-ff33aec6e348247d.d: crates/bench/benches/tree_build.rs
+
+/root/repo/target/release/deps/tree_build-ff33aec6e348247d: crates/bench/benches/tree_build.rs
+
+crates/bench/benches/tree_build.rs:

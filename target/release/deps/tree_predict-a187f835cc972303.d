@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tree_predict-a187f835cc972303.d: crates/bench/benches/tree_predict.rs Cargo.toml
+
+/root/repo/target/release/deps/libtree_predict-a187f835cc972303.rmeta: crates/bench/benches/tree_predict.rs Cargo.toml
+
+crates/bench/benches/tree_predict.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tree_predict-abc2437a7d922258.d: crates/bench/benches/tree_predict.rs
+
+/root/repo/target/release/deps/tree_predict-abc2437a7d922258: crates/bench/benches/tree_predict.rs
+
+crates/bench/benches/tree_predict.rs:

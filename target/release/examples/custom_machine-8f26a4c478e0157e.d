@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/custom_machine-8f26a4c478e0157e.d: crates/mtperf/../../examples/custom_machine.rs
+
+/root/repo/target/release/examples/custom_machine-8f26a4c478e0157e: crates/mtperf/../../examples/custom_machine.rs
+
+crates/mtperf/../../examples/custom_machine.rs:

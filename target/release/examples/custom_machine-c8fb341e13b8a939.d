@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/custom_machine-c8fb341e13b8a939.d: crates/mtperf/../../examples/custom_machine.rs Cargo.toml
+
+/root/repo/target/release/examples/libcustom_machine-c8fb341e13b8a939.rmeta: crates/mtperf/../../examples/custom_machine.rs Cargo.toml
+
+crates/mtperf/../../examples/custom_machine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/phase_detection-521cb072d1f85d16.d: crates/mtperf/../../examples/phase_detection.rs Cargo.toml
+
+/root/repo/target/release/examples/libphase_detection-521cb072d1f85d16.rmeta: crates/mtperf/../../examples/phase_detection.rs Cargo.toml
+
+crates/mtperf/../../examples/phase_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/phase_detection-7464dfda3270d476.d: crates/mtperf/../../examples/phase_detection.rs
+
+/root/repo/target/release/examples/phase_detection-7464dfda3270d476: crates/mtperf/../../examples/phase_detection.rs
+
+crates/mtperf/../../examples/phase_detection.rs:

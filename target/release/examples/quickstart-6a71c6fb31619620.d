@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-6a71c6fb31619620.d: crates/mtperf/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-6a71c6fb31619620.rmeta: crates/mtperf/../../examples/quickstart.rs Cargo.toml
+
+crates/mtperf/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

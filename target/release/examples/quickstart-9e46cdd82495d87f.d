@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-9e46cdd82495d87f.d: crates/mtperf/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-9e46cdd82495d87f: crates/mtperf/../../examples/quickstart.rs
+
+crates/mtperf/../../examples/quickstart.rs:

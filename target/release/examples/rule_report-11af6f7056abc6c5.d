@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/rule_report-11af6f7056abc6c5.d: crates/mtperf/../../examples/rule_report.rs
+
+/root/repo/target/release/examples/rule_report-11af6f7056abc6c5: crates/mtperf/../../examples/rule_report.rs
+
+crates/mtperf/../../examples/rule_report.rs:

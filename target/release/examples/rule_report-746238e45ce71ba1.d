@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/rule_report-746238e45ce71ba1.d: crates/mtperf/../../examples/rule_report.rs Cargo.toml
+
+/root/repo/target/release/examples/librule_report-746238e45ce71ba1.rmeta: crates/mtperf/../../examples/rule_report.rs Cargo.toml
+
+crates/mtperf/../../examples/rule_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

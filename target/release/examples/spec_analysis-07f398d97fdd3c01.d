@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/spec_analysis-07f398d97fdd3c01.d: crates/mtperf/../../examples/spec_analysis.rs
+
+/root/repo/target/release/examples/spec_analysis-07f398d97fdd3c01: crates/mtperf/../../examples/spec_analysis.rs
+
+crates/mtperf/../../examples/spec_analysis.rs:

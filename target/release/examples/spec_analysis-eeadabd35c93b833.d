@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/spec_analysis-eeadabd35c93b833.d: crates/mtperf/../../examples/spec_analysis.rs Cargo.toml
+
+/root/repo/target/release/examples/libspec_analysis-eeadabd35c93b833.rmeta: crates/mtperf/../../examples/spec_analysis.rs Cargo.toml
+
+crates/mtperf/../../examples/spec_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/tuning_advisor-2dcada373e35de48.d: crates/mtperf/../../examples/tuning_advisor.rs
+
+/root/repo/target/release/examples/tuning_advisor-2dcada373e35de48: crates/mtperf/../../examples/tuning_advisor.rs
+
+crates/mtperf/../../examples/tuning_advisor.rs:

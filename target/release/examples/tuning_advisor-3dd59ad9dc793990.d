@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/tuning_advisor-3dd59ad9dc793990.d: crates/mtperf/../../examples/tuning_advisor.rs Cargo.toml
+
+/root/repo/target/release/examples/libtuning_advisor-3dd59ad9dc793990.rmeta: crates/mtperf/../../examples/tuning_advisor.rs Cargo.toml
+
+crates/mtperf/../../examples/tuning_advisor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -49,14 +49,9 @@ fn model_tree_beats_interpretable_baselines_and_matches_black_boxes() {
     let cart = cross_validate(&CartLearner::new(min_instances), &data, k, seed)
         .unwrap()
         .pooled;
-    let mlp = cross_validate(
-        &MlpLearner::new(12).with_epochs(60),
-        &data,
-        k,
-        seed,
-    )
-    .unwrap()
-    .pooled;
+    let mlp = cross_validate(&MlpLearner::new(12).with_epochs(60), &data, k, seed)
+        .unwrap()
+        .pooled;
 
     println!("M5'  {m5}");
     println!("OLS  {ols}");

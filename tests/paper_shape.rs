@@ -40,7 +40,8 @@ fn fixture() -> Fixture {
 }
 
 fn attr(data: &Dataset, name: &str) -> usize {
-    data.attr_index(name).unwrap_or_else(|| panic!("no attr {name}"))
+    data.attr_index(name)
+        .unwrap_or_else(|| panic!("no attr {name}"))
 }
 
 #[test]
@@ -73,11 +74,10 @@ fn dtlb_tested_in_absence_of_l2_misses() {
             continue;
         }
         let c = f.tree.classify(&f.data.row(i));
-        if c.path.iter().any(|d| {
-            dtlb_names
-                .iter()
-                .any(|n| f.data.attr_name(d.attr) == *n)
-        }) {
+        if c.path
+            .iter()
+            .any(|d| dtlb_names.iter().any(|n| f.data.attr_name(d.attr) == *n))
+        {
             found = true;
             break;
         }
@@ -132,10 +132,7 @@ fn mcf_sections_concentrate_in_l2_dominated_classes() {
         }
         total += 1;
         let c = f.tree.classify(&f.data.row(i));
-        if c.path
-            .iter()
-            .any(|d| d.attr == l2m && d.went_high)
-        {
+        if c.path.iter().any(|d| d.attr == l2m && d.went_high) {
             high_side += 1;
         }
     }
@@ -189,7 +186,15 @@ fn contribution_ranking_answers_what_and_how_much() {
         .expect("mcf sections exist");
     let row = f.data.row(idx);
     let ops = analysis::rank_opportunities(&f.tree, &row);
-    let memory_events = ["L2M", "L1DM", "DtlbLdReM", "DtlbLdM", "Dtlb", "DtlbL0LdM", "InstLd"];
+    let memory_events = [
+        "L2M",
+        "L1DM",
+        "DtlbLdReM",
+        "DtlbLdM",
+        "Dtlb",
+        "DtlbL0LdM",
+        "InstLd",
+    ];
     if ops.is_empty() {
         // The section landed in a constant-model class (the paper's LM18
         // situation): the levers are the split variables on the rule path,
@@ -200,7 +205,9 @@ fn contribution_ranking_answers_what_and_how_much() {
             high.iter()
                 .any(|&a| memory_events.contains(&f.data.attr_name(a))),
             "constant class without memory split variables: {:?}",
-            high.iter().map(|&a| f.data.attr_name(a)).collect::<Vec<_>>()
+            high.iter()
+                .map(|&a| f.data.attr_name(a))
+                .collect::<Vec<_>>()
         );
     } else {
         // Memory-system events must rank at the top for an mcf-like section.

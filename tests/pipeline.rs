@@ -65,8 +65,11 @@ fn pipeline_is_deterministic() {
 fn tree_discovers_multiple_performance_classes() {
     let (data, _) = suite_dataset();
     let min_instances = (data.n_rows() / 30).max(8);
-    let tree =
-        ModelTree::fit(&data, &M5Params::default().with_min_instances(min_instances)).unwrap();
+    let tree = ModelTree::fit(
+        &data,
+        &M5Params::default().with_min_instances(min_instances),
+    )
+    .unwrap();
     assert!(
         tree.n_leaves() >= 3,
         "only {} classes found",

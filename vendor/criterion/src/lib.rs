@@ -1,0 +1,259 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the API subset the bench crate uses — groups, throughput,
+//! parameterized IDs, `criterion_group!`/`criterion_main!` — with a simple
+//! wall-clock measurement loop instead of criterion's statistical machinery.
+//! Each benchmark warms up briefly, then reports the median per-iteration
+//! time over a handful of samples.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement configuration shared by all benchmarks in a run.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\ngroup: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: self.sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Runs the registered benchmark functions (called by `criterion_main!`).
+    pub fn final_summary(&self) {}
+}
+
+/// Unit used to derive a rate from the per-iteration time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an ID from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    /// Builds an ID from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A named set of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares the work done per iteration, enabling rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Measures `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let ns = run_samples(self.sample_size, || {
+            let mut bencher = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut bencher);
+            bencher.per_iter_ns()
+        });
+        report(&self.name, &id.id, ns, self.throughput);
+        self
+    }
+
+    /// Measures `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let ns = run_samples(self.sample_size, || {
+            let mut bencher = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut bencher, input);
+            bencher.per_iter_ns()
+        });
+        report(&self.name, &id.id, ns, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Calibrate: aim for ~10ms of work per sample, at least one iter.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 1_000_000);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters as u64;
+    }
+
+    fn per_iter_ns(&self) -> f64 {
+        if self.iters == 0 {
+            return f64::NAN;
+        }
+        self.elapsed.as_nanos() as f64 / self.iters as f64
+    }
+}
+
+/// Runs `sample` repeatedly and returns the median per-iteration time (ns).
+fn run_samples(n: usize, mut sample: impl FnMut() -> f64) -> f64 {
+    let mut times: Vec<f64> = (0..n).map(|_| sample()).collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn report(group: &str, id: &str, ns: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Elements(k)) => {
+            format!("  ({:.3e} elem/s)", k as f64 / (ns * 1e-9))
+        }
+        Some(Throughput::Bytes(k)) => {
+            format!("  ({:.3e} B/s)", k as f64 / (ns * 1e-9))
+        }
+        None => String::new(),
+    };
+    eprintln!("  {group}/{id}: {ns:.1} ns/iter{rate}");
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point: runs every group. Ignores harness CLI arguments (cargo
+/// passes `--bench`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_positive_time() {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(b.iters >= 1);
+        assert!(b.per_iter_ns() >= 0.0);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::from_parameter(5), &5u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::from_parameter(40).id, "40");
+        assert_eq!(BenchmarkId::new("fit", 12).id, "fit/12");
+        assert_eq!(BenchmarkId::from("raw").id, "raw");
+    }
+}

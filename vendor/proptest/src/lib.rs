@@ -1,0 +1,156 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use: range and
+//! regex-literal strategies, tuples, `prop::collection::vec`, `prop_map`,
+//! the `proptest!` macro family, and `ProptestConfig::with_cases`.
+//!
+//! Unlike real proptest there is no shrinking and no failure persistence:
+//! a failing case fails the test with the ordinary assertion message. Cases
+//! are drawn from a fixed-seed generator, so runs are deterministic.
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+
+/// Number of random cases each `proptest!` test runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// How many cases to draw per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Namespace mirror of proptest's `prop::` re-exports.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything tests normally import.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+    };
+}
+
+/// Defines property tests. Each `name(binding in strategy, ...)` item becomes
+/// a `#[test]`-able function that draws `cases` random inputs and runs the
+/// body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_inner!{($cfg); $($rest)*}
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_inner!{($crate::ProptestConfig::default()); $($rest)*}
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_inner {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for _case in 0..cfg.cases {
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (f64, u64)> {
+        (-1.0..1.0f64, 3u64..9).prop_map(|(a, b)| (a * 2.0, b))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_maps_stay_in_bounds(
+            (x, n) in pair(),
+            k in 0usize..5,
+            s in "[a-z0-9.]{1,12}",
+            xs in prop::collection::vec(0.0..0.5f64, 4),
+        ) {
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!((3..9).contains(&n));
+            prop_assert!(k < 5);
+            prop_assert!(!s.is_empty() && s.len() <= 12);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()
+                || c.is_ascii_digit()
+                || c == '.'));
+            prop_assert_eq!(xs.len(), 4);
+            prop_assert!(xs.iter().all(|v| (0.0..0.5).contains(v)));
+        }
+
+        #[test]
+        fn assume_skips_cases(v in 0u64..10) {
+            prop_assume!(v >= 5);
+            prop_assert!(v >= 5);
+            prop_assert_ne!(v, 4);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let draw = || {
+            let mut rng = crate::test_runner::TestRng::deterministic("x");
+            Strategy::generate(&(0.0..1.0f64), &mut rng)
+        };
+        assert_eq!(draw(), draw());
+    }
+}

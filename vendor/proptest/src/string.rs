@@ -1,0 +1,125 @@
+//! String strategies from regex-like literals.
+//!
+//! Supports the pattern subset used by this workspace's tests: a sequence of
+//! atoms, where an atom is a literal character or a character class
+//! `[a-z0-9.]`, optionally followed by a `{n}` or `{m,n}` repetition.
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = if atom.min == atom.max {
+                atom.min
+            } else {
+                rng.rng().gen_range(atom.min..=atom.max)
+            };
+            for _ in 0..n {
+                let i = rng.rng().gen_range(0..atom.chars.len());
+                out.push(atom.chars[i]);
+            }
+        }
+        out
+    }
+}
+
+struct Atom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let choices = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        None => panic!("unterminated character class in {pattern:?}"),
+                        Some(']') => break,
+                        Some('-') if prev.is_some() && chars.peek() != Some(&']') => {
+                            let lo = prev.expect("range start");
+                            let hi = chars.next().expect("range end");
+                            assert!(lo <= hi, "reversed range {lo}-{hi} in {pattern:?}");
+                            // `lo` is already in the set; add the rest.
+                            set.extend(((lo as u32 + 1)..=(hi as u32)).filter_map(char::from_u32));
+                            prev = None;
+                        }
+                        Some(ch) => {
+                            set.push(ch);
+                            prev = Some(ch);
+                        }
+                    }
+                }
+                set
+            }
+            '\\' => vec![chars.next().expect("escaped character")],
+            ch => vec![ch],
+        };
+        assert!(!choices.is_empty(), "empty character class in {pattern:?}");
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for ch in chars.by_ref() {
+                if ch == '}' {
+                    break;
+                }
+                spec.push(ch);
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("repetition lower bound"),
+                    hi.trim().parse().expect("repetition upper bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "reversed repetition in {pattern:?}");
+        atoms.push(Atom {
+            chars: choices,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_repetition_generates_in_bounds() {
+        let mut rng = TestRng::deterministic("string");
+        for _ in 0..200 {
+            let s = "[a-z0-9.]{1,12}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 12, "bad length: {s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.'));
+        }
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        let mut rng = TestRng::deterministic("literal");
+        assert_eq!("abc".generate(&mut rng), "abc");
+        assert_eq!("a{3}".generate(&mut rng), "aaa");
+    }
+}

@@ -1,0 +1,64 @@
+//! The `Standard` distribution, exposed through [`crate::Rng::gen`].
+
+use crate::RngCore;
+
+/// Types samplable by `rng.gen::<T>()`.
+///
+/// Recipes match `rand 0.8`'s `Standard` distribution bit-for-bit.
+pub trait StandardSample: Sized {
+    /// Draws one value from the standard distribution.
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for usize {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl StandardSample for i32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+
+impl StandardSample for i64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        // Upstream samples a u32 and tests the sign bit.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        // 53-bit multiply recipe: uniform on [0, 1).
+        let scale = 1.0 / (1u64 << 53) as f64;
+        scale * (rng.next_u64() >> 11) as f64
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        // 24-bit multiply recipe: uniform on [0, 1).
+        let scale = 1.0 / (1u32 << 24) as f32;
+        scale * (rng.next_u32() >> 8) as f32
+    }
+}

@@ -1,0 +1,200 @@
+//! Uniform range sampling, exposed through [`crate::Rng::gen_range`].
+//!
+//! Integer ranges use Lemire's widening-multiply rejection exactly as
+//! `rand 0.8`'s `UniformInt::sample_single{,_inclusive}` does; float ranges
+//! use `UniformFloat::sample_single`'s scale-and-shift. Both reproduce
+//! upstream draw sequences bit-for-bit.
+//!
+//! Mirroring upstream's impl structure (`Range<T>: SampleRange<T>` generic
+//! over one `SampleUniform` bound) matters for type inference at call sites
+//! like `x + rng.gen_range(-0.25..0.25)`.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::RngCore;
+
+/// Ranges that [`crate::Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Types with a uniform range-sampling recipe.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Draws from `[low, high)`.
+    fn sample_uniform<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Draws from `[low, high]`.
+    fn sample_uniform_inclusive<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_uniform(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + Clone> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample empty range");
+        T::sample_uniform_inclusive(start, end, rng)
+    }
+}
+
+macro_rules! uniform_int {
+    ($($t:ty => $wide:ty, $uty:ty, $next:ident, $shift:expr;)*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self {
+                let range = (high as $uty).wrapping_sub(low as $uty);
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.$next();
+                    let wide = <$wide>::from(v) * <$wide>::from(range);
+                    let (hi, lo) = ((wide >> $shift) as $uty, wide as $uty);
+                    if lo <= zone {
+                        return (low as $uty).wrapping_add(hi) as $t;
+                    }
+                }
+            }
+
+            fn sample_uniform_inclusive<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self {
+                let range = (high as $uty).wrapping_sub(low as $uty).wrapping_add(1);
+                if range == 0 {
+                    // Full-width range: any value is uniform.
+                    return rng.$next() as $t;
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.$next();
+                    let wide = <$wide>::from(v) * <$wide>::from(range);
+                    let (hi, lo) = ((wide >> $shift) as $uty, wide as $uty);
+                    if lo <= zone {
+                        return (low as $uty).wrapping_add(hi) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+uniform_int! {
+    u64 => u128, u64, next_u64, 64;
+    usize => u128, u64, next_u64, 64;
+    i64 => u128, u64, next_u64, 64;
+    u32 => u64, u32, next_u32, 32;
+    i32 => u64, u32, next_u32, 32;
+}
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self {
+        let mut scale = high - low;
+        loop {
+            // A float in [1, 2): exponent 0, random 52-bit mantissa.
+            let value1_2 = f64::from_bits((1023u64 << 52) | (rng.next_u64() >> 12));
+            // Multiply-before-add, matching upstream's FMA-friendly form.
+            let res = value1_2 * scale + (low - scale);
+            if res < high {
+                return res;
+            }
+            // Top-of-range rounding: shrink scale one ulp and retry.
+            scale = f64::from_bits(scale.to_bits() - 1);
+        }
+    }
+
+    fn sample_uniform_inclusive<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self {
+        // Upstream widens the scale one ulp so `high` itself is reachable.
+        let max_rand = f64::from_bits((1023u64 << 52) | (u64::MAX >> 12));
+        let mut scale = (high - low) / max_rand;
+        loop {
+            let value1_2 = f64::from_bits((1023u64 << 52) | (rng.next_u64() >> 12));
+            let res = value1_2 * scale + (low - scale);
+            if res <= high {
+                return res;
+            }
+            scale = f64::from_bits(scale.to_bits() - 1);
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_uniform<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self {
+        let mut scale = high - low;
+        loop {
+            let value1_2 = f32::from_bits((127u32 << 23) | (rng.next_u32() >> 9));
+            let res = value1_2 * scale + (low - scale);
+            if res < high {
+                return res;
+            }
+            scale = f32::from_bits(scale.to_bits() - 1);
+        }
+    }
+
+    fn sample_uniform_inclusive<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self {
+        let max_rand = f32::from_bits((127u32 << 23) | (u32::MAX >> 9));
+        let mut scale = (high - low) / max_rand;
+        loop {
+            let value1_2 = f32::from_bits((127u32 << 23) | (rng.next_u32() >> 9));
+            let res = value1_2 * scale + (low - scale);
+            if res <= high {
+                return res;
+            }
+            scale = f32::from_bits(scale.to_bits() - 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn integer_range_is_lemire() {
+        // Replays the widening-multiply recipe by hand on the same stream.
+        let mut a = SmallRng::seed_from_u64(11);
+        let mut b = SmallRng::seed_from_u64(11);
+        let got = a.gen_range(0..10u64);
+        let v = b.next_u64();
+        let hi = ((u128::from(v) * 10) >> 64) as u64;
+        assert_eq!(got, hi);
+    }
+
+    #[test]
+    fn float_range_is_scale_and_shift() {
+        let mut a = SmallRng::seed_from_u64(11);
+        let mut b = SmallRng::seed_from_u64(11);
+        let got = a.gen_range(-0.25..0.25);
+        let bits = b.next_u64();
+        let value1_2 = f64::from_bits((1023u64 << 52) | (bits >> 12));
+        let scale = 0.25 - (-0.25);
+        assert_eq!(got, value1_2 * scale + (-0.25 - scale));
+    }
+
+    #[test]
+    fn small_inclusive_ranges_cover_all_values() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..=2usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn u32_path_uses_32_bit_draws() {
+        let mut a = SmallRng::seed_from_u64(13);
+        let mut b = SmallRng::seed_from_u64(13);
+        let got = a.gen_range(0..7u32);
+        let v = b.next_u32();
+        let hi = ((u64::from(v) * 7) >> 32) as u32;
+        assert_eq!(got, hi);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = rng.gen_range(5..5usize);
+    }
+}

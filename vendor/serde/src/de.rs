@@ -1,0 +1,67 @@
+//! Deserialization errors.
+
+use std::fmt;
+
+use crate::Value;
+
+/// Error produced while rebuilding a value from a [`Value`] tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+    /// Path from the root to the failing field, innermost first.
+    path: Vec<String>,
+}
+
+impl Error {
+    /// Creates an error with an arbitrary message.
+    pub fn custom(message: impl Into<String>) -> Error {
+        Error {
+            message: message.into(),
+            path: Vec::new(),
+        }
+    }
+
+    /// Creates a "expected X, found Y" error.
+    pub fn mismatch(expected: &str, found: &Value) -> Error {
+        Error::custom(format!("expected {expected}, found {}", found.type_name()))
+    }
+
+    /// Returns the error annotated with an enclosing field or variant name.
+    #[must_use]
+    pub fn context(mut self, segment: &str) -> Error {
+        self.path.push(segment.to_string());
+        self
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.path.is_empty() {
+            write!(f, "{}", self.message)
+        } else {
+            let mut segments = self.path.clone();
+            segments.reverse();
+            write!(f, "{}: {}", segments.join("."), self.message)
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_builds_path() {
+        let e = Error::custom("boom").context("field").context("Struct");
+        assert_eq!(e.to_string(), "Struct.field: boom");
+    }
+
+    #[test]
+    fn mismatch_names_types() {
+        let e = Error::mismatch("bool", &Value::Array(vec![]));
+        assert!(e.to_string().contains("expected bool"));
+        assert!(e.to_string().contains("array"));
+    }
+}

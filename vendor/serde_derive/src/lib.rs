@@ -1,0 +1,416 @@
+//! Derive macros for the vendored serde shim.
+//!
+//! Supports the shapes this workspace actually derives: non-generic named
+//! structs, tuple structs, unit structs, and enums whose variants are unit,
+//! tuple, or struct-like. Anything else (generics, serde attributes) is a
+//! compile error — extend the parser when a new shape appears.
+//!
+//! The implementation deliberately avoids `syn`/`quote` (unavailable
+//! offline): it walks the raw `TokenStream` to recover the type's shape and
+//! emits the impl as formatted source code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+enum Shape {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+    Enum(Vec<(String, VariantShape)>),
+}
+
+#[derive(Debug, Clone)]
+enum VariantShape {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Derives `serde::Serialize` for supported shapes.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_type(input);
+    let body = match &shape {
+        Shape::Unit => "serde::Value::Null".to_string(),
+        Shape::Named(fields) => serialize_named_fields(fields, "self."),
+        Shape::Tuple(1) => "serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => serialize_enum(&name, variants),
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` for supported shapes.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_type(input);
+    let body = match &shape {
+        Shape::Unit => format!("{{ let _ = value; Ok({name}) }}"),
+        Shape::Named(fields) => deserialize_named_struct(&name, fields),
+        Shape::Tuple(1) => format!(
+            "serde::Deserialize::deserialize(value).map({name}).map_err(|e| e.context({name:?}))"
+        ),
+        Shape::Tuple(n) => deserialize_tuple_struct(&name, *n),
+        Shape::Enum(variants) => deserialize_enum(&name, variants),
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn deserialize(value: &serde::Value) -> Result<Self, serde::de::Error> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// `{ "f": <ser f>, ... }` for fields accessed via `prefix` (`self.` or ``).
+fn serialize_named_fields(fields: &[String], prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| format!("({f:?}.to_string(), serde::Serialize::serialize(&{prefix}{f}))"))
+        .collect();
+    format!("serde::Value::Object(vec![{}])", entries.join(", "))
+}
+
+fn serialize_enum(name: &str, variants: &[(String, VariantShape)]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|(v, shape)| match shape {
+            VariantShape::Unit => {
+                format!("{name}::{v} => serde::Value::Str({v:?}.to_string()),")
+            }
+            VariantShape::Named(fields) => {
+                let bindings = fields.join(", ");
+                let obj = serialize_named_fields(fields, "");
+                format!(
+                    "{name}::{v} {{ {bindings} }} => serde::Value::Object(vec![({v:?}.to_string(), {obj})]),"
+                )
+            }
+            VariantShape::Tuple(1) => format!(
+                "{name}::{v}(x0) => serde::Value::Object(vec![({v:?}.to_string(), serde::Serialize::serialize(x0))]),"
+            ),
+            VariantShape::Tuple(n) => {
+                let bindings: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                let items: Vec<String> = bindings
+                    .iter()
+                    .map(|b| format!("serde::Serialize::serialize({b})"))
+                    .collect();
+                format!(
+                    "{name}::{v}({}) => serde::Value::Object(vec![({v:?}.to_string(), serde::Value::Array(vec![{}]))]),",
+                    bindings.join(", "),
+                    items.join(", ")
+                )
+            }
+        })
+        .collect();
+    format!("match self {{ {} }}", arms.join("\n"))
+}
+
+fn deserialize_named_fields(fields: &[String], source: &str, ty: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: serde::Deserialize::deserialize({source}.get_field({f:?})\
+                     .unwrap_or(&serde::Value::Null))\
+                     .map_err(|e| e.context({f:?}).context({ty:?}))?,"
+            )
+        })
+        .collect();
+    inits.join("\n")
+}
+
+fn deserialize_named_struct(name: &str, fields: &[String]) -> String {
+    let inits = deserialize_named_fields(fields, "value", name);
+    format!(
+        "{{ if value.as_object().is_none() {{\n\
+               return Err(serde::de::Error::mismatch(\"object\", value).context({name:?}));\n\
+           }}\n\
+           Ok({name} {{ {inits} }}) }}"
+    )
+}
+
+fn deserialize_tuple_struct(name: &str, n: usize) -> String {
+    let inits: Vec<String> = (0..n)
+        .map(|i| {
+            format!(
+                "serde::Deserialize::deserialize(&items[{i}])\
+                     .map_err(|e| e.context({name:?}))?"
+            )
+        })
+        .collect();
+    format!(
+        "{{ let items = match value {{\n\
+               serde::Value::Array(items) if items.len() == {n} => items,\n\
+               other => return Err(serde::de::Error::mismatch(\"array of {n}\", other).context({name:?})),\n\
+           }};\n\
+           Ok({name}({})) }}",
+        inits.join(", ")
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[(String, VariantShape)]) -> String {
+    // Unit variants arrive as strings; data variants as single-key objects.
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, s)| matches!(s, VariantShape::Unit))
+        .map(|(v, _)| format!("{v:?} => return Ok({name}::{v}),"))
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|(v, shape)| match shape {
+            VariantShape::Unit => None,
+            VariantShape::Named(fields) => {
+                let inits = deserialize_named_fields(fields, "payload", name);
+                Some(format!("{v:?} => return Ok({name}::{v} {{ {inits} }}),"))
+            }
+            VariantShape::Tuple(1) => Some(format!(
+                "{v:?} => return serde::Deserialize::deserialize(payload)\
+                     .map({name}::{v}).map_err(|e| e.context({name:?})),"
+            )),
+            VariantShape::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|i| {
+                        format!(
+                            "serde::Deserialize::deserialize(&items[{i}])\
+                                 .map_err(|e| e.context({name:?}))?"
+                        )
+                    })
+                    .collect();
+                Some(format!(
+                    "{v:?} => {{\n\
+                         let items = match payload {{\n\
+                             serde::Value::Array(items) if items.len() == {n} => items,\n\
+                             other => return Err(serde::de::Error::mismatch(\"array of {n}\", other).context({name:?})),\n\
+                         }};\n\
+                         return Ok({name}::{v}({}));\n\
+                     }},",
+                    inits.join(", ")
+                ))
+            }
+        })
+        .collect();
+    format!(
+        "{{ if let serde::Value::Str(tag) = value {{\n\
+               match tag.as_str() {{ {units} _ => {{}} }}\n\
+           }}\n\
+           if let serde::Value::Object(entries) = value {{\n\
+               if let Some((tag, payload)) = entries.first() {{\n\
+                   match tag.as_str() {{ {datas} _ => {{}} }}\n\
+               }}\n\
+           }}\n\
+           Err(serde::de::Error::custom(\"unknown variant\").context({name:?})) }}",
+        units = unit_arms.join("\n"),
+        datas = data_arms.join("\n"),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Token parsing
+// ---------------------------------------------------------------------------
+
+fn parse_type(input: TokenStream) -> (String, Shape) {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`) until the
+    // `struct`/`enum` keyword.
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let word = id.to_string();
+                match word.as_str() {
+                    "pub" => {
+                        if let Some(TokenTree::Group(g)) = tokens.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                tokens.next();
+                            }
+                        }
+                    }
+                    "struct" | "enum" => break word,
+                    _ => {}
+                }
+            }
+            Some(_) => {}
+            None => panic!("serde shim derive: no struct/enum keyword found"),
+        }
+    };
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic type {name} is not supported");
+        }
+    }
+
+    if kind == "enum" {
+        let body = match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+            other => panic!("serde shim derive: expected enum body, found {other:?}"),
+        };
+        return (name, Shape::Enum(parse_variants(body.stream())));
+    }
+
+    match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            (name, Shape::Named(parse_named_fields(g.stream())))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            (name, Shape::Tuple(count_tuple_fields(g.stream())))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => (name, Shape::Unit),
+        other => panic!("serde shim derive: unsupported struct body {other:?}"),
+    }
+}
+
+/// Parses `field: Type, ...`, returning the field names. Tracks `<`/`>`
+/// nesting so commas inside generic arguments do not terminate a field.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip per-field attributes and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.next() else {
+            break;
+        };
+        fields.push(id.to_string());
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected ':' after field, found {other:?}"),
+        }
+        // Consume the type up to the next top-level comma.
+        let mut angle_depth = 0usize;
+        for t in tokens.by_ref() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1);
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct/variant (top-level commas + trailing
+/// element). Parenthesized/bracketed element types are single token trees, so
+/// only `<`/`>` nesting needs tracking.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0usize;
+    let mut last_was_comma = false;
+    for t in stream {
+        saw_tokens = true;
+        last_was_comma = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                last_was_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if saw_tokens && !last_was_comma {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, VariantShape)> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes on the variant.
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next();
+            } else {
+                break;
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.next() else {
+            break;
+        };
+        let vname = id.to_string();
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantShape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantShape::Tuple(n)
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push((vname, shape));
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        let mut angle_depth = 0usize;
+        while let Some(t) = tokens.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    tokens.next();
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1);
+                    tokens.next();
+                }
+                _ => {
+                    tokens.next();
+                }
+            }
+        }
+    }
+    variants
+}

@@ -1,0 +1,155 @@
+//! Offline stand-in for `serde_json`: JSON text ⇄ the vendored serde shim's
+//! [`serde::Value`] tree.
+//!
+//! Numbers print via Rust's shortest-roundtrip `Display` for `f64`, so every
+//! finite float survives a write/read cycle exactly (the `float_roundtrip`
+//! feature is therefore a no-op). Non-finite floats serialize as `null`, the
+//! same choice real `serde_json` makes.
+
+mod read;
+mod write;
+
+use std::fmt;
+
+pub use read::parse_value;
+
+/// Error produced by serialization or parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    pub(crate) fn new(message: impl Into<String>) -> Error {
+        Error(message.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::de::Error> for Error {
+    fn from(e: serde::de::Error) -> Error {
+        Error(e.to_string())
+    }
+}
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Infallible for the shim's data model; the `Result` mirrors the real
+/// `serde_json` signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write::write_compact(&value.serialize(), &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (2-space indent).
+///
+/// # Errors
+///
+/// Infallible for the shim's data model; the `Result` mirrors the real
+/// `serde_json` signature.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write::write_pretty(&value.serialize(), 0, &mut out);
+    Ok(out)
+}
+
+/// Parses JSON text into a `T`.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = read::parse_value(text)?;
+    Ok(T::deserialize(&value)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::Value;
+
+    use super::*;
+
+    #[test]
+    fn compact_roundtrip() {
+        let v = Value::Object(vec![
+            ("name".to_string(), Value::Str("ipc".to_string())),
+            (
+                "xs".to_string(),
+                Value::Array(vec![Value::U64(1), Value::F64(2.5), Value::Null]),
+            ),
+            ("neg".to_string(), Value::I64(-7)),
+            ("flag".to_string(), Value::Bool(true)),
+        ]);
+        let text = to_string(&SerValue(&v)).unwrap();
+        assert_eq!(
+            text,
+            r#"{"name":"ipc","xs":[1,2.5,null],"neg":-7,"flag":true}"#
+        );
+        assert_eq!(parse_value(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_uses_two_space_indent_and_colon_space() {
+        let v = Value::Object(vec![
+            ("version".to_string(), Value::U64(1)),
+            ("xs".to_string(), Value::Array(vec![Value::U64(2)])),
+        ]);
+        let text = to_string_pretty(&SerValue(&v)).unwrap();
+        assert_eq!(text, "{\n  \"version\": 1,\n  \"xs\": [\n    2\n  ]\n}");
+    }
+
+    #[test]
+    #[allow(clippy::excessive_precision)] // the over-long literal is the test
+    fn float_text_roundtrips_exactly() {
+        for x in [0.1f64, 1.0 / 3.0, 1e-300, 123456789.123456789, -2.5e17] {
+            let text = to_string(&x).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn parses_escapes_and_whitespace() {
+        let v = parse_value(" { \"a\\n\\u0041\" : [ true , false , null ] } ").unwrap();
+        assert_eq!(
+            v,
+            Value::Object(vec![(
+                "a\nA".to_string(),
+                Value::Array(vec![Value::Bool(true), Value::Bool(false), Value::Null]),
+            )])
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "tru",
+            "1.2.3",
+            "\"unterminated",
+        ] {
+            assert!(parse_value(bad).is_err(), "accepted {bad:?}");
+        }
+        assert!(parse_value("[1] trailing").is_err());
+    }
+
+    /// Adapter: tests build raw `Value`s but the API takes `impl Serialize`.
+    struct SerValue<'a>(&'a Value);
+
+    impl serde::Serialize for SerValue<'_> {
+        fn serialize(&self) -> Value {
+            self.0.clone()
+        }
+    }
+}

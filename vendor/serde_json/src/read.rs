@@ -1,0 +1,284 @@
+//! Recursive-descent JSON parser.
+
+use serde::Value;
+
+use crate::Error;
+
+/// Parses a complete JSON document into a [`Value`].
+///
+/// # Errors
+///
+/// Returns an [`Error`] naming the byte offset of the first syntax problem.
+pub fn parse_value(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> Error {
+        Error::new(format!("{message} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        _ => return Err(self.err("unknown escape sequence")),
+                    }
+                }
+                Some(byte) if byte < 0x80 => {
+                    out.push(byte as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: the input is a valid &str, so decode
+                    // the full character from the source slice.
+                    let rest = &self.bytes[self.pos..];
+                    let text = std::str::from_utf8(rest)
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let c = text
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("empty string tail"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, Error> {
+        let first = self.hex4()?;
+        // Surrogate pair handling for characters outside the BMP.
+        if (0xD800..0xDC00).contains(&first) {
+            if !(self.eat_keyword("\\u")) {
+                return Err(self.err("lone high surrogate"));
+            }
+            let second = self.hex4()?;
+            if !(0xDC00..0xE000).contains(&second) {
+                return Err(self.err("invalid low surrogate"));
+            }
+            let code = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+            return char::from_u32(code).ok_or_else(|| self.err("invalid surrogate pair"));
+        }
+        char::from_u32(first).ok_or_else(|| self.err("invalid \\u escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_keep_integer_types() {
+        assert_eq!(parse_value("42").unwrap(), Value::U64(42));
+        assert_eq!(parse_value("-42").unwrap(), Value::I64(-42));
+        assert_eq!(parse_value("42.0").unwrap(), Value::F64(42.0));
+        assert_eq!(parse_value("1e3").unwrap(), Value::F64(1000.0));
+    }
+
+    #[test]
+    fn huge_integers_fall_back_to_float() {
+        assert_eq!(parse_value("1e400").unwrap(), Value::F64(f64::INFINITY));
+        // Larger than u64::MAX and i64::MIN: parses as f64.
+        assert!(matches!(
+            parse_value("99999999999999999999999").unwrap(),
+            Value::F64(_)
+        ));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        assert_eq!(
+            parse_value("\"\\ud83d\\ude00\"").unwrap(),
+            Value::Str("😀".to_string())
+        );
+    }
+
+    #[test]
+    fn non_ascii_passthrough() {
+        assert_eq!(
+            parse_value("\"héllo\"").unwrap(),
+            Value::Str("héllo".to_string())
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! JSON text emission.
+
+use serde::Value;
+
+/// Writes `value` as compact JSON (no whitespace).
+pub(crate) fn write_compact(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => write_f64(*x, out),
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(key, out);
+                out.push(':');
+                write_compact(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Writes `value` as pretty JSON: 2-space indent, `": "` after keys.
+pub(crate) fn write_pretty(value: &Value, indent: usize, out: &mut String) {
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(indent + 1, out);
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push(']');
+        }
+        Value::Object(entries) if !entries.is_empty() => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(indent + 1, out);
+                write_string(key, out);
+                out.push_str(": ");
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+fn push_indent(levels: usize, out: &mut String) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+/// Shortest-roundtrip float formatting; non-finite values become `null`.
+fn write_f64(x: f64, out: &mut String) {
+    if !x.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let text = x.to_string();
+    out.push_str(&text);
+    // `Display` omits ".0" for integral floats; keep it so the value reads
+    // back as a float-typed token (matches real serde_json).
+    if !text.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        let mut out = String::new();
+        write_f64(3.0, &mut out);
+        assert_eq!(out, "3.0");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut out = String::new();
+            write_f64(x, &mut out);
+            assert_eq!(out, "null");
+        }
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        let mut out = String::new();
+        write_string("a\"b\\c\n\u{1}", &mut out);
+        assert_eq!(out, "\"a\\\"b\\\\c\\n\\u0001\"");
+    }
+}
