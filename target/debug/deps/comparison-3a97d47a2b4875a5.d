@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/comparison-3a97d47a2b4875a5.d: crates/mtperf/../../tests/comparison.rs
+
+/root/repo/target/debug/deps/comparison-3a97d47a2b4875a5: crates/mtperf/../../tests/comparison.rs
+
+crates/mtperf/../../tests/comparison.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-7a1c2d55b98e7df3.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-7a1c2d55b98e7df3.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-7a1c2d55b98e7df3.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-d843f0992c7811ba.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-d843f0992c7811ba: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-1ff87fc9e452b9b7.d: crates/eval/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-1ff87fc9e452b9b7: crates/eval/tests/determinism.rs
+
+crates/eval/tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/m5_reference-3b0f025d6a160979.d: crates/mtree/tests/m5_reference.rs
+
+/root/repo/target/debug/deps/m5_reference-3b0f025d6a160979: crates/mtree/tests/m5_reference.rs
+
+crates/mtree/tests/m5_reference.rs:

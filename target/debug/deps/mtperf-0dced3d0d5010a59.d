@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mtperf-0dced3d0d5010a59.d: crates/mtperf/src/bin/mtperf.rs
+
+/root/repo/target/debug/deps/mtperf-0dced3d0d5010a59: crates/mtperf/src/bin/mtperf.rs
+
+crates/mtperf/src/bin/mtperf.rs:

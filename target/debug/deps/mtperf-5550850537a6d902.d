@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mtperf-5550850537a6d902.d: crates/mtperf/src/bin/mtperf.rs
+
+/root/repo/target/debug/deps/mtperf-5550850537a6d902: crates/mtperf/src/bin/mtperf.rs
+
+crates/mtperf/src/bin/mtperf.rs:

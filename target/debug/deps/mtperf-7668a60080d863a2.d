@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/mtperf-7668a60080d863a2.d: crates/mtperf/src/lib.rs crates/mtperf/src/cli.rs
+
+/root/repo/target/debug/deps/mtperf-7668a60080d863a2: crates/mtperf/src/lib.rs crates/mtperf/src/cli.rs
+
+crates/mtperf/src/lib.rs:
+crates/mtperf/src/cli.rs:

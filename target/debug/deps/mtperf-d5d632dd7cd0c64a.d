@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mtperf-d5d632dd7cd0c64a.d: crates/mtperf/src/lib.rs crates/mtperf/src/cli.rs
+
+/root/repo/target/debug/deps/libmtperf-d5d632dd7cd0c64a.rlib: crates/mtperf/src/lib.rs crates/mtperf/src/cli.rs
+
+/root/repo/target/debug/deps/libmtperf-d5d632dd7cd0c64a.rmeta: crates/mtperf/src/lib.rs crates/mtperf/src/cli.rs
+
+crates/mtperf/src/lib.rs:
+crates/mtperf/src/cli.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mtperf_baselines-8329b5eb4486d893.d: crates/baselines/src/lib.rs crates/baselines/src/cart.rs crates/baselines/src/ensemble.rs crates/baselines/src/knn.rs crates/baselines/src/linreg.rs crates/baselines/src/mlp.rs crates/baselines/src/scale.rs crates/baselines/src/suite.rs crates/baselines/src/svr.rs
+
+/root/repo/target/debug/deps/libmtperf_baselines-8329b5eb4486d893.rlib: crates/baselines/src/lib.rs crates/baselines/src/cart.rs crates/baselines/src/ensemble.rs crates/baselines/src/knn.rs crates/baselines/src/linreg.rs crates/baselines/src/mlp.rs crates/baselines/src/scale.rs crates/baselines/src/suite.rs crates/baselines/src/svr.rs
+
+/root/repo/target/debug/deps/libmtperf_baselines-8329b5eb4486d893.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cart.rs crates/baselines/src/ensemble.rs crates/baselines/src/knn.rs crates/baselines/src/linreg.rs crates/baselines/src/mlp.rs crates/baselines/src/scale.rs crates/baselines/src/suite.rs crates/baselines/src/svr.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cart.rs:
+crates/baselines/src/ensemble.rs:
+crates/baselines/src/knn.rs:
+crates/baselines/src/linreg.rs:
+crates/baselines/src/mlp.rs:
+crates/baselines/src/scale.rs:
+crates/baselines/src/suite.rs:
+crates/baselines/src/svr.rs:

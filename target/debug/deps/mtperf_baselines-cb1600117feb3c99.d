@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mtperf_baselines-cb1600117feb3c99.d: crates/baselines/src/lib.rs crates/baselines/src/cart.rs crates/baselines/src/ensemble.rs crates/baselines/src/knn.rs crates/baselines/src/linreg.rs crates/baselines/src/mlp.rs crates/baselines/src/scale.rs crates/baselines/src/suite.rs crates/baselines/src/svr.rs
+
+/root/repo/target/debug/deps/mtperf_baselines-cb1600117feb3c99: crates/baselines/src/lib.rs crates/baselines/src/cart.rs crates/baselines/src/ensemble.rs crates/baselines/src/knn.rs crates/baselines/src/linreg.rs crates/baselines/src/mlp.rs crates/baselines/src/scale.rs crates/baselines/src/suite.rs crates/baselines/src/svr.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cart.rs:
+crates/baselines/src/ensemble.rs:
+crates/baselines/src/knn.rs:
+crates/baselines/src/linreg.rs:
+crates/baselines/src/mlp.rs:
+crates/baselines/src/scale.rs:
+crates/baselines/src/suite.rs:
+crates/baselines/src/svr.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mtperf_bench-19cb6e130b89bed2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmtperf_bench-19cb6e130b89bed2.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmtperf_bench-19cb6e130b89bed2.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mtperf_bench-5c3502750ca91f00.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mtperf_bench-5c3502750ca91f00: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

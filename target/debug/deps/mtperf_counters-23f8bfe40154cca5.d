@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mtperf_counters-23f8bfe40154cca5.d: crates/counters/src/lib.rs crates/counters/src/arff.rs crates/counters/src/bank.rs crates/counters/src/csv.rs crates/counters/src/events.rs crates/counters/src/sample.rs crates/counters/src/sampleset.rs
+
+/root/repo/target/debug/deps/libmtperf_counters-23f8bfe40154cca5.rlib: crates/counters/src/lib.rs crates/counters/src/arff.rs crates/counters/src/bank.rs crates/counters/src/csv.rs crates/counters/src/events.rs crates/counters/src/sample.rs crates/counters/src/sampleset.rs
+
+/root/repo/target/debug/deps/libmtperf_counters-23f8bfe40154cca5.rmeta: crates/counters/src/lib.rs crates/counters/src/arff.rs crates/counters/src/bank.rs crates/counters/src/csv.rs crates/counters/src/events.rs crates/counters/src/sample.rs crates/counters/src/sampleset.rs
+
+crates/counters/src/lib.rs:
+crates/counters/src/arff.rs:
+crates/counters/src/bank.rs:
+crates/counters/src/csv.rs:
+crates/counters/src/events.rs:
+crates/counters/src/sample.rs:
+crates/counters/src/sampleset.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mtperf_counters-86e8dff04ac90ad2.d: crates/counters/src/lib.rs crates/counters/src/arff.rs crates/counters/src/bank.rs crates/counters/src/csv.rs crates/counters/src/events.rs crates/counters/src/sample.rs crates/counters/src/sampleset.rs
+
+/root/repo/target/debug/deps/mtperf_counters-86e8dff04ac90ad2: crates/counters/src/lib.rs crates/counters/src/arff.rs crates/counters/src/bank.rs crates/counters/src/csv.rs crates/counters/src/events.rs crates/counters/src/sample.rs crates/counters/src/sampleset.rs
+
+crates/counters/src/lib.rs:
+crates/counters/src/arff.rs:
+crates/counters/src/bank.rs:
+crates/counters/src/csv.rs:
+crates/counters/src/events.rs:
+crates/counters/src/sample.rs:
+crates/counters/src/sampleset.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mtperf_eval-5e1d27d828dbc697.d: crates/eval/src/lib.rs crates/eval/src/breakdown.rs crates/eval/src/curve.rs crates/eval/src/cv.rs crates/eval/src/metrics.rs crates/eval/src/repeat.rs crates/eval/src/report.rs crates/eval/src/significance.rs
+
+/root/repo/target/debug/deps/libmtperf_eval-5e1d27d828dbc697.rlib: crates/eval/src/lib.rs crates/eval/src/breakdown.rs crates/eval/src/curve.rs crates/eval/src/cv.rs crates/eval/src/metrics.rs crates/eval/src/repeat.rs crates/eval/src/report.rs crates/eval/src/significance.rs
+
+/root/repo/target/debug/deps/libmtperf_eval-5e1d27d828dbc697.rmeta: crates/eval/src/lib.rs crates/eval/src/breakdown.rs crates/eval/src/curve.rs crates/eval/src/cv.rs crates/eval/src/metrics.rs crates/eval/src/repeat.rs crates/eval/src/report.rs crates/eval/src/significance.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/breakdown.rs:
+crates/eval/src/curve.rs:
+crates/eval/src/cv.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/repeat.rs:
+crates/eval/src/report.rs:
+crates/eval/src/significance.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mtperf_eval-8fc63f40124e9971.d: crates/eval/src/lib.rs crates/eval/src/breakdown.rs crates/eval/src/curve.rs crates/eval/src/cv.rs crates/eval/src/metrics.rs crates/eval/src/repeat.rs crates/eval/src/report.rs crates/eval/src/significance.rs
+
+/root/repo/target/debug/deps/mtperf_eval-8fc63f40124e9971: crates/eval/src/lib.rs crates/eval/src/breakdown.rs crates/eval/src/curve.rs crates/eval/src/cv.rs crates/eval/src/metrics.rs crates/eval/src/repeat.rs crates/eval/src/report.rs crates/eval/src/significance.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/breakdown.rs:
+crates/eval/src/curve.rs:
+crates/eval/src/cv.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/repeat.rs:
+crates/eval/src/report.rs:
+crates/eval/src/significance.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mtperf_linalg-d78b885e4e6032dd.d: crates/linalg/src/lib.rs crates/linalg/src/error.rs crates/linalg/src/matrix.rs crates/linalg/src/parallel.rs crates/linalg/src/qr.rs crates/linalg/src/solve.rs crates/linalg/src/stats.rs
+
+/root/repo/target/debug/deps/libmtperf_linalg-d78b885e4e6032dd.rlib: crates/linalg/src/lib.rs crates/linalg/src/error.rs crates/linalg/src/matrix.rs crates/linalg/src/parallel.rs crates/linalg/src/qr.rs crates/linalg/src/solve.rs crates/linalg/src/stats.rs
+
+/root/repo/target/debug/deps/libmtperf_linalg-d78b885e4e6032dd.rmeta: crates/linalg/src/lib.rs crates/linalg/src/error.rs crates/linalg/src/matrix.rs crates/linalg/src/parallel.rs crates/linalg/src/qr.rs crates/linalg/src/solve.rs crates/linalg/src/stats.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/error.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/parallel.rs:
+crates/linalg/src/qr.rs:
+crates/linalg/src/solve.rs:
+crates/linalg/src/stats.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/mtperf_mtree-1d8c98d162f04f5c.d: crates/mtree/src/lib.rs crates/mtree/src/analysis.rs crates/mtree/src/build.rs crates/mtree/src/dataset.rs crates/mtree/src/error.rs crates/mtree/src/learner.rs crates/mtree/src/model.rs crates/mtree/src/node.rs crates/mtree/src/params.rs crates/mtree/src/persist.rs crates/mtree/src/phase.rs crates/mtree/src/render.rs crates/mtree/src/rules.rs crates/mtree/src/split.rs crates/mtree/src/tree.rs
+
+/root/repo/target/debug/deps/mtperf_mtree-1d8c98d162f04f5c: crates/mtree/src/lib.rs crates/mtree/src/analysis.rs crates/mtree/src/build.rs crates/mtree/src/dataset.rs crates/mtree/src/error.rs crates/mtree/src/learner.rs crates/mtree/src/model.rs crates/mtree/src/node.rs crates/mtree/src/params.rs crates/mtree/src/persist.rs crates/mtree/src/phase.rs crates/mtree/src/render.rs crates/mtree/src/rules.rs crates/mtree/src/split.rs crates/mtree/src/tree.rs
+
+crates/mtree/src/lib.rs:
+crates/mtree/src/analysis.rs:
+crates/mtree/src/build.rs:
+crates/mtree/src/dataset.rs:
+crates/mtree/src/error.rs:
+crates/mtree/src/learner.rs:
+crates/mtree/src/model.rs:
+crates/mtree/src/node.rs:
+crates/mtree/src/params.rs:
+crates/mtree/src/persist.rs:
+crates/mtree/src/phase.rs:
+crates/mtree/src/render.rs:
+crates/mtree/src/rules.rs:
+crates/mtree/src/split.rs:
+crates/mtree/src/tree.rs:

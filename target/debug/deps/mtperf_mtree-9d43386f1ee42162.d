@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/mtperf_mtree-9d43386f1ee42162.d: crates/mtree/src/lib.rs crates/mtree/src/analysis.rs crates/mtree/src/build.rs crates/mtree/src/dataset.rs crates/mtree/src/error.rs crates/mtree/src/learner.rs crates/mtree/src/model.rs crates/mtree/src/node.rs crates/mtree/src/params.rs crates/mtree/src/persist.rs crates/mtree/src/phase.rs crates/mtree/src/render.rs crates/mtree/src/rules.rs crates/mtree/src/split.rs crates/mtree/src/tree.rs
+
+/root/repo/target/debug/deps/libmtperf_mtree-9d43386f1ee42162.rlib: crates/mtree/src/lib.rs crates/mtree/src/analysis.rs crates/mtree/src/build.rs crates/mtree/src/dataset.rs crates/mtree/src/error.rs crates/mtree/src/learner.rs crates/mtree/src/model.rs crates/mtree/src/node.rs crates/mtree/src/params.rs crates/mtree/src/persist.rs crates/mtree/src/phase.rs crates/mtree/src/render.rs crates/mtree/src/rules.rs crates/mtree/src/split.rs crates/mtree/src/tree.rs
+
+/root/repo/target/debug/deps/libmtperf_mtree-9d43386f1ee42162.rmeta: crates/mtree/src/lib.rs crates/mtree/src/analysis.rs crates/mtree/src/build.rs crates/mtree/src/dataset.rs crates/mtree/src/error.rs crates/mtree/src/learner.rs crates/mtree/src/model.rs crates/mtree/src/node.rs crates/mtree/src/params.rs crates/mtree/src/persist.rs crates/mtree/src/phase.rs crates/mtree/src/render.rs crates/mtree/src/rules.rs crates/mtree/src/split.rs crates/mtree/src/tree.rs
+
+crates/mtree/src/lib.rs:
+crates/mtree/src/analysis.rs:
+crates/mtree/src/build.rs:
+crates/mtree/src/dataset.rs:
+crates/mtree/src/error.rs:
+crates/mtree/src/learner.rs:
+crates/mtree/src/model.rs:
+crates/mtree/src/node.rs:
+crates/mtree/src/params.rs:
+crates/mtree/src/persist.rs:
+crates/mtree/src/phase.rs:
+crates/mtree/src/render.rs:
+crates/mtree/src/rules.rs:
+crates/mtree/src/split.rs:
+crates/mtree/src/tree.rs:

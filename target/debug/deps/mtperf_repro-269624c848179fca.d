@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/mtperf_repro-269624c848179fca.d: crates/repro/src/lib.rs crates/repro/src/context.rs crates/repro/src/experiments/mod.rs crates/repro/src/experiments/ablation.rs crates/repro/src/experiments/breakdown.rs crates/repro/src/experiments/comparison.rs crates/repro/src/experiments/curve.rs crates/repro/src/experiments/events.rs crates/repro/src/experiments/figure1.rs crates/repro/src/experiments/figure2.rs crates/repro/src/experiments/figure3.rs crates/repro/src/experiments/generalize.rs crates/repro/src/experiments/headline.rs crates/repro/src/experiments/interactions.rs crates/repro/src/experiments/lm_analysis.rs crates/repro/src/experiments/netburst.rs crates/repro/src/experiments/occupancy.rs crates/repro/src/experiments/split_impact.rs crates/repro/src/experiments/table1.rs crates/repro/src/experiments/whatif.rs
+
+/root/repo/target/debug/deps/libmtperf_repro-269624c848179fca.rlib: crates/repro/src/lib.rs crates/repro/src/context.rs crates/repro/src/experiments/mod.rs crates/repro/src/experiments/ablation.rs crates/repro/src/experiments/breakdown.rs crates/repro/src/experiments/comparison.rs crates/repro/src/experiments/curve.rs crates/repro/src/experiments/events.rs crates/repro/src/experiments/figure1.rs crates/repro/src/experiments/figure2.rs crates/repro/src/experiments/figure3.rs crates/repro/src/experiments/generalize.rs crates/repro/src/experiments/headline.rs crates/repro/src/experiments/interactions.rs crates/repro/src/experiments/lm_analysis.rs crates/repro/src/experiments/netburst.rs crates/repro/src/experiments/occupancy.rs crates/repro/src/experiments/split_impact.rs crates/repro/src/experiments/table1.rs crates/repro/src/experiments/whatif.rs
+
+/root/repo/target/debug/deps/libmtperf_repro-269624c848179fca.rmeta: crates/repro/src/lib.rs crates/repro/src/context.rs crates/repro/src/experiments/mod.rs crates/repro/src/experiments/ablation.rs crates/repro/src/experiments/breakdown.rs crates/repro/src/experiments/comparison.rs crates/repro/src/experiments/curve.rs crates/repro/src/experiments/events.rs crates/repro/src/experiments/figure1.rs crates/repro/src/experiments/figure2.rs crates/repro/src/experiments/figure3.rs crates/repro/src/experiments/generalize.rs crates/repro/src/experiments/headline.rs crates/repro/src/experiments/interactions.rs crates/repro/src/experiments/lm_analysis.rs crates/repro/src/experiments/netburst.rs crates/repro/src/experiments/occupancy.rs crates/repro/src/experiments/split_impact.rs crates/repro/src/experiments/table1.rs crates/repro/src/experiments/whatif.rs
+
+crates/repro/src/lib.rs:
+crates/repro/src/context.rs:
+crates/repro/src/experiments/mod.rs:
+crates/repro/src/experiments/ablation.rs:
+crates/repro/src/experiments/breakdown.rs:
+crates/repro/src/experiments/comparison.rs:
+crates/repro/src/experiments/curve.rs:
+crates/repro/src/experiments/events.rs:
+crates/repro/src/experiments/figure1.rs:
+crates/repro/src/experiments/figure2.rs:
+crates/repro/src/experiments/figure3.rs:
+crates/repro/src/experiments/generalize.rs:
+crates/repro/src/experiments/headline.rs:
+crates/repro/src/experiments/interactions.rs:
+crates/repro/src/experiments/lm_analysis.rs:
+crates/repro/src/experiments/netburst.rs:
+crates/repro/src/experiments/occupancy.rs:
+crates/repro/src/experiments/split_impact.rs:
+crates/repro/src/experiments/table1.rs:
+crates/repro/src/experiments/whatif.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mtperf_repro-85f18d6a23c34a21.d: crates/repro/src/main.rs
+
+/root/repo/target/debug/deps/mtperf_repro-85f18d6a23c34a21: crates/repro/src/main.rs
+
+crates/repro/src/main.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/mtperf_sim-cad2fc4fb7185184.d: crates/sim/src/lib.rs crates/sim/src/branch.rs crates/sim/src/btb.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/cycle.rs crates/sim/src/instr.rs crates/sim/src/loadblock.rs crates/sim/src/memory.rs crates/sim/src/sim.rs crates/sim/src/tlb.rs crates/sim/src/workload/mod.rs crates/sim/src/workload/gen.rs crates/sim/src/workload/profiles.rs crates/sim/src/workload/spec.rs
+
+/root/repo/target/debug/deps/mtperf_sim-cad2fc4fb7185184: crates/sim/src/lib.rs crates/sim/src/branch.rs crates/sim/src/btb.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/cycle.rs crates/sim/src/instr.rs crates/sim/src/loadblock.rs crates/sim/src/memory.rs crates/sim/src/sim.rs crates/sim/src/tlb.rs crates/sim/src/workload/mod.rs crates/sim/src/workload/gen.rs crates/sim/src/workload/profiles.rs crates/sim/src/workload/spec.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/branch.rs:
+crates/sim/src/btb.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/config.rs:
+crates/sim/src/cycle.rs:
+crates/sim/src/instr.rs:
+crates/sim/src/loadblock.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/tlb.rs:
+crates/sim/src/workload/mod.rs:
+crates/sim/src/workload/gen.rs:
+crates/sim/src/workload/profiles.rs:
+crates/sim/src/workload/spec.rs:

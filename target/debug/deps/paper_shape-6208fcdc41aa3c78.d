@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shape-6208fcdc41aa3c78.d: crates/mtperf/../../tests/paper_shape.rs
+
+/root/repo/target/debug/deps/paper_shape-6208fcdc41aa3c78: crates/mtperf/../../tests/paper_shape.rs
+
+crates/mtperf/../../tests/paper_shape.rs:

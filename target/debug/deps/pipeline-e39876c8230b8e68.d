@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-e39876c8230b8e68.d: crates/mtperf/../../tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-e39876c8230b8e68: crates/mtperf/../../tests/pipeline.rs
+
+crates/mtperf/../../tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_counters-a069dfc912aca85d.d: crates/counters/tests/prop_counters.rs
+
+/root/repo/target/debug/deps/prop_counters-a069dfc912aca85d: crates/counters/tests/prop_counters.rs
+
+crates/counters/tests/prop_counters.rs:

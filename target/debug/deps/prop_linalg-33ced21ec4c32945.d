@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_linalg-33ced21ec4c32945.d: crates/linalg/tests/prop_linalg.rs
+
+/root/repo/target/debug/deps/prop_linalg-33ced21ec4c32945: crates/linalg/tests/prop_linalg.rs
+
+crates/linalg/tests/prop_linalg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_mtree-0d72f038d603713a.d: crates/mtree/tests/prop_mtree.rs
+
+/root/repo/target/debug/deps/prop_mtree-0d72f038d603713a: crates/mtree/tests/prop_mtree.rs
+
+crates/mtree/tests/prop_mtree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_sim-408fe49f586d87da.d: crates/sim/tests/prop_sim.rs
+
+/root/repo/target/debug/deps/prop_sim-408fe49f586d87da: crates/sim/tests/prop_sim.rs
+
+crates/sim/tests/prop_sim.rs:

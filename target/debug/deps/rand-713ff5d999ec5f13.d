@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rand-713ff5d999ec5f13.d: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/distributions.rs vendor/rand/src/uniform.rs
+
+/root/repo/target/debug/deps/rand-713ff5d999ec5f13: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/distributions.rs vendor/rand/src/uniform.rs
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/rngs.rs:
+vendor/rand/src/distributions.rs:
+vendor/rand/src/uniform.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rand-857f4df858308a93.d: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/distributions.rs vendor/rand/src/uniform.rs
+
+/root/repo/target/debug/deps/librand-857f4df858308a93.rlib: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/distributions.rs vendor/rand/src/uniform.rs
+
+/root/repo/target/debug/deps/librand-857f4df858308a93.rmeta: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/distributions.rs vendor/rand/src/uniform.rs
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/rngs.rs:
+vendor/rand/src/distributions.rs:
+vendor/rand/src/uniform.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-91ecccb81104327e.d: vendor/serde/src/lib.rs vendor/serde/src/de.rs vendor/serde/src/value.rs
+
+/root/repo/target/debug/deps/libserde-91ecccb81104327e.rlib: vendor/serde/src/lib.rs vendor/serde/src/de.rs vendor/serde/src/value.rs
+
+/root/repo/target/debug/deps/libserde-91ecccb81104327e.rmeta: vendor/serde/src/lib.rs vendor/serde/src/de.rs vendor/serde/src/value.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/de.rs:
+vendor/serde/src/value.rs:

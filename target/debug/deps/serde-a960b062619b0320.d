@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-a960b062619b0320.d: vendor/serde/src/lib.rs vendor/serde/src/de.rs vendor/serde/src/value.rs
+
+/root/repo/target/debug/deps/serde-a960b062619b0320: vendor/serde/src/lib.rs vendor/serde/src/de.rs vendor/serde/src/value.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/de.rs:
+vendor/serde/src/value.rs:

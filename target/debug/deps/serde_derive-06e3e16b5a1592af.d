@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-06e3e16b5a1592af.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-06e3e16b5a1592af: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-e0ecb86de0ef6fee.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-e0ecb86de0ef6fee.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_json-994df22e8e1fd29d.d: vendor/serde_json/src/lib.rs vendor/serde_json/src/read.rs vendor/serde_json/src/write.rs
+
+/root/repo/target/debug/deps/libserde_json-994df22e8e1fd29d.rlib: vendor/serde_json/src/lib.rs vendor/serde_json/src/read.rs vendor/serde_json/src/write.rs
+
+/root/repo/target/debug/deps/libserde_json-994df22e8e1fd29d.rmeta: vendor/serde_json/src/lib.rs vendor/serde_json/src/read.rs vendor/serde_json/src/write.rs
+
+vendor/serde_json/src/lib.rs:
+vendor/serde_json/src/read.rs:
+vendor/serde_json/src/write.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-d111cc61d7ebd134.d: vendor/serde_json/src/lib.rs vendor/serde_json/src/read.rs vendor/serde_json/src/write.rs
+
+/root/repo/target/debug/deps/serde_json-d111cc61d7ebd134: vendor/serde_json/src/lib.rs vendor/serde_json/src/read.rs vendor/serde_json/src/write.rs
+
+vendor/serde_json/src/lib.rs:
+vendor/serde_json/src/read.rs:
+vendor/serde_json/src/write.rs:

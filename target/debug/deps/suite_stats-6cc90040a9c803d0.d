@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/suite_stats-6cc90040a9c803d0.d: crates/sim/tests/suite_stats.rs
+
+/root/repo/target/debug/deps/suite_stats-6cc90040a9c803d0: crates/sim/tests/suite_stats.rs
+
+crates/sim/tests/suite_stats.rs:

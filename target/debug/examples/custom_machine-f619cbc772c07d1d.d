@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_machine-f619cbc772c07d1d.d: crates/mtperf/../../examples/custom_machine.rs
+
+/root/repo/target/debug/examples/custom_machine-f619cbc772c07d1d: crates/mtperf/../../examples/custom_machine.rs
+
+crates/mtperf/../../examples/custom_machine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/phase_detection-057e9f0d18914bb7.d: crates/mtperf/../../examples/phase_detection.rs
+
+/root/repo/target/debug/examples/phase_detection-057e9f0d18914bb7: crates/mtperf/../../examples/phase_detection.rs
+
+crates/mtperf/../../examples/phase_detection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-05273a567383c389.d: crates/mtperf/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-05273a567383c389: crates/mtperf/../../examples/quickstart.rs
+
+crates/mtperf/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rule_report-4dad23e0ae166a03.d: crates/mtperf/../../examples/rule_report.rs
+
+/root/repo/target/debug/examples/rule_report-4dad23e0ae166a03: crates/mtperf/../../examples/rule_report.rs
+
+crates/mtperf/../../examples/rule_report.rs:

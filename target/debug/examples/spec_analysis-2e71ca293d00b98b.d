@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spec_analysis-2e71ca293d00b98b.d: crates/mtperf/../../examples/spec_analysis.rs
+
+/root/repo/target/debug/examples/spec_analysis-2e71ca293d00b98b: crates/mtperf/../../examples/spec_analysis.rs
+
+crates/mtperf/../../examples/spec_analysis.rs:

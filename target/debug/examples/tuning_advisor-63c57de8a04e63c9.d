@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tuning_advisor-63c57de8a04e63c9.d: crates/mtperf/../../examples/tuning_advisor.rs
+
+/root/repo/target/debug/examples/tuning_advisor-63c57de8a04e63c9: crates/mtperf/../../examples/tuning_advisor.rs
+
+crates/mtperf/../../examples/tuning_advisor.rs:
