@@ -4,10 +4,11 @@
 //! study's black boxes (ANN, SVM) plus the simpler yardsticks (global OLS,
 //! CART, k-NN). [`standard_suite`] builds exactly that line-up;
 //! [`train_suite`] fits every member concurrently via the workspace's
-//! deterministic [`par_map`] — each learner trains on its own thread, and
-//! results come back in suite order regardless of thread count.
+//! deterministic [`try_par_map`] — each learner trains on its own thread,
+//! panic-isolated, and results come back in suite order regardless of
+//! thread count.
 
-use mtperf_linalg::parallel::{par_map, Parallelism};
+use mtperf_linalg::parallel::{try_par_map, Parallelism};
 use mtperf_mtree::{Dataset, Learner, M5Learner, M5Params, MtreeError, Predictor};
 
 use crate::{CartLearner, GlobalLinear, KnnLearner, MlpLearner, SvrLearner};
@@ -35,18 +36,21 @@ pub fn standard_suite(params: &M5Params) -> Vec<Box<dyn Learner>> {
 ///
 /// # Errors
 ///
-/// Propagates the first learner failure (in suite order).
+/// Propagates the first learner failure (in suite order); a learner that
+/// panics mid-fit surfaces as [`MtreeError::Linalg`] (worker panic) instead
+/// of unwinding through the caller.
 #[allow(clippy::type_complexity)]
 pub fn train_suite(
     learners: &[Box<dyn Learner>],
     data: &Dataset,
     par: Parallelism,
 ) -> Result<Vec<(String, Box<dyn Predictor>)>, MtreeError> {
-    par_map(par, learners, 1, |learner| {
+    try_par_map(par, learners, 1, |learner| {
         learner
             .fit(data)
             .map(|model| (learner.name().to_string(), model))
     })
+    .map_err(MtreeError::from)?
     .into_iter()
     .collect()
 }

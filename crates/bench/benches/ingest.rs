@@ -1,0 +1,50 @@
+//! Ingestion cost across policies: strict parse vs. quarantine (skip) vs.
+//! median-imputation repair, on clean and corrupted CSV text.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mtperf_bench::suite_samples;
+use mtperf_counters::faultinject::{FaultInjector, FaultOp};
+use mtperf_counters::{read_csv_with_policy, write_csv, IngestPolicy};
+
+const INSTRUCTIONS: u64 = 100_000;
+
+fn bench_ingest(c: &mut Criterion) {
+    let samples = suite_samples(INSTRUCTIONS);
+    let mut buf = Vec::new();
+    write_csv(&samples, &mut buf).unwrap();
+    let clean = String::from_utf8(buf).unwrap();
+
+    let mut inj = FaultInjector::new(11);
+    let mut corrupt = clean.clone();
+    for op in [
+        FaultOp::FlipNonFinite(8),
+        FaultOp::SaturateCounters(8),
+        FaultOp::TruncateFields(8),
+    ] {
+        corrupt = inj.apply(op, &corrupt).text;
+    }
+
+    let mut group = c.benchmark_group("ingest");
+    for policy in [
+        IngestPolicy::Strict,
+        IngestPolicy::Skip,
+        IngestPolicy::Repair,
+    ] {
+        group.bench_function(format!("clean/{policy}"), |b| {
+            b.iter(|| read_csv_with_policy(black_box(clean.as_bytes()), policy).unwrap());
+        });
+    }
+    // Strict rejects the corrupted text, so only the tolerant policies are
+    // meaningful there.
+    for policy in [IngestPolicy::Skip, IngestPolicy::Repair] {
+        group.bench_function(format!("corrupt/{policy}"), |b| {
+            b.iter(|| read_csv_with_policy(black_box(corrupt.as_bytes()), policy).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

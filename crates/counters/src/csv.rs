@@ -69,7 +69,7 @@ impl From<io::Error> for CsvError {
 }
 
 /// The fixed header row of the sample CSV schema.
-fn header() -> String {
+pub(crate) fn header() -> String {
     let mut h = String::from("workload,section,CPI");
     for e in Event::iter() {
         h.push(',');

@@ -14,7 +14,13 @@
 //!   into *sections* of equal retired-instruction counts and each section is
 //!   reduced to per-instruction event rates plus its CPI;
 //! * [`SectionSample`] / [`SampleSet`] — the resulting dataset rows, with
-//!   summary statistics and CSV import/export.
+//!   summary statistics and CSV import/export;
+//! * [`quality`] — fault-tolerant ingestion: [`IngestPolicy`]
+//!   (strict / skip / repair), quarantine with per-row diagnostics, median
+//!   imputation and winsorization, all accounted for in an
+//!   [`IngestReport`];
+//! * [`faultinject`] — deterministic, seed-driven corruption operators for
+//!   property-testing the ingest path.
 //!
 //! # Example
 //!
@@ -43,6 +49,8 @@ mod arff;
 mod bank;
 mod csv;
 mod events;
+pub mod faultinject;
+pub mod quality;
 mod sample;
 mod sampleset;
 
@@ -50,5 +58,6 @@ pub use arff::write_arff;
 pub use bank::{CounterBank, Sectioner};
 pub use csv::{read_csv, write_csv, CsvError};
 pub use events::{Event, EventParseError, N_EVENTS};
+pub use quality::{read_csv_with_policy, IngestPolicy, IngestReport};
 pub use sample::SectionSample;
 pub use sampleset::{EventSummary, SampleSet};

@@ -1,0 +1,194 @@
+//! Property-based tests for fault-tolerant ingestion: serialize a clean
+//! sample set, corrupt it with a seeded [`FaultInjector`], and check that
+//! every [`IngestPolicy`] reacts exactly as documented — strict names the
+//! first corrupted line, skip quarantines precisely the corrupted lines,
+//! repair accounts for every touched line and never panics.
+
+use std::collections::BTreeSet;
+
+use mtperf_counters::faultinject::{FaultInjector, FaultOp};
+use mtperf_counters::{
+    read_csv, read_csv_with_policy, write_csv, CsvError, IngestPolicy, SampleSet, SectionSample,
+    N_EVENTS,
+};
+use proptest::prelude::*;
+
+/// Strategy: a clean sample set with *unique* `(workload, section)` keys.
+///
+/// Three workloads, sequential section indices. Group sizes stay below the
+/// winsorization threshold, so repair mode never touches uncorrupted rows.
+fn clean_set() -> impl Strategy<Value = SampleSet> {
+    prop::collection::vec(
+        (0.1..10.0f64, prop::collection::vec(0.0..0.5f64, N_EVENTS)),
+        1..21,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, (cpi, rates))| {
+                let mut arr = [0.0; N_EVENTS];
+                arr.copy_from_slice(&rates);
+                SectionSample::new(format!("w{}", i % 3), i, cpi, arr)
+            })
+            .collect()
+    })
+}
+
+fn to_csv(set: &SampleSet) -> String {
+    let mut buf = Vec::new();
+    write_csv(set, &mut buf).unwrap();
+    String::from_utf8(buf).unwrap()
+}
+
+/// Operators whose damage strict mode must reject (malformed fields).
+fn malforming_op(k: usize) -> impl Strategy<Value = FaultOp> {
+    prop_oneof![
+        Just(FaultOp::TruncateFields(k)),
+        Just(FaultOp::FlipNonFinite(k)),
+    ]
+}
+
+/// Operators that keep every row parseable (strict mode still accepts).
+fn benign_op(k: usize) -> impl Strategy<Value = FaultOp> {
+    prop_oneof![
+        Just(FaultOp::DropRows(k)),
+        Just(FaultOp::SaturateCounters(k)),
+        Just(FaultOp::DuplicateSections(k)),
+    ]
+}
+
+fn any_op(k: usize) -> impl Strategy<Value = FaultOp> {
+    prop_oneof![malforming_op(k), benign_op(k)]
+}
+
+proptest! {
+    /// All three policies agree bit-for-bit on clean data and report no
+    /// quarantines or repairs.
+    #[test]
+    fn policies_agree_on_clean_data(set in clean_set()) {
+        let csv = to_csv(&set);
+        let strict = read_csv(csv.as_bytes()).unwrap();
+        for policy in [IngestPolicy::Strict, IngestPolicy::Skip, IngestPolicy::Repair] {
+            let (got, report) = read_csv_with_policy(csv.as_bytes(), policy).unwrap();
+            prop_assert_eq!(&got, &strict);
+            prop_assert!(report.is_clean(), "{}", report);
+            prop_assert_eq!(report.rows_kept, set.len());
+        }
+    }
+
+    /// Strict mode fails on the *first* corrupted line, by exact number.
+    #[test]
+    fn strict_names_first_corrupt_line(
+        set in clean_set(),
+        op in malforming_op(3),
+        seed in 0u64..1_000,
+    ) {
+        let corrupted = FaultInjector::new(seed).apply(op, &to_csv(&set));
+        prop_assert!(!corrupted.lines.is_empty());
+        let err = read_csv(corrupted.text.as_bytes()).unwrap_err();
+        match err {
+            CsvError::BadRow { line, .. } => {
+                prop_assert_eq!(line, corrupted.lines[0], "{:?}", op)
+            }
+            other => prop_assert!(false, "expected BadRow, got {other}"),
+        }
+    }
+
+    /// Row drops, counter saturation and duplicated sections leave every
+    /// line parseable, so strict mode still accepts the file.
+    #[test]
+    fn strict_accepts_benign_corruption(
+        set in clean_set(),
+        op in benign_op(3),
+        seed in 0u64..1_000,
+    ) {
+        let corrupted = FaultInjector::new(seed).apply(op, &to_csv(&set));
+        prop_assert!(read_csv(corrupted.text.as_bytes()).is_ok(), "{:?}", op);
+    }
+
+    /// Skip mode quarantines exactly the corrupted lines — no more, no less
+    /// — and keeps every clean row bit-identical.
+    #[test]
+    fn skip_quarantines_exactly_corrupted_lines(
+        set in clean_set(),
+        op in prop_oneof![
+            Just(FaultOp::TruncateFields(3)),
+            Just(FaultOp::FlipNonFinite(3)),
+            Just(FaultOp::SaturateCounters(3)),
+            Just(FaultOp::DuplicateSections(3)),
+        ],
+        seed in 0u64..1_000,
+    ) {
+        let corrupted = FaultInjector::new(seed).apply(op, &to_csv(&set));
+        let (kept, report) =
+            read_csv_with_policy(corrupted.text.as_bytes(), IngestPolicy::Skip).unwrap();
+
+        let quarantined: BTreeSet<usize> = report.quarantined.iter().map(|q| q.line).collect();
+        let expected: BTreeSet<usize> = corrupted.lines.iter().copied().collect();
+        prop_assert_eq!(&quarantined, &expected, "{:?}", op);
+        prop_assert_eq!(report.rows_kept + report.rows_quarantined(), report.rows_read);
+        prop_assert!(report.repairs.is_empty());
+
+        // Every surviving row is an original row, unmodified.
+        for s in kept.iter() {
+            prop_assert!(set.iter().any(|o| o == s));
+        }
+        // Duplication damage only removes the copies: the originals survive.
+        if matches!(op, FaultOp::DuplicateSections(_)) {
+            prop_assert_eq!(&kept, &set);
+        }
+    }
+
+    /// Repair mode never panics, never loses accounting, and every
+    /// corrupted line ends up either quarantined or repaired.
+    #[test]
+    fn repair_accounts_for_every_corrupted_line(
+        set in clean_set(),
+        op in any_op(3),
+        seed in 0u64..1_000,
+    ) {
+        let corrupted = FaultInjector::new(seed).apply(op, &to_csv(&set));
+        let (kept, report) =
+            read_csv_with_policy(corrupted.text.as_bytes(), IngestPolicy::Repair).unwrap();
+
+        prop_assert_eq!(report.rows_kept + report.rows_quarantined(), report.rows_read);
+        prop_assert_eq!(report.rows_kept, kept.len());
+        let touched: BTreeSet<usize> = report
+            .quarantined
+            .iter()
+            .map(|q| q.line)
+            .chain(report.repairs.iter().map(|r| r.line))
+            .collect();
+        for &line in &corrupted.lines {
+            prop_assert!(touched.contains(&line), "{:?}: line {line} untouched", op);
+        }
+        // Whatever survives is fully finite and in range.
+        for s in kept.iter() {
+            prop_assert!(s.cpi.is_finite());
+            prop_assert!(s.as_row().iter().all(|r| r.is_finite() && *r >= 0.0));
+        }
+    }
+
+    /// Compositions of faults (applied back to back from one injector)
+    /// never panic any policy; skip and repair always return a report whose
+    /// arithmetic adds up.
+    #[test]
+    fn fault_composition_never_panics(
+        set in clean_set(),
+        ops in prop::collection::vec(any_op(2), 1..4),
+        seed in 0u64..1_000,
+    ) {
+        let mut inj = FaultInjector::new(seed);
+        let mut text = to_csv(&set);
+        for &op in &ops {
+            text = inj.apply(op, &text).text;
+        }
+        // Strict may accept or reject, but must not panic.
+        let _ = read_csv(text.as_bytes());
+        for policy in [IngestPolicy::Skip, IngestPolicy::Repair] {
+            let (kept, report) = read_csv_with_policy(text.as_bytes(), policy).unwrap();
+            prop_assert_eq!(report.rows_kept, kept.len());
+            prop_assert_eq!(report.rows_kept + report.rows_quarantined(), report.rows_read);
+        }
+    }
+}

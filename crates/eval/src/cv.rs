@@ -4,7 +4,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use mtperf_linalg::parallel::{self, par_map, Parallelism};
+use mtperf_linalg::parallel::{self, try_par_map, Parallelism};
 use mtperf_mtree::{Dataset, Learner, MtreeError};
 
 use crate::Metrics;
@@ -77,11 +77,15 @@ pub fn cross_validate(
 ///
 /// Folds train concurrently (each on its own training subset) and results
 /// merge in fold order, so the returned [`CvResult`] is bit-identical to the
-/// serial run at any [`Parallelism`] setting.
+/// serial run at any [`Parallelism`] setting. Fold workers are
+/// panic-isolated: a learner that panics on some fold surfaces as
+/// [`MtreeError::Linalg`] (worker panic) instead of unwinding through the
+/// caller or aborting sibling folds.
 ///
 /// # Errors
 ///
-/// Same as [`cross_validate`].
+/// Same as [`cross_validate`], plus a structured error when a fold worker
+/// panics.
 pub fn cross_validate_with(
     learner: &dyn Learner,
     data: &Dataset,
@@ -97,7 +101,7 @@ pub fn cross_validate_with(
     }
     let order = shuffled_indices(n, seed);
     let fold_ids: Vec<usize> = (0..k).collect();
-    let folds = par_map(
+    let folds = try_par_map(
         par,
         &fold_ids,
         1,
@@ -125,7 +129,8 @@ pub fn cross_validate_with(
                 predicted,
             })
         },
-    );
+    )
+    .map_err(MtreeError::from)?;
     let folds = folds.into_iter().collect::<Result<Vec<_>, _>>()?;
     let aggregate = Metrics::aggregate(&folds.iter().map(|f| f.metrics).collect::<Vec<_>>());
     let (all_a, all_p): (Vec<f64>, Vec<f64>) = folds

@@ -5,7 +5,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use mtperf_linalg::parallel::{self, par_map, Parallelism};
+use mtperf_linalg::parallel::{self, try_par_map, Parallelism};
 use mtperf_linalg::stats;
 use mtperf_mtree::{Dataset, Learner, MtreeError};
 
@@ -80,9 +80,10 @@ pub fn repeated_cv_with(
         return Err(MtreeError::BadParams("repeats must be >= 1".into()));
     }
     let seeds: Vec<u64> = (0..repeats).map(|r| seed + r as u64).collect();
-    let metrics = par_map(par, &seeds, 1, |&s| {
+    let metrics = try_par_map(par, &seeds, 1, |&s| {
         cross_validate_with(learner, data, k, s, par).map(|cv| cv.pooled)
     })
+    .map_err(MtreeError::from)?
     .into_iter()
     .collect::<Result<Vec<_>, _>>()?;
     let corr: Vec<f64> = metrics.iter().map(|m| m.correlation).collect();

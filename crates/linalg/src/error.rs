@@ -26,6 +26,17 @@ pub enum LinalgError {
     },
     /// An operation that requires a non-empty matrix was given an empty one.
     Empty,
+    /// A worker closure passed to [`crate::parallel::try_par_map`] panicked.
+    ///
+    /// The panic was caught and isolated: sibling workers finished (or were
+    /// abandoned) cleanly and the process keeps running.
+    WorkerPanic {
+        /// Input-order index of the first item whose closure panicked.
+        index: usize,
+        /// The panic payload rendered as text (`"..."` for non-string
+        /// payloads).
+        message: String,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -41,6 +52,9 @@ impl fmt::Display for LinalgError {
                 write!(f, "ragged rows: expected length {expected}, found {found}")
             }
             LinalgError::Empty => write!(f, "operation requires a non-empty matrix"),
+            LinalgError::WorkerPanic { index, message } => {
+                write!(f, "parallel worker panicked on item {index}: {message}")
+            }
         }
     }
 }
@@ -67,6 +81,15 @@ mod tests {
             LinalgError::Singular.to_string(),
             "matrix is singular to working precision"
         );
+    }
+
+    #[test]
+    fn display_worker_panic() {
+        let err = LinalgError::WorkerPanic {
+            index: 4,
+            message: "boom".into(),
+        };
+        assert_eq!(err.to_string(), "parallel worker panicked on item 4: boom");
     }
 
     #[test]

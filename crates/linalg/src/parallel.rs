@@ -12,6 +12,15 @@
 //! bit-identical results at any [`Parallelism`] setting — the property the
 //! split search, cross validation, and baseline suite rely on.
 //!
+//! # Panic isolation
+//!
+//! Worker closures run under [`std::panic::catch_unwind`], so a panicking
+//! item never tears down the process or poisons sibling workers. [`par_map`]
+//! re-raises the first panic (lowest input index) on the calling thread for
+//! backward compatibility; [`try_par_map`] surfaces it as a structured
+//! [`crate::LinalgError::WorkerPanic`] instead, which is what the training
+//! and evaluation pipelines use.
+//!
 //! # Example
 //!
 //! ```
@@ -21,10 +30,14 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16]);
 //! ```
 
+use std::any::Any;
 use std::cell::Cell;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::str::FromStr;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::error::LinalgError;
 
 /// How many worker threads parallel sections may use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -110,18 +123,36 @@ thread_local! {
     static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
 }
 
-/// Maps `f` over `items`, possibly on multiple threads, preserving input
-/// order in the result.
-///
-/// Items are split into at most `threads` contiguous chunks of at least
-/// `min_chunk` items each, so small inputs stay on one thread and avoid
-/// spawn overhead. Results are concatenated chunk by chunk: element `i` of
-/// the return value is always `f(&items[i])`.
-///
-/// # Panics
-///
-/// Propagates the first worker panic to the caller.
-pub fn par_map<T, R, F>(par: Parallelism, items: &[T], min_chunk: usize, f: F) -> Vec<R>
+/// The first caught worker panic: the input-order index of the item whose
+/// closure panicked, plus the original panic payload.
+struct FirstPanic {
+    index: usize,
+    payload: Box<dyn Any + Send + 'static>,
+}
+
+impl FirstPanic {
+    /// Renders the payload as text the way the default panic hook does.
+    fn message(&self) -> String {
+        if let Some(s) = self.payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = self.payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    }
+}
+
+/// Shared engine behind [`par_map`] and [`try_par_map`]: every closure call
+/// runs under [`catch_unwind`], so a panicking worker never tears down its
+/// thread — the chunk stops, siblings finish, and the lowest-index panic is
+/// reported to the caller as a value.
+fn par_map_core<T, R, F>(
+    par: Parallelism,
+    items: &[T],
+    min_chunk: usize,
+    f: F,
+) -> Result<Vec<R>, FirstPanic>
 where
     T: Sync,
     R: Send,
@@ -136,46 +167,153 @@ where
         }
         .max(1),
     );
+
+    // Runs one contiguous chunk, catching the first panic. `offset` is the
+    // chunk's position in `items`, so panic indices are input-order global.
+    let run_chunk = |chunk: &[T], offset: usize| -> Result<Vec<R>, FirstPanic> {
+        let mut out = Vec::with_capacity(chunk.len());
+        for (i, item) in chunk.iter().enumerate() {
+            match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                Ok(r) => out.push(r),
+                Err(payload) => {
+                    return Err(FirstPanic {
+                        index: offset + i,
+                        payload,
+                    })
+                }
+            }
+        }
+        Ok(out)
+    };
+
     if threads <= 1 || n <= 1 || IN_PARALLEL.with(Cell::get) {
-        return items.iter().map(f).collect();
+        return run_chunk(items, 0);
     }
 
     // Contiguous near-equal chunks; the first `rem` chunks get one extra.
     let base = n / threads;
     let rem = n % threads;
-    let mut chunks: Vec<&[T]> = Vec::with_capacity(threads);
+    let mut chunks: Vec<(&[T], usize)> = Vec::with_capacity(threads);
     let mut start = 0;
     for t in 0..threads {
         let len = base + usize::from(t < rem);
-        chunks.push(&items[start..start + len]);
+        chunks.push((&items[start..start + len], start));
         start += len;
     }
     debug_assert_eq!(start, n);
 
-    let run_chunk = |chunk: &[T]| -> Vec<R> {
+    let run_chunk_flagged = |chunk: &[T], offset: usize| -> Result<Vec<R>, FirstPanic> {
         IN_PARALLEL.with(|flag| flag.set(true));
-        let out = chunk.iter().map(&f).collect();
+        let out = run_chunk(chunk, offset);
         IN_PARALLEL.with(|flag| flag.set(false));
         out
     };
 
-    let mut results: Vec<Vec<R>> = Vec::with_capacity(threads);
+    let mut per_chunk: Vec<Result<Vec<R>, FirstPanic>> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
             .skip(1)
-            .map(|chunk| scope.spawn(|| run_chunk(chunk)))
+            .map(|(chunk, offset)| scope.spawn(|| run_chunk_flagged(chunk, *offset)))
             .collect();
         // The calling thread works the first chunk instead of idling.
-        results.push(run_chunk(chunks[0]));
+        per_chunk.push(run_chunk_flagged(chunks[0].0, chunks[0].1));
         for handle in handles {
-            match handle.join() {
-                Ok(chunk_results) => results.push(chunk_results),
-                Err(panic) => std::panic::resume_unwind(panic),
-            }
+            // Workers catch their own panics, so join only fails if the
+            // panic machinery itself panicked; treat that as item 0's panic.
+            per_chunk.push(
+                handle
+                    .join()
+                    .unwrap_or_else(|payload| Err(FirstPanic { index: 0, payload })),
+            );
         }
     });
-    results.into_iter().flatten().collect()
+
+    // Deterministic error choice: the panic with the lowest input index wins,
+    // regardless of which thread finished first.
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(threads);
+    let mut first: Option<FirstPanic> = None;
+    for chunk in per_chunk {
+        match chunk {
+            Ok(rs) => results.push(rs),
+            Err(p) => {
+                if first.as_ref().is_none_or(|f| p.index < f.index) {
+                    first = Some(p);
+                }
+            }
+        }
+    }
+    match first {
+        Some(p) => Err(p),
+        None => Ok(results.into_iter().flatten().collect()),
+    }
+}
+
+/// Maps `f` over `items`, possibly on multiple threads, preserving input
+/// order in the result.
+///
+/// Items are split into at most `threads` contiguous chunks of at least
+/// `min_chunk` items each, so small inputs stay on one thread and avoid
+/// spawn overhead. Results are concatenated chunk by chunk: element `i` of
+/// the return value is always `f(&items[i])`.
+///
+/// # Panics
+///
+/// Re-raises the first worker panic (lowest input index) on the calling
+/// thread. Use [`try_par_map`] to receive it as a [`LinalgError`] instead.
+pub fn par_map<T, R, F>(par: Parallelism, items: &[T], min_chunk: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    match par_map_core(par, items, min_chunk, f) {
+        Ok(results) => results,
+        Err(p) => std::panic::resume_unwind(p.payload),
+    }
+}
+
+/// Panic-isolated [`par_map`]: identical output for non-failing runs (bit
+/// for bit, at any thread count), but a panicking worker closure surfaces as
+/// [`LinalgError::WorkerPanic`] instead of unwinding through the caller.
+///
+/// The reported index is deterministic — the lowest input-order index whose
+/// closure panicked among the panics observed — so retries and error
+/// messages are stable across thread counts and scheduling.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::WorkerPanic`] when any worker closure panics.
+///
+/// # Example
+///
+/// ```
+/// use mtperf_linalg::parallel::{try_par_map, Parallelism};
+///
+/// let ok = try_par_map(Parallelism::Fixed(2), &[1, 2, 3], 1, |&x| x * x);
+/// assert_eq!(ok.unwrap(), vec![1, 4, 9]);
+///
+/// let err = try_par_map(Parallelism::Fixed(2), &[1, 2, 3], 1, |&x| {
+///     assert!(x != 2, "bad item");
+///     x
+/// });
+/// assert!(err.is_err());
+/// ```
+pub fn try_par_map<T, R, F>(
+    par: Parallelism,
+    items: &[T],
+    min_chunk: usize,
+    f: F,
+) -> Result<Vec<R>, LinalgError>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_core(par, items, min_chunk, f).map_err(|p| LinalgError::WorkerPanic {
+        index: p.index,
+        message: p.message(),
+    })
 }
 
 #[cfg(test)]
@@ -231,6 +369,73 @@ mod tests {
             assert!(x < 60, "worker boom");
             x
         });
+    }
+
+    #[test]
+    fn try_par_map_matches_par_map_on_clean_runs() {
+        let items: Vec<usize> = (0..500).collect();
+        let plain = par_map(Parallelism::Off, &items, 1, |&x| (x as f64).sqrt());
+        for threads in [1, 2, 3, 8] {
+            let tried = try_par_map(Parallelism::Fixed(threads), &items, 1, |&x| {
+                (x as f64).sqrt()
+            })
+            .unwrap();
+            assert_eq!(tried.len(), plain.len());
+            for (a, b) in tried.iter().zip(plain.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_closure_returns_error_instead_of_unwinding() {
+        let items: Vec<usize> = (0..64).collect();
+        for threads in [1, 2, 4, 8] {
+            let err = try_par_map(Parallelism::Fixed(threads), &items, 1, |&x| {
+                assert!(x != 17, "deliberate failure");
+                x
+            })
+            .unwrap_err();
+            match err {
+                LinalgError::WorkerPanic { index, message } => {
+                    assert_eq!(index, 17, "threads = {threads}");
+                    assert!(message.contains("deliberate failure"), "{message}");
+                }
+                other => panic!("unexpected error: {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn first_panic_index_is_deterministic_across_thread_counts() {
+        // Multiple failing items: the reported index must always be the
+        // lowest one, no matter how chunks are scheduled.
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [2, 3, 7, 16] {
+            let err = try_par_map(Parallelism::Fixed(threads), &items, 1, |&x| {
+                assert!(!(x >= 23 && x % 3 == 2), "multi-fail");
+                x
+            })
+            .unwrap_err();
+            let LinalgError::WorkerPanic { index, .. } = err else {
+                panic!("wrong variant");
+            };
+            assert_eq!(index, 23, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn non_string_panic_payload_is_reported() {
+        let err = try_par_map(Parallelism::Off, &[1u32], 0, |_| {
+            std::panic::panic_any(42u32);
+            #[allow(unreachable_code)]
+            0u32
+        })
+        .unwrap_err();
+        let LinalgError::WorkerPanic { message, .. } = err else {
+            panic!("wrong variant");
+        };
+        assert!(message.contains("non-string"), "{message}");
     }
 
     #[test]

@@ -10,7 +10,8 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("{e}\n\n{USAGE}");
-            return ExitCode::FAILURE;
+            // Argument-syntax failures are usage errors: exit 2.
+            return ExitCode::from(2);
         }
     };
     let mut stdout = std::io::stdout();
@@ -18,7 +19,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }

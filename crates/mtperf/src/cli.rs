@@ -5,14 +5,15 @@
 //! hand-rolled parser: flags are `--key value` pairs after a subcommand.
 
 use std::collections::BTreeMap;
-use std::error::Error;
 use std::fs::File;
 use std::path::Path;
 
-use mtperf_counters::SampleSet;
+use mtperf_counters::{IngestPolicy, SampleSet};
 use mtperf_eval::{breakdown_table, cross_validate, per_label_metrics};
 use mtperf_linalg::parallel::{self, Parallelism};
 use mtperf_mtree::{analysis, Dataset, M5Learner, M5Params, ModelTree, RuleSet};
+
+use crate::errors::CliError;
 
 /// Parsed command line: a subcommand plus `--key value` options.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -113,22 +114,48 @@ GLOBAL OPTIONS
   --threads <auto|off|N>
              Thread budget for training and cross validation (default auto).
              Results are bit-identical at any setting; only wall time changes.
+  --policy <strict|skip|repair>
+             Ingest policy for --data CSVs (default strict). `strict` rejects
+             the file on the first malformed row; `skip` quarantines bad rows
+             and trains on the rest; `repair` additionally imputes missing
+             rates and winsorizes extreme outliers. Skip/repair print an
+             ingest report to stderr.
+
+EXIT CODES
+  0 success, 2 usage error, 65 bad input data, 74 i/o error, 1 other failure.
 ";
 
-/// Loads a section CSV into a sample set.
-fn load_samples(path: &str) -> Result<SampleSet, Box<dyn Error>> {
-    let file = File::open(path)?;
-    Ok(mtperf_counters::read_csv(file)?)
+/// Parses the `--policy` option (default strict).
+fn ingest_policy(args: &Args) -> Result<IngestPolicy, CliError> {
+    match args.options.get("policy") {
+        None => Ok(IngestPolicy::Strict),
+        Some(v) => v
+            .parse()
+            .map_err(|e| CliError::Usage(format!("option --policy: {e}"))),
+    }
 }
 
-fn to_dataset(samples: &SampleSet) -> Result<(Dataset, Vec<String>), Box<dyn Error>> {
+/// Loads a section CSV into a sample set under the given ingest policy.
+///
+/// Under skip/repair the ingest report (with quarantine and repair
+/// diagnostics) goes to stderr, keeping stdout for command output.
+fn load_samples(path: &str, policy: IngestPolicy) -> Result<SampleSet, CliError> {
+    let file = File::open(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+    let (samples, report) = mtperf_counters::read_csv_with_policy(file, policy)?;
+    if policy != IngestPolicy::Strict {
+        eprintln!("{report}");
+    }
+    Ok(samples)
+}
+
+fn to_dataset(samples: &SampleSet) -> Result<(Dataset, Vec<String>), CliError> {
     let labels = crate::labels_from_samples(samples);
     let data = crate::dataset_from_samples(samples)?;
     Ok((data, labels))
 }
 
 /// `mtperf simulate`.
-pub fn cmd_simulate(args: &Args) -> Result<(), Box<dyn Error>> {
+pub fn cmd_simulate(args: &Args) -> Result<(), CliError> {
     let out = args.require("out")?;
     let instructions: u64 = args.numeric("instructions", 2_000_000)?;
     let section_len: u64 = args.numeric("section-len", 10_000)?;
@@ -156,10 +183,10 @@ fn params_from(args: &Args, n_rows: usize) -> Result<M5Params, String> {
 }
 
 /// `mtperf train`.
-pub fn cmd_train(args: &Args) -> Result<(), Box<dyn Error>> {
+pub fn cmd_train(args: &Args) -> Result<(), CliError> {
     let data_path = args.require("data")?;
     let out = args.require("out")?;
-    let samples = load_samples(data_path)?;
+    let samples = load_samples(data_path, ingest_policy(args)?)?;
     let (data, _) = to_dataset(&samples)?;
     let params = params_from(args, data.n_rows())?;
     let tree = ModelTree::fit(&data, &params)?;
@@ -174,7 +201,7 @@ pub fn cmd_train(args: &Args) -> Result<(), Box<dyn Error>> {
 }
 
 /// `mtperf show`.
-pub fn cmd_show(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+pub fn cmd_show(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
     let tree = ModelTree::load(args.require("model")?)?;
     if args.flag("rules") {
         write!(out, "{}", RuleSet::from_tree(&tree).render("CPI"))?;
@@ -185,8 +212,8 @@ pub fn cmd_show(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn
 }
 
 /// `mtperf evaluate`.
-pub fn cmd_evaluate(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
-    let samples = load_samples(args.require("data")?)?;
+pub fn cmd_evaluate(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let samples = load_samples(args.require("data")?, ingest_policy(args)?)?;
     let (data, labels) = to_dataset(&samples)?;
     let k: usize = args.numeric("k", 10)?;
     let params = params_from(args, data.n_rows())?;
@@ -201,9 +228,9 @@ pub fn cmd_evaluate(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box
 }
 
 /// `mtperf analyze`.
-pub fn cmd_analyze(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+pub fn cmd_analyze(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
     let tree = ModelTree::load(args.require("model")?)?;
-    let samples = load_samples(args.require("data")?)?;
+    let samples = load_samples(args.require("data")?, ingest_policy(args)?)?;
     let (data, labels) = to_dataset(&samples)?;
     let top: usize = args.numeric("top", 3)?;
 
@@ -251,12 +278,13 @@ pub fn cmd_analyze(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<
 ///
 /// # Errors
 ///
-/// Propagates subcommand failures; unknown commands return a usage hint.
-pub fn dispatch(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+/// Propagates subcommand failures as [`CliError`]s; unknown commands return
+/// a usage hint classified as [`CliError::Usage`].
+pub fn dispatch(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
     if let Some(threads) = args.options.get("threads") {
         let par: Parallelism = threads
             .parse()
-            .map_err(|e| format!("option --threads: {e}"))?;
+            .map_err(|e| CliError::Usage(format!("option --threads: {e}")))?;
         parallel::set_global(par);
     }
     match args.command.as_str() {
@@ -265,7 +293,9 @@ pub fn dispatch(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Box<dyn
         "show" => cmd_show(args, out),
         "evaluate" => cmd_evaluate(args, out),
         "analyze" => cmd_analyze(args, out),
-        other => Err(format!("unknown command {other:?}\n\n{USAGE}").into()),
+        other => Err(CliError::Usage(format!(
+            "unknown command {other:?}\n\n{USAGE}"
+        ))),
     }
 }
 
@@ -346,6 +376,56 @@ mod tests {
         let mut out = Vec::new();
         let err = dispatch(&a, &mut out).unwrap_err();
         assert!(err.to_string().contains("--threads"), "{err}");
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn policy_option_parses_all_variants() {
+        assert_eq!(
+            ingest_policy(&args(&["train"])).unwrap(),
+            IngestPolicy::Strict
+        );
+        for (text, want) in [
+            ("strict", IngestPolicy::Strict),
+            ("skip", IngestPolicy::Skip),
+            ("repair", IngestPolicy::Repair),
+        ] {
+            let a = args(&["train", "--policy", text]);
+            assert_eq!(ingest_policy(&a).unwrap(), want);
+        }
+        let err = ingest_policy(&args(&["train", "--policy", "lenient"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--policy"), "{err}");
+    }
+
+    #[test]
+    fn error_classes_reach_the_cli_layer() {
+        // Missing file -> i/o class.
+        let err = load_samples("/nonexistent/mtperf.csv", IngestPolicy::Strict).unwrap_err();
+        assert_eq!(err.exit_code(), 74);
+
+        // Corrupt data under strict -> data class; under skip it loads.
+        let dir = std::env::temp_dir().join("mtperf-cli-policy-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.csv");
+        let set: mtperf_counters::SampleSet = (0..4)
+            .map(|i| {
+                mtperf_counters::SectionSample::new("w", i, 1.0, [0.1; mtperf_counters::N_EVENTS])
+            })
+            .collect();
+        let mut buf = Vec::new();
+        mtperf_counters::write_csv(&set, &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push_str("w,9,NaN");
+        text.push('\n');
+        std::fs::write(&path, &text).unwrap();
+
+        let path = path.display().to_string();
+        let err = load_samples(&path, IngestPolicy::Strict).unwrap_err();
+        assert_eq!(err.exit_code(), 65);
+        let loaded = load_samples(&path, IngestPolicy::Skip).unwrap();
+        assert_eq!(loaded.len(), 4);
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

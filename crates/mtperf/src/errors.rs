@@ -1,0 +1,167 @@
+//! Structured CLI errors mapped to process exit codes.
+//!
+//! The `mtperf` binary distinguishes failure classes the way BSD
+//! `sysexits(3)` does, so scripts wrapping the tool can react to *why* a run
+//! failed, not just that it did:
+//!
+//! | class                 | exit code | `sysexits` name |
+//! |-----------------------|-----------|-----------------|
+//! | [`CliError::Usage`]   | 2         | (conventional)  |
+//! | [`CliError::Data`]    | 65        | `EX_DATAERR`    |
+//! | [`CliError::Io`]      | 74        | `EX_IOERR`      |
+//! | [`CliError::Other`]   | 1         | (generic)       |
+//!
+//! Every library error reaching the CLI is converted into one of these
+//! classes by the `From` impls below; the binary then maps
+//! [`CliError::exit_code`] straight into [`std::process::ExitCode`].
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+use mtperf_counters::CsvError;
+use mtperf_linalg::LinalgError;
+use mtperf_mtree::{MtreeError, PersistError};
+
+/// A CLI failure, classified by the process exit code it should produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CliError {
+    /// The command line itself was wrong: unknown command, missing or
+    /// unparsable option. Exit code 2.
+    Usage(String),
+    /// Input data was malformed or failed validation: bad CSV schema,
+    /// corrupt rows under `--policy strict`, a dataset the learner rejects.
+    /// Exit code 65 (`EX_DATAERR`).
+    Data(String),
+    /// An operating-system I/O failure: missing file, permission denied,
+    /// disk full. Exit code 74 (`EX_IOERR`).
+    Io(String),
+    /// Any other failure, including internal ones such as a panicking
+    /// training worker. Exit code 1.
+    Other(String),
+}
+
+impl CliError {
+    /// The process exit code for this error class.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Data(_) => 65,
+            CliError::Io(_) => 74,
+            CliError::Other(_) => 1,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Data(msg) => write!(f, "bad input data: {msg}"),
+            CliError::Io(msg) => write!(f, "i/o error: {msg}"),
+            CliError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl Error for CliError {}
+
+impl From<String> for CliError {
+    /// Bare string errors in the CLI come from argument handling
+    /// ([`crate::cli::Args::require`] and friends), so they classify as
+    /// usage errors.
+    fn from(msg: String) -> Self {
+        CliError::Usage(msg)
+    }
+}
+
+impl From<io::Error> for CliError {
+    fn from(e: io::Error) -> Self {
+        CliError::Io(e.to_string())
+    }
+}
+
+impl From<CsvError> for CliError {
+    fn from(e: CsvError) -> Self {
+        match e {
+            CsvError::Io(io) => CliError::Io(io.to_string()),
+            other => CliError::Data(other.to_string()),
+        }
+    }
+}
+
+impl From<MtreeError> for CliError {
+    fn from(e: MtreeError) -> Self {
+        match e {
+            MtreeError::BadParams(_) => CliError::Usage(e.to_string()),
+            // A panicking worker is an internal fault, not a data problem.
+            MtreeError::Linalg(LinalgError::WorkerPanic { .. }) => CliError::Other(e.to_string()),
+            other => CliError::Data(other.to_string()),
+        }
+    }
+}
+
+impl From<PersistError> for CliError {
+    fn from(e: PersistError) -> Self {
+        match e {
+            PersistError::Io(io) => CliError::Io(io.to_string()),
+            other => CliError::Data(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_follow_sysexits() {
+        assert_eq!(CliError::Usage("x".into()).exit_code(), 2);
+        assert_eq!(CliError::Data("x".into()).exit_code(), 65);
+        assert_eq!(CliError::Io("x".into()).exit_code(), 74);
+        assert_eq!(CliError::Other("x".into()).exit_code(), 1);
+    }
+
+    #[test]
+    fn string_errors_are_usage() {
+        let e: CliError = "missing required option --data".to_string().into();
+        assert_eq!(e.exit_code(), 2);
+    }
+
+    #[test]
+    fn csv_errors_split_io_from_data() {
+        let io: CliError = CsvError::Io(io::Error::new(io::ErrorKind::NotFound, "gone")).into();
+        assert_eq!(io.exit_code(), 74);
+        let data: CliError = CsvError::BadHeader {
+            found: "nope".into(),
+        }
+        .into();
+        assert_eq!(data.exit_code(), 65);
+        assert!(data.to_string().contains("header"), "{data}");
+    }
+
+    #[test]
+    fn mtree_errors_classify_by_variant() {
+        let usage: CliError = MtreeError::BadParams("min_instances".into()).into();
+        assert_eq!(usage.exit_code(), 2);
+        let data: CliError = MtreeError::EmptyDataset.into();
+        assert_eq!(data.exit_code(), 65);
+        let internal: CliError = MtreeError::Linalg(LinalgError::WorkerPanic {
+            index: 3,
+            message: "boom".into(),
+        })
+        .into();
+        assert_eq!(internal.exit_code(), 1);
+        assert!(internal.to_string().contains("panicked"), "{internal}");
+    }
+
+    #[test]
+    fn persist_errors_split_io_from_format() {
+        let io: CliError =
+            PersistError::Io(io::Error::new(io::ErrorKind::PermissionDenied, "no")).into();
+        assert_eq!(io.exit_code(), 74);
+        let data: CliError = PersistError::Format("not a model".into()).into();
+        assert_eq!(data.exit_code(), 65);
+    }
+}

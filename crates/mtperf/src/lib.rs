@@ -41,6 +41,9 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod errors;
+
+pub use errors::CliError;
 
 pub use mtperf_baselines as baselines;
 pub use mtperf_counters as counters;

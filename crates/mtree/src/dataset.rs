@@ -133,8 +133,14 @@ impl Dataset {
             });
         }
         for i in 0..targets.len() {
-            if !targets[i].is_finite() || columns.iter().any(|c| !c[i].is_finite()) {
-                return Err(MtreeError::NonFiniteValue { row: i });
+            if !targets[i].is_finite() {
+                return Err(MtreeError::NonFiniteValue { row: i, attr: None });
+            }
+            if let Some(j) = columns.iter().position(|c| !c[i].is_finite()) {
+                return Err(MtreeError::NonFiniteValue {
+                    row: i,
+                    attr: Some(j),
+                });
             }
         }
         Ok(Dataset {
@@ -158,9 +164,16 @@ impl Dataset {
                 found: row.len(),
             });
         }
-        if !target.is_finite() || row.iter().any(|v| !v.is_finite()) {
+        if !target.is_finite() {
             return Err(MtreeError::NonFiniteValue {
                 row: self.targets.len(),
+                attr: None,
+            });
+        }
+        if let Some(j) = row.iter().position(|v| !v.is_finite()) {
+            return Err(MtreeError::NonFiniteValue {
+                row: self.targets.len(),
+                attr: Some(j),
             });
         }
         for (col, &v) in self.columns.iter_mut().zip(row) {
@@ -413,14 +426,17 @@ mod tests {
             Dataset::from_columns(vec!["a".into()], vec![vec![1.0]], vec![0.1, 0.2]),
             Err(MtreeError::RowLengthMismatch { .. })
         ));
-        // Non-finite entries.
+        // Non-finite entries name the offending column (None = the target).
         assert!(matches!(
             Dataset::from_columns(vec!["a".into()], vec![vec![f64::INFINITY]], vec![0.1]),
-            Err(MtreeError::NonFiniteValue { row: 0 })
+            Err(MtreeError::NonFiniteValue {
+                row: 0,
+                attr: Some(0)
+            })
         ));
         assert!(matches!(
             Dataset::from_columns(vec!["a".into()], vec![vec![1.0]], vec![f64::NAN]),
-            Err(MtreeError::NonFiniteValue { row: 0 })
+            Err(MtreeError::NonFiniteValue { row: 0, attr: None })
         ));
     }
 

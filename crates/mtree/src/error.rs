@@ -20,6 +20,9 @@ pub enum MtreeError {
     NonFiniteValue {
         /// Row index of the offending value.
         row: usize,
+        /// Column index of the offending attribute, or `None` when the
+        /// target value itself is non-finite.
+        attr: Option<usize>,
     },
     /// Attribute names must be unique and non-empty.
     BadAttributeNames,
@@ -36,9 +39,10 @@ impl fmt::Display for MtreeError {
             MtreeError::RowLengthMismatch { expected, found } => {
                 write!(f, "row has {found} values, expected {expected}")
             }
-            MtreeError::NonFiniteValue { row } => {
-                write!(f, "non-finite value in row {row}")
-            }
+            MtreeError::NonFiniteValue { row, attr } => match attr {
+                Some(a) => write!(f, "non-finite value in row {row}, attribute {a}"),
+                None => write!(f, "non-finite target in row {row}"),
+            },
             MtreeError::BadAttributeNames => {
                 write!(f, "attribute names must be unique and non-empty")
             }
@@ -76,9 +80,15 @@ mod tests {
         }
         .to_string()
         .contains("expected 3"));
-        assert!(MtreeError::NonFiniteValue { row: 7 }
+        assert!(MtreeError::NonFiniteValue { row: 7, attr: None }
             .to_string()
             .contains("7"));
+        assert!(MtreeError::NonFiniteValue {
+            row: 7,
+            attr: Some(2)
+        }
+        .to_string()
+        .contains("attribute 2"));
         assert!(MtreeError::BadParams("x".into()).to_string().contains("x"));
     }
 

@@ -1,8 +1,9 @@
 //! Offline stand-in for the `proptest` crate.
 //!
 //! Implements the subset this workspace's property tests use: range and
-//! regex-literal strategies, tuples, `prop::collection::vec`, `prop_map`,
-//! the `proptest!` macro family, and `ProptestConfig::with_cases`.
+//! regex-literal strategies, tuples, `Just`, `prop_oneof!`,
+//! `prop::collection::vec`, `prop_map`, the `proptest!` macro family, and
+//! `ProptestConfig::with_cases`.
 //!
 //! Unlike real proptest there is no shrinking and no failure persistence:
 //! a failing case fails the test with the ordinary assertion message. Cases
@@ -42,9 +43,10 @@ pub mod prop {
 
 /// Everything tests normally import.
 pub mod prelude {
-    pub use crate::strategy::Strategy;
+    pub use crate::strategy::{Just, Strategy};
     pub use crate::{
-        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig,
     };
 }
 
@@ -78,6 +80,19 @@ macro_rules! __proptest_inner {
             }
         }
     )*};
+}
+
+/// Picks uniformly among alternative strategies for the same value type.
+///
+/// Unlike real proptest, weighted arms (`3 => strat`) are not supported —
+/// every arm is equally likely.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let options: Vec<Box<dyn $crate::Strategy<Value = _>>> =
+            vec![$(Box::new($strat)),+];
+        $crate::strategy::Union::new(options)
+    }};
 }
 
 /// Asserts a condition inside a property test.

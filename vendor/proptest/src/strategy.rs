@@ -114,6 +114,51 @@ impl_tuple_strategy! {
     (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9, K: 10, L: 11)
 }
 
+/// Strategy that always yields a clone of one fixed value.
+///
+/// Mirrors real proptest's `Just`; most useful as a `prop_oneof!` arm.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy choosing uniformly among boxed alternatives.
+///
+/// Built by the [`prop_oneof!`](crate::prop_oneof) macro; unlike real
+/// proptest there are no weights — every arm is equally likely.
+pub struct Union<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Wraps the alternative strategies. Panics when `options` is empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<V> std::fmt::Debug for Union<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Union({} arms)", self.options.len())
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let pick = rng.rng().gen_range(0..self.options.len());
+        self.options[pick].generate(rng)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +170,25 @@ mod tests {
         assert!(a < 4);
         assert!((0.0..1.0).contains(&b));
         assert_eq!(c, 5);
+    }
+
+    #[test]
+    fn just_always_yields_its_value() {
+        let mut rng = TestRng::deterministic("just");
+        for _ in 0..5 {
+            assert_eq!(Just(42u64).generate(&mut rng), 42);
+        }
+    }
+
+    #[test]
+    fn union_picks_among_arms() {
+        let mut rng = TestRng::deterministic("union");
+        let u = Union::new(vec![Box::new(Just(1u64)), Box::new(Just(2u64))]);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..64 {
+            seen.insert(u.generate(&mut rng));
+        }
+        assert_eq!(seen, [1u64, 2].into_iter().collect());
     }
 
     #[test]
