@@ -1,0 +1,116 @@
+//! Compiled-vs-interpreted prediction throughput.
+//!
+//! Measures rows/sec of the interpreted per-row walk (`ModelTree::predict`
+//! over `Dataset::row`, the pre-compiled evaluation path) against the
+//! compiled batch engine (`CompiledTree::predict_batch`), serial and
+//! parallel, on a 10k-row batch — and writes the measured rates to
+//! `BENCH_predict.json` at the repository root so the speedup is tracked
+//! across PRs. The compiled path must deliver ≥ 4× the interpreted
+//! rows/sec; the JSON records the actual ratio.
+
+use criterion::{criterion_group, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
+
+use mtperf_bench::synthetic_dataset;
+use mtperf_linalg::{Matrix, Parallelism};
+use mtperf_mtree::{CompiledTree, Dataset, M5Params, ModelTree};
+
+const ROWS: usize = 10_000;
+const ATTRS: usize = 20;
+
+fn fixture() -> (Dataset, ModelTree, CompiledTree, Matrix) {
+    let data = synthetic_dataset(ROWS, ATTRS);
+    let tree = ModelTree::fit(
+        &data,
+        &M5Params::default()
+            .with_min_instances(100)
+            .with_smoothing(true),
+    )
+    .unwrap();
+    let compiled = tree.compile();
+    let matrix = data.to_matrix();
+    (data, tree, compiled, matrix)
+}
+
+/// The interpreted per-row scoring loop exactly as the evaluation harness
+/// ran it before the compiled engine existed: materialize each row from the
+/// column-major dataset, then walk the boxed tree.
+fn interpreted_pass(tree: &ModelTree, data: &Dataset) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..data.n_rows() {
+        acc += tree.predict(black_box(&data.row(i)));
+    }
+    acc
+}
+
+fn bench_predict_throughput(c: &mut Criterion) {
+    let (data, tree, compiled, matrix) = fixture();
+
+    let mut group = c.benchmark_group("predict_throughput/10k_rows");
+    group.throughput(Throughput::Elements(ROWS as u64));
+    group.bench_function("interpreted", |b| {
+        b.iter(|| interpreted_pass(&tree, &data));
+    });
+    group.bench_function("compiled_serial", |b| {
+        b.iter(|| compiled.predict_batch_with(black_box(&matrix), Parallelism::Off));
+    });
+    group.bench_function("compiled_parallel", |b| {
+        b.iter(|| compiled.predict_batch_with(black_box(&matrix), Parallelism::Auto));
+    });
+    group.finish();
+}
+
+/// Median rows/sec over repeated timed passes.
+fn rows_per_sec(reps: usize, mut pass: impl FnMut()) -> f64 {
+    let mut rates: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            pass();
+            ROWS as f64 / start.elapsed().as_secs_f64()
+        })
+        .collect();
+    rates.sort_by(f64::total_cmp);
+    rates[rates.len() / 2]
+}
+
+/// Measures the three paths and writes `BENCH_predict.json` at the repo
+/// root (machine-readable perf trajectory; see DESIGN.md §9).
+fn emit_bench_json() {
+    let (data, tree, compiled, matrix) = fixture();
+
+    // Warm up, then take the median of repeated passes.
+    interpreted_pass(&tree, &data);
+    compiled.predict_batch_with(&matrix, Parallelism::Off);
+
+    let interpreted = rows_per_sec(25, || {
+        black_box(interpreted_pass(&tree, &data));
+    });
+    let serial = rows_per_sec(25, || {
+        black_box(compiled.predict_batch_with(&matrix, Parallelism::Off));
+    });
+    let parallel = rows_per_sec(25, || {
+        black_box(compiled.predict_batch_with(&matrix, Parallelism::Auto));
+    });
+
+    let json = format!(
+        "{{\n  \"bench\": \"predict_throughput\",\n  \"rows\": {ROWS},\n  \
+         \"attrs\": {ATTRS},\n  \"smoothing\": true,\n  \
+         \"interpreted_rows_per_sec\": {interpreted:.0},\n  \
+         \"compiled_serial_rows_per_sec\": {serial:.0},\n  \
+         \"compiled_parallel_rows_per_sec\": {parallel:.0},\n  \
+         \"speedup_serial\": {:.2},\n  \"speedup_parallel\": {:.2}\n}}\n",
+        serial / interpreted,
+        parallel / interpreted,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_predict.json");
+    std::fs::write(path, &json).expect("write BENCH_predict.json");
+    eprintln!("wrote {path}:\n{json}");
+}
+
+criterion_group!(benches, bench_predict_throughput);
+
+fn main() {
+    benches();
+    emit_bench_json();
+}

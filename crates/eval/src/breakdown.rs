@@ -21,11 +21,14 @@ pub fn per_label_metrics(
     labels: &[String],
 ) -> BTreeMap<String, Metrics> {
     assert_eq!(labels.len(), data.n_rows(), "one label per row");
+    // One batch prediction over the whole dataset (compiled path for model
+    // trees), then group by label.
+    let predicted = model.predict_batch(&data.to_matrix());
     let mut groups: BTreeMap<&str, (Vec<f64>, Vec<f64>)> = BTreeMap::new();
     for (i, label) in labels.iter().enumerate() {
         let entry = groups.entry(label.as_str()).or_default();
         entry.0.push(data.target(i));
-        entry.1.push(model.predict(&data.row(i)));
+        entry.1.push(predicted[i]);
     }
     groups
         .into_iter()

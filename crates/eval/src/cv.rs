@@ -118,10 +118,10 @@ pub fn cross_validate_with(
             let train = data.subset(&train_idx);
             let model = learner.fit(&train)?;
             let actual: Vec<f64> = test_idx.iter().map(|&i| data.target(i)).collect();
-            let predicted: Vec<f64> = test_idx
-                .iter()
-                .map(|&i| model.predict(&data.row(i)))
-                .collect();
+            // Batch scoring through the compiled path (bit-identical to the
+            // per-row walk); nested parallel calls self-serialize, so fold
+            // results stay deterministic.
+            let predicted = model.predict_batch(&data.matrix_of(&test_idx));
             Ok(FoldResult {
                 fold,
                 metrics: Metrics::compute(&actual, &predicted),

@@ -43,7 +43,9 @@ pub struct RepeatedCv {
 }
 
 /// Runs `repeats` independent k-fold cross validations (seeds
-/// `seed, seed+1, …`) and summarizes the spread.
+/// `seed, seed+1, …`) and summarizes the spread. Each repeat scores its
+/// held-out folds through the compiled batch path (bit-identical to the
+/// per-row walk), so repeated CV inherits the fast path for free.
 ///
 /// # Errors
 ///

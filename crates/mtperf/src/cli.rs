@@ -12,6 +12,7 @@ use mtperf_counters::{IngestPolicy, SampleSet};
 use mtperf_eval::{breakdown_table, cross_validate, per_label_metrics};
 use mtperf_linalg::parallel::{self, Parallelism};
 use mtperf_mtree::{analysis, Dataset, M5Learner, M5Params, ModelTree, RuleSet};
+use serde::Serialize;
 
 use crate::errors::CliError;
 
@@ -109,6 +110,10 @@ COMMANDS
   analyze    --model <model.json> --data <csv> [--top N]
              Classify each workload's median section and rank its
              optimization opportunities (the paper's what/how-much report).
+  predict    --model <model.json> --data <csv> [--out <file>] [--format csv|json]
+             Batch-predict CPI for every section of a counter CSV through
+             the compiled tree (bit-identical to per-row prediction) and
+             emit workload, section, measured and predicted CPI.
 
 GLOBAL OPTIONS
   --threads <auto|off|N>
@@ -274,6 +279,78 @@ pub fn cmd_analyze(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliE
     Ok(())
 }
 
+/// One emitted prediction row of `mtperf predict`.
+#[derive(Serialize)]
+struct Prediction {
+    workload: String,
+    section_index: usize,
+    cpi: f64,
+    predicted_cpi: f64,
+}
+
+/// `mtperf predict`: batch CPI prediction over a counter CSV.
+///
+/// Loads the model, streams the CSV through the ingest policy, scores every
+/// section through the compiled tree ([`ModelTree::compile`]) at the global
+/// thread budget, and emits one record per section (measured and predicted
+/// CPI) as CSV (default) or JSON, to `--out` or stdout.
+pub fn cmd_predict(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let tree = ModelTree::load(args.require("model")?)?;
+    let samples = load_samples(args.require("data")?, ingest_policy(args)?)?;
+    let (data, _) = to_dataset(&samples)?;
+    let format = args
+        .options
+        .get("format")
+        .map(String::as_str)
+        .unwrap_or("csv");
+    let predicted = tree
+        .compile()
+        .try_predict_batch_with(&data.to_matrix(), parallel::global())?;
+    let records: Vec<Prediction> = samples
+        .iter()
+        .zip(&predicted)
+        .map(|(s, &p)| Prediction {
+            workload: s.workload.clone(),
+            section_index: s.section_index,
+            cpi: s.cpi,
+            predicted_cpi: p,
+        })
+        .collect();
+    let rendered = match format {
+        "csv" => {
+            let mut text = String::from("workload,section_index,cpi,predicted_cpi\n");
+            for r in &records {
+                use std::fmt::Write as _;
+                let _ = writeln!(
+                    text,
+                    "{},{},{},{}",
+                    r.workload, r.section_index, r.cpi, r.predicted_cpi
+                );
+            }
+            text
+        }
+        "json" => {
+            let mut text = serde_json::to_string_pretty(&records)
+                .map_err(|e| CliError::Other(e.to_string()))?;
+            text.push('\n');
+            text
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "option --format: unknown format {other:?} (expected csv or json)"
+            )))
+        }
+    };
+    match args.options.get("out") {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+            println!("{} predictions -> {path}", records.len());
+        }
+        None => write!(out, "{rendered}")?,
+    }
+    Ok(())
+}
+
 /// Dispatches a parsed command line.
 ///
 /// # Errors
@@ -293,6 +370,7 @@ pub fn dispatch(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliErro
         "show" => cmd_show(args, out),
         "evaluate" => cmd_evaluate(args, out),
         "analyze" => cmd_analyze(args, out),
+        "predict" => cmd_predict(args, out),
         other => Err(CliError::Usage(format!(
             "unknown command {other:?}\n\n{USAGE}"
         ))),
@@ -475,6 +553,94 @@ mod tests {
         let report = String::from_utf8(report).unwrap();
         assert!(report.contains("median CPI"), "{report}");
 
+        // predict: CSV to stdout, JSON to a file, and agreement with the
+        // interpreted per-row path.
+        let mut pred_csv = Vec::new();
+        cmd_predict(
+            &args(&["predict", "--model", &model, "--data", &csv]),
+            &mut pred_csv,
+        )
+        .unwrap();
+        let pred_csv = String::from_utf8(pred_csv).unwrap();
+        let mut lines = pred_csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "workload,section_index,cpi,predicted_cpi"
+        );
+        let tree = ModelTree::load(&model).unwrap();
+        let samples = load_samples(&csv, IngestPolicy::Strict).unwrap();
+        let (data, _) = to_dataset(&samples).unwrap();
+        let mut n_rows = 0;
+        for (i, line) in lines.enumerate() {
+            let p: f64 = line.rsplit(',').next().unwrap().parse().unwrap();
+            assert_eq!(
+                p.to_bits(),
+                tree.predict(&data.row(i)).to_bits(),
+                "line {i}: {line}"
+            );
+            n_rows += 1;
+        }
+        assert_eq!(n_rows, data.n_rows());
+
+        let json_out = dir.join("pred.json").display().to_string();
+        let mut sink = Vec::new();
+        cmd_predict(
+            &args(&[
+                "predict", "--model", &model, "--data", &csv, "--out", &json_out, "--format",
+                "json",
+            ]),
+            &mut sink,
+        )
+        .unwrap();
+        let json = std::fs::read_to_string(&json_out).unwrap();
+        assert!(json.trim_start().starts_with('['), "{json}");
+        assert!(json.contains("\"predicted_cpi\""), "{json}");
+
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn predict_rejects_unknown_format() {
+        let mut out = Vec::new();
+        let dir = std::env::temp_dir().join("mtperf-cli-predict-fmt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("suite.csv").display().to_string();
+        let model = dir.join("model.json").display().to_string();
+        cmd_simulate(&args(&[
+            "simulate",
+            "--out",
+            &csv,
+            "--instructions",
+            "60000",
+        ]))
+        .unwrap();
+        cmd_train(&args(&["train", "--data", &csv, "--out", &model])).unwrap();
+        let err = cmd_predict(
+            &args(&[
+                "predict", "--model", &model, "--data", &csv, "--format", "yaml",
+            ]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--format"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn predict_classifies_missing_files_as_io() {
+        let mut out = Vec::new();
+        let err = cmd_predict(
+            &args(&[
+                "predict",
+                "--model",
+                "/nonexistent/model.json",
+                "--data",
+                "/nonexistent/data.csv",
+            ]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 74);
     }
 }

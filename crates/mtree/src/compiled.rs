@@ -1,0 +1,850 @@
+//! Compiled batch inference: a fitted tree flattened into
+//! structure-of-arrays form for high-throughput scoring.
+//!
+//! [`ModelTree::predict`] walks boxed nodes pointer by pointer and, under
+//! smoothing, allocates a fresh path vector for every row — fine for a
+//! single section, wasteful for scoring thousands. [`CompiledTree`] flattens
+//! the fitted tree once into flat arrays:
+//!
+//! * **routing** — split attribute indices, thresholds, and interleaved
+//!   child offsets, one entry per interior node in preorder; children that
+//!   are leaves are encoded as negative offsets (`!leaf_index`), and the
+//!   split direction selects a child by index (branchless), so routing is a
+//!   tight loop over flat arrays with no pointer chasing and no
+//!   data-dependent branches;
+//! * **models** — every node's linear model packed into a shared
+//!   [`ModelTable`]: one intercept per model plus `(attribute, coefficient)`
+//!   term arrays addressed by a start-offset array;
+//! * **smoothing paths** — for each leaf, the precomputed bottom-up sequence
+//!   of `(ancestor model, instance count below)` pairs the M5 smoothing
+//!   recurrence needs, so smoothed prediction needs no path collection at
+//!   all.
+//!
+//! # Determinism contract
+//!
+//! Compiled prediction replays the *exact* floating-point operation sequence
+//! of the interpreted walk — same comparison direction, same term order,
+//! same blend expression `(n·p + k·q) / (n + k)` — so results are
+//! **bit-identical** to [`ModelTree::predict`] for every row, with smoothing
+//! on or off. [`CompiledTree::predict_batch`] fans row blocks out across the
+//! deterministic [`parallel`](mtperf_linalg::parallel) engine (input-order
+//! results, panic-isolated workers), so batch output is bit-identical at any
+//! [`Parallelism`] setting. The differential test suite
+//! (`tests/compiled_diff.rs`) pins this with `to_bits()` comparisons.
+//!
+//! # Example
+//!
+//! ```
+//! use mtperf_linalg::Matrix;
+//! use mtperf_mtree::{Dataset, M5Params, ModelTree};
+//!
+//! let rows: Vec<[f64; 1]> = (0..100).map(|i| [i as f64]).collect();
+//! let ys: Vec<f64> = rows
+//!     .iter()
+//!     .map(|r| if r[0] <= 50.0 { r[0] } else { 100.0 - r[0] })
+//!     .collect();
+//! let d = Dataset::from_rows(vec!["x".into()], &rows, &ys).unwrap();
+//! let tree = ModelTree::fit(&d, &M5Params::default().with_min_instances(8)).unwrap();
+//! let compiled = tree.compile();
+//! let batch = compiled.predict_batch(&d.to_matrix());
+//! for (i, p) in batch.iter().enumerate() {
+//!     assert_eq!(p.to_bits(), tree.predict(&d.row(i)).to_bits());
+//! }
+//! ```
+
+use mtperf_linalg::parallel::{self, try_par_map, Parallelism};
+use mtperf_linalg::Matrix;
+
+use crate::node::Node;
+use crate::rules::RuleSet;
+use crate::{LinearModel, ModelTree, MtreeError};
+
+/// Rows per parallel work item: small enough to load-balance a 10 k-row
+/// batch across workers, large enough that spawn overhead stays invisible.
+const ROW_BLOCK: usize = 512;
+
+/// All linear models of a compiled artifact, packed into shared
+/// structure-of-arrays storage.
+///
+/// Model `m` is `intercept[m] + Σ term_coef[t] · row[term_attr[t]]` for
+/// `t` in `term_start[m] .. term_start[m + 1]`, accumulated in term order —
+/// the same left-to-right sum [`LinearModel::predict`] computes.
+#[derive(Debug, Clone, PartialEq)]
+struct ModelTable {
+    intercept: Vec<f64>,
+    /// `len() == n_models + 1`; model `m` owns terms
+    /// `term_start[m]..term_start[m + 1]`.
+    term_start: Vec<u32>,
+    term_attr: Vec<u32>,
+    term_coef: Vec<f64>,
+}
+
+impl ModelTable {
+    fn new() -> Self {
+        ModelTable {
+            intercept: Vec::new(),
+            term_start: vec![0],
+            term_attr: Vec::new(),
+            term_coef: Vec::new(),
+        }
+    }
+
+    /// Packs `model`, returning its index.
+    fn push(&mut self, model: &LinearModel) -> u32 {
+        let idx = self.intercept.len() as u32;
+        self.intercept.push(model.intercept());
+        for &(attr, coef) in model.terms() {
+            self.term_attr.push(attr as u32);
+            self.term_coef.push(coef);
+        }
+        self.term_start.push(self.term_attr.len() as u32);
+        idx
+    }
+
+    /// Evaluates model `m` on `row`, replaying [`LinearModel::predict`]'s
+    /// operation order exactly (accumulate terms from 0.0, then add the
+    /// intercept). Slice-based iteration keeps the term loop free of
+    /// per-element bounds checks.
+    #[inline]
+    fn eval(&self, m: usize, row: &[f64]) -> f64 {
+        let start = self.term_start[m] as usize;
+        let end = self.term_start[m + 1] as usize;
+        let attrs = &self.term_attr[start..end];
+        let coefs = &self.term_coef[start..end];
+        let mut acc = 0.0;
+        for (&a, &c) in attrs.iter().zip(coefs) {
+            acc += c * row[a as usize];
+        }
+        self.intercept[m] + acc
+    }
+
+    /// Model-major accumulation: adds model `m`'s terms, in term order, to
+    /// `acc[r]` for every row index in `idx` (`acc` starts at 0.0, the
+    /// intercept is applied by the caller — the per-row operation sequence
+    /// is exactly [`ModelTable::eval`]'s). Iterating terms in the outer
+    /// loop keeps the inner row loop free of the chained
+    /// `term_attr[t] → row[a]` loads that serialize the per-row form: the
+    /// attribute and coefficient are hoisted once per term and every
+    /// row's multiply-add is independent.
+    fn accumulate(&self, m: usize, data: &[f64], cols: usize, idx: &[u32], acc: &mut [f64]) {
+        let start = self.term_start[m] as usize;
+        let end = self.term_start[m + 1] as usize;
+        for t in start..end {
+            let a = self.term_attr[t] as usize;
+            let c = self.term_coef[t];
+            for &r in idx {
+                let r = r as usize;
+                acc[r] += c * data[r * cols + a];
+            }
+        }
+    }
+
+    /// Fused single-pass form of [`ModelTable::accumulate`] + intercept for
+    /// models with at most two terms (the common case after M5' attribute
+    /// elimination): writes the finished prediction straight into `out[r]`
+    /// and returns `true`, or returns `false` for the caller to take the
+    /// general multi-pass path. The explicit `0.0 +` seeds reproduce the
+    /// scalar accumulator exactly (they differ from a bare term only on a
+    /// `-0.0` product, which must round to `+0.0` here too).
+    fn eval_small(
+        &self,
+        m: usize,
+        data: &[f64],
+        cols: usize,
+        idx: &[u32],
+        out: &mut [f64],
+    ) -> bool {
+        let start = self.term_start[m] as usize;
+        let end = self.term_start[m + 1] as usize;
+        let i = self.intercept[m];
+        match end - start {
+            0 => {
+                for &r in idx {
+                    out[r as usize] = i + 0.0;
+                }
+                true
+            }
+            1 => {
+                let a = self.term_attr[start] as usize;
+                let c = self.term_coef[start];
+                for &r in idx {
+                    let r = r as usize;
+                    out[r] = i + (0.0 + c * data[r * cols + a]);
+                }
+                true
+            }
+            2 => {
+                let a0 = self.term_attr[start] as usize;
+                let c0 = self.term_coef[start];
+                let a1 = self.term_attr[start + 1] as usize;
+                let c1 = self.term_coef[start + 1];
+                for &r in idx {
+                    let r = r as usize;
+                    let base = r * cols;
+                    out[r] = i + ((0.0 + c0 * data[base + a0]) + c1 * data[base + a1]);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn n_models(&self) -> usize {
+        self.intercept.len()
+    }
+}
+
+/// Encodes a leaf index as a negative child offset.
+#[inline]
+fn encode_leaf(leaf: usize) -> i32 {
+    !(leaf as i32)
+}
+
+/// Chunks `0..n` into `ROW_BLOCK`-sized ranges for the parallel engine.
+fn row_blocks(n: usize) -> Vec<(usize, usize)> {
+    (0..n)
+        .step_by(ROW_BLOCK)
+        .map(|s| (s, (s + ROW_BLOCK).min(n)))
+        .collect()
+}
+
+/// A [`ModelTree`] flattened for batch inference. Built by
+/// [`ModelTree::compile`]; see the [module docs](self) for the layout and
+/// the bit-identity contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledTree {
+    n_attrs: usize,
+    n_leaves: usize,
+    smoothing: bool,
+    smoothing_k: f64,
+    /// Root reference: interior node index, or `!leaf` for a lone-leaf tree.
+    root: i32,
+    /// Interior nodes, preorder. Children are stored interleaved —
+    /// `children[2 * i]` is node `i`'s left child, `children[2 * i + 1]`
+    /// its right — so routing selects by index instead of by branch (the
+    /// 50/50 data-dependent split direction is unpredictable; a mispredict
+    /// per level would dominate the per-row cost). Negative children are
+    /// `!leaf_index`.
+    split_attr: Vec<u32>,
+    threshold: Vec<f64>,
+    children: Vec<i32>,
+    models: ModelTable,
+    /// Model index of each leaf (leaves numbered left to right from 0).
+    leaf_model: Vec<u32>,
+    /// `len() == n_leaves + 1`; leaf `l` owns smoothing-path entries
+    /// `path_start[l]..path_start[l + 1]` of the two arrays below.
+    path_start: Vec<u32>,
+    /// Ancestor model index, bottom-up (parent of the leaf first).
+    path_model: Vec<u32>,
+    /// Instance count `n` of the node *below* each ancestor, as f64.
+    path_n: Vec<f64>,
+}
+
+impl CompiledTree {
+    fn from_tree(tree: &ModelTree) -> CompiledTree {
+        let mut c = CompiledTree {
+            n_attrs: tree.attr_names().len(),
+            n_leaves: 0,
+            smoothing: tree.params().smoothing(),
+            smoothing_k: tree.params().smoothing_k(),
+            root: 0,
+            split_attr: Vec::new(),
+            threshold: Vec::new(),
+            children: Vec::new(),
+            models: ModelTable::new(),
+            leaf_model: Vec::new(),
+            path_start: vec![0],
+            path_model: Vec::new(),
+            path_n: Vec::new(),
+        };
+        let mut ancestors: Vec<(u32, f64)> = Vec::new();
+        c.root = c.flatten(tree.root(), &mut ancestors);
+        c.n_leaves = c.leaf_model.len();
+        c
+    }
+
+    /// Flattens `node`, returning its routing reference (interior index or
+    /// encoded leaf). `ancestors` carries the `(model, n)` of every node on
+    /// the path above, root first.
+    fn flatten(&mut self, node: &Node, ancestors: &mut Vec<(u32, f64)>) -> i32 {
+        match node {
+            Node::Leaf { model, n, .. } => {
+                let model_idx = self.models.push(model);
+                let leaf = self.leaf_model.len();
+                self.leaf_model.push(model_idx);
+                // The smoothing recurrence walks bottom-up; `n` is the count
+                // of the node *below* each ancestor (the leaf itself first).
+                for i in (0..ancestors.len()).rev() {
+                    self.path_model.push(ancestors[i].0);
+                    self.path_n.push(if i + 1 == ancestors.len() {
+                        *n as f64
+                    } else {
+                        ancestors[i + 1].1
+                    });
+                }
+                self.path_start.push(self.path_model.len() as u32);
+                encode_leaf(leaf)
+            }
+            Node::Split {
+                attr,
+                threshold,
+                model,
+                n,
+                left,
+                right,
+                ..
+            } => {
+                let model_idx = self.models.push(model);
+                let idx = self.split_attr.len();
+                self.split_attr.push(*attr as u32);
+                self.threshold.push(*threshold);
+                self.children.push(0);
+                self.children.push(0);
+                ancestors.push((model_idx, *n as f64));
+                let l = self.flatten(left, ancestors);
+                let r = self.flatten(right, ancestors);
+                ancestors.pop();
+                self.children[2 * idx] = l;
+                self.children[2 * idx + 1] = r;
+                idx as i32
+            }
+        }
+    }
+
+    /// Attribute count the tree was trained with (rows must be at least
+    /// this long).
+    pub fn n_attrs(&self) -> usize {
+        self.n_attrs
+    }
+
+    /// Number of leaves (performance classes).
+    pub fn n_leaves(&self) -> usize {
+        self.n_leaves
+    }
+
+    /// Number of interior routing nodes.
+    pub fn n_splits(&self) -> usize {
+        self.split_attr.len()
+    }
+
+    /// Total packed models (one per node of the source tree).
+    pub fn n_models(&self) -> usize {
+        self.models.n_models()
+    }
+
+    /// Whether predictions are smoothed along the root path.
+    pub fn smoothing(&self) -> bool {
+        self.smoothing
+    }
+
+    /// Routes `row` to its leaf index (left-to-right, 0-based).
+    #[inline]
+    fn route(&self, row: &[f64]) -> usize {
+        let mut node = self.root;
+        while node >= 0 {
+            let i = node as usize;
+            // Branchless child select: `<=` goes left, everything else —
+            // including NaN — goes right, exactly like the interpreted walk.
+            let goes_left = (row[self.split_attr[i] as usize] <= self.threshold[i]) as usize;
+            node = self.children[2 * i + 1 - goes_left];
+        }
+        !node as usize
+    }
+
+    #[inline]
+    fn predict_leaf(&self, leaf: usize, row: &[f64]) -> f64 {
+        let mut p = self.models.eval(self.leaf_model[leaf] as usize, row);
+        if self.smoothing {
+            let k = self.smoothing_k;
+            let start = self.path_start[leaf] as usize;
+            let end = self.path_start[leaf + 1] as usize;
+            let models = &self.path_model[start..end];
+            let below = &self.path_n[start..end];
+            for (&m, &n) in models.iter().zip(below) {
+                let q = self.models.eval(m as usize, row);
+                p = (n * p + k * q) / (n + k);
+            }
+        }
+        p
+    }
+
+    /// Predicts one row — bit-identical to [`ModelTree::predict`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is shorter than the attribute count, like the
+    /// interpreted walk.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        assert!(
+            row.len() >= self.n_attrs,
+            "row has {} values, tree expects {}",
+            row.len(),
+            self.n_attrs
+        );
+        self.predict_leaf(self.route(row), row)
+    }
+
+    /// Predicts every row of `rows` with the process-wide default thread
+    /// budget ([`parallel::global`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` has fewer columns than the attribute count, or if a
+    /// worker panics (see [`CompiledTree::try_predict_batch_with`] for the
+    /// error-returning form).
+    pub fn predict_batch(&self, rows: &Matrix) -> Vec<f64> {
+        self.predict_batch_with(rows, parallel::global())
+    }
+
+    /// [`CompiledTree::predict_batch`] with an explicit thread budget.
+    /// Output is bit-identical at any setting.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`CompiledTree::predict_batch`].
+    pub fn predict_batch_with(&self, rows: &Matrix, par: Parallelism) -> Vec<f64> {
+        self.try_predict_batch_with(rows, par)
+            .unwrap_or_else(|e| panic!("batch prediction failed: {e}"))
+    }
+
+    /// Panic-isolated batch prediction: row blocks fan out through
+    /// [`try_par_map`], results return in input order, and a panicking
+    /// worker surfaces as [`MtreeError::Linalg`] (worker panic) instead of
+    /// unwinding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MtreeError::RowLengthMismatch`] when `rows` is narrower
+    /// than the attribute count, and the structured worker-panic error on
+    /// internal failure.
+    pub fn try_predict_batch_with(
+        &self,
+        rows: &Matrix,
+        par: Parallelism,
+    ) -> Result<Vec<f64>, MtreeError> {
+        if rows.cols() < self.n_attrs {
+            return Err(MtreeError::RowLengthMismatch {
+                expected: self.n_attrs,
+                found: rows.cols(),
+            });
+        }
+        let blocks = row_blocks(rows.rows());
+        let cols = rows.cols();
+        let data = rows.as_slice();
+        let per_block = try_par_map(par, &blocks, 1, |&(start, end)| {
+            self.predict_block(&data[start * cols..end * cols], cols)
+        })
+        .map_err(MtreeError::from)?;
+        Ok(per_block.into_iter().flatten().collect())
+    }
+
+    /// Leaf-grouped evaluation of one row block.
+    ///
+    /// Routes every row, buckets the row indices by leaf (counting sort),
+    /// then evaluates model-major: each leaf's model — and, when smoothing,
+    /// each ancestor model on its path — runs over all of that leaf's rows
+    /// at once via [`ModelTable::accumulate`]. Every row still sees the
+    /// exact operation sequence of the scalar walk (terms in order, then
+    /// `intercept + acc`, then the bottom-up smoothing blend), so results
+    /// are bit-identical; only the schedule changes, turning data-dependent
+    /// chained loads and an unpredictable per-row branch pattern into
+    /// independent streaming multiply-adds.
+    fn predict_block(&self, data: &[f64], cols: usize) -> Vec<f64> {
+        let n = data.len() / cols;
+        let mut index_buf = vec![0u32; 2 * n];
+        let (leaf_of, grouped) = index_buf.split_at_mut(n);
+        let mut counts = vec![0u32; self.n_leaves];
+        for (r, leaf) in leaf_of.iter_mut().enumerate() {
+            let l = self.route(&data[r * cols..(r + 1) * cols]);
+            *leaf = l as u32;
+            counts[l] += 1;
+        }
+        // Prefix-sum the counts into bucket offsets, then scatter the row
+        // indices grouped by leaf (stable: ascending row order per leaf).
+        let mut starts = vec![0u32; self.n_leaves + 1];
+        for l in 0..self.n_leaves {
+            starts[l + 1] = starts[l] + counts[l];
+        }
+        let mut next = starts.clone();
+        for (r, &l) in leaf_of.iter().enumerate() {
+            let slot = &mut next[l as usize];
+            grouped[*slot as usize] = r as u32;
+            *slot += 1;
+        }
+
+        // Smoothing walks each leaf's path bottom-up, so the *root* blend is
+        // the final operation for every row and uses the same model for
+        // every leaf. That last step is hoisted out of the per-bucket loop
+        // below into one sequential pass over the whole block (`q` streams
+        // through the rows in storage order with no index indirection).
+        let blend_root = self.smoothing && !self.split_attr.is_empty();
+        let mut p = vec![0.0f64; n];
+        let mut q = if self.smoothing {
+            vec![0.0f64; n]
+        } else {
+            Vec::new()
+        };
+        let k = self.smoothing_k;
+        for leaf in 0..self.n_leaves {
+            let idx = &grouped[starts[leaf] as usize..starts[leaf + 1] as usize];
+            if idx.is_empty() {
+                continue;
+            }
+            let m = self.leaf_model[leaf] as usize;
+            if !self.models.eval_small(m, data, cols, idx, &mut p) {
+                self.models.accumulate(m, data, cols, idx, &mut p);
+                let intercept = self.models.intercept[m];
+                for &r in idx {
+                    let finished = intercept + p[r as usize];
+                    p[r as usize] = finished;
+                }
+            }
+            if self.smoothing {
+                let mut path = self.path_start[leaf] as usize..self.path_start[leaf + 1] as usize;
+                if blend_root {
+                    path.end -= 1; // the shared root entry runs in the global pass
+                }
+                for t in path {
+                    let am = self.path_model[t] as usize;
+                    let an = self.path_n[t];
+                    self.models.accumulate(am, data, cols, idx, &mut q);
+                    let a_intercept = self.models.intercept[am];
+                    for &r in idx {
+                        let r = r as usize;
+                        let qv = a_intercept + q[r];
+                        p[r] = (an * p[r] + k * qv) / (an + k);
+                        q[r] = 0.0;
+                    }
+                }
+            }
+        }
+        if blend_root {
+            // Global root blend: accumulate the root model's terms for every
+            // row in storage order (sequential streaming loads the optimizer
+            // can pipeline), then apply the final recurrence step. The root
+            // entry is the last of every leaf's path; its per-row `n` is the
+            // instance count of the root child on that row's side.
+            let root_m = self.path_model[self.path_start[1] as usize - 1] as usize;
+            let t0 = self.models.term_start[root_m] as usize;
+            let t1 = self.models.term_start[root_m + 1] as usize;
+            // All terms but the last stream into `q`; the last term (when
+            // there is one) fuses into the blend pass below, finishing the
+            // accumulator in the scalar walk's exact order.
+            for t in t0..t1.max(t0 + 1) - 1 {
+                let a = self.models.term_attr[t] as usize;
+                let c = self.models.term_coef[t];
+                for (qr, row) in q.iter_mut().zip(data.chunks_exact(cols)) {
+                    *qr += c * row[a];
+                }
+            }
+            let root_intercept = self.models.intercept[root_m];
+            let last = (t1 > t0).then(|| {
+                (
+                    self.models.term_attr[t1 - 1] as usize,
+                    self.models.term_coef[t1 - 1],
+                )
+            });
+            for r in 0..n {
+                let l = leaf_of[r] as usize;
+                let an = self.path_n[self.path_start[l + 1] as usize - 1];
+                let acc = match last {
+                    Some((a, c)) => q[r] + c * data[r * cols + a],
+                    None => q[r],
+                };
+                let qv = root_intercept + acc;
+                p[r] = (an * p[r] + k * qv) / (an + k);
+            }
+        }
+        p
+    }
+}
+
+impl ModelTree {
+    /// Flattens the fitted tree into the compiled batch-inference form.
+    /// Predictions are bit-identical to [`ModelTree::predict`]; see the
+    /// [`compiled`](self) module docs.
+    pub fn compile(&self) -> CompiledTree {
+        CompiledTree::from_tree(self)
+    }
+}
+
+/// A [`RuleSet`] flattened for batch inference: rule conditions packed into
+/// parallel arrays (first-match evaluation order preserved), rule models in
+/// a shared [`ModelTable`]. Bit-identical to [`RuleSet::predict`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledRules {
+    n_attrs: usize,
+    /// `len() == n_rules + 1`; rule `r` owns conditions
+    /// `rule_start[r]..rule_start[r + 1]`.
+    rule_start: Vec<u32>,
+    cond_attr: Vec<u32>,
+    cond_threshold: Vec<f64>,
+    /// `true` for `attr > threshold`, `false` for `attr <= threshold`.
+    cond_greater: Vec<bool>,
+    /// One model per rule, in rule order.
+    models: ModelTable,
+}
+
+impl CompiledRules {
+    fn from_rules(rules: &RuleSet) -> CompiledRules {
+        let mut c = CompiledRules {
+            n_attrs: rules.attr_names().len(),
+            rule_start: vec![0],
+            cond_attr: Vec::new(),
+            cond_threshold: Vec::new(),
+            cond_greater: Vec::new(),
+            models: ModelTable::new(),
+        };
+        for rule in rules.rules() {
+            for cond in &rule.conditions {
+                c.cond_attr.push(cond.attr as u32);
+                c.cond_threshold.push(cond.threshold);
+                c.cond_greater.push(cond.greater);
+            }
+            c.rule_start.push(c.cond_attr.len() as u32);
+            c.models.push(&rule.model);
+        }
+        c
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.models.n_models()
+    }
+
+    /// `true` when there are no rules.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Attribute count of the source rule set.
+    pub fn n_attrs(&self) -> usize {
+        self.n_attrs
+    }
+
+    /// Index of the first rule matching `row`, or `None`.
+    #[inline]
+    fn first_match(&self, row: &[f64]) -> Option<usize> {
+        'rules: for r in 0..self.len() {
+            let start = self.rule_start[r] as usize;
+            let end = self.rule_start[r + 1] as usize;
+            for c in start..end {
+                let v = row[self.cond_attr[c] as usize];
+                let holds = if self.cond_greater[c] {
+                    v > self.cond_threshold[c]
+                } else {
+                    v <= self.cond_threshold[c]
+                };
+                if !holds {
+                    continue 'rules;
+                }
+            }
+            return Some(r);
+        }
+        None
+    }
+
+    /// Predicts via the first matching rule — bit-identical to
+    /// [`RuleSet::predict`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no rule matches, like the interpreted rule set (impossible
+    /// for tree-derived rules over finite rows).
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        let r = self
+            .first_match(row)
+            .expect("tree-derived rules partition the input space");
+        self.models.eval(r, row)
+    }
+
+    /// Predicts every row of `rows` with the process-wide default thread
+    /// budget. Bit-identical to per-row [`RuleSet::predict`] at any
+    /// [`Parallelism`] setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is narrower than the attribute count or no rule
+    /// matches a row.
+    pub fn predict_batch(&self, rows: &Matrix) -> Vec<f64> {
+        self.predict_batch_with(rows, parallel::global())
+    }
+
+    /// [`CompiledRules::predict_batch`] with an explicit thread budget.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`CompiledRules::predict_batch`].
+    pub fn predict_batch_with(&self, rows: &Matrix, par: Parallelism) -> Vec<f64> {
+        assert!(
+            rows.cols() >= self.n_attrs,
+            "matrix has {} columns, rules expect {}",
+            rows.cols(),
+            self.n_attrs
+        );
+        let blocks = row_blocks(rows.rows());
+        let per_block = try_par_map(par, &blocks, 1, |&(start, end)| {
+            (start..end).map(|r| self.predict(rows.row(r))).collect()
+        })
+        .unwrap_or_else(|e: mtperf_linalg::LinalgError| {
+            panic!("batch rule prediction failed: {e}")
+        });
+        per_block
+            .into_iter()
+            .flat_map(|block: Vec<f64>| block)
+            .collect()
+    }
+}
+
+impl RuleSet {
+    /// Flattens the rule list into the compiled batch-inference form.
+    /// Predictions are bit-identical to [`RuleSet::predict`].
+    pub fn compile(&self) -> CompiledRules {
+        CompiledRules::from_rules(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dataset, M5Params};
+
+    fn piecewise(n: i64) -> Dataset {
+        let rows: Vec<[f64; 3]> = (0..n)
+            .map(|i| [(i % 37) as f64, (i % 11) as f64, (i % 5) as f64])
+            .collect();
+        let ys: Vec<f64> = rows
+            .iter()
+            .map(|r| {
+                if r[0] <= 18.0 {
+                    1.0 + 0.4 * r[1] - 0.1 * r[2]
+                } else {
+                    9.0 - 0.2 * r[0] + 0.3 * r[2]
+                }
+            })
+            .collect();
+        Dataset::from_rows(vec!["a".into(), "b".into(), "c".into()], &rows, &ys).unwrap()
+    }
+
+    fn fit(data: &Dataset, smoothing: bool) -> ModelTree {
+        ModelTree::fit(
+            data,
+            &M5Params::default()
+                .with_min_instances(12)
+                .with_smoothing(smoothing),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn layout_counts_match_tree() {
+        let d = piecewise(300);
+        let tree = fit(&d, true);
+        let c = tree.compile();
+        assert_eq!(c.n_leaves(), tree.n_leaves());
+        assert_eq!(c.n_splits(), tree.n_leaves() - 1);
+        assert_eq!(c.n_models(), 2 * tree.n_leaves() - 1);
+        assert_eq!(c.n_attrs(), 3);
+        assert!(c.smoothing());
+    }
+
+    #[test]
+    fn single_row_predictions_are_bit_identical() {
+        let d = piecewise(300);
+        for smoothing in [false, true] {
+            let tree = fit(&d, smoothing);
+            let c = tree.compile();
+            for i in 0..d.n_rows() {
+                let row = d.row(i);
+                assert_eq!(
+                    c.predict(&row).to_bits(),
+                    tree.predict(&row).to_bits(),
+                    "row {i}, smoothing {smoothing}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_serial_at_any_parallelism() {
+        let d = piecewise(400);
+        let tree = fit(&d, true);
+        let c = tree.compile();
+        let m = d.to_matrix();
+        let serial = c.predict_batch_with(&m, Parallelism::Off);
+        for par in [
+            Parallelism::Auto,
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(3),
+            Parallelism::Fixed(8),
+        ] {
+            let batch = c.predict_batch_with(&m, par);
+            assert_eq!(batch.len(), serial.len());
+            for (a, b) in batch.iter().zip(&serial) {
+                assert_eq!(a.to_bits(), b.to_bits(), "par {par:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_leaf_tree_compiles() {
+        let d = Dataset::from_rows(vec!["x".into()], &[[1.0], [2.0]], &[3.0, 3.0]).unwrap();
+        let tree = ModelTree::fit(&d, &M5Params::default()).unwrap();
+        let c = tree.compile();
+        assert_eq!(c.n_leaves(), 1);
+        assert_eq!(c.n_splits(), 0);
+        assert_eq!(
+            c.predict(&[99.0]).to_bits(),
+            tree.predict(&[99.0]).to_bits()
+        );
+        let m = d.to_matrix();
+        assert_eq!(c.predict_batch(&m), vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let d = piecewise(60);
+        let c = fit(&d, false).compile();
+        let empty = Matrix::zeros(0, 3);
+        assert!(c.predict_batch(&empty).is_empty());
+    }
+
+    #[test]
+    fn narrow_matrix_is_a_structured_error() {
+        let d = piecewise(60);
+        let c = fit(&d, false).compile();
+        let narrow = Matrix::zeros(4, 2);
+        match c.try_predict_batch_with(&narrow, Parallelism::Off) {
+            Err(MtreeError::RowLengthMismatch { expected, found }) => {
+                assert_eq!((expected, found), (3, 2));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expects")]
+    fn short_row_panics_like_interpreted() {
+        let d = piecewise(60);
+        let c = fit(&d, false).compile();
+        c.predict(&[1.0]);
+    }
+
+    #[test]
+    fn compiled_rules_match_rule_set() {
+        let d = piecewise(300);
+        let tree = fit(&d, false);
+        let rules = RuleSet::from_tree(&tree);
+        let c = rules.compile();
+        assert_eq!(c.len(), rules.len());
+        assert!(!c.is_empty());
+        assert_eq!(c.n_attrs(), 3);
+        let m = d.to_matrix();
+        let batch = c.predict_batch_with(&m, Parallelism::Fixed(4));
+        for (i, b) in batch.iter().enumerate() {
+            let row = d.row(i);
+            assert_eq!(c.predict(&row).to_bits(), rules.predict(&row).to_bits());
+            assert_eq!(b.to_bits(), rules.predict(&row).to_bits());
+        }
+    }
+}

@@ -2,6 +2,7 @@
 
 use std::collections::HashSet;
 
+use mtperf_linalg::Matrix;
 use serde::{de, Deserialize, Serialize, Value};
 
 use crate::MtreeError;
@@ -247,6 +248,35 @@ impl Dataset {
     /// Materializes instance `i` as a row vector (attribute order).
     pub fn row(&self, i: usize) -> Vec<f64> {
         self.columns.iter().map(|c| c[i]).collect()
+    }
+
+    /// Materializes the whole dataset as a row-major attribute matrix
+    /// (`n_rows × n_attrs`, targets excluded) — the input shape of
+    /// [`crate::CompiledTree::predict_batch`].
+    pub fn to_matrix(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.n_rows(), self.n_attrs());
+        for (j, col) in self.columns.iter().enumerate() {
+            for (i, &v) in col.iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Materializes the instances in `idx` as a row-major attribute matrix
+    /// (`idx.len() × n_attrs`, row order follows `idx`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn matrix_of(&self, idx: &[usize]) -> Matrix {
+        let mut m = Matrix::zeros(idx.len(), self.n_attrs());
+        for (r, &i) in idx.iter().enumerate() {
+            for (j, col) in self.columns.iter().enumerate() {
+                m[(r, j)] = col[i];
+            }
+        }
+        m
     }
 
     /// Returns a new dataset containing only the attributes in `attrs`

@@ -2,6 +2,9 @@
 //! regressors, so the evaluation harness (`mtperf-eval`) can cross-validate
 //! any of them uniformly.
 
+use mtperf_linalg::Matrix;
+
+use crate::compiled::CompiledTree;
 use crate::{Dataset, M5Params, ModelTree, MtreeError};
 
 /// A fitted regression model: maps an attribute row to a prediction.
@@ -11,6 +14,17 @@ use crate::{Dataset, M5Params, ModelTree, MtreeError};
 pub trait Predictor: Send {
     /// Predicts the target for `row`.
     fn predict(&self, row: &[f64]) -> f64;
+
+    /// Predicts every row of `rows` (row-major, one instance per row).
+    ///
+    /// The default calls [`Predictor::predict`] once per row; models with a
+    /// compiled batch path (the model tree) override it. Overrides must
+    /// stay bit-identical to the per-row loop.
+    fn predict_batch(&self, rows: &Matrix) -> Vec<f64> {
+        (0..rows.rows())
+            .map(|r| self.predict(rows.row(r)))
+            .collect()
+    }
 }
 
 /// A trainable regression algorithm.
@@ -34,6 +48,23 @@ pub trait Learner: Send + Sync {
 impl Predictor for ModelTree {
     fn predict(&self, row: &[f64]) -> f64 {
         ModelTree::predict(self, row)
+    }
+
+    /// Compiles once, then scores through the flat arrays — bit-identical
+    /// to the per-row walk (see [`crate::compiled`]).
+    fn predict_batch(&self, rows: &Matrix) -> Vec<f64> {
+        self.compile()
+            .predict_batch_with(rows, self.params().parallelism())
+    }
+}
+
+impl Predictor for CompiledTree {
+    fn predict(&self, row: &[f64]) -> f64 {
+        CompiledTree::predict(self, row)
+    }
+
+    fn predict_batch(&self, rows: &Matrix) -> Vec<f64> {
+        CompiledTree::predict_batch(self, rows)
     }
 }
 

@@ -48,6 +48,7 @@
 
 pub mod analysis;
 mod build;
+pub mod compiled;
 mod dataset;
 mod error;
 mod learner;
@@ -61,6 +62,7 @@ mod rules;
 mod split;
 mod tree;
 
+pub use compiled::{CompiledRules, CompiledTree};
 pub use dataset::Dataset;
 pub use error::MtreeError;
 pub use learner::{Learner, M5Learner, Predictor};

@@ -10,7 +10,7 @@ use std::path::Path;
 
 use serde::{Deserialize, Serialize};
 
-use crate::ModelTree;
+use crate::{ModelTree, RuleSet};
 
 /// On-disk format version; bumped on breaking model-layout changes.
 const FORMAT_VERSION: u32 = 1;
@@ -20,6 +20,13 @@ struct Envelope {
     format: String,
     version: u32,
     tree: ModelTree,
+}
+
+#[derive(Serialize, Deserialize)]
+struct RuleEnvelope {
+    format: String,
+    version: u32,
+    rules: RuleSet,
 }
 
 /// Error loading or saving a persisted model.
@@ -113,6 +120,67 @@ impl ModelTree {
     }
 }
 
+impl RuleSet {
+    /// Serializes the rule set to a JSON string (versioned envelope, format
+    /// marker `mtperf-rule-set`), preserving the full extraction state:
+    /// rule order, conditions, per-rule models, coverage, and means. A rule
+    /// set loaded back (and compiled) predicts bit-identically to the
+    /// in-memory one.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&RuleEnvelope {
+            format: "mtperf-rule-set".into(),
+            version: FORMAT_VERSION,
+            rules: self.clone(),
+        })
+        .expect("rule serialization cannot fail")
+    }
+
+    /// Deserializes a rule set from [`RuleSet::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Format`] for non-rule JSON or version
+    /// mismatches.
+    pub fn from_json(json: &str) -> Result<RuleSet, PersistError> {
+        let env: RuleEnvelope =
+            serde_json::from_str(json).map_err(|e| PersistError::Format(e.to_string()))?;
+        if env.format != "mtperf-rule-set" {
+            return Err(PersistError::Format(format!(
+                "unexpected format marker {:?}",
+                env.format
+            )));
+        }
+        if env.version != FORMAT_VERSION {
+            return Err(PersistError::Format(format!(
+                "unsupported version {} (expected {FORMAT_VERSION})",
+                env.version
+            )));
+        }
+        Ok(env.rules)
+    }
+
+    /// Saves the rule set to `path` as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on write failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        fs::write(path, self.to_json())?;
+        Ok(())
+    }
+
+    /// Loads a rule set from a file written by [`RuleSet::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on read failure and
+    /// [`PersistError::Format`] on malformed content.
+    pub fn load(path: impl AsRef<Path>) -> Result<RuleSet, PersistError> {
+        let json = fs::read_to_string(path)?;
+        Self::from_json(&json)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +223,21 @@ mod tests {
         assert!(matches!(err, PersistError::Format(_)), "{err}");
         let err = ModelTree::from_json("not json at all").unwrap_err();
         assert!(matches!(err, PersistError::Format(_)));
+    }
+
+    #[test]
+    fn rule_set_roundtrip_preserves_extraction_state() {
+        let t = tree();
+        let rules = crate::RuleSet::from_tree(&t);
+        let back = crate::RuleSet::from_json(&rules.to_json()).unwrap();
+        assert_eq!(back, rules);
+        for i in 0..80 {
+            let row = [i as f64];
+            assert_eq!(back.predict(&row).to_bits(), rules.predict(&row).to_bits());
+        }
+        // A tree envelope is not a rule envelope and vice versa.
+        let err = crate::RuleSet::from_json(&t.to_json()).unwrap_err();
+        assert!(matches!(err, PersistError::Format(_)), "{err}");
     }
 
     #[test]

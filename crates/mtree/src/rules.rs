@@ -114,6 +114,11 @@ impl RuleSet {
         &self.rules
     }
 
+    /// Attribute names of the source tree, in column order.
+    pub fn attr_names(&self) -> &[String] {
+        &self.attr_names
+    }
+
     /// The first matching rule for `row`.
     ///
     /// # Panics
