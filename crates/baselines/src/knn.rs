@@ -32,9 +32,9 @@ impl Predictor for KnnModel {
             })
             .collect();
         let k = self.k.min(dists.len());
-        dists.select_nth_unstable_by(k - 1, |a, b| {
-            a.0.partial_cmp(&b.0).expect("finite distances")
-        });
+        // total_cmp: NaN distances (NaN query or training values) rank last
+        // deterministically instead of panicking mid-prediction.
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
         let sum: f64 = dists[..k].iter().map(|&(_, y)| y).sum();
         sum / k as f64
     }

@@ -45,7 +45,11 @@ pub fn train_suite(
     data: &Dataset,
     par: Parallelism,
 ) -> Result<Vec<(String, Box<dyn Predictor>)>, MtreeError> {
+    let mut suite_span = mtperf_obs::span("baseline_suite");
+    suite_span.add("learners", learners.len() as u64);
     try_par_map(par, learners, 1, |learner| {
+        let mut fit_span = mtperf_obs::span("baseline_fit");
+        fit_span.annotate("learner", learner.name());
         learner
             .fit(data)
             .map(|model| (learner.name().to_string(), model))

@@ -401,9 +401,13 @@ pub fn read_csv_with_policy<R: Read>(
     r: R,
     policy: IngestPolicy,
 ) -> Result<(SampleSet, IngestReport), CsvError> {
+    let mut ingest_span = mtperf_obs::span("ingest");
+    ingest_span.annotate("policy", &policy.to_string());
     if policy == IngestPolicy::Strict {
         let set = crate::csv::read_csv(r)?;
         let n = set.len();
+        ingest_span.add("rows_read", n as u64);
+        ingest_span.add("rows_kept", n as u64);
         return Ok((
             set,
             IngestReport {
@@ -578,6 +582,10 @@ pub fn read_csv_with_policy<R: Read>(
         quarantined,
         repairs,
     };
+    ingest_span.add("rows_read", report.rows_read as u64);
+    ingest_span.add("rows_kept", report.rows_kept as u64);
+    ingest_span.add("rows_quarantined", report.rows_quarantined() as u64);
+    ingest_span.add("field_repairs", report.repairs.len() as u64);
     Ok((set, report))
 }
 

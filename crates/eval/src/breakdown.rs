@@ -33,7 +33,9 @@ pub fn per_label_metrics(
     groups
         .into_iter()
         .map(|(label, (actual, predicted))| {
-            (label.to_string(), Metrics::compute(&actual, &predicted))
+            let m = Metrics::compute(&actual, &predicted)
+                .expect("every label group holds at least the row that created it");
+            (label.to_string(), m)
         })
         .collect()
 }
@@ -42,11 +44,9 @@ pub fn per_label_metrics(
 pub fn breakdown_table(breakdown: &BTreeMap<String, Metrics>) -> String {
     use std::fmt::Write as _;
     let mut rows: Vec<(&String, &Metrics)> = breakdown.iter().collect();
-    rows.sort_by(|a, b| {
-        b.1.rae_percent
-            .partial_cmp(&a.1.rae_percent)
-            .expect("finite RAE")
-    });
+    // total_cmp: an undefined RAE (degenerate group) sorts deterministically
+    // instead of panicking the report.
+    rows.sort_by(|a, b| b.1.rae_percent.total_cmp(&a.1.rae_percent));
     let mut out = String::new();
     let _ = writeln!(
         out,

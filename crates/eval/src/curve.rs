@@ -72,7 +72,7 @@ pub fn learning_curve(
             .collect();
         out.push(CurvePoint {
             train_size: size,
-            metrics: Metrics::compute(&actual, &predicted),
+            metrics: Metrics::compute(&actual, &predicted)?,
         });
     }
     Ok(out)

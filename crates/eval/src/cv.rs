@@ -22,11 +22,28 @@ pub struct FoldResult {
     pub predicted: Vec<f64>,
 }
 
+/// A fold that could not be scored (degenerate training data or an empty
+/// evaluation set) and was recorded instead of aborting the run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SkippedFold {
+    /// Fold number (0-based).
+    pub fold: usize,
+    /// Why the fold was skipped.
+    pub reason: String,
+}
+
 /// Result of a full k-fold cross validation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CvResult {
-    /// Per-fold results.
+    /// Per-fold results (scored folds only; see [`CvResult::skipped`]).
     pub folds: Vec<FoldResult>,
+    /// Folds that produced no metrics, with the reason for each. Empty on
+    /// healthy data; the run aborts only when *every* fold is skipped.
+    pub skipped: Vec<SkippedFold>,
+    /// Number of scored folds whose correlation was undefined (constant
+    /// actuals or predictions) and therefore excluded from the aggregate
+    /// correlation mean.
+    pub undefined_correlation_folds: usize,
     /// Instance-weighted aggregate metrics (the numbers the paper reports).
     pub aggregate: Metrics,
     /// Metrics computed over the pooled out-of-fold predictions — exactly
@@ -43,6 +60,12 @@ impl CvResult {
             .flat_map(|f| f.actual.iter().copied().zip(f.predicted.iter().copied()))
             .collect()
     }
+}
+
+/// Per-fold worker verdict: scored, or recorded as skipped.
+enum FoldOutcome {
+    Scored(FoldResult),
+    Skipped(SkippedFold),
 }
 
 /// Seeded Fisher–Yates shuffle of `0..n`.
@@ -99,13 +122,17 @@ pub fn cross_validate_with(
             "k must be in 2..=n (k={k}, n={n})"
         )));
     }
+    let mut cv_span = mtperf_obs::span("cv");
+    cv_span.annotate_num("k", k as f64);
+    cv_span.annotate_num("rows", n as f64);
     let order = shuffled_indices(n, seed);
     let fold_ids: Vec<usize> = (0..k).collect();
-    let folds = try_par_map(
+    let outcomes = try_par_map(
         par,
         &fold_ids,
         1,
-        |&fold| -> Result<FoldResult, MtreeError> {
+        |&fold| -> Result<FoldOutcome, MtreeError> {
+            let mut fold_span = mtperf_obs::span_idx("fold", fold);
             // Fold f takes every k-th element: near-equal sizes, one pass.
             let test_idx: Vec<usize> = order.iter().copied().skip(fold).step_by(k).collect();
             let train_idx: Vec<usize> = order
@@ -115,31 +142,78 @@ pub fn cross_validate_with(
                 .filter(|(pos, _)| pos % k != fold)
                 .map(|(_, i)| i)
                 .collect();
+            fold_span.add("train_rows", train_idx.len() as u64);
+            fold_span.add("test_rows", test_idx.len() as u64);
             let train = data.subset(&train_idx);
-            let model = learner.fit(&train)?;
+            // A fold whose training subset is degenerate is recorded and
+            // skipped; any other learner failure still aborts the run.
+            let model = match learner.fit(&train) {
+                Ok(m) => m,
+                Err(MtreeError::DegenerateData(msg)) => {
+                    fold_span.annotate("skipped", &msg);
+                    return Ok(FoldOutcome::Skipped(SkippedFold {
+                        fold,
+                        reason: format!("degenerate training data: {msg}"),
+                    }));
+                }
+                Err(e) => return Err(e),
+            };
             let actual: Vec<f64> = test_idx.iter().map(|&i| data.target(i)).collect();
             // Batch scoring through the compiled path (bit-identical to the
             // per-row walk); nested parallel calls self-serialize, so fold
             // results stay deterministic.
             let predicted = model.predict_batch(&data.matrix_of(&test_idx));
-            Ok(FoldResult {
-                fold,
-                metrics: Metrics::compute(&actual, &predicted),
-                actual,
-                predicted,
-            })
+            // An unscorable evaluation set (e.g. empty after quarantine) is
+            // likewise a skip, not an abort.
+            match Metrics::compute(&actual, &predicted) {
+                Ok(metrics) => Ok(FoldOutcome::Scored(FoldResult {
+                    fold,
+                    metrics,
+                    actual,
+                    predicted,
+                })),
+                Err(e) => {
+                    let reason = e.to_string();
+                    fold_span.annotate("skipped", &reason);
+                    Ok(FoldOutcome::Skipped(SkippedFold { fold, reason }))
+                }
+            }
         },
     )
     .map_err(MtreeError::from)?;
-    let folds = folds.into_iter().collect::<Result<Vec<_>, _>>()?;
-    let aggregate = Metrics::aggregate(&folds.iter().map(|f| f.metrics).collect::<Vec<_>>());
+    let mut folds = Vec::with_capacity(k);
+    let mut skipped = Vec::new();
+    for outcome in outcomes {
+        match outcome? {
+            FoldOutcome::Scored(f) => folds.push(f),
+            FoldOutcome::Skipped(s) => skipped.push(s),
+        }
+    }
+    if folds.is_empty() {
+        return Err(MtreeError::DegenerateData(format!(
+            "all {k} folds were skipped (first: fold {}: {})",
+            skipped[0].fold, skipped[0].reason
+        )));
+    }
+    let fold_metrics: Vec<Metrics> = folds.iter().map(|f| f.metrics).collect();
+    let undefined_correlation_folds = fold_metrics
+        .iter()
+        .filter(|m| !m.correlation_defined)
+        .count();
+    let aggregate =
+        Metrics::aggregate(&fold_metrics).expect("at least one scored fold is guaranteed above");
     let (all_a, all_p): (Vec<f64>, Vec<f64>) = folds
         .iter()
         .flat_map(|f| f.actual.iter().copied().zip(f.predicted.iter().copied()))
         .unzip();
-    let pooled = Metrics::compute(&all_a, &all_p);
+    let pooled = Metrics::compute(&all_a, &all_p)?;
+    cv_span.add("folds_scored", folds.len() as u64);
+    cv_span.add("folds_skipped", skipped.len() as u64);
+    drop(cv_span);
     Ok(CvResult {
         folds,
+        skipped,
+        undefined_correlation_folds,
         aggregate,
         pooled,
     })
@@ -242,6 +316,87 @@ mod tests {
                 assert_eq!(a.predicted, b.predicted);
             }
         }
+    }
+
+    /// Predicts a constant; used to exercise degenerate-fold handling.
+    struct ConstPredictor(f64);
+
+    impl mtperf_mtree::Predictor for ConstPredictor {
+        fn predict(&self, _row: &[f64]) -> f64 {
+            self.0
+        }
+    }
+
+    /// Fails with [`MtreeError::DegenerateData`] whenever the training
+    /// subset contains the poison value in its first attribute.
+    struct FragileLearner {
+        poison: f64,
+    }
+
+    impl Learner for FragileLearner {
+        fn fit(&self, data: &Dataset) -> Result<Box<dyn mtperf_mtree::Predictor>, MtreeError> {
+            if data.column(0).contains(&self.poison) {
+                return Err(MtreeError::DegenerateData("poisoned subset".into()));
+            }
+            Ok(Box::new(ConstPredictor(0.0)))
+        }
+
+        fn name(&self) -> &str {
+            "fragile"
+        }
+    }
+
+    use mtperf_mtree::Learner;
+
+    #[test]
+    fn degenerate_folds_are_recorded_not_fatal() {
+        // Regression: a fold whose training data is degenerate used to abort
+        // the whole cross validation. The poison value lands in exactly one
+        // fold's test set; every other fold trains on it and fails, so k-1
+        // folds are skipped and the run still reports the one scored fold.
+        let d = data(20);
+        let learner = FragileLearner { poison: 7.0 };
+        let cv = cross_validate(&learner, &d, 5, 3).unwrap();
+        assert_eq!(cv.folds.len(), 1);
+        assert_eq!(cv.skipped.len(), 4);
+        assert!(cv.skipped[0].reason.contains("poisoned subset"));
+        assert_eq!(cv.aggregate.n, 4);
+        // The surviving fold predicts a constant: its correlation is
+        // undefined and must be flagged, not silently zero.
+        assert_eq!(cv.undefined_correlation_folds, 1);
+        assert!(!cv.aggregate.correlation_defined);
+    }
+
+    #[test]
+    fn all_folds_skipped_is_an_error() {
+        let d = data(20);
+        struct AlwaysFails;
+        impl Learner for AlwaysFails {
+            fn fit(&self, _data: &Dataset) -> Result<Box<dyn mtperf_mtree::Predictor>, MtreeError> {
+                Err(MtreeError::DegenerateData("nothing to fit".into()))
+            }
+            fn name(&self) -> &str {
+                "always-fails"
+            }
+        }
+        let err = cross_validate(&AlwaysFails, &d, 5, 3).unwrap_err();
+        match err {
+            MtreeError::DegenerateData(msg) => {
+                assert!(msg.contains("all 5 folds"), "{msg}");
+                assert!(msg.contains("nothing to fit"), "{msg}");
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn healthy_data_has_no_skips() {
+        let d = data(53);
+        let learner = M5Learner::new(M5Params::default());
+        let cv = cross_validate(&learner, &d, 10, 7).unwrap();
+        assert!(cv.skipped.is_empty());
+        assert_eq!(cv.undefined_correlation_folds, 0);
+        assert!(cv.aggregate.correlation_defined);
     }
 
     #[test]

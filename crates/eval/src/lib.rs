@@ -34,8 +34,10 @@ mod significance;
 
 pub use breakdown::{breakdown_table, per_label_metrics};
 pub use curve::{learning_curve, CurvePoint};
-pub use cv::{cross_validate, cross_validate_with, train_test_split, CvResult, FoldResult};
-pub use metrics::Metrics;
+pub use cv::{
+    cross_validate, cross_validate_with, train_test_split, CvResult, FoldResult, SkippedFold,
+};
+pub use metrics::{Metrics, MetricsError};
 pub use repeat::{repeated_cv, repeated_cv_with, RepeatedCv, Spread};
 pub use report::{comparison_table, scatter_csv};
 pub use significance::{paired_t_test, PairedTTest};

@@ -3,6 +3,42 @@
 use serde::{Deserialize, Serialize};
 
 use mtperf_linalg::stats;
+use mtperf_mtree::MtreeError;
+
+/// Why a metrics computation could not produce a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricsError {
+    /// No instances to evaluate (e.g. a fully-quarantined fold under a
+    /// skip policy).
+    Empty,
+    /// Actual and predicted slices have different lengths.
+    LengthMismatch {
+        /// Number of actual values.
+        actual: usize,
+        /// Number of predicted values.
+        predicted: usize,
+    },
+}
+
+impl std::fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetricsError::Empty => write!(f, "empty evaluation: no instances to score"),
+            MetricsError::LengthMismatch { actual, predicted } => write!(
+                f,
+                "length mismatch: {actual} actual values vs {predicted} predictions"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MetricsError {}
+
+impl From<MetricsError> for MtreeError {
+    fn from(e: MetricsError) -> Self {
+        MtreeError::DegenerateData(e.to_string())
+    }
+}
 
 /// The accuracy metrics of one evaluation, matching the paper's §V.B:
 /// correlation coefficient, mean absolute error and relative absolute error,
@@ -12,8 +48,14 @@ pub struct Metrics {
     /// Number of evaluated instances.
     pub n: usize,
     /// Pearson correlation between actual and predicted values (`C`);
-    /// 0.0 when undefined (constant actuals or predictions).
+    /// 0.0 when undefined — see [`Metrics::correlation_defined`].
     pub correlation: f64,
+    /// Whether [`Metrics::correlation`] is mathematically defined. Constant
+    /// actuals or predictions have zero variance, so Pearson correlation
+    /// does not exist for them; such folds carry `correlation: 0.0` as a
+    /// placeholder and must be excluded from correlation averages
+    /// (which [`Metrics::aggregate`] does).
+    pub correlation_defined: bool,
     /// Mean absolute error.
     pub mae: f64,
     /// Relative absolute error in percent:
@@ -30,12 +72,23 @@ pub struct Metrics {
 impl Metrics {
     /// Computes all metrics from actual/predicted pairs.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the slices have different lengths or are empty.
-    pub fn compute(actual: &[f64], predicted: &[f64]) -> Metrics {
-        assert_eq!(actual.len(), predicted.len(), "length mismatch");
-        assert!(!actual.is_empty(), "empty evaluation");
+    /// Returns [`MetricsError::Empty`] for empty slices and
+    /// [`MetricsError::LengthMismatch`] when the slices disagree in length —
+    /// both are data conditions (a fully-quarantined fold, a truncated
+    /// prediction stream), not programming errors, so they are values, not
+    /// panics.
+    pub fn compute(actual: &[f64], predicted: &[f64]) -> Result<Metrics, MetricsError> {
+        if actual.len() != predicted.len() {
+            return Err(MetricsError::LengthMismatch {
+                actual: actual.len(),
+                predicted: predicted.len(),
+            });
+        }
+        if actual.is_empty() {
+            return Err(MetricsError::Empty);
+        }
         let n = actual.len();
         let nf = n as f64;
         let mean_actual = stats::mean(actual);
@@ -62,37 +115,60 @@ impl Metrics {
         } else {
             0.0
         };
-        Metrics {
+        let correlation = stats::correlation(actual, predicted);
+        Ok(Metrics {
             n,
-            correlation: stats::correlation(actual, predicted).unwrap_or(0.0),
+            correlation: correlation.unwrap_or(0.0),
+            correlation_defined: correlation.is_some(),
             mae,
             rae_percent,
             rmse,
             rrse_percent,
-        }
+        })
     }
 
-    /// Instance-weighted average of several fold metrics (correlation is
-    /// weighted by fold size, as WEKA reports it).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `folds` is empty.
-    pub fn aggregate(folds: &[Metrics]) -> Metrics {
-        assert!(!folds.is_empty(), "no folds to aggregate");
+    /// Instance-weighted average of several fold metrics (weighted by fold
+    /// size, as WEKA reports it). Folds whose correlation is undefined
+    /// (see [`Metrics::correlation_defined`]) are excluded from the
+    /// correlation mean — averaging their `0.0` placeholders in would bias
+    /// the reported `C` toward zero; error metrics still average over every
+    /// fold. Returns `None` when `folds` is empty.
+    pub fn aggregate(folds: &[Metrics]) -> Option<Metrics> {
+        if folds.is_empty() {
+            return None;
+        }
         let total: usize = folds.iter().map(|m| m.n).sum();
         let tf = total as f64;
         let w = |f: fn(&Metrics) -> f64| -> f64 {
             folds.iter().map(|m| f(m) * m.n as f64).sum::<f64>() / tf
         };
-        Metrics {
+        // Correlation averages over defined folds only, with their own
+        // weight normalization.
+        let corr_weight: f64 = folds
+            .iter()
+            .filter(|m| m.correlation_defined)
+            .map(|m| m.n as f64)
+            .sum();
+        let (correlation, correlation_defined) = if corr_weight > 0.0 {
+            let c = folds
+                .iter()
+                .filter(|m| m.correlation_defined)
+                .map(|m| m.correlation * m.n as f64)
+                .sum::<f64>()
+                / corr_weight;
+            (c, true)
+        } else {
+            (0.0, false)
+        };
+        Some(Metrics {
             n: total,
-            correlation: w(|m| m.correlation),
+            correlation,
+            correlation_defined,
             mae: w(|m| m.mae),
             rae_percent: w(|m| m.rae_percent),
             rmse: w(|m| m.rmse),
             rrse_percent: w(|m| m.rrse_percent),
-        }
+        })
     }
 }
 
@@ -100,8 +176,18 @@ impl std::fmt::Display for Metrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "n={} C={:.4} MAE={:.4} RAE={:.2}% RMSE={:.4} RRSE={:.2}%",
-            self.n, self.correlation, self.mae, self.rae_percent, self.rmse, self.rrse_percent
+            "n={} C={:.4}{} MAE={:.4} RAE={:.2}% RMSE={:.4} RRSE={:.2}%",
+            self.n,
+            self.correlation,
+            if self.correlation_defined {
+                ""
+            } else {
+                " (undefined)"
+            },
+            self.mae,
+            self.rae_percent,
+            self.rmse,
+            self.rrse_percent
         )
     }
 }
@@ -113,9 +199,10 @@ mod tests {
     #[test]
     fn perfect_prediction() {
         let y = [1.0, 2.0, 3.0, 4.0];
-        let m = Metrics::compute(&y, &y);
+        let m = Metrics::compute(&y, &y).unwrap();
         assert_eq!(m.n, 4);
         assert!((m.correlation - 1.0).abs() < 1e-12);
+        assert!(m.correlation_defined);
         assert_eq!(m.mae, 0.0);
         assert_eq!(m.rae_percent, 0.0);
         assert_eq!(m.rmse, 0.0);
@@ -127,17 +214,18 @@ mod tests {
         let y = [1.0, 2.0, 3.0, 4.0];
         let mean = 2.5;
         let p = [mean; 4];
-        let m = Metrics::compute(&y, &p);
+        let m = Metrics::compute(&y, &p).unwrap();
         assert!((m.rae_percent - 100.0).abs() < 1e-9);
         assert!((m.rrse_percent - 100.0).abs() < 1e-9);
-        assert_eq!(m.correlation, 0.0, "constant predictions: undefined -> 0");
+        assert_eq!(m.correlation, 0.0, "constant predictions: placeholder 0");
+        assert!(!m.correlation_defined, "constant predictions: C undefined");
     }
 
     #[test]
     fn known_values() {
         let y = [0.0, 2.0];
         let p = [1.0, 3.0]; // off by one everywhere
-        let m = Metrics::compute(&y, &p);
+        let m = Metrics::compute(&y, &p).unwrap();
         assert!((m.mae - 1.0).abs() < 1e-12);
         assert!((m.rmse - 1.0).abs() < 1e-12);
         // Baseline absolute error: |1-0| + |1-2| = 2 -> RAE = 2/2 = 100%.
@@ -145,49 +233,89 @@ mod tests {
         assert!((m.correlation - 1.0).abs() < 1e-12);
     }
 
+    fn fold(n: usize, correlation: f64, defined: bool, err: f64) -> Metrics {
+        Metrics {
+            n,
+            correlation,
+            correlation_defined: defined,
+            mae: err,
+            rae_percent: err * 25.0,
+            rmse: err,
+            rrse_percent: err * 25.0,
+        }
+    }
+
     #[test]
     fn aggregate_weights_by_size() {
-        let a = Metrics {
-            n: 1,
-            correlation: 1.0,
-            mae: 0.0,
-            rae_percent: 0.0,
-            rmse: 0.0,
-            rrse_percent: 0.0,
-        };
-        let b = Metrics {
-            n: 3,
-            correlation: 0.0,
-            mae: 4.0,
-            rae_percent: 100.0,
-            rmse: 4.0,
-            rrse_percent: 100.0,
-        };
-        let agg = Metrics::aggregate(&[a, b]);
+        let a = fold(1, 1.0, true, 0.0);
+        let b = fold(3, 0.0, true, 4.0);
+        let agg = Metrics::aggregate(&[a, b]).unwrap();
         assert_eq!(agg.n, 4);
         assert!((agg.correlation - 0.25).abs() < 1e-12);
+        assert!(agg.correlation_defined);
         assert!((agg.mae - 3.0).abs() < 1e-12);
         assert!((agg.rae_percent - 75.0).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "length mismatch")]
-    fn rejects_mismatched_lengths() {
-        Metrics::compute(&[1.0], &[1.0, 2.0]);
+    fn aggregate_excludes_undefined_correlation_folds() {
+        // Regression: fold b's correlation is the 0.0 placeholder for an
+        // undefined value (constant actuals). It must not drag the weighted
+        // mean down; error metrics still average over both folds.
+        let a = fold(2, 0.9, true, 1.0);
+        let b = fold(2, 0.0, false, 3.0);
+        let agg = Metrics::aggregate(&[a, b]).unwrap();
+        assert!((agg.correlation - 0.9).abs() < 1e-12, "{}", agg.correlation);
+        assert!(agg.correlation_defined);
+        assert!((agg.mae - 2.0).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
+    fn aggregate_of_all_undefined_is_undefined() {
+        let a = fold(2, 0.0, false, 1.0);
+        let b = fold(2, 0.0, false, 3.0);
+        let agg = Metrics::aggregate(&[a, b]).unwrap();
+        assert_eq!(agg.correlation, 0.0);
+        assert!(!agg.correlation_defined);
+        assert!((agg.mae - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_of_empty_is_none() {
+        assert!(Metrics::aggregate(&[]).is_none());
+    }
+
+    #[test]
+    fn rejects_mismatched_lengths() {
+        // Regression: these were panics; data-shaped failures must be values.
+        let err = Metrics::compute(&[1.0], &[1.0, 2.0]).unwrap_err();
+        assert_eq!(
+            err,
+            MetricsError::LengthMismatch {
+                actual: 1,
+                predicted: 2
+            }
+        );
+        assert!(err.to_string().contains("1 actual"));
+    }
+
+    #[test]
     fn rejects_empty() {
-        Metrics::compute(&[], &[]);
+        let err = Metrics::compute(&[], &[]).unwrap_err();
+        assert_eq!(err, MetricsError::Empty);
+        let mtree_err: mtperf_mtree::MtreeError = err.into();
+        assert!(mtree_err.to_string().contains("empty evaluation"));
     }
 
     #[test]
     fn display_contains_fields() {
         let y = [1.0, 2.0];
-        let m = Metrics::compute(&y, &y);
+        let m = Metrics::compute(&y, &y).unwrap();
         let s = m.to_string();
         assert!(s.contains("C=1.0000"));
         assert!(s.contains("RAE=0.00%"));
+        assert!(!s.contains("undefined"));
+        let u = Metrics::compute(&y, &[5.0, 5.0]).unwrap();
+        assert!(u.to_string().contains("C=0.0000 (undefined)"));
     }
 }

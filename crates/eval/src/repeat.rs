@@ -34,6 +34,9 @@ impl Spread {
 pub struct RepeatedCv {
     /// The pooled metrics of every repeat.
     pub repeats: Vec<Metrics>,
+    /// Total folds skipped (degenerate data) across every repeat; 0 on
+    /// healthy data.
+    pub skipped_folds: usize,
     /// Spread of the correlation coefficient.
     pub correlation: Spread,
     /// Spread of the MAE.
@@ -82,12 +85,20 @@ pub fn repeated_cv_with(
         return Err(MtreeError::BadParams("repeats must be >= 1".into()));
     }
     let seeds: Vec<u64> = (0..repeats).map(|r| seed + r as u64).collect();
-    let metrics = try_par_map(par, &seeds, 1, |&s| {
-        cross_validate_with(learner, data, k, s, par).map(|cv| cv.pooled)
+    let runs = try_par_map(par, &seeds, 1, |&s| {
+        let mut repeat_span = mtperf_obs::span_idx("repeat", (s - seed) as usize);
+        let run =
+            cross_validate_with(learner, data, k, s, par).map(|cv| (cv.pooled, cv.skipped.len()));
+        if let Ok((_, skipped)) = &run {
+            repeat_span.add("folds_skipped", *skipped as u64);
+        }
+        run
     })
     .map_err(MtreeError::from)?
     .into_iter()
     .collect::<Result<Vec<_>, _>>()?;
+    let skipped_folds = runs.iter().map(|(_, s)| s).sum();
+    let metrics: Vec<Metrics> = runs.into_iter().map(|(m, _)| m).collect();
     let corr: Vec<f64> = metrics.iter().map(|m| m.correlation).collect();
     let mae: Vec<f64> = metrics.iter().map(|m| m.mae).collect();
     let rae: Vec<f64> = metrics.iter().map(|m| m.rae_percent).collect();
@@ -95,6 +106,7 @@ pub fn repeated_cv_with(
         correlation: Spread::of(&corr),
         mae: Spread::of(&mae),
         rae_percent: Spread::of(&rae),
+        skipped_folds,
         repeats: metrics,
     })
 }

@@ -12,7 +12,7 @@ use crate::Metrics;
 /// ```
 /// use mtperf_eval::{comparison_table, Metrics};
 ///
-/// let m = Metrics::compute(&[1.0, 2.0], &[1.0, 2.0]);
+/// let m = Metrics::compute(&[1.0, 2.0], &[1.0, 2.0]).unwrap();
 /// let table = comparison_table(&[("M5'".to_string(), m)]);
 /// assert!(table.contains("M5'"));
 /// assert!(table.contains("Correlation"));
@@ -51,7 +51,7 @@ mod tests {
 
     #[test]
     fn table_lists_all_rows() {
-        let m = Metrics::compute(&[1.0, 2.0, 3.0], &[1.1, 2.1, 2.9]);
+        let m = Metrics::compute(&[1.0, 2.0, 3.0], &[1.1, 2.1, 2.9]).unwrap();
         let t = comparison_table(&[("A".to_string(), m), ("B with long name".to_string(), m)]);
         assert!(t.contains("A "));
         assert!(t.contains("B with long name"));

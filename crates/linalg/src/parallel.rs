@@ -209,12 +209,22 @@ where
         out
     };
 
+    // Capture the caller's span context (if tracing is on) so spans opened
+    // inside worker closures nest under the span that spawned the section.
+    // `None` when tracing is disabled: workers then run the closure directly.
+    let obs_ctx = mtperf_obs::current_context();
+
     let mut per_chunk: Vec<Result<Vec<R>, FirstPanic>> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
             .skip(1)
-            .map(|(chunk, offset)| scope.spawn(|| run_chunk_flagged(chunk, *offset)))
+            .map(|(chunk, offset)| {
+                let ctx = obs_ctx.as_ref();
+                scope.spawn(move || {
+                    mtperf_obs::in_context(ctx, || run_chunk_flagged(chunk, *offset))
+                })
+            })
             .collect();
         // The calling thread works the first chunk instead of idling.
         per_chunk.push(run_chunk_flagged(chunks[0].0, chunks[0].1));

@@ -125,10 +125,51 @@ GLOBAL OPTIONS
              and trains on the rest; `repair` additionally imputes missing
              rates and winsorizes extreme outliers. Skip/repair print an
              ingest report to stderr.
+  --trace    Collect spans and counters (ingest, split search, CV folds,
+             batch prediction) and print a summary table to stderr at exit.
+             Predictions and metrics are bit-identical with tracing on or off.
+  --trace-out <path>
+             Stream every span/counter event as JSON lines (schema
+             mtperf-trace-v1) to <path>. Implies event collection.
+  --metrics <table|json>
+             Dump the end-of-run counter/gauge registry to stderr in the
+             given format. Command output on stdout is unaffected.
 
 EXIT CODES
   0 success, 2 usage error, 65 bad input data, 74 i/o error, 1 other failure.
 ";
+
+/// Builds the observability configuration from the `--trace`,
+/// `--trace-out`, and `--metrics` options (all off by default).
+pub fn obs_config(args: &Args) -> Result<mtperf_obs::ObsConfig, CliError> {
+    let metrics = match args.options.get("metrics") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|e| CliError::Usage(format!("option --metrics: {e}")))?,
+        ),
+    };
+    Ok(mtperf_obs::ObsConfig {
+        trace: args.flag("trace"),
+        trace_out: args.options.get("trace-out").map(std::path::PathBuf::from),
+        metrics,
+    })
+}
+
+/// Renders the end-of-run observability report to stderr, keeping stdout
+/// for command payloads.
+pub fn emit_obs_report(report: &mtperf_obs::Report) {
+    if report.summarize {
+        eprint!("{}", report.summary());
+    } else if let Some(e) = &report.io_error {
+        eprintln!("trace sink error (stream truncated): {e}");
+    }
+    match report.metrics {
+        Some(mtperf_obs::MetricsFormat::Table) => eprint!("{}", report.metrics_table()),
+        Some(mtperf_obs::MetricsFormat::Json) => eprintln!("{}", report.metrics_json()),
+        None => {}
+    }
+}
 
 /// Parses the `--policy` option (default strict).
 fn ingest_policy(args: &Args) -> Result<IngestPolicy, CliError> {
@@ -225,6 +266,23 @@ pub fn cmd_evaluate(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Cli
     let learner = M5Learner::new(params.clone());
     let cv = cross_validate(&learner, &data, k, 7)?;
     writeln!(out, "{k}-fold CV: {}", cv.pooled)?;
+    if !cv.skipped.is_empty() {
+        writeln!(
+            out,
+            "note: {} of {k} folds skipped (degenerate data):",
+            cv.skipped.len()
+        )?;
+        for s in &cv.skipped {
+            writeln!(out, "  fold {}: {}", s.fold, s.reason)?;
+        }
+    }
+    if cv.undefined_correlation_folds > 0 {
+        writeln!(
+            out,
+            "note: correlation excludes {} fold(s) with constant actuals",
+            cv.undefined_correlation_folds
+        )?;
+    }
     let model = ModelTree::fit(&data, &params)?;
     writeln!(out, "\nper-workload breakdown (training-set fit):")?;
     let breakdown = per_label_metrics(&model, &data, &labels);
@@ -244,11 +302,7 @@ pub fn cmd_analyze(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliE
         by_workload.entry(label.as_str()).or_default().push(i);
     }
     for (workload, mut indices) in by_workload {
-        indices.sort_by(|&a, &b| {
-            data.target(a)
-                .partial_cmp(&data.target(b))
-                .expect("finite CPI")
-        });
+        indices.sort_by(|&a, &b| data.target(a).total_cmp(&data.target(b)));
         let median = indices[indices.len() / 2];
         let row = data.row(median);
         let class = tree.classify(&row);
@@ -364,7 +418,13 @@ pub fn dispatch(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliErro
             .map_err(|e| CliError::Usage(format!("option --threads: {e}")))?;
         parallel::set_global(par);
     }
-    match args.command.as_str() {
+    let obs = obs_config(args)?;
+    if !obs.is_off() {
+        // Explicit flags win over the MTPERF_* environment hooks; with no
+        // flags the environment still decides lazily at the first span.
+        mtperf_obs::init(obs).map_err(|e| CliError::Io(format!("--trace-out: {e}")))?;
+    }
+    let result = match args.command.as_str() {
         "simulate" => cmd_simulate(args),
         "train" => cmd_train(args),
         "show" => cmd_show(args, out),
@@ -374,7 +434,13 @@ pub fn dispatch(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliErro
         other => Err(CliError::Usage(format!(
             "unknown command {other:?}\n\n{USAGE}"
         ))),
+    };
+    // Emitted even when the command failed: a partial trace of a failing run
+    // is exactly when the diagnostics matter most.
+    if let Some(report) = mtperf_obs::finish() {
+        emit_obs_report(&report);
     }
+    result
 }
 
 /// `true` if `path` exists (test helper for artifacts).

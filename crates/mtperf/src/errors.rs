@@ -97,6 +97,9 @@ impl From<MtreeError> for CliError {
             MtreeError::BadParams(_) => CliError::Usage(e.to_string()),
             // A panicking worker is an internal fault, not a data problem.
             MtreeError::Linalg(LinalgError::WorkerPanic { .. }) => CliError::Other(e.to_string()),
+            // Degenerate data (empty partitions, fully-quarantined folds,
+            // unusable evaluation sets) is a property of the input: exit 65.
+            MtreeError::DegenerateData(_) => CliError::Data(e.to_string()),
             other => CliError::Data(other.to_string()),
         }
     }
@@ -147,6 +150,13 @@ mod tests {
         assert_eq!(usage.exit_code(), 2);
         let data: CliError = MtreeError::EmptyDataset.into();
         assert_eq!(data.exit_code(), 65);
+        let degenerate: CliError =
+            MtreeError::DegenerateData("all 10 folds were skipped".into()).into();
+        assert_eq!(degenerate.exit_code(), 65);
+        assert!(
+            degenerate.to_string().contains("degenerate"),
+            "{degenerate}"
+        );
         let internal: CliError = MtreeError::Linalg(LinalgError::WorkerPanic {
             index: 3,
             message: "boom".into(),

@@ -163,12 +163,9 @@ pub fn contributions(tree: &ModelTree, row: &[f64]) -> Vec<Contribution> {
             }
         })
         .collect();
-    out.sort_by(|a, b| {
-        b.fraction
-            .abs()
-            .partial_cmp(&a.fraction.abs())
-            .expect("finite fractions")
-    });
+    // total_cmp: a NaN fraction (degenerate leaf model on pathological
+    // data) sorts last instead of panicking the analysis.
+    out.sort_by(|a, b| b.fraction.abs().total_cmp(&a.fraction.abs()));
     out
 }
 

@@ -37,7 +37,12 @@ pub(crate) fn build(
     root_sd: f64,
     depth: usize,
 ) -> Result<Built, MtreeError> {
-    debug_assert!(!idx.is_empty());
+    if idx.is_empty() {
+        return Err(MtreeError::DegenerateData(format!(
+            "empty partition reached the tree builder at depth {depth}"
+        )));
+    }
+    mtperf_obs::add("mtree.nodes_built", 1);
     let ys: Vec<f64> = idx.iter().map(|&i| data.target(i)).collect();
     let mean = stats::mean(&ys);
     let sd = stats::std_dev(&ys);
@@ -50,6 +55,14 @@ pub(crate) fn build(
     } else {
         None
     };
+    if split.is_some() {
+        mtperf_obs::add("mtree.splits_accepted", 1);
+        if mtperf_obs::is_enabled() {
+            // Per-depth winner counts need a formatted name; skip the
+            // allocation entirely when tracing is off.
+            mtperf_obs::add(&format!("mtree.splits_at_depth.{depth}"), 1);
+        }
+    }
 
     let Some(split) = split else {
         let model = LinearModel::constant(mean);
@@ -86,6 +99,7 @@ pub(crate) fn build(
 
     // The tolerance breaks exact-fit ties in favor of the simpler model.
     if params.prune() && node_error <= subtree_error * (1.0 + 1e-9) + 1e-12 {
+        mtperf_obs::add("mtree.pruned_subtrees", 1);
         return Ok(Built {
             node: Node::Leaf {
                 id: LeafId(0),

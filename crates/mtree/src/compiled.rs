@@ -431,10 +431,22 @@ impl CompiledTree {
         let blocks = row_blocks(rows.rows());
         let cols = rows.cols();
         let data = rows.as_slice();
+        let mut batch_span = mtperf_obs::span("predict_batch");
+        batch_span.annotate_num("rows", rows.rows() as f64);
+        batch_span.annotate_num("blocks", blocks.len() as f64);
+        let t0 = batch_span.is_recording().then(std::time::Instant::now);
         let per_block = try_par_map(par, &blocks, 1, |&(start, end)| {
+            let mut block_span = mtperf_obs::span_idx("predict_block", start / ROW_BLOCK);
+            block_span.add("rows", (end - start) as u64);
             self.predict_block(&data[start * cols..end * cols], cols)
         })
         .map_err(MtreeError::from)?;
+        if let Some(t0) = t0 {
+            let secs = t0.elapsed().as_secs_f64();
+            if secs > 0.0 {
+                mtperf_obs::gauge("predict.rows_per_sec", rows.rows() as f64 / secs);
+            }
+        }
         Ok(per_block.into_iter().flatten().collect())
     }
 
@@ -458,6 +470,14 @@ impl CompiledTree {
             let l = self.route(&data[r * cols..(r + 1) * cols]);
             *leaf = l as u32;
             counts[l] += 1;
+        }
+        if mtperf_obs::is_enabled() {
+            // Leaf-bucket occupancy: how many of the tree's leaves this block
+            // actually touched. High counts mean scattered routing (poor
+            // model-major locality); the ratio to `n_leaves` is the fill rate.
+            let hit = counts.iter().filter(|&&c| c > 0).count() as u64;
+            mtperf_obs::add("predict.leaf_buckets_hit", hit);
+            mtperf_obs::add("predict.leaf_buckets_total", self.n_leaves as u64);
         }
         // Prefix-sum the counts into bucket offsets, then scatter the row
         // indices grouped by leaf (stable: ascending row order per leaf).

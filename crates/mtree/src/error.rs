@@ -28,6 +28,12 @@ pub enum MtreeError {
     BadAttributeNames,
     /// Training parameters are inconsistent.
     BadParams(String),
+    /// The data itself is degenerate for the requested computation: an
+    /// empty partition reached a tree builder, an evaluation set came out
+    /// empty (e.g. fully quarantined under a skip policy), or a leaf solve
+    /// had no usable rows. Distinct from [`MtreeError::BadParams`]: the
+    /// caller's parameters were fine, the data was not.
+    DegenerateData(String),
     /// An underlying linear-algebra failure that could not be recovered.
     Linalg(LinalgError),
 }
@@ -47,6 +53,7 @@ impl fmt::Display for MtreeError {
                 write!(f, "attribute names must be unique and non-empty")
             }
             MtreeError::BadParams(msg) => write!(f, "bad training parameters: {msg}"),
+            MtreeError::DegenerateData(msg) => write!(f, "degenerate data: {msg}"),
             MtreeError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
         }
     }
@@ -90,6 +97,9 @@ mod tests {
         .to_string()
         .contains("attribute 2"));
         assert!(MtreeError::BadParams("x".into()).to_string().contains("x"));
+        assert!(MtreeError::DegenerateData("empty fold".into())
+            .to_string()
+            .contains("empty fold"));
     }
 
     #[test]

@@ -65,13 +65,13 @@ struct ScanContext<'a> {
     sd_total: f64,
 }
 
-/// Scans one attribute's boundaries and returns its best split, if any has
-/// positive SDR.
+/// Scans one attribute's boundaries and returns its best split (if any has
+/// positive SDR) plus the number of admissible boundaries it evaluated.
 ///
 /// Instances are ordered by `(value, instance index)` — a canonical total
 /// order — so the result depends only on the subset's contents, never on the
 /// caller's index order or on which thread runs the scan.
-fn best_split_for_attr(ctx: &ScanContext<'_>, attr: usize) -> Option<Split> {
+fn best_split_for_attr(ctx: &ScanContext<'_>, attr: usize) -> (Option<Split>, u64) {
     let n = ctx.idx.len();
     let col = ctx.data.column(attr);
     let mut order: Vec<usize> = ctx.idx.to_vec();
@@ -79,6 +79,7 @@ fn best_split_for_attr(ctx: &ScanContext<'_>, attr: usize) -> Option<Split> {
 
     let nf = n as f64;
     let mut best: Option<Split> = None;
+    let mut evaluated = 0u64;
     let mut left_sum = 0.0;
     let mut left_sq = 0.0;
     for (k, &i) in order.iter().enumerate().take(n - 1) {
@@ -95,6 +96,7 @@ fn best_split_for_attr(ctx: &ScanContext<'_>, attr: usize) -> Option<Split> {
         if v == v_next {
             continue; // not a boundary between distinct values
         }
+        evaluated += 1;
         let sd_left = sd_from_sums(left_sum, left_sq, n_left as f64);
         let sd_right = sd_from_sums(ctx.sum - left_sum, ctx.sum_sq - left_sq, n_right as f64);
         let sdr = ctx.sd_total - (n_left as f64 / nf) * sd_left - (n_right as f64 / nf) * sd_right;
@@ -107,7 +109,7 @@ fn best_split_for_attr(ctx: &ScanContext<'_>, attr: usize) -> Option<Split> {
             });
         }
     }
-    best
+    (best, evaluated)
 }
 
 /// Finds the best split of the instances in `idx` over all attributes,
@@ -181,9 +183,16 @@ pub fn best_split_with(
     let attrs: Vec<usize> = (0..data.n_attrs()).collect();
     let per_attr = par_map(par, &attrs, 1, |&attr| best_split_for_attr(&ctx, attr));
 
+    mtperf_obs::add("mtree.split_searches", 1);
+    mtperf_obs::add(
+        "mtree.split_candidates",
+        per_attr.iter().map(|(_, e)| e).sum(),
+    );
+
     // Ascending-attribute reduce with strict `>`: lowest attr index wins ties.
     let mut best: Option<Split> = None;
-    for candidate in per_attr.into_iter().flatten() {
+    for (candidate, _) in per_attr {
+        let Some(candidate) = candidate else { continue };
         if candidate.sdr > best.map_or(0.0, |b| b.sdr) {
             best = Some(candidate);
         }

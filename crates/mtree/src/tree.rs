@@ -48,12 +48,17 @@ impl ModelTree {
         if data.n_rows() == 0 {
             return Err(MtreeError::EmptyDataset);
         }
+        let mut fit_span = mtperf_obs::span("fit");
+        fit_span.annotate_num("rows", data.n_rows() as f64);
+        fit_span.annotate_num("attrs", data.n_attrs() as f64);
         let root_sd = stats::std_dev(data.targets());
         let root_mean = stats::mean(data.targets());
         let idx: Vec<usize> = (0..data.n_rows()).collect();
         let mut built = build(data, idx, params, root_sd, 0)?;
         let mut next = 0;
         assign_leaf_ids(&mut built.node, &mut next);
+        fit_span.add("leaves", built.node.n_leaves() as u64);
+        fit_span.add("depth", built.node.depth() as u64);
         Ok(ModelTree {
             root: built.node,
             attr_names: data.attr_names().to_vec(),

@@ -1,0 +1,59 @@
+//! Zero-dependency observability layer for the `mtperf` workspace.
+//!
+//! The pipeline — ingest counter sections, grow an M5' tree, cross-validate,
+//! batch-predict — is a multi-stage parallel system; when a run is slow or a
+//! fold's metrics look off, `println!` archaeology is the only recourse
+//! without a timing/metrics substrate. This crate provides one, vendored and
+//! dependency-free (the workspace builds without a crates registry):
+//!
+//! * **hierarchical spans** ([`span`], [`span_idx`]) — monotonic wall-time
+//!   guards with deterministic FNV-1a identifiers derived from the
+//!   discriminated path (`evaluate/cv/fold[3]`), carrying span-local
+//!   counters and annotations that are emitted once at span close;
+//! * **named counters and gauges** ([`add`], [`gauge`]) — a global registry
+//!   aggregated into the end-of-run metrics report;
+//! * **pluggable sinks** — a machine-readable JSONL event stream
+//!   ([`ObsConfig::trace_out`]), a human-readable span summary, and an
+//!   end-of-run metrics table or JSON document ([`Report`]).
+//!
+//! # Disabled-by-default contract
+//!
+//! Until [`init`] enables it (or the `MTPERF_TRACE` / `MTPERF_TRACE_OUT` /
+//! `MTPERF_METRICS` environment variables do), every instrumentation point
+//! compiles down to one relaxed atomic load and an early return: no
+//! allocation, no locking, no clock read. Instrumented code is therefore
+//! bit-identical in output and within noise in speed when tracing is off —
+//! the property the differential and golden suites pin.
+//!
+//! # Thread propagation
+//!
+//! Spans nest through a thread-local stack. Parallel sections propagate the
+//! current span context into worker threads via [`current_context`] /
+//! [`in_context`] (the workspace's `linalg::parallel` engine does this
+//! automatically), so a worker's spans nest under the span of the item that
+//! spawned them — deterministically, because span identity comes from the
+//! discriminated path, not from allocation order.
+//!
+//! # Example
+//!
+//! ```
+//! // An all-off config disables recording explicitly (and keeps it off even
+//! // when the harness exports MTPERF_TRACE); spans are then no-ops.
+//! mtperf_obs::init(mtperf_obs::ObsConfig::default()).unwrap();
+//! let mut s = mtperf_obs::span("example");
+//! s.add("items", 3);
+//! drop(s);
+//! assert!(mtperf_obs::finish().is_none());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod json;
+mod report;
+mod sink;
+mod span;
+
+pub use report::{MetricsFormat, Report, SpanStat};
+pub use sink::{add, finish, gauge, init, is_enabled, ObsConfig};
+pub use span::{current_context, in_context, span, span_idx, Span, SpanContext};

@@ -1,0 +1,238 @@
+//! The end-of-run report: aggregated span statistics, the counter/gauge
+//! registry, and its human- and machine-readable renderings.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::str::FromStr;
+
+use crate::json;
+
+/// Output format of the end-of-run metrics registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Aligned human-readable table.
+    Table,
+    /// One JSON document.
+    Json,
+}
+
+impl FromStr for MetricsFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "table" => Ok(MetricsFormat::Table),
+            "json" => Ok(MetricsFormat::Json),
+            other => Err(format!(
+                "invalid metrics format {other:?}: expected \"table\" or \"json\""
+            )),
+        }
+    }
+}
+
+/// Aggregated statistics of one span path (indices stripped, so all CV
+/// folds of a run merge into one row).
+#[derive(Debug, Clone)]
+pub struct SpanStat {
+    /// Aggregate path, e.g. `evaluate/cv/fold`.
+    pub path: String,
+    /// Number of spans closed under this path.
+    pub calls: u64,
+    /// Total wall time across those spans, in microseconds (overlapping
+    /// parallel spans sum, so this is *work* time, not elapsed time).
+    pub total_us: u64,
+    /// Span-local counters summed across the calls.
+    pub counters: Vec<(String, u64)>,
+}
+
+/// Everything [`crate::finish`] hands back for rendering.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Wall time from enablement to [`crate::finish`], microseconds.
+    pub wall_us: u64,
+    /// Aggregated span rows, sorted by path.
+    pub spans: Vec<SpanStat>,
+    /// Global counter registry, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Global gauge registry, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Where the JSONL event stream went, if anywhere.
+    pub trace_path: Option<PathBuf>,
+    /// Whether the run asked for the human-readable span summary.
+    pub summarize: bool,
+    /// Which metrics rendering the run asked for, if any.
+    pub metrics: Option<MetricsFormat>,
+    /// Total events recorded.
+    pub events: u64,
+    /// First sink I/O failure, if the trace stream broke mid-run.
+    pub io_error: Option<String>,
+}
+
+impl Report {
+    /// Renders the human-readable span summary (the `--trace` stderr
+    /// output): one row per aggregate path with call counts, total work
+    /// time, and span-local counters.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace summary: {} events in {:.1} ms wall",
+            self.events,
+            self.wall_us as f64 / 1e3
+        );
+        let _ = writeln!(
+            out,
+            "{:<44} {:>7} {:>12}  counters",
+            "span", "calls", "work ms"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(78));
+        for s in &self.spans {
+            let mut counters = String::new();
+            for (i, (name, value)) in s.counters.iter().enumerate() {
+                if i > 0 {
+                    counters.push(' ');
+                }
+                let _ = write!(counters, "{name}={value}");
+            }
+            let _ = writeln!(
+                out,
+                "{:<44} {:>7} {:>12.2}  {}",
+                s.path,
+                s.calls,
+                s.total_us as f64 / 1e3,
+                counters
+            );
+        }
+        if let Some(e) = &self.io_error {
+            let _ = writeln!(out, "trace sink error (stream truncated): {e}");
+        }
+        if let Some(p) = &self.trace_path {
+            let _ = writeln!(out, "trace events -> {}", p.display());
+        }
+        out
+    }
+
+    /// Renders the counter/gauge registry as an aligned table.
+    pub fn metrics_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<44} {:>16}", "metric", "value");
+        let _ = writeln!(out, "{}", "-".repeat(61));
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "{name:<44} {value:>16}");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "{name:<44} {value:>16.4}");
+        }
+        let _ = writeln!(out, "{:<44} {:>16.1}", "wall_ms", self.wall_us as f64 / 1e3);
+        out
+    }
+
+    /// Renders the full report — registry plus aggregated spans — as one
+    /// JSON document.
+    pub fn metrics_json(&self) -> String {
+        let mut out = String::from("{\"wall_us\":");
+        let _ = write!(out, "{}", self.wall_us);
+        out.push_str(",\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_key(&mut out, name);
+            let _ = write!(out, "{value}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_key(&mut out, name);
+            json::push_f64(&mut out, *value);
+        }
+        out.push_str("},\"spans\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            json::push_key(&mut out, "path");
+            json::push_str_literal(&mut out, &s.path);
+            let _ = write!(out, ",\"calls\":{},\"total_us\":{}", s.calls, s.total_us);
+            if !s.counters.is_empty() {
+                out.push_str(",\"counters\":{");
+                for (j, (name, value)) in s.counters.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    json::push_key(&mut out, name);
+                    let _ = write!(out, "{value}");
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> Report {
+        Report {
+            wall_us: 1500,
+            spans: vec![SpanStat {
+                path: "cv/fold".into(),
+                calls: 10,
+                total_us: 1200,
+                counters: vec![("test_rows".into(), 600)],
+            }],
+            counters: vec![("mtree.split_scans".into(), 42)],
+            gauges: vec![("predict.rows_per_sec".into(), 1e6)],
+            trace_path: None,
+            summarize: true,
+            metrics: Some(MetricsFormat::Table),
+            events: 11,
+            io_error: None,
+        }
+    }
+
+    #[test]
+    fn summary_lists_spans_and_counters() {
+        let s = fixture().summary();
+        assert!(s.contains("cv/fold"), "{s}");
+        assert!(s.contains("test_rows=600"), "{s}");
+        assert!(s.contains("11 events"), "{s}");
+    }
+
+    #[test]
+    fn table_lists_registry() {
+        let t = fixture().metrics_table();
+        assert!(t.contains("mtree.split_scans"), "{t}");
+        assert!(t.contains("42"), "{t}");
+        assert!(t.contains("predict.rows_per_sec"), "{t}");
+    }
+
+    #[test]
+    fn json_is_parseable_shape() {
+        let j = fixture().metrics_json();
+        assert!(j.starts_with("{\"wall_us\":1500"), "{j}");
+        assert!(j.contains("\"mtree.split_scans\":42"), "{j}");
+        assert!(j.contains("\"path\":\"cv/fold\""), "{j}");
+        assert!(j.ends_with("]}"), "{j}");
+    }
+
+    #[test]
+    fn metrics_format_parses() {
+        assert_eq!(
+            "table".parse::<MetricsFormat>().unwrap(),
+            MetricsFormat::Table
+        );
+        assert_eq!(
+            "json".parse::<MetricsFormat>().unwrap(),
+            MetricsFormat::Json
+        );
+        assert!("yaml".parse::<MetricsFormat>().is_err());
+    }
+}

@@ -1,0 +1,344 @@
+//! Global recorder state: configuration, the JSONL sink, and the in-memory
+//! aggregates behind the end-of-run [`Report`].
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{self, BufWriter, Write as _};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::json;
+use crate::report::{MetricsFormat, Report, SpanStat};
+use crate::span::SpanInner;
+
+/// How observability runs for this process.
+#[derive(Debug, Clone, Default)]
+pub struct ObsConfig {
+    /// Collect spans and counters and render a human-readable summary at
+    /// [`finish`].
+    pub trace: bool,
+    /// Stream every span/counter event as one JSON object per line to this
+    /// path.
+    pub trace_out: Option<PathBuf>,
+    /// Render the end-of-run counter/gauge registry in this format.
+    pub metrics: Option<MetricsFormat>,
+}
+
+impl ObsConfig {
+    /// `true` when no output was requested at all.
+    pub fn is_off(&self) -> bool {
+        !self.trace && self.trace_out.is_none() && self.metrics.is_none()
+    }
+
+    /// Reads the configuration from `MTPERF_TRACE` (`1`/`true`),
+    /// `MTPERF_TRACE_OUT` (a path) and `MTPERF_METRICS` (`table`/`json`) —
+    /// the hook CI uses to run unmodified test suites with tracing on.
+    pub fn from_env() -> ObsConfig {
+        let truthy = |v: String| v == "1" || v.eq_ignore_ascii_case("true");
+        ObsConfig {
+            trace: std::env::var("MTPERF_TRACE").map(truthy).unwrap_or(false),
+            trace_out: std::env::var("MTPERF_TRACE_OUT").ok().map(PathBuf::from),
+            metrics: std::env::var("MTPERF_METRICS")
+                .ok()
+                .and_then(|v| v.parse().ok()),
+        }
+    }
+}
+
+/// Process-wide enablement: 0 = not yet decided (consult the environment on
+/// first use), 1 = disabled, 2 = enabled.
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+const UNDECIDED: u8 = 0;
+const DISABLED: u8 = 1;
+const ENABLED: u8 = 2;
+
+/// Everything the recorder accumulates while enabled.
+struct Recorder {
+    epoch: Instant,
+    config: ObsConfig,
+    jsonl: Option<BufWriter<File>>,
+    /// Per-aggregate-path span statistics (indices stripped, folds merged).
+    spans: BTreeMap<String, SpanAgg>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    seq: u64,
+    io_error: Option<String>,
+}
+
+#[derive(Default)]
+struct SpanAgg {
+    calls: u64,
+    total_us: u64,
+    counters: BTreeMap<String, u64>,
+}
+
+static RECORDER: Mutex<Option<Recorder>> = Mutex::new(None);
+
+/// Locks the recorder, tolerating a poisoned lock (a panicking worker must
+/// not take observability down with it).
+fn lock() -> std::sync::MutexGuard<'static, Option<Recorder>> {
+    RECORDER.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Whether instrumentation points should record. One relaxed atomic load on
+/// the steady path; the first call per process consults the environment.
+#[inline]
+pub fn is_enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        ENABLED => true,
+        DISABLED => false,
+        _ => init_from_env(),
+    }
+}
+
+/// First-use slow path: decide from the environment. Returns the decision.
+fn init_from_env() -> bool {
+    let cfg = ObsConfig::from_env();
+    if cfg.is_off() {
+        // Another thread may have run `init` concurrently; never downgrade.
+        let _ = STATE.compare_exchange(UNDECIDED, DISABLED, Ordering::Relaxed, Ordering::Relaxed);
+    } else {
+        // Environment-driven setup: an unopenable trace path is reported on
+        // stderr rather than failing the traced program.
+        if let Err(e) = init(cfg) {
+            eprintln!("mtperf-obs: trace disabled: {e}");
+        }
+    }
+    STATE.load(Ordering::Relaxed) == ENABLED
+}
+
+/// Enables observability for the process with `config` (replacing any
+/// previous configuration). With an all-off `config` this disables
+/// recording explicitly, which also stops the environment from re-enabling
+/// it.
+///
+/// # Errors
+///
+/// Returns the I/O error when [`ObsConfig::trace_out`] cannot be created.
+pub fn init(config: ObsConfig) -> io::Result<()> {
+    let mut guard = lock();
+    if config.is_off() {
+        STATE.store(DISABLED, Ordering::Relaxed);
+        *guard = None;
+        return Ok(());
+    }
+    let mut jsonl = match &config.trace_out {
+        Some(path) => Some(BufWriter::new(File::create(path)?)),
+        None => None,
+    };
+    if let Some(w) = jsonl.as_mut() {
+        let _ = writeln!(w, "{{\"ev\":\"run_start\",\"schema\":\"mtperf-trace-v1\"}}");
+    }
+    *guard = Some(Recorder {
+        epoch: Instant::now(),
+        config,
+        jsonl,
+        spans: BTreeMap::new(),
+        counters: BTreeMap::new(),
+        gauges: BTreeMap::new(),
+        seq: 0,
+        io_error: None,
+    });
+    STATE.store(ENABLED, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Adds `delta` to the global counter `name`. Prefer span-local counters
+/// ([`crate::Span::add`]) in per-item loops; this takes the registry lock.
+pub fn add(name: &str, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    if let Some(rec) = lock().as_mut() {
+        *rec.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+}
+
+/// Sets the gauge `name` to `value` (last write wins).
+pub fn gauge(name: &str, value: f64) {
+    if !is_enabled() {
+        return;
+    }
+    if let Some(rec) = lock().as_mut() {
+        rec.gauges.insert(name.to_string(), value);
+    }
+}
+
+/// Records one closed span: appends its JSONL event and folds it into the
+/// per-path aggregates. Called from [`crate::Span`]'s `Drop`.
+pub(crate) fn record_span(span: SpanInner) {
+    let dur_us = span.start.elapsed().as_micros() as u64;
+    let mut guard = lock();
+    let Some(rec) = guard.as_mut() else { return };
+    let start_us = span.start.saturating_duration_since(rec.epoch).as_micros() as u64;
+    rec.seq += 1;
+    let seq = rec.seq;
+
+    if rec.jsonl.is_some() {
+        let mut line = String::with_capacity(160);
+        line.push_str("{\"ev\":\"span\",\"id\":\"");
+        let _ = std::fmt::Write::write_fmt(&mut line, format_args!("{:016x}", span.id));
+        line.push_str("\",\"parent\":\"");
+        let _ = std::fmt::Write::write_fmt(&mut line, format_args!("{:016x}", span.parent));
+        line.push_str("\",");
+        json::push_key(&mut line, "name");
+        json::push_str_literal(&mut line, span.name);
+        line.push(',');
+        json::push_key(&mut line, "path");
+        json::push_str_literal(&mut line, &span.path);
+        let _ = std::fmt::Write::write_fmt(
+            &mut line,
+            format_args!(",\"seq\":{seq},\"start_us\":{start_us},\"dur_us\":{dur_us}"),
+        );
+        if !span.counters.is_empty() {
+            line.push_str(",\"counters\":{");
+            for (i, (name, value)) in span.counters.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                json::push_key(&mut line, name);
+                let _ = std::fmt::Write::write_fmt(&mut line, format_args!("{value}"));
+            }
+            line.push('}');
+        }
+        if !span.nums.is_empty() || !span.texts.is_empty() {
+            line.push_str(",\"attrs\":{");
+            let mut first = true;
+            for (key, value) in &span.nums {
+                if !first {
+                    line.push(',');
+                }
+                first = false;
+                json::push_key(&mut line, key);
+                json::push_f64(&mut line, *value);
+            }
+            for (key, value) in &span.texts {
+                if !first {
+                    line.push(',');
+                }
+                first = false;
+                json::push_key(&mut line, key);
+                json::push_str_literal(&mut line, value);
+            }
+            line.push('}');
+        }
+        line.push('}');
+        write_line(rec, &line);
+    }
+
+    let agg = rec.spans.entry(span.agg_path.to_string()).or_default();
+    agg.calls += 1;
+    agg.total_us += dur_us;
+    for (name, value) in &span.counters {
+        *agg.counters.entry((*name).to_string()).or_insert(0) += value;
+    }
+}
+
+/// Appends one line to the JSONL sink, capturing (not propagating) I/O
+/// failures: tracing must never fail the traced run.
+fn write_line(rec: &mut Recorder, line: &str) {
+    let Some(w) = rec.jsonl.as_mut() else { return };
+    if let Err(e) = writeln!(w, "{line}") {
+        if rec.io_error.is_none() {
+            rec.io_error = Some(e.to_string());
+        }
+        rec.jsonl = None;
+    }
+}
+
+/// Disables recording, flushes the JSONL sink, and returns the end-of-run
+/// [`Report`]. Returns `None` when observability was never enabled.
+pub fn finish() -> Option<Report> {
+    let mut rec = {
+        let mut guard = lock();
+        STATE.store(DISABLED, Ordering::Relaxed);
+        guard.take()?
+    };
+    let wall_us = rec.epoch.elapsed().as_micros() as u64;
+
+    // Final registry events, then the run_end marker.
+    if rec.jsonl.is_some() {
+        let counters: Vec<(String, u64)> =
+            rec.counters.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        for (name, value) in counters {
+            let mut line = String::from("{\"ev\":\"counter\",");
+            json::push_key(&mut line, "name");
+            json::push_str_literal(&mut line, &name);
+            let _ = std::fmt::Write::write_fmt(&mut line, format_args!(",\"value\":{value}}}"));
+            write_line(&mut rec, &line);
+        }
+        let gauges: Vec<(String, f64)> = rec.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        for (name, value) in gauges {
+            let mut line = String::from("{\"ev\":\"gauge\",");
+            json::push_key(&mut line, "name");
+            json::push_str_literal(&mut line, &name);
+            line.push_str(",\"value\":");
+            json::push_f64(&mut line, value);
+            line.push('}');
+            write_line(&mut rec, &line);
+        }
+        let line = format!(
+            "{{\"ev\":\"run_end\",\"wall_us\":{wall_us},\"events\":{}}}",
+            rec.seq
+        );
+        write_line(&mut rec, &line);
+        if let Some(w) = rec.jsonl.as_mut() {
+            if let Err(e) = w.flush() {
+                if rec.io_error.is_none() {
+                    rec.io_error = Some(e.to_string());
+                }
+            }
+        }
+    }
+
+    Some(Report {
+        wall_us,
+        spans: rec
+            .spans
+            .into_iter()
+            .map(|(path, agg)| SpanStat {
+                path,
+                calls: agg.calls,
+                total_us: agg.total_us,
+                counters: agg.counters.into_iter().collect(),
+            })
+            .collect(),
+        counters: rec.counters.into_iter().collect(),
+        gauges: rec.gauges.into_iter().collect(),
+        trace_path: rec.config.trace_out.clone(),
+        summarize: rec.config.trace,
+        metrics: rec.config.metrics,
+        events: rec.seq,
+        io_error: rec.io_error,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_config_parses_defaults() {
+        // Plain test environment: everything off unless CI exported the
+        // MTPERF_* hooks, in which case this test is vacuous.
+        if std::env::var_os("MTPERF_TRACE").is_none()
+            && std::env::var_os("MTPERF_TRACE_OUT").is_none()
+            && std::env::var_os("MTPERF_METRICS").is_none()
+        {
+            assert!(ObsConfig::from_env().is_off());
+        }
+    }
+
+    #[test]
+    fn off_config_reports_off() {
+        assert!(ObsConfig::default().is_off());
+        assert!(!ObsConfig {
+            trace: true,
+            ..ObsConfig::default()
+        }
+        .is_off());
+    }
+}

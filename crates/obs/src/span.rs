@@ -1,0 +1,249 @@
+//! Hierarchical span guards and cross-thread context propagation.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::sink;
+
+/// FNV-1a over the parent identifier and the discriminated span name, so a
+/// span's identity depends only on its position in the logical call tree —
+/// not on allocation order, scheduling, or thread count.
+fn span_id(parent: u64, disc: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in parent.to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+    }
+    for &b in disc.as_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// One entry of the thread-local span stack.
+#[derive(Clone)]
+struct Frame {
+    id: u64,
+    path: Arc<str>,
+    agg_path: Arc<str>,
+}
+
+thread_local! {
+    /// The open spans of this thread, outermost first. Worker threads seed
+    /// it from their spawner via [`in_context`].
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A snapshot of the innermost open span, cloneable across threads.
+///
+/// Parallel engines capture it with [`current_context`] before spawning and
+/// install it in each worker with [`in_context`], so worker-side spans nest
+/// under the span that spawned them.
+#[derive(Debug, Clone)]
+pub struct SpanContext {
+    id: u64,
+    path: Arc<str>,
+    agg_path: Arc<str>,
+}
+
+/// The innermost open span of the calling thread, or `None` when tracing is
+/// disabled or no span is open. Costs one atomic load when disabled.
+pub fn current_context() -> Option<SpanContext> {
+    if !sink::is_enabled() {
+        return None;
+    }
+    STACK.with(|s| {
+        s.borrow().last().map(|f| SpanContext {
+            id: f.id,
+            path: Arc::clone(&f.path),
+            agg_path: Arc::clone(&f.agg_path),
+        })
+    })
+}
+
+/// Pops the context frame even if `f` unwinds, so a panicking worker item
+/// cannot corrupt the thread's span stack.
+struct FrameGuard;
+
+impl Drop for FrameGuard {
+    fn drop(&mut self) {
+        STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Runs `f` with `ctx` installed as the calling thread's innermost span, so
+/// spans created inside `f` nest under it. With `ctx == None` this is a
+/// plain call.
+pub fn in_context<R, F: FnOnce() -> R>(ctx: Option<&SpanContext>, f: F) -> R {
+    let Some(ctx) = ctx else {
+        return f();
+    };
+    STACK.with(|s| {
+        s.borrow_mut().push(Frame {
+            id: ctx.id,
+            path: Arc::clone(&ctx.path),
+            agg_path: Arc::clone(&ctx.agg_path),
+        });
+    });
+    let _guard = FrameGuard;
+    f()
+}
+
+/// The live state of an open span; `None` inside a disabled-tracing guard.
+pub(crate) struct SpanInner {
+    pub(crate) id: u64,
+    pub(crate) parent: u64,
+    pub(crate) name: &'static str,
+    pub(crate) path: Arc<str>,
+    pub(crate) agg_path: Arc<str>,
+    pub(crate) start: Instant,
+    pub(crate) counters: Vec<(&'static str, u64)>,
+    pub(crate) nums: Vec<(&'static str, f64)>,
+    pub(crate) texts: Vec<(&'static str, String)>,
+}
+
+/// An open span: a scope guard that measures monotonic wall time and emits
+/// one event — duration, span-local counters, annotations — when dropped.
+///
+/// When tracing is disabled the guard is inert: creation is one atomic
+/// load, every method is an early return, and drop does nothing.
+#[must_use = "a span measures the scope it lives in; dropping it immediately measures nothing"]
+pub struct Span(Option<Box<SpanInner>>);
+
+fn open(name: &'static str, index: Option<usize>) -> Span {
+    if !sink::is_enabled() {
+        return Span(None);
+    }
+    let disc = match index {
+        Some(i) => format!("{name}[{i}]"),
+        None => name.to_string(),
+    };
+    let parent = STACK.with(|s| s.borrow().last().cloned());
+    let parent_id = parent.as_ref().map_or(0, |p| p.id);
+    let (id, path, agg_path) = match parent {
+        Some(p) => (
+            span_id(p.id, &disc),
+            Arc::from(format!("{}/{}", p.path, disc)),
+            Arc::from(format!("{}/{}", p.agg_path, name)),
+        ),
+        None => (span_id(0, &disc), Arc::from(disc), Arc::from(name)),
+    };
+    STACK.with(|s| {
+        s.borrow_mut().push(Frame {
+            id,
+            path: Arc::clone(&path),
+            agg_path: Arc::clone(&agg_path),
+        });
+    });
+    Span(Some(Box::new(SpanInner {
+        id,
+        parent: parent_id,
+        name,
+        path,
+        agg_path,
+        start: Instant::now(),
+        counters: Vec::new(),
+        nums: Vec::new(),
+        texts: Vec::new(),
+    })))
+}
+
+/// Opens a span named `name`, nested under the thread's innermost open span.
+pub fn span(name: &'static str) -> Span {
+    open(name, None)
+}
+
+/// Opens a span for the `index`-th instance of a repeated site (a CV fold, a
+/// prediction block): the emitted path is `name[index]`, and the span
+/// identifier is deterministic in `(parent, name, index)`.
+pub fn span_idx(name: &'static str, index: usize) -> Span {
+    open(name, Some(index))
+}
+
+impl Span {
+    /// Adds `delta` to the span-local counter `name`. Span-local counters
+    /// accumulate without locking and are emitted once at span close, which
+    /// keeps per-item accounting off the hot path.
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        let Some(inner) = self.0.as_mut() else { return };
+        match inner.counters.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, v)) => *v += delta,
+            None => inner.counters.push((name, delta)),
+        }
+    }
+
+    /// Attaches a numeric annotation (last write wins).
+    pub fn annotate_num(&mut self, key: &'static str, value: f64) {
+        let Some(inner) = self.0.as_mut() else { return };
+        match inner.nums.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => *v = value,
+            None => inner.nums.push((key, value)),
+        }
+    }
+
+    /// Attaches a text annotation (last write wins).
+    pub fn annotate(&mut self, key: &'static str, value: &str) {
+        let Some(inner) = self.0.as_mut() else { return };
+        match inner.texts.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => *v = value.to_string(),
+            None => inner.texts.push((key, value.to_string())),
+        }
+    }
+
+    /// Whether this guard is live (tracing was enabled when it opened).
+    pub fn is_recording(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.0.take() else { return };
+        // Pop this span's frame; search from the top so a mis-nested drop
+        // (guard outliving an inner guard) degrades gracefully.
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|f| f.id == inner.id) {
+                stack.remove(pos);
+            }
+        });
+        sink::record_span(*inner);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_depend_only_on_path() {
+        let a = span_id(0, "cv");
+        let b = span_id(a, "fold[3]");
+        assert_eq!(span_id(0, "cv"), a);
+        assert_eq!(span_id(a, "fold[3]"), b);
+        assert_ne!(span_id(a, "fold[4]"), b);
+        assert_ne!(span_id(span_id(0, "x"), "fold[3]"), b);
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        // Explicitly disable recording so the test holds even when the
+        // harness exports MTPERF_TRACE (CI runs the tier-1 suite traced).
+        crate::sink::init(crate::ObsConfig::default()).expect("off config never does I/O");
+        let mut s = span("unit");
+        assert!(!s.is_recording());
+        s.add("c", 1);
+        s.annotate_num("n", 1.0);
+        s.annotate("t", "x");
+        assert!(current_context().is_none());
+    }
+
+    #[test]
+    fn in_context_without_context_is_a_plain_call() {
+        assert_eq!(in_context(None, || 7), 7);
+    }
+}

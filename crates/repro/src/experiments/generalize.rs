@@ -44,7 +44,7 @@ pub fn run(ctx: &Context) {
         let predicted: Vec<f64> = (0..data.n_rows())
             .map(|i| ctx.tree.predict(&data.row(i)))
             .collect();
-        let m = Metrics::compute(&actual, &predicted);
+        let m = Metrics::compute(&actual, &predicted).expect("non-empty run");
         let rows: Vec<Vec<f64>> = (0..data.n_rows()).map(|i| data.row(i)).collect();
         let occ = analysis::leaf_occupancy(&ctx.tree, &rows);
         let (top, top_n) = occ
@@ -64,7 +64,8 @@ pub fn run(ctx: &Context) {
         all_predicted.extend(predicted);
     }
 
-    let pooled = Metrics::compute(&all_actual, &all_predicted);
+    let pooled =
+        Metrics::compute(&all_actual, &all_predicted).expect("at least one unseen workload");
     println!("\npooled over all unseen workloads: {pooled}");
     println!(
         "(compare the in-suite 10-fold CV of the headline experiment; the gap is\n\

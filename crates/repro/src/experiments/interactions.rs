@@ -43,12 +43,7 @@ pub fn run(ctx: &Context) {
         let mut indices: Vec<usize> = (0..ctx.data.n_rows())
             .filter(|&i| &ctx.labels[i] == workload)
             .collect();
-        indices.sort_by(|&a, &b| {
-            ctx.data
-                .target(a)
-                .partial_cmp(&ctx.data.target(b))
-                .expect("finite CPI")
-        });
+        indices.sort_by(|&a, &b| ctx.data.target(a).total_cmp(&ctx.data.target(b)));
         let median = indices[indices.len() / 2];
         let row = ctx.data.row(median);
 
@@ -83,7 +78,7 @@ pub fn run(ctx: &Context) {
         }
     }
 
-    rows.sort_by(|x, y| y.3.abs().partial_cmp(&x.3.abs()).expect("finite icost"));
+    rows.sort_by(|x, y| y.3.abs().total_cmp(&x.3.abs()));
     println!(
         "{:<24} {:<12} {:<12} {:>12}",
         "workload", "event a", "event b", "icost"

@@ -24,7 +24,7 @@ pub fn run(ctx: &Context) {
             .iter()
             .map(|(leaf, &n)| (leaf.to_string(), n as f64 / total as f64))
             .collect();
-        parts.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite fractions"));
+        parts.sort_by(|a, b| b.1.total_cmp(&a.1));
         let line = parts
             .iter()
             .map(|(l, f)| format!("{l} {:.0}%", f * 100.0))

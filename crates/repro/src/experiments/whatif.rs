@@ -34,12 +34,7 @@ fn median_section(ctx: &Context, workload: &str) -> usize {
         .filter(|&i| ctx.labels[i].contains(workload))
         .collect();
     assert!(!indices.is_empty(), "workload {workload} present");
-    indices.sort_by(|&a, &b| {
-        ctx.data
-            .target(a)
-            .partial_cmp(&ctx.data.target(b))
-            .expect("finite CPI")
-    });
+    indices.sort_by(|&a, &b| ctx.data.target(a).total_cmp(&ctx.data.target(b)));
     indices[indices.len() / 2]
 }
 

@@ -1,7 +1,9 @@
 //! `mtperf-repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! USAGE: mtperf-repro [--quick] [--threads <auto|off|N>] <experiment>...
+//! USAGE: mtperf-repro [--quick] [--threads <auto|off|N>]
+//!                     [--trace] [--trace-out <path>] [--metrics <table|json>]
+//!                     <experiment>...
 //!
 //! experiments:
 //!   table1        Table I        selected metrics + measured suite statistics
@@ -51,11 +53,33 @@ const EXPERIMENTS: &[&str] = &[
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut obs = mtperf_obs::ObsConfig::default();
     let mut requested: Vec<&str> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--trace" => obs.trace = true,
+            "--trace-out" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--trace-out needs a path");
+                    return ExitCode::FAILURE;
+                };
+                obs.trace_out = Some(value.into());
+            }
+            "--metrics" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--metrics needs a format (table or json)");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse() {
+                    Ok(f) => obs.metrics = Some(f),
+                    Err(e) => {
+                        eprintln!("--metrics: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--threads" => {
                 let Some(value) = iter.next() else {
                     eprintln!("--threads needs a value (auto, off, or a count)");
@@ -77,9 +101,18 @@ fn main() -> ExitCode {
         }
     }
     if requested.is_empty() {
-        eprintln!("usage: mtperf-repro [--quick] [--threads <auto|off|N>] <experiment>...");
+        eprintln!(
+            "usage: mtperf-repro [--quick] [--threads <auto|off|N>] \
+             [--trace] [--trace-out <path>] [--metrics <table|json>] <experiment>..."
+        );
         eprintln!("experiments: {} all", EXPERIMENTS.join(" "));
         return ExitCode::FAILURE;
+    }
+    if !obs.is_off() {
+        if let Err(e) = mtperf_obs::init(obs) {
+            eprintln!("--trace-out: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     if requested.contains(&"all") {
         requested = EXPERIMENTS.to_vec();
@@ -117,6 +150,16 @@ fn main() -> ExitCode {
             "generalize" => experiments::generalize::run(&ctx),
             "netburst" => experiments::netburst::run(&ctx),
             _ => unreachable!("validated above"),
+        }
+    }
+    if let Some(report) = mtperf_obs::finish() {
+        if report.summarize {
+            eprint!("{}", report.summary());
+        }
+        match report.metrics {
+            Some(mtperf_obs::MetricsFormat::Table) => eprint!("{}", report.metrics_table()),
+            Some(mtperf_obs::MetricsFormat::Json) => eprintln!("{}", report.metrics_json()),
+            None => {}
         }
     }
     ExitCode::SUCCESS

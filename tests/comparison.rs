@@ -97,8 +97,8 @@ fn svr_and_knn_train_and_predict_reasonably() {
         .map(|i| knn.predict(&test.row(i)))
         .collect();
 
-    let svr_m = Metrics::compute(&actual, &svr_pred);
-    let knn_m = Metrics::compute(&actual, &knn_pred);
+    let svr_m = Metrics::compute(&actual, &svr_pred).unwrap();
+    let knn_m = Metrics::compute(&actual, &knn_pred).unwrap();
     println!("SVR {svr_m}");
     println!("kNN {knn_m}");
 
