@@ -37,6 +37,10 @@ pub enum LinalgError {
         /// payloads).
         message: String,
     },
+    /// A [`crate::parallel::CancelToken`] fired (explicit cancellation or an
+    /// expired deadline) before a parallel section finished; all partial
+    /// results were discarded.
+    Cancelled,
 }
 
 impl fmt::Display for LinalgError {
@@ -54,6 +58,12 @@ impl fmt::Display for LinalgError {
             LinalgError::Empty => write!(f, "operation requires a non-empty matrix"),
             LinalgError::WorkerPanic { index, message } => {
                 write!(f, "parallel worker panicked on item {index}: {message}")
+            }
+            LinalgError::Cancelled => {
+                write!(
+                    f,
+                    "parallel section cancelled (token fired or deadline passed)"
+                )
             }
         }
     }

@@ -35,9 +35,89 @@ use std::cell::Cell;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::str::FromStr;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crate::error::LinalgError;
+
+/// A cooperative cancellation signal shared between a controller and the
+/// workers of a parallel section.
+///
+/// Tokens are cheap to clone (an [`Arc`] around one atomic flag plus an
+/// optional deadline). Workers observe cancellation *between* items — a
+/// running closure is never interrupted mid-flight, so partially computed
+/// items are simply discarded and no shared state is left torn. A token with
+/// a deadline reports itself cancelled once the deadline passes, which is
+/// how per-request deadlines thread through batch prediction.
+///
+/// # Example
+///
+/// ```
+/// use mtperf_linalg::parallel::CancelToken;
+/// use std::time::Duration;
+///
+/// let token = CancelToken::new();
+/// assert!(!token.is_cancelled());
+/// token.cancel();
+/// assert!(token.is_cancelled());
+///
+/// // Already-expired deadlines cancel immediately and deterministically.
+/// let expired = CancelToken::with_deadline(Duration::ZERO);
+/// assert!(expired.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`CancelToken::cancel`] is called.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that additionally reports cancelled once `timeout` from now
+    /// has elapsed.
+    pub fn with_deadline(timeout: Duration) -> CancelToken {
+        Self::with_deadline_at(Instant::now() + timeout)
+    }
+
+    /// A token with an absolute deadline.
+    pub fn with_deadline_at(deadline: Instant) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// Requests cancellation; all clones of this token observe it.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation was requested or the deadline has passed.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+            || self
+                .inner
+                .deadline
+                .is_some_and(|deadline| Instant::now() >= deadline)
+    }
+
+    /// The absolute deadline, if this token carries one.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+}
 
 /// How many worker threads parallel sections may use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -143,16 +223,25 @@ impl FirstPanic {
     }
 }
 
-/// Shared engine behind [`par_map`] and [`try_par_map`]: every closure call
-/// runs under [`catch_unwind`], so a panicking worker never tears down its
-/// thread — the chunk stops, siblings finish, and the lowest-index panic is
-/// reported to the caller as a value.
+/// Why a parallel section stopped early: a worker panicked, or the caller's
+/// cancellation token fired between items.
+enum ParFailure {
+    Panic(FirstPanic),
+    Cancelled,
+}
+
+/// Shared engine behind [`par_map`], [`try_par_map`], and
+/// [`try_par_map_cancel`]: every closure call runs under [`catch_unwind`],
+/// so a panicking worker never tears down its thread — the chunk stops,
+/// siblings finish, and the lowest-index panic is reported to the caller as
+/// a value. A cancellation token, when given, is consulted before each item.
 fn par_map_core<T, R, F>(
     par: Parallelism,
     items: &[T],
     min_chunk: usize,
+    cancel: Option<&CancelToken>,
     f: F,
-) -> Result<Vec<R>, FirstPanic>
+) -> Result<Vec<R>, ParFailure>
 where
     T: Sync,
     R: Send,
@@ -170,16 +259,19 @@ where
 
     // Runs one contiguous chunk, catching the first panic. `offset` is the
     // chunk's position in `items`, so panic indices are input-order global.
-    let run_chunk = |chunk: &[T], offset: usize| -> Result<Vec<R>, FirstPanic> {
+    let run_chunk = |chunk: &[T], offset: usize| -> Result<Vec<R>, ParFailure> {
         let mut out = Vec::with_capacity(chunk.len());
         for (i, item) in chunk.iter().enumerate() {
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                return Err(ParFailure::Cancelled);
+            }
             match catch_unwind(AssertUnwindSafe(|| f(item))) {
                 Ok(r) => out.push(r),
                 Err(payload) => {
-                    return Err(FirstPanic {
+                    return Err(ParFailure::Panic(FirstPanic {
                         index: offset + i,
                         payload,
-                    })
+                    }))
                 }
             }
         }
@@ -202,7 +294,7 @@ where
     }
     debug_assert_eq!(start, n);
 
-    let run_chunk_flagged = |chunk: &[T], offset: usize| -> Result<Vec<R>, FirstPanic> {
+    let run_chunk_flagged = |chunk: &[T], offset: usize| -> Result<Vec<R>, ParFailure> {
         IN_PARALLEL.with(|flag| flag.set(true));
         let out = run_chunk(chunk, offset);
         IN_PARALLEL.with(|flag| flag.set(false));
@@ -214,7 +306,7 @@ where
     // `None` when tracing is disabled: workers then run the closure directly.
     let obs_ctx = mtperf_obs::current_context();
 
-    let mut per_chunk: Vec<Result<Vec<R>, FirstPanic>> = Vec::with_capacity(threads);
+    let mut per_chunk: Vec<Result<Vec<R>, ParFailure>> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
@@ -231,31 +323,34 @@ where
         for handle in handles {
             // Workers catch their own panics, so join only fails if the
             // panic machinery itself panicked; treat that as item 0's panic.
-            per_chunk.push(
-                handle
-                    .join()
-                    .unwrap_or_else(|payload| Err(FirstPanic { index: 0, payload })),
-            );
+            per_chunk.push(handle.join().unwrap_or_else(|payload| {
+                Err(ParFailure::Panic(FirstPanic { index: 0, payload }))
+            }));
         }
     });
 
     // Deterministic error choice: the panic with the lowest input index wins,
-    // regardless of which thread finished first.
+    // regardless of which thread finished first; a panic anywhere outranks
+    // cancellation (the panic names a concrete defect, cancellation is just
+    // the controller giving up).
     let mut results: Vec<Vec<R>> = Vec::with_capacity(threads);
     let mut first: Option<FirstPanic> = None;
+    let mut cancelled = false;
     for chunk in per_chunk {
         match chunk {
             Ok(rs) => results.push(rs),
-            Err(p) => {
+            Err(ParFailure::Cancelled) => cancelled = true,
+            Err(ParFailure::Panic(p)) => {
                 if first.as_ref().is_none_or(|f| p.index < f.index) {
                     first = Some(p);
                 }
             }
         }
     }
-    match first {
-        Some(p) => Err(p),
-        None => Ok(results.into_iter().flatten().collect()),
+    match (first, cancelled) {
+        (Some(p), _) => Err(ParFailure::Panic(p)),
+        (None, true) => Err(ParFailure::Cancelled),
+        (None, false) => Ok(results.into_iter().flatten().collect()),
     }
 }
 
@@ -277,9 +372,11 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    match par_map_core(par, items, min_chunk, f) {
+    match par_map_core(par, items, min_chunk, None, f) {
         Ok(results) => results,
-        Err(p) => std::panic::resume_unwind(p.payload),
+        Err(ParFailure::Panic(p)) => std::panic::resume_unwind(p.payload),
+        // Unreachable: no token was passed, so nothing can cancel.
+        Err(ParFailure::Cancelled) => unreachable!("cancelled without a token"),
     }
 }
 
@@ -320,10 +417,60 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    par_map_core(par, items, min_chunk, f).map_err(|p| LinalgError::WorkerPanic {
-        index: p.index,
-        message: p.message(),
-    })
+    par_map_core(par, items, min_chunk, None, f).map_err(ParFailure::into_error)
+}
+
+impl ParFailure {
+    fn into_error(self) -> LinalgError {
+        match self {
+            ParFailure::Panic(p) => LinalgError::WorkerPanic {
+                index: p.index,
+                message: p.message(),
+            },
+            ParFailure::Cancelled => LinalgError::Cancelled,
+        }
+    }
+}
+
+/// [`try_par_map`] with cooperative cancellation: `cancel` is consulted
+/// before every item, on every worker, so a fired token (explicit
+/// [`CancelToken::cancel`] or an expired deadline) stops the section within
+/// one item's worth of work per thread.
+///
+/// Successful runs are bit-identical to [`try_par_map`] at any thread
+/// count. Cancellation discards all partial results — the caller gets
+/// [`LinalgError::Cancelled`], never a partially filled vector.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Cancelled`] when the token fires before the last
+/// item completes, and [`LinalgError::WorkerPanic`] when a worker closure
+/// panics (a panic outranks concurrent cancellation, deterministically).
+///
+/// # Example
+///
+/// ```
+/// use mtperf_linalg::parallel::{try_par_map_cancel, CancelToken, Parallelism};
+/// use mtperf_linalg::LinalgError;
+///
+/// let token = CancelToken::new();
+/// token.cancel();
+/// let err = try_par_map_cancel(Parallelism::Fixed(2), &[1, 2, 3], 1, &token, |&x| x);
+/// assert!(matches!(err, Err(LinalgError::Cancelled)));
+/// ```
+pub fn try_par_map_cancel<T, R, F>(
+    par: Parallelism,
+    items: &[T],
+    min_chunk: usize,
+    cancel: &CancelToken,
+    f: F,
+) -> Result<Vec<R>, LinalgError>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_core(par, items, min_chunk, Some(cancel), f).map_err(ParFailure::into_error)
 }
 
 #[cfg(test)]
@@ -446,6 +593,86 @@ mod tests {
             panic!("wrong variant");
         };
         assert!(message.contains("non-string"), "{message}");
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_any_work() {
+        let items: Vec<usize> = (0..100).collect();
+        let token = CancelToken::new();
+        token.cancel();
+        for threads in [1, 2, 8] {
+            let err =
+                try_par_map_cancel(Parallelism::Fixed(threads), &items, 1, &token, |&x| x * 2)
+                    .unwrap_err();
+            assert!(matches!(err, LinalgError::Cancelled), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn expired_deadline_cancels() {
+        let items: Vec<usize> = (0..50).collect();
+        let token = CancelToken::with_deadline(Duration::ZERO);
+        let err = try_par_map_cancel(Parallelism::Fixed(4), &items, 1, &token, |&x| x).unwrap_err();
+        assert!(matches!(err, LinalgError::Cancelled));
+    }
+
+    #[test]
+    fn future_deadline_lets_work_complete() {
+        let items: Vec<usize> = (0..64).collect();
+        let token = CancelToken::with_deadline(Duration::from_secs(3600));
+        let got = try_par_map_cancel(Parallelism::Fixed(4), &items, 1, &token, |&x| x + 1).unwrap();
+        assert_eq!(got, (1..=64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mid_run_cancel_from_another_thread_stops_the_section() {
+        let items: Vec<usize> = (0..10_000).collect();
+        let token = CancelToken::new();
+        let witness = token.clone();
+        let err = try_par_map_cancel(Parallelism::Fixed(2), &items, 1, &token, |&x| {
+            if x == 5 {
+                witness.cancel();
+            }
+            x
+        })
+        .unwrap_err();
+        assert!(matches!(err, LinalgError::Cancelled));
+    }
+
+    #[test]
+    fn worker_panic_outranks_cancellation() {
+        // One item panics, another cancels: the panic must win so the defect
+        // is reported, at any thread count.
+        let items: Vec<usize> = (0..64).collect();
+        for threads in [1, 2, 8] {
+            let token = CancelToken::new();
+            let witness = token.clone();
+            let err = try_par_map_cancel(Parallelism::Fixed(threads), &items, 1, &token, |&x| {
+                assert!(x != 0, "defect first");
+                if x == 1 {
+                    witness.cancel();
+                }
+                x
+            })
+            .unwrap_err();
+            assert!(
+                matches!(err, LinalgError::WorkerPanic { index: 0, .. }),
+                "threads = {threads}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn cancel_token_clones_share_state() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+        assert!(a.deadline().is_none());
+        assert!(CancelToken::with_deadline(Duration::from_secs(1))
+            .deadline()
+            .is_some());
     }
 
     #[test]

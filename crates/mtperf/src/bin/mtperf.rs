@@ -4,7 +4,33 @@ use std::process::ExitCode;
 
 use mtperf::cli::{dispatch, Args, USAGE};
 
+/// Async-signal-safe SIGTERM handler: the only thing it does is store to a
+/// static atomic, which `mtperf serve`'s main loop polls to drain and exit
+/// cleanly. Installed for every subcommand (it is a no-op for the others,
+/// whose default on SIGTERM remains process death once they never poll).
+extern "C" fn on_sigterm(_signum: i32) {
+    mtperf::serve::SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+fn install_sigterm_handler() {
+    // The libc `signal(2)` shim is the entire unsafe surface of the
+    // workspace; the library crates all `forbid(unsafe_code)`. A typed
+    // `extern "C" fn(i32)` keeps the registration cast-free.
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_handler() {}
+
 fn main() -> ExitCode {
+    install_sigterm_handler();
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let args = match Args::parse(&raw) {
         Ok(a) => a,

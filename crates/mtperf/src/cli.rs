@@ -114,6 +114,16 @@ COMMANDS
              Batch-predict CPI for every section of a counter CSV through
              the compiled tree (bit-identical to per-row prediction) and
              emit workload, section, measured and predicted CPI.
+  serve      --model <model.json> [--socket <path>] [--stdio] [--workers N]
+             [--queue-depth N] [--deadline-ms N]
+             Long-running prediction daemon speaking newline-delimited JSON
+             (schema mtperf-serve-v1) over stdin/stdout and/or a Unix
+             socket: ops predict, health/ready, reload, save, shutdown.
+             Bounded queue with explicit `overloaded` backpressure,
+             per-request deadlines, degraded fallback on poisoned reloads,
+             atomic (kill-safe) model saves, SIGTERM drain-then-exit.
+             --socket alone disables the stdio session; add --stdio to
+             serve both transports.
 
 GLOBAL OPTIONS
   --threads <auto|off|N>
@@ -136,7 +146,8 @@ GLOBAL OPTIONS
              given format. Command output on stdout is unaffected.
 
 EXIT CODES
-  0 success, 2 usage error, 65 bad input data, 74 i/o error, 1 other failure.
+  0 success, 2 usage error, 65 bad input data, 69 service unavailable
+  (serve could not start), 74 i/o error, 1 other failure.
 ";
 
 /// Builds the observability configuration from the `--trace`,
@@ -397,7 +408,10 @@ pub fn cmd_predict(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliE
     };
     match args.options.get("out") {
         Some(path) => {
-            std::fs::write(path, &rendered).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+            // Atomic publication: a crash mid-write leaves either the old
+            // file or nothing at the destination, never a torn report.
+            mtperf_obs::fsio::atomic_write(path, rendered.as_bytes())
+                .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
             println!("{} predictions -> {path}", records.len());
         }
         None => write!(out, "{rendered}")?,
@@ -431,6 +445,7 @@ pub fn dispatch(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliErro
         "evaluate" => cmd_evaluate(args, out),
         "analyze" => cmd_analyze(args, out),
         "predict" => cmd_predict(args, out),
+        "serve" => crate::serve::cmd_serve(args),
         other => Err(CliError::Usage(format!(
             "unknown command {other:?}\n\n{USAGE}"
         ))),

@@ -4,12 +4,13 @@
 //! `sysexits(3)` does, so scripts wrapping the tool can react to *why* a run
 //! failed, not just that it did:
 //!
-//! | class                 | exit code | `sysexits` name |
-//! |-----------------------|-----------|-----------------|
-//! | [`CliError::Usage`]   | 2         | (conventional)  |
-//! | [`CliError::Data`]    | 65        | `EX_DATAERR`    |
-//! | [`CliError::Io`]      | 74        | `EX_IOERR`      |
-//! | [`CliError::Other`]   | 1         | (generic)       |
+//! | class                      | exit code | `sysexits` name  |
+//! |----------------------------|-----------|------------------|
+//! | [`CliError::Usage`]        | 2         | (conventional)   |
+//! | [`CliError::Data`]         | 65        | `EX_DATAERR`     |
+//! | [`CliError::Unavailable`]  | 69        | `EX_UNAVAILABLE` |
+//! | [`CliError::Io`]           | 74        | `EX_IOERR`       |
+//! | [`CliError::Other`]        | 1         | (generic)        |
 //!
 //! Every library error reaching the CLI is converted into one of these
 //! classes by the `From` impls below; the binary then maps
@@ -34,6 +35,11 @@ pub enum CliError {
     /// corrupt rows under `--policy strict`, a dataset the learner rejects.
     /// Exit code 65 (`EX_DATAERR`).
     Data(String),
+    /// A service could not start or is not available: the serving daemon
+    /// failed to load/validate its model or to bind its socket. Exit
+    /// code 69 (`EX_UNAVAILABLE`) so supervisors can separate "retry
+    /// later / fix the deployment" from usage and data errors.
+    Unavailable(String),
     /// An operating-system I/O failure: missing file, permission denied,
     /// disk full. Exit code 74 (`EX_IOERR`).
     Io(String),
@@ -48,6 +54,7 @@ impl CliError {
         match self {
             CliError::Usage(_) => 2,
             CliError::Data(_) => 65,
+            CliError::Unavailable(_) => 69,
             CliError::Io(_) => 74,
             CliError::Other(_) => 1,
         }
@@ -59,6 +66,7 @@ impl fmt::Display for CliError {
         match self {
             CliError::Usage(msg) => write!(f, "{msg}"),
             CliError::Data(msg) => write!(f, "bad input data: {msg}"),
+            CliError::Unavailable(msg) => write!(f, "service unavailable: {msg}"),
             CliError::Io(msg) => write!(f, "i/o error: {msg}"),
             CliError::Other(msg) => write!(f, "{msg}"),
         }
@@ -122,8 +130,11 @@ mod tests {
     fn exit_codes_follow_sysexits() {
         assert_eq!(CliError::Usage("x".into()).exit_code(), 2);
         assert_eq!(CliError::Data("x".into()).exit_code(), 65);
+        assert_eq!(CliError::Unavailable("x".into()).exit_code(), 69);
         assert_eq!(CliError::Io("x".into()).exit_code(), 74);
         assert_eq!(CliError::Other("x".into()).exit_code(), 1);
+        let e = CliError::Unavailable("daemon cannot start".into());
+        assert!(e.to_string().contains("unavailable"), "{e}");
     }
 
     #[test]

@@ -42,6 +42,7 @@
 
 pub mod cli;
 pub mod errors;
+pub mod serve;
 
 pub use errors::CliError;
 

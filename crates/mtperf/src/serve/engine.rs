@@ -1,0 +1,416 @@
+//! Model lifecycle for the serving daemon: validated loads, hot reload
+//! with last-known-good fallback, and the per-request degradation ladder.
+//!
+//! # Validated loads
+//!
+//! A model only becomes servable after [`load_and_validate`]: parse (the
+//! persistence layer already verifies the envelope checksum), compile, and
+//! **smoke-predict** — score one all-zero row through the compiled tree and
+//! require bit-identical agreement with the interpreted walk plus a finite
+//! result. A file that fails any step never reaches the hot path.
+//!
+//! # Hot reload keeps the last known good
+//!
+//! [`Engine::reload`] swaps the served model only after validation
+//! succeeds. On failure the previous model keeps serving and the engine is
+//! marked *degraded*: probes and predict responses carry `degraded: true`
+//! until a subsequent reload succeeds. A poisoned model file therefore
+//! degrades service quality metadata, never availability.
+//!
+//! # Per-request degradation ladder
+//!
+//! [`predict`] tries, in order:
+//!
+//! 1. the compiled batch path (parallel, cancellable) — the fast path;
+//! 2. the interpreted per-row walk, panic-isolated and deadline-checked
+//!    between rows — bit-identical output by the compiled path's own
+//!    contract, just slower;
+//! 3. a structured `internal` failure naming both errors.
+//!
+//! Deadline expiry is not a fault: it short-circuits the ladder and
+//! reports [`PredictOutcome::DeadlineExceeded`] immediately.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use mtperf_linalg::{CancelToken, Matrix, Parallelism};
+use mtperf_mtree::{CompiledTree, ModelTree, MtreeError};
+
+/// A validated, servable model: the source tree (for the interpreted
+/// fallback) plus its compiled form (the fast path).
+pub struct LoadedModel {
+    /// Interpreted form, kept for the degradation ladder.
+    pub tree: ModelTree,
+    /// Compiled form used by the worker hot path.
+    pub compiled: CompiledTree,
+}
+
+impl LoadedModel {
+    /// Attribute count requests must provide.
+    pub fn n_attrs(&self) -> usize {
+        self.compiled.n_attrs()
+    }
+}
+
+/// Loads, compiles, and smoke-predicts a model file.
+///
+/// # Errors
+///
+/// Returns a human-readable reason (typed persistence errors render
+/// through their `Display`) when the file is missing, torn, corrupt, a
+/// wrong version, or fails the smoke prediction.
+pub fn load_and_validate(path: &Path) -> Result<LoadedModel, String> {
+    let tree = ModelTree::load(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let compiled = tree.compile();
+    let zeros = vec![0.0; compiled.n_attrs().max(1)];
+    let rows = Matrix::from_rows(&[&zeros]).map_err(|e| format!("smoke row: {e}"))?;
+    let got = compiled
+        .try_predict_batch_with(&rows, Parallelism::Off)
+        .map_err(|e| format!("smoke prediction failed: {e}"))?;
+    let want = panic::catch_unwind(AssertUnwindSafe(|| tree.predict(&zeros)))
+        .map_err(|_| "smoke prediction panicked in the interpreted walk".to_string())?;
+    if got.len() != 1 || got[0].to_bits() != want.to_bits() {
+        return Err("smoke prediction disagrees with the interpreted walk".to_string());
+    }
+    if !got[0].is_finite() {
+        return Err(format!("smoke prediction is non-finite ({})", got[0]));
+    }
+    Ok(LoadedModel { tree, compiled })
+}
+
+/// The daemon's model slot: current model, reload, snapshot, save.
+pub struct Engine {
+    model_path: PathBuf,
+    current: Arc<LoadedModel>,
+    degraded: bool,
+    last_error: Option<String>,
+}
+
+impl Engine {
+    /// Loads the initial model; failure here means the daemon cannot start
+    /// (`EX_UNAVAILABLE` at the CLI layer).
+    ///
+    /// # Errors
+    ///
+    /// Every [`load_and_validate`] failure.
+    pub fn open(path: &Path) -> Result<Engine, String> {
+        let model = load_and_validate(path)?;
+        Ok(Engine {
+            model_path: path.to_path_buf(),
+            current: Arc::new(model),
+            degraded: false,
+            last_error: None,
+        })
+    }
+
+    /// Hot-reloads from `path` (default: the path the engine opened with).
+    /// On success the new model is swapped in and the degraded flag
+    /// clears; on failure the previous model keeps serving and the engine
+    /// reports degraded until a later reload succeeds.
+    ///
+    /// # Errors
+    ///
+    /// The validation failure, verbatim.
+    pub fn reload(&mut self, path: Option<&Path>) -> Result<(), String> {
+        let target = path.unwrap_or(&self.model_path).to_path_buf();
+        match load_and_validate(&target) {
+            Ok(model) => {
+                self.current = Arc::new(model);
+                self.model_path = target;
+                self.degraded = false;
+                self.last_error = None;
+                Ok(())
+            }
+            Err(e) => {
+                self.degraded = true;
+                self.last_error = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    /// Atomically persists the served model to `path` (default: the
+    /// engine's model path). Safe against `kill -9` at any instant: the
+    /// destination holds either the old or the new bytes, never a mix.
+    ///
+    /// # Errors
+    ///
+    /// Persistence failures from [`ModelTree::save`], rendered.
+    pub fn save(&self, path: Option<&Path>) -> Result<PathBuf, String> {
+        let target = path.unwrap_or(&self.model_path).to_path_buf();
+        self.current
+            .tree
+            .save(&target)
+            .map_err(|e| format!("{}: {e}", target.display()))?;
+        Ok(target)
+    }
+
+    /// The served model and whether the engine is degraded, as one
+    /// consistent pair.
+    pub fn snapshot(&self) -> (Arc<LoadedModel>, bool) {
+        (Arc::clone(&self.current), self.degraded)
+    }
+
+    /// Path reloads and saves default to.
+    pub fn model_path(&self) -> &Path {
+        &self.model_path
+    }
+
+    /// Whether the last reload failed (serving from last known good).
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// The failure that degraded the engine, if any.
+    pub fn last_error(&self) -> Option<&str> {
+        self.last_error.as_deref()
+    }
+}
+
+/// Outcome of one prediction request after the degradation ladder.
+#[derive(Debug, PartialEq)]
+pub enum PredictOutcome {
+    /// Predictions in input order; `degraded` when the interpreted
+    /// fallback produced them.
+    Ok {
+        /// Predicted values, one per input row.
+        predictions: Vec<f64>,
+        /// Whether the fallback path answered.
+        degraded: bool,
+    },
+    /// The request's deadline fired before compute finished.
+    DeadlineExceeded,
+    /// Every rung of the ladder failed.
+    Failed(String),
+}
+
+enum InterpFail {
+    Deadline,
+    Error(String),
+}
+
+fn interpreted_predict(
+    model: &LoadedModel,
+    rows: &Matrix,
+    token: &CancelToken,
+) -> Result<Vec<f64>, InterpFail> {
+    let mut out = Vec::with_capacity(rows.rows());
+    for i in 0..rows.rows() {
+        if token.is_cancelled() {
+            return Err(InterpFail::Deadline);
+        }
+        let row = rows.row(i);
+        let p = panic::catch_unwind(AssertUnwindSafe(|| model.tree.predict(row)))
+            .map_err(|_| InterpFail::Error(format!("interpreted walk panicked on row {i}")))?;
+        out.push(p);
+    }
+    Ok(out)
+}
+
+/// Scores `rows` through the degradation ladder (see the module docs).
+pub fn predict(
+    model: &LoadedModel,
+    rows: &Matrix,
+    par: Parallelism,
+    token: &CancelToken,
+) -> PredictOutcome {
+    match model.compiled.try_predict_batch_cancel(rows, par, token) {
+        Ok(predictions) => PredictOutcome::Ok {
+            predictions,
+            degraded: false,
+        },
+        Err(MtreeError::Cancelled) => PredictOutcome::DeadlineExceeded,
+        Err(primary) => match interpreted_predict(model, rows, token) {
+            Ok(predictions) => PredictOutcome::Ok {
+                predictions,
+                degraded: true,
+            },
+            Err(InterpFail::Deadline) => PredictOutcome::DeadlineExceeded,
+            Err(InterpFail::Error(secondary)) => PredictOutcome::Failed(format!(
+                "compiled path: {primary}; interpreted fallback: {secondary}"
+            )),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtperf_mtree::{Dataset, M5Params};
+    use std::time::Duration;
+
+    fn tiny_dataset(n_attrs: usize) -> Dataset {
+        let names: Vec<String> = (0..n_attrs).map(|i| format!("a{i}")).collect();
+        let rows: Vec<Vec<f64>> = (0..24)
+            .map(|r| {
+                (0..n_attrs)
+                    .map(|c| ((r * 7 + c * 3) % 11) as f64)
+                    .collect()
+            })
+            .collect();
+        let targets: Vec<f64> = rows
+            .iter()
+            .map(|row| {
+                0.5 + row
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| v * (i + 1) as f64)
+                    .sum::<f64>()
+            })
+            .collect();
+        Dataset::from_rows(names, &rows, &targets).unwrap()
+    }
+
+    fn tiny_tree(n_attrs: usize) -> ModelTree {
+        let params = M5Params::default().with_min_instances(4);
+        ModelTree::fit(&tiny_dataset(n_attrs), &params).unwrap()
+    }
+
+    fn temp_model(name: &str, n_attrs: usize) -> (PathBuf, ModelTree) {
+        let dir = std::env::temp_dir().join("mtperf-serve-engine-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let tree = tiny_tree(n_attrs);
+        tree.save(&path).unwrap();
+        (path, tree)
+    }
+
+    #[test]
+    fn open_validates_and_serves() {
+        let (path, tree) = temp_model("open-ok.json", 3);
+        let eng = Engine::open(&path).unwrap();
+        assert!(!eng.degraded());
+        let (model, degraded) = eng.snapshot();
+        assert!(!degraded);
+        assert_eq!(model.n_attrs(), 3);
+        let row = [1.0, 2.0, 3.0];
+        let rows = Matrix::from_rows(&[&row]).unwrap();
+        match predict(&model, &rows, Parallelism::Off, &CancelToken::new()) {
+            PredictOutcome::Ok {
+                predictions,
+                degraded,
+            } => {
+                assert!(!degraded);
+                assert_eq!(predictions[0].to_bits(), tree.predict(&row).to_bits());
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_missing_or_corrupt_file_fails() {
+        let err = Engine::open(Path::new("/nonexistent/model.json"))
+            .err()
+            .expect("open of a missing file must fail");
+        assert!(err.contains("model.json"), "{err}");
+
+        let dir = std::env::temp_dir().join("mtperf-serve-engine-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("garbage.json");
+        std::fs::write(&bad, "{ not a model }").unwrap();
+        assert!(Engine::open(&bad).is_err());
+    }
+
+    #[test]
+    fn poisoned_reload_keeps_last_known_good() {
+        let (path, tree) = temp_model("reload.json", 2);
+        let mut eng = Engine::open(&path).unwrap();
+
+        // Poison the model file in place: reload must fail, but the engine
+        // keeps serving the previous model, marked degraded.
+        std::fs::write(&path, "definitely not json").unwrap();
+        let err = eng.reload(None).unwrap_err();
+        assert!(!err.is_empty());
+        assert!(eng.degraded());
+        assert_eq!(eng.last_error(), Some(err.as_str()));
+        let (model, degraded) = eng.snapshot();
+        assert!(degraded);
+        let row = [4.0, 1.0];
+        let rows = Matrix::from_rows(&[&row]).unwrap();
+        match predict(&model, &rows, Parallelism::Off, &CancelToken::new()) {
+            PredictOutcome::Ok { predictions, .. } => {
+                assert_eq!(predictions[0].to_bits(), tree.predict(&row).to_bits());
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+
+        // A good file heals the engine.
+        tree.save(&path).unwrap();
+        eng.reload(None).unwrap();
+        assert!(!eng.degraded());
+        assert!(eng.last_error().is_none());
+    }
+
+    #[test]
+    fn save_roundtrips_atomically() {
+        let (path, tree) = temp_model("save-src.json", 2);
+        let eng = Engine::open(&path).unwrap();
+        let dir = path.parent().unwrap();
+        let copy = dir.join("save-copy.json");
+        let saved = eng.save(Some(&copy)).unwrap();
+        assert_eq!(saved, copy);
+        let reloaded = ModelTree::load(&copy).unwrap();
+        assert_eq!(reloaded.to_json(), tree.to_json());
+        // No staging files survive an atomic save.
+        let leftovers: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline_not_a_hang() {
+        let (path, _) = temp_model("deadline.json", 2);
+        let eng = Engine::open(&path).unwrap();
+        let (model, _) = eng.snapshot();
+        let rows = Matrix::from_rows(&[&[1.0, 2.0][..]]).unwrap();
+        let token = CancelToken::with_deadline(Duration::ZERO);
+        assert_eq!(
+            predict(&model, &rows, Parallelism::Off, &token),
+            PredictOutcome::DeadlineExceeded
+        );
+    }
+
+    #[test]
+    fn compiled_failure_falls_back_to_interpreted_as_degraded() {
+        // A deliberately inconsistent pair: the compiled form demands more
+        // attributes than the interpreted tree, so the compiled rung fails
+        // with RowLengthMismatch and the interpreted rung answers.
+        let model = LoadedModel {
+            tree: tiny_tree(2),
+            compiled: tiny_tree(5).compile(),
+        };
+        let row = [3.0, 1.0];
+        let rows = Matrix::from_rows(&[&row]).unwrap();
+        match predict(&model, &rows, Parallelism::Off, &CancelToken::new()) {
+            PredictOutcome::Ok {
+                predictions,
+                degraded,
+            } => {
+                assert!(degraded, "fallback answers must be marked degraded");
+                assert_eq!(predictions[0].to_bits(), model.tree.predict(&row).to_bits());
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn whole_ladder_failing_is_a_structured_error() {
+        let model = LoadedModel {
+            tree: tiny_tree(5),
+            compiled: tiny_tree(5).compile(),
+        };
+        // One column: too narrow for both rungs.
+        let rows = Matrix::from_rows(&[&[1.0][..]]).unwrap();
+        match predict(&model, &rows, Parallelism::Off, &CancelToken::new()) {
+            PredictOutcome::Failed(msg) => {
+                assert!(msg.contains("compiled path"), "{msg}");
+                assert!(msg.contains("interpreted fallback"), "{msg}");
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,893 @@
+//! `mtperf serve` — a resilient long-running prediction daemon.
+//!
+//! Speaks the newline-delimited JSON protocol of [`protocol`]
+//! (`mtperf-serve-v1`) over stdin/stdout and, with `--socket <path>`, a
+//! Unix domain socket. Robustness properties, each pinned by tests:
+//!
+//! * **Bounded queue, explicit backpressure** — parsing threads never
+//!   block on a full queue; the client hears `overloaded` immediately and
+//!   decides itself whether to retry.
+//! * **Per-request deadlines** — `deadline_ms` arms a cooperative
+//!   [`CancelToken`] consulted while queued and between row blocks inside
+//!   the compiled batch path, so an expensive request returns
+//!   `deadline_exceeded` instead of hanging a worker.
+//! * **Graceful degradation** — a poisoned hot reload keeps the
+//!   last-known-good model serving; a compiled-path failure falls back to
+//!   the interpreted walk. Both mark responses `degraded: true`
+//!   (see [`engine`]).
+//! * **Crash-safe persistence** — `save` snapshots the served model
+//!   through the atomic temp-file/fsync/rename protocol, so `kill -9` at
+//!   any instant leaves the previous file intact.
+//! * **Drain-then-exit** — SIGTERM, a `shutdown` request, or EOF on the
+//!   primary stdio transport stop intake, finish queued work, and exit 0.
+//!
+//! Startup failures (missing/corrupt model, unbindable socket) exit with
+//! code 69 (`EX_UNAVAILABLE`) so supervisors can tell "cannot start" from
+//! "bad usage".
+
+pub mod engine;
+pub mod protocol;
+pub mod queue;
+
+use std::io::{self, BufRead, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use mtperf_linalg::{parallel, CancelToken, Matrix};
+
+use crate::cli::Args;
+use crate::errors::CliError;
+use protocol::{LineRead, Request, Response};
+use queue::{BoundedQueue, PushError};
+
+/// Drain requested (SIGTERM from the binary's handler, a `shutdown`
+/// request, or EOF on the primary transport). The main loop polls this.
+pub static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+const DEFAULT_WORKERS: usize = 2;
+const DEFAULT_QUEUE_DEPTH: usize = 64;
+const POLL_MS: u64 = 25;
+
+/// Parsed configuration of one `mtperf serve` run.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Model file to serve (reload/save default target).
+    pub model: PathBuf,
+    /// Unix-domain socket to listen on, if any.
+    pub socket: Option<PathBuf>,
+    /// Whether to run a session over stdin/stdout (default unless
+    /// `--socket` is given without `--stdio`).
+    pub stdio: bool,
+    /// Prediction worker threads.
+    pub workers: usize,
+    /// Bounded queue capacity (backpressure threshold).
+    pub queue_depth: usize,
+    /// Default per-request deadline applied when a request carries none.
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl ServeConfig {
+    /// Builds the configuration from parsed CLI arguments.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] on a missing model path or out-of-range
+    /// numeric option.
+    pub fn from_args(args: &Args) -> Result<ServeConfig, CliError> {
+        let model = PathBuf::from(args.require("model")?);
+        let socket = args.options.get("socket").map(PathBuf::from);
+        let workers: usize = args.numeric("workers", DEFAULT_WORKERS)?;
+        if workers == 0 {
+            return Err(CliError::Usage(
+                "option --workers must be at least 1".to_string(),
+            ));
+        }
+        let queue_depth: usize = args.numeric("queue-depth", DEFAULT_QUEUE_DEPTH)?;
+        if queue_depth == 0 {
+            return Err(CliError::Usage(
+                "option --queue-depth must be at least 1".to_string(),
+            ));
+        }
+        let default_deadline_ms = match args.options.get("deadline-ms") {
+            None => None,
+            Some(v) => Some(v.parse::<u64>().map_err(|_| {
+                CliError::Usage(format!("option --deadline-ms has invalid value {v:?}"))
+            })?),
+        };
+        let stdio = socket.is_none() || args.flag("stdio");
+        Ok(ServeConfig {
+            model,
+            socket,
+            stdio,
+            workers,
+            queue_depth,
+            default_deadline_ms,
+        })
+    }
+}
+
+/// A connection's shared, lock-guarded response writer. Workers and the
+/// session's own parse loop interleave complete lines through it.
+type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
+
+#[derive(Default)]
+struct Stats {
+    requests: AtomicU64,
+    overloaded: AtomicU64,
+    deadline_misses: AtomicU64,
+    degraded_responses: AtomicU64,
+    reloads: AtomicU64,
+    internal_errors: AtomicU64,
+}
+
+/// One queued prediction.
+struct Job {
+    id: Option<String>,
+    rows: Matrix,
+    token: CancelToken,
+    writer: SharedWriter,
+}
+
+/// State shared by every session, worker, and the drain loop.
+struct Shared {
+    engine: Mutex<engine::Engine>,
+    queue: BoundedQueue<Job>,
+    stats: Stats,
+    draining: AtomicBool,
+    workers: usize,
+    default_deadline_ms: Option<u64>,
+}
+
+fn send(writer: &SharedWriter, resp: &Response) {
+    let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+    // A vanished peer is not a daemon error; the session just winds down.
+    let _ = w.write_all(resp.to_line().as_bytes());
+    let _ = w.flush();
+}
+
+enum SessionControl {
+    Continue,
+    Shutdown,
+}
+
+fn lock_engine(shared: &Shared) -> std::sync::MutexGuard<'_, engine::Engine> {
+    shared.engine.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn handle_predict(shared: &Arc<Shared>, req: Request, writer: &SharedWriter) {
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    mtperf_obs::add("serve.requests", 1);
+    let id = req.id;
+    if shared.draining.load(Ordering::SeqCst) {
+        send(
+            writer,
+            &Response::error(id, protocol::E_SHUTTING_DOWN, "daemon is draining"),
+        );
+        return;
+    }
+    let rows = match req.rows {
+        Some(rows) if !rows.is_empty() => rows,
+        _ => {
+            send(
+                writer,
+                &Response::error(
+                    id,
+                    protocol::E_BAD_REQUEST,
+                    "predict requires a non-empty rows array",
+                ),
+            );
+            return;
+        }
+    };
+    if rows.len() > protocol::MAX_ROWS_PER_REQUEST {
+        send(
+            writer,
+            &Response::error(
+                id,
+                protocol::E_BAD_REQUEST,
+                format!(
+                    "request has {} rows, limit is {}",
+                    rows.len(),
+                    protocol::MAX_ROWS_PER_REQUEST
+                ),
+            ),
+        );
+        return;
+    }
+    let n_attrs = lock_engine(shared).snapshot().0.n_attrs();
+    let width = rows[0].len();
+    if width < n_attrs {
+        send(
+            writer,
+            &Response::error(
+                id,
+                protocol::E_BAD_REQUEST,
+                format!("rows have {width} values, model expects {n_attrs}"),
+            ),
+        );
+        return;
+    }
+    if rows.iter().any(|r| r.len() != width) {
+        send(
+            writer,
+            &Response::error(id, protocol::E_BAD_REQUEST, "rows have unequal lengths"),
+        );
+        return;
+    }
+    if rows.iter().flatten().any(|v| !v.is_finite()) {
+        send(
+            writer,
+            &Response::error(
+                id,
+                protocol::E_BAD_REQUEST,
+                "rows contain non-finite values",
+            ),
+        );
+        return;
+    }
+    let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+    let matrix = match Matrix::from_rows(&refs) {
+        Ok(m) => m,
+        Err(e) => {
+            send(
+                writer,
+                &Response::error(id, protocol::E_BAD_REQUEST, e.to_string()),
+            );
+            return;
+        }
+    };
+    let token = match req.deadline_ms.or(shared.default_deadline_ms) {
+        Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+        None => CancelToken::new(),
+    };
+    let job = Job {
+        id: id.clone(),
+        rows: matrix,
+        token,
+        writer: Arc::clone(writer),
+    };
+    match shared.queue.try_push(job) {
+        Ok(depth) => mtperf_obs::gauge("serve.queue_depth", depth as f64),
+        Err(PushError::Full) => {
+            shared.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+            mtperf_obs::add("serve.overloaded", 1);
+            send(
+                writer,
+                &Response::error(
+                    id,
+                    protocol::E_OVERLOADED,
+                    format!("queue full ({} requests)", shared.queue.capacity()),
+                ),
+            );
+        }
+        Err(PushError::Closed) => {
+            send(
+                writer,
+                &Response::error(id, protocol::E_SHUTTING_DOWN, "daemon is draining"),
+            );
+        }
+    }
+}
+
+fn health_payload(shared: &Shared) -> protocol::Health {
+    let (model_path, degraded) = {
+        let eng = lock_engine(shared);
+        (eng.model_path().display().to_string(), eng.degraded())
+    };
+    let draining = shared.draining.load(Ordering::SeqCst);
+    protocol::Health {
+        ready: !draining,
+        degraded,
+        model: model_path,
+        workers: shared.workers,
+        queue_depth: shared.queue.depth(),
+        queue_capacity: shared.queue.capacity(),
+        requests: shared.stats.requests.load(Ordering::Relaxed),
+        overloaded: shared.stats.overloaded.load(Ordering::Relaxed),
+        deadline_misses: shared.stats.deadline_misses.load(Ordering::Relaxed),
+        degraded_responses: shared.stats.degraded_responses.load(Ordering::Relaxed),
+        reloads: shared.stats.reloads.load(Ordering::Relaxed),
+        draining,
+    }
+}
+
+fn handle_line(shared: &Arc<Shared>, line: &str, writer: &SharedWriter) -> SessionControl {
+    let req: Request = match serde_json::from_str(line) {
+        Ok(r) => r,
+        Err(e) => {
+            send(
+                writer,
+                &Response::error(
+                    None,
+                    protocol::E_BAD_REQUEST,
+                    format!("unparsable request: {e}"),
+                ),
+            );
+            return SessionControl::Continue;
+        }
+    };
+    match req.op.as_deref() {
+        Some("predict") => handle_predict(shared, req, writer),
+        Some("health" | "ready") => {
+            send(writer, &Response::health(req.id, health_payload(shared)));
+        }
+        Some("reload") => {
+            let path = req.path.as_ref().map(PathBuf::from);
+            let result = lock_engine(shared).reload(path.as_deref());
+            match result {
+                Ok(()) => {
+                    shared.stats.reloads.fetch_add(1, Ordering::Relaxed);
+                    mtperf_obs::add("serve.reloads", 1);
+                    send(writer, &Response::ack(req.id));
+                }
+                Err(e) => {
+                    mtperf_obs::add("serve.reload_failures", 1);
+                    send(
+                        writer,
+                        &Response::error(req.id, protocol::E_RELOAD_FAILED, e),
+                    );
+                }
+            }
+        }
+        Some("save") => {
+            let path = req.path.as_ref().map(PathBuf::from);
+            let result = lock_engine(shared).save(path.as_deref());
+            match result {
+                Ok(_) => send(writer, &Response::ack(req.id)),
+                Err(e) => send(writer, &Response::error(req.id, protocol::E_SAVE_FAILED, e)),
+            }
+        }
+        Some("shutdown") => {
+            send(writer, &Response::ack(req.id));
+            return SessionControl::Shutdown;
+        }
+        Some(other) => send(
+            writer,
+            &Response::error(
+                req.id,
+                protocol::E_BAD_REQUEST,
+                format!("unknown op {other:?}"),
+            ),
+        ),
+        None => send(
+            writer,
+            &Response::error(req.id, protocol::E_BAD_REQUEST, "request is missing op"),
+        ),
+    }
+    SessionControl::Continue
+}
+
+/// Drains one connection: reads bounded lines, dispatches, stops at EOF
+/// or after a `shutdown` request (which also flags the daemon to drain).
+fn run_session<R: BufRead>(shared: &Arc<Shared>, mut reader: R, writer: SharedWriter) {
+    loop {
+        match protocol::read_bounded_line(&mut reader) {
+            Ok(LineRead::Eof) => return,
+            Ok(LineRead::TooLong) => send(
+                &writer,
+                &Response::error(
+                    None,
+                    protocol::E_BAD_REQUEST,
+                    format!("request line exceeds {} bytes", protocol::MAX_LINE_BYTES),
+                ),
+            ),
+            Ok(LineRead::Line(line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                if let SessionControl::Shutdown = handle_line(shared, &line, &writer) {
+                    SHUTDOWN.store(true, Ordering::SeqCst);
+                    return;
+                }
+            }
+            // A broken connection ends its session, never the daemon.
+            Err(_) => return,
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        mtperf_obs::gauge("serve.queue_depth", shared.queue.depth() as f64);
+        if job.token.is_cancelled() {
+            shared.stats.deadline_misses.fetch_add(1, Ordering::Relaxed);
+            mtperf_obs::add("serve.deadline_miss", 1);
+            send(
+                &job.writer,
+                &Response::error(
+                    job.id,
+                    protocol::E_DEADLINE,
+                    "deadline expired while queued",
+                ),
+            );
+            continue;
+        }
+        let (model, engine_degraded) = lock_engine(shared).snapshot();
+        match engine::predict(&model, &job.rows, parallel::global(), &job.token) {
+            engine::PredictOutcome::Ok {
+                predictions,
+                degraded: ladder_degraded,
+            } => {
+                let degraded = ladder_degraded || engine_degraded;
+                if degraded {
+                    shared
+                        .stats
+                        .degraded_responses
+                        .fetch_add(1, Ordering::Relaxed);
+                    mtperf_obs::add("serve.degraded", 1);
+                }
+                send(
+                    &job.writer,
+                    &Response::predictions(job.id, predictions, degraded),
+                );
+            }
+            engine::PredictOutcome::DeadlineExceeded => {
+                shared.stats.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                mtperf_obs::add("serve.deadline_miss", 1);
+                send(
+                    &job.writer,
+                    &Response::error(
+                        job.id,
+                        protocol::E_DEADLINE,
+                        "deadline expired during computation",
+                    ),
+                );
+            }
+            engine::PredictOutcome::Failed(msg) => {
+                shared.stats.internal_errors.fetch_add(1, Ordering::Relaxed);
+                mtperf_obs::add("serve.internal_errors", 1);
+                send(
+                    &job.writer,
+                    &Response::error(job.id, protocol::E_INTERNAL, msg),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+fn accept_loop(shared: &Arc<Shared>, listener: std::os::unix::net::UnixListener) {
+    loop {
+        if SHUTDOWN.load(Ordering::SeqCst) || shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        // The bounded-backoff retry helper absorbs EINTR/EAGAIN bursts; a
+        // still-idle listener then parks for a poll interval.
+        match mtperf_obs::fsio::with_retry("serve_accept", || listener.accept()) {
+            Ok((stream, _addr)) => {
+                let reader = match stream.try_clone() {
+                    Ok(s) => io::BufReader::new(s),
+                    Err(_) => continue,
+                };
+                let writer: SharedWriter = Arc::new(Mutex::new(Box::new(stream)));
+                let shared = Arc::clone(shared);
+                thread::spawn(move || run_session(&shared, reader, writer));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(POLL_MS));
+            }
+            Err(e) => {
+                eprintln!("mtperf serve: accept failed: {e}");
+                thread::sleep(Duration::from_millis(POLL_MS));
+            }
+        }
+    }
+}
+
+/// `mtperf serve` entry point.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] for bad options; [`CliError::Unavailable`]
+/// (exit 69, `EX_UNAVAILABLE`) when the model cannot be loaded/validated
+/// or the socket cannot be bound.
+pub fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    let cfg = ServeConfig::from_args(args)?;
+    run(&cfg)
+}
+
+/// Runs the daemon until a drain trigger fires, then drains and returns.
+///
+/// # Errors
+///
+/// See [`cmd_serve`].
+pub fn run(cfg: &ServeConfig) -> Result<(), CliError> {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+    let eng = engine::Engine::open(&cfg.model)
+        .map_err(|e| CliError::Unavailable(format!("cannot load model: {e}")))?;
+    let shared = Arc::new(Shared {
+        engine: Mutex::new(eng),
+        queue: BoundedQueue::new(cfg.queue_depth),
+        stats: Stats::default(),
+        draining: AtomicBool::new(false),
+        workers: cfg.workers,
+        default_deadline_ms: cfg.default_deadline_ms,
+    });
+    let mut workers = Vec::with_capacity(cfg.workers);
+    for _ in 0..cfg.workers {
+        let shared = Arc::clone(&shared);
+        workers.push(thread::spawn(move || worker_loop(&shared)));
+    }
+    if let Some(sock) = &cfg.socket {
+        #[cfg(unix)]
+        {
+            if sock.exists() {
+                std::fs::remove_file(sock).map_err(|e| {
+                    CliError::Unavailable(format!(
+                        "cannot replace stale socket {}: {e}",
+                        sock.display()
+                    ))
+                })?;
+            }
+            let listener = std::os::unix::net::UnixListener::bind(sock).map_err(|e| {
+                CliError::Unavailable(format!("cannot bind socket {}: {e}", sock.display()))
+            })?;
+            listener.set_nonblocking(true).map_err(|e| {
+                CliError::Unavailable(format!("cannot configure socket {}: {e}", sock.display()))
+            })?;
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || accept_loop(&shared, listener));
+        }
+        #[cfg(not(unix))]
+        {
+            return Err(CliError::Unavailable(format!(
+                "--socket {} requires a unix platform",
+                sock.display()
+            )));
+        }
+    }
+    if cfg.stdio {
+        let shared = Arc::clone(&shared);
+        thread::spawn(move || {
+            let writer: SharedWriter = Arc::new(Mutex::new(Box::new(io::stdout())));
+            run_session(&shared, io::BufReader::new(io::stdin()), writer);
+            // EOF on the primary transport means no more work can arrive:
+            // drain and exit rather than idle forever.
+            SHUTDOWN.store(true, Ordering::SeqCst);
+        });
+    }
+    eprintln!(
+        "mtperf serve: ready (model {}, {} workers, queue {}{}{})",
+        cfg.model.display(),
+        cfg.workers,
+        cfg.queue_depth,
+        cfg.socket
+            .as_ref()
+            .map(|s| format!(", socket {}", s.display()))
+            .unwrap_or_default(),
+        if cfg.stdio { ", stdio" } else { "" },
+    );
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        thread::sleep(Duration::from_millis(POLL_MS));
+    }
+    eprintln!("mtperf serve: draining...");
+    shared.draining.store(true, Ordering::SeqCst);
+    shared.queue.close();
+    for handle in workers {
+        let _ = handle.join();
+    }
+    if let Some(sock) = &cfg.socket {
+        let _ = std::fs::remove_file(sock);
+    }
+    eprintln!("mtperf serve: drained, exiting");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtperf_mtree::{Dataset, M5Params, ModelTree};
+
+    /// A cloneable writer capturing every response line.
+    #[derive(Clone, Default)]
+    struct Capture(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Capture {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl Capture {
+        fn text(&self) -> String {
+            String::from_utf8_lossy(&self.0.lock().unwrap()).into_owned()
+        }
+        fn shared(&self) -> SharedWriter {
+            Arc::new(Mutex::new(Box::new(self.clone())))
+        }
+    }
+
+    fn tiny_tree() -> ModelTree {
+        let names = vec!["a0".to_string(), "a1".to_string()];
+        let rows: Vec<Vec<f64>> = (0..24)
+            .map(|r| vec![((r * 7) % 11) as f64, ((r * 3) % 5) as f64])
+            .collect();
+        let targets: Vec<f64> = rows.iter().map(|r| 1.0 + 2.0 * r[0] - r[1]).collect();
+        let data = Dataset::from_rows(names, &rows, &targets).unwrap();
+        ModelTree::fit(&data, &M5Params::default().with_min_instances(4)).unwrap()
+    }
+
+    fn test_shared_with(
+        tag: &str,
+        queue_depth: usize,
+        default_deadline_ms: Option<u64>,
+    ) -> (Arc<Shared>, std::path::PathBuf, ModelTree) {
+        let dir = std::env::temp_dir().join(format!(
+            "mtperf-serve-mod-tests-{}-{tag}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        let tree = tiny_tree();
+        tree.save(&path).unwrap();
+        let eng = engine::Engine::open(&path).unwrap();
+        let shared = Arc::new(Shared {
+            engine: Mutex::new(eng),
+            queue: BoundedQueue::new(queue_depth),
+            stats: Stats::default(),
+            draining: AtomicBool::new(false),
+            workers: 1,
+            default_deadline_ms,
+        });
+        (shared, path, tree)
+    }
+
+    fn test_shared(tag: &str, queue_depth: usize) -> (Arc<Shared>, std::path::PathBuf, ModelTree) {
+        test_shared_with(tag, queue_depth, None)
+    }
+
+    #[test]
+    fn config_defaults_and_validation() {
+        let parse =
+            |v: &[&str]| Args::parse(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap();
+        let cfg = ServeConfig::from_args(&parse(&["serve", "--model", "m.json"])).unwrap();
+        assert_eq!(cfg.workers, DEFAULT_WORKERS);
+        assert_eq!(cfg.queue_depth, DEFAULT_QUEUE_DEPTH);
+        assert!(cfg.stdio && cfg.socket.is_none());
+        assert!(cfg.default_deadline_ms.is_none());
+
+        // --socket alone turns the stdio transport off; --stdio restores it.
+        let cfg = ServeConfig::from_args(&parse(&["serve", "--model", "m.json", "--socket", "s"]))
+            .unwrap();
+        assert!(!cfg.stdio);
+        let cfg = ServeConfig::from_args(&parse(&[
+            "serve", "--model", "m.json", "--socket", "s", "--stdio",
+        ]))
+        .unwrap();
+        assert!(cfg.stdio);
+
+        for bad in [
+            vec!["serve"],
+            vec!["serve", "--model", "m", "--workers", "0"],
+            vec!["serve", "--model", "m", "--queue-depth", "0"],
+            vec!["serve", "--model", "m", "--deadline-ms", "soon"],
+        ] {
+            let err = ServeConfig::from_args(&parse(&bad)).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_lines_get_bad_request_responses() {
+        let (shared, _, _) = test_shared("malformed", 4);
+        let cap = Capture::default();
+        for line in [
+            "this is not json",
+            r#"{"id":"x"}"#,
+            r#"{"op":"frobnicate"}"#,
+            r#"{"op":"predict"}"#,
+            r#"{"op":"predict","rows":[]}"#,
+            r#"{"op":"predict","rows":[[1.0]]}"#,
+            r#"{"op":"predict","rows":[[1.0,2.0],[1.0,2.0,3.0]]}"#,
+            r#"{"op":"predict","rows":[[1.0,1e999]]}"#,
+        ] {
+            assert!(matches!(
+                handle_line(&shared, line, &cap.shared()),
+                SessionControl::Continue
+            ));
+        }
+        let out = cap.text();
+        assert_eq!(out.lines().count(), 8, "{out}");
+        assert_eq!(out.matches("\"kind\":\"bad_request\"").count(), 8, "{out}");
+        // Malformed predicts never reach the queue.
+        assert_eq!(shared.queue.depth(), 0);
+    }
+
+    #[test]
+    fn full_queue_answers_overloaded_without_blocking() {
+        // Queue of 1 and no workers draining it.
+        let (shared, _, _) = test_shared("overload", 1);
+        let cap = Capture::default();
+        let predict = r#"{"op":"predict","id":"p","rows":[[1.0,2.0]]}"#;
+        handle_line(&shared, predict, &cap.shared());
+        assert_eq!(shared.queue.depth(), 1);
+        assert_eq!(cap.text(), "", "first request queues silently");
+        handle_line(&shared, predict, &cap.shared());
+        let out = cap.text();
+        assert!(out.contains("\"kind\":\"overloaded\""), "{out}");
+        assert_eq!(shared.stats.overloaded.load(Ordering::Relaxed), 1);
+        assert_eq!(shared.queue.depth(), 1, "refused request was not queued");
+    }
+
+    #[test]
+    fn health_reports_stats_and_drain_state() {
+        let (shared, path, _) = test_shared("health", 4);
+        let cap = Capture::default();
+        handle_line(
+            &shared,
+            r#"{"op":"predict","rows":[[1.0,2.0]]}"#,
+            &cap.shared(),
+        );
+        handle_line(&shared, r#"{"op":"health","id":"h1"}"#, &cap.shared());
+        let out = cap.text();
+        assert!(out.contains("\"ready\":true"), "{out}");
+        assert!(out.contains("\"queue_depth\":1"), "{out}");
+        assert!(out.contains("\"requests\":1"), "{out}");
+        assert!(
+            out.contains(&format!(
+                "\"model\":{}",
+                serde_json::to_string(&path.display().to_string()).unwrap()
+            )),
+            "{out}"
+        );
+
+        shared.draining.store(true, Ordering::SeqCst);
+        let cap2 = Capture::default();
+        handle_line(&shared, r#"{"op":"ready"}"#, &cap2.shared());
+        let out2 = cap2.text();
+        assert!(out2.contains("\"ready\":false"), "{out2}");
+        assert!(out2.contains("\"draining\":true"), "{out2}");
+
+        // Draining daemons refuse new predictions explicitly.
+        let cap3 = Capture::default();
+        handle_line(
+            &shared,
+            r#"{"op":"predict","rows":[[1.0,2.0]]}"#,
+            &cap3.shared(),
+        );
+        assert!(
+            cap3.text().contains("\"kind\":\"shutting_down\""),
+            "{}",
+            cap3.text()
+        );
+    }
+
+    #[test]
+    fn worker_answers_queued_predictions_in_order_of_arrival() {
+        let (shared, _, tree) = test_shared("worker", 8);
+        let cap = Capture::default();
+        handle_line(
+            &shared,
+            r#"{"op":"predict","id":"r1","rows":[[1.0,2.0],[3.0,0.5]]}"#,
+            &cap.shared(),
+        );
+        shared.queue.close();
+        worker_loop(&shared);
+        let out = cap.text();
+        assert!(out.contains("\"id\":\"r1\""), "{out}");
+        assert!(out.contains("\"ok\":true"), "{out}");
+        assert!(out.contains("\"degraded\":false"), "{out}");
+        let want0 = tree.predict(&[1.0, 2.0]);
+        let want1 = tree.predict(&[3.0, 0.5]);
+        let line = out.trim();
+        assert!(
+            line.contains(&format!("{want0}")) && line.contains(&format!("{want1}")),
+            "{line} missing {want0}/{want1}"
+        );
+    }
+
+    #[test]
+    fn queued_past_deadline_is_a_timeout_not_a_hang() {
+        let (shared, _, _) = test_shared("deadline", 8);
+        let cap = Capture::default();
+        handle_line(
+            &shared,
+            r#"{"op":"predict","id":"late","rows":[[1.0,2.0]],"deadline_ms":0}"#,
+            &cap.shared(),
+        );
+        shared.queue.close();
+        worker_loop(&shared);
+        let out = cap.text();
+        assert!(out.contains("\"kind\":\"deadline_exceeded\""), "{out}");
+        assert!(out.contains("\"id\":\"late\""), "{out}");
+        assert_eq!(shared.stats.deadline_misses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn default_deadline_applies_when_request_has_none() {
+        // An already-expired default deadline: the worker must time the
+        // request out even though the request itself named no deadline.
+        let (shared, _, _) = test_shared_with("default-deadline", 8, Some(0));
+        let cap = Capture::default();
+        handle_line(
+            &shared,
+            r#"{"op":"predict","rows":[[1.0,2.0]]}"#,
+            &cap.shared(),
+        );
+        shared.queue.close();
+        worker_loop(&shared);
+        assert!(
+            cap.text().contains("\"kind\":\"deadline_exceeded\""),
+            "{}",
+            cap.text()
+        );
+    }
+
+    #[test]
+    fn poisoned_reload_degrades_but_keeps_serving() {
+        let (shared, path, tree) = test_shared("reload", 8);
+        let cap = Capture::default();
+
+        std::fs::write(&path, "poisoned").unwrap();
+        handle_line(&shared, r#"{"op":"reload","id":"g1"}"#, &cap.shared());
+        let out = cap.text();
+        assert!(out.contains("\"kind\":\"reload_failed\""), "{out}");
+        assert!(out.contains("\"degraded\":true"), "{out}");
+
+        // Predictions still flow, marked degraded, from last known good.
+        let cap2 = Capture::default();
+        handle_line(
+            &shared,
+            r#"{"op":"predict","id":"p1","rows":[[1.0,2.0]]}"#,
+            &cap2.shared(),
+        );
+        shared.queue.close();
+        worker_loop(&shared);
+        let out2 = cap2.text();
+        assert!(out2.contains("\"ok\":true"), "{out2}");
+        assert!(out2.contains("\"degraded\":true"), "{out2}");
+        assert_eq!(shared.stats.degraded_responses.load(Ordering::Relaxed), 1);
+
+        // A good file heals it.
+        tree.save(&path).unwrap();
+        let cap3 = Capture::default();
+        handle_line(&shared, r#"{"op":"reload","id":"g2"}"#, &cap3.shared());
+        assert!(cap3.text().contains("\"ok\":true"), "{}", cap3.text());
+        assert!(!lock_engine(&shared).degraded());
+        assert_eq!(shared.stats.reloads.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn save_op_persists_and_reports_failures() {
+        let (shared, path, tree) = test_shared("save", 8);
+        let copy = path.with_file_name("snapshot.json");
+        let cap = Capture::default();
+        let line = format!(
+            r#"{{"op":"save","id":"s1","path":{}}}"#,
+            serde_json::to_string(&copy.display().to_string()).unwrap()
+        );
+        handle_line(&shared, &line, &cap.shared());
+        assert!(cap.text().contains("\"ok\":true"), "{}", cap.text());
+        assert_eq!(ModelTree::load(&copy).unwrap().to_json(), tree.to_json());
+
+        let cap2 = Capture::default();
+        handle_line(
+            &shared,
+            r#"{"op":"save","path":"/nonexistent-dir/x/y.json"}"#,
+            &cap2.shared(),
+        );
+        assert!(
+            cap2.text().contains("\"kind\":\"save_failed\""),
+            "{}",
+            cap2.text()
+        );
+    }
+
+    #[test]
+    fn shutdown_op_acks_then_signals_drain() {
+        let (shared, _, _) = test_shared("shutdown", 8);
+        let cap = Capture::default();
+        assert!(matches!(
+            handle_line(&shared, r#"{"op":"shutdown","id":"bye"}"#, &cap.shared()),
+            SessionControl::Shutdown
+        ));
+        assert!(cap.text().contains("\"id\":\"bye\""), "{}", cap.text());
+    }
+}

@@ -1,0 +1,342 @@
+//! Wire protocol of the serving daemon (schema `mtperf-serve-v1`).
+//!
+//! Requests and responses are newline-delimited JSON objects — one request
+//! per line in, one response per line out — over stdin/stdout or a Unix
+//! domain socket. The same schema is spoken on both transports.
+//!
+//! # Requests
+//!
+//! ```json
+//! {"op":"predict","id":"r1","rows":[[0.1,0.2, ...]],"deadline_ms":50}
+//! {"op":"health","id":"h1"}
+//! {"op":"reload","id":"g1","path":"new-model.json"}
+//! {"op":"save","id":"s1","path":"snapshot.json"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! * `op` — required: `predict`, `health` (alias `ready`), `reload`,
+//!   `save`, or `shutdown`.
+//! * `id` — optional string echoed back verbatim, for request/response
+//!   correlation on pipelined connections.
+//! * `rows` — `predict` only: an array of equal-length rows of finite
+//!   numbers, at least as wide as the model's attribute count.
+//! * `deadline_ms` — `predict` only: per-request compute budget. When it
+//!   expires the request fails fast with `deadline_exceeded` instead of
+//!   occupying a worker.
+//! * `path` — `reload`/`save` only: model file to load from or save to
+//!   (defaults to the path the daemon started with).
+//!
+//! # Responses
+//!
+//! Every response line carries `proto`, the echoed `id` (or `null`), `ok`,
+//! and `degraded`. Exactly one of `predictions`, `error`, or `health` is
+//! non-null; the others serialize as `null` (the vendored serde emits every
+//! field). `degraded: true` means the answer came from a fallback path —
+//! the daemon is alive but not at full health (see
+//! [`crate::serve::engine`]).
+//!
+//! Error `kind`s are machine-readable and closed: [`E_BAD_REQUEST`],
+//! [`E_OVERLOADED`], [`E_DEADLINE`], [`E_SHUTTING_DOWN`],
+//! [`E_RELOAD_FAILED`], [`E_SAVE_FAILED`], [`E_INTERNAL`].
+
+use std::io::{self, BufRead};
+
+use serde::{Deserialize, Serialize};
+
+/// Protocol schema identifier, present in every response.
+pub const PROTOCOL: &str = "mtperf-serve-v1";
+
+/// Hard cap on one request line, so a stream missing its newlines cannot
+/// buffer unboundedly inside the daemon.
+pub const MAX_LINE_BYTES: usize = 8 * 1024 * 1024;
+
+/// Hard cap on rows in one `predict` request; batch bigger workloads into
+/// several requests so the queue stays a meaningful backpressure signal.
+pub const MAX_ROWS_PER_REQUEST: usize = 65_536;
+
+/// The request was syntactically or semantically malformed.
+pub const E_BAD_REQUEST: &str = "bad_request";
+/// The bounded request queue is full: explicit backpressure, retry later.
+pub const E_OVERLOADED: &str = "overloaded";
+/// The request's deadline expired before its computation finished.
+pub const E_DEADLINE: &str = "deadline_exceeded";
+/// The daemon is draining and no longer accepts work.
+pub const E_SHUTTING_DOWN: &str = "shutting_down";
+/// A hot reload failed validation; the previous model keeps serving.
+pub const E_RELOAD_FAILED: &str = "reload_failed";
+/// A model snapshot could not be persisted.
+pub const E_SAVE_FAILED: &str = "save_failed";
+/// Every fallback in the degradation ladder failed.
+pub const E_INTERNAL: &str = "internal";
+
+/// One parsed request line. Every field is optional at the parse layer;
+/// op-specific validation happens in the session handler so that a missing
+/// field yields a `bad_request` *response*, never a dropped connection.
+#[derive(Debug, Clone, Deserialize)]
+pub struct Request {
+    /// Correlation id echoed back in the response.
+    pub id: Option<String>,
+    /// Operation name.
+    pub op: Option<String>,
+    /// Prediction input rows.
+    pub rows: Option<Vec<Vec<f64>>>,
+    /// Per-request compute budget in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Model path override for `reload`/`save`.
+    pub path: Option<String>,
+}
+
+/// Machine-readable failure payload.
+#[derive(Debug, Clone, Serialize)]
+pub struct ErrorBody {
+    /// One of the `E_*` kinds.
+    pub kind: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// Payload of a `health`/`ready` response.
+#[derive(Debug, Clone, Serialize)]
+pub struct Health {
+    /// Accepting new work (model loaded, not draining).
+    pub ready: bool,
+    /// Serving from a fallback path (e.g. after a poisoned reload).
+    pub degraded: bool,
+    /// Model file the daemon (re)loads from and saves to.
+    pub model: String,
+    /// Prediction worker threads.
+    pub workers: usize,
+    /// Requests currently queued.
+    pub queue_depth: usize,
+    /// Queue capacity (backpressure threshold).
+    pub queue_capacity: usize,
+    /// Total `predict` requests accepted for parsing.
+    pub requests: u64,
+    /// Requests refused with `overloaded`.
+    pub overloaded: u64,
+    /// Requests that missed their deadline.
+    pub deadline_misses: u64,
+    /// Responses answered via a degraded fallback path.
+    pub degraded_responses: u64,
+    /// Successful hot reloads.
+    pub reloads: u64,
+    /// Drain in progress (SIGTERM or `shutdown` op received).
+    pub draining: bool,
+}
+
+/// One response line.
+#[derive(Debug, Clone, Serialize)]
+pub struct Response {
+    /// Always [`PROTOCOL`].
+    pub proto: String,
+    /// Echo of the request id.
+    pub id: Option<String>,
+    /// Whether the operation succeeded.
+    pub ok: bool,
+    /// Whether a fallback path produced this answer.
+    pub degraded: bool,
+    /// Predicted CPI per input row (in input order), for `predict`.
+    pub predictions: Option<Vec<f64>>,
+    /// Failure payload when `ok` is false.
+    pub error: Option<ErrorBody>,
+    /// Probe payload for `health`/`ready`.
+    pub health: Option<Health>,
+}
+
+impl Response {
+    fn base(id: Option<String>) -> Response {
+        Response {
+            proto: PROTOCOL.to_string(),
+            id,
+            ok: true,
+            degraded: false,
+            predictions: None,
+            error: None,
+            health: None,
+        }
+    }
+
+    /// A successful `predict` response.
+    pub fn predictions(id: Option<String>, predictions: Vec<f64>, degraded: bool) -> Response {
+        Response {
+            degraded,
+            predictions: Some(predictions),
+            ..Response::base(id)
+        }
+    }
+
+    /// A bare acknowledgement (`reload`, `save`, `shutdown`).
+    pub fn ack(id: Option<String>) -> Response {
+        Response::base(id)
+    }
+
+    /// A failure response of the given kind.
+    pub fn error(id: Option<String>, kind: &str, message: impl Into<String>) -> Response {
+        Response {
+            ok: false,
+            degraded: kind == E_RELOAD_FAILED,
+            error: Some(ErrorBody {
+                kind: kind.to_string(),
+                message: message.into(),
+            }),
+            ..Response::base(id)
+        }
+    }
+
+    /// A `health`/`ready` response.
+    pub fn health(id: Option<String>, health: Health) -> Response {
+        let degraded = health.degraded;
+        Response {
+            degraded,
+            health: Some(health),
+            ..Response::base(id)
+        }
+    }
+
+    /// Serializes to one newline-terminated JSON line.
+    pub fn to_line(&self) -> String {
+        let mut line = serde_json::to_string(self).unwrap_or_else(|_| {
+            // The response types above always serialize; this arm guards a
+            // future refactor, not a reachable path.
+            format!("{{\"proto\":\"{PROTOCOL}\",\"ok\":false}}")
+        });
+        line.push('\n');
+        line
+    }
+}
+
+/// Outcome of one bounded line read.
+#[derive(Debug, PartialEq, Eq)]
+pub enum LineRead {
+    /// A complete line (without its newline).
+    Line(String),
+    /// The line exceeded [`MAX_LINE_BYTES`]; its remainder was discarded.
+    TooLong,
+    /// End of stream.
+    Eof,
+}
+
+/// Reads one `\n`-terminated line with a hard length bound, retrying
+/// transient interruptions. Unlike [`BufRead::read_line`] this cannot be
+/// driven into unbounded buffering by a newline-free stream: past
+/// [`MAX_LINE_BYTES`] the overflow is drained and reported as
+/// [`LineRead::TooLong`].
+///
+/// # Errors
+///
+/// Propagates non-transient I/O errors from the underlying reader.
+pub fn read_bounded_line<R: BufRead>(reader: &mut R) -> io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut overflow = false;
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(c) => c,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if chunk.is_empty() {
+            // EOF. A trailing unterminated line still counts as a line.
+            return Ok(match (overflow, buf.is_empty()) {
+                (true, _) => LineRead::TooLong,
+                (false, true) => LineRead::Eof,
+                (false, false) => LineRead::Line(String::from_utf8_lossy(&buf).into_owned()),
+            });
+        }
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(chunk.len(), |i| i + 1);
+        if !overflow {
+            let payload = &chunk[..newline.unwrap_or(take)];
+            if buf.len() + payload.len() > MAX_LINE_BYTES {
+                overflow = true;
+                buf.clear();
+            } else {
+                buf.extend_from_slice(payload);
+            }
+        }
+        reader.consume(take);
+        if newline.is_some() {
+            return Ok(if overflow {
+                LineRead::TooLong
+            } else {
+                LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn request_parses_with_missing_fields() {
+        let r: Request = serde_json::from_str(r#"{"op":"health"}"#).unwrap();
+        assert_eq!(r.op.as_deref(), Some("health"));
+        assert!(r.id.is_none() && r.rows.is_none() && r.deadline_ms.is_none());
+
+        let r: Request =
+            serde_json::from_str(r#"{"op":"predict","id":"a","rows":[[1.0,2.0]],"deadline_ms":9}"#)
+                .unwrap();
+        assert_eq!(r.rows.unwrap(), vec![vec![1.0, 2.0]]);
+        assert_eq!(r.deadline_ms, Some(9));
+    }
+
+    #[test]
+    fn response_lines_are_single_json_lines() {
+        let ok = Response::predictions(Some("r1".into()), vec![1.5], false).to_line();
+        assert!(ok.ends_with('\n') && !ok.trim_end().contains('\n'));
+        assert!(ok.contains("\"proto\":\"mtperf-serve-v1\""), "{ok}");
+        assert!(ok.contains("\"id\":\"r1\""), "{ok}");
+        assert!(ok.contains("\"ok\":true"), "{ok}");
+
+        let err = Response::error(None, E_OVERLOADED, "queue full").to_line();
+        assert!(err.contains("\"ok\":false"), "{err}");
+        assert!(err.contains("\"kind\":\"overloaded\""), "{err}");
+        assert!(err.contains("\"id\":null"), "{err}");
+    }
+
+    #[test]
+    fn reload_failure_marks_degraded() {
+        let e = Response::error(None, E_RELOAD_FAILED, "poisoned");
+        assert!(e.degraded && !e.ok);
+        let e = Response::error(None, E_BAD_REQUEST, "nope");
+        assert!(!e.degraded);
+    }
+
+    #[test]
+    fn bounded_reader_splits_lines() {
+        let mut r = BufReader::new(&b"one\ntwo\nthree"[..]);
+        assert_eq!(
+            read_bounded_line(&mut r).unwrap(),
+            LineRead::Line("one".into())
+        );
+        assert_eq!(
+            read_bounded_line(&mut r).unwrap(),
+            LineRead::Line("two".into())
+        );
+        // Unterminated trailing line still delivered, then EOF.
+        assert_eq!(
+            read_bounded_line(&mut r).unwrap(),
+            LineRead::Line("three".into())
+        );
+        assert_eq!(read_bounded_line(&mut r).unwrap(), LineRead::Eof);
+    }
+
+    #[test]
+    fn bounded_reader_caps_line_length() {
+        // One huge newline-free prefix, then a normal line: the huge line is
+        // reported TooLong (not buffered), the next line survives.
+        let mut data = vec![b'x'; MAX_LINE_BYTES + 10];
+        data.push(b'\n');
+        data.extend_from_slice(b"ok\n");
+        // A tiny BufReader capacity forces many fill_buf cycles.
+        let mut r = BufReader::with_capacity(64, &data[..]);
+        assert_eq!(read_bounded_line(&mut r).unwrap(), LineRead::TooLong);
+        assert_eq!(
+            read_bounded_line(&mut r).unwrap(),
+            LineRead::Line("ok".into())
+        );
+        assert_eq!(read_bounded_line(&mut r).unwrap(), LineRead::Eof);
+    }
+}

@@ -1,0 +1,233 @@
+//! Bounded MPMC job queue with explicit backpressure and drain semantics.
+//!
+//! The serving daemon needs three properties from its queue that
+//! `std::sync::mpsc` does not give directly:
+//!
+//! 1. **Non-blocking bounded push** — when the queue is full the *client*
+//!    must hear `overloaded` immediately (explicit backpressure), not have
+//!    its session thread block and silently grow latency.
+//! 2. **Multi-consumer pop** — N worker threads drain one queue.
+//! 3. **Close-for-drain** — shutdown closes the queue; workers finish what
+//!    is already queued and then observe end-of-work deterministically.
+//!
+//! A `Mutex<VecDeque>` plus one condvar is enough; contention is per-request
+//! (microseconds of critical section), not per-row.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// Queue is at capacity: backpressure, retry later.
+    Full,
+    /// Queue is closed for drain: no new work is accepted.
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    open: bool,
+}
+
+/// A bounded multi-producer multi-consumer FIFO queue.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                open: true,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Capacity the queue was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Pushes without blocking; on success returns the queue depth
+    /// including the new item.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`BoundedQueue::close`].
+    pub fn try_push(&self, item: T) -> Result<usize, PushError> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if !s.open {
+            return Err(PushError::Closed);
+        }
+        if s.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        s.items.push_back(item);
+        let depth = s.items.len();
+        drop(s);
+        self.available.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks for the next item; `None` once the queue is closed *and*
+    /// drained (the worker-exit signal).
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Some(item);
+            }
+            if !s.open {
+                return None;
+            }
+            s = self.available.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: pushes start failing, already-queued items still
+    /// drain, and blocked `pop`s wake to observe the close.
+    pub fn close(&self) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.open = false;
+        drop(s);
+        self.available.notify_all();
+    }
+
+    /// Current number of queued items.
+    pub fn depth(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .items
+            .len()
+    }
+
+    /// Whether [`BoundedQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        !self.state.lock().unwrap_or_else(|e| e.into_inner()).open
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn push_pop_fifo_and_depth() {
+        let q = BoundedQueue::new(3);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn full_queue_refuses_without_blocking() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        // Popping one frees one slot.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3), Ok(2));
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(9).unwrap();
+        assert_eq!(q.try_push(10), Err(PushError::Full));
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(q.try_push(3), Err(PushError::Closed));
+        // Already-queued work still drains, then pop reports end-of-work.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || q.pop())
+            })
+            .collect();
+        // Give consumers a moment to block, then close: all must return.
+        thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn multi_producer_multi_consumer_delivers_everything() {
+        let q = Arc::new(BoundedQueue::<u32>::new(64));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    for i in 0..16 {
+                        // Bounded queue: spin on Full (tests only).
+                        loop {
+                            match q.try_push(p * 100 + i) {
+                                Ok(_) => break,
+                                Err(PushError::Full) => thread::yield_now(),
+                                Err(PushError::Closed) => panic!("closed early"),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let mut want: Vec<u32> = (0..4)
+            .flat_map(|p| (0..16).map(move |i| p * 100 + i))
+            .collect();
+        want.sort_unstable();
+        assert_eq!(all, want);
+    }
+}

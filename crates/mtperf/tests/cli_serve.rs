@@ -1,0 +1,460 @@
+//! End-to-end contracts of `mtperf serve`, driven through the real binary:
+//!
+//! * startup failures exit 69 (`EX_UNAVAILABLE`), usage errors exit 2;
+//! * a lockstep stdio session answers health/predict/reload/save/shutdown,
+//!   bit-identically across repeats, and refuses malformed requests with
+//!   `bad_request` instead of dropping the connection;
+//! * an expired deadline yields a `deadline_exceeded` response, not a hang;
+//! * SIGTERM and stdin EOF both drain queued work and exit 0;
+//! * a poisoned hot reload leaves the daemon serving the last-known-good
+//!   model with `degraded: true` until a good reload heals it;
+//! * the Unix-socket transport speaks the same protocol;
+//! * `kill -9` during a stream of atomic saves never corrupts the model:
+//!   a fresh daemon restarts from it and batch predictions are
+//!   bit-identical to the pre-crash golden run.
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Command, Output, Stdio};
+use std::sync::mpsc::{self, Receiver};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_mtperf")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin())
+        .args(args)
+        .env_remove("MTPERF_TRACE")
+        .env_remove("MTPERF_TRACE_OUT")
+        .env_remove("MTPERF_METRICS")
+        .output()
+        .expect("spawn mtperf")
+}
+
+fn stderr_of(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+/// A scratch directory with a tiny simulated CSV and a trained model.
+struct Fixture {
+    dir: PathBuf,
+    csv: String,
+    model: String,
+}
+
+impl Fixture {
+    fn new(tag: &str) -> Fixture {
+        let dir =
+            std::env::temp_dir().join(format!("mtperf-serve-test-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let csv = dir.join("suite.csv").display().to_string();
+        let model = dir.join("model.json").display().to_string();
+        let sim = run(&[
+            "simulate",
+            "--out",
+            &csv,
+            "--instructions",
+            "60000",
+            "--seed",
+            "3",
+        ]);
+        assert!(sim.status.success(), "simulate failed: {}", stderr_of(&sim));
+        let train = run(&["train", "--data", &csv, "--out", &model]);
+        assert!(
+            train.status.success(),
+            "train failed: {}",
+            stderr_of(&train)
+        );
+        Fixture { dir, csv, model }
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.dir).ok();
+    }
+}
+
+/// A `predict` rows payload: one row of `width` small finite values.
+fn rows_json(width: usize) -> String {
+    let vals: Vec<String> = (0..width)
+        .map(|i| format!("{:.2}", 0.05 + i as f64 * 0.01))
+        .collect();
+    format!("[[{}]]", vals.join(","))
+}
+
+/// A running `mtperf serve` child with a lockstep stdio session.
+struct Serve {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    lines: Receiver<String>,
+    stderr: Arc<Mutex<String>>,
+}
+
+impl Serve {
+    fn start(args: &[&str]) -> Serve {
+        let mut child = Command::new(bin())
+            .arg("serve")
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .env_remove("MTPERF_TRACE")
+            .env_remove("MTPERF_TRACE_OUT")
+            .env_remove("MTPERF_METRICS")
+            .spawn()
+            .expect("spawn mtperf serve");
+        let stdout = child.stdout.take().expect("child stdout");
+        let (tx, lines) = mpsc::channel();
+        thread::spawn(move || {
+            for line in BufReader::new(stdout).lines().map_while(Result::ok) {
+                if tx.send(line).is_err() {
+                    return;
+                }
+            }
+        });
+        let child_err = child.stderr.take().expect("child stderr");
+        let stderr = Arc::new(Mutex::new(String::new()));
+        let sink = Arc::clone(&stderr);
+        thread::spawn(move || {
+            let mut text = String::new();
+            let mut r = BufReader::new(child_err);
+            let _ = r.read_to_string(&mut text);
+            *sink.lock().unwrap() = text;
+        });
+        let stdin = child.stdin.take();
+        Serve {
+            child,
+            stdin,
+            lines,
+            stderr,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        let stdin = self.stdin.as_mut().expect("stdin still open");
+        writeln!(stdin, "{line}").expect("write request");
+        stdin.flush().expect("flush request");
+    }
+
+    /// Sends one request and waits for one response line.
+    fn request(&mut self, line: &str) -> String {
+        self.send(line);
+        self.next_response()
+    }
+
+    fn next_response(&mut self) -> String {
+        self.lines
+            .recv_timeout(Duration::from_secs(60))
+            .expect("daemon response within 60s")
+    }
+
+    /// Closes stdin (EOF drains the daemon) and waits for exit.
+    fn finish(mut self) -> (std::process::ExitStatus, String) {
+        self.stdin.take();
+        let status = self.wait();
+        let err = self.stderr.lock().unwrap().clone();
+        (status, err)
+    }
+
+    fn wait(&mut self) -> std::process::ExitStatus {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            if let Some(status) = self.child.try_wait().expect("try_wait") {
+                return status;
+            }
+            assert!(Instant::now() < deadline, "daemon did not exit within 60s");
+            thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+impl Drop for Serve {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.try_wait();
+    }
+}
+
+#[test]
+fn startup_failures_exit_unavailable() {
+    // Missing model file.
+    let out = run(&["serve", "--model", "/nonexistent/model.json"]);
+    assert_eq!(out.status.code(), Some(69), "{}", stderr_of(&out));
+    assert!(
+        stderr_of(&out).contains("unavailable"),
+        "{}",
+        stderr_of(&out)
+    );
+
+    // Corrupt model file: validation refuses it before serving starts.
+    let dir = std::env::temp_dir().join(format!("mtperf-serve-corrupt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "{ torn mid-write").unwrap();
+    let out = run(&["serve", "--model", &bad.display().to_string()]);
+    assert_eq!(out.status.code(), Some(69), "{}", stderr_of(&out));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Unbindable socket path (model must be valid to reach the bind).
+    let fx = Fixture::new("badsock");
+    let out = run(&[
+        "serve",
+        "--model",
+        &fx.model,
+        "--socket",
+        "/nonexistent-dir/serve.sock",
+    ]);
+    assert_eq!(out.status.code(), Some(69), "{}", stderr_of(&out));
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = run(&["serve"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    let out = run(&["serve", "--model", "m.json", "--workers", "0"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    let out = run(&["serve", "--model", "m.json", "--queue-depth", "0"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+}
+
+#[test]
+fn stdio_session_serves_health_predict_and_shutdown() {
+    let fx = Fixture::new("stdio");
+    let mut serve = Serve::start(&["--model", &fx.model, "--workers", "1"]);
+
+    // Readiness probe.
+    let health = serve.request(r#"{"op":"health","id":"h1"}"#);
+    assert!(health.contains("\"id\":\"h1\""), "{health}");
+    assert!(health.contains("\"ready\":true"), "{health}");
+    assert!(health.contains("\"degraded\":false"), "{health}");
+
+    // Predictions flow and are bit-identical across repeats.
+    let predict = format!(r#"{{"op":"predict","id":"p1","rows":{}}}"#, rows_json(20));
+    let first = serve.request(&predict);
+    assert!(first.contains("\"ok\":true"), "{first}");
+    assert!(first.contains("\"id\":\"p1\""), "{first}");
+    assert!(first.contains("\"degraded\":false"), "{first}");
+    assert!(first.contains("\"predictions\":["), "{first}");
+    let second = serve.request(&predict);
+    assert_eq!(first, second, "repeat predictions must be bit-identical");
+
+    // Malformed requests answer bad_request without killing the session.
+    for (req, detail) in [
+        ("not json at all", "unparsable"),
+        (r#"{"op":"frobnicate"}"#, "unknown op"),
+        (r#"{"op":"predict"}"#, "non-empty rows"),
+        (r#"{"op":"predict","rows":[[1.0,2.0]]}"#, "model expects"),
+    ] {
+        let resp = serve.request(req);
+        assert!(resp.contains("\"kind\":\"bad_request\""), "{req} -> {resp}");
+        assert!(resp.contains(detail), "{req} -> {resp}");
+    }
+
+    // An already-expired deadline is a timeout response, not a hang.
+    let late = serve.request(&format!(
+        r#"{{"op":"predict","id":"late","rows":{},"deadline_ms":0}}"#,
+        rows_json(20)
+    ));
+    assert!(late.contains("\"kind\":\"deadline_exceeded\""), "{late}");
+    assert!(late.contains("\"id\":\"late\""), "{late}");
+
+    // Stats surfaced through the probe.
+    let health = serve.request(r#"{"op":"health","id":"h2"}"#);
+    assert!(health.contains("\"deadline_misses\":1"), "{health}");
+
+    // Graceful shutdown: ack, drain, exit 0.
+    let bye = serve.request(r#"{"op":"shutdown","id":"bye"}"#);
+    assert!(bye.contains("\"id\":\"bye\""), "{bye}");
+    assert!(bye.contains("\"ok\":true"), "{bye}");
+    let (status, err) = serve.finish();
+    assert!(status.success(), "exit: {status:?}, stderr: {err}");
+    assert!(err.contains("drained"), "{err}");
+}
+
+#[test]
+fn stdin_eof_drains_and_exits_cleanly() {
+    let fx = Fixture::new("eof");
+    let mut serve = Serve::start(&["--model", &fx.model]);
+    let resp = serve.request(&format!(r#"{{"op":"predict","rows":{}}}"#, rows_json(20)));
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    let (status, err) = serve.finish();
+    assert!(status.success(), "exit: {status:?}, stderr: {err}");
+}
+
+#[test]
+fn sigterm_drains_then_exits_zero() {
+    let fx = Fixture::new("sigterm");
+    let mut serve = Serve::start(&["--model", &fx.model]);
+    // Prove the daemon is up before signalling.
+    let resp = serve.request(r#"{"op":"ready"}"#);
+    assert!(resp.contains("\"ready\":true"), "{resp}");
+
+    let pid = serve.child.id().to_string();
+    let kill = Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("spawn kill");
+    assert!(kill.success());
+    let status = serve.wait();
+    assert!(
+        status.success(),
+        "SIGTERM must drain and exit 0: {status:?}"
+    );
+    let err = serve.stderr.lock().unwrap().clone();
+    assert!(err.contains("drained"), "{err}");
+}
+
+#[test]
+fn poisoned_reload_serves_degraded_until_healed() {
+    let fx = Fixture::new("reload");
+    let good_bytes = std::fs::read(&fx.model).unwrap();
+    let mut serve = Serve::start(&["--model", &fx.model, "--workers", "1"]);
+
+    let predict = format!(r#"{{"op":"predict","id":"p","rows":{}}}"#, rows_json(20));
+    let healthy = serve.request(&predict);
+    assert!(healthy.contains("\"degraded\":false"), "{healthy}");
+
+    // Poison the model file on disk; the hot reload must refuse it.
+    std::fs::write(&fx.model, "poisoned mid-deploy").unwrap();
+    let reload = serve.request(r#"{"op":"reload","id":"g1"}"#);
+    assert!(reload.contains("\"kind\":\"reload_failed\""), "{reload}");
+    assert!(reload.contains("\"degraded\":true"), "{reload}");
+
+    // Still serving — same answers as before, now flagged degraded.
+    let degraded = serve.request(&predict);
+    assert!(degraded.contains("\"ok\":true"), "{degraded}");
+    assert!(degraded.contains("\"degraded\":true"), "{degraded}");
+    let probe = serve.request(r#"{"op":"health"}"#);
+    assert!(probe.contains("\"degraded\":true"), "{probe}");
+    assert!(probe.contains("\"ready\":true"), "{probe}");
+
+    // Restore the good bytes: reload heals, degraded clears.
+    std::fs::write(&fx.model, &good_bytes).unwrap();
+    let reload = serve.request(r#"{"op":"reload","id":"g2"}"#);
+    assert!(reload.contains("\"ok\":true"), "{reload}");
+    let healed = serve.request(&predict);
+    assert!(healed.contains("\"degraded\":false"), "{healed}");
+    assert_eq!(
+        healthy, healed,
+        "healed daemon must answer bit-identically to the original"
+    );
+
+    let bye = serve.request(r#"{"op":"shutdown"}"#);
+    assert!(bye.contains("\"ok\":true"), "{bye}");
+    assert!(serve.finish().0.success());
+}
+
+#[test]
+fn unix_socket_transport_speaks_the_same_protocol() {
+    use std::os::unix::net::UnixStream;
+
+    let fx = Fixture::new("socket");
+    let sock = fx.dir.join("serve.sock");
+    let sock_str = sock.display().to_string();
+    // Socket-only daemon: stdio transport off, so stdin EOF cannot drain it.
+    let mut serve = Serve::start(&["--model", &fx.model, "--socket", &sock_str]);
+
+    // Wait for the listener to come up.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut stream = loop {
+        if let Ok(s) = UnixStream::connect(&sock) {
+            break s;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "socket never came up: {}",
+            serve.stderr.lock().unwrap()
+        );
+        thread::sleep(Duration::from_millis(20));
+    };
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut ask = |line: &str| -> String {
+        writeln!(stream, "{line}").unwrap();
+        stream.flush().unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        resp
+    };
+
+    let health = ask(r#"{"op":"health","id":"s1"}"#);
+    assert!(health.contains("\"ready\":true"), "{health}");
+    let predict = ask(&format!(
+        r#"{{"op":"predict","id":"s2","rows":{}}}"#,
+        rows_json(20)
+    ));
+    assert!(predict.contains("\"ok\":true"), "{predict}");
+    assert!(predict.contains("\"id\":\"s2\""), "{predict}");
+
+    // A second concurrent connection works too.
+    let mut other = UnixStream::connect(&sock).unwrap();
+    other
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    writeln!(other, r#"{{"op":"ready","id":"s3"}}"#).unwrap();
+    let mut resp = String::new();
+    BufReader::new(other.try_clone().unwrap())
+        .read_line(&mut resp)
+        .unwrap();
+    assert!(resp.contains("\"id\":\"s3\""), "{resp}");
+
+    // Shutdown over the socket drains the daemon; the socket file goes away.
+    let bye = ask(r#"{"op":"shutdown"}"#);
+    assert!(bye.contains("\"ok\":true"), "{bye}");
+    let status = serve.wait();
+    assert!(status.success(), "{status:?}");
+    assert!(!sock.exists(), "socket file must be removed on exit");
+}
+
+#[test]
+fn kill_nine_mid_save_never_corrupts_the_model() {
+    let fx = Fixture::new("kill9");
+    // Golden predictions before any crash.
+    let golden = run(&["predict", "--model", &fx.model, "--data", &fx.csv]);
+    assert!(golden.status.success(), "{}", stderr_of(&golden));
+
+    // Several rounds with different kill timings: start a daemon, stream
+    // save requests at it, SIGKILL it mid-stream.
+    for (round, delay_ms) in [5u64, 20, 45].iter().enumerate() {
+        let mut serve = Serve::start(&["--model", &fx.model, "--workers", "1"]);
+        // Confirm liveness, then flood saves without reading responses.
+        let resp = serve.request(r#"{"op":"ready"}"#);
+        assert!(resp.contains("\"ready\":true"), "round {round}: {resp}");
+        for _ in 0..200 {
+            serve.send(r#"{"op":"save"}"#);
+        }
+        thread::sleep(Duration::from_millis(*delay_ms));
+        serve.child.kill().expect("SIGKILL");
+        let _ = serve.child.wait();
+
+        // The model file must be loadable and predict bit-identically.
+        let after = run(&["predict", "--model", &fx.model, "--data", &fx.csv]);
+        assert!(
+            after.status.success(),
+            "round {round}: model corrupted by kill -9: {}",
+            stderr_of(&after)
+        );
+        assert_eq!(
+            golden.stdout, after.stdout,
+            "round {round}: predictions diverged after kill -9"
+        );
+    }
+
+    // And a fresh daemon restarts cleanly from the surviving file.
+    let mut serve = Serve::start(&["--model", &fx.model]);
+    let health = serve.request(r#"{"op":"health"}"#);
+    assert!(health.contains("\"ready\":true"), "{health}");
+    assert!(health.contains("\"degraded\":false"), "{health}");
+    let bye = serve.request(r#"{"op":"shutdown"}"#);
+    assert!(bye.contains("\"ok\":true"), "{bye}");
+    assert!(serve.finish().0.success());
+}

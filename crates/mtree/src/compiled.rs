@@ -52,7 +52,7 @@
 //! }
 //! ```
 
-use mtperf_linalg::parallel::{self, try_par_map, Parallelism};
+use mtperf_linalg::parallel::{self, try_par_map, try_par_map_cancel, CancelToken, Parallelism};
 use mtperf_linalg::Matrix;
 
 use crate::node::Node;
@@ -422,6 +422,36 @@ impl CompiledTree {
         rows: &Matrix,
         par: Parallelism,
     ) -> Result<Vec<f64>, MtreeError> {
+        self.batch_core(rows, par, None)
+    }
+
+    /// [`CompiledTree::try_predict_batch_with`] under a cooperative
+    /// [`CancelToken`]: the token (an explicit cancel or an expired
+    /// deadline) is consulted before every row block on every worker, so a
+    /// fired token stops the batch within one block's worth of work per
+    /// thread. This is how a serving deadline bounds a single request's
+    /// compute.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MtreeError::Cancelled`] when the token fires mid-batch (all
+    /// partial results discarded), plus every error of
+    /// [`CompiledTree::try_predict_batch_with`].
+    pub fn try_predict_batch_cancel(
+        &self,
+        rows: &Matrix,
+        par: Parallelism,
+        cancel: &CancelToken,
+    ) -> Result<Vec<f64>, MtreeError> {
+        self.batch_core(rows, par, Some(cancel))
+    }
+
+    fn batch_core(
+        &self,
+        rows: &Matrix,
+        par: Parallelism,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Vec<f64>, MtreeError> {
         if rows.cols() < self.n_attrs {
             return Err(MtreeError::RowLengthMismatch {
                 expected: self.n_attrs,
@@ -435,11 +465,15 @@ impl CompiledTree {
         batch_span.annotate_num("rows", rows.rows() as f64);
         batch_span.annotate_num("blocks", blocks.len() as f64);
         let t0 = batch_span.is_recording().then(std::time::Instant::now);
-        let per_block = try_par_map(par, &blocks, 1, |&(start, end)| {
+        let run_block = |&(start, end): &(usize, usize)| {
             let mut block_span = mtperf_obs::span_idx("predict_block", start / ROW_BLOCK);
             block_span.add("rows", (end - start) as u64);
             self.predict_block(&data[start * cols..end * cols], cols)
-        })
+        };
+        let per_block = match cancel {
+            Some(token) => try_par_map_cancel(par, &blocks, 1, token, run_block),
+            None => try_par_map(par, &blocks, 1, run_block),
+        }
         .map_err(MtreeError::from)?;
         if let Some(t0) = t0 {
             let secs = t0.elapsed().as_secs_f64();

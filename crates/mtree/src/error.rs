@@ -34,6 +34,9 @@ pub enum MtreeError {
     /// had no usable rows. Distinct from [`MtreeError::BadParams`]: the
     /// caller's parameters were fine, the data was not.
     DegenerateData(String),
+    /// A cooperative cancellation token (deadline or explicit cancel) fired
+    /// before the computation finished; partial results were discarded.
+    Cancelled,
     /// An underlying linear-algebra failure that could not be recovered.
     Linalg(LinalgError),
 }
@@ -54,6 +57,12 @@ impl fmt::Display for MtreeError {
             }
             MtreeError::BadParams(msg) => write!(f, "bad training parameters: {msg}"),
             MtreeError::DegenerateData(msg) => write!(f, "degenerate data: {msg}"),
+            MtreeError::Cancelled => {
+                write!(
+                    f,
+                    "computation cancelled (deadline passed or caller gave up)"
+                )
+            }
             MtreeError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
         }
     }
@@ -70,7 +79,12 @@ impl Error for MtreeError {
 
 impl From<LinalgError> for MtreeError {
     fn from(e: LinalgError) -> Self {
-        MtreeError::Linalg(e)
+        match e {
+            // Cancellation is a caller decision, not an algebra failure;
+            // keep it a first-class variant so callers can match on it.
+            LinalgError::Cancelled => MtreeError::Cancelled,
+            other => MtreeError::Linalg(other),
+        }
     }
 }
 

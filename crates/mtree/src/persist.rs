@@ -1,8 +1,39 @@
-//! Model persistence: save and load fitted trees as JSON.
+//! Model persistence: save and load fitted trees as JSON, crash-safely.
 //!
 //! The tree (structure, models, parameters, attribute names) serializes via
-//! serde; these helpers add the file plumbing plus a version marker so
-//! incompatible dumps fail loudly instead of deserializing garbage.
+//! serde; these helpers add the file plumbing plus a versioned envelope so
+//! incompatible or corrupt dumps fail loudly — with a *typed* error — instead
+//! of deserializing garbage or panicking.
+//!
+//! # On-disk format
+//!
+//! Version 2 (written by [`ModelTree::to_json`] / [`RuleSet::to_json`]) is an
+//! integrity header line followed by the version-1 body:
+//!
+//! ```text
+//! {"format":"mtperf-model-tree","version":2,"checksum":"fnv1a64:<16 hex>","payload_len":N}
+//! {
+//!   "format": "mtperf-model-tree",
+//!   "version": 1,
+//!   "tree": { ... }
+//! }
+//! ```
+//!
+//! The checksum is 64-bit FNV-1a over the payload bytes (everything after the
+//! header line), and `payload_len` pins the exact payload size, so torn
+//! writes, truncations, and bit flips map to [`PersistError::Truncated`] and
+//! [`PersistError::ChecksumMismatch`] rather than a JSON parse error deep in
+//! the tree — or worse, a silently different model. Version-1 dumps (no
+//! header line) still load.
+//!
+//! # Crash safety
+//!
+//! [`ModelTree::save`] and [`RuleSet::save`] write through
+//! [`mtperf_obs::fsio::atomic_write`]: temp file in the destination
+//! directory, fsync, rename, fsync the directory. A crash — including
+//! `kill -9` — mid-save leaves either the previous complete file or the new
+//! complete file, never a torn one. Loads retry EINTR/EAGAIN-class transient
+//! failures on a bounded deterministic backoff schedule.
 
 use std::fs;
 use std::io;
@@ -12,8 +43,13 @@ use serde::{Deserialize, Serialize};
 
 use crate::{ModelTree, RuleSet};
 
-/// On-disk format version; bumped on breaking model-layout changes.
-const FORMAT_VERSION: u32 = 1;
+/// On-disk format version written by `save`/`to_json`; bumped on breaking
+/// model-layout changes. Version 2 added the integrity header.
+const FORMAT_VERSION: u32 = 2;
+
+/// The body format carried inside the envelope (and the whole file for
+/// pre-checksum dumps).
+const BODY_VERSION: u32 = 1;
 
 #[derive(Serialize, Deserialize)]
 struct Envelope {
@@ -29,6 +65,16 @@ struct RuleEnvelope {
     rules: RuleSet,
 }
 
+/// The version-2 integrity header: first line of the file, protecting the
+/// payload (all following bytes) with a length and an FNV-1a checksum.
+#[derive(Serialize, Deserialize)]
+struct IntegrityHeader {
+    format: String,
+    version: u32,
+    checksum: String,
+    payload_len: usize,
+}
+
 /// Error loading or saving a persisted model.
 #[derive(Debug)]
 #[non_exhaustive]
@@ -37,6 +83,24 @@ pub enum PersistError {
     Io(io::Error),
     /// The file is not a model dump or has an incompatible version.
     Format(String),
+    /// The payload hashes differently than the integrity header says: the
+    /// file was corrupted in place (bit flip, partial overwrite, spliced
+    /// content).
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum of the payload as found on disk.
+        found: u64,
+    },
+    /// The payload is shorter or longer than the integrity header says: the
+    /// file was torn by a crash mid-write (of a non-atomic writer) or
+    /// truncated/extended after the fact.
+    Truncated {
+        /// Payload length recorded in the header.
+        expected_len: usize,
+        /// Payload length found on disk.
+        found_len: usize,
+    },
 }
 
 impl std::fmt::Display for PersistError {
@@ -44,6 +108,17 @@ impl std::fmt::Display for PersistError {
         match self {
             PersistError::Io(e) => write!(f, "model i/o error: {e}"),
             PersistError::Format(msg) => write!(f, "model format error: {msg}"),
+            PersistError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "model file corrupt: checksum fnv1a64:{found:016x} does not match recorded fnv1a64:{expected:016x}"
+            ),
+            PersistError::Truncated {
+                expected_len,
+                found_len,
+            } => write!(
+                f,
+                "model file torn: payload is {found_len} bytes, header records {expected_len}"
+            ),
         }
     }
 }
@@ -52,7 +127,7 @@ impl std::error::Error for PersistError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PersistError::Io(e) => Some(e),
-            PersistError::Format(_) => None,
+            _ => None,
         }
     }
 }
@@ -63,120 +138,195 @@ impl From<io::Error> for PersistError {
     }
 }
 
+/// Wraps a version-1 body in the version-2 integrity envelope.
+fn seal(format: &str, mut body: String) -> String {
+    if !body.ends_with('\n') {
+        body.push('\n');
+    }
+    let header = serde_json::to_string(&IntegrityHeader {
+        format: format.into(),
+        version: FORMAT_VERSION,
+        checksum: format!(
+            "fnv1a64:{:016x}",
+            mtperf_obs::fsio::fnv1a_64(body.as_bytes())
+        ),
+        payload_len: body.len(),
+    })
+    .expect("header serialization cannot fail");
+    format!("{header}\n{body}")
+}
+
+/// Splits a dump into its verified version-1 body.
+///
+/// Version-2 dumps (integrity header on the first line) have their payload
+/// length and checksum verified; version-1 dumps pass through whole. The
+/// caller parses the returned body as the version-1 envelope.
+fn open_sealed<'a>(format: &str, text: &'a str) -> Result<&'a str, PersistError> {
+    let first_line = text.lines().next().unwrap_or("");
+    let Ok(header) = serde_json::from_str::<IntegrityHeader>(first_line) else {
+        // No integrity header: a version-1 dump (or garbage the body parser
+        // will reject with a Format error).
+        return Ok(text);
+    };
+    if header.format != format {
+        return Err(PersistError::Format(format!(
+            "unexpected format marker {:?} (expected {format:?})",
+            header.format
+        )));
+    }
+    if header.version != FORMAT_VERSION {
+        return Err(PersistError::Format(format!(
+            "unsupported envelope version {} (expected {FORMAT_VERSION})",
+            header.version
+        )));
+    }
+    let expected = header
+        .checksum
+        .strip_prefix("fnv1a64:")
+        .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+        .ok_or_else(|| {
+            PersistError::Format(format!("unparsable checksum field {:?}", header.checksum))
+        })?;
+    let payload = text
+        .split_once('\n')
+        .map(|(_, rest)| rest)
+        .unwrap_or_default();
+    if payload.len() != header.payload_len {
+        return Err(PersistError::Truncated {
+            expected_len: header.payload_len,
+            found_len: payload.len(),
+        });
+    }
+    let found = mtperf_obs::fsio::fnv1a_64(payload.as_bytes());
+    if found != expected {
+        return Err(PersistError::ChecksumMismatch { expected, found });
+    }
+    Ok(payload)
+}
+
+/// Shared body-envelope checks for trees and rule sets.
+fn check_body(format: &str, found_format: &str, version: u32) -> Result<(), PersistError> {
+    if found_format != format {
+        return Err(PersistError::Format(format!(
+            "unexpected format marker {found_format:?}"
+        )));
+    }
+    if version != BODY_VERSION {
+        return Err(PersistError::Format(format!(
+            "unsupported version {version} (expected {BODY_VERSION})"
+        )));
+    }
+    Ok(())
+}
+
 impl ModelTree {
-    /// Serializes the tree to a JSON string (versioned envelope).
+    /// Serializes the tree as a version-2 dump: one integrity-header line
+    /// (length + FNV-1a checksum of everything after it) followed by the
+    /// versioned JSON envelope.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(&Envelope {
+        let body = serde_json::to_string_pretty(&Envelope {
             format: "mtperf-model-tree".into(),
-            version: FORMAT_VERSION,
+            version: BODY_VERSION,
             tree: self.clone(),
         })
-        .expect("tree serialization cannot fail")
+        .expect("tree serialization cannot fail");
+        seal("mtperf-model-tree", body)
     }
 
-    /// Deserializes a tree from [`ModelTree::to_json`] output.
+    /// Deserializes a tree from [`ModelTree::to_json`] output (version 2) or
+    /// a pre-checksum version-1 dump.
     ///
     /// # Errors
     ///
-    /// Returns [`PersistError::Format`] for non-model JSON or version
-    /// mismatches.
+    /// Returns [`PersistError::Truncated`] / [`PersistError::ChecksumMismatch`]
+    /// when a version-2 dump fails integrity verification, and
+    /// [`PersistError::Format`] for non-model JSON or version mismatches.
     pub fn from_json(json: &str) -> Result<ModelTree, PersistError> {
+        let body = open_sealed("mtperf-model-tree", json)?;
         let env: Envelope =
-            serde_json::from_str(json).map_err(|e| PersistError::Format(e.to_string()))?;
-        if env.format != "mtperf-model-tree" {
-            return Err(PersistError::Format(format!(
-                "unexpected format marker {:?}",
-                env.format
-            )));
-        }
-        if env.version != FORMAT_VERSION {
-            return Err(PersistError::Format(format!(
-                "unsupported version {} (expected {FORMAT_VERSION})",
-                env.version
-            )));
-        }
+            serde_json::from_str(body).map_err(|e| PersistError::Format(e.to_string()))?;
+        check_body("mtperf-model-tree", &env.format, env.version)?;
         Ok(env.tree)
     }
 
-    /// Saves the tree to `path` as JSON.
+    /// Saves the tree to `path` atomically (temp file, fsync, rename, fsync
+    /// directory): a crash mid-save can never leave a torn model file at
+    /// `path`.
     ///
     /// # Errors
     ///
     /// Returns [`PersistError::Io`] on write failure.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
-        fs::write(path, self.to_json())?;
+        mtperf_obs::fsio::atomic_write(path, self.to_json().as_bytes())?;
         Ok(())
     }
 
-    /// Loads a tree from a file written by [`ModelTree::save`].
+    /// Loads a tree from a file written by [`ModelTree::save`], retrying
+    /// transient (EINTR/EAGAIN-class) read failures on a bounded backoff.
     ///
     /// # Errors
     ///
-    /// Returns [`PersistError::Io`] on read failure and
-    /// [`PersistError::Format`] on malformed content.
+    /// Returns [`PersistError::Io`] on read failure and the typed corruption
+    /// errors of [`ModelTree::from_json`] on malformed content.
     pub fn load(path: impl AsRef<Path>) -> Result<ModelTree, PersistError> {
-        let json = fs::read_to_string(path)?;
+        let path = path.as_ref();
+        let json = mtperf_obs::fsio::with_retry("model_load", || fs::read_to_string(path))?;
         Self::from_json(&json)
     }
 }
 
 impl RuleSet {
-    /// Serializes the rule set to a JSON string (versioned envelope, format
-    /// marker `mtperf-rule-set`), preserving the full extraction state:
-    /// rule order, conditions, per-rule models, coverage, and means. A rule
-    /// set loaded back (and compiled) predicts bit-identically to the
-    /// in-memory one.
+    /// Serializes the rule set as a version-2 dump (format marker
+    /// `mtperf-rule-set`), preserving the full extraction state: rule order,
+    /// conditions, per-rule models, coverage, and means. A rule set loaded
+    /// back (and compiled) predicts bit-identically to the in-memory one.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(&RuleEnvelope {
+        let body = serde_json::to_string_pretty(&RuleEnvelope {
             format: "mtperf-rule-set".into(),
-            version: FORMAT_VERSION,
+            version: BODY_VERSION,
             rules: self.clone(),
         })
-        .expect("rule serialization cannot fail")
+        .expect("rule serialization cannot fail");
+        seal("mtperf-rule-set", body)
     }
 
-    /// Deserializes a rule set from [`RuleSet::to_json`] output.
+    /// Deserializes a rule set from [`RuleSet::to_json`] output (version 2)
+    /// or a pre-checksum version-1 dump.
     ///
     /// # Errors
     ///
-    /// Returns [`PersistError::Format`] for non-rule JSON or version
-    /// mismatches.
+    /// Returns [`PersistError::Truncated`] / [`PersistError::ChecksumMismatch`]
+    /// when a version-2 dump fails integrity verification, and
+    /// [`PersistError::Format`] for non-rule JSON or version mismatches.
     pub fn from_json(json: &str) -> Result<RuleSet, PersistError> {
+        let body = open_sealed("mtperf-rule-set", json)?;
         let env: RuleEnvelope =
-            serde_json::from_str(json).map_err(|e| PersistError::Format(e.to_string()))?;
-        if env.format != "mtperf-rule-set" {
-            return Err(PersistError::Format(format!(
-                "unexpected format marker {:?}",
-                env.format
-            )));
-        }
-        if env.version != FORMAT_VERSION {
-            return Err(PersistError::Format(format!(
-                "unsupported version {} (expected {FORMAT_VERSION})",
-                env.version
-            )));
-        }
+            serde_json::from_str(body).map_err(|e| PersistError::Format(e.to_string()))?;
+        check_body("mtperf-rule-set", &env.format, env.version)?;
         Ok(env.rules)
     }
 
-    /// Saves the rule set to `path` as JSON.
+    /// Saves the rule set to `path` atomically (same contract as
+    /// [`ModelTree::save`]).
     ///
     /// # Errors
     ///
     /// Returns [`PersistError::Io`] on write failure.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
-        fs::write(path, self.to_json())?;
+        mtperf_obs::fsio::atomic_write(path, self.to_json().as_bytes())?;
         Ok(())
     }
 
-    /// Loads a rule set from a file written by [`RuleSet::save`].
+    /// Loads a rule set from a file written by [`RuleSet::save`], retrying
+    /// transient read failures like [`ModelTree::load`].
     ///
     /// # Errors
     ///
-    /// Returns [`PersistError::Io`] on read failure and
-    /// [`PersistError::Format`] on malformed content.
+    /// Returns [`PersistError::Io`] on read failure and the typed corruption
+    /// errors of [`RuleSet::from_json`] on malformed content.
     pub fn load(path: impl AsRef<Path>) -> Result<RuleSet, PersistError> {
-        let json = fs::read_to_string(path)?;
+        let path = path.as_ref();
+        let json = mtperf_obs::fsio::with_retry("rules_load", || fs::read_to_string(path))?;
         Self::from_json(&json)
     }
 }
@@ -196,12 +346,40 @@ mod tests {
         ModelTree::fit(&d, &M5Params::default().with_min_instances(8)).unwrap()
     }
 
+    /// The version-1 rendering of a tree (no integrity header), as written
+    /// by pre-checksum releases.
+    fn v1_json(t: &ModelTree) -> String {
+        serde_json::to_string_pretty(&Envelope {
+            format: "mtperf-model-tree".into(),
+            version: 1,
+            tree: t.clone(),
+        })
+        .unwrap()
+    }
+
     #[test]
     fn json_roundtrip() {
         let t = tree();
         let back = ModelTree::from_json(&t.to_json()).unwrap();
         assert_eq!(back, t);
         assert_eq!(back.predict(&[17.0]), t.predict(&[17.0]));
+    }
+
+    #[test]
+    fn v2_dump_has_integrity_header() {
+        let json = tree().to_json();
+        let first = json.lines().next().unwrap();
+        assert!(first.contains("\"version\":2"), "{first}");
+        assert!(first.contains("fnv1a64:"), "{first}");
+        let header: IntegrityHeader = serde_json::from_str(first).unwrap();
+        assert_eq!(header.payload_len, json.split_once('\n').unwrap().1.len());
+    }
+
+    #[test]
+    fn v1_dump_still_loads() {
+        let t = tree();
+        let back = ModelTree::from_json(&v1_json(&t)).unwrap();
+        assert_eq!(back, t);
     }
 
     #[test]
@@ -213,7 +391,36 @@ mod tests {
         t.save(&path).unwrap();
         let back = ModelTree::load(&path).unwrap();
         assert_eq!(back, t);
+        // Atomic save leaves no staging file behind.
+        assert!(!mtperf_obs::fsio::staging_path(&path).unwrap().exists());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_is_detected_as_torn() {
+        let t = tree();
+        let json = t.to_json();
+        let cut = &json[..json.len() - json.len() / 3];
+        let err = ModelTree::from_json(cut).unwrap_err();
+        assert!(matches!(err, PersistError::Truncated { .. }), "{err}");
+        assert!(err.to_string().contains("torn"), "{err}");
+    }
+
+    #[test]
+    fn bit_flip_is_detected_as_checksum_mismatch() {
+        let t = tree();
+        let json = t.to_json();
+        // Flip one payload character without changing the length.
+        let idx = json.rfind("\"tree\"").unwrap() + 1;
+        let mut bytes = json.into_bytes();
+        bytes[idx] = if bytes[idx] == b'x' { b'y' } else { b'x' };
+        let corrupt = String::from_utf8(bytes).unwrap();
+        let err = ModelTree::from_json(&corrupt).unwrap_err();
+        assert!(
+            matches!(err, PersistError::ChecksumMismatch { .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("fnv1a64:"), "{err}");
     }
 
     #[test]
@@ -243,7 +450,12 @@ mod tests {
     #[test]
     fn rejects_wrong_version() {
         let t = tree();
-        let json = t.to_json().replace("\"version\": 1", "\"version\": 999");
+        // Unsupported envelope version in the header line.
+        let json = t.to_json().replacen("\"version\":2", "\"version\":999", 1);
+        let err = ModelTree::from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+        // Unsupported body version in a headerless (v1-style) dump.
+        let json = v1_json(&t).replace("\"version\": 1", "\"version\": 999");
         let err = ModelTree::from_json(&json).unwrap_err();
         assert!(err.to_string().contains("version"), "{err}");
     }

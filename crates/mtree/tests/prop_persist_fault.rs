@@ -1,0 +1,162 @@
+//! Fault-injection properties for the persistence envelopes.
+//!
+//! Reuses the deterministic corruption operators of
+//! `mtperf_counters::faultinject` (row drops, field truncation,
+//! non-finite flips, saturation, duplication) against *saved model
+//! envelopes* instead of counter CSVs. The operators never touch line 1 —
+//! which for a v2 envelope is exactly the integrity header — so every
+//! fault lands in the checksummed payload, the spot a torn or bit-rotted
+//! file would actually differ.
+//!
+//! Properties:
+//!
+//! * any corruption that changes the envelope text makes `from_json`/
+//!   `load` return a typed [`PersistError`] — never a panic, never a
+//!   silently-wrong model;
+//! * the v2 payload is itself a loadable v1 document (backward
+//!   compatibility is structural, not best-effort);
+//! * corrupting a bare (checksum-less) v1 document still never panics.
+
+use mtperf_counters::faultinject::{FaultInjector, FaultOp};
+use mtperf_mtree::{Dataset, M5Params, ModelTree, RuleSet};
+use proptest::prelude::*;
+
+/// Strategy: a two-attribute dataset with a split-friendly piecewise target.
+fn dataset(n: usize) -> impl Strategy<Value = Dataset> {
+    (
+        prop::collection::vec((-8.0..8.0f64, -4.0..4.0f64), n),
+        prop::collection::vec(-0.15..0.15f64, n),
+    )
+        .prop_map(|(xs, noise)| {
+            let rows: Vec<[f64; 2]> = xs.iter().map(|&(a, b)| [a, b]).collect();
+            let ys: Vec<f64> = xs
+                .iter()
+                .zip(&noise)
+                .map(|(&(a, b), &e)| {
+                    let base = if a <= 0.0 {
+                        1.5 + 0.6 * b
+                    } else {
+                        6.0 - 0.3 * b
+                    };
+                    base + e
+                })
+                .collect();
+            Dataset::from_rows(vec!["a".into(), "b".into()], &rows, &ys).unwrap()
+        })
+}
+
+fn fault_op() -> impl Strategy<Value = FaultOp> {
+    prop_oneof![
+        (1usize..6).prop_map(FaultOp::DropRows),
+        (1usize..6).prop_map(FaultOp::TruncateFields),
+        (1usize..6).prop_map(FaultOp::FlipNonFinite),
+        (1usize..6).prop_map(FaultOp::SaturateCounters),
+        (1usize..6).prop_map(FaultOp::DuplicateSections),
+    ]
+}
+
+fn fit(d: &Dataset) -> ModelTree {
+    ModelTree::fit(d, &M5Params::default().with_min_instances(6)).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Corrupting a sealed tree envelope anywhere in its payload yields a
+    /// typed error — reaching the assertion at all proves no panic.
+    #[test]
+    fn corrupted_tree_envelope_is_a_typed_error(
+        d in dataset(60),
+        op in fault_op(),
+        seed in 0u64..1024,
+    ) {
+        let tree = fit(&d);
+        let sealed = tree.to_json();
+        let corrupted = FaultInjector::new(seed).apply(op, &sealed);
+        let result = ModelTree::from_json(&corrupted.text);
+        if corrupted.text != sealed {
+            prop_assert!(
+                result.is_err(),
+                "corruption {op:?} (seed {seed}) loaded as a valid model"
+            );
+        } else {
+            // The operator happened to be an identity (e.g. a truncation
+            // that kept every field): the envelope must still load.
+            prop_assert!(result.is_ok());
+        }
+    }
+
+    /// Same property through the file path: save, corrupt on disk, load.
+    #[test]
+    fn corrupted_tree_file_is_a_typed_error(
+        d in dataset(60),
+        op in fault_op(),
+        seed in 0u64..1024,
+    ) {
+        let tree = fit(&d);
+        let dir = std::env::temp_dir()
+            .join(format!("mtperf-persist-fault-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("model-{seed}.json"));
+        tree.save(&path).unwrap();
+        let sealed = std::fs::read_to_string(&path).unwrap();
+        let corrupted = FaultInjector::new(seed).apply(op, &sealed);
+        std::fs::write(&path, &corrupted.text).unwrap();
+        let result = ModelTree::load(&path);
+        if corrupted.text != sealed {
+            prop_assert!(result.is_err(), "{op:?} seed {seed}");
+        } else {
+            prop_assert!(result.is_ok());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Rule-set envelopes carry the same integrity protection.
+    #[test]
+    fn corrupted_rule_envelope_is_a_typed_error(
+        d in dataset(60),
+        op in fault_op(),
+        seed in 0u64..1024,
+    ) {
+        let rules = RuleSet::from_tree(&fit(&d));
+        let sealed = rules.to_json();
+        let corrupted = FaultInjector::new(seed).apply(op, &sealed);
+        let result = RuleSet::from_json(&corrupted.text);
+        if corrupted.text != sealed {
+            prop_assert!(result.is_err(), "{op:?} seed {seed}");
+        } else {
+            prop_assert!(result.is_ok());
+        }
+    }
+
+    /// The checksummed payload of a v2 envelope is itself a complete v1
+    /// document: stripping the integrity header must load bit-identically,
+    /// which is what keeps pre-envelope files loadable forever.
+    #[test]
+    fn v2_payload_is_a_loadable_v1_document(d in dataset(60)) {
+        let tree = fit(&d);
+        let sealed = tree.to_json();
+        let (header, body) = sealed.split_once('\n').unwrap();
+        prop_assert!(header.contains("\"version\":2"), "{header}");
+        prop_assert!(header.contains("fnv1a64:"), "{header}");
+        let loaded = ModelTree::from_json(body).unwrap();
+        prop_assert_eq!(&loaded, &tree);
+    }
+
+    /// Corrupting an unprotected v1 document (no checksum line to catch
+    /// it) must still never panic: it either fails parsing or — for
+    /// value-level damage valid JSON can absorb — loads as *some* model.
+    #[test]
+    fn corrupted_bare_v1_never_panics(
+        d in dataset(60),
+        op in fault_op(),
+        seed in 0u64..1024,
+    ) {
+        let tree = fit(&d);
+        let sealed = tree.to_json();
+        let (_, body) = sealed.split_once('\n').unwrap();
+        let corrupted = FaultInjector::new(seed).apply(op, body);
+        // Returning at all (Ok or Err) is the property under test.
+        let _ = ModelTree::from_json(&corrupted.text);
+    }
+}

@@ -1,0 +1,237 @@
+//! Crash-safe file plumbing shared across the workspace: atomic writes,
+//! bounded retry for transient I/O, and the FNV-1a content hash.
+//!
+//! This lives in `mtperf-obs` because it is the one crate every other crate
+//! already depends on, and because retries are *observable events*: each one
+//! increments the `io.retries` counter in the global registry, so an
+//! end-of-run metrics dump shows how flaky the underlying filesystem or
+//! socket was.
+//!
+//! # Atomic-save contract
+//!
+//! [`atomic_write`] never exposes a partially written file at the
+//! destination path. It writes a temporary file *in the destination
+//! directory* (so the final rename cannot cross filesystems), fsyncs the
+//! file, renames it over the destination, then fsyncs the directory so the
+//! rename itself survives power loss. A reader — or a process restarted
+//! after `kill -9` — therefore sees either the complete old content or the
+//! complete new content, never a torn mix or a truncation.
+
+use std::fs::{self, File};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Whether `e` is a transient failure worth retrying: the EINTR/EAGAIN
+/// class (a signal interrupted the syscall, or a non-blocking resource was
+/// momentarily busy).
+pub fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Deterministic bounded backoff schedule: at most four retries, sleeping
+/// 1, 2, 4, then 8 ms. No jitter — retry behavior is reproducible.
+const BACKOFF_MS: [u64; 4] = [1, 2, 4, 8];
+
+/// Runs `op`, retrying transient failures ([`is_transient`]) up to four
+/// times with the fixed 1/2/4/8 ms backoff schedule. Non-transient errors
+/// and the final transient error propagate unchanged.
+///
+/// Every retry increments the global `io.retries` counter (and a per-site
+/// `io.retries.<what>` counter) in the metrics registry.
+///
+/// # Errors
+///
+/// Returns the last error from `op` once retries are exhausted, or the
+/// first non-transient error immediately.
+pub fn with_retry<R>(what: &str, mut op: impl FnMut() -> io::Result<R>) -> io::Result<R> {
+    let mut attempt = 0usize;
+    loop {
+        match op() {
+            Ok(r) => return Ok(r),
+            Err(e) if attempt < BACKOFF_MS.len() && is_transient(&e) => {
+                crate::add("io.retries", 1);
+                crate::add(&format!("io.retries.{what}"), 1);
+                std::thread::sleep(Duration::from_millis(BACKOFF_MS[attempt]));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// The sibling temp path `atomic_write` stages into: `.<name>.tmp.<pid>` in
+/// the destination directory. Exposed so crash tests can assert no stale
+/// staging files survive.
+pub fn staging_path(path: &Path) -> io::Result<PathBuf> {
+    let name = path.file_name().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("not a writable file path: {}", path.display()),
+        )
+    })?;
+    Ok(parent_dir(path).join(format!(
+        ".{}.tmp.{}",
+        name.to_string_lossy(),
+        std::process::id()
+    )))
+}
+
+/// The containing directory of `path` (`.` when the path is bare).
+fn parent_dir(path: &Path) -> PathBuf {
+    match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    }
+}
+
+/// Flushes directory metadata so a completed rename survives power loss.
+/// Best-effort on platforms where directories cannot be opened as files.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+        Ok(())
+    }
+}
+
+/// Writes `contents` to `path` atomically: temp file in the destination
+/// directory, fsync, rename over `path`, fsync the directory. A crash at
+/// any point leaves either the old file or the new file — never a torn one.
+///
+/// The whole sequence runs under [`with_retry`], so EINTR-class hiccups are
+/// absorbed; each fresh attempt restarts from an empty temp file (the temp
+/// file is created with truncation), so retries cannot duplicate content.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error after retries; the temp file is
+/// removed on failure.
+pub fn atomic_write(path: impl AsRef<Path>, contents: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    let tmp = staging_path(path)?;
+    let dir = parent_dir(path);
+    let result = with_retry("atomic_write", || {
+        let mut f = File::create(&tmp)?;
+        f.write_all(contents)?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, path)?;
+        sync_dir(&dir)
+    });
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// 64-bit FNV-1a over `bytes` — the workspace's content-checksum function
+/// (same family as the span-identity hash in [`crate::span`]).
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn transient_classification() {
+        assert!(is_transient(&io::Error::new(
+            io::ErrorKind::Interrupted,
+            "eintr"
+        )));
+        assert!(is_transient(&io::Error::new(
+            io::ErrorKind::WouldBlock,
+            "eagain"
+        )));
+        assert!(!is_transient(&io::Error::new(
+            io::ErrorKind::NotFound,
+            "gone"
+        )));
+    }
+
+    #[test]
+    fn retry_absorbs_transient_then_succeeds() {
+        let calls = AtomicUsize::new(0);
+        let got = with_retry("test", || {
+            if calls.fetch_add(1, Ordering::SeqCst) < 2 {
+                Err(io::Error::new(io::ErrorKind::Interrupted, "eintr"))
+            } else {
+                Ok(7)
+            }
+        })
+        .unwrap();
+        assert_eq!(got, 7);
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn retry_gives_up_after_schedule() {
+        let calls = AtomicUsize::new(0);
+        let err = with_retry("test", || -> io::Result<()> {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(io::Error::new(io::ErrorKind::WouldBlock, "busy"))
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        // Initial attempt plus the four scheduled retries.
+        assert_eq!(calls.load(Ordering::SeqCst), 1 + 4);
+    }
+
+    #[test]
+    fn non_transient_fails_fast() {
+        let calls = AtomicUsize::new(0);
+        let err = with_retry("test", || -> io::Result<()> {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(io::Error::new(io::ErrorKind::PermissionDenied, "no"))
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_cleans_up() {
+        let dir = std::env::temp_dir().join("mtperf-fsio-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("file.txt");
+        atomic_write(&path, b"one").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"one");
+        atomic_write(&path, b"two").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"two");
+        assert!(!staging_path(&path).unwrap().exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_write_rejects_directory_target() {
+        let err = atomic_write(Path::new("/"), b"x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+        // Sensitivity: one flipped bit changes the hash.
+        assert_ne!(fnv1a_64(b"foobar"), fnv1a_64(b"foobas"));
+    }
+}

@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fsio;
 mod json;
 mod report;
 mod sink;

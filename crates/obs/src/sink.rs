@@ -60,6 +60,12 @@ struct Recorder {
     epoch: Instant,
     config: ObsConfig,
     jsonl: Option<BufWriter<File>>,
+    /// Staging path the JSONL stream writes to; renamed over
+    /// [`ObsConfig::trace_out`] at [`finish`], so a completed run's trace
+    /// file is never truncated mid-line by a concurrent reader or a crash
+    /// during a later run. A crash mid-run leaves the partial stream under
+    /// this staging name.
+    jsonl_tmp: Option<PathBuf>,
     /// Per-aggregate-path span statistics (indices stripped, folds merged).
     spans: BTreeMap<String, SpanAgg>,
     counters: BTreeMap<String, u64>,
@@ -125,9 +131,13 @@ pub fn init(config: ObsConfig) -> io::Result<()> {
         *guard = None;
         return Ok(());
     }
-    let mut jsonl = match &config.trace_out {
-        Some(path) => Some(BufWriter::new(File::create(path)?)),
-        None => None,
+    let (mut jsonl, jsonl_tmp) = match &config.trace_out {
+        Some(path) => {
+            let tmp = crate::fsio::staging_path(path)?;
+            let file = crate::fsio::with_retry("trace_out", || File::create(&tmp))?;
+            (Some(BufWriter::new(file)), Some(tmp))
+        }
+        None => (None, None),
     };
     if let Some(w) = jsonl.as_mut() {
         let _ = writeln!(w, "{{\"ev\":\"run_start\",\"schema\":\"mtperf-trace-v1\"}}");
@@ -136,6 +146,7 @@ pub fn init(config: ObsConfig) -> io::Result<()> {
         epoch: Instant::now(),
         config,
         jsonl,
+        jsonl_tmp,
         spans: BTreeMap::new(),
         counters: BTreeMap::new(),
         gauges: BTreeMap::new(),
@@ -286,10 +297,23 @@ pub fn finish() -> Option<Report> {
         );
         write_line(&mut rec, &line);
         if let Some(w) = rec.jsonl.as_mut() {
-            if let Err(e) = w.flush() {
+            let flushed = w.flush().and_then(|()| w.get_ref().sync_all());
+            if let Err(e) = flushed {
                 if rec.io_error.is_none() {
                     rec.io_error = Some(e.to_string());
                 }
+            }
+        }
+    }
+
+    // Publish the staged stream at the requested path. Done even after a
+    // mid-stream write error: whatever made it to disk is still the best
+    // available diagnostic of the failed run.
+    if let (Some(tmp), Some(path)) = (&rec.jsonl_tmp, &rec.config.trace_out) {
+        drop(rec.jsonl.take());
+        if let Err(e) = std::fs::rename(tmp, path) {
+            if rec.io_error.is_none() {
+                rec.io_error = Some(format!("publishing trace stream: {e}"));
             }
         }
     }
