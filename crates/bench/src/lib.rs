@@ -1,6 +1,7 @@
 //! Shared fixtures for the Criterion benches.
 
 use mtperf_counters::SampleSet;
+use mtperf_linalg::Matrix;
 use mtperf_mtree::Dataset;
 
 /// Simulates a small suite and returns the learning problem
@@ -38,4 +39,20 @@ pub fn synthetic_dataset(n: usize, d: usize) -> Dataset {
         data.push_row(&row, y).expect("finite row");
     }
     data
+}
+
+/// A synthetic prediction batch of `n` rows over `d` attributes, drawn from
+/// the same distribution as [`synthetic_dataset`]'s inputs but built as a
+/// bare [`Matrix`]: no target column, no per-row `Vec`s, so 10M-row scoring
+/// sweeps allocate one flat buffer instead of doubling through a `Dataset`.
+pub fn synthetic_matrix(n: usize, d: usize) -> Matrix {
+    let mut state = 0x517C_C1B7_2722_0A95_u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let data: Vec<f64> = (0..n * d).map(|_| next() * 10.0).collect();
+    Matrix::from_vec(n, d, data).expect("shape matches data")
 }

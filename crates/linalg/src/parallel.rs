@@ -1,16 +1,24 @@
-//! Deterministic data parallelism on scoped OS threads.
+//! Deterministic data parallelism on a persistent worker pool.
 //!
 //! The workspace deliberately has no external dependencies (the registry is
 //! not reachable from every build environment), so this module builds its
-//! map-reduce helper directly on [`std::thread::scope`].
+//! map-reduce helpers directly on the lazily-started pool in
+//! [`crate::pool`]. Earlier revisions spawned scoped threads per call;
+//! the pool keeps workers alive across calls, which is what lets a 90 µs
+//! batch-prediction dispatch actually profit from parallelism instead of
+//! drowning in thread spawn/join overhead (see `pool.rs` for the history
+//! and the soundness argument).
 //!
 //! # Determinism contract
 //!
 //! [`par_map`] computes `f` on each item independently and returns results in
-//! **input order**, regardless of thread count or scheduling. Callers that
-//! keep their per-item computation free of shared mutable state therefore get
-//! bit-identical results at any [`Parallelism`] setting — the property the
-//! split search, cross validation, and baseline suite rely on.
+//! **input order**, regardless of thread count or scheduling. Work is split
+//! into *statically chosen contiguous chunks* and reduced chunk-by-chunk in
+//! chunk order, so the reduction never depends on which worker finished
+//! first. Callers that keep their per-item computation free of shared
+//! mutable state therefore get bit-identical results at any [`Parallelism`]
+//! setting — the property the split search, cross validation, compiled
+//! batch prediction, and baseline suite rely on.
 //!
 //! # Panic isolation
 //!
@@ -36,10 +44,17 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::str::FromStr;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 use crate::error::LinalgError;
+use crate::pool;
+
+/// Poison-tolerant lock: per-chunk slots hold plain data and are never
+/// left torn (user panics are caught before the slot write).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A cooperative cancellation signal shared between a controller and the
 /// workers of a parallel section.
@@ -203,6 +218,21 @@ thread_local! {
     static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
 }
 
+/// Runs `f` with the nested-parallelism flag set, restoring it even on
+/// unwind (pool workers are reused across jobs, so a leaked flag would
+/// silently serialize every later job on that thread).
+fn with_parallel_flag<R>(f: impl FnOnce() -> R) -> R {
+    struct Reset(bool);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            IN_PARALLEL.with(|flag| flag.set(self.0));
+        }
+    }
+    let _reset = Reset(IN_PARALLEL.with(Cell::get));
+    IN_PARALLEL.with(|flag| flag.set(true));
+    f()
+}
+
 /// The first caught worker panic: the input-order index of the item whose
 /// closure panicked, plus the original panic payload.
 struct FirstPanic {
@@ -248,14 +278,15 @@ where
     F: Fn(&T) -> R + Sync,
 {
     let n = items.len();
-    let threads = par.threads().min(
-        if min_chunk == 0 {
-            n
-        } else {
-            n / min_chunk.max(1)
-        }
-        .max(1),
-    );
+    // `min_chunk` caps the fan-out: at most `n / min_chunk` chunks so no
+    // chunk falls below `min_chunk` items. Zero is the documented
+    // "one chunk per thread" case — no lower bound on chunk size beyond a
+    // single item, so up to `min(threads, n)` chunks. (An earlier revision
+    // had a dead `min_chunk.max(1)` in the divisor that disagreed with the
+    // zero branch; `min_chunk_zero_means_one_chunk_per_thread` pins the
+    // intended semantics.)
+    let max_chunks = n.checked_div(min_chunk).unwrap_or(n);
+    let threads = par.threads().min(max_chunks.max(1));
 
     // Runs one contiguous chunk, catching the first panic. `offset` is the
     // chunk's position in `items`, so panic indices are input-order global.
@@ -294,50 +325,47 @@ where
     }
     debug_assert_eq!(start, n);
 
-    let run_chunk_flagged = |chunk: &[T], offset: usize| -> Result<Vec<R>, ParFailure> {
-        IN_PARALLEL.with(|flag| flag.set(true));
-        let out = run_chunk(chunk, offset);
-        IN_PARALLEL.with(|flag| flag.set(false));
-        out
-    };
-
     // Capture the caller's span context (if tracing is on) so spans opened
-    // inside worker closures nest under the span that spawned the section.
-    // `None` when tracing is disabled: workers then run the closure directly.
+    // inside worker closures nest under the span that dispatched the
+    // section. `None` when tracing is disabled: workers then run the
+    // closure directly. Re-installing the same frame on the calling thread
+    // (chunk 0) is harmless — span ids hash the logical call path, so the
+    // extra frame changes nothing.
     let obs_ctx = mtperf_obs::current_context();
 
-    let mut per_chunk: Vec<Result<Vec<R>, ParFailure>> = Vec::with_capacity(threads);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .skip(1)
-            .map(|(chunk, offset)| {
-                let ctx = obs_ctx.as_ref();
-                scope.spawn(move || {
-                    mtperf_obs::in_context(ctx, || run_chunk_flagged(chunk, *offset))
-                })
-            })
-            .collect();
-        // The calling thread works the first chunk instead of idling.
-        per_chunk.push(run_chunk_flagged(chunks[0].0, chunks[0].1));
-        for handle in handles {
-            // Workers catch their own panics, so join only fails if the
-            // panic machinery itself panicked; treat that as item 0's panic.
-            per_chunk.push(handle.join().unwrap_or_else(|payload| {
-                Err(ParFailure::Panic(FirstPanic { index: 0, payload }))
-            }));
-        }
+    // One result slot per chunk; each chunk writes only its own, so the
+    // locks are uncontended. A `None` after the dispatch means the chunk's
+    // worker died outside the per-item guard (e.g. allocation failure) —
+    // reported as a panic on the chunk's first item.
+    type ChunkSlot<R> = Mutex<Option<Result<Vec<R>, ParFailure>>>;
+    let slots: Vec<ChunkSlot<R>> = (0..threads).map(|_| Mutex::new(None)).collect();
+    pool::run_chunked(threads, &|c: usize| {
+        let (chunk, offset) = chunks[c];
+        let out = mtperf_obs::in_context(obs_ctx.as_ref(), || {
+            with_parallel_flag(|| run_chunk(chunk, offset))
+        });
+        *lock(&slots[c]) = Some(out);
     });
 
-    // Deterministic error choice: the panic with the lowest input index wins,
-    // regardless of which thread finished first; a panic anywhere outranks
-    // cancellation (the panic names a concrete defect, cancellation is just
-    // the controller giving up).
+    // Deterministic reduction: chunk results concatenate in chunk order;
+    // the panic with the lowest input index wins regardless of which
+    // worker finished first; a panic anywhere outranks cancellation (the
+    // panic names a concrete defect, cancellation is just the controller
+    // giving up).
     let mut results: Vec<Vec<R>> = Vec::with_capacity(threads);
     let mut first: Option<FirstPanic> = None;
     let mut cancelled = false;
-    for chunk in per_chunk {
-        match chunk {
+    for (c, slot) in slots.into_iter().enumerate() {
+        let outcome = slot
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .unwrap_or_else(|| {
+                Err(ParFailure::Panic(FirstPanic {
+                    index: chunks[c].1,
+                    payload: Box::new("worker terminated without reporting a result".to_string()),
+                }))
+            });
+        match outcome {
             Ok(rs) => results.push(rs),
             Err(ParFailure::Cancelled) => cancelled = true,
             Err(ParFailure::Panic(p)) => {
@@ -473,6 +501,192 @@ where
     par_map_core(par, items, min_chunk, Some(cancel), f).map_err(ParFailure::into_error)
 }
 
+/// In-place deterministic parallel fill: splits `out` into `block`-sized
+/// row blocks, assigns contiguous runs of blocks to up to
+/// `par.threads()` chunks, and calls `fill(start, &mut out[start..])` once
+/// per block. Because every block writes directly into its own disjoint
+/// region of `out`, there is no per-block allocation and no reduction
+/// copy — this is the engine under compiled batch prediction.
+///
+/// Determinism matches [`try_par_map`]: block → output mapping is
+/// positional, so the contents of `out` are bit-identical at any
+/// [`Parallelism`] setting (for a `fill` free of shared mutable state).
+/// `cancel`, when given, is consulted before every block on every worker;
+/// panics inside `fill` are caught per block and reported with the lowest
+/// panicking *block index*.
+///
+/// On error, `out` contents are unspecified (some blocks written, others
+/// not) — callers must discard the buffer, mirroring the
+/// "cancellation discards partial results" contract of
+/// [`try_par_map_cancel`].
+///
+/// # Errors
+///
+/// [`LinalgError::Cancelled`] when the token fires before the last block
+/// completes; [`LinalgError::WorkerPanic`] (lowest block index, with the
+/// panic message) when `fill` panics.
+///
+/// # Example
+///
+/// ```
+/// use mtperf_linalg::parallel::{try_par_fill, Parallelism};
+///
+/// let mut out = vec![0u64; 10];
+/// try_par_fill(Parallelism::Fixed(3), &mut out, 4, None, |start, block| {
+///     for (i, v) in block.iter_mut().enumerate() {
+///         *v = (start + i) as u64 * 2;
+///     }
+/// })
+/// .unwrap();
+/// assert_eq!(out, (0..10).map(|i| i * 2).collect::<Vec<u64>>());
+/// ```
+pub fn try_par_fill<R, F>(
+    par: Parallelism,
+    out: &mut [R],
+    block: usize,
+    cancel: Option<&CancelToken>,
+    fill: F,
+) -> Result<(), LinalgError>
+where
+    R: Send,
+    F: Fn(usize, &mut [R]) + Sync,
+{
+    let n = out.len();
+    if n == 0 {
+        return Ok(());
+    }
+    let block = block.max(1);
+    let n_blocks = n.div_ceil(block);
+
+    // Runs blocks `start_block..start_block + blocks` over `span`, which
+    // covers exactly those blocks' rows.
+    let run_span = |start_block: usize, blocks: usize, span: &mut [R]| -> Result<(), ParFailure> {
+        let mut rest = span;
+        for b in 0..blocks {
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                return Err(ParFailure::Cancelled);
+            }
+            let abs = start_block + b;
+            let len = rest.len().min(block);
+            let (head, tail) = std::mem::take(&mut rest).split_at_mut(len);
+            rest = tail;
+            catch_unwind(AssertUnwindSafe(|| fill(abs * block, head))).map_err(|payload| {
+                ParFailure::Panic(FirstPanic {
+                    index: abs,
+                    payload,
+                })
+            })?;
+        }
+        Ok(())
+    };
+
+    let threads = par.threads().min(n_blocks);
+    if threads <= 1 || IN_PARALLEL.with(Cell::get) {
+        return run_span(0, n_blocks, out).map_err(ParFailure::into_error);
+    }
+
+    // Near-equal contiguous runs of blocks per chunk; the first `rem`
+    // chunks get one extra block. Each slot owns its chunk's slice of
+    // `out`, taken by whichever thread runs the chunk.
+    type FillSlot<'s, R> = Mutex<(Option<(usize, usize, &'s mut [R])>, Option<ParFailure>)>;
+    let base = n_blocks / threads;
+    let rem = n_blocks % threads;
+    let mut slots: Vec<FillSlot<'_, R>> = Vec::with_capacity(threads);
+    let mut remaining = out;
+    let mut start_block = 0;
+    for c in 0..threads {
+        let blocks = base + usize::from(c < rem);
+        let rows = remaining.len().min(blocks * block);
+        let (head, tail) = remaining.split_at_mut(rows);
+        remaining = tail;
+        slots.push(Mutex::new((Some((start_block, blocks, head)), None)));
+        start_block += blocks;
+    }
+    debug_assert_eq!(start_block, n_blocks);
+    debug_assert!(remaining.is_empty());
+
+    let obs_ctx = mtperf_obs::current_context();
+    pool::run_chunked(threads, &|c: usize| {
+        let mut slot = lock(&slots[c]);
+        if let Some((sb, blocks, span)) = slot.0.take() {
+            let outcome = mtperf_obs::in_context(obs_ctx.as_ref(), || {
+                with_parallel_flag(|| run_span(sb, blocks, span))
+            });
+            slot.1 = outcome.err();
+        }
+    });
+
+    // Same deterministic precedence as `par_map`: lowest-index panic, then
+    // cancellation. A chunk whose input was never taken (worker died before
+    // starting) reports as a panic on its first block.
+    let mut first: Option<FirstPanic> = None;
+    let mut cancelled = false;
+    for slot in slots {
+        let (input, outcome) = slot.into_inner().unwrap_or_else(PoisonError::into_inner);
+        let outcome = match input {
+            Some((sb, _, _)) => Some(ParFailure::Panic(FirstPanic {
+                index: sb,
+                payload: Box::new("worker terminated without reporting a result".to_string()),
+            })),
+            None => outcome,
+        };
+        match outcome {
+            None => {}
+            Some(ParFailure::Cancelled) => cancelled = true,
+            Some(ParFailure::Panic(p)) if first.as_ref().is_none_or(|f| p.index < f.index) => {
+                first = Some(p);
+            }
+            Some(ParFailure::Panic(_)) => {}
+        }
+    }
+    match (first, cancelled) {
+        (Some(p), _) => Err(ParFailure::Panic(p).into_error()),
+        (None, true) => Err(LinalgError::Cancelled),
+        (None, false) => Ok(()),
+    }
+}
+
+/// Starts the worker pool for the current global thread budget and
+/// measures the dispatch overhead, so the first real parallel section
+/// (e.g. the first request a serving daemon answers) pays neither lazy
+/// thread spawn nor calibration cost.
+pub fn warm_up() {
+    let threads = global().threads();
+    if threads > 1 {
+        pool::ensure_workers(threads - 1);
+        let _ = dispatch_overhead();
+    }
+}
+
+/// Measured round-trip cost of dispatching one multi-chunk job through
+/// the pool (median of several no-op dispatches; measured once per
+/// process, [`Duration::ZERO`] before the pool is ever used in a
+/// single-threaded configuration). This is the constant the adaptive
+/// serial/parallel cutover in compiled batch prediction weighs against
+/// measured per-row compute cost — a measured number, not a guess.
+pub fn dispatch_overhead() -> Duration {
+    static OVERHEAD: OnceLock<Duration> = OnceLock::new();
+    *OVERHEAD.get_or_init(|| {
+        // Representative fan-out: 4 chunks (or the machine width if
+        // smaller). One throwaway dispatch warms lazy worker spawn so the
+        // measured samples see the steady state.
+        let chunks = global().threads().clamp(2, 4);
+        pool::ensure_workers(chunks - 1);
+        pool::run_chunked(chunks, &|_| {});
+        let mut samples: Vec<Duration> = (0..9)
+            .map(|_| {
+                let t0 = Instant::now();
+                pool::run_chunked(chunks, &|c| {
+                    std::hint::black_box(c);
+                });
+                t0.elapsed()
+            })
+            .collect();
+        samples.sort();
+        samples[samples.len() / 2]
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -504,6 +718,111 @@ mod tests {
         let items: Vec<usize> = (0..10).collect();
         let got = par_map(Parallelism::Fixed(8), &items, 8, |&x| x + 1);
         assert_eq!(got, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn min_chunk_zero_means_one_chunk_per_thread() {
+        // `min_chunk == 0` is the documented no-lower-bound case: the
+        // fan-out is limited only by the thread budget and the item count
+        // (one chunk per thread when items suffice, one item per chunk
+        // when threads exceed items). It must behave exactly like
+        // `min_chunk == 1` on every input, including fewer items than
+        // threads and the empty slice.
+        for threads in [1usize, 2, 3, 8] {
+            for n in [0usize, 1, 2, 5, 7, 100] {
+                let items: Vec<usize> = (0..n).collect();
+                let zero = par_map(Parallelism::Fixed(threads), &items, 0, |&x| x * 7 + 1);
+                let one = par_map(Parallelism::Fixed(threads), &items, 1, |&x| x * 7 + 1);
+                assert_eq!(zero, one, "threads = {threads}, n = {n}");
+                assert_eq!(zero, items.iter().map(|&x| x * 7 + 1).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn par_fill_matches_serial_at_any_thread_count_and_block_size() {
+        let n = 1003; // deliberately not a multiple of any block size
+        let mut serial = vec![0.0f64; n];
+        try_par_fill(Parallelism::Off, &mut serial, 64, None, |start, block| {
+            for (i, v) in block.iter_mut().enumerate() {
+                *v = ((start + i) as f64).sqrt().sin();
+            }
+        })
+        .unwrap();
+        for threads in [2usize, 3, 7, 16] {
+            for block in [1usize, 64, 512, 4096] {
+                let mut out = vec![0.0f64; n];
+                try_par_fill(
+                    Parallelism::Fixed(threads),
+                    &mut out,
+                    block,
+                    None,
+                    |start, blk| {
+                        for (i, v) in blk.iter_mut().enumerate() {
+                            *v = ((start + i) as f64).sqrt().sin();
+                        }
+                    },
+                )
+                .unwrap();
+                for (i, (a, b)) in out.iter().zip(&serial).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "threads {threads}, block {block}, row {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_fill_panic_reports_lowest_block_index() {
+        for threads in [1usize, 2, 7] {
+            let mut out = vec![0u32; 1000];
+            let err = try_par_fill(
+                Parallelism::Fixed(threads),
+                &mut out,
+                10,
+                None,
+                |start, _block| {
+                    assert!(!(30..700).contains(&start), "fill boom");
+                },
+            )
+            .unwrap_err();
+            let LinalgError::WorkerPanic { index, message } = err else {
+                panic!("wrong variant");
+            };
+            assert_eq!(index, 3, "threads = {threads}"); // block 3 starts at row 30
+            assert!(message.contains("fill boom"), "{message}");
+        }
+    }
+
+    #[test]
+    fn par_fill_cancellation_and_empty_output() {
+        let token = CancelToken::new();
+        token.cancel();
+        let mut out = vec![0u8; 100];
+        let err = try_par_fill(Parallelism::Fixed(4), &mut out, 8, Some(&token), |_, _| {});
+        assert!(matches!(err, Err(LinalgError::Cancelled)));
+        // Empty output: trivially done, even with a fired token.
+        let mut empty: [u8; 0] = [];
+        try_par_fill(
+            Parallelism::Fixed(4),
+            &mut empty,
+            8,
+            Some(&token),
+            |_, _| {},
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn dispatch_overhead_is_measured_once_and_small() {
+        let a = dispatch_overhead();
+        let b = dispatch_overhead();
+        assert_eq!(a, b, "memoized");
+        assert!(a < Duration::from_millis(100), "{a:?}");
+        warm_up(); // must be callable at any time, any thread budget
     }
 
     #[test]

@@ -1,0 +1,364 @@
+//! Persistent worker pool behind the [`parallel`](crate::parallel) engine.
+//!
+//! The first five PRs ran every parallel section on freshly spawned scoped
+//! threads. That is correct and simple, but spawn-per-batch is exactly the
+//! wrong shape for high-rate batch prediction: a 10 k-row compiled batch
+//! takes ~90 µs of compute, while spawning and joining a handful of OS
+//! threads costs tens of µs — enough to make the parallel path *slower*
+//! than serial (the inversion recorded in `BENCH_predict.json` before this
+//! module existed). This module keeps the workers alive instead:
+//!
+//! * **Lazily started** — no threads exist until the first multi-chunk
+//!   dispatch; the pool then grows on demand (never shrinks) up to
+//!   [`MAX_WORKERS`].
+//! * **Static contiguous chunking** — the pool does not schedule items; it
+//!   runs numbered chunks. Callers decide the chunk → input mapping, which
+//!   keeps reduction order (and therefore results) deterministic.
+//! * **Caller participation** — the dispatching thread always runs chunk 0
+//!   itself, then *drains its own remaining chunks* from the queue before
+//!   blocking on the completion latch. Progress therefore never depends on
+//!   pool workers being available: a dispatch completes even with zero
+//!   workers (single-CPU hosts) or with every worker busy on another job.
+//! * **Concurrent dispatches** — any number of threads may dispatch at
+//!   once (the serving daemon's request workers do); tasks carry their
+//!   job's completion latch, so interleaving in the shared queue is
+//!   harmless.
+//!
+//! # The one unsafe cell
+//!
+//! Persistent workers are `'static`, but parallel sections borrow stack
+//! data (`&[T]`, the closure, result slots). Safe Rust cannot express
+//! "this borrow outlives the dispatch because the dispatcher blocks until
+//! every chunk completes", so the handoff erases the closure to a
+//! `(fn-pointer, *const ())` pair — the same technique rayon and
+//! crossbeam's scoped pools use. Soundness rests on one invariant, which
+//! [`run_chunked`] enforces with a drop guard:
+//!
+//! > Every [`Task`] created for a job is consumed — run to completion or
+//! > discarded — before `run_chunked` returns, including on unwind.
+//!
+//! The guard drains the dispatcher's own unstarted tasks from the queue
+//! and then waits on the latch, which counts *completed or discarded*
+//! tasks, not merely dequeued ones. A task being executed by a worker
+//! therefore pins `run_chunked` in place until the worker finishes. All
+//! `unsafe` in the workspace lives in this module (the library crates
+//! otherwise `deny(unsafe_code)` with no allows).
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Hard ceiling on pool threads, far above any sane `Parallelism::Fixed`
+/// request; chunks beyond the worker count are drained by the dispatcher.
+const MAX_WORKERS: usize = 512;
+
+/// Locks `m`, treating poisoning as recoverable: pool state is a queue of
+/// plain data, never left torn by a panicking accessor (workers catch
+/// panics around user code, not around queue operations).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Completion latch of one dispatch: counts tasks not yet consumed.
+struct JobState {
+    remaining: Mutex<usize>,
+    all_done: Condvar,
+}
+
+impl JobState {
+    fn new(tasks: usize) -> JobState {
+        JobState {
+            remaining: Mutex::new(tasks),
+            all_done: Condvar::new(),
+        }
+    }
+
+    /// Marks one task consumed (completed or discarded).
+    fn finish_one(&self) {
+        let mut left = lock(&self.remaining);
+        *left -= 1;
+        if *left == 0 {
+            self.all_done.notify_all();
+        }
+    }
+
+    /// Blocks until every task of this job has been consumed.
+    fn wait(&self) {
+        let mut left = lock(&self.remaining);
+        while *left > 0 {
+            left = self
+                .all_done
+                .wait(left)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// One queued chunk of one dispatch, type-erased.
+///
+/// Dropping a task without running it still releases the latch, so
+/// discarded tasks (unwinding dispatcher) cannot deadlock their job.
+struct Task {
+    /// Monomorphized trampoline; calls the dispatcher's closure with the
+    /// chunk index. `None` once run (so `Drop` only counts consumption).
+    run: Option<unsafe fn(*const (), usize)>,
+    /// Borrow of the dispatcher's closure, erased. Valid until the job's
+    /// latch releases — see the module docs.
+    ctx: *const (),
+    chunk: usize,
+    job: Arc<JobState>,
+}
+
+// SAFETY: `ctx` points at a `Sync` closure owned by the dispatching
+// thread's stack frame, which `run_chunked` keeps alive (via its drop
+// guard + latch) until every task is consumed. Moving the pointer to a
+// worker thread is therefore sound, and concurrent `&F` access is covered
+// by `F: Sync`.
+#[allow(unsafe_code)]
+unsafe impl Send for Task {}
+
+impl Task {
+    /// Runs the chunk, catching any panic that escapes the user closure so
+    /// the worker thread (and the latch) survive. The dispatcher observes
+    /// such a panic as a missing result slot, never as a torn pool.
+    fn run(mut self) {
+        if let Some(run) = self.run.take() {
+            // SAFETY: `run` was monomorphized for the closure type behind
+            // `ctx` at task creation, `ctx` is live (module invariant), and
+            // `self.run.take()` guarantees at-most-once execution.
+            #[allow(unsafe_code)]
+            let _ = catch_unwind(AssertUnwindSafe(|| unsafe { run(self.ctx, self.chunk) }));
+        }
+        // `self` drops here: the latch counts this task as consumed.
+    }
+}
+
+impl Drop for Task {
+    fn drop(&mut self) {
+        self.job.finish_one();
+    }
+}
+
+/// Queue shared between dispatchers and workers.
+struct Shared {
+    queue: Mutex<VecDeque<Task>>,
+    work_ready: Condvar,
+}
+
+struct Pool {
+    shared: Arc<Shared>,
+    /// Worker threads spawned so far (monotonic, capped).
+    spawned: Mutex<usize>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        shared: Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+        }),
+        spawned: Mutex::new(0),
+    })
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let task = {
+            let mut q = lock(&shared.queue);
+            loop {
+                if let Some(t) = q.pop_front() {
+                    break t;
+                }
+                q = shared
+                    .work_ready
+                    .wait(q)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        task.run();
+    }
+}
+
+/// Grows the pool to at least `target` live workers (capped at
+/// [`MAX_WORKERS`]). Spawn failures are tolerated: the dispatcher's
+/// self-drain guarantees progress at any worker count, so a host that
+/// cannot spawn more threads just parallelizes less.
+pub(crate) fn ensure_workers(target: usize) {
+    let target = target.min(MAX_WORKERS);
+    let p = pool();
+    let mut spawned = lock(&p.spawned);
+    while *spawned < target {
+        let shared = Arc::clone(&p.shared);
+        let name = format!("mtperf-pool-{}", *spawned);
+        match std::thread::Builder::new()
+            .name(name)
+            .spawn(move || worker_loop(shared))
+        {
+            Ok(_handle) => *spawned += 1, // detached; lives for the process
+            Err(_) => break,
+        }
+    }
+    if mtperf_obs::is_enabled() {
+        mtperf_obs::gauge("pool.workers", *spawned as f64);
+    }
+}
+
+/// Live worker threads (for diagnostics and tests).
+#[cfg(test)]
+pub(crate) fn live_workers() -> usize {
+    POOL.get().map_or(0, |p| *lock(&p.spawned))
+}
+
+/// Drains-and-waits guard: consumes the dispatcher's own leftover tasks,
+/// then blocks on the latch. Runs on both the normal path and unwind, so
+/// the module's lifetime invariant holds even if the chunk-0 closure
+/// panics through the dispatcher.
+struct JobGuard<'a> {
+    shared: &'a Shared,
+    job: &'a Arc<JobState>,
+    /// Tasks the dispatcher ran itself because no worker had picked them
+    /// up (reported as `pool.tasks_helped` when tracing is on).
+    helped: usize,
+}
+
+impl Drop for JobGuard<'_> {
+    fn drop(&mut self) {
+        loop {
+            let task = {
+                let mut q = lock(&self.shared.queue);
+                q.iter()
+                    .position(|t| Arc::ptr_eq(&t.job, self.job))
+                    .and_then(|i| q.remove(i))
+            };
+            match task {
+                Some(t) => {
+                    t.run();
+                    self.helped += 1;
+                }
+                None => break,
+            }
+        }
+        self.job.wait();
+        if self.helped > 0 && mtperf_obs::is_enabled() {
+            mtperf_obs::add("pool.tasks_helped", self.helped as u64);
+        }
+    }
+}
+
+/// Runs `f(chunk)` exactly once for every `chunk` in `0..n_chunks` and
+/// returns when all calls have completed. Chunk 0 always runs on the
+/// calling thread; chunks `1..` run on pool workers or, when none are
+/// free, on the calling thread after it finishes chunk 0 (so completion
+/// never depends on pool capacity). A panic escaping `f` on a worker is
+/// caught and swallowed — callers observe it through their own per-chunk
+/// result slots; a panic escaping `f(0)` unwinds out of this function
+/// *after* all other chunks have been consumed.
+pub(crate) fn run_chunked<F>(n_chunks: usize, f: &F)
+where
+    F: Fn(usize) + Sync,
+{
+    match n_chunks {
+        0 => return,
+        1 => return f(0),
+        _ => {}
+    }
+    ensure_workers(n_chunks - 1);
+    let p = pool();
+    let job = Arc::new(JobState::new(n_chunks - 1));
+
+    /// Recovers the concrete closure type from the erased pointer.
+    #[allow(unsafe_code)]
+    unsafe fn trampoline<F: Fn(usize) + Sync>(ctx: *const (), chunk: usize) {
+        // SAFETY: `ctx` was produced from `&F` by the enclosing
+        // `run_chunked` call, which outlives this call (module invariant).
+        let f = unsafe { &*(ctx.cast::<F>()) };
+        f(chunk);
+    }
+
+    {
+        let mut q = lock(&p.shared.queue);
+        for chunk in 1..n_chunks {
+            q.push_back(Task {
+                run: Some(trampoline::<F>),
+                ctx: (f as *const F).cast(),
+                chunk,
+                job: Arc::clone(&job),
+            });
+        }
+    }
+    p.shared.work_ready.notify_all();
+    if mtperf_obs::is_enabled() {
+        mtperf_obs::add("pool.dispatches", 1);
+        mtperf_obs::add("pool.tasks", (n_chunks - 1) as u64);
+    }
+
+    // Drains leftovers and waits on the latch when dropped — including on
+    // unwind from `f(0)`, which is what makes the borrow erasure sound.
+    let _guard = JobGuard {
+        shared: &p.shared,
+        job: &job,
+        helped: 0,
+    };
+    f(0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_chunk_exactly_once() {
+        for n in [0usize, 1, 2, 3, 8, 33] {
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            run_chunked(n, &|c| {
+                hits[c].fetch_add(1, Ordering::SeqCst);
+            });
+            for (c, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::SeqCst), 1, "chunk {c} of {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn completes_with_concurrent_dispatches() {
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        run_chunked(5, &|_c| {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 50 * 5);
+    }
+
+    #[test]
+    fn worker_panic_does_not_deadlock_or_kill_the_pool() {
+        // A panic escaping the closure is caught; the latch still releases
+        // and the pool keeps serving subsequent jobs.
+        for round in 0..3 {
+            let ran = AtomicUsize::new(0);
+            run_chunked(4, &|c| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                assert!(c != 2, "deliberate chunk panic (round {round})");
+            });
+            assert_eq!(ran.load(Ordering::SeqCst), 4);
+        }
+    }
+
+    #[test]
+    fn pool_grows_monotonically_and_lazily() {
+        run_chunked(3, &|_| {});
+        let before = live_workers();
+        assert!(before >= 2, "first multi-chunk dispatch starts workers");
+        run_chunked(2, &|_| {});
+        assert!(live_workers() >= before, "pool never shrinks");
+    }
+}

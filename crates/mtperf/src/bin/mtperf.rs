@@ -14,8 +14,10 @@ extern "C" fn on_sigterm(_signum: i32) {
 
 #[cfg(unix)]
 fn install_sigterm_handler() {
-    // The libc `signal(2)` shim is the entire unsafe surface of the
-    // workspace; the library crates all `forbid(unsafe_code)`. A typed
+    // The libc `signal(2)` shim and the worker pool's type-erased task
+    // handoff (`linalg::pool`) are the workspace's two unsafe cells; every
+    // other library module is unsafe-free (`linalg` is `deny(unsafe_code)`
+    // with one scoped allow, the rest still `forbid`). A typed
     // `extern "C" fn(i32)` keeps the registration cast-free.
     extern "C" {
         fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;

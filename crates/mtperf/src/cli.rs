@@ -127,8 +127,12 @@ COMMANDS
 
 GLOBAL OPTIONS
   --threads <auto|off|N>
-             Thread budget for training and cross validation (default auto).
-             Results are bit-identical at any setting; only wall time changes.
+             Thread budget for training, cross validation, batch prediction,
+             and serving (default auto). Work runs on a persistent worker
+             pool; under `auto`, small prediction batches stay serial until
+             the measured cutover where fan-out pays for its dispatch.
+             Results are bit-identical at any setting; only wall time
+             changes.
   --policy <strict|skip|repair>
              Ingest policy for --data CSVs (default strict). `strict` rejects
              the file on the first malformed row; `skip` quarantines bad rows
@@ -368,6 +372,10 @@ pub fn cmd_predict(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliE
         .get("format")
         .map(String::as_str)
         .unwrap_or("csv");
+    // Warm the worker pool before the timed work: batch scoring is the
+    // latency-sensitive command, and lazy pool start-up plus overhead
+    // calibration would otherwise land inside the first prediction.
+    parallel::warm_up();
     let predicted = tree
         .compile()
         .try_predict_batch_with(&data.to_matrix(), parallel::global())?;

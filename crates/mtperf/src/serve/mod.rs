@@ -496,6 +496,9 @@ pub fn cmd_serve(args: &Args) -> Result<(), CliError> {
 /// See [`cmd_serve`].
 pub fn run(cfg: &ServeConfig) -> Result<(), CliError> {
     SHUTDOWN.store(false, Ordering::SeqCst);
+    // Start the prediction pool and calibrate its dispatch overhead before
+    // the first request arrives, so no client pays the one-time costs.
+    parallel::warm_up();
     let eng = engine::Engine::open(&cfg.model)
         .map_err(|e| CliError::Unavailable(format!("cannot load model: {e}")))?;
     let shared = Arc::new(Shared {

@@ -52,16 +52,60 @@
 //! }
 //! ```
 
-use mtperf_linalg::parallel::{self, try_par_map, try_par_map_cancel, CancelToken, Parallelism};
-use mtperf_linalg::Matrix;
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use mtperf_linalg::parallel::{self, try_par_fill, CancelToken, Parallelism};
+use mtperf_linalg::{LinalgError, Matrix};
 
 use crate::node::Node;
 use crate::rules::RuleSet;
 use crate::{LinearModel, ModelTree, MtreeError};
 
-/// Rows per parallel work item: small enough to load-balance a 10 k-row
-/// batch across workers, large enough that spawn overhead stays invisible.
+/// Rows per cache block and per parallel work item: a block's working set
+/// (row data + prediction/scratch lanes) stays L1/L2-resident while the
+/// leaf-bucketed model-major loops stream over it, and blocks are small
+/// enough to load-balance a 10 k-row batch across pool workers.
 const ROW_BLOCK: usize = 512;
+
+/// Reused per-thread scratch for [`CompiledTree::predict_block_into`]: the
+/// leaf-routing/bucketing index arrays and the smoothing accumulator lane.
+/// Kept in a thread-local so steady-state batch prediction performs zero
+/// heap allocation per block — the buffers grow to the high-water mark of
+/// `(n_rows_per_block, n_leaves)` once and are reused by every later block
+/// (and every later batch) on that thread, pool workers included.
+#[derive(Default)]
+struct Scratch {
+    /// `2 * n` lanes: rows' leaf ids, then row indices grouped by leaf.
+    index: Vec<u32>,
+    /// Rows per leaf (counting-sort histogram), `n_leaves` wide.
+    counts: Vec<u32>,
+    /// Bucket offsets (exclusive prefix sum), `n_leaves + 1` wide.
+    starts: Vec<u32>,
+    /// Scatter cursors, initialized from `starts`.
+    next: Vec<u32>,
+    /// Smoothing accumulator lane (`q` in the recurrence), `n` wide.
+    q: Vec<f64>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+/// Renders a caught panic payload the way the parallel engine does, so the
+/// single-row fast path reports the same [`LinalgError::WorkerPanic`]
+/// message a pooled worker would have.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// All linear models of a compiled artifact, packed into shared
 /// structure-of-arrays storage.
@@ -126,13 +170,36 @@ impl ModelTable {
     /// `term_attr[t] → row[a]` loads that serialize the per-row form: the
     /// attribute and coefficient are hoisted once per term and every
     /// row's multiply-add is independent.
+    /// The row loop runs in 4-wide chunks: the four gather-multiply-adds of
+    /// a chunk touch distinct rows, so they are fully independent and the
+    /// autovectorizer/pipeliner can overlap their loads — and since each
+    /// `acc[r]` still receives exactly the same `+= c * data[...]` in the
+    /// same term order, the chunking cannot change a single bit of output.
     fn accumulate(&self, m: usize, data: &[f64], cols: usize, idx: &[u32], acc: &mut [f64]) {
         let start = self.term_start[m] as usize;
         let end = self.term_start[m + 1] as usize;
+        let quads = idx.chunks_exact(4);
+        let tail = quads.remainder();
         for t in start..end {
             let a = self.term_attr[t] as usize;
             let c = self.term_coef[t];
-            for &r in idx {
+            for quad in quads.clone() {
+                let [r0, r1, r2, r3] = [
+                    quad[0] as usize,
+                    quad[1] as usize,
+                    quad[2] as usize,
+                    quad[3] as usize,
+                ];
+                let v0 = c * data[r0 * cols + a];
+                let v1 = c * data[r1 * cols + a];
+                let v2 = c * data[r2 * cols + a];
+                let v3 = c * data[r3 * cols + a];
+                acc[r0] += v0;
+                acc[r1] += v1;
+                acc[r2] += v2;
+                acc[r3] += v3;
+            }
+            for &r in tail {
                 let r = r as usize;
                 acc[r] += c * data[r * cols + a];
             }
@@ -157,9 +224,20 @@ impl ModelTable {
         let start = self.term_start[m] as usize;
         let end = self.term_start[m + 1] as usize;
         let i = self.intercept[m];
+        // Same 4-wide row chunking as `accumulate`: chunks write disjoint
+        // rows with the identical per-row expression, so the unrolling is
+        // invisible to the bit pattern.
+        let quads = idx.chunks_exact(4);
+        let tail = quads.remainder();
         match end - start {
             0 => {
-                for &r in idx {
+                for quad in quads {
+                    out[quad[0] as usize] = i + 0.0;
+                    out[quad[1] as usize] = i + 0.0;
+                    out[quad[2] as usize] = i + 0.0;
+                    out[quad[3] as usize] = i + 0.0;
+                }
+                for &r in tail {
                     out[r as usize] = i + 0.0;
                 }
                 true
@@ -167,9 +245,15 @@ impl ModelTable {
             1 => {
                 let a = self.term_attr[start] as usize;
                 let c = self.term_coef[start];
-                for &r in idx {
-                    let r = r as usize;
-                    out[r] = i + (0.0 + c * data[r * cols + a]);
+                let one = |r: usize| i + (0.0 + c * data[r * cols + a]);
+                for quad in quads {
+                    out[quad[0] as usize] = one(quad[0] as usize);
+                    out[quad[1] as usize] = one(quad[1] as usize);
+                    out[quad[2] as usize] = one(quad[2] as usize);
+                    out[quad[3] as usize] = one(quad[3] as usize);
+                }
+                for &r in tail {
+                    out[r as usize] = one(r as usize);
                 }
                 true
             }
@@ -178,10 +262,18 @@ impl ModelTable {
                 let c0 = self.term_coef[start];
                 let a1 = self.term_attr[start + 1] as usize;
                 let c1 = self.term_coef[start + 1];
-                for &r in idx {
-                    let r = r as usize;
+                let two = |r: usize| {
                     let base = r * cols;
-                    out[r] = i + ((0.0 + c0 * data[base + a0]) + c1 * data[base + a1]);
+                    i + ((0.0 + c0 * data[base + a0]) + c1 * data[base + a1])
+                };
+                for quad in quads {
+                    out[quad[0] as usize] = two(quad[0] as usize);
+                    out[quad[1] as usize] = two(quad[1] as usize);
+                    out[quad[2] as usize] = two(quad[2] as usize);
+                    out[quad[3] as usize] = two(quad[3] as usize);
+                }
+                for &r in tail {
+                    out[r as usize] = two(r as usize);
                 }
                 true
             }
@@ -200,12 +292,32 @@ fn encode_leaf(leaf: usize) -> i32 {
     !(leaf as i32)
 }
 
-/// Chunks `0..n` into `ROW_BLOCK`-sized ranges for the parallel engine.
-fn row_blocks(n: usize) -> Vec<(usize, usize)> {
-    (0..n)
-        .step_by(ROW_BLOCK)
-        .map(|s| (s, (s + ROW_BLOCK).min(n)))
-        .collect()
+/// Lazily measured per-row cost of the blocked serial path, in nanoseconds —
+/// the "measured, not guessed" half of the serial/parallel cutover (the
+/// other half is [`parallel::dispatch_overhead`]). One cell per compiled
+/// artifact, filled by timing the first real block the artifact predicts
+/// under [`Parallelism::Auto`].
+///
+/// Calibration state is deliberately excluded from identity: cloning caries
+/// the measurement along (same tree ⇒ same cost), and two otherwise-equal
+/// artifacts compare equal whether or not either has calibrated.
+#[derive(Debug, Default)]
+struct CutoverCell(OnceLock<f64>);
+
+impl Clone for CutoverCell {
+    fn clone(&self) -> Self {
+        let cell = CutoverCell(OnceLock::new());
+        if let Some(&v) = self.0.get() {
+            let _ = cell.0.set(v);
+        }
+        cell
+    }
+}
+
+impl PartialEq for CutoverCell {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
 }
 
 /// A [`ModelTree`] flattened for batch inference. Built by
@@ -238,6 +350,8 @@ pub struct CompiledTree {
     path_model: Vec<u32>,
     /// Instance count `n` of the node *below* each ancestor, as f64.
     path_n: Vec<f64>,
+    /// Measured per-row cost for the adaptive serial/parallel cutover.
+    per_row_ns: CutoverCell,
 }
 
 impl CompiledTree {
@@ -256,6 +370,7 @@ impl CompiledTree {
             path_start: vec![0],
             path_model: Vec::new(),
             path_n: Vec::new(),
+            per_row_ns: CutoverCell::default(),
         };
         let mut ancestors: Vec<(u32, f64)> = Vec::new();
         c.root = c.flatten(tree.root(), &mut ancestors);
@@ -458,33 +573,141 @@ impl CompiledTree {
                 found: rows.cols(),
             });
         }
-        let blocks = row_blocks(rows.rows());
+        let n = rows.rows();
         let cols = rows.cols();
         let data = rows.as_slice();
-        let mut batch_span = mtperf_obs::span("predict_batch");
-        batch_span.annotate_num("rows", rows.rows() as f64);
-        batch_span.annotate_num("blocks", blocks.len() as f64);
-        let t0 = batch_span.is_recording().then(std::time::Instant::now);
-        let run_block = |&(start, end): &(usize, usize)| {
-            let mut block_span = mtperf_obs::span_idx("predict_block", start / ROW_BLOCK);
-            block_span.add("rows", (end - start) as u64);
-            self.predict_block(&data[start * cols..end * cols], cols)
-        };
-        let per_block = match cancel {
-            Some(token) => try_par_map_cancel(par, &blocks, 1, token, run_block),
-            None => try_par_map(par, &blocks, 1, run_block),
+        // Zero- and single-row batches return without touching the pool,
+        // the batch span, or the leaf-bucket counters — a "bucketing" of
+        // one row is pure noise in the occupancy ratio. The error ladder
+        // is unchanged: an empty batch succeeds even under a fired token,
+        // a fired token beats a single row's work, and a panic in that
+        // row's models surfaces as the same `WorkerPanic { index: 0 }` a
+        // pooled worker would report.
+        if n == 0 {
+            return Ok(Vec::new());
         }
+        if n == 1 {
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                return Err(MtreeError::Cancelled);
+            }
+            let row = &data[..cols];
+            return catch_unwind(AssertUnwindSafe(|| self.predict_leaf(self.route(row), row)))
+                .map(|p| vec![p])
+                .map_err(|payload| {
+                    MtreeError::from(LinalgError::WorkerPanic {
+                        index: 0,
+                        message: panic_message(payload.as_ref()),
+                    })
+                });
+        }
+        let par = self.effective_parallelism(par, n, data, cols);
+        let mut batch_span = mtperf_obs::span("predict_batch");
+        batch_span.annotate_num("rows", n as f64);
+        batch_span.annotate_num("blocks", n.div_ceil(ROW_BLOCK) as f64);
+        let t0 = batch_span.is_recording().then(Instant::now);
+        // Blocks are written in place: each worker fills its slice of the
+        // output directly, so there is no per-block `Vec` and no final
+        // flatten copy over the whole batch.
+        let mut out = vec![0.0f64; n];
+        try_par_fill(par, &mut out, ROW_BLOCK, cancel, |start, block_out| {
+            let rows_here = block_out.len();
+            let mut block_span = mtperf_obs::span_idx("predict_block", start / ROW_BLOCK);
+            block_span.add("rows", rows_here as u64);
+            SCRATCH.with(|s| {
+                self.predict_block_into(
+                    &data[start * cols..(start + rows_here) * cols],
+                    cols,
+                    block_out,
+                    &mut s.borrow_mut(),
+                );
+            });
+        })
         .map_err(MtreeError::from)?;
         if let Some(t0) = t0 {
             let secs = t0.elapsed().as_secs_f64();
             if secs > 0.0 {
-                mtperf_obs::gauge("predict.rows_per_sec", rows.rows() as f64 / secs);
+                mtperf_obs::gauge("predict.rows_per_sec", n as f64 / secs);
             }
         }
-        Ok(per_block.into_iter().flatten().collect())
+        Ok(out)
     }
 
-    /// Leaf-grouped evaluation of one row block.
+    /// Resolves the caller's thread request for one batch. Only
+    /// [`Parallelism::Auto`] is adaptive: explicit `Off` / `Fixed` are
+    /// honored verbatim (the differential suite relies on `Fixed(n)`
+    /// actually exercising the pool, and benchmarks need raw per-thread
+    /// numbers). Under `Auto` with more than one thread available, batches
+    /// below the measured cutover run serially — dispatch overhead would
+    /// outweigh the parallel win. Output is bit-identical either way.
+    fn effective_parallelism(
+        &self,
+        par: Parallelism,
+        n: usize,
+        data: &[f64],
+        cols: usize,
+    ) -> Parallelism {
+        if !matches!(par, Parallelism::Auto) {
+            return par;
+        }
+        let threads = par.threads();
+        if threads <= 1 {
+            return par; // resolves to serial anyway
+        }
+        if n < self.cutover_rows(threads, self.calibrate(data, cols)) {
+            Parallelism::Off
+        } else {
+            par
+        }
+    }
+
+    /// Measured per-row nanoseconds of the serial blocked path: times the
+    /// first `min(n, ROW_BLOCK)` rows of the actual batch into a throwaway
+    /// buffer, once per artifact. The duplicated work is one block
+    /// (microseconds); it also contributes one block's worth of
+    /// `predict.leaf_buckets_*` counts, which is honest — those rows were
+    /// bucketed.
+    fn calibrate(&self, data: &[f64], cols: usize) -> f64 {
+        *self.per_row_ns.0.get_or_init(|| {
+            let rows = (data.len() / cols).clamp(1, ROW_BLOCK);
+            let mut out = vec![0.0f64; rows];
+            let t = Instant::now();
+            SCRATCH.with(|s| {
+                self.predict_block_into(&data[..rows * cols], cols, &mut out, &mut s.borrow_mut());
+            });
+            // Floor at 0.1 ns/row: below that the measurement is timer
+            // noise and the cutover division would explode.
+            (t.elapsed().as_nanos() as f64 / rows as f64).max(0.1)
+        })
+    }
+
+    /// Batch size above which parallel dispatch wins for `threads` workers.
+    /// Parallel saves `n · per_row · (1 − 1/t)` of wall time but pays the
+    /// pool's dispatch latency; the break-even with a 2× safety margin is
+    /// `n* = 2 · overhead · t / (per_row · (t − 1))`, clamped to at least
+    /// two blocks (below that there is nothing to share) and a sane upper
+    /// bound so a mis-measured overhead can never pin huge batches serial.
+    fn cutover_rows(&self, threads: usize, per_row_ns: f64) -> usize {
+        let overhead_ns = parallel::dispatch_overhead().as_nanos() as f64;
+        let t = threads as f64;
+        let n = 2.0 * overhead_ns * t / (per_row_ns * (t - 1.0));
+        (n as usize).clamp(2 * ROW_BLOCK, 4 << 20)
+    }
+
+    /// The measured serial/parallel cutover in rows for the process-wide
+    /// thread budget: batches at least this large go parallel under
+    /// [`Parallelism::Auto`]. `None` until some batch has calibrated the
+    /// per-row cost, or when only one thread is available (everything runs
+    /// serially; there is no cutover to report).
+    pub fn parallel_cutover(&self) -> Option<usize> {
+        let threads = parallel::global().threads();
+        if threads <= 1 {
+            return None;
+        }
+        let per_row = *self.per_row_ns.0.get()?;
+        Some(self.cutover_rows(threads, per_row))
+    }
+
+    /// Leaf-grouped evaluation of one row block, written into `out`.
     ///
     /// Routes every row, buckets the row indices by leaf (counting sort),
     /// then evaluates model-major: each leaf's model — and, when smoothing,
@@ -495,33 +718,42 @@ impl CompiledTree {
     /// are bit-identical; only the schedule changes, turning data-dependent
     /// chained loads and an unpredictable per-row branch pattern into
     /// independent streaming multiply-adds.
-    fn predict_block(&self, data: &[f64], cols: usize) -> Vec<f64> {
+    ///
+    /// `out` doubles as the `p` accumulator lane and must arrive zeroed
+    /// (every caller hands a slice of a fresh `vec![0.0; _]`); all index
+    /// and smoothing buffers come from `s` and allocate nothing once warm.
+    fn predict_block_into(&self, data: &[f64], cols: usize, out: &mut [f64], s: &mut Scratch) {
         let n = data.len() / cols;
-        let mut index_buf = vec![0u32; 2 * n];
-        let (leaf_of, grouped) = index_buf.split_at_mut(n);
-        let mut counts = vec![0u32; self.n_leaves];
+        debug_assert_eq!(out.len(), n);
+        s.index.clear();
+        s.index.resize(2 * n, 0);
+        let (leaf_of, grouped) = s.index.split_at_mut(n);
+        s.counts.clear();
+        s.counts.resize(self.n_leaves, 0);
         for (r, leaf) in leaf_of.iter_mut().enumerate() {
             let l = self.route(&data[r * cols..(r + 1) * cols]);
             *leaf = l as u32;
-            counts[l] += 1;
+            s.counts[l] += 1;
         }
         if mtperf_obs::is_enabled() {
             // Leaf-bucket occupancy: how many of the tree's leaves this block
             // actually touched. High counts mean scattered routing (poor
             // model-major locality); the ratio to `n_leaves` is the fill rate.
-            let hit = counts.iter().filter(|&&c| c > 0).count() as u64;
+            let hit = s.counts.iter().filter(|&&c| c > 0).count() as u64;
             mtperf_obs::add("predict.leaf_buckets_hit", hit);
             mtperf_obs::add("predict.leaf_buckets_total", self.n_leaves as u64);
         }
         // Prefix-sum the counts into bucket offsets, then scatter the row
         // indices grouped by leaf (stable: ascending row order per leaf).
-        let mut starts = vec![0u32; self.n_leaves + 1];
+        s.starts.clear();
+        s.starts.resize(self.n_leaves + 1, 0);
         for l in 0..self.n_leaves {
-            starts[l + 1] = starts[l] + counts[l];
+            s.starts[l + 1] = s.starts[l] + s.counts[l];
         }
-        let mut next = starts.clone();
+        s.next.clear();
+        s.next.extend_from_slice(&s.starts);
         for (r, &l) in leaf_of.iter().enumerate() {
-            let slot = &mut next[l as usize];
+            let slot = &mut s.next[l as usize];
             grouped[*slot as usize] = r as u32;
             *slot += 1;
         }
@@ -532,21 +764,21 @@ impl CompiledTree {
         // below into one sequential pass over the whole block (`q` streams
         // through the rows in storage order with no index indirection).
         let blend_root = self.smoothing && !self.split_attr.is_empty();
-        let mut p = vec![0.0f64; n];
-        let mut q = if self.smoothing {
-            vec![0.0f64; n]
-        } else {
-            Vec::new()
-        };
+        let p: &mut [f64] = out;
+        if self.smoothing {
+            s.q.clear();
+            s.q.resize(n, 0.0);
+        }
+        let q = &mut s.q;
         let k = self.smoothing_k;
         for leaf in 0..self.n_leaves {
-            let idx = &grouped[starts[leaf] as usize..starts[leaf + 1] as usize];
+            let idx = &grouped[s.starts[leaf] as usize..s.starts[leaf + 1] as usize];
             if idx.is_empty() {
                 continue;
             }
             let m = self.leaf_model[leaf] as usize;
-            if !self.models.eval_small(m, data, cols, idx, &mut p) {
-                self.models.accumulate(m, data, cols, idx, &mut p);
+            if !self.models.eval_small(m, data, cols, idx, p) {
+                self.models.accumulate(m, data, cols, idx, p);
                 let intercept = self.models.intercept[m];
                 for &r in idx {
                     let finished = intercept + p[r as usize];
@@ -561,7 +793,7 @@ impl CompiledTree {
                 for t in path {
                     let am = self.path_model[t] as usize;
                     let an = self.path_n[t];
-                    self.models.accumulate(am, data, cols, idx, &mut q);
+                    self.models.accumulate(am, data, cols, idx, q);
                     let a_intercept = self.models.intercept[am];
                     for &r in idx {
                         let r = r as usize;
@@ -609,7 +841,6 @@ impl CompiledTree {
                 p[r] = (an * p[r] + k * qv) / (an + k);
             }
         }
-        p
     }
 }
 
@@ -736,17 +967,20 @@ impl CompiledRules {
             rows.cols(),
             self.n_attrs
         );
-        let blocks = row_blocks(rows.rows());
-        let per_block = try_par_map(par, &blocks, 1, |&(start, end)| {
-            (start..end).map(|r| self.predict(rows.row(r))).collect()
+        let n = rows.rows();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Same in-place block fill as the tree path: workers write their
+        // slice of the output directly, no per-block buffers or flatten.
+        let mut out = vec![0.0f64; n];
+        try_par_fill(par, &mut out, ROW_BLOCK, None, |start, block| {
+            for (i, v) in block.iter_mut().enumerate() {
+                *v = self.predict(rows.row(start + i));
+            }
         })
-        .unwrap_or_else(|e: mtperf_linalg::LinalgError| {
-            panic!("batch rule prediction failed: {e}")
-        });
-        per_block
-            .into_iter()
-            .flat_map(|block: Vec<f64>| block)
-            .collect()
+        .unwrap_or_else(|e: LinalgError| panic!("batch rule prediction failed: {e}"));
+        out
     }
 }
 
@@ -882,6 +1116,34 @@ mod tests {
         let d = piecewise(60);
         let c = fit(&d, false).compile();
         c.predict(&[1.0]);
+    }
+
+    #[test]
+    fn cutover_shrinks_with_threads_and_stays_clamped() {
+        let d = piecewise(300);
+        let c = fit(&d, false).compile();
+        // More threads amortize dispatch better, so the break-even batch
+        // shrinks (or stays pinned at a clamp edge); both edges hold for
+        // degenerate measurements.
+        let two = c.cutover_rows(2, 10.0);
+        let many = c.cutover_rows(16, 10.0);
+        assert!(many <= two, "cutover grew with threads: {two} -> {many}");
+        assert!(many >= 2 * ROW_BLOCK);
+        assert_eq!(
+            c.cutover_rows(2, 1e9),
+            2 * ROW_BLOCK,
+            "costly rows: lower clamp"
+        );
+        assert_eq!(c.cutover_rows(2, 1e-9), 4 << 20, "free rows: upper clamp");
+        // Reporting is consistent with calibration state: `None` before
+        // any Auto batch ran (or on a single-thread budget); when `Some`,
+        // the value respects the clamps.
+        if let Some(n) = c.parallel_cutover() {
+            assert!((2 * ROW_BLOCK..=4 << 20).contains(&n));
+        }
+        // Cloning carries calibration without tying identity to it.
+        let clone = c.clone();
+        assert_eq!(clone, c);
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Edge-of-batch contracts for compiled inference.
+//!
+//! Zero- and single-row batches must return without touching the worker
+//! pool or emitting block instrumentation (`predict.leaf_buckets_*`,
+//! `predict_batch` spans), while keeping the full error ladder: an empty
+//! batch succeeds even under a fired token, a fired token beats a single
+//! row's work, and results stay bit-identical to the interpreted walk.
+//!
+//! Everything lives in ONE test function on purpose: the obs sink is
+//! process-global, and a sibling test predicting concurrently would leak
+//! its counters into the session under assertion.
+
+use std::time::Duration;
+
+use mtperf_linalg::parallel::{CancelToken, Parallelism};
+use mtperf_linalg::Matrix;
+use mtperf_mtree::{Dataset, M5Params, ModelTree, MtreeError};
+
+fn piecewise(n: i64) -> Dataset {
+    let rows: Vec<[f64; 3]> = (0..n)
+        .map(|i| [(i % 37) as f64, (i % 11) as f64, (i % 5) as f64])
+        .collect();
+    let ys: Vec<f64> = rows
+        .iter()
+        .map(|r| {
+            if r[0] <= 18.0 {
+                1.0 + 0.4 * r[1] - 0.1 * r[2]
+            } else {
+                9.0 - 0.2 * r[0] + 0.3 * r[2]
+            }
+        })
+        .collect();
+    Dataset::from_rows(vec!["a".into(), "b".into(), "c".into()], &rows, &ys).unwrap()
+}
+
+fn obs_session(f: impl FnOnce()) -> mtperf_obs::Report {
+    mtperf_obs::init(mtperf_obs::ObsConfig {
+        trace: true,
+        ..Default::default()
+    })
+    .unwrap();
+    f();
+    mtperf_obs::finish().expect("session was enabled")
+}
+
+#[test]
+fn trivial_batches_skip_pool_and_instrumentation() {
+    let d = piecewise(400);
+    for smoothing in [false, true] {
+        let tree = ModelTree::fit(
+            &d,
+            &M5Params::default()
+                .with_min_instances(12)
+                .with_smoothing(smoothing),
+        )
+        .unwrap();
+        let c = tree.compile();
+        let m = d.to_matrix();
+        let empty = Matrix::zeros(0, 3);
+        let row0 = d.row(0);
+        let one = Matrix::from_rows(&[&row0]).unwrap();
+
+        // Trivial batches: no predict spans, no leaf-bucket counters, at
+        // any parallelism setting.
+        let report = obs_session(|| {
+            assert!(c.predict_batch_with(&empty, Parallelism::Auto).is_empty());
+            for par in [Parallelism::Off, Parallelism::Auto, Parallelism::Fixed(4)] {
+                let got = c.predict_batch_with(&one, par);
+                assert_eq!(got.len(), 1);
+                assert_eq!(
+                    got[0].to_bits(),
+                    tree.predict(&row0).to_bits(),
+                    "single row, smoothing {smoothing}, par {par:?}"
+                );
+            }
+        });
+        assert!(
+            report
+                .counters
+                .iter()
+                .all(|(name, _)| !name.starts_with("predict.leaf_buckets")),
+            "trivial batches emitted bucket counters: {:?}",
+            report.counters
+        );
+        assert!(
+            report.spans.iter().all(|s| !s.path.contains("predict")),
+            "trivial batches opened predict spans: {:?}",
+            report.spans
+        );
+        assert!(
+            report
+                .counters
+                .iter()
+                .all(|(name, _)| !name.starts_with("pool.")),
+            "trivial batches touched the pool: {:?}",
+            report.counters
+        );
+
+        // A real batch emits exactly the instrumentation the trivial ones
+        // skipped (sanity that the assertions above can fail at all).
+        let report = obs_session(|| {
+            let serial = c.predict_batch_with(&m, Parallelism::Off);
+            for (i, p) in serial.iter().enumerate() {
+                assert_eq!(p.to_bits(), tree.predict(&d.row(i)).to_bits(), "row {i}");
+            }
+        });
+        assert!(report
+            .counters
+            .iter()
+            .any(|(name, _)| name == "predict.leaf_buckets_hit"));
+        assert!(report
+            .spans
+            .iter()
+            .any(|s| s.path.contains("predict_batch")));
+
+        // Error ladder on the trivial paths: empty succeeds under a fired
+        // token; a fired token (explicit or expired deadline) beats a
+        // single row's work.
+        let fired = CancelToken::new();
+        fired.cancel();
+        assert!(c
+            .try_predict_batch_cancel(&empty, Parallelism::Auto, &fired)
+            .unwrap()
+            .is_empty());
+        match c.try_predict_batch_cancel(&one, Parallelism::Auto, &fired) {
+            Err(MtreeError::Cancelled) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        let expired = CancelToken::with_deadline(Duration::ZERO);
+        match c.try_predict_batch_cancel(&one, Parallelism::Off, &expired) {
+            Err(MtreeError::Cancelled) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+}
