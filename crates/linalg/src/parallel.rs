@@ -45,7 +45,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::str::FromStr;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use mtperf_detsim::clock;
 
 use crate::error::LinalgError;
 use crate::pool;
@@ -89,7 +91,10 @@ pub struct CancelToken {
 #[derive(Debug, Default)]
 struct CancelInner {
     cancelled: AtomicBool,
-    deadline: Option<Instant>,
+    /// Absolute deadline as a global-clock timestamp ([`clock::now`]), so a
+    /// simulated clock controls deadline expiry the same way the real one
+    /// does.
+    deadline: Option<Duration>,
 }
 
 impl CancelToken {
@@ -99,13 +104,14 @@ impl CancelToken {
     }
 
     /// A token that additionally reports cancelled once `timeout` from now
-    /// has elapsed.
+    /// has elapsed (measured on the global clock seam).
     pub fn with_deadline(timeout: Duration) -> CancelToken {
-        Self::with_deadline_at(Instant::now() + timeout)
+        Self::with_deadline_at(clock::now() + timeout)
     }
 
-    /// A token with an absolute deadline.
-    pub fn with_deadline_at(deadline: Instant) -> CancelToken {
+    /// A token with an absolute deadline, as a timestamp on the global
+    /// clock (duration since the clock's epoch, i.e. [`clock::now`]).
+    pub fn with_deadline_at(deadline: Duration) -> CancelToken {
         CancelToken {
             inner: Arc::new(CancelInner {
                 cancelled: AtomicBool::new(false),
@@ -125,12 +131,22 @@ impl CancelToken {
             || self
                 .inner
                 .deadline
-                .is_some_and(|deadline| Instant::now() >= deadline)
+                .is_some_and(|deadline| clock::now() >= deadline)
     }
 
-    /// The absolute deadline, if this token carries one.
-    pub fn deadline(&self) -> Option<Instant> {
+    /// The absolute deadline (global-clock timestamp), if this token
+    /// carries one.
+    pub fn deadline(&self) -> Option<Duration> {
         self.inner.deadline
+    }
+
+    /// Time remaining before the deadline ([`Duration::ZERO`] once passed;
+    /// `None` for tokens without one). The serving layer uses this for
+    /// per-request deadline accounting.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner
+            .deadline
+            .map(|deadline| deadline.saturating_sub(clock::now()))
     }
 }
 
@@ -675,11 +691,11 @@ pub fn dispatch_overhead() -> Duration {
         pool::run_chunked(chunks, &|_| {});
         let mut samples: Vec<Duration> = (0..9)
             .map(|_| {
-                let t0 = Instant::now();
+                let t0 = clock::now();
                 pool::run_chunked(chunks, &|c| {
                     std::hint::black_box(c);
                 });
-                t0.elapsed()
+                clock::now().saturating_sub(t0)
             })
             .collect();
         samples.sort();

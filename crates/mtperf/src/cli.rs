@@ -124,6 +124,14 @@ COMMANDS
              atomic (kill-safe) model saves, SIGTERM drain-then-exit.
              --socket alone disables the stdio session; add --stdio to
              serve both transports.
+  dst        [--seed N] [--seeds N] [--sessions N] [--trace-dir <dir>]
+             Deterministic simulation of the serving stack: drives randomized
+             client sessions (faulty transports, poisoned reloads, deadline
+             races, overload, crash/restart) under seeded virtual time and
+             checks the serving invariants. One seed fully determines a run;
+             a failing seed replays bit-identically with --seed <N> (or
+             MTPERF_SIM_SEED). --seeds sweeps N consecutive seeds;
+             --trace-dir writes one replay trace file per seed.
 
 GLOBAL OPTIONS
   --threads <auto|off|N>
@@ -427,6 +435,80 @@ pub fn cmd_predict(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliE
     Ok(())
 }
 
+/// `mtperf dst`: deterministic simulation sweep of the serving stack.
+///
+/// Runs `--seeds` consecutive seeds starting at `--seed` (default: the
+/// `MTPERF_SIM_SEED` environment variable, else 1), each simulating
+/// `--sessions` randomized client sessions under virtual time, and checks
+/// the serving invariants. With `--trace-dir`, writes one replayable trace
+/// file per seed. The first failing seed stops the sweep; replay it with
+/// `mtperf dst --seed <N> --sessions <N>`.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] for bad options, [`CliError::Other`] when a seed
+/// violates an invariant (the seed and violations are printed first).
+pub fn cmd_dst(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let base_seed: u64 = match args.options.get("seed") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::Usage(format!("option --seed has invalid value {v:?}")))?,
+        None => match std::env::var("MTPERF_SIM_SEED") {
+            Ok(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("MTPERF_SIM_SEED has invalid value {v:?}")))?,
+            Err(_) => 1,
+        },
+    };
+    let seeds: u64 = args.numeric("seeds", 1).map_err(CliError::Usage)?;
+    let sessions: usize = args.numeric("sessions", 200).map_err(CliError::Usage)?;
+    if seeds == 0 || sessions == 0 {
+        return Err(CliError::Usage(
+            "options --seeds and --sessions must be at least 1".to_string(),
+        ));
+    }
+    let trace_dir = args.options.get("trace-dir").map(std::path::PathBuf::from);
+    if let Some(dir) = &trace_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CliError::Io(format!("{}: {e}", dir.display())))?;
+    }
+    for seed in base_seed..base_seed.saturating_add(seeds) {
+        let report = crate::serve::dst::run_sim(&crate::serve::dst::SimConfig { seed, sessions });
+        writeln!(
+            out,
+            "dst seed={seed} sessions={sessions} requests={} responses={} typed_errors={} \
+             restarts={} fs_faults={} trace_hash={:016x} verdict={}",
+            report.requests,
+            report.responses,
+            report.typed_errors,
+            report.restarts,
+            report.faults_injected,
+            report.trace_hash(),
+            if report.passed() { "pass" } else { "FAIL" },
+        )?;
+        if let Some(dir) = &trace_dir {
+            let path = dir.join(format!("dst-{seed:016x}.trace"));
+            report
+                .write_trace(&path)
+                .map_err(|e| CliError::Io(format!("{}: {e}", path.display())))?;
+        }
+        if !report.passed() {
+            for v in &report.violations {
+                writeln!(out, "dst seed={seed} violation: {v}")?;
+            }
+            writeln!(
+                out,
+                "dst: replay with `mtperf dst --seed {seed} --sessions {sessions}`"
+            )?;
+            return Err(CliError::Other(format!(
+                "dst: seed {seed} violated {} invariant(s)",
+                report.violations.len()
+            )));
+        }
+    }
+    Ok(())
+}
+
 /// Dispatches a parsed command line.
 ///
 /// # Errors
@@ -454,6 +536,7 @@ pub fn dispatch(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliErro
         "analyze" => cmd_analyze(args, out),
         "predict" => cmd_predict(args, out),
         "serve" => crate::serve::cmd_serve(args),
+        "dst" => cmd_dst(args, out),
         other => Err(CliError::Usage(format!(
             "unknown command {other:?}\n\n{USAGE}"
         ))),

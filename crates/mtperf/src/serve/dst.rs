@@ -1,0 +1,789 @@
+//! Deterministic simulation testing (DST) of the serving stack.
+//!
+//! One `u64` seed fully determines a simulated serving run: virtual time,
+//! the client workload, the transport fault script, and the filesystem
+//! fault script are all derived from it through
+//! [`mtperf_detsim::derive_seed`]. The harness drives the *production*
+//! session code — [`super::handle_line`], [`super::run_session`],
+//! [`super::answer`], the real [`engine::Engine`] — on a single logical
+//! thread, with the global clock/RNG/fs seams pointed at simulators:
+//!
+//! * **Wire sessions** feed a scripted [`SimStream`] (short reads,
+//!   interrupts, latency, connection drops, oversized lines, invalid
+//!   UTF-8) through [`super::run_session`], exercising the bounded-line
+//!   reader and the full parse/dispatch path.
+//! * **Structured sessions** call [`super::handle_line`] directly,
+//!   interleaving queue drains and virtual-clock advances between
+//!   requests to exercise deadline races and backpressure.
+//! * **Fault days**: reloads of poisoned artifacts, saves under injected
+//!   transient and permanent I/O errors, overload storms against a tiny
+//!   queue, drain/restart cycles after `shutdown`, and crash/restart
+//!   cycles that drop queued work on the floor.
+//!
+//! After every session the harness checks the serving invariants: no
+//! panic escapes, every response line is well-formed protocol JSON with a
+//! known error kind, request/response accounting balances on non-lossy
+//! sessions, the queue drains to empty, and — after every restart — the
+//! model artifact still opens (**last known good is never lost**).
+//!
+//! # Replay
+//!
+//! Everything observable is folded into an event trace (one line per
+//! session plus lifecycle events) whose FNV-1a hash is the run's
+//! fingerprint: running the same seed twice produces byte-identical
+//! traces. A failing seed from CI is replayed locally with
+//! `mtperf dst --seed <seed>` (or `MTPERF_SIM_SEED=<seed>`), which
+//! reproduces the exact schedule, faults, and verdict.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use mtperf_detsim::clock::{self, VirtualClock};
+use mtperf_detsim::fs as simfs;
+use mtperf_detsim::net::{Fault, SimStream};
+use mtperf_detsim::rng::{self, derive_seed, GenericRng, SimRng};
+use mtperf_detsim::{FaultScript, FsOp};
+use mtperf_linalg::parallel::{self, Parallelism};
+use mtperf_mtree::{Dataset, M5Params, ModelTree};
+use serde::Deserialize;
+
+use super::queue::BoundedQueue;
+use super::{answer, engine, protocol, run_session, Shared, SharedWriter, Stats, SHUTDOWN};
+
+/// One simulated run's parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Root seed; every stream in the run derives from it.
+    pub seed: u64,
+    /// Number of client sessions to simulate.
+    pub sessions: usize,
+}
+
+/// Outcome of one simulated run.
+#[derive(Debug)]
+pub struct SimReport {
+    /// The seed that produced this run (replay key).
+    pub seed: u64,
+    /// Sessions simulated.
+    pub sessions: usize,
+    /// Request lines fed to the stack.
+    pub requests: u64,
+    /// Response lines observed.
+    pub responses: u64,
+    /// Responses that were typed protocol errors.
+    pub typed_errors: u64,
+    /// Drain/restart and crash/restart cycles performed.
+    pub restarts: u64,
+    /// I/O faults the filesystem script injected.
+    pub faults_injected: u64,
+    /// Invariant violations (empty = run passed).
+    pub violations: Vec<String>,
+    /// The deterministic event trace (replay fingerprint source).
+    pub trace: Vec<String>,
+}
+
+impl SimReport {
+    /// Whether every invariant held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// FNV-1a hash of the event trace: the run's replay fingerprint. Two
+    /// runs of the same seed must produce equal hashes (and equal traces).
+    pub fn trace_hash(&self) -> u64 {
+        let mut joined = String::new();
+        for line in &self.trace {
+            joined.push_str(line);
+            joined.push('\n');
+        }
+        mtperf_obs::fsio::fnv1a_64(joined.as_bytes())
+    }
+
+    /// Writes the event trace to `path` atomically (one line per event,
+    /// with a header naming the seed and verdict).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write failure.
+    pub fn write_trace(&self, path: &Path) -> std::io::Result<()> {
+        let mut text = format!(
+            "# mtperf dst trace seed={} sessions={} hash={:016x} verdict={}\n",
+            self.seed,
+            self.sessions,
+            self.trace_hash(),
+            if self.passed() { "pass" } else { "FAIL" }
+        );
+        for v in &self.violations {
+            text.push_str(&format!("# violation: {v}\n"));
+        }
+        for line in &self.trace {
+            text.push_str(line);
+            text.push('\n');
+        }
+        mtperf_obs::fsio::atomic_write(path, text.as_bytes())
+    }
+}
+
+/// Serializes simulated runs process-wide: the seams are global, so two
+/// concurrent simulations would corrupt each other's time and faults.
+static SIM_LOCK: Mutex<()> = Mutex::new(());
+
+/// Restores every global seam on scope exit (including panic unwinds), so
+/// a failing simulation cannot leave the process on virtual time.
+struct SeamGuard {
+    saved_parallelism: Parallelism,
+}
+
+impl Drop for SeamGuard {
+    fn drop(&mut self) {
+        clock::uninstall();
+        rng::uninstall();
+        simfs::uninstall();
+        parallel::set_global(self.saved_parallelism);
+        SHUTDOWN.store(false, Ordering::SeqCst);
+    }
+}
+
+/// Lenient mirror of the response schema, for invariant checking.
+#[derive(Debug, Deserialize)]
+struct SimResponse {
+    proto: Option<String>,
+    ok: Option<bool>,
+    error: Option<SimError>,
+}
+
+#[derive(Debug, Deserialize)]
+struct SimError {
+    kind: Option<String>,
+}
+
+const KNOWN_KINDS: [&str; 7] = [
+    protocol::E_BAD_REQUEST,
+    protocol::E_OVERLOADED,
+    protocol::E_DEADLINE,
+    protocol::E_SHUTTING_DOWN,
+    protocol::E_RELOAD_FAILED,
+    protocol::E_SAVE_FAILED,
+    protocol::E_INTERNAL,
+];
+
+/// A deterministic tiny model: same shape as the serve unit-test fixture,
+/// trained from a fixed arithmetic dataset so every run of every seed
+/// serves byte-identical predictions.
+fn sim_model() -> ModelTree {
+    let names = vec!["a0".to_string(), "a1".to_string()];
+    let rows: Vec<Vec<f64>> = (0..24)
+        .map(|r| vec![((r * 7) % 11) as f64, ((r * 3) % 5) as f64])
+        .collect();
+    let targets: Vec<f64> = rows.iter().map(|r| 1.0 + 2.0 * r[0] - r[1]).collect();
+    let data = Dataset::from_rows(names, &rows, &targets).expect("static dataset is valid");
+    ModelTree::fit(&data, &M5Params::default().with_min_instances(4)).expect("fit cannot fail")
+}
+
+/// Seed-derived working directory: stable across replays of the same seed
+/// (no PID, no timestamp), so paths embedded in `health` responses are part
+/// of the deterministic trace.
+fn sim_dir(seed: u64) -> PathBuf {
+    std::env::temp_dir().join(format!("mtperf-dst-{seed:016x}"))
+}
+
+/// One request the script generator planned.
+enum Op {
+    Line(String),
+    Shutdown(String),
+}
+
+/// The per-session plan: request lines, transport faults, and bookkeeping
+/// for the response-accounting invariant.
+struct SessionPlan {
+    wire: bool,
+    ops: Vec<Op>,
+    read_faults: Vec<Fault>,
+    /// Response lines this session must produce, when countable.
+    expected: u64,
+    /// Responses may legitimately be lost (connection drop, crash).
+    lossy: bool,
+    /// Advance virtual time this much between intake and drain (arms
+    /// queued-deadline races).
+    advance_before_drain: Duration,
+    /// Drop queued work instead of draining (kill -9 behavior), then
+    /// require a clean restart.
+    crash_after: bool,
+    /// This session scripted filesystem faults; verify last-known-good
+    /// afterwards.
+    touched_fs: bool,
+}
+
+fn fmt_f64_row(row: &[f64]) -> String {
+    let cells: Vec<String> = row.iter().map(|v| format!("{v:?}")).collect();
+    format!("[{}]", cells.join(","))
+}
+
+/// Generates one session's plan from the script/rows streams.
+#[allow(clippy::too_many_lines)]
+fn plan_session(
+    si: usize,
+    script: &SimRng,
+    rows_rng: &SimRng,
+    fs_script: &FaultScript,
+    model_path: &Path,
+    poison_path: &Path,
+) -> SessionPlan {
+    let wire = script.gen_bool(0.5);
+    let mut plan = SessionPlan {
+        wire,
+        ops: Vec::new(),
+        read_faults: Vec::new(),
+        expected: 0,
+        lossy: false,
+        advance_before_drain: Duration::from_micros(script.next_u64() % 10_000),
+        crash_after: script.gen_bool(0.04),
+        touched_fs: false,
+    };
+    let n_ops = 1 + script.gen_index(6);
+    for oi in 0..n_ops {
+        let id = format!("s{si}-{oi}");
+        let roll = script.gen_f64();
+        let line = if roll < 0.40 {
+            // Well-formed predict, sometimes with a tight deadline.
+            let n_rows = 1 + rows_rng.gen_index(4);
+            let rows: Vec<String> = (0..n_rows)
+                .map(|_| {
+                    fmt_f64_row(&[
+                        (rows_rng.next_u64() % 110) as f64 / 10.0,
+                        (rows_rng.next_u64() % 50) as f64 / 10.0,
+                    ])
+                })
+                .collect();
+            let deadline = if script.gen_bool(0.25) {
+                format!(",\"deadline_ms\":{}", script.gen_index(3))
+            } else {
+                String::new()
+            };
+            format!(
+                "{{\"op\":\"predict\",\"id\":\"{id}\",\"rows\":[{}]{deadline}}}",
+                rows.join(",")
+            )
+        } else if roll < 0.52 {
+            // Malformed requests: every variant must get a typed error.
+            match script.gen_index(7) {
+                0 => "this is not json".to_string(),
+                1 => format!("{{\"id\":\"{id}\"}}"),
+                2 => format!("{{\"op\":\"frobnicate\",\"id\":\"{id}\"}}"),
+                3 => format!("{{\"op\":\"predict\",\"id\":\"{id}\",\"rows\":[]}}"),
+                4 => format!("{{\"op\":\"predict\",\"id\":\"{id}\",\"rows\":[[1.0]]}}"),
+                5 => format!(
+                    "{{\"op\":\"predict\",\"id\":\"{id}\",\"rows\":[[1.0,2.0],[1.0,2.0,3.0]]}}"
+                ),
+                _ => format!("{{\"op\":\"predict\",\"id\":\"{id}\",\"rows\":[[1.0,1e999]]}}"),
+            }
+        } else if roll < 0.62 {
+            format!("{{\"op\":\"health\",\"id\":\"{id}\"}}")
+        } else if roll < 0.72 {
+            // Overload burst: enough predicts to overflow the tiny queue.
+            for k in 0..6 {
+                plan.ops.push(Op::Line(format!(
+                    "{{\"op\":\"predict\",\"id\":\"{id}b{k}\",\"rows\":[[1.0,2.0]]}}"
+                )));
+                plan.expected += 1;
+            }
+            continue;
+        } else if roll < 0.80 {
+            // Reload: poisoned artifact (typed failure, keeps serving) or
+            // the good artifact (heals a degraded engine).
+            let target = if script.gen_bool(0.5) {
+                poison_path
+            } else {
+                model_path
+            };
+            format!(
+                "{{\"op\":\"reload\",\"id\":\"{id}\",\"path\":{}}}",
+                serde_json::to_string(&target.display().to_string()).unwrap_or_default()
+            )
+        } else if roll < 0.88 {
+            // Save, sometimes under injected I/O faults (transient bursts
+            // the retry ladder absorbs, or a hard mid-save failure whose
+            // torn write must not damage the destination).
+            if script.gen_bool(0.5) {
+                plan.touched_fs = true;
+                let kind = match script.gen_index(3) {
+                    0 => std::io::ErrorKind::Interrupted,
+                    1 => std::io::ErrorKind::TimedOut,
+                    _ => std::io::ErrorKind::PermissionDenied,
+                };
+                let op = match script.gen_index(3) {
+                    0 => FsOp::Write,
+                    1 => FsOp::Sync,
+                    _ => FsOp::Rename,
+                };
+                let times = 1 + script.gen_index(6) as u64;
+                fs_script.fail_times(Some(op), "model.json", kind, times);
+            }
+            format!("{{\"op\":\"save\",\"id\":\"{id}\"}}")
+        } else if roll < 0.93 {
+            String::new() // blank line: skipped, no response
+        } else {
+            // Drain request; ends the session and triggers a restart.
+            plan.ops.push(Op::Shutdown(format!(
+                "{{\"op\":\"shutdown\",\"id\":\"{id}\"}}"
+            )));
+            plan.expected += 1;
+            break;
+        };
+        if !line.trim().is_empty() {
+            plan.expected += 1;
+        }
+        plan.ops.push(Op::Line(line));
+    }
+    if wire {
+        // Transport faults only exist on the wire path.
+        if script.gen_bool(0.30) {
+            plan.read_faults
+                .push(Fault::ShortRead(1 + script.gen_index(16)));
+        }
+        if script.gen_bool(0.15) {
+            plan.read_faults.push(Fault::InterruptRead);
+        }
+        if script.gen_bool(0.20) {
+            plan.read_faults.push(Fault::Latency(Duration::from_millis(
+                1 + script.next_u64() % 40,
+            )));
+        }
+        if script.gen_bool(0.05) {
+            plan.read_faults.push(Fault::Drop);
+            plan.lossy = true;
+        }
+        if script.gen_bool(0.03) {
+            // An oversized line: must come back as one typed bad_request.
+            let huge = "x".repeat(protocol::MAX_LINE_BYTES + 1);
+            plan.ops.push(Op::Line(huge));
+            plan.expected += 1;
+        }
+    }
+    if plan.crash_after {
+        plan.lossy = true;
+    }
+    plan
+}
+
+/// Collects response lines from raw output bytes and validates each
+/// against the protocol invariants, appending violations.
+fn audit_responses(
+    si: usize,
+    raw: &[u8],
+    typed_errors: &mut u64,
+    violations: &mut Vec<String>,
+) -> u64 {
+    let text = String::from_utf8_lossy(raw);
+    let mut n = 0u64;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        n += 1;
+        match serde_json::from_str::<SimResponse>(line) {
+            Ok(resp) => {
+                if resp.proto.as_deref() != Some(protocol::PROTOCOL) {
+                    violations.push(format!("s={si}: response missing proto marker: {line}"));
+                }
+                if resp.ok.is_none() {
+                    violations.push(format!("s={si}: response missing ok field: {line}"));
+                }
+                if let Some(err) = resp.error {
+                    *typed_errors += 1;
+                    match err.kind.as_deref() {
+                        Some(kind) if KNOWN_KINDS.contains(&kind) => {}
+                        other => violations.push(format!(
+                            "s={si}: error kind {other:?} is not in the closed set"
+                        )),
+                    }
+                }
+            }
+            Err(e) => violations.push(format!("s={si}: unparsable response line ({e}): {line}")),
+        }
+    }
+    n
+}
+
+fn new_shared(eng: engine::Engine, queue_depth: usize) -> Arc<Shared> {
+    Arc::new(Shared {
+        engine: Mutex::new(eng),
+        queue: BoundedQueue::new(queue_depth),
+        stats: Stats::default(),
+        draining: AtomicBool::new(false),
+        workers: 1,
+        default_deadline_ms: None,
+    })
+}
+
+/// Drains every queued job on the calling thread.
+fn drain(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.try_pop() {
+        answer(shared, job);
+    }
+}
+
+/// Runs one seeded simulation of the serving stack. See the module docs.
+///
+/// Process-global seams (clock, RNG, filesystem faults) are installed for
+/// the duration and restored on exit; concurrent calls serialize on an
+/// internal lock.
+#[allow(clippy::too_many_lines)]
+pub fn run_sim(cfg: &SimConfig) -> SimReport {
+    let _exclusive = SIM_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let saved_parallelism = parallel::global();
+    let mut report = SimReport {
+        seed: cfg.seed,
+        sessions: cfg.sessions,
+        requests: 0,
+        responses: 0,
+        typed_errors: 0,
+        restarts: 0,
+        faults_injected: 0,
+        violations: Vec::new(),
+        trace: Vec::new(),
+    };
+
+    // Working directory and artifacts, reset to a clean slate so a replay
+    // starts from the same filesystem state.
+    let dir = sim_dir(cfg.seed);
+    let _ = std::fs::remove_dir_all(&dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        report
+            .violations
+            .push(format!("setup: cannot create {}: {e}", dir.display()));
+        return report;
+    }
+    let model_path = dir.join("model.json");
+    let poison_path = dir.join("poison.json");
+    let tree = sim_model();
+    if let Err(e) = tree.save(&model_path) {
+        report
+            .violations
+            .push(format!("setup: cannot save model: {e}"));
+        return report;
+    }
+    if let Err(e) = std::fs::write(&poison_path, b"{ definitely not a model }") {
+        report
+            .violations
+            .push(format!("setup: cannot write poison artifact: {e}"));
+        return report;
+    }
+
+    // Install the simulators. Parallelism off: a single logical thread is
+    // what makes the schedule (and therefore the trace) deterministic.
+    let vclock = VirtualClock::auto();
+    let fs_script = Arc::new(FaultScript::new());
+    clock::install(vclock.clone());
+    rng::install(Arc::new(SimRng::seed_from_u64(derive_seed(
+        cfg.seed, "jitter",
+    ))));
+    simfs::install(Arc::clone(&fs_script) as Arc<dyn simfs::FaultHook>);
+    parallel::set_global(Parallelism::Off);
+    SHUTDOWN.store(false, Ordering::SeqCst);
+    let _restore = SeamGuard { saved_parallelism };
+
+    let script = SimRng::seed_from_u64(derive_seed(cfg.seed, "script"));
+    let rows_rng = SimRng::seed_from_u64(derive_seed(cfg.seed, "rows"));
+
+    let eng = match engine::Engine::open(&model_path) {
+        Ok(e) => e,
+        Err(e) => {
+            report
+                .violations
+                .push(format!("setup: initial open failed: {e}"));
+            return report;
+        }
+    };
+    let mut shared = new_shared(eng, 4);
+    report.trace.push(format!(
+        "run seed={} sessions={} model={}",
+        cfg.seed,
+        cfg.sessions,
+        model_path.display()
+    ));
+
+    for si in 0..cfg.sessions {
+        let plan = plan_session(
+            si,
+            &script,
+            &rows_rng,
+            &fs_script,
+            &model_path,
+            &poison_path,
+        );
+        report.requests += plan.expected;
+        let shared_ref = Arc::clone(&shared);
+
+        let mut saw_shutdown = false;
+        let raw_out: Vec<u8>;
+        if plan.wire {
+            let stream = SimStream::new();
+            for f in &plan.read_faults {
+                stream.script_read_fault(f.clone());
+            }
+            for op in &plan.ops {
+                let line = match op {
+                    Op::Line(l) | Op::Shutdown(l) => l,
+                };
+                stream.push_input(line.as_bytes());
+                stream.push_input(b"\n");
+            }
+            stream.close_input();
+            let (reader, writer_half) = stream.split();
+            let writer: SharedWriter = Arc::new(Mutex::new(Box::new(writer_half)));
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_session(&shared_ref, std::io::BufReader::new(reader), writer);
+            }));
+            if outcome.is_err() {
+                report
+                    .violations
+                    .push(format!("s={si}: panic escaped run_session"));
+            }
+            saw_shutdown = SHUTDOWN.load(Ordering::SeqCst);
+            clock::sleep(plan.advance_before_drain);
+            if plan.crash_after {
+                // Simulated kill -9: queued work is lost with the process.
+                while shared.queue.try_pop().is_some() {}
+            } else {
+                drain(&shared);
+            }
+            raw_out = stream.output();
+        } else {
+            let sink = Arc::new(Mutex::new(Vec::<u8>::new()));
+            struct VecWriter(Arc<Mutex<Vec<u8>>>);
+            impl std::io::Write for VecWriter {
+                fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                    self.0
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .extend_from_slice(buf);
+                    Ok(buf.len())
+                }
+                fn flush(&mut self) -> std::io::Result<()> {
+                    Ok(())
+                }
+            }
+            let writer: SharedWriter = Arc::new(Mutex::new(Box::new(VecWriter(Arc::clone(&sink)))));
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                for op in &plan.ops {
+                    // Interleave intake with partial drains and clock
+                    // movement: the deadline-race and backpressure
+                    // scheduler of the structured mode.
+                    if script.gen_bool(0.3) {
+                        if let Some(job) = shared_ref.queue.try_pop() {
+                            answer(&shared_ref, job);
+                        }
+                    }
+                    if script.gen_bool(0.3) {
+                        clock::sleep(Duration::from_micros(script.next_u64() % 3000));
+                    }
+                    match op {
+                        Op::Line(l) => {
+                            if l.trim().is_empty() {
+                                continue;
+                            }
+                            let _ = super::handle_line(&shared_ref, l, &writer);
+                        }
+                        Op::Shutdown(l) => {
+                            let _ = super::handle_line(&shared_ref, l, &writer);
+                            SHUTDOWN.store(true, Ordering::SeqCst);
+                            break;
+                        }
+                    }
+                }
+            }));
+            if outcome.is_err() {
+                report
+                    .violations
+                    .push(format!("s={si}: panic escaped handle_line"));
+            }
+            saw_shutdown = saw_shutdown || SHUTDOWN.load(Ordering::SeqCst);
+            clock::sleep(plan.advance_before_drain);
+            if plan.crash_after {
+                while shared.queue.try_pop().is_some() {}
+            } else {
+                drain(&shared);
+            }
+            raw_out = sink.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        }
+
+        let n_resp = audit_responses(
+            si,
+            &raw_out,
+            &mut report.typed_errors,
+            &mut report.violations,
+        );
+        report.responses += n_resp;
+        if !plan.lossy && !saw_shutdown && n_resp != plan.expected {
+            report.violations.push(format!(
+                "s={si}: expected {} responses, observed {n_resp}",
+                plan.expected
+            ));
+        }
+        if saw_shutdown && !plan.lossy && n_resp > plan.expected {
+            report.violations.push(format!(
+                "s={si}: more responses ({n_resp}) than requests ({})",
+                plan.expected
+            ));
+        }
+        if shared.queue.depth() != 0 && !plan.crash_after {
+            report.violations.push(format!(
+                "s={si}: queue not drained ({})",
+                shared.queue.depth()
+            ));
+        }
+
+        let degraded = super::lock_engine(&shared).degraded();
+        report.trace.push(format!(
+            "s={si} mode={} ops={} expected={} lossy={} shutdown={} crash={} out={} out_hash={:016x} t_us={} deg={} faults={}",
+            if plan.wire { "wire" } else { "struct" },
+            plan.ops.len(),
+            plan.expected,
+            plan.lossy,
+            saw_shutdown,
+            plan.crash_after,
+            n_resp,
+            mtperf_obs::fsio::fnv1a_64(&raw_out),
+            clock::now().as_micros(),
+            degraded,
+            fs_script.injected(),
+        ));
+
+        // Drain/restart (after a shutdown op) and crash/restart cycles:
+        // the artifact on disk must still open — the last-known-good
+        // invariant. Scripted fs faults are cleared first: a restart is a
+        // fresh process whose I/O works.
+        if saw_shutdown || plan.crash_after || plan.touched_fs {
+            if saw_shutdown {
+                shared.draining.store(true, Ordering::SeqCst);
+                shared.queue.close();
+                drain(&shared);
+                if shared.queue.try_push(sim_probe_job()).is_ok() {
+                    report
+                        .violations
+                        .push(format!("s={si}: closed queue accepted work"));
+                }
+            }
+            fs_script.clear();
+            match engine::Engine::open(&model_path) {
+                Ok(fresh) => {
+                    shared = new_shared(fresh, 4);
+                    report.restarts += 1;
+                    report.trace.push(format!(
+                        "s={si} restart ok t_us={}",
+                        clock::now().as_micros()
+                    ));
+                }
+                Err(e) => {
+                    report.violations.push(format!(
+                        "s={si}: LAST KNOWN GOOD LOST — restart open failed: {e}"
+                    ));
+                    report.trace.push(format!("s={si} restart FAILED: {e}"));
+                    // Re-seed the artifact so the rest of the run still
+                    // exercises the stack (the violation is recorded).
+                    let _ = tree.save(&model_path);
+                    if let Ok(fresh) = engine::Engine::open(&model_path) {
+                        shared = new_shared(fresh, 4);
+                    }
+                }
+            }
+            SHUTDOWN.store(false, Ordering::SeqCst);
+        }
+    }
+
+    // Final drain must always exit cleanly.
+    shared.draining.store(true, Ordering::SeqCst);
+    shared.queue.close();
+    drain(&shared);
+    if shared.queue.depth() != 0 {
+        report
+            .violations
+            .push("final drain left queued work".into());
+    }
+    fs_script.clear();
+    if let Err(e) = engine::Engine::open(&model_path) {
+        report
+            .violations
+            .push(format!("final artifact unservable: {e}"));
+    }
+    report.faults_injected = fs_script.injected();
+    report.trace.push(format!(
+        "end t_us={} requests={} responses={} typed_errors={} restarts={} faults={}",
+        clock::now().as_micros(),
+        report.requests,
+        report.responses,
+        report.typed_errors,
+        report.restarts,
+        report.faults_injected,
+    ));
+
+    let _ = std::fs::remove_dir_all(&dir);
+    report
+}
+
+/// A throwaway job used to probe that a closed queue refuses work.
+fn sim_probe_job() -> super::Job {
+    struct NullWriter;
+    impl std::io::Write for NullWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    super::Job {
+        id: Some("probe".into()),
+        rows: mtperf_linalg::Matrix::from_rows(&[&[0.0, 0.0][..]]).expect("static row"),
+        token: mtperf_linalg::CancelToken::new(),
+        writer: Arc::new(Mutex::new(Box::new(NullWriter))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sim_passes_and_replays_bit_identically() {
+        let cfg = SimConfig {
+            seed: 2007,
+            sessions: 40,
+        };
+        let a = run_sim(&cfg);
+        assert!(a.passed(), "violations: {:?}", a.violations);
+        assert!(a.requests > 0 && a.responses > 0);
+        let b = run_sim(&cfg);
+        assert_eq!(a.trace, b.trace, "same seed must replay byte-identically");
+        assert_eq!(a.trace_hash(), b.trace_hash());
+        assert_eq!(a.violations, b.violations);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = run_sim(&SimConfig {
+            seed: 1,
+            sessions: 12,
+        });
+        let b = run_sim(&SimConfig {
+            seed: 2,
+            sessions: 12,
+        });
+        assert!(a.passed(), "{:?}", a.violations);
+        assert!(b.passed(), "{:?}", b.violations);
+        assert_ne!(a.trace_hash(), b.trace_hash());
+    }
+
+    #[test]
+    fn seams_are_restored_after_a_sim() {
+        let _ = run_sim(&SimConfig {
+            seed: 3,
+            sessions: 4,
+        });
+        // Real time flows again.
+        let t0 = clock::now();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(clock::now() > t0, "clock seam not restored");
+        assert!(!SHUTDOWN.load(Ordering::SeqCst));
+    }
+}

@@ -25,6 +25,7 @@
 //! code 69 (`EX_UNAVAILABLE`) so supervisors can tell "cannot start" from
 //! "bad usage".
 
+pub mod dst;
 pub mod engine;
 pub mod protocol;
 pub mod queue;
@@ -391,8 +392,49 @@ fn run_session<R: BufRead>(shared: &Arc<Shared>, mut reader: R, writer: SharedWr
 
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
-        mtperf_obs::gauge("serve.queue_depth", shared.queue.depth() as f64);
-        if job.token.is_cancelled() {
+        answer(shared, job);
+    }
+}
+
+/// Answers one dequeued job: deadline check, engine snapshot, degradation
+/// ladder, response. The body of [`worker_loop`], extracted so the
+/// deterministic-simulation harness ([`dst`]) can drain the queue step by
+/// step on a single logical thread via [`BoundedQueue::try_pop`].
+fn answer(shared: &Arc<Shared>, job: Job) {
+    mtperf_obs::gauge("serve.queue_depth", shared.queue.depth() as f64);
+    if job.token.is_cancelled() {
+        shared.stats.deadline_misses.fetch_add(1, Ordering::Relaxed);
+        mtperf_obs::add("serve.deadline_miss", 1);
+        send(
+            &job.writer,
+            &Response::error(
+                job.id,
+                protocol::E_DEADLINE,
+                "deadline expired while queued",
+            ),
+        );
+        return;
+    }
+    let (model, engine_degraded) = lock_engine(shared).snapshot();
+    match engine::predict(&model, &job.rows, parallel::global(), &job.token) {
+        engine::PredictOutcome::Ok {
+            predictions,
+            degraded: ladder_degraded,
+        } => {
+            let degraded = ladder_degraded || engine_degraded;
+            if degraded {
+                shared
+                    .stats
+                    .degraded_responses
+                    .fetch_add(1, Ordering::Relaxed);
+                mtperf_obs::add("serve.degraded", 1);
+            }
+            send(
+                &job.writer,
+                &Response::predictions(job.id, predictions, degraded),
+            );
+        }
+        engine::PredictOutcome::DeadlineExceeded => {
             shared.stats.deadline_misses.fetch_add(1, Ordering::Relaxed);
             mtperf_obs::add("serve.deadline_miss", 1);
             send(
@@ -400,50 +442,17 @@ fn worker_loop(shared: &Arc<Shared>) {
                 &Response::error(
                     job.id,
                     protocol::E_DEADLINE,
-                    "deadline expired while queued",
+                    "deadline expired during computation",
                 ),
             );
-            continue;
         }
-        let (model, engine_degraded) = lock_engine(shared).snapshot();
-        match engine::predict(&model, &job.rows, parallel::global(), &job.token) {
-            engine::PredictOutcome::Ok {
-                predictions,
-                degraded: ladder_degraded,
-            } => {
-                let degraded = ladder_degraded || engine_degraded;
-                if degraded {
-                    shared
-                        .stats
-                        .degraded_responses
-                        .fetch_add(1, Ordering::Relaxed);
-                    mtperf_obs::add("serve.degraded", 1);
-                }
-                send(
-                    &job.writer,
-                    &Response::predictions(job.id, predictions, degraded),
-                );
-            }
-            engine::PredictOutcome::DeadlineExceeded => {
-                shared.stats.deadline_misses.fetch_add(1, Ordering::Relaxed);
-                mtperf_obs::add("serve.deadline_miss", 1);
-                send(
-                    &job.writer,
-                    &Response::error(
-                        job.id,
-                        protocol::E_DEADLINE,
-                        "deadline expired during computation",
-                    ),
-                );
-            }
-            engine::PredictOutcome::Failed(msg) => {
-                shared.stats.internal_errors.fetch_add(1, Ordering::Relaxed);
-                mtperf_obs::add("serve.internal_errors", 1);
-                send(
-                    &job.writer,
-                    &Response::error(job.id, protocol::E_INTERNAL, msg),
-                );
-            }
+        engine::PredictOutcome::Failed(msg) => {
+            shared.stats.internal_errors.fetch_add(1, Ordering::Relaxed);
+            mtperf_obs::add("serve.internal_errors", 1);
+            send(
+                &job.writer,
+                &Response::error(job.id, protocol::E_INTERNAL, msg),
+            );
         }
     }
 }
@@ -701,6 +710,53 @@ mod tests {
         assert_eq!(out.matches("\"kind\":\"bad_request\"").count(), 8, "{out}");
         // Malformed predicts never reach the queue.
         assert_eq!(shared.queue.depth(), 0);
+    }
+
+    #[test]
+    fn giant_payloads_get_typed_errors_not_resource_exhaustion() {
+        let (shared, _, _) = test_shared("giant", 4);
+
+        // A predict with more rows than MAX_ROWS_PER_REQUEST: refused with
+        // a typed bad_request before any matrix is built or queued.
+        let cap = Capture::default();
+        let mut line = String::from(r#"{"op":"predict","id":"big","rows":["#);
+        for i in 0..=protocol::MAX_ROWS_PER_REQUEST {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str("[1.0,2.0]");
+        }
+        line.push_str("]}");
+        handle_line(&shared, &line, &cap.shared());
+        let out = cap.text();
+        assert!(out.contains("\"kind\":\"bad_request\""), "{out}");
+        assert!(out.contains("\"id\":\"big\""), "{out}");
+        assert_eq!(shared.queue.depth(), 0);
+
+        // A line over MAX_LINE_BYTES arriving over a real session: the
+        // overflow is discarded, a typed error goes back, and the next
+        // request on the same connection still works.
+        let stream = mtperf_detsim::SimStream::new();
+        stream.push_input(&vec![b'z'; protocol::MAX_LINE_BYTES + 1]);
+        stream.push_input(b"\n{\"op\":\"health\",\"id\":\"after\"}\n");
+        // Invalid UTF-8 on the wire: lossy-decoded, answered as a typed
+        // parse error, session continues.
+        stream.push_input(&[0xFF, 0xFE, b'{', b'\n']);
+        stream.close_input();
+        let (reader, writer_half) = stream.split();
+        let writer: SharedWriter = Arc::new(Mutex::new(Box::new(writer_half)));
+        run_session(&shared, io::BufReader::new(reader), writer);
+        let out = String::from_utf8_lossy(&stream.output()).into_owned();
+        assert_eq!(out.lines().count(), 3, "{out}");
+        assert!(
+            out.contains(&format!(
+                "request line exceeds {} bytes",
+                protocol::MAX_LINE_BYTES
+            )),
+            "{out}"
+        );
+        assert!(out.contains("\"id\":\"after\""), "{out}");
+        assert_eq!(out.matches("\"kind\":\"bad_request\"").count(), 2, "{out}");
     }
 
     #[test]

@@ -340,3 +340,143 @@ mod tests {
         assert_eq!(read_bounded_line(&mut r).unwrap(), LineRead::Eof);
     }
 }
+
+/// Property tests: the protocol edge the daemon exposes to arbitrary
+/// clients must never panic, never hang, and never mangle a well-formed
+/// line — under any byte content, any buffering boundary, and any faulty
+/// transport behavior the simulated stream can script.
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use mtperf_detsim::{Fault, SimStream};
+    use proptest::prelude::*;
+    use std::io::BufReader;
+
+    /// Any byte value, including invalid-UTF-8 lead/continuation bytes.
+    fn arb_byte() -> impl Strategy<Value = u8> {
+        #[allow(clippy::cast_possible_truncation)]
+        (0u32..256).prop_map(|b| b as u8)
+    }
+
+    /// Any byte except `\n` (newlines are the line separator under test;
+    /// the vendored proptest has no filter combinator, so remap instead).
+    fn arb_line_byte() -> impl Strategy<Value = u8> {
+        arb_byte().prop_map(|b| if b == b'\n' { b'x' } else { b })
+    }
+
+    /// Lines of arbitrary non-newline bytes (including invalid UTF-8).
+    fn arb_lines() -> impl Strategy<Value = Vec<Vec<u8>>> {
+        prop::collection::vec(prop::collection::vec(arb_line_byte(), 0..160), 0..16)
+    }
+
+    proptest! {
+        /// Arbitrary bytes, arbitrary buffer capacity: the reader always
+        /// terminates (EOF) and never panics. Invalid UTF-8 is replaced,
+        /// not fatal.
+        #[test]
+        fn arbitrary_bytes_terminate_without_panic(
+            data in prop::collection::vec(arb_byte(), 0..2048),
+            cap in 1usize..96,
+        ) {
+            let mut r = BufReader::with_capacity(cap, &data[..]);
+            let mut reads = 0usize;
+            loop {
+                match read_bounded_line(&mut r).unwrap() {
+                    LineRead::Eof => break,
+                    LineRead::Line(_) | LineRead::TooLong => reads += 1,
+                }
+                // Each read consumes at least one byte of input, so the
+                // loop is bounded by the input length (no-hang property).
+                prop_assert!(reads <= data.len() + 1);
+            }
+        }
+
+        /// Splitting the byte stream at any buffer boundary never changes
+        /// what lines come out: reassembly is exact, byte for byte (after
+        /// lossy UTF-8 replacement, which is the documented behavior).
+        #[test]
+        fn split_reads_reassemble_lines_exactly(lines in arb_lines(), cap in 1usize..64) {
+            let mut data = Vec::new();
+            for l in &lines {
+                data.extend_from_slice(l);
+                data.push(b'\n');
+            }
+            let mut r = BufReader::with_capacity(cap, &data[..]);
+            for l in &lines {
+                let want = String::from_utf8_lossy(l).into_owned();
+                match read_bounded_line(&mut r).unwrap() {
+                    LineRead::Line(got) => prop_assert_eq!(got, want),
+                    other => panic!("expected line, got {other:?}"),
+                }
+            }
+            prop_assert_eq!(read_bounded_line(&mut r).unwrap(), LineRead::Eof);
+        }
+
+        /// A transport that delivers the same bytes through scripted
+        /// partial reads and transient interruptions yields the same
+        /// lines: the reader absorbs `ErrorKind::Interrupted` and short
+        /// reads without losing or duplicating data.
+        #[test]
+        fn faulty_transport_reassembles_lines_exactly(
+            lines in arb_lines(),
+            shorts in prop::collection::vec(1usize..9, 0..8),
+            interrupts in 0usize..4,
+        ) {
+            let stream = SimStream::new();
+            for (i, n) in shorts.iter().enumerate() {
+                stream.script_read_fault(Fault::ShortRead(*n));
+                if i < interrupts {
+                    stream.script_read_fault(Fault::InterruptRead);
+                }
+            }
+            for l in &lines {
+                stream.push_input(l);
+                stream.push_input(b"\n");
+            }
+            stream.close_input();
+            let mut r = BufReader::with_capacity(32, stream);
+            for l in &lines {
+                let want = String::from_utf8_lossy(l).into_owned();
+                match read_bounded_line(&mut r).unwrap() {
+                    LineRead::Line(got) => prop_assert_eq!(got, want),
+                    other => panic!("expected line, got {other:?}"),
+                }
+            }
+            prop_assert_eq!(read_bounded_line(&mut r).unwrap(), LineRead::Eof);
+        }
+
+        /// Request parsing accepts or rejects arbitrary text without
+        /// panicking, and a rejection is an `Err` (which the session layer
+        /// turns into a typed `bad_request`), never a crash.
+        #[test]
+        fn arbitrary_text_parses_or_errors_cleanly(
+            bytes in prop::collection::vec(arb_byte(), 0..256),
+        ) {
+            let text = String::from_utf8_lossy(&bytes);
+            let _ = serde_json::from_str::<Request>(&text);
+        }
+
+    }
+
+    proptest! {
+        // Each case scans >8 MiB; a handful of cases is plenty.
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// An oversized line is reported `TooLong` wherever the newline
+        /// falls relative to the cap, and the following line survives
+        /// intact — one poison request cannot take later requests with it.
+        #[test]
+        fn oversized_lines_are_contained(extra in 1usize..64, cap in 512usize..4096) {
+            let mut data = vec![b'y'; MAX_LINE_BYTES + extra];
+            data.push(b'\n');
+            data.extend_from_slice(b"{\"op\":\"health\"}\n");
+            let mut r = BufReader::with_capacity(cap, &data[..]);
+            prop_assert_eq!(read_bounded_line(&mut r).unwrap(), LineRead::TooLong);
+            match read_bounded_line(&mut r).unwrap() {
+                LineRead::Line(got) => prop_assert_eq!(got, "{\"op\":\"health\"}"),
+                other => panic!("expected line, got {other:?}"),
+            }
+            prop_assert_eq!(read_bounded_line(&mut r).unwrap(), LineRead::Eof);
+        }
+    }
+}

@@ -92,6 +92,18 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Pops the next item without blocking; `None` when the queue is
+    /// currently empty (open or closed). The deterministic-simulation
+    /// harness drains the queue with this from a single logical thread,
+    /// where a blocking [`BoundedQueue::pop`] would deadlock.
+    pub fn try_pop(&self) -> Option<T> {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .items
+            .pop_front()
+    }
+
     /// Closes the queue: pushes start failing, already-queued items still
     /// drain, and blocked `pop`s wake to observe the close.
     pub fn close(&self) {
@@ -142,6 +154,16 @@ mod tests {
         // Popping one frees one slot.
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.try_push(3), Ok(2));
+    }
+
+    #[test]
+    fn try_pop_never_blocks() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_pop(), None, "empty open queue");
+        q.try_push(5).unwrap();
+        assert_eq!(q.try_pop(), Some(5));
+        q.close();
+        assert_eq!(q.try_pop(), None, "empty closed queue");
     }
 
     #[test]

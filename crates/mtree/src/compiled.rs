@@ -52,10 +52,10 @@
 //! }
 //! ```
 
+use mtperf_detsim::clock;
 use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::OnceLock;
-use std::time::Instant;
 
 use mtperf_linalg::parallel::{self, try_par_fill, CancelToken, Parallelism};
 use mtperf_linalg::{LinalgError, Matrix};
@@ -604,7 +604,7 @@ impl CompiledTree {
         let mut batch_span = mtperf_obs::span("predict_batch");
         batch_span.annotate_num("rows", n as f64);
         batch_span.annotate_num("blocks", n.div_ceil(ROW_BLOCK) as f64);
-        let t0 = batch_span.is_recording().then(Instant::now);
+        let t0 = batch_span.is_recording().then(clock::now);
         // Blocks are written in place: each worker fills its slice of the
         // output directly, so there is no per-block `Vec` and no final
         // flatten copy over the whole batch.
@@ -624,7 +624,7 @@ impl CompiledTree {
         })
         .map_err(MtreeError::from)?;
         if let Some(t0) = t0 {
-            let secs = t0.elapsed().as_secs_f64();
+            let secs = clock::now().saturating_sub(t0).as_secs_f64();
             if secs > 0.0 {
                 mtperf_obs::gauge("predict.rows_per_sec", n as f64 / secs);
             }
@@ -670,13 +670,15 @@ impl CompiledTree {
         *self.per_row_ns.0.get_or_init(|| {
             let rows = (data.len() / cols).clamp(1, ROW_BLOCK);
             let mut out = vec![0.0f64; rows];
-            let t = Instant::now();
+            let t = clock::now();
             SCRATCH.with(|s| {
                 self.predict_block_into(&data[..rows * cols], cols, &mut out, &mut s.borrow_mut());
             });
             // Floor at 0.1 ns/row: below that the measurement is timer
-            // noise and the cutover division would explode.
-            (t.elapsed().as_nanos() as f64 / rows as f64).max(0.1)
+            // noise and the cutover division would explode. (Under a
+            // virtual clock the elapsed time is zero, so the floor is also
+            // what makes simulated calibration deterministic.)
+            (clock::now().saturating_sub(t).as_nanos() as f64 / rows as f64).max(0.1)
         })
     }
 

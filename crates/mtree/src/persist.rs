@@ -270,7 +270,10 @@ impl ModelTree {
     /// errors of [`ModelTree::from_json`] on malformed content.
     pub fn load(path: impl AsRef<Path>) -> Result<ModelTree, PersistError> {
         let path = path.as_ref();
-        let json = mtperf_obs::fsio::with_retry("model_load", || fs::read_to_string(path))?;
+        let json = mtperf_obs::fsio::with_retry("model_load", || {
+            mtperf_detsim::fs::check(mtperf_detsim::fs::FsOp::Read, path)?;
+            fs::read_to_string(path)
+        })?;
         Self::from_json(&json)
     }
 }
@@ -326,7 +329,10 @@ impl RuleSet {
     /// errors of [`RuleSet::from_json`] on malformed content.
     pub fn load(path: impl AsRef<Path>) -> Result<RuleSet, PersistError> {
         let path = path.as_ref();
-        let json = mtperf_obs::fsio::with_retry("rules_load", || fs::read_to_string(path))?;
+        let json = mtperf_obs::fsio::with_retry("rules_load", || {
+            mtperf_detsim::fs::check(mtperf_detsim::fs::FsOp::Read, path)?;
+            fs::read_to_string(path)
+        })?;
         Self::from_json(&json)
     }
 }

@@ -22,6 +22,9 @@ use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
+use mtperf_detsim::fs::{check, FsOp};
+use mtperf_detsim::{clock, rng};
+
 /// Whether `e` is a transient failure worth retrying: the EINTR/EAGAIN
 /// class (a signal interrupted the syscall, or a non-blocking resource was
 /// momentarily busy).
@@ -32,16 +35,30 @@ pub fn is_transient(e: &io::Error) -> bool {
     )
 }
 
-/// Deterministic bounded backoff schedule: at most four retries, sleeping
-/// 1, 2, 4, then 8 ms. No jitter — retry behavior is reproducible.
+/// Bounded backoff base schedule: at most four retries, with base delays of
+/// 1, 2, 4, then 8 ms. Each attempt adds up to one base-delay of jitter
+/// (see [`backoff_delay`]).
 const BACKOFF_MS: [u64; 4] = [1, 2, 4, 8];
 
+/// The delay before retry number `attempt` (0-based): the base schedule
+/// plus uniform jitter in `[0, base)`, drawn from the global randomness
+/// seam. In production the jitter source is entropy-seeded, decorrelating
+/// concurrent retriers; under a simulator it is a seeded stream, so the
+/// whole schedule replays from one seed.
+fn backoff_delay(attempt: usize) -> Duration {
+    let base_us = BACKOFF_MS[attempt] * 1000;
+    let jitter_us = rng::global_next_u64() % base_us;
+    Duration::from_micros(base_us + jitter_us)
+}
+
 /// Runs `op`, retrying transient failures ([`is_transient`]) up to four
-/// times with the fixed 1/2/4/8 ms backoff schedule. Non-transient errors
-/// and the final transient error propagate unchanged.
+/// times with the jittered 1/2/4/8 ms backoff schedule ([`backoff_delay`]).
+/// Non-transient errors and the final transient error propagate unchanged.
 ///
-/// Every retry increments the global `io.retries` counter (and a per-site
-/// `io.retries.<what>` counter) in the metrics registry.
+/// Sleeps go through the global clock seam, so under a virtual clock the
+/// full schedule completes without wall-clock delay. Every retry increments
+/// the global `io.retries` counter (and a per-site `io.retries.<what>`
+/// counter) in the metrics registry.
 ///
 /// # Errors
 ///
@@ -55,7 +72,7 @@ pub fn with_retry<R>(what: &str, mut op: impl FnMut() -> io::Result<R>) -> io::R
             Err(e) if attempt < BACKOFF_MS.len() && is_transient(&e) => {
                 crate::add("io.retries", 1);
                 crate::add(&format!("io.retries.{what}"), 1);
-                std::thread::sleep(Duration::from_millis(BACKOFF_MS[attempt]));
+                clock::sleep(backoff_delay(attempt));
                 attempt += 1;
             }
             Err(e) => return Err(e),
@@ -114,22 +131,44 @@ fn sync_dir(dir: &Path) -> io::Result<()> {
 ///
 /// Propagates the underlying I/O error after retries; the temp file is
 /// removed on failure.
+/// Every step consults the simulation fault hook ([`mtperf_detsim::fs`])
+/// first — a no-op single atomic load in production — so torn-save and
+/// retry-exhaustion paths are drivable from a seeded script.
 pub fn atomic_write(path: impl AsRef<Path>, contents: &[u8]) -> io::Result<()> {
     let path = path.as_ref();
     let tmp = staging_path(path)?;
     let dir = parent_dir(path);
     let result = with_retry("atomic_write", || {
+        check(FsOp::Write, &tmp)?;
         let mut f = File::create(&tmp)?;
         f.write_all(contents)?;
+        check(FsOp::Sync, &tmp)?;
         f.sync_all()?;
         drop(f);
+        check(FsOp::Rename, path)?;
         fs::rename(&tmp, path)?;
+        check(FsOp::Sync, &dir)?;
         sync_dir(&dir)
     });
     if result.is_err() {
         let _ = fs::remove_file(&tmp);
     }
     result
+}
+
+/// Reads a file through the simulation fault hook: [`fs::read`] with a
+/// [`check`] first, under [`with_retry`]. The seam-aware read path for
+/// model loads and artifact round-trips.
+///
+/// # Errors
+///
+/// Propagates the underlying (or injected) I/O error after retries.
+pub fn read(path: impl AsRef<Path>) -> io::Result<Vec<u8>> {
+    let path = path.as_ref();
+    with_retry("read", || {
+        check(FsOp::Read, path)?;
+        fs::read(path)
+    })
 }
 
 /// 64-bit FNV-1a over `bytes` — the workspace's content-checksum function
@@ -204,6 +243,136 @@ mod tests {
         .unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
         assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    /// Serializes tests that install process-global seams (clock/rng/fs
+    /// overrides), so parallel test threads cannot clobber each other's
+    /// installed hooks.
+    static SEAM_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn seam_guard() -> std::sync::MutexGuard<'static, ()> {
+        SEAM_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// A virtual clock that records only the installing thread's sleeps,
+    /// so parallel tests whose retries also hit the global seam cannot
+    /// perturb the recorded schedule.
+    #[derive(Debug)]
+    struct RecordingClock {
+        owner: std::thread::ThreadId,
+        sleeps: std::sync::Mutex<Vec<Duration>>,
+    }
+
+    impl mtperf_detsim::Clock for RecordingClock {
+        fn now(&self) -> Duration {
+            self.sleeps.lock().unwrap().iter().sum()
+        }
+
+        fn sleep(&self, d: Duration) {
+            if std::thread::current().id() == self.owner {
+                self.sleeps.lock().unwrap().push(d);
+            }
+        }
+    }
+
+    #[test]
+    fn retry_schedule_runs_under_virtual_time_with_bounded_jitter() {
+        use std::sync::Arc;
+        let _seams = seam_guard();
+        let clock = Arc::new(RecordingClock {
+            owner: std::thread::current().id(),
+            sleeps: std::sync::Mutex::new(Vec::new()),
+        });
+        mtperf_detsim::clock::install(clock.clone());
+        mtperf_detsim::rng::install(Arc::new(mtperf_detsim::SimRng::seed_from_u64(99)));
+        let wall = std::time::Instant::now();
+        let calls = AtomicUsize::new(0);
+        let err = with_retry("vtime", || -> io::Result<()> {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(io::Error::new(io::ErrorKind::TimedOut, "busy"))
+        })
+        .unwrap_err();
+        mtperf_detsim::clock::uninstall();
+        mtperf_detsim::rng::uninstall();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert_eq!(calls.load(Ordering::SeqCst), 1 + 4);
+        // The full 4-step ladder ran without wall-clock sleeping.
+        assert!(
+            wall.elapsed() < Duration::from_millis(500),
+            "took {:?} of real time",
+            wall.elapsed()
+        );
+        let sleeps = clock.sleeps.lock().unwrap().clone();
+        assert_eq!(sleeps.len(), 4);
+        for (i, (&base_ms, &slept)) in BACKOFF_MS.iter().zip(&sleeps).enumerate() {
+            let base = Duration::from_millis(base_ms);
+            assert!(
+                slept >= base && slept < base * 2,
+                "retry {i}: slept {slept:?}, base {base:?} (jitter must be in [0, base))"
+            );
+        }
+    }
+
+    #[test]
+    fn atomic_write_respects_injected_faults() {
+        let _seams = seam_guard();
+        let dir = std::env::temp_dir().join("mtperf-fsio-fault-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("faulted.txt");
+        atomic_write(&path, b"before").unwrap();
+
+        let script = std::sync::Arc::new(mtperf_detsim::FaultScript::new());
+        // Permanent failure on the rename (commit) step: the write must
+        // fail, the destination must keep the old content, and the staging
+        // file must be cleaned up — the torn-save contract.
+        script.fail_always(
+            Some(mtperf_detsim::FsOp::Rename),
+            "faulted.txt",
+            io::ErrorKind::PermissionDenied,
+        );
+        mtperf_detsim::fs::install(script.clone());
+        let err = atomic_write(&path, b"after").unwrap_err();
+        mtperf_detsim::fs::uninstall();
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+        assert_eq!(fs::read(&path).unwrap(), b"before", "destination intact");
+        assert!(!staging_path(&path).unwrap().exists(), "staging cleaned up");
+
+        // Transient faults on the write step are absorbed by the retry
+        // ladder and the write still lands.
+        script.clear();
+        script.fail_times(
+            Some(mtperf_detsim::FsOp::Write),
+            "faulted.txt",
+            io::ErrorKind::Interrupted,
+            2,
+        );
+        mtperf_detsim::fs::install(script.clone());
+        atomic_write(&path, b"after").unwrap();
+        mtperf_detsim::fs::uninstall();
+        assert_eq!(fs::read(&path).unwrap(), b"after");
+        assert_eq!(script.injected(), 3);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn seam_read_round_trips_and_faults() {
+        let _seams = seam_guard();
+        let dir = std::env::temp_dir().join("mtperf-fsio-read-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.txt");
+        atomic_write(&path, b"payload").unwrap();
+        assert_eq!(read(&path).unwrap(), b"payload");
+        let script = std::sync::Arc::new(mtperf_detsim::FaultScript::new());
+        script.fail_always(
+            Some(mtperf_detsim::FsOp::Read),
+            "data.txt",
+            io::ErrorKind::NotFound,
+        );
+        mtperf_detsim::fs::install(script);
+        let err = read(&path).unwrap_err();
+        mtperf_detsim::fs::uninstall();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

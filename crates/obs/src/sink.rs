@@ -1,13 +1,14 @@
 //! Global recorder state: configuration, the JSONL sink, and the in-memory
 //! aggregates behind the end-of-run [`Report`].
 
+use mtperf_detsim::clock;
 use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{self, BufWriter, Write as _};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::Duration;
 
 use crate::json;
 use crate::report::{MetricsFormat, Report, SpanStat};
@@ -57,7 +58,9 @@ const ENABLED: u8 = 2;
 
 /// Everything the recorder accumulates while enabled.
 struct Recorder {
-    epoch: Instant,
+    /// Clock-seam timestamp (duration since the global clock's epoch) at
+    /// recorder init; span start/wall times are measured against it.
+    epoch: Duration,
     config: ObsConfig,
     jsonl: Option<BufWriter<File>>,
     /// Staging path the JSONL stream writes to; renamed over
@@ -143,7 +146,7 @@ pub fn init(config: ObsConfig) -> io::Result<()> {
         let _ = writeln!(w, "{{\"ev\":\"run_start\",\"schema\":\"mtperf-trace-v1\"}}");
     }
     *guard = Some(Recorder {
-        epoch: Instant::now(),
+        epoch: clock::now(),
         config,
         jsonl,
         jsonl_tmp,
@@ -181,10 +184,10 @@ pub fn gauge(name: &str, value: f64) {
 /// Records one closed span: appends its JSONL event and folds it into the
 /// per-path aggregates. Called from [`crate::Span`]'s `Drop`.
 pub(crate) fn record_span(span: SpanInner) {
-    let dur_us = span.start.elapsed().as_micros() as u64;
+    let dur_us = clock::now().saturating_sub(span.start).as_micros() as u64;
     let mut guard = lock();
     let Some(rec) = guard.as_mut() else { return };
-    let start_us = span.start.saturating_duration_since(rec.epoch).as_micros() as u64;
+    let start_us = span.start.saturating_sub(rec.epoch).as_micros() as u64;
     rec.seq += 1;
     let seq = rec.seq;
 
@@ -268,7 +271,7 @@ pub fn finish() -> Option<Report> {
         STATE.store(DISABLED, Ordering::Relaxed);
         guard.take()?
     };
-    let wall_us = rec.epoch.elapsed().as_micros() as u64;
+    let wall_us = clock::now().saturating_sub(rec.epoch).as_micros() as u64;
 
     // Final registry events, then the run_end marker.
     if rec.jsonl.is_some() {

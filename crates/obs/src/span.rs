@@ -1,8 +1,8 @@
 //! Hierarchical span guards and cross-thread context propagation.
 
+use mtperf_detsim::clock;
 use std::cell::RefCell;
 use std::sync::Arc;
-use std::time::Instant;
 
 use crate::sink;
 
@@ -100,7 +100,7 @@ pub(crate) struct SpanInner {
     pub(crate) name: &'static str,
     pub(crate) path: Arc<str>,
     pub(crate) agg_path: Arc<str>,
-    pub(crate) start: Instant,
+    pub(crate) start: std::time::Duration,
     pub(crate) counters: Vec<(&'static str, u64)>,
     pub(crate) nums: Vec<(&'static str, f64)>,
     pub(crate) texts: Vec<(&'static str, String)>,
@@ -145,7 +145,7 @@ fn open(name: &'static str, index: Option<usize>) -> Span {
         name,
         path,
         agg_path,
-        start: Instant::now(),
+        start: clock::now(),
         counters: Vec::new(),
         nums: Vec::new(),
         texts: Vec::new(),
