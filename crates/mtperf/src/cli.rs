@@ -114,24 +114,32 @@ COMMANDS
              Batch-predict CPI for every section of a counter CSV through
              the compiled tree (bit-identical to per-row prediction) and
              emit workload, section, measured and predicted CPI.
-  serve      --model <model.json> [--socket <path>] [--stdio] [--workers N]
-             [--queue-depth N] [--deadline-ms N]
-             Long-running prediction daemon speaking newline-delimited JSON
-             (schema mtperf-serve-v1) over stdin/stdout and/or a Unix
-             socket: ops predict, health/ready, reload, save, shutdown.
-             Bounded queue with explicit `overloaded` backpressure,
-             per-request deadlines, degraded fallback on poisoned reloads,
-             atomic (kill-safe) model saves, SIGTERM drain-then-exit.
-             --socket alone disables the stdio session; add --stdio to
-             serve both transports.
+  serve      --model <model.json> [--socket <path>] [--tcp <addr>] [--stdio]
+             [--registry <manifest.json>] [--workers N] [--queue-depth N]
+             [--tenant-quota N] [--cache-size N] [--deadline-ms N]
+             Long-running multi-tenant prediction daemon speaking
+             newline-delimited JSON (schema mtperf-serve-v2, a strict
+             superset of v1) over stdin/stdout, a Unix socket, and/or a
+             TCP listener: ops predict, health/ready, reload, load,
+             promote, rollback, list, save, shutdown. Named model registry
+             (many models x versions, last-known-good on poisoned
+             promote, optional manifest persistence via --registry),
+             per-tenant admission quotas with fair round-robin dispatch,
+             prediction cache for repeated sections, per-request
+             deadlines, degraded fallback, atomic (kill-safe) saves,
+             SIGTERM drain-then-exit. --socket/--tcp alone disable the
+             stdio session; add --stdio to serve it alongside.
   dst        [--seed N] [--seeds N] [--sessions N] [--trace-dir <dir>]
              Deterministic simulation of the serving stack: drives randomized
-             client sessions (faulty transports, poisoned reloads, deadline
-             races, overload, crash/restart) under seeded virtual time and
-             checks the serving invariants. One seed fully determines a run;
-             a failing seed replays bit-identically with --seed <N> (or
-             MTPERF_SIM_SEED). --seeds sweeps N consecutive seeds;
-             --trace-dir writes one replay trace file per seed.
+             client sessions (faulty transports, interleaved multi-connection
+             accept loops, registry promote/rollback races, poisoned reloads,
+             deadline races, per-tenant overload, cache-consistency probes,
+             crash/restart) under seeded virtual time and checks the serving
+             invariants. One seed fully determines a run; a failing seed
+             replays bit-identically with --seed <N> (or MTPERF_SIM_SEED).
+             --seeds sweeps N consecutive seeds, aggregates coverage across
+             the sweep, and fails if the aggregate misses its coverage
+             floors; --trace-dir writes one replay trace file per seed.
 
 GLOBAL OPTIONS
   --threads <auto|off|N>
@@ -435,6 +443,54 @@ pub fn cmd_predict(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliE
     Ok(())
 }
 
+/// Coverage a multi-seed sweep must reach in aggregate. A single seed may
+/// legitimately roll few of some scenario; a sweep that *never* exercises
+/// a surface is a silently weakened harness, so the sweep — not each seed
+/// — owns the floor. Single-seed runs (replays of a failing seed) are
+/// exempt.
+struct SweepCoverage {
+    requests: u64,
+    responses: u64,
+    typed_errors: u64,
+    restarts: u64,
+    faults: u64,
+    multi_conn_sessions: u64,
+    registry_ops: u64,
+    cache_lookups: u64,
+}
+
+impl SweepCoverage {
+    fn absorb(&mut self, r: &crate::serve::dst::SimReport) {
+        self.requests += r.requests;
+        self.responses += r.responses;
+        self.typed_errors += r.typed_errors;
+        self.restarts += r.restarts;
+        self.faults += r.faults_injected;
+        self.multi_conn_sessions += r.multi_conn_sessions;
+        self.registry_ops += r.registry_ops;
+        self.cache_lookups += r.cache_hits + r.cache_misses;
+    }
+
+    /// Floors every aggregate must clear; returns the list of misses.
+    fn misses(&self) -> Vec<String> {
+        let floors: [(&str, u64, u64); 8] = [
+            ("requests", self.requests, 1),
+            ("responses", self.responses, 1),
+            ("typed_errors", self.typed_errors, 1),
+            ("restarts", self.restarts, 1),
+            ("fs_faults", self.faults, 1),
+            ("multi_conn_sessions", self.multi_conn_sessions, 1),
+            ("registry_ops", self.registry_ops, 1),
+            ("cache_lookups", self.cache_lookups, 1),
+        ];
+        floors
+            .iter()
+            .filter(|(_, got, floor)| got < floor)
+            .map(|(name, got, floor)| format!("{name}={got} (floor {floor})"))
+            .collect()
+    }
+}
+
 /// `mtperf dst`: deterministic simulation sweep of the serving stack.
 ///
 /// Runs `--seeds` consecutive seeds starting at `--seed` (default: the
@@ -444,10 +500,17 @@ pub fn cmd_predict(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliE
 /// file per seed. The first failing seed stops the sweep; replay it with
 /// `mtperf dst --seed <N> --sessions <N>`.
 ///
+/// A multi-seed sweep additionally aggregates coverage counters across
+/// all seeds and fails when the aggregate misses a floor — every surface
+/// the harness exists to exercise (typed errors, restarts, injected
+/// faults, multi-connection sessions, registry ops, cache lookups) must
+/// actually have been hit somewhere in the sweep.
+///
 /// # Errors
 ///
 /// [`CliError::Usage`] for bad options, [`CliError::Other`] when a seed
-/// violates an invariant (the seed and violations are printed first).
+/// violates an invariant (the seed and violations are printed first) or
+/// when the sweep's aggregate coverage misses a floor.
 pub fn cmd_dst(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
     let base_seed: u64 = match args.options.get("seed") {
         Some(v) => v
@@ -472,17 +535,34 @@ pub fn cmd_dst(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError
         std::fs::create_dir_all(dir)
             .map_err(|e| CliError::Io(format!("{}: {e}", dir.display())))?;
     }
+    let mut coverage = SweepCoverage {
+        requests: 0,
+        responses: 0,
+        typed_errors: 0,
+        restarts: 0,
+        faults: 0,
+        multi_conn_sessions: 0,
+        registry_ops: 0,
+        cache_lookups: 0,
+    };
     for seed in base_seed..base_seed.saturating_add(seeds) {
         let report = crate::serve::dst::run_sim(&crate::serve::dst::SimConfig { seed, sessions });
+        coverage.absorb(&report);
         writeln!(
             out,
             "dst seed={seed} sessions={sessions} requests={} responses={} typed_errors={} \
-             restarts={} fs_faults={} trace_hash={:016x} verdict={}",
+             restarts={} fs_faults={} multi_conn={} registry_ops={} cache_hits={} \
+             cache_misses={} quota_refusals={} trace_hash={:016x} verdict={}",
             report.requests,
             report.responses,
             report.typed_errors,
             report.restarts,
             report.faults_injected,
+            report.multi_conn_sessions,
+            report.registry_ops,
+            report.cache_hits,
+            report.cache_misses,
+            report.quota_refusals,
             report.trace_hash(),
             if report.passed() { "pass" } else { "FAIL" },
         )?;
@@ -503,6 +583,31 @@ pub fn cmd_dst(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError
             return Err(CliError::Other(format!(
                 "dst: seed {seed} violated {} invariant(s)",
                 report.violations.len()
+            )));
+        }
+    }
+    if seeds > 1 {
+        writeln!(
+            out,
+            "dst sweep seeds={seeds} requests={} responses={} typed_errors={} restarts={} \
+             fs_faults={} multi_conn={} registry_ops={} cache_lookups={}",
+            coverage.requests,
+            coverage.responses,
+            coverage.typed_errors,
+            coverage.restarts,
+            coverage.faults,
+            coverage.multi_conn_sessions,
+            coverage.registry_ops,
+            coverage.cache_lookups,
+        )?;
+        let misses = coverage.misses();
+        if !misses.is_empty() {
+            for m in &misses {
+                writeln!(out, "dst sweep coverage floor missed: {m}")?;
+            }
+            return Err(CliError::Other(format!(
+                "dst: sweep of {seeds} seeds missed {} aggregate coverage floor(s)",
+                misses.len()
             )));
         }
     }

@@ -1,5 +1,5 @@
-//! Model lifecycle for the serving daemon: validated loads, hot reload
-//! with last-known-good fallback, and the per-request degradation ladder.
+//! The engine layer: validated loads and the per-request degradation
+//! ladder.
 //!
 //! # Validated loads
 //!
@@ -7,15 +7,11 @@
 //! persistence layer already verifies the envelope checksum), compile, and
 //! **smoke-predict** — score one all-zero row through the compiled tree and
 //! require bit-identical agreement with the interpreted walk plus a finite
-//! result. A file that fails any step never reaches the hot path.
-//!
-//! # Hot reload keeps the last known good
-//!
-//! [`Engine::reload`] swaps the served model only after validation
-//! succeeds. On failure the previous model keeps serving and the engine is
-//! marked *degraded*: probes and predict responses carry `degraded: true`
-//! until a subsequent reload succeeds. A poisoned model file therefore
-//! degrades service quality metadata, never availability.
+//! result. A file that fails any step never reaches the hot path. Model
+//! *lifecycle* — which versions are resident, which is active, hot reload
+//! and promote with last-known-good fallback — lives one layer up, in
+//! [`super::registry`]; every path into that layer funnels through
+//! [`load_and_validate`].
 //!
 //! # Per-request degradation ladder
 //!
@@ -31,8 +27,7 @@
 //! reports [`PredictOutcome::DeadlineExceeded`] immediately.
 
 use std::panic::{self, AssertUnwindSafe};
-use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::path::Path;
 
 use mtperf_linalg::{CancelToken, Matrix, Parallelism};
 use mtperf_mtree::{CompiledTree, ModelTree, MtreeError};
@@ -77,95 +72,6 @@ pub fn load_and_validate(path: &Path) -> Result<LoadedModel, String> {
         return Err(format!("smoke prediction is non-finite ({})", got[0]));
     }
     Ok(LoadedModel { tree, compiled })
-}
-
-/// The daemon's model slot: current model, reload, snapshot, save.
-pub struct Engine {
-    model_path: PathBuf,
-    current: Arc<LoadedModel>,
-    degraded: bool,
-    last_error: Option<String>,
-}
-
-impl Engine {
-    /// Loads the initial model; failure here means the daemon cannot start
-    /// (`EX_UNAVAILABLE` at the CLI layer).
-    ///
-    /// # Errors
-    ///
-    /// Every [`load_and_validate`] failure.
-    pub fn open(path: &Path) -> Result<Engine, String> {
-        let model = load_and_validate(path)?;
-        Ok(Engine {
-            model_path: path.to_path_buf(),
-            current: Arc::new(model),
-            degraded: false,
-            last_error: None,
-        })
-    }
-
-    /// Hot-reloads from `path` (default: the path the engine opened with).
-    /// On success the new model is swapped in and the degraded flag
-    /// clears; on failure the previous model keeps serving and the engine
-    /// reports degraded until a later reload succeeds.
-    ///
-    /// # Errors
-    ///
-    /// The validation failure, verbatim.
-    pub fn reload(&mut self, path: Option<&Path>) -> Result<(), String> {
-        let target = path.unwrap_or(&self.model_path).to_path_buf();
-        match load_and_validate(&target) {
-            Ok(model) => {
-                self.current = Arc::new(model);
-                self.model_path = target;
-                self.degraded = false;
-                self.last_error = None;
-                Ok(())
-            }
-            Err(e) => {
-                self.degraded = true;
-                self.last_error = Some(e.clone());
-                Err(e)
-            }
-        }
-    }
-
-    /// Atomically persists the served model to `path` (default: the
-    /// engine's model path). Safe against `kill -9` at any instant: the
-    /// destination holds either the old or the new bytes, never a mix.
-    ///
-    /// # Errors
-    ///
-    /// Persistence failures from [`ModelTree::save`], rendered.
-    pub fn save(&self, path: Option<&Path>) -> Result<PathBuf, String> {
-        let target = path.unwrap_or(&self.model_path).to_path_buf();
-        self.current
-            .tree
-            .save(&target)
-            .map_err(|e| format!("{}: {e}", target.display()))?;
-        Ok(target)
-    }
-
-    /// The served model and whether the engine is degraded, as one
-    /// consistent pair.
-    pub fn snapshot(&self) -> (Arc<LoadedModel>, bool) {
-        (Arc::clone(&self.current), self.degraded)
-    }
-
-    /// Path reloads and saves default to.
-    pub fn model_path(&self) -> &Path {
-        &self.model_path
-    }
-
-    /// Whether the last reload failed (serving from last known good).
-    pub fn degraded(&self) -> bool {
-        self.degraded
-    }
-
-    /// The failure that degraded the engine, if any.
-    pub fn last_error(&self) -> Option<&str> {
-        self.last_error.as_deref()
-    }
 }
 
 /// Outcome of one prediction request after the degradation ladder.
@@ -238,6 +144,7 @@ pub fn predict(
 mod tests {
     use super::*;
     use mtperf_mtree::{Dataset, M5Params};
+    use std::path::PathBuf;
     use std::time::Duration;
 
     fn tiny_dataset(n_attrs: usize) -> Dataset {
@@ -277,12 +184,9 @@ mod tests {
     }
 
     #[test]
-    fn open_validates_and_serves() {
+    fn load_and_validate_serves_bit_identical() {
         let (path, tree) = temp_model("open-ok.json", 3);
-        let eng = Engine::open(&path).unwrap();
-        assert!(!eng.degraded());
-        let (model, degraded) = eng.snapshot();
-        assert!(!degraded);
+        let model = load_and_validate(&path).unwrap();
         assert_eq!(model.n_attrs(), 3);
         let row = [1.0, 2.0, 3.0];
         let rows = Matrix::from_rows(&[&row]).unwrap();
@@ -299,61 +203,25 @@ mod tests {
     }
 
     #[test]
-    fn open_missing_or_corrupt_file_fails() {
-        let err = Engine::open(Path::new("/nonexistent/model.json"))
+    fn missing_or_corrupt_file_fails_validation() {
+        let err = load_and_validate(Path::new("/nonexistent/model.json"))
             .err()
-            .expect("open of a missing file must fail");
+            .expect("validated load of a missing file must fail");
         assert!(err.contains("model.json"), "{err}");
 
         let dir = std::env::temp_dir().join("mtperf-serve-engine-tests");
         std::fs::create_dir_all(&dir).unwrap();
         let bad = dir.join("garbage.json");
         std::fs::write(&bad, "{ not a model }").unwrap();
-        assert!(Engine::open(&bad).is_err());
-    }
+        assert!(load_and_validate(&bad).is_err());
 
-    #[test]
-    fn poisoned_reload_keeps_last_known_good() {
-        let (path, tree) = temp_model("reload.json", 2);
-        let mut eng = Engine::open(&path).unwrap();
-
-        // Poison the model file in place: reload must fail, but the engine
-        // keeps serving the previous model, marked degraded.
-        std::fs::write(&path, "definitely not json").unwrap();
-        let err = eng.reload(None).unwrap_err();
-        assert!(!err.is_empty());
-        assert!(eng.degraded());
-        assert_eq!(eng.last_error(), Some(err.as_str()));
-        let (model, degraded) = eng.snapshot();
-        assert!(degraded);
-        let row = [4.0, 1.0];
-        let rows = Matrix::from_rows(&[&row]).unwrap();
-        match predict(&model, &rows, Parallelism::Off, &CancelToken::new()) {
-            PredictOutcome::Ok { predictions, .. } => {
-                assert_eq!(predictions[0].to_bits(), tree.predict(&row).to_bits());
-            }
-            other => panic!("unexpected outcome {other:?}"),
-        }
-
-        // A good file heals the engine.
-        tree.save(&path).unwrap();
-        eng.reload(None).unwrap();
-        assert!(!eng.degraded());
-        assert!(eng.last_error().is_none());
-    }
-
-    #[test]
-    fn save_roundtrips_atomically() {
+        // A validated model saves atomically: no staging files survive.
         let (path, tree) = temp_model("save-src.json", 2);
-        let eng = Engine::open(&path).unwrap();
-        let dir = path.parent().unwrap();
+        let model = load_and_validate(&path).unwrap();
         let copy = dir.join("save-copy.json");
-        let saved = eng.save(Some(&copy)).unwrap();
-        assert_eq!(saved, copy);
-        let reloaded = ModelTree::load(&copy).unwrap();
-        assert_eq!(reloaded.to_json(), tree.to_json());
-        // No staging files survive an atomic save.
-        let leftovers: Vec<_> = std::fs::read_dir(dir)
+        model.tree.save(&copy).unwrap();
+        assert_eq!(ModelTree::load(&copy).unwrap().to_json(), tree.to_json());
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
             .unwrap()
             .filter_map(|e| e.ok())
             .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
@@ -364,8 +232,7 @@ mod tests {
     #[test]
     fn expired_deadline_reports_deadline_not_a_hang() {
         let (path, _) = temp_model("deadline.json", 2);
-        let eng = Engine::open(&path).unwrap();
-        let (model, _) = eng.snapshot();
+        let model = load_and_validate(&path).unwrap();
         let rows = Matrix::from_rows(&[&[1.0, 2.0][..]]).unwrap();
         let token = CancelToken::with_deadline(Duration::ZERO);
         assert_eq!(

@@ -1,21 +1,39 @@
-//! `mtperf serve` — a resilient long-running prediction daemon.
+//! `mtperf serve` — a resilient multi-tenant prediction daemon.
 //!
 //! Speaks the newline-delimited JSON protocol of [`protocol`]
-//! (`mtperf-serve-v1`) over stdin/stdout and, with `--socket <path>`, a
-//! Unix domain socket. Robustness properties, each pinned by tests:
+//! (`mtperf-serve-v2`, a strict superset of v1) over stdin/stdout and,
+//! with `--socket <path>` / `--tcp <addr>`, Unix-domain and TCP
+//! listeners. The daemon is layered:
+//!
+//! * [`transport`] — owns connections: the stdio session, the Unix and
+//!   TCP accept loops, one framing buffer and one shared writer per
+//!   connection, so responses always return on the issuing connection.
+//! * [`router`] — parses and validates each line, resolves the target
+//!   model through the registry, consults the prediction cache, and
+//!   admits work through the fair queue.
+//! * [`registry`] — many named models × validated versions with
+//!   `load`/`promote`/`rollback`/`list`, last-known-good semantics, and
+//!   a crash-safe manifest (`--registry <path>`).
+//! * [`engine`] — validated loads and the per-request degradation ladder
+//!   (compiled → interpreted → typed failure).
+//!
+//! Robustness properties, each pinned by tests:
 //!
 //! * **Bounded queue, explicit backpressure** — parsing threads never
-//!   block on a full queue; the client hears `overloaded` immediately and
-//!   decides itself whether to retry.
+//!   block on a full queue; the client hears `overloaded` immediately.
+//!   Admission is per tenant ([`admission`]): one model's backlog cannot
+//!   starve another's, and quota refusals are typed and counted.
 //! * **Per-request deadlines** — `deadline_ms` arms a cooperative
-//!   [`CancelToken`] consulted while queued and between row blocks inside
-//!   the compiled batch path, so an expensive request returns
-//!   `deadline_exceeded` instead of hanging a worker.
-//! * **Graceful degradation** — a poisoned hot reload keeps the
-//!   last-known-good model serving; a compiled-path failure falls back to
-//!   the interpreted walk. Both mark responses `degraded: true`
-//!   (see [`engine`]).
-//! * **Crash-safe persistence** — `save` snapshots the served model
+//!   [`CancelToken`] consulted while queued and between row blocks, so an
+//!   expensive request returns `deadline_exceeded` instead of hanging a
+//!   worker.
+//! * **Graceful degradation** — a poisoned hot reload or promote keeps
+//!   the last-known-good version serving; a compiled-path failure falls
+//!   back to the interpreted walk. Both mark responses `degraded: true`.
+//! * **Prediction cache** — repeated small batches answer from a
+//!   FNV-1a-keyed memo ([`cache`]), bit-identical to a fresh predict,
+//!   with hit/miss counters in `health`.
+//! * **Crash-safe persistence** — `save` and the registry manifest go
 //!   through the atomic temp-file/fsync/rename protocol, so `kill -9` at
 //!   any instant leaves the previous file intact.
 //! * **Drain-then-exit** — SIGTERM, a `shutdown` request, or EOF on the
@@ -25,12 +43,17 @@
 //! code 69 (`EX_UNAVAILABLE`) so supervisors can tell "cannot start" from
 //! "bad usage".
 
+pub mod admission;
+pub mod cache;
 pub mod dst;
 pub mod engine;
 pub mod protocol;
 pub mod queue;
+pub mod registry;
+pub mod router;
+pub mod transport;
 
-use std::io::{self, BufRead, Write};
+use std::io::Write;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -41,8 +64,11 @@ use mtperf_linalg::{parallel, CancelToken, Matrix};
 
 use crate::cli::Args;
 use crate::errors::CliError;
-use protocol::{LineRead, Request, Response};
-use queue::{BoundedQueue, PushError};
+use admission::FairQueue;
+use cache::PredictionCache;
+use engine::LoadedModel;
+use protocol::Response;
+use registry::Registry;
 
 /// Drain requested (SIGTERM from the binary's handler, a `shutdown`
 /// request, or EOF on the primary transport). The main loop polls this.
@@ -50,22 +76,32 @@ pub static SHUTDOWN: AtomicBool = AtomicBool::new(false);
 
 const DEFAULT_WORKERS: usize = 2;
 const DEFAULT_QUEUE_DEPTH: usize = 64;
-const POLL_MS: u64 = 25;
+const DEFAULT_CACHE_SIZE: usize = 256;
+pub(crate) const POLL_MS: u64 = 25;
 
 /// Parsed configuration of one `mtperf serve` run.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Model file to serve (reload/save default target).
+    /// Model file served as the default model (reload/save default target).
     pub model: PathBuf,
     /// Unix-domain socket to listen on, if any.
     pub socket: Option<PathBuf>,
+    /// TCP address (`host:port`) to listen on, if any.
+    pub tcp: Option<String>,
     /// Whether to run a session over stdin/stdout (default unless
-    /// `--socket` is given without `--stdio`).
+    /// `--socket`/`--tcp` is given without `--stdio`).
     pub stdio: bool,
+    /// Registry manifest path for crash-safe multi-model persistence.
+    pub registry: Option<PathBuf>,
     /// Prediction worker threads.
     pub workers: usize,
     /// Bounded queue capacity (backpressure threshold).
     pub queue_depth: usize,
+    /// Per-tenant queue quota (admission threshold; default: the full
+    /// queue depth, i.e. no per-tenant bound below the global one).
+    pub tenant_quota: usize,
+    /// Prediction cache capacity in entries (0 disables the cache).
+    pub cache_size: usize,
     /// Default per-request deadline applied when a request carries none.
     pub default_deadline_ms: Option<u64>,
 }
@@ -80,6 +116,8 @@ impl ServeConfig {
     pub fn from_args(args: &Args) -> Result<ServeConfig, CliError> {
         let model = PathBuf::from(args.require("model")?);
         let socket = args.options.get("socket").map(PathBuf::from);
+        let tcp = args.options.get("tcp").cloned();
+        let registry = args.options.get("registry").map(PathBuf::from);
         let workers: usize = args.numeric("workers", DEFAULT_WORKERS)?;
         if workers == 0 {
             return Err(CliError::Usage(
@@ -92,315 +130,111 @@ impl ServeConfig {
                 "option --queue-depth must be at least 1".to_string(),
             ));
         }
+        let tenant_quota: usize = args.numeric("tenant-quota", queue_depth)?;
+        if tenant_quota == 0 {
+            return Err(CliError::Usage(
+                "option --tenant-quota must be at least 1".to_string(),
+            ));
+        }
+        let cache_size: usize = args.numeric("cache-size", DEFAULT_CACHE_SIZE)?;
         let default_deadline_ms = match args.options.get("deadline-ms") {
             None => None,
             Some(v) => Some(v.parse::<u64>().map_err(|_| {
                 CliError::Usage(format!("option --deadline-ms has invalid value {v:?}"))
             })?),
         };
-        let stdio = socket.is_none() || args.flag("stdio");
+        let stdio = (socket.is_none() && tcp.is_none()) || args.flag("stdio");
         Ok(ServeConfig {
             model,
             socket,
+            tcp,
             stdio,
+            registry,
             workers,
             queue_depth,
+            tenant_quota,
+            cache_size,
             default_deadline_ms,
         })
     }
 }
 
 /// A connection's shared, lock-guarded response writer. Workers and the
-/// session's own parse loop interleave complete lines through it.
-type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
+/// connection's own parse loop interleave complete lines through it.
+pub(crate) type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
 
 #[derive(Default)]
-struct Stats {
-    requests: AtomicU64,
-    overloaded: AtomicU64,
-    deadline_misses: AtomicU64,
-    degraded_responses: AtomicU64,
-    reloads: AtomicU64,
-    internal_errors: AtomicU64,
+pub(crate) struct Stats {
+    pub(crate) requests: AtomicU64,
+    pub(crate) overloaded: AtomicU64,
+    pub(crate) deadline_misses: AtomicU64,
+    pub(crate) degraded_responses: AtomicU64,
+    pub(crate) reloads: AtomicU64,
+    pub(crate) internal_errors: AtomicU64,
+    pub(crate) cache_hits: AtomicU64,
+    pub(crate) cache_misses: AtomicU64,
+    pub(crate) quota_refusals: AtomicU64,
 }
 
-/// One queued prediction.
-struct Job {
-    id: Option<String>,
-    rows: Matrix,
-    token: CancelToken,
-    writer: SharedWriter,
+/// One queued prediction. The model is resolved at admission time, so a
+/// promote that lands while the job is queued does not change what this
+/// job scores with — the response matches what the client was admitted
+/// against, and workers never need the registry lock.
+pub(crate) struct Job {
+    pub(crate) id: Option<String>,
+    /// Admission lane and cache-key component (the model name).
+    pub(crate) tenant: String,
+    /// Resolved version id (cache-key component).
+    pub(crate) version: String,
+    pub(crate) model: Arc<LoadedModel>,
+    /// Whether the owning registry entry was degraded at admission.
+    pub(crate) model_degraded: bool,
+    /// Original row values, kept only for cacheable (small) batches so
+    /// the worker can memoize the fresh result.
+    pub(crate) raw_rows: Option<Vec<Vec<f64>>>,
+    pub(crate) rows: Matrix,
+    pub(crate) token: CancelToken,
+    pub(crate) writer: SharedWriter,
 }
 
 /// State shared by every session, worker, and the drain loop.
-struct Shared {
-    engine: Mutex<engine::Engine>,
-    queue: BoundedQueue<Job>,
-    stats: Stats,
-    draining: AtomicBool,
-    workers: usize,
-    default_deadline_ms: Option<u64>,
+pub(crate) struct Shared {
+    pub(crate) registry: Mutex<Registry>,
+    pub(crate) queue: FairQueue<Job>,
+    pub(crate) cache: Mutex<PredictionCache>,
+    pub(crate) stats: Stats,
+    pub(crate) draining: AtomicBool,
+    pub(crate) workers: usize,
+    pub(crate) default_deadline_ms: Option<u64>,
 }
 
-fn send(writer: &SharedWriter, resp: &Response) {
+pub(crate) fn send(writer: &SharedWriter, resp: &Response) {
     let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
     // A vanished peer is not a daemon error; the session just winds down.
     let _ = w.write_all(resp.to_line().as_bytes());
     let _ = w.flush();
 }
 
-enum SessionControl {
+pub(crate) enum SessionControl {
     Continue,
     Shutdown,
 }
 
-fn lock_engine(shared: &Shared) -> std::sync::MutexGuard<'_, engine::Engine> {
-    shared.engine.lock().unwrap_or_else(|e| e.into_inner())
+pub(crate) fn lock_registry(shared: &Shared) -> std::sync::MutexGuard<'_, Registry> {
+    shared.registry.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-fn handle_predict(shared: &Arc<Shared>, req: Request, writer: &SharedWriter) {
-    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
-    mtperf_obs::add("serve.requests", 1);
-    let id = req.id;
-    if shared.draining.load(Ordering::SeqCst) {
-        send(
-            writer,
-            &Response::error(id, protocol::E_SHUTTING_DOWN, "daemon is draining"),
-        );
-        return;
-    }
-    let rows = match req.rows {
-        Some(rows) if !rows.is_empty() => rows,
-        _ => {
-            send(
-                writer,
-                &Response::error(
-                    id,
-                    protocol::E_BAD_REQUEST,
-                    "predict requires a non-empty rows array",
-                ),
-            );
-            return;
-        }
-    };
-    if rows.len() > protocol::MAX_ROWS_PER_REQUEST {
-        send(
-            writer,
-            &Response::error(
-                id,
-                protocol::E_BAD_REQUEST,
-                format!(
-                    "request has {} rows, limit is {}",
-                    rows.len(),
-                    protocol::MAX_ROWS_PER_REQUEST
-                ),
-            ),
-        );
-        return;
-    }
-    let n_attrs = lock_engine(shared).snapshot().0.n_attrs();
-    let width = rows[0].len();
-    if width < n_attrs {
-        send(
-            writer,
-            &Response::error(
-                id,
-                protocol::E_BAD_REQUEST,
-                format!("rows have {width} values, model expects {n_attrs}"),
-            ),
-        );
-        return;
-    }
-    if rows.iter().any(|r| r.len() != width) {
-        send(
-            writer,
-            &Response::error(id, protocol::E_BAD_REQUEST, "rows have unequal lengths"),
-        );
-        return;
-    }
-    if rows.iter().flatten().any(|v| !v.is_finite()) {
-        send(
-            writer,
-            &Response::error(
-                id,
-                protocol::E_BAD_REQUEST,
-                "rows contain non-finite values",
-            ),
-        );
-        return;
-    }
-    let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
-    let matrix = match Matrix::from_rows(&refs) {
-        Ok(m) => m,
-        Err(e) => {
-            send(
-                writer,
-                &Response::error(id, protocol::E_BAD_REQUEST, e.to_string()),
-            );
-            return;
-        }
-    };
-    let token = match req.deadline_ms.or(shared.default_deadline_ms) {
-        Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
-        None => CancelToken::new(),
-    };
-    let job = Job {
-        id: id.clone(),
-        rows: matrix,
-        token,
-        writer: Arc::clone(writer),
-    };
-    match shared.queue.try_push(job) {
-        Ok(depth) => mtperf_obs::gauge("serve.queue_depth", depth as f64),
-        Err(PushError::Full) => {
-            shared.stats.overloaded.fetch_add(1, Ordering::Relaxed);
-            mtperf_obs::add("serve.overloaded", 1);
-            send(
-                writer,
-                &Response::error(
-                    id,
-                    protocol::E_OVERLOADED,
-                    format!("queue full ({} requests)", shared.queue.capacity()),
-                ),
-            );
-        }
-        Err(PushError::Closed) => {
-            send(
-                writer,
-                &Response::error(id, protocol::E_SHUTTING_DOWN, "daemon is draining"),
-            );
-        }
-    }
-}
-
-fn health_payload(shared: &Shared) -> protocol::Health {
-    let (model_path, degraded) = {
-        let eng = lock_engine(shared);
-        (eng.model_path().display().to_string(), eng.degraded())
-    };
-    let draining = shared.draining.load(Ordering::SeqCst);
-    protocol::Health {
-        ready: !draining,
-        degraded,
-        model: model_path,
-        workers: shared.workers,
-        queue_depth: shared.queue.depth(),
-        queue_capacity: shared.queue.capacity(),
-        requests: shared.stats.requests.load(Ordering::Relaxed),
-        overloaded: shared.stats.overloaded.load(Ordering::Relaxed),
-        deadline_misses: shared.stats.deadline_misses.load(Ordering::Relaxed),
-        degraded_responses: shared.stats.degraded_responses.load(Ordering::Relaxed),
-        reloads: shared.stats.reloads.load(Ordering::Relaxed),
-        draining,
-    }
-}
-
-fn handle_line(shared: &Arc<Shared>, line: &str, writer: &SharedWriter) -> SessionControl {
-    let req: Request = match serde_json::from_str(line) {
-        Ok(r) => r,
-        Err(e) => {
-            send(
-                writer,
-                &Response::error(
-                    None,
-                    protocol::E_BAD_REQUEST,
-                    format!("unparsable request: {e}"),
-                ),
-            );
-            return SessionControl::Continue;
-        }
-    };
-    match req.op.as_deref() {
-        Some("predict") => handle_predict(shared, req, writer),
-        Some("health" | "ready") => {
-            send(writer, &Response::health(req.id, health_payload(shared)));
-        }
-        Some("reload") => {
-            let path = req.path.as_ref().map(PathBuf::from);
-            let result = lock_engine(shared).reload(path.as_deref());
-            match result {
-                Ok(()) => {
-                    shared.stats.reloads.fetch_add(1, Ordering::Relaxed);
-                    mtperf_obs::add("serve.reloads", 1);
-                    send(writer, &Response::ack(req.id));
-                }
-                Err(e) => {
-                    mtperf_obs::add("serve.reload_failures", 1);
-                    send(
-                        writer,
-                        &Response::error(req.id, protocol::E_RELOAD_FAILED, e),
-                    );
-                }
-            }
-        }
-        Some("save") => {
-            let path = req.path.as_ref().map(PathBuf::from);
-            let result = lock_engine(shared).save(path.as_deref());
-            match result {
-                Ok(_) => send(writer, &Response::ack(req.id)),
-                Err(e) => send(writer, &Response::error(req.id, protocol::E_SAVE_FAILED, e)),
-            }
-        }
-        Some("shutdown") => {
-            send(writer, &Response::ack(req.id));
-            return SessionControl::Shutdown;
-        }
-        Some(other) => send(
-            writer,
-            &Response::error(
-                req.id,
-                protocol::E_BAD_REQUEST,
-                format!("unknown op {other:?}"),
-            ),
-        ),
-        None => send(
-            writer,
-            &Response::error(req.id, protocol::E_BAD_REQUEST, "request is missing op"),
-        ),
-    }
-    SessionControl::Continue
-}
-
-/// Drains one connection: reads bounded lines, dispatches, stops at EOF
-/// or after a `shutdown` request (which also flags the daemon to drain).
-fn run_session<R: BufRead>(shared: &Arc<Shared>, mut reader: R, writer: SharedWriter) {
-    loop {
-        match protocol::read_bounded_line(&mut reader) {
-            Ok(LineRead::Eof) => return,
-            Ok(LineRead::TooLong) => send(
-                &writer,
-                &Response::error(
-                    None,
-                    protocol::E_BAD_REQUEST,
-                    format!("request line exceeds {} bytes", protocol::MAX_LINE_BYTES),
-                ),
-            ),
-            Ok(LineRead::Line(line)) => {
-                if line.trim().is_empty() {
-                    continue;
-                }
-                if let SessionControl::Shutdown = handle_line(shared, &line, &writer) {
-                    SHUTDOWN.store(true, Ordering::SeqCst);
-                    return;
-                }
-            }
-            // A broken connection ends its session, never the daemon.
-            Err(_) => return,
-        }
-    }
-}
-
-fn worker_loop(shared: &Arc<Shared>) {
+pub(crate) fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
         answer(shared, job);
     }
 }
 
-/// Answers one dequeued job: deadline check, engine snapshot, degradation
-/// ladder, response. The body of [`worker_loop`], extracted so the
+/// Answers one dequeued job: deadline check, degradation ladder, cache
+/// fill, response. The body of [`worker_loop`], extracted so the
 /// deterministic-simulation harness ([`dst`]) can drain the queue step by
-/// step on a single logical thread via [`BoundedQueue::try_pop`].
-fn answer(shared: &Arc<Shared>, job: Job) {
+/// step on a single logical thread via [`FairQueue::try_pop`].
+pub(crate) fn answer(shared: &Arc<Shared>, job: Job) {
     mtperf_obs::gauge("serve.queue_depth", shared.queue.depth() as f64);
     if job.token.is_cancelled() {
         shared.stats.deadline_misses.fetch_add(1, Ordering::Relaxed);
@@ -415,19 +249,24 @@ fn answer(shared: &Arc<Shared>, job: Job) {
         );
         return;
     }
-    let (model, engine_degraded) = lock_engine(shared).snapshot();
-    match engine::predict(&model, &job.rows, parallel::global(), &job.token) {
+    match engine::predict(&job.model, &job.rows, parallel::global(), &job.token) {
         engine::PredictOutcome::Ok {
             predictions,
             degraded: ladder_degraded,
         } => {
-            let degraded = ladder_degraded || engine_degraded;
+            let degraded = ladder_degraded || job.model_degraded;
             if degraded {
                 shared
                     .stats
                     .degraded_responses
                     .fetch_add(1, Ordering::Relaxed);
                 mtperf_obs::add("serve.degraded", 1);
+            } else if let Some(raw) = &job.raw_rows {
+                shared
+                    .cache
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(&job.tenant, &job.version, raw, &predictions);
             }
             send(
                 &job.writer,
@@ -457,42 +296,13 @@ fn answer(shared: &Arc<Shared>, job: Job) {
     }
 }
 
-#[cfg(unix)]
-fn accept_loop(shared: &Arc<Shared>, listener: std::os::unix::net::UnixListener) {
-    loop {
-        if SHUTDOWN.load(Ordering::SeqCst) || shared.draining.load(Ordering::SeqCst) {
-            return;
-        }
-        // The bounded-backoff retry helper absorbs EINTR/EAGAIN bursts; a
-        // still-idle listener then parks for a poll interval.
-        match mtperf_obs::fsio::with_retry("serve_accept", || listener.accept()) {
-            Ok((stream, _addr)) => {
-                let reader = match stream.try_clone() {
-                    Ok(s) => io::BufReader::new(s),
-                    Err(_) => continue,
-                };
-                let writer: SharedWriter = Arc::new(Mutex::new(Box::new(stream)));
-                let shared = Arc::clone(shared);
-                thread::spawn(move || run_session(&shared, reader, writer));
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                thread::sleep(Duration::from_millis(POLL_MS));
-            }
-            Err(e) => {
-                eprintln!("mtperf serve: accept failed: {e}");
-                thread::sleep(Duration::from_millis(POLL_MS));
-            }
-        }
-    }
-}
-
 /// `mtperf serve` entry point.
 ///
 /// # Errors
 ///
 /// [`CliError::Usage`] for bad options; [`CliError::Unavailable`]
 /// (exit 69, `EX_UNAVAILABLE`) when the model cannot be loaded/validated
-/// or the socket cannot be bound.
+/// or a listener cannot be bound.
 pub fn cmd_serve(args: &Args) -> Result<(), CliError> {
     let cfg = ServeConfig::from_args(args)?;
     run(&cfg)
@@ -508,11 +318,12 @@ pub fn run(cfg: &ServeConfig) -> Result<(), CliError> {
     // Start the prediction pool and calibrate its dispatch overhead before
     // the first request arrives, so no client pays the one-time costs.
     parallel::warm_up();
-    let eng = engine::Engine::open(&cfg.model)
+    let reg = Registry::open(&cfg.model, cfg.registry.as_deref())
         .map_err(|e| CliError::Unavailable(format!("cannot load model: {e}")))?;
     let shared = Arc::new(Shared {
-        engine: Mutex::new(eng),
-        queue: BoundedQueue::new(cfg.queue_depth),
+        registry: Mutex::new(reg),
+        queue: FairQueue::new(cfg.queue_depth, cfg.tenant_quota),
+        cache: Mutex::new(PredictionCache::new(cfg.cache_size)),
         stats: Stats::default(),
         draining: AtomicBool::new(false),
         workers: cfg.workers,
@@ -526,22 +337,9 @@ pub fn run(cfg: &ServeConfig) -> Result<(), CliError> {
     if let Some(sock) = &cfg.socket {
         #[cfg(unix)]
         {
-            if sock.exists() {
-                std::fs::remove_file(sock).map_err(|e| {
-                    CliError::Unavailable(format!(
-                        "cannot replace stale socket {}: {e}",
-                        sock.display()
-                    ))
-                })?;
-            }
-            let listener = std::os::unix::net::UnixListener::bind(sock).map_err(|e| {
-                CliError::Unavailable(format!("cannot bind socket {}: {e}", sock.display()))
-            })?;
-            listener.set_nonblocking(true).map_err(|e| {
-                CliError::Unavailable(format!("cannot configure socket {}: {e}", sock.display()))
-            })?;
+            let listener = transport::bind_unix(sock)?;
             let shared = Arc::clone(&shared);
-            thread::spawn(move || accept_loop(&shared, listener));
+            thread::spawn(move || transport::accept_loop_unix(&shared, listener));
         }
         #[cfg(not(unix))]
         {
@@ -551,24 +349,26 @@ pub fn run(cfg: &ServeConfig) -> Result<(), CliError> {
             )));
         }
     }
-    if cfg.stdio {
+    if let Some(addr) = &cfg.tcp {
+        let listener = transport::bind_tcp(addr)?;
         let shared = Arc::clone(&shared);
-        thread::spawn(move || {
-            let writer: SharedWriter = Arc::new(Mutex::new(Box::new(io::stdout())));
-            run_session(&shared, io::BufReader::new(io::stdin()), writer);
-            // EOF on the primary transport means no more work can arrive:
-            // drain and exit rather than idle forever.
-            SHUTDOWN.store(true, Ordering::SeqCst);
-        });
+        thread::spawn(move || transport::accept_loop_tcp(&shared, listener));
+    }
+    if cfg.stdio {
+        transport::spawn_stdio(&shared);
     }
     eprintln!(
-        "mtperf serve: ready (model {}, {} workers, queue {}{}{})",
+        "mtperf serve: ready (model {}, {} workers, queue {}{}{}{})",
         cfg.model.display(),
         cfg.workers,
         cfg.queue_depth,
         cfg.socket
             .as_ref()
             .map(|s| format!(", socket {}", s.display()))
+            .unwrap_or_default(),
+        cfg.tcp
+            .as_ref()
+            .map(|a| format!(", tcp {a}"))
             .unwrap_or_default(),
         if cfg.stdio { ", stdio" } else { "" },
     );
@@ -589,13 +389,14 @@ pub fn run(cfg: &ServeConfig) -> Result<(), CliError> {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use mtperf_mtree::{Dataset, M5Params, ModelTree};
+    use std::io;
 
     /// A cloneable writer capturing every response line.
     #[derive(Clone, Default)]
-    struct Capture(Arc<Mutex<Vec<u8>>>);
+    pub(crate) struct Capture(Arc<Mutex<Vec<u8>>>);
 
     impl Write for Capture {
         fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
@@ -608,15 +409,18 @@ mod tests {
     }
 
     impl Capture {
-        fn text(&self) -> String {
+        pub(crate) fn text(&self) -> String {
             String::from_utf8_lossy(&self.0.lock().unwrap()).into_owned()
         }
-        fn shared(&self) -> SharedWriter {
+        pub(crate) fn shared(&self) -> SharedWriter {
             Arc::new(Mutex::new(Box::new(self.clone())))
+        }
+        pub(crate) fn append(&self, s: &str) {
+            self.0.lock().unwrap().extend_from_slice(s.as_bytes());
         }
     }
 
-    fn tiny_tree() -> ModelTree {
+    pub(crate) fn tiny_tree() -> ModelTree {
         let names = vec!["a0".to_string(), "a1".to_string()];
         let rows: Vec<Vec<f64>> = (0..24)
             .map(|r| vec![((r * 7) % 11) as f64, ((r * 3) % 5) as f64])
@@ -626,10 +430,12 @@ mod tests {
         ModelTree::fit(&data, &M5Params::default().with_min_instances(4)).unwrap()
     }
 
-    fn test_shared_with(
+    pub(crate) fn test_shared_with(
         tag: &str,
         queue_depth: usize,
         default_deadline_ms: Option<u64>,
+        tenant_quota: usize,
+        cache_size: usize,
     ) -> (Arc<Shared>, std::path::PathBuf, ModelTree) {
         let dir = std::env::temp_dir().join(format!(
             "mtperf-serve-mod-tests-{}-{tag}",
@@ -639,10 +445,11 @@ mod tests {
         let path = dir.join("model.json");
         let tree = tiny_tree();
         tree.save(&path).unwrap();
-        let eng = engine::Engine::open(&path).unwrap();
+        let reg = Registry::open(&path, None).unwrap();
         let shared = Arc::new(Shared {
-            engine: Mutex::new(eng),
-            queue: BoundedQueue::new(queue_depth),
+            registry: Mutex::new(reg),
+            queue: FairQueue::new(queue_depth, tenant_quota),
+            cache: Mutex::new(PredictionCache::new(cache_size)),
             stats: Stats::default(),
             draining: AtomicBool::new(false),
             workers: 1,
@@ -651,8 +458,11 @@ mod tests {
         (shared, path, tree)
     }
 
-    fn test_shared(tag: &str, queue_depth: usize) -> (Arc<Shared>, std::path::PathBuf, ModelTree) {
-        test_shared_with(tag, queue_depth, None)
+    pub(crate) fn test_shared(
+        tag: &str,
+        queue_depth: usize,
+    ) -> (Arc<Shared>, std::path::PathBuf, ModelTree) {
+        test_shared_with(tag, queue_depth, None, queue_depth, 0)
     }
 
     #[test]
@@ -662,23 +472,52 @@ mod tests {
         let cfg = ServeConfig::from_args(&parse(&["serve", "--model", "m.json"])).unwrap();
         assert_eq!(cfg.workers, DEFAULT_WORKERS);
         assert_eq!(cfg.queue_depth, DEFAULT_QUEUE_DEPTH);
-        assert!(cfg.stdio && cfg.socket.is_none());
+        assert_eq!(cfg.tenant_quota, DEFAULT_QUEUE_DEPTH);
+        assert_eq!(cfg.cache_size, DEFAULT_CACHE_SIZE);
+        assert!(cfg.stdio && cfg.socket.is_none() && cfg.tcp.is_none());
+        assert!(cfg.registry.is_none());
         assert!(cfg.default_deadline_ms.is_none());
 
-        // --socket alone turns the stdio transport off; --stdio restores it.
+        // --socket or --tcp alone turns the stdio transport off; --stdio
+        // restores it.
         let cfg = ServeConfig::from_args(&parse(&["serve", "--model", "m.json", "--socket", "s"]))
             .unwrap();
         assert!(!cfg.stdio);
+        let cfg = ServeConfig::from_args(&parse(&[
+            "serve",
+            "--model",
+            "m.json",
+            "--tcp",
+            "127.0.0.1:0",
+        ]))
+        .unwrap();
+        assert!(!cfg.stdio);
+        assert_eq!(cfg.tcp.as_deref(), Some("127.0.0.1:0"));
         let cfg = ServeConfig::from_args(&parse(&[
             "serve", "--model", "m.json", "--socket", "s", "--stdio",
         ]))
         .unwrap();
         assert!(cfg.stdio);
 
+        // The quota defaults to the queue depth and can sit below it.
+        let cfg = ServeConfig::from_args(&parse(&[
+            "serve",
+            "--model",
+            "m.json",
+            "--queue-depth",
+            "32",
+            "--tenant-quota",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!((cfg.queue_depth, cfg.tenant_quota), (32, 4));
+
         for bad in [
             vec!["serve"],
             vec!["serve", "--model", "m", "--workers", "0"],
             vec!["serve", "--model", "m", "--queue-depth", "0"],
+            vec!["serve", "--model", "m", "--tenant-quota", "0"],
+            vec!["serve", "--model", "m", "--cache-size", "many"],
             vec!["serve", "--model", "m", "--deadline-ms", "soon"],
         ] {
             let err = ServeConfig::from_args(&parse(&bad)).unwrap_err();
@@ -687,142 +526,10 @@ mod tests {
     }
 
     #[test]
-    fn malformed_lines_get_bad_request_responses() {
-        let (shared, _, _) = test_shared("malformed", 4);
-        let cap = Capture::default();
-        for line in [
-            "this is not json",
-            r#"{"id":"x"}"#,
-            r#"{"op":"frobnicate"}"#,
-            r#"{"op":"predict"}"#,
-            r#"{"op":"predict","rows":[]}"#,
-            r#"{"op":"predict","rows":[[1.0]]}"#,
-            r#"{"op":"predict","rows":[[1.0,2.0],[1.0,2.0,3.0]]}"#,
-            r#"{"op":"predict","rows":[[1.0,1e999]]}"#,
-        ] {
-            assert!(matches!(
-                handle_line(&shared, line, &cap.shared()),
-                SessionControl::Continue
-            ));
-        }
-        let out = cap.text();
-        assert_eq!(out.lines().count(), 8, "{out}");
-        assert_eq!(out.matches("\"kind\":\"bad_request\"").count(), 8, "{out}");
-        // Malformed predicts never reach the queue.
-        assert_eq!(shared.queue.depth(), 0);
-    }
-
-    #[test]
-    fn giant_payloads_get_typed_errors_not_resource_exhaustion() {
-        let (shared, _, _) = test_shared("giant", 4);
-
-        // A predict with more rows than MAX_ROWS_PER_REQUEST: refused with
-        // a typed bad_request before any matrix is built or queued.
-        let cap = Capture::default();
-        let mut line = String::from(r#"{"op":"predict","id":"big","rows":["#);
-        for i in 0..=protocol::MAX_ROWS_PER_REQUEST {
-            if i > 0 {
-                line.push(',');
-            }
-            line.push_str("[1.0,2.0]");
-        }
-        line.push_str("]}");
-        handle_line(&shared, &line, &cap.shared());
-        let out = cap.text();
-        assert!(out.contains("\"kind\":\"bad_request\""), "{out}");
-        assert!(out.contains("\"id\":\"big\""), "{out}");
-        assert_eq!(shared.queue.depth(), 0);
-
-        // A line over MAX_LINE_BYTES arriving over a real session: the
-        // overflow is discarded, a typed error goes back, and the next
-        // request on the same connection still works.
-        let stream = mtperf_detsim::SimStream::new();
-        stream.push_input(&vec![b'z'; protocol::MAX_LINE_BYTES + 1]);
-        stream.push_input(b"\n{\"op\":\"health\",\"id\":\"after\"}\n");
-        // Invalid UTF-8 on the wire: lossy-decoded, answered as a typed
-        // parse error, session continues.
-        stream.push_input(&[0xFF, 0xFE, b'{', b'\n']);
-        stream.close_input();
-        let (reader, writer_half) = stream.split();
-        let writer: SharedWriter = Arc::new(Mutex::new(Box::new(writer_half)));
-        run_session(&shared, io::BufReader::new(reader), writer);
-        let out = String::from_utf8_lossy(&stream.output()).into_owned();
-        assert_eq!(out.lines().count(), 3, "{out}");
-        assert!(
-            out.contains(&format!(
-                "request line exceeds {} bytes",
-                protocol::MAX_LINE_BYTES
-            )),
-            "{out}"
-        );
-        assert!(out.contains("\"id\":\"after\""), "{out}");
-        assert_eq!(out.matches("\"kind\":\"bad_request\"").count(), 2, "{out}");
-    }
-
-    #[test]
-    fn full_queue_answers_overloaded_without_blocking() {
-        // Queue of 1 and no workers draining it.
-        let (shared, _, _) = test_shared("overload", 1);
-        let cap = Capture::default();
-        let predict = r#"{"op":"predict","id":"p","rows":[[1.0,2.0]]}"#;
-        handle_line(&shared, predict, &cap.shared());
-        assert_eq!(shared.queue.depth(), 1);
-        assert_eq!(cap.text(), "", "first request queues silently");
-        handle_line(&shared, predict, &cap.shared());
-        let out = cap.text();
-        assert!(out.contains("\"kind\":\"overloaded\""), "{out}");
-        assert_eq!(shared.stats.overloaded.load(Ordering::Relaxed), 1);
-        assert_eq!(shared.queue.depth(), 1, "refused request was not queued");
-    }
-
-    #[test]
-    fn health_reports_stats_and_drain_state() {
-        let (shared, path, _) = test_shared("health", 4);
-        let cap = Capture::default();
-        handle_line(
-            &shared,
-            r#"{"op":"predict","rows":[[1.0,2.0]]}"#,
-            &cap.shared(),
-        );
-        handle_line(&shared, r#"{"op":"health","id":"h1"}"#, &cap.shared());
-        let out = cap.text();
-        assert!(out.contains("\"ready\":true"), "{out}");
-        assert!(out.contains("\"queue_depth\":1"), "{out}");
-        assert!(out.contains("\"requests\":1"), "{out}");
-        assert!(
-            out.contains(&format!(
-                "\"model\":{}",
-                serde_json::to_string(&path.display().to_string()).unwrap()
-            )),
-            "{out}"
-        );
-
-        shared.draining.store(true, Ordering::SeqCst);
-        let cap2 = Capture::default();
-        handle_line(&shared, r#"{"op":"ready"}"#, &cap2.shared());
-        let out2 = cap2.text();
-        assert!(out2.contains("\"ready\":false"), "{out2}");
-        assert!(out2.contains("\"draining\":true"), "{out2}");
-
-        // Draining daemons refuse new predictions explicitly.
-        let cap3 = Capture::default();
-        handle_line(
-            &shared,
-            r#"{"op":"predict","rows":[[1.0,2.0]]}"#,
-            &cap3.shared(),
-        );
-        assert!(
-            cap3.text().contains("\"kind\":\"shutting_down\""),
-            "{}",
-            cap3.text()
-        );
-    }
-
-    #[test]
     fn worker_answers_queued_predictions_in_order_of_arrival() {
         let (shared, _, tree) = test_shared("worker", 8);
         let cap = Capture::default();
-        handle_line(
+        router::handle_line(
             &shared,
             r#"{"op":"predict","id":"r1","rows":[[1.0,2.0],[3.0,0.5]]}"#,
             &cap.shared(),
@@ -846,7 +553,7 @@ mod tests {
     fn queued_past_deadline_is_a_timeout_not_a_hang() {
         let (shared, _, _) = test_shared("deadline", 8);
         let cap = Capture::default();
-        handle_line(
+        router::handle_line(
             &shared,
             r#"{"op":"predict","id":"late","rows":[[1.0,2.0]],"deadline_ms":0}"#,
             &cap.shared(),
@@ -863,9 +570,9 @@ mod tests {
     fn default_deadline_applies_when_request_has_none() {
         // An already-expired default deadline: the worker must time the
         // request out even though the request itself named no deadline.
-        let (shared, _, _) = test_shared_with("default-deadline", 8, Some(0));
+        let (shared, _, _) = test_shared_with("default-deadline", 8, Some(0), 8, 0);
         let cap = Capture::default();
-        handle_line(
+        router::handle_line(
             &shared,
             r#"{"op":"predict","rows":[[1.0,2.0]]}"#,
             &cap.shared(),
@@ -877,76 +584,5 @@ mod tests {
             "{}",
             cap.text()
         );
-    }
-
-    #[test]
-    fn poisoned_reload_degrades_but_keeps_serving() {
-        let (shared, path, tree) = test_shared("reload", 8);
-        let cap = Capture::default();
-
-        std::fs::write(&path, "poisoned").unwrap();
-        handle_line(&shared, r#"{"op":"reload","id":"g1"}"#, &cap.shared());
-        let out = cap.text();
-        assert!(out.contains("\"kind\":\"reload_failed\""), "{out}");
-        assert!(out.contains("\"degraded\":true"), "{out}");
-
-        // Predictions still flow, marked degraded, from last known good.
-        let cap2 = Capture::default();
-        handle_line(
-            &shared,
-            r#"{"op":"predict","id":"p1","rows":[[1.0,2.0]]}"#,
-            &cap2.shared(),
-        );
-        shared.queue.close();
-        worker_loop(&shared);
-        let out2 = cap2.text();
-        assert!(out2.contains("\"ok\":true"), "{out2}");
-        assert!(out2.contains("\"degraded\":true"), "{out2}");
-        assert_eq!(shared.stats.degraded_responses.load(Ordering::Relaxed), 1);
-
-        // A good file heals it.
-        tree.save(&path).unwrap();
-        let cap3 = Capture::default();
-        handle_line(&shared, r#"{"op":"reload","id":"g2"}"#, &cap3.shared());
-        assert!(cap3.text().contains("\"ok\":true"), "{}", cap3.text());
-        assert!(!lock_engine(&shared).degraded());
-        assert_eq!(shared.stats.reloads.load(Ordering::Relaxed), 1);
-    }
-
-    #[test]
-    fn save_op_persists_and_reports_failures() {
-        let (shared, path, tree) = test_shared("save", 8);
-        let copy = path.with_file_name("snapshot.json");
-        let cap = Capture::default();
-        let line = format!(
-            r#"{{"op":"save","id":"s1","path":{}}}"#,
-            serde_json::to_string(&copy.display().to_string()).unwrap()
-        );
-        handle_line(&shared, &line, &cap.shared());
-        assert!(cap.text().contains("\"ok\":true"), "{}", cap.text());
-        assert_eq!(ModelTree::load(&copy).unwrap().to_json(), tree.to_json());
-
-        let cap2 = Capture::default();
-        handle_line(
-            &shared,
-            r#"{"op":"save","path":"/nonexistent-dir/x/y.json"}"#,
-            &cap2.shared(),
-        );
-        assert!(
-            cap2.text().contains("\"kind\":\"save_failed\""),
-            "{}",
-            cap2.text()
-        );
-    }
-
-    #[test]
-    fn shutdown_op_acks_then_signals_drain() {
-        let (shared, _, _) = test_shared("shutdown", 8);
-        let cap = Capture::default();
-        assert!(matches!(
-            handle_line(&shared, r#"{"op":"shutdown","id":"bye"}"#, &cap.shared()),
-            SessionControl::Shutdown
-        ));
-        assert!(cap.text().contains("\"id\":\"bye\""), "{}", cap.text());
     }
 }

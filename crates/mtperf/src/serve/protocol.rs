@@ -1,50 +1,74 @@
-//! Wire protocol of the serving daemon (schema `mtperf-serve-v1`).
+//! Wire protocol of the serving daemon (schema `mtperf-serve-v2`).
 //!
 //! Requests and responses are newline-delimited JSON objects — one request
-//! per line in, one response per line out — over stdin/stdout or a Unix
-//! domain socket. The same schema is spoken on both transports.
+//! per line in, one response per line out — over stdin/stdout, a Unix
+//! domain socket, or TCP. The same schema is spoken on every transport.
 //!
 //! # Requests
 //!
 //! ```json
 //! {"op":"predict","id":"r1","rows":[[0.1,0.2, ...]],"deadline_ms":50}
+//! {"op":"predict","id":"r2","model":"candidate","version":"v2","rows":[[0.1]]}
 //! {"op":"health","id":"h1"}
+//! {"op":"load","id":"l1","model":"candidate","version":"v1","path":"cand.json"}
+//! {"op":"promote","id":"g1","model":"candidate","path":"cand-v2.json"}
+//! {"op":"rollback","id":"b1","model":"candidate"}
+//! {"op":"list","id":"ls"}
 //! {"op":"reload","id":"g1","path":"new-model.json"}
 //! {"op":"save","id":"s1","path":"snapshot.json"}
 //! {"op":"shutdown"}
 //! ```
 //!
-//! * `op` — required: `predict`, `health` (alias `ready`), `reload`,
-//!   `save`, or `shutdown`.
+//! * `op` — required: `predict`, `health` (alias `ready`), `load`,
+//!   `promote`, `rollback`, `list`, `reload`, `save`, or `shutdown`.
 //! * `id` — optional string echoed back verbatim, for request/response
 //!   correlation on pipelined connections.
+//! * `model` — optional tenant name in the model registry. Absent means
+//!   the default model, which is exactly the v1 one-daemon-one-model
+//!   behavior: every valid `mtperf-serve-v1` request is a valid v2 request
+//!   with identical semantics.
+//! * `version` — optional version id within a model. For `predict` it
+//!   pins a specific resident version (side-by-side what-if comparison);
+//!   absent means the promoted (active) version. For `load`/`promote` it
+//!   names the version being installed.
 //! * `rows` — `predict` only: an array of equal-length rows of finite
 //!   numbers, at least as wide as the model's attribute count.
 //! * `deadline_ms` — `predict` only: per-request compute budget. When it
 //!   expires the request fails fast with `deadline_exceeded` instead of
 //!   occupying a worker.
-//! * `path` — `reload`/`save` only: model file to load from or save to
-//!   (defaults to the path the daemon started with).
+//! * `path` — artifact file for `load`/`promote`/`reload`/`save`.
 //!
 //! # Responses
 //!
 //! Every response line carries `proto`, the echoed `id` (or `null`), `ok`,
-//! and `degraded`. Exactly one of `predictions`, `error`, or `health` is
-//! non-null; the others serialize as `null` (the vendored serde emits every
-//! field). `degraded: true` means the answer came from a fallback path —
-//! the daemon is alive but not at full health (see
+//! and `degraded`. At most one of `predictions`, `error`, `health`, or
+//! `models` is non-null; the others serialize as `null` (the vendored
+//! serde emits every field). `degraded: true` means the answer came from a
+//! fallback path — the daemon is alive but not at full health (see
 //! [`crate::serve::engine`]).
 //!
 //! Error `kind`s are machine-readable and closed: [`E_BAD_REQUEST`],
 //! [`E_OVERLOADED`], [`E_DEADLINE`], [`E_SHUTTING_DOWN`],
-//! [`E_RELOAD_FAILED`], [`E_SAVE_FAILED`], [`E_INTERNAL`].
+//! [`E_RELOAD_FAILED`], [`E_SAVE_FAILED`], [`E_UNKNOWN_MODEL`],
+//! [`E_PROMOTE_FAILED`], [`E_ROLLBACK_FAILED`], [`E_INTERNAL`].
+//!
+//! # v1 → v2 compatibility
+//!
+//! v2 is a strict superset of v1: the new request fields are optional and
+//! default to the v1 meaning, the new response field (`models`) is `null`
+//! except on `list`, and the error-kind set only grew. Clients that pin
+//! the schema string should accept both [`PROTOCOL`] and [`PROTOCOL_V1`].
 
 use std::io::{self, BufRead};
 
 use serde::{Deserialize, Serialize};
 
 /// Protocol schema identifier, present in every response.
-pub const PROTOCOL: &str = "mtperf-serve-v1";
+pub const PROTOCOL: &str = "mtperf-serve-v2";
+
+/// The previous schema identifier. Every v1 request parses and behaves
+/// identically under v2; clients checking `proto` should accept both.
+pub const PROTOCOL_V1: &str = "mtperf-serve-v1";
 
 /// Hard cap on one request line, so a stream missing its newlines cannot
 /// buffer unboundedly inside the daemon.
@@ -66,6 +90,13 @@ pub const E_SHUTTING_DOWN: &str = "shutting_down";
 pub const E_RELOAD_FAILED: &str = "reload_failed";
 /// A model snapshot could not be persisted.
 pub const E_SAVE_FAILED: &str = "save_failed";
+/// The request named a model (or version) the registry does not hold.
+pub const E_UNKNOWN_MODEL: &str = "unknown_model";
+/// A promote failed validation; the previously active version keeps
+/// serving (the registry's last-known-good contract).
+pub const E_PROMOTE_FAILED: &str = "promote_failed";
+/// A rollback had no previously-active validated version to land on.
+pub const E_ROLLBACK_FAILED: &str = "rollback_failed";
 /// Every fallback in the degradation ladder failed.
 pub const E_INTERNAL: &str = "internal";
 
@@ -82,8 +113,12 @@ pub struct Request {
     pub rows: Option<Vec<Vec<f64>>>,
     /// Per-request compute budget in milliseconds.
     pub deadline_ms: Option<u64>,
-    /// Model path override for `reload`/`save`.
+    /// Model path override for `load`/`promote`/`reload`/`save`.
     pub path: Option<String>,
+    /// Registry tenant name; absent means the default model (v1 shape).
+    pub model: Option<String>,
+    /// Version id within the model; absent means the active version.
+    pub version: Option<String>,
 }
 
 /// Machine-readable failure payload.
@@ -120,8 +155,43 @@ pub struct Health {
     pub degraded_responses: u64,
     /// Successful hot reloads.
     pub reloads: u64,
+    /// Models resident in the registry.
+    pub models: usize,
+    /// Model versions resident across all registry entries.
+    pub versions: usize,
+    /// Prediction-cache hits (answer reused, bit-identical by contract).
+    pub cache_hits: u64,
+    /// Prediction-cache misses (answer computed fresh).
+    pub cache_misses: u64,
+    /// Predicts refused because their tenant's queue quota was full.
+    pub quota_refusals: u64,
     /// Drain in progress (SIGTERM or `shutdown` op received).
     pub draining: bool,
+}
+
+/// One version row of a `list` response.
+#[derive(Debug, Clone, Serialize)]
+pub struct VersionInfo {
+    /// Version id within its model.
+    pub id: String,
+    /// Artifact path the version validated from.
+    pub path: String,
+    /// Whether this is the version `predict` routes to by default.
+    pub active: bool,
+}
+
+/// One model row of a `list` response.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModelInfo {
+    /// Tenant name in the registry.
+    pub name: String,
+    /// Active (promoted) version id.
+    pub active: String,
+    /// Whether the last promote/reload of this model failed validation
+    /// (serving last known good).
+    pub degraded: bool,
+    /// Resident validated versions, in load order.
+    pub versions: Vec<VersionInfo>,
 }
 
 /// One response line.
@@ -141,6 +211,8 @@ pub struct Response {
     pub error: Option<ErrorBody>,
     /// Probe payload for `health`/`ready`.
     pub health: Option<Health>,
+    /// Registry payload for `list`.
+    pub models: Option<Vec<ModelInfo>>,
 }
 
 impl Response {
@@ -153,6 +225,7 @@ impl Response {
             predictions: None,
             error: None,
             health: None,
+            models: None,
         }
     }
 
@@ -170,11 +243,13 @@ impl Response {
         Response::base(id)
     }
 
-    /// A failure response of the given kind.
+    /// A failure response of the given kind. Reload and promote failures
+    /// mark the response degraded: the daemon keeps serving last known
+    /// good, but the caller's deploy did not land.
     pub fn error(id: Option<String>, kind: &str, message: impl Into<String>) -> Response {
         Response {
             ok: false,
-            degraded: kind == E_RELOAD_FAILED,
+            degraded: kind == E_RELOAD_FAILED || kind == E_PROMOTE_FAILED,
             error: Some(ErrorBody {
                 kind: kind.to_string(),
                 message: message.into(),
@@ -189,6 +264,16 @@ impl Response {
         Response {
             degraded,
             health: Some(health),
+            ..Response::base(id)
+        }
+    }
+
+    /// A `list` response carrying the registry inventory.
+    pub fn models(id: Option<String>, models: Vec<ModelInfo>) -> Response {
+        let degraded = models.iter().any(|m| m.degraded);
+        Response {
+            degraded,
+            models: Some(models),
             ..Response::base(id)
         }
     }
@@ -286,7 +371,7 @@ mod tests {
     fn response_lines_are_single_json_lines() {
         let ok = Response::predictions(Some("r1".into()), vec![1.5], false).to_line();
         assert!(ok.ends_with('\n') && !ok.trim_end().contains('\n'));
-        assert!(ok.contains("\"proto\":\"mtperf-serve-v1\""), "{ok}");
+        assert!(ok.contains("\"proto\":\"mtperf-serve-v2\""), "{ok}");
         assert!(ok.contains("\"id\":\"r1\""), "{ok}");
         assert!(ok.contains("\"ok\":true"), "{ok}");
 
@@ -297,11 +382,57 @@ mod tests {
     }
 
     #[test]
-    fn reload_failure_marks_degraded() {
+    fn v1_requests_parse_identically_under_v2() {
+        // The exact request shapes of the v1 protocol docs: every one must
+        // parse with the new fields defaulting to the v1 meaning.
+        for line in [
+            r#"{"op":"predict","id":"r1","rows":[[0.1,0.2]],"deadline_ms":50}"#,
+            r#"{"op":"health","id":"h1"}"#,
+            r#"{"op":"reload","id":"g1","path":"new-model.json"}"#,
+            r#"{"op":"save","id":"s1","path":"snapshot.json"}"#,
+            r#"{"op":"shutdown"}"#,
+        ] {
+            let r: Request = serde_json::from_str(line).unwrap();
+            assert!(r.model.is_none(), "{line}");
+            assert!(r.version.is_none(), "{line}");
+        }
+        let r: Request =
+            serde_json::from_str(r#"{"op":"predict","model":"m","version":"v2","rows":[[1.0]]}"#)
+                .unwrap();
+        assert_eq!(r.model.as_deref(), Some("m"));
+        assert_eq!(r.version.as_deref(), Some("v2"));
+    }
+
+    #[test]
+    fn reload_and_promote_failures_mark_degraded() {
         let e = Response::error(None, E_RELOAD_FAILED, "poisoned");
+        assert!(e.degraded && !e.ok);
+        let e = Response::error(None, E_PROMOTE_FAILED, "poisoned");
         assert!(e.degraded && !e.ok);
         let e = Response::error(None, E_BAD_REQUEST, "nope");
         assert!(!e.degraded);
+    }
+
+    #[test]
+    fn list_response_carries_models_and_degradation() {
+        let resp = Response::models(
+            Some("ls".into()),
+            vec![ModelInfo {
+                name: "default".into(),
+                active: "v1".into(),
+                degraded: true,
+                versions: vec![VersionInfo {
+                    id: "v1".into(),
+                    path: "m.json".into(),
+                    active: true,
+                }],
+            }],
+        );
+        assert!(resp.degraded, "a degraded model degrades the listing");
+        let line = resp.to_line();
+        assert!(line.contains("\"models\":["), "{line}");
+        assert!(line.contains("\"name\":\"default\""), "{line}");
+        assert!(line.contains("\"active\":\"v1\""), "{line}");
     }
 
     #[test]

@@ -1,0 +1,835 @@
+//! The model registry: many named models × resident validated versions.
+//!
+//! This layer grows the PR 5 single-slot [`super::engine`] lifecycle into
+//! the fleet shape: a [`Registry`] holds any number of *models* (tenants),
+//! each with a list of *versions* that all passed the validated-load path
+//! ([`engine::load_and_validate`]: parse, compile, smoke-predict), exactly
+//! one of which is *active* — the version `predict` routes to when the
+//! request does not pin one explicitly.
+//!
+//! # Last known good, at every layer
+//!
+//! * A version only becomes resident after full validation; the `versions`
+//!   list is therefore an invariant-bearing set: **everything in it is
+//!   servable**.
+//! * [`Registry::promote`] with a path validates *before* swapping the
+//!   active pointer. A poisoned artifact leaves the previously active
+//!   version serving, marks the model degraded, and reports a typed error.
+//! * [`Registry::rollback`] pops the promotion history, so it can only
+//!   land on a previously-active — hence previously-validated — version.
+//!
+//! # Crash-safe manifest persistence
+//!
+//! With a manifest path configured, every mutating operation rewrites a
+//! JSON manifest (`mtperf-registry-v1`) through the atomic
+//! write/fsync/rename protocol of [`mtperf_obs::fsio::atomic_write`]: a
+//! `kill -9` at any instant leaves either the old or the new manifest,
+//! never a torn one. On restart, [`Registry::open`] revalidates every
+//! listed artifact; a version that no longer validates is dropped, and if
+//! the promoted version itself is gone the model falls back to its most
+//! recent surviving validated version, marked degraded — the promoted
+//! version or a clean prior one, never an unservable registry.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use super::engine::{self, LoadedModel};
+use super::protocol::{ModelInfo, VersionInfo};
+
+/// Name of the model that v1 requests (no `model` field) route to.
+pub const DEFAULT_MODEL: &str = "default";
+
+/// Manifest schema identifier.
+pub const MANIFEST_SCHEMA: &str = "mtperf-registry-v1";
+
+/// One resident, validated model version.
+struct Version {
+    id: String,
+    path: PathBuf,
+    model: Arc<LoadedModel>,
+}
+
+/// One model (tenant): its validated versions and the active pointer.
+struct Entry {
+    versions: Vec<Version>,
+    active: usize,
+    /// Previously-active indexes, most recent last (the rollback stack).
+    history: Vec<usize>,
+    degraded: bool,
+    last_error: Option<String>,
+}
+
+impl Entry {
+    fn version_index(&self, id: &str) -> Option<usize> {
+        self.versions.iter().position(|v| v.id == id)
+    }
+}
+
+/// A model + degradation snapshot resolved for one prediction.
+pub struct Resolved {
+    /// The validated model to score with.
+    pub model: Arc<LoadedModel>,
+    /// Whether the owning entry is serving under a failed promote/reload.
+    pub degraded: bool,
+    /// The resolved version id (cache-key component).
+    pub version: String,
+}
+
+impl std::fmt::Debug for Resolved {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Resolved")
+            .field("version", &self.version)
+            .field("degraded", &self.degraded)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Why a model/version lookup failed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum LookupError {
+    /// No model of that name is resident.
+    UnknownModel(String),
+    /// The model exists but has no version of that id.
+    UnknownVersion(String, String),
+}
+
+impl std::fmt::Display for LookupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LookupError::UnknownModel(m) => write!(f, "unknown model {m:?}"),
+            LookupError::UnknownVersion(m, v) => {
+                write!(f, "model {m:?} has no version {v:?}")
+            }
+        }
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct ManifestVersion {
+    id: String,
+    path: String,
+}
+
+#[derive(Serialize, Deserialize)]
+struct ManifestModel {
+    name: String,
+    active: String,
+    versions: Vec<ManifestVersion>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Manifest {
+    schema: String,
+    models: Vec<ManifestModel>,
+}
+
+/// The daemon's model registry. All methods take `&mut self`; the serving
+/// layer wraps the registry in a mutex (registry ops are control-plane
+/// rare, predictions only touch it for one Arc clone).
+pub struct Registry {
+    models: BTreeMap<String, Entry>,
+    manifest: Option<PathBuf>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("models", &self.models.keys().collect::<Vec<_>>())
+            .field("manifest", &self.manifest)
+            .finish()
+    }
+}
+
+impl Registry {
+    /// Opens a registry serving `default_path` as the default model's
+    /// first version. With a manifest path whose file exists, the resident
+    /// set is rebuilt from it instead: every listed artifact is
+    /// revalidated, unservable versions are dropped, and a model whose
+    /// promoted version no longer validates falls back (degraded) to its
+    /// most recent surviving version.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason when no servable default model can be
+    /// established (daemon cannot start).
+    pub fn open(default_path: &Path, manifest: Option<&Path>) -> Result<Registry, String> {
+        let mut reg = Registry {
+            models: BTreeMap::new(),
+            manifest: manifest.map(Path::to_path_buf),
+        };
+        let manifest_text = manifest.filter(|p| p.exists()).map(std::fs::read_to_string);
+        match manifest_text {
+            Some(Ok(text)) => reg.rebuild_from_manifest(&text, default_path)?,
+            Some(Err(e)) => {
+                return Err(format!(
+                    "cannot read registry manifest {}: {e}",
+                    manifest.expect("manifest path present").display()
+                ))
+            }
+            None => {
+                let model = engine::load_and_validate(default_path)?;
+                reg.models.insert(
+                    DEFAULT_MODEL.to_string(),
+                    Entry {
+                        versions: vec![Version {
+                            id: "v1".to_string(),
+                            path: default_path.to_path_buf(),
+                            model: Arc::new(model),
+                        }],
+                        active: 0,
+                        history: Vec::new(),
+                        degraded: false,
+                        last_error: None,
+                    },
+                );
+            }
+        }
+        // Best-effort initial persist so a fresh daemon's manifest exists
+        // before the first mutating op (failure is not fatal at startup:
+        // the in-memory registry is servable).
+        let _ = reg.persist();
+        Ok(reg)
+    }
+
+    fn rebuild_from_manifest(&mut self, text: &str, default_path: &Path) -> Result<(), String> {
+        let manifest: Manifest = serde_json::from_str(text)
+            .map_err(|e| format!("registry manifest is not valid JSON: {e}"))?;
+        if manifest.schema != MANIFEST_SCHEMA {
+            return Err(format!(
+                "registry manifest schema {:?} is not {MANIFEST_SCHEMA:?}",
+                manifest.schema
+            ));
+        }
+        for m in &manifest.models {
+            let mut versions = Vec::new();
+            let mut dropped = Vec::new();
+            for v in &m.versions {
+                let path = PathBuf::from(&v.path);
+                match engine::load_and_validate(&path) {
+                    Ok(model) => versions.push(Version {
+                        id: v.id.clone(),
+                        path,
+                        model: Arc::new(model),
+                    }),
+                    Err(e) => dropped.push(format!("{}: {e}", v.id)),
+                }
+            }
+            if versions.is_empty() {
+                // Nothing servable for this tenant; the default model gets
+                // one more chance below, others are simply gone.
+                continue;
+            }
+            let (active, degraded, last_error) =
+                match versions.iter().position(|v| v.id == m.active) {
+                    Some(i) if dropped.is_empty() => (i, false, None),
+                    Some(i) => (
+                        i,
+                        false,
+                        Some(format!(
+                            "versions dropped on restart: {}",
+                            dropped.join("; ")
+                        )),
+                    ),
+                    None => (
+                        versions.len() - 1,
+                        true,
+                        Some(format!(
+                            "promoted version {:?} failed validation on restart; \
+                             serving {:?} (dropped: {})",
+                            m.active,
+                            versions[versions.len() - 1].id,
+                            dropped.join("; "),
+                        )),
+                    ),
+                };
+            self.models.insert(
+                m.name.clone(),
+                Entry {
+                    versions,
+                    active,
+                    history: Vec::new(),
+                    degraded,
+                    last_error,
+                },
+            );
+        }
+        if !self.models.contains_key(DEFAULT_MODEL) {
+            // The manifest lost the default tenant entirely: fall back to
+            // the artifact the daemon was started with.
+            let model = engine::load_and_validate(default_path)?;
+            self.models.insert(
+                DEFAULT_MODEL.to_string(),
+                Entry {
+                    versions: vec![Version {
+                        id: "v1".to_string(),
+                        path: default_path.to_path_buf(),
+                        model: Arc::new(model),
+                    }],
+                    active: 0,
+                    history: Vec::new(),
+                    degraded: true,
+                    last_error: Some("default model restored from startup artifact".to_string()),
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Writes the manifest atomically, when one is configured.
+    ///
+    /// # Errors
+    ///
+    /// The I/O failure, rendered. The in-memory registry is unaffected.
+    pub fn persist(&self) -> Result<(), String> {
+        let Some(path) = &self.manifest else {
+            return Ok(());
+        };
+        let manifest = Manifest {
+            schema: MANIFEST_SCHEMA.to_string(),
+            models: self
+                .models
+                .iter()
+                .map(|(name, e)| ManifestModel {
+                    name: name.clone(),
+                    active: e.versions[e.active].id.clone(),
+                    versions: e
+                        .versions
+                        .iter()
+                        .map(|v| ManifestVersion {
+                            id: v.id.clone(),
+                            path: v.path.display().to_string(),
+                        })
+                        .collect(),
+                })
+                .collect(),
+        };
+        let mut text =
+            serde_json::to_string(&manifest).map_err(|e| format!("manifest serialization: {e}"))?;
+        text.push('\n');
+        mtperf_obs::fsio::atomic_write(path, text.as_bytes())
+            .map_err(|e| format!("manifest save {}: {e}", path.display()))
+    }
+
+    fn persist_after_mutation(&self) -> Result<(), String> {
+        self.persist().map_err(|e| {
+            format!("applied in memory, but the registry manifest could not be saved: {e}")
+        })
+    }
+
+    /// Loads and validates a new version into the registry without
+    /// touching any active pointer — except that the first version of a
+    /// brand-new model becomes its active version.
+    ///
+    /// # Errors
+    ///
+    /// Validation failures, duplicate version ids, and manifest-persist
+    /// failures (the version stays resident in the latter case).
+    pub fn load(&mut self, name: &str, version: Option<&str>, path: &Path) -> Result<(), String> {
+        let model = Arc::new(engine::load_and_validate(path)?);
+        let entry = self
+            .models
+            .entry(name.to_string())
+            .or_insert_with(|| Entry {
+                versions: Vec::new(),
+                active: 0,
+                history: Vec::new(),
+                degraded: false,
+                last_error: None,
+            });
+        let id = match version {
+            Some(v) => {
+                if entry.version_index(v).is_some() {
+                    return Err(format!("model {name:?} already has a version {v:?}"));
+                }
+                v.to_string()
+            }
+            None => Registry::fresh_id(entry),
+        };
+        entry.versions.push(Version {
+            id,
+            path: path.to_path_buf(),
+            model,
+        });
+        self.persist_after_mutation()
+    }
+
+    fn fresh_id(entry: &Entry) -> String {
+        let mut n = entry.versions.len() + 1;
+        loop {
+            let candidate = format!("v{n}");
+            if entry.version_index(&candidate).is_none() {
+                return candidate;
+            }
+            n += 1;
+        }
+    }
+
+    /// Promotes a version to active. With `path`, the artifact is
+    /// validated first and installed as a fresh version (id from
+    /// `version`, else generated); a validation failure keeps the current
+    /// active version serving and marks the model degraded. With only
+    /// `version`, an already-resident (hence already-validated) version
+    /// becomes active.
+    ///
+    /// # Errors
+    ///
+    /// Unknown model/version, validation failures, or manifest-persist
+    /// failures (the promote stays applied in memory in the last case).
+    pub fn promote(
+        &mut self,
+        name: &str,
+        version: Option<&str>,
+        path: Option<&Path>,
+    ) -> Result<(), String> {
+        let entry = self
+            .models
+            .get_mut(name)
+            .ok_or_else(|| LookupError::UnknownModel(name.to_string()).to_string())?;
+        match (path, version) {
+            (Some(path), version) => {
+                let model = match engine::load_and_validate(path) {
+                    Ok(m) => Arc::new(m),
+                    Err(e) => {
+                        entry.degraded = true;
+                        entry.last_error = Some(e.clone());
+                        return Err(e);
+                    }
+                };
+                let id = match version {
+                    Some(v) => {
+                        if entry.version_index(v).is_some() {
+                            return Err(format!("model {name:?} already has a version {v:?}"));
+                        }
+                        v.to_string()
+                    }
+                    None => Registry::fresh_id(entry),
+                };
+                entry.versions.push(Version {
+                    id,
+                    path: path.to_path_buf(),
+                    model,
+                });
+                entry.history.push(entry.active);
+                entry.active = entry.versions.len() - 1;
+            }
+            (None, Some(v)) => {
+                let idx = entry.version_index(v).ok_or_else(|| {
+                    LookupError::UnknownVersion(name.to_string(), v.to_string()).to_string()
+                })?;
+                if idx != entry.active {
+                    entry.history.push(entry.active);
+                    entry.active = idx;
+                }
+            }
+            (None, None) => {
+                return Err("promote requires a version or a path".to_string());
+            }
+        }
+        entry.degraded = false;
+        entry.last_error = None;
+        self.persist_after_mutation()
+    }
+
+    /// Rolls the active pointer back to the previously-active version
+    /// (the top of the promotion history). Because only validated
+    /// versions ever become active, a rollback always lands on a
+    /// previously-validated version.
+    ///
+    /// # Errors
+    ///
+    /// When the model is unknown or has no promotion history, or the
+    /// manifest cannot be persisted (rollback stays applied in memory).
+    pub fn rollback(&mut self, name: &str) -> Result<String, String> {
+        let entry = self
+            .models
+            .get_mut(name)
+            .ok_or_else(|| LookupError::UnknownModel(name.to_string()).to_string())?;
+        let prior = entry
+            .history
+            .pop()
+            .ok_or_else(|| format!("model {name:?} has no prior version to roll back to"))?;
+        entry.active = prior;
+        entry.degraded = false;
+        entry.last_error = None;
+        let id = entry.versions[prior].id.clone();
+        self.persist_after_mutation()?;
+        Ok(id)
+    }
+
+    /// v1-compatible hot reload of the default model: validate `path`
+    /// (default: the active version's artifact path) and swap it in. A
+    /// reload of the active version's own path replaces that version in
+    /// place (the v1 redeploy idiom — the version list does not grow); a
+    /// different path installs and activates a fresh version.
+    ///
+    /// # Errors
+    ///
+    /// The validation failure verbatim; the model is marked degraded and
+    /// the previous version keeps serving.
+    pub fn reload(&mut self, path: Option<&Path>) -> Result<(), String> {
+        let entry = self
+            .models
+            .get_mut(DEFAULT_MODEL)
+            .ok_or_else(|| LookupError::UnknownModel(DEFAULT_MODEL.to_string()).to_string())?;
+        let target = path
+            .unwrap_or(&entry.versions[entry.active].path)
+            .to_path_buf();
+        match engine::load_and_validate(&target) {
+            Ok(model) => {
+                if entry.versions[entry.active].path == target {
+                    entry.versions[entry.active].model = Arc::new(model);
+                } else {
+                    let id = Registry::fresh_id(entry);
+                    entry.versions.push(Version {
+                        id,
+                        path: target,
+                        model: Arc::new(model),
+                    });
+                    entry.history.push(entry.active);
+                    entry.active = entry.versions.len() - 1;
+                }
+                entry.degraded = false;
+                entry.last_error = None;
+                let _ = self.persist();
+                Ok(())
+            }
+            Err(e) => {
+                entry.degraded = true;
+                entry.last_error = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    /// Atomically persists a model's active version to `path` (default:
+    /// the version's own artifact path). Safe against `kill -9` at any
+    /// instant.
+    ///
+    /// # Errors
+    ///
+    /// Unknown model, or the persistence failure rendered.
+    pub fn save(&self, name: &str, path: Option<&Path>) -> Result<PathBuf, String> {
+        let entry = self
+            .models
+            .get(name)
+            .ok_or_else(|| LookupError::UnknownModel(name.to_string()).to_string())?;
+        let version = &entry.versions[entry.active];
+        let target = path.unwrap_or(&version.path).to_path_buf();
+        version
+            .model
+            .tree
+            .save(&target)
+            .map_err(|e| format!("{}: {e}", target.display()))?;
+        Ok(target)
+    }
+
+    /// Resolves a model (and optionally a pinned version) for prediction.
+    ///
+    /// # Errors
+    ///
+    /// [`LookupError`] when the model or version is not resident.
+    pub fn resolve(
+        &self,
+        name: Option<&str>,
+        version: Option<&str>,
+    ) -> Result<Resolved, LookupError> {
+        let name = name.unwrap_or(DEFAULT_MODEL);
+        let entry = self
+            .models
+            .get(name)
+            .ok_or_else(|| LookupError::UnknownModel(name.to_string()))?;
+        let idx = match version {
+            None => entry.active,
+            Some(v) => entry
+                .version_index(v)
+                .ok_or_else(|| LookupError::UnknownVersion(name.to_string(), v.to_string()))?,
+        };
+        Ok(Resolved {
+            model: Arc::clone(&entry.versions[idx].model),
+            degraded: entry.degraded,
+            version: entry.versions[idx].id.clone(),
+        })
+    }
+
+    /// The registry inventory, for `list` responses.
+    pub fn list(&self) -> Vec<ModelInfo> {
+        self.models
+            .iter()
+            .map(|(name, e)| ModelInfo {
+                name: name.clone(),
+                active: e.versions[e.active].id.clone(),
+                degraded: e.degraded,
+                versions: e
+                    .versions
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| VersionInfo {
+                        id: v.id.clone(),
+                        path: v.path.display().to_string(),
+                        active: i == e.active,
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Whether `name` is a resident model (admission-control check).
+    pub fn contains(&self, name: &str) -> bool {
+        self.models.contains_key(name)
+    }
+
+    /// Whether `name` has a resident version `id`.
+    pub fn has_version(&self, name: &str, id: &str) -> bool {
+        self.models
+            .get(name)
+            .is_some_and(|e| e.version_index(id).is_some())
+    }
+
+    /// `(models, total resident versions)` for health reporting.
+    pub fn counts(&self) -> (usize, usize) {
+        (
+            self.models.len(),
+            self.models.values().map(|e| e.versions.len()).sum(),
+        )
+    }
+
+    /// Whether any model is degraded (daemon-level health flag; v1 parity
+    /// for the single-model case).
+    pub fn degraded(&self) -> bool {
+        self.models.values().any(|e| e.degraded)
+    }
+
+    /// The default model's active artifact path (health `model` field,
+    /// reload/save default target).
+    pub fn default_path(&self) -> PathBuf {
+        self.models
+            .get(DEFAULT_MODEL)
+            .map(|e| e.versions[e.active].path.clone())
+            .unwrap_or_default()
+    }
+
+    /// The failure that last degraded `name`, if any.
+    pub fn last_error(&self, name: &str) -> Option<String> {
+        self.models.get(name).and_then(|e| e.last_error.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtperf_mtree::{Dataset, M5Params, ModelTree};
+
+    fn tiny_tree(slope: f64) -> ModelTree {
+        let names = vec!["a0".to_string(), "a1".to_string()];
+        let rows: Vec<Vec<f64>> = (0..24)
+            .map(|r| vec![((r * 7) % 11) as f64, ((r * 3) % 5) as f64])
+            .collect();
+        let targets: Vec<f64> = rows.iter().map(|r| 1.0 + slope * r[0] - r[1]).collect();
+        let data = Dataset::from_rows(names, &rows, &targets).unwrap();
+        ModelTree::fit(&data, &M5Params::default().with_min_instances(4)).unwrap()
+    }
+
+    struct Fixture {
+        dir: PathBuf,
+        a: PathBuf,
+        b: PathBuf,
+        poison: PathBuf,
+    }
+
+    fn fixture(tag: &str) -> Fixture {
+        let dir = std::env::temp_dir().join(format!(
+            "mtperf-registry-tests-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.json");
+        let b = dir.join("b.json");
+        let poison = dir.join("poison.json");
+        tiny_tree(2.0).save(&a).unwrap();
+        tiny_tree(-3.0).save(&b).unwrap();
+        std::fs::write(&poison, "{ not a model }").unwrap();
+        Fixture { dir, a, b, poison }
+    }
+
+    #[test]
+    fn open_serves_default_model_v1() {
+        let fx = fixture("open");
+        let reg = Registry::open(&fx.a, None).unwrap();
+        assert!(reg.contains(DEFAULT_MODEL));
+        assert_eq!(reg.counts(), (1, 1));
+        let r = reg.resolve(None, None).unwrap();
+        assert_eq!(r.version, "v1");
+        assert!(!r.degraded);
+        assert_eq!(reg.default_path(), fx.a);
+        assert!(Registry::open(&fx.poison, None).is_err());
+        let _ = std::fs::remove_dir_all(&fx.dir);
+    }
+
+    #[test]
+    fn load_promote_rollback_lifecycle() {
+        let fx = fixture("lifecycle");
+        let mut reg = Registry::open(&fx.a, None).unwrap();
+
+        // Load a second tenant: its first version becomes active.
+        reg.load("cand", Some("v1"), &fx.b).unwrap();
+        assert_eq!(reg.resolve(Some("cand"), None).unwrap().version, "v1");
+
+        // A later load does not move the active pointer…
+        reg.load("cand", Some("v2"), &fx.a).unwrap();
+        assert_eq!(reg.resolve(Some("cand"), None).unwrap().version, "v1");
+        // …but the version is resident and predict can pin it.
+        assert_eq!(reg.resolve(Some("cand"), Some("v2")).unwrap().version, "v2");
+
+        // Promote-by-version flips the pointer; rollback pops it back.
+        reg.promote("cand", Some("v2"), None).unwrap();
+        assert_eq!(reg.resolve(Some("cand"), None).unwrap().version, "v2");
+        assert_eq!(reg.rollback("cand").unwrap(), "v1");
+        assert_eq!(reg.resolve(Some("cand"), None).unwrap().version, "v1");
+        // History exhausted: a second rollback is a typed failure.
+        assert!(reg.rollback("cand").is_err());
+
+        // Duplicate version id and unknown lookups are refused.
+        assert!(reg.load("cand", Some("v1"), &fx.a).is_err());
+        assert!(reg.promote("ghost", Some("v1"), None).is_err());
+        assert_eq!(
+            reg.resolve(Some("ghost"), None).unwrap_err(),
+            LookupError::UnknownModel("ghost".to_string())
+        );
+        assert_eq!(
+            reg.resolve(Some("cand"), Some("v9")).unwrap_err(),
+            LookupError::UnknownVersion("cand".to_string(), "v9".to_string())
+        );
+        let _ = std::fs::remove_dir_all(&fx.dir);
+    }
+
+    #[test]
+    fn poisoned_promote_keeps_last_known_good() {
+        let fx = fixture("poisoned");
+        let mut reg = Registry::open(&fx.a, None).unwrap();
+        let before = reg.resolve(None, None).unwrap();
+        let err = reg
+            .promote(DEFAULT_MODEL, None, Some(&fx.poison))
+            .unwrap_err();
+        assert!(!err.is_empty());
+        let after = reg.resolve(None, None).unwrap();
+        assert!(after.degraded, "failed promote must mark degraded");
+        assert_eq!(after.version, before.version);
+        assert_eq!(
+            after.model.tree.predict(&[3.0, 1.0]).to_bits(),
+            before.model.tree.predict(&[3.0, 1.0]).to_bits(),
+            "previous version must keep serving bit-identically"
+        );
+        assert!(reg.last_error(DEFAULT_MODEL).is_some());
+
+        // A good promote heals the degradation.
+        reg.promote(DEFAULT_MODEL, None, Some(&fx.b)).unwrap();
+        assert!(!reg.resolve(None, None).unwrap().degraded);
+        let _ = std::fs::remove_dir_all(&fx.dir);
+    }
+
+    #[test]
+    fn reload_replaces_in_place_and_degrades_on_poison() {
+        let fx = fixture("reload");
+        let mut reg = Registry::open(&fx.a, None).unwrap();
+        // Reloading the same path must not grow the version list (the v1
+        // redeploy idiom).
+        reg.reload(None).unwrap();
+        reg.reload(None).unwrap();
+        assert_eq!(reg.counts(), (1, 1));
+
+        std::fs::write(&fx.a, "poisoned mid-deploy").unwrap();
+        assert!(reg.reload(None).is_err());
+        assert!(reg.degraded());
+        // Still serving.
+        assert!(reg.resolve(None, None).is_ok());
+
+        tiny_tree(2.0).save(&fx.a).unwrap();
+        reg.reload(None).unwrap();
+        assert!(!reg.degraded());
+
+        // A reload from a different path installs a fresh version.
+        reg.reload(Some(&fx.b)).unwrap();
+        assert_eq!(reg.counts(), (1, 2));
+        assert_eq!(reg.default_path(), fx.b);
+        let _ = std::fs::remove_dir_all(&fx.dir);
+    }
+
+    #[test]
+    fn manifest_roundtrip_reopens_the_promoted_version() {
+        let fx = fixture("manifest");
+        let manifest = fx.dir.join("registry.json");
+        {
+            let mut reg = Registry::open(&fx.a, Some(&manifest)).unwrap();
+            reg.load("cand", Some("exp"), &fx.b).unwrap();
+            reg.promote(DEFAULT_MODEL, Some("vb"), Some(&fx.b)).unwrap();
+            assert!(manifest.exists(), "mutations persist the manifest");
+        }
+        let reg = Registry::open(&fx.a, Some(&manifest)).unwrap();
+        assert_eq!(reg.counts(), (2, 3));
+        let r = reg.resolve(None, None).unwrap();
+        assert_eq!(r.version, "vb", "restart must reopen the promoted version");
+        assert!(!r.degraded);
+        assert_eq!(reg.resolve(Some("cand"), None).unwrap().version, "exp");
+        let _ = std::fs::remove_dir_all(&fx.dir);
+    }
+
+    #[test]
+    fn restart_with_poisoned_promoted_version_falls_back_validated() {
+        let fx = fixture("fallback");
+        let manifest = fx.dir.join("registry.json");
+        {
+            let mut reg = Registry::open(&fx.a, Some(&manifest)).unwrap();
+            reg.promote(DEFAULT_MODEL, Some("vb"), Some(&fx.b)).unwrap();
+        }
+        // The promoted artifact is destroyed between runs: restart must
+        // fall back to the surviving validated version, degraded, never
+        // fail to open.
+        std::fs::write(&fx.b, "torn").unwrap();
+        let reg = Registry::open(&fx.a, Some(&manifest)).unwrap();
+        let r = reg.resolve(None, None).unwrap();
+        assert_eq!(r.version, "v1", "fallback lands on a validated version");
+        assert!(r.degraded);
+        assert!(reg.last_error(DEFAULT_MODEL).is_some());
+        let _ = std::fs::remove_dir_all(&fx.dir);
+    }
+
+    #[test]
+    fn torn_manifest_never_happens_but_garbage_is_typed() {
+        let fx = fixture("garbage");
+        let manifest = fx.dir.join("registry.json");
+        std::fs::write(&manifest, "{ torn mid-wr").unwrap();
+        let err = Registry::open(&fx.a, Some(&manifest)).unwrap_err();
+        assert!(err.contains("manifest"), "{err}");
+        let _ = std::fs::remove_dir_all(&fx.dir);
+    }
+
+    #[test]
+    fn save_persists_the_active_version() {
+        let fx = fixture("save");
+        let reg = Registry::open(&fx.a, None).unwrap();
+        let copy = fx.dir.join("copy.json");
+        let saved = reg.save(DEFAULT_MODEL, Some(&copy)).unwrap();
+        assert_eq!(saved, copy);
+        let reloaded = ModelTree::load(&copy).unwrap();
+        assert_eq!(reloaded.to_json(), tiny_tree(2.0).to_json());
+        assert!(reg.save("ghost", None).is_err());
+        let _ = std::fs::remove_dir_all(&fx.dir);
+    }
+
+    #[test]
+    fn list_reports_versions_and_active_markers() {
+        let fx = fixture("list");
+        let mut reg = Registry::open(&fx.a, None).unwrap();
+        reg.load("cand", None, &fx.b).unwrap();
+        let listing = reg.list();
+        assert_eq!(listing.len(), 2);
+        let cand = listing.iter().find(|m| m.name == "cand").unwrap();
+        assert_eq!(cand.active, "v1");
+        assert!(cand.versions[0].active);
+        let _ = std::fs::remove_dir_all(&fx.dir);
+    }
+}

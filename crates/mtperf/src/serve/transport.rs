@@ -1,0 +1,140 @@
+//! The transport layer: connection acceptance and framing ownership.
+//!
+//! Three transports, all speaking the identical newline-delimited
+//! protocol through [`super::router::run_session`]:
+//!
+//! * **stdio** — the primary transport; EOF on it drains the daemon.
+//! * **Unix socket** (`--socket <path>`) — local multi-client serving;
+//!   the socket file is replaced on bind and removed on drain.
+//! * **TCP** (`--tcp <addr>`) — the fleet transport: remote clients,
+//!   many concurrent connections, per-connection framing state.
+//!
+//! Accept loops share one shape: a non-blocking listener polled every
+//! [`super::POLL_MS`] ms against the drain flags, `EINTR`/`EAGAIN`
+//! absorbed by the bounded-backoff retry helper, and one thread per
+//! accepted connection. A connection's reader half owns its framing
+//! buffer; its writer half is a [`SharedWriter`] the workers answer
+//! through — so responses always return on the issuing connection, and a
+//! broken peer ends only its own session.
+
+use std::io;
+use std::net::TcpListener;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use crate::errors::CliError;
+
+use super::router::run_session;
+use super::{Shared, SharedWriter, POLL_MS, SHUTDOWN};
+
+/// Spawns the stdio session thread. EOF on stdin means no more work can
+/// arrive on the primary transport: the daemon drains and exits rather
+/// than idling forever.
+pub(crate) fn spawn_stdio(shared: &Arc<Shared>) {
+    let shared = Arc::clone(shared);
+    thread::spawn(move || {
+        let writer: SharedWriter = Arc::new(Mutex::new(Box::new(io::stdout())));
+        run_session(&shared, io::BufReader::new(io::stdin()), writer);
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    });
+}
+
+/// Binds the TCP listener (non-blocking) for [`accept_loop_tcp`].
+///
+/// # Errors
+///
+/// [`CliError::Unavailable`] when the address cannot be bound or
+/// configured — the daemon cannot start.
+pub(crate) fn bind_tcp(addr: &str) -> Result<TcpListener, CliError> {
+    let listener = TcpListener::bind(addr)
+        .map_err(|e| CliError::Unavailable(format!("cannot bind tcp {addr}: {e}")))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| CliError::Unavailable(format!("cannot configure tcp {addr}: {e}")))?;
+    Ok(listener)
+}
+
+/// Accepts TCP connections until drain, one session thread each.
+pub(crate) fn accept_loop_tcp(shared: &Arc<Shared>, listener: TcpListener) {
+    loop {
+        if SHUTDOWN.load(Ordering::SeqCst) || shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        match mtperf_obs::fsio::with_retry("serve_accept", || listener.accept()) {
+            Ok((stream, _addr)) => {
+                let reader = match stream.try_clone() {
+                    Ok(s) => io::BufReader::new(s),
+                    Err(_) => continue,
+                };
+                let writer: SharedWriter = Arc::new(Mutex::new(Box::new(stream)));
+                let shared = Arc::clone(shared);
+                thread::spawn(move || run_session(&shared, reader, writer));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(POLL_MS));
+            }
+            Err(e) => {
+                eprintln!("mtperf serve: tcp accept failed: {e}");
+                thread::sleep(Duration::from_millis(POLL_MS));
+            }
+        }
+    }
+}
+
+/// Binds the Unix-domain listener (non-blocking), replacing a stale
+/// socket file from a previous run.
+///
+/// # Errors
+///
+/// [`CliError::Unavailable`] when the stale socket cannot be replaced or
+/// the path cannot be bound/configured.
+#[cfg(unix)]
+pub(crate) fn bind_unix(
+    sock: &std::path::Path,
+) -> Result<std::os::unix::net::UnixListener, CliError> {
+    if sock.exists() {
+        std::fs::remove_file(sock).map_err(|e| {
+            CliError::Unavailable(format!(
+                "cannot replace stale socket {}: {e}",
+                sock.display()
+            ))
+        })?;
+    }
+    let listener = std::os::unix::net::UnixListener::bind(sock).map_err(|e| {
+        CliError::Unavailable(format!("cannot bind socket {}: {e}", sock.display()))
+    })?;
+    listener.set_nonblocking(true).map_err(|e| {
+        CliError::Unavailable(format!("cannot configure socket {}: {e}", sock.display()))
+    })?;
+    Ok(listener)
+}
+
+/// Accepts Unix-socket connections until drain, one session thread each.
+#[cfg(unix)]
+pub(crate) fn accept_loop_unix(shared: &Arc<Shared>, listener: std::os::unix::net::UnixListener) {
+    loop {
+        if SHUTDOWN.load(Ordering::SeqCst) || shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        match mtperf_obs::fsio::with_retry("serve_accept", || listener.accept()) {
+            Ok((stream, _addr)) => {
+                let reader = match stream.try_clone() {
+                    Ok(s) => io::BufReader::new(s),
+                    Err(_) => continue,
+                };
+                let writer: SharedWriter = Arc::new(Mutex::new(Box::new(stream)));
+                let shared = Arc::clone(shared);
+                thread::spawn(move || run_session(&shared, reader, writer));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(POLL_MS));
+            }
+            Err(e) => {
+                eprintln!("mtperf serve: accept failed: {e}");
+                thread::sleep(Duration::from_millis(POLL_MS));
+            }
+        }
+    }
+}

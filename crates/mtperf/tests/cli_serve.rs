@@ -11,7 +11,13 @@
 //! * the Unix-socket transport speaks the same protocol;
 //! * `kill -9` during a stream of atomic saves never corrupts the model:
 //!   a fresh daemon restarts from it and batch predictions are
-//!   bit-identical to the pre-crash golden run.
+//!   bit-identical to the pre-crash golden run;
+//! * the named-model registry serves many models over one session
+//!   (load/promote/rollback/list with typed error codes), a poisoned
+//!   promote keeps the last-known-good version, and the registry
+//!   manifest survives promote → `kill -9` → restart un-torn;
+//! * the TCP transport speaks the same protocol as stdio and the Unix
+//!   socket.
 #![cfg(unix)]
 
 use std::io::{BufRead, BufReader, Read, Write};
@@ -72,6 +78,30 @@ impl Fixture {
             stderr_of(&train)
         );
         Fixture { dir, csv, model }
+    }
+
+    /// Trains a second, distinct model (different simulation seed) in the
+    /// fixture directory — candidate material for load/promote tests.
+    fn alt_model(&self, name: &str) -> String {
+        let csv = self.dir.join(format!("{name}.csv")).display().to_string();
+        let model = self.dir.join(format!("{name}.json")).display().to_string();
+        let sim = run(&[
+            "simulate",
+            "--out",
+            &csv,
+            "--instructions",
+            "60000",
+            "--seed",
+            "7",
+        ]);
+        assert!(sim.status.success(), "simulate failed: {}", stderr_of(&sim));
+        let train = run(&["train", "--data", &csv, "--out", &model]);
+        assert!(
+            train.status.success(),
+            "train failed: {}",
+            stderr_of(&train)
+        );
+        model
     }
 }
 
@@ -221,6 +251,10 @@ fn usage_errors_exit_2() {
     let out = run(&["serve", "--model", "m.json", "--workers", "0"]);
     assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
     let out = run(&["serve", "--model", "m.json", "--queue-depth", "0"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    let out = run(&["serve", "--model", "m.json", "--tenant-quota", "0"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    let out = run(&["serve", "--model", "m.json", "--cache-size", "lots"]);
     assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
 }
 
@@ -413,6 +447,285 @@ fn unix_socket_transport_speaks_the_same_protocol() {
     let status = serve.wait();
     assert!(status.success(), "{status:?}");
     assert!(!sock.exists(), "socket file must be removed on exit");
+}
+
+#[test]
+fn multi_model_session_covers_registry_lifecycle_and_error_codes() {
+    let fx = Fixture::new("registry");
+    let alt = fx.alt_model("alt");
+    let alt_json = serde_json_escape(&alt);
+    let mut serve = Serve::start(&["--model", &fx.model, "--workers", "1"]);
+    let predict_default = format!(r#"{{"op":"predict","id":"d1","rows":{}}}"#, rows_json(20));
+
+    // v1-shaped requests (no model field) keep working under v2.
+    let first = serve.request(&predict_default);
+    assert!(first.contains("\"ok\":true"), "{first}");
+
+    // Predicting against a model that is not loaded is a typed error.
+    let ghost = serve.request(&format!(
+        r#"{{"op":"predict","id":"g1","rows":{},"model":"alpha"}}"#,
+        rows_json(20)
+    ));
+    assert!(ghost.contains("\"kind\":\"unknown_model\""), "{ghost}");
+
+    // Load the candidate under a name; it becomes servable immediately.
+    let load = serve.request(&format!(
+        r#"{{"op":"load","id":"l1","model":"alpha","path":{alt_json}}}"#
+    ));
+    assert!(load.contains("\"ok\":true"), "{load}");
+    let alpha1 = serve.request(&format!(
+        r#"{{"op":"predict","id":"a1","rows":{},"model":"alpha"}}"#,
+        rows_json(20)
+    ));
+    assert!(alpha1.contains("\"ok\":true"), "{alpha1}");
+
+    // The default model is untouched by the named load.
+    let still_default = serve.request(&predict_default.replace("\"d1\"", "\"d2\""));
+    assert_eq!(
+        first.replace("\"d1\"", "\"d2\""),
+        still_default,
+        "default model changed by a named load"
+    );
+
+    // Promote a second version onto alpha, then roll it back.
+    let promote = serve.request(&format!(
+        r#"{{"op":"promote","id":"pr1","model":"alpha","path":{alt_json}}}"#
+    ));
+    assert!(promote.contains("\"ok\":true"), "{promote}");
+    let rollback = serve.request(r#"{"op":"rollback","id":"rb1","model":"alpha"}"#);
+    assert!(rollback.contains("\"ok\":true"), "{rollback}");
+    // A second rollback has no history left: typed rollback_failed.
+    let rollback2 = serve.request(r#"{"op":"rollback","id":"rb2","model":"alpha"}"#);
+    assert!(
+        rollback2.contains("\"kind\":\"rollback_failed\""),
+        "{rollback2}"
+    );
+
+    // Registry ops against unknown models are unknown_model, not crashes.
+    for req in [
+        r#"{"op":"promote","id":"e1","model":"ghost","path":"/tmp/x.json"}"#,
+        r#"{"op":"rollback","id":"e2","model":"ghost"}"#,
+    ] {
+        let resp = serve.request(req);
+        assert!(
+            resp.contains("\"kind\":\"unknown_model\""),
+            "{req} -> {resp}"
+        );
+    }
+
+    // A poisoned promote keeps the last-known-good version serving.
+    let poison = fx.dir.join("poison.json");
+    std::fs::write(&poison, "{ not a model }").unwrap();
+    let bad = serve.request(&format!(
+        r#"{{"op":"promote","id":"pr2","model":"alpha","path":{}}}"#,
+        serde_json_escape(&poison.display().to_string())
+    ));
+    assert!(bad.contains("\"kind\":\"promote_failed\""), "{bad}");
+    let alpha2 = serve.request(&alpha1_request_with_id("a2"));
+    assert!(alpha2.contains("\"ok\":true"), "{alpha2}");
+    assert_eq!(
+        alpha1.replace("\"a1\"", "\"a2\""),
+        alpha2.replace("\"degraded\":true", "\"degraded\":false"),
+        "poisoned promote changed alpha's answers"
+    );
+
+    // `list` reports both models with version/active markers.
+    let list = serve.request(r#"{"op":"list","id":"ls1"}"#);
+    assert!(list.contains("\"ok\":true"), "{list}");
+    assert!(list.contains("\"default\""), "{list}");
+    assert!(list.contains("\"alpha\""), "{list}");
+    assert!(list.contains("\"active\":true"), "{list}");
+
+    // Health counts the registry.
+    let health = serve.request(r#"{"op":"health","id":"h"}"#);
+    assert!(health.contains("\"models\":2"), "{health}");
+
+    let bye = serve.request(r#"{"op":"shutdown"}"#);
+    assert!(bye.contains("\"ok\":true"), "{bye}");
+    assert!(serve.finish().0.success());
+}
+
+/// JSON-escapes a path for embedding in a request line.
+fn serde_json_escape(path: &str) -> String {
+    format!("{path:?}")
+}
+
+/// The alpha predict request with a fresh id (shared row payload).
+fn alpha1_request_with_id(id: &str) -> String {
+    format!(
+        r#"{{"op":"predict","id":"{id}","rows":{},"model":"alpha"}}"#,
+        rows_json(20)
+    )
+}
+
+#[test]
+fn registry_manifest_survives_promote_and_kill_nine() {
+    let fx = Fixture::new("manifest");
+    let alt = fx.alt_model("cand");
+    let alt_json = serde_json_escape(&alt);
+    let manifest = fx.dir.join("registry.json").display().to_string();
+
+    // Round 1: promote the default model to the candidate artifact, let
+    // the manifest persist, then SIGKILL without any grace.
+    let mut serve = Serve::start(&[
+        "--model",
+        &fx.model,
+        "--registry",
+        &manifest,
+        "--workers",
+        "1",
+    ]);
+    let promote = serve.request(&format!(
+        r#"{{"op":"promote","id":"pr","model":"default","path":{alt_json}}}"#
+    ));
+    assert!(promote.contains("\"ok\":true"), "{promote}");
+    // The promoted model answers now (bit-identity checked after restart).
+    let before = serve.request(&format!(
+        r#"{{"op":"predict","id":"pb","rows":{}}}"#,
+        rows_json(20)
+    ));
+    assert!(before.contains("\"ok\":true"), "{before}");
+    serve.child.kill().expect("SIGKILL");
+    let _ = serve.child.wait();
+
+    // Restart from the manifest: the *promoted* version must be active —
+    // same answers as the pre-kill daemon, not the original --model.
+    let mut serve = Serve::start(&[
+        "--model",
+        &fx.model,
+        "--registry",
+        &manifest,
+        "--workers",
+        "1",
+    ]);
+    let after = serve.request(&format!(
+        r#"{{"op":"predict","id":"pb","rows":{}}}"#,
+        rows_json(20)
+    ));
+    assert_eq!(before, after, "promoted version lost across kill -9");
+    let list = serve.request(r#"{"op":"list","id":"ls"}"#);
+    assert!(list.contains("\"versions\""), "{list}");
+
+    // Round 2: flood promotes (alternating artifacts) without reading
+    // responses and SIGKILL mid-stream, several timings. However the
+    // manifest write is interrupted, a fresh daemon must start cleanly
+    // from it — promoted or prior version, never a torn manifest.
+    for (round, delay_ms) in [5u64, 20, 45].iter().enumerate() {
+        let mut serve = Serve::start(&[
+            "--model",
+            &fx.model,
+            "--registry",
+            &manifest,
+            "--workers",
+            "1",
+        ]);
+        let resp = serve.request(r#"{"op":"ready"}"#);
+        assert!(resp.contains("\"ready\":true"), "round {round}: {resp}");
+        let orig_json = serde_json_escape(&fx.model);
+        for i in 0..100 {
+            let path = if i % 2 == 0 { &alt_json } else { &orig_json };
+            serve.send(&format!(
+                r#"{{"op":"promote","id":"f{i}","model":"default","path":{path}}}"#
+            ));
+        }
+        thread::sleep(Duration::from_millis(*delay_ms));
+        serve.child.kill().expect("SIGKILL");
+        let _ = serve.child.wait();
+
+        let mut serve = Serve::start(&[
+            "--model",
+            &fx.model,
+            "--registry",
+            &manifest,
+            "--workers",
+            "1",
+        ]);
+        let health = serve.request(r#"{"op":"health","id":"h"}"#);
+        assert!(
+            health.contains("\"ready\":true"),
+            "round {round}: torn manifest broke restart: {health}"
+        );
+        let predict = serve.request(&format!(
+            r#"{{"op":"predict","id":"p","rows":{}}}"#,
+            rows_json(20)
+        ));
+        assert!(
+            predict.contains("\"ok\":true"),
+            "round {round}: restarted daemon cannot serve: {predict}"
+        );
+        let bye = serve.request(r#"{"op":"shutdown"}"#);
+        assert!(bye.contains("\"ok\":true"), "round {round}: {bye}");
+        assert!(serve.finish().0.success());
+    }
+}
+
+#[test]
+fn tcp_transport_speaks_the_same_protocol() {
+    use std::net::TcpStream;
+
+    let fx = Fixture::new("tcp");
+    // Port 0 would be ideal but the ready line is the only channel for the
+    // chosen port; a fixed high port keeps the test self-contained.
+    let addr = "127.0.0.1:47707";
+    let mut serve = Serve::start(&["--model", &fx.model, "--tcp", addr]);
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut stream = loop {
+        if let Ok(s) = TcpStream::connect(addr) {
+            break s;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "TCP listener never came up: {}",
+            serve.stderr.lock().unwrap()
+        );
+        thread::sleep(Duration::from_millis(20));
+    };
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut ask = |line: &str| -> String {
+        writeln!(stream, "{line}").unwrap();
+        stream.flush().unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        resp
+    };
+
+    let health = ask(r#"{"op":"health","id":"t1"}"#);
+    assert!(health.contains("\"ready\":true"), "{health}");
+    assert!(health.contains("mtperf-serve-v2"), "{health}");
+    let predict = ask(&format!(
+        r#"{{"op":"predict","id":"t2","rows":{}}}"#,
+        rows_json(20)
+    ));
+    assert!(predict.contains("\"ok\":true"), "{predict}");
+    assert!(predict.contains("\"id\":\"t2\""), "{predict}");
+
+    // A malformed line gets a typed refusal and the connection survives.
+    let bad = ask("not json");
+    assert!(bad.contains("\"kind\":\"bad_request\""), "{bad}");
+    let again = ask(r#"{"op":"ready","id":"t3"}"#);
+    assert!(again.contains("\"id\":\"t3\""), "{again}");
+
+    // A second concurrent connection is served.
+    let mut other = TcpStream::connect(addr).unwrap();
+    other
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    writeln!(other, r#"{{"op":"ready","id":"t4"}}"#).unwrap();
+    let mut resp = String::new();
+    BufReader::new(other.try_clone().unwrap())
+        .read_line(&mut resp)
+        .unwrap();
+    assert!(resp.contains("\"id\":\"t4\""), "{resp}");
+
+    // Shutdown over TCP drains the daemon.
+    let bye = ask(r#"{"op":"shutdown"}"#);
+    assert!(bye.contains("\"ok\":true"), "{bye}");
+    let status = serve.wait();
+    assert!(status.success(), "{status:?}");
 }
 
 #[test]

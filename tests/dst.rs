@@ -10,9 +10,11 @@ use mtperf::serve::dst::{run_sim, SimConfig};
 
 /// 1,000 randomized client sessions from one seed: concurrent predicts,
 /// malformed requests, deadline races, poisoned reloads, saves under
-/// injected I/O faults, overload storms, transport drops, drain/restart
-/// and crash/restart cycles. Every invariant must hold and the run must
-/// finish promptly — the clock is virtual, so no real waiting happens.
+/// injected I/O faults, overload storms, transport drops, interleaved
+/// multi-connection sessions with registry promote/rollback races,
+/// cache-consistency probes, drain/restart and crash/restart cycles.
+/// Every invariant must hold and the run must finish promptly — the
+/// clock is virtual, so no real waiting happens.
 #[test]
 fn thousand_session_soak_holds_all_invariants() {
     let report = run_sim(&SimConfig {
@@ -38,6 +40,23 @@ fn thousand_session_soak_holds_all_invariants() {
         report.faults_injected > 10,
         "fs faults: {}",
         report.faults_injected
+    );
+    // ... including the multi-tenant surfaces added with protocol v2.
+    assert!(
+        report.multi_conn_sessions > 100,
+        "multi-connection sessions: {}",
+        report.multi_conn_sessions
+    );
+    assert!(
+        report.registry_ops > 100,
+        "registry ops: {}",
+        report.registry_ops
+    );
+    assert!(
+        report.cache_hits + report.cache_misses > 100,
+        "cache lookups: {} hits + {} misses",
+        report.cache_hits,
+        report.cache_misses
     );
 }
 
