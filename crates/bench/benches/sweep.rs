@@ -1,0 +1,83 @@
+//! Cost of the compositional-fusion additions: analytic feature
+//! augmentation at ingest, counter transplanting to a candidate machine,
+//! and end-to-end design-space sweep throughput (configs/sec through the
+//! compiled parallel batch engine).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mtperf::analytic::{self, AnalyticModel};
+use mtperf::sweep::{SweepAxes, SweepSpec};
+use mtperf_bench::suite_samples;
+use mtperf_linalg::Parallelism;
+use mtperf_mtree::{M5Params, ModelTree};
+use mtperf_sim::MachineConfig;
+
+const INSTRUCTIONS: u64 = 100_000;
+
+fn small_grid() -> SweepSpec {
+    SweepSpec {
+        base_machine: "core2_duo".to_string(),
+        axes: SweepAxes {
+            l1d_kb: vec![16, 32],
+            l2_kb: vec![1024, 2048, 4096],
+            dtlb1_entries: vec![128, 256],
+            history_bits: vec![8, 12],
+            ..SweepAxes::default()
+        },
+        top_blame: 3,
+    }
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let samples = suite_samples(INSTRUCTIONS);
+    let machine = MachineConfig::core2_duo();
+
+    let mut group = c.benchmark_group("sweep");
+
+    // Ingest augmentation: the analytic columns vs. the plain dataset.
+    group.bench_function("ingest/counters", |b| {
+        b.iter(|| mtperf::dataset_from_samples(black_box(&samples)).unwrap());
+    });
+    group.bench_function("ingest/analytic", |b| {
+        b.iter(|| analytic::dataset_with_analytic(black_box(&samples), &machine).unwrap());
+    });
+
+    // Per-row analytic pricing on its own (the inner loop of augmentation
+    // and of analytic-mode sweeps).
+    let data = mtperf::dataset_from_samples(&samples).unwrap();
+    let model = AnalyticModel::new(machine.clone());
+    let first = data.row(0);
+    group.bench_function("analytic/components", |b| {
+        b.iter(|| model.components(black_box(&first)));
+    });
+
+    // Counter transplanting: one section re-priced for one candidate.
+    let variant = {
+        let mut m = machine.clone();
+        m.l2.size_bytes /= 4;
+        m
+    };
+    let factors = analytic::scale_factors(&machine, &variant);
+    group.bench_function("transplant/row", |b| {
+        b.iter(|| analytic::transplant_rates(black_box(&first), black_box(&factors)));
+    });
+
+    // End-to-end sweep: 24 configs x every section, through the compiled
+    // engine. Serial vs. auto parallelism, same spec, so the ratio tracks
+    // the engine's batch speedup on sweep-shaped work.
+    let params = M5Params::default().with_min_instances((data.n_rows() / 30).max(8));
+    let tree = ModelTree::fit(&data, &params).unwrap();
+    let spec = small_grid();
+    assert_eq!(spec.enumerate().unwrap().len(), 24);
+    group.sample_size(10);
+    for (label, par) in [("serial", Parallelism::Off), ("auto", Parallelism::Auto)] {
+        group.bench_function(format!("run24/{label}"), |b| {
+            b.iter(|| mtperf::sweep::run(black_box(&spec), &tree, &samples, false, par).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -9,12 +9,18 @@ use std::fs::File;
 use std::path::Path;
 
 use mtperf_counters::{IngestPolicy, SampleSet};
-use mtperf_eval::{breakdown_table, cross_validate, per_label_metrics};
+use mtperf_eval::{breakdown_table, comparison_table, cross_validate, per_label_metrics, Metrics};
 use mtperf_linalg::parallel::{self, Parallelism};
-use mtperf_mtree::{analysis, Dataset, M5Learner, M5Params, ModelTree, RuleSet};
+use mtperf_mtree::{
+    analysis, residual_dataset, Dataset, Learner, M5Learner, M5Params, ModelTree, ResidualLearner,
+    RuleSet,
+};
+use mtperf_sim::MachineConfig;
 use serde::Serialize;
 
+use crate::analytic;
 use crate::errors::CliError;
+use crate::sweep;
 
 /// Parsed command line: a subcommand plus `--key value` options.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -106,14 +112,25 @@ COMMANDS
   show       --model <model.json> [--rules]
              Print a trained tree (or its ordered rule list).
   evaluate   --data <csv> [--k N] [--min-instances N]
-             10-fold cross validation with per-workload breakdown.
+             10-fold cross validation with per-workload breakdown. With
+             --features analytic, also reports residual-fusion vs direct vs
+             analytic-alone on the same folds.
   analyze    --model <model.json> --data <csv> [--top N]
              Classify each workload's median section and rank its
              optimization opportunities (the paper's what/how-much report).
+             Pass the --features/--machine the model was trained with.
   predict    --model <model.json> --data <csv> [--out <file>] [--format csv|json]
              Batch-predict CPI for every section of a counter CSV through
              the compiled tree (bit-identical to per-row prediction) and
              emit workload, section, measured and predicted CPI.
+  sweep      --spec <spec.json> --model <model.json> --data <csv>
+             [--out <report.json>] [--format table|json] [--top N] [--residual]
+             Design-space exploration: enumerate the spec's machine grid
+             (cache size/ways, TLB entries, predictor budget), transplant
+             every measured section onto each configuration via documented
+             miss-rate power laws, score the whole grid through the
+             compiled parallel engine, and report per-config predicted CPI
+             with the counters the tree blames (schema mtperf-sweep-v1).
   serve      --model <model.json> [--socket <path>] [--tcp <addr>] [--stdio]
              [--registry <manifest.json>] [--workers N] [--queue-depth N]
              [--tenant-quota N] [--cache-size N] [--deadline-ms N]
@@ -142,6 +159,21 @@ COMMANDS
              floors; --trace-dir writes one replay trace file per seed.
 
 GLOBAL OPTIONS
+  --features <counters|analytic>
+             Feature set for --data ingest (train/evaluate/analyze/predict;
+             default counters). `analytic` appends six derived columns —
+             closed-form per-component CPI estimates (AnBase, AnFront,
+             AnMem, AnTlb, AnBr) and their sum AnCpi — priced from the
+             --machine parameters. With `counters` the ingest path is
+             bit-identical to previous releases.
+  --machine <core2_duo|netburst_like|tiny>
+             Machine whose parameters price the analytic columns
+             (default core2_duo).
+  --residual Train on (or reconstruct from) the residual CPI − AnCpi
+             instead of raw CPI. Needs --features analytic; pass the same
+             flags at train and use time. Reconstruction adds AnCpi back
+             identically on scalar and batch paths, so predictions stay
+             bit-identical across thread budgets.
   --threads <auto|off|N>
              Thread budget for training, cross validation, batch prediction,
              and serving (default auto). Work runs on a persistent worker
@@ -225,10 +257,63 @@ fn load_samples(path: &str, policy: IngestPolicy) -> Result<SampleSet, CliError>
     Ok(samples)
 }
 
-fn to_dataset(samples: &SampleSet) -> Result<(Dataset, Vec<String>), CliError> {
+/// Parses `--features counters|analytic`; `true` means the analytic columns
+/// are appended at ingest.
+fn analytic_features(args: &Args) -> Result<bool, CliError> {
+    match args.options.get("features").map(String::as_str) {
+        None | Some("counters") => Ok(false),
+        Some("analytic") => Ok(true),
+        Some(other) => Err(CliError::Usage(format!(
+            "option --features: unknown feature set {other:?} (expected counters or analytic)"
+        ))),
+    }
+}
+
+/// Parses `--machine` (default `core2_duo`), the machine whose parameters
+/// price the analytic columns.
+fn machine_from(args: &Args) -> Result<MachineConfig, CliError> {
+    match args.options.get("machine") {
+        None => Ok(MachineConfig::core2_duo()),
+        Some(name) => sweep::machine_by_name(name)
+            .map_err(|e| CliError::Usage(format!("option --machine: {e}"))),
+    }
+}
+
+/// Loads the learning problem honoring `--features`/`--machine`. The
+/// `counters` path is
+/// byte-for-byte the historical ingest — the analytic module is not even
+/// consulted — which keeps baseline training bit-identical with the flag
+/// off.
+fn to_dataset_mode(
+    samples: &SampleSet,
+    args: &Args,
+) -> Result<(Dataset, Vec<String>, bool), CliError> {
+    let analytic = analytic_features(args)?;
     let labels = crate::labels_from_samples(samples);
-    let data = crate::dataset_from_samples(samples)?;
-    Ok((data, labels))
+    let data = if analytic {
+        analytic::dataset_with_analytic(samples, &machine_from(args)?)?
+    } else {
+        crate::dataset_from_samples(samples)?
+    };
+    Ok((data, labels, analytic))
+}
+
+/// Validates `--residual` against the feature mode and resolves the
+/// baseline (`AnCpi`) column.
+fn residual_baseline(
+    args: &Args,
+    data: &Dataset,
+    analytic: bool,
+) -> Result<Option<usize>, CliError> {
+    if !args.flag("residual") {
+        return Ok(None);
+    }
+    if !analytic {
+        return Err(CliError::Usage(
+            "--residual needs --features analytic (the AnCpi baseline column)".to_string(),
+        ));
+    }
+    Ok(Some(analytic::ancpi_index(data)?))
 }
 
 /// `mtperf simulate`.
@@ -260,17 +345,33 @@ fn params_from(args: &Args, n_rows: usize) -> Result<M5Params, String> {
 }
 
 /// `mtperf train`.
+///
+/// With `--features analytic` the dataset carries the derived analytical
+/// columns; adding `--residual` retargets training at `CPI − AnCpi` so the
+/// tree learns only the analytical model's error. A residual model file is
+/// indistinguishable from a direct one — pass `--residual` again at
+/// predict/evaluate/sweep time to reconstruct.
 pub fn cmd_train(args: &Args) -> Result<(), CliError> {
     let data_path = args.require("data")?;
     let out = args.require("out")?;
     let samples = load_samples(data_path, ingest_policy(args)?)?;
-    let (data, _) = to_dataset(&samples)?;
+    let (data, _, analytic) = to_dataset_mode(&samples, args)?;
+    let data = match residual_baseline(args, &data, analytic)? {
+        Some(baseline) => residual_dataset(&data, baseline)?,
+        None => data,
+    };
     let params = params_from(args, data.n_rows())?;
     let tree = ModelTree::fit(&data, &params)?;
     tree.save(out)?;
     println!(
-        "trained on {} sections: {} classes, depth {} -> {out}",
+        "trained on {} sections ({} features{}): {} classes, depth {} -> {out}",
         data.n_rows(),
+        data.n_attrs(),
+        if args.flag("residual") {
+            ", residual target"
+        } else {
+            ""
+        },
         tree.n_leaves(),
         tree.depth()
     );
@@ -289,9 +390,17 @@ pub fn cmd_show(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliErro
 }
 
 /// `mtperf evaluate`.
+///
+/// With `--features analytic` the report additionally compares direct CV
+/// against residual-reconstruction CV and the closed-form analytical model
+/// alone, so the compositional-fusion gain is a measured number rather than
+/// an assumption.
 pub fn cmd_evaluate(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
     let samples = load_samples(args.require("data")?, ingest_policy(args)?)?;
-    let (data, labels) = to_dataset(&samples)?;
+    let (data, labels, analytic) = to_dataset_mode(&samples, args)?;
+    // --residual here only selects which model renders the per-workload
+    // breakdown; the analytic comparison below always reports both CVs.
+    let breakdown_residual = residual_baseline(args, &data, analytic)?;
     let k: usize = args.numeric("k", 10)?;
     let params = params_from(args, data.n_rows())?;
     let learner = M5Learner::new(params.clone());
@@ -314,19 +423,59 @@ pub fn cmd_evaluate(args: &Args, out: &mut dyn std::io::Write) -> Result<(), Cli
             cv.undefined_correlation_folds
         )?;
     }
-    let model = ModelTree::fit(&data, &params)?;
+    if analytic {
+        let baseline = analytic::ancpi_index(&data)?;
+        let residual_learner = ResidualLearner::new(M5Learner::new(params.clone()), baseline);
+        let residual_cv = cross_validate(&residual_learner, &data, k, 7)?;
+        let analytic_alone = Metrics::compute(data.targets(), data.column(baseline))
+            .map_err(|e| CliError::Data(e.to_string()))?;
+        writeln!(
+            out,
+            "\nresidual fusion vs direct ({k}-fold CV, same folds):"
+        )?;
+        let rows = vec![
+            ("M5' direct".to_string(), cv.pooled),
+            ("M5' on analytic residual".to_string(), residual_cv.pooled),
+            ("analytic model alone".to_string(), analytic_alone),
+        ];
+        write!(out, "{}", comparison_table(&rows))?;
+    }
     writeln!(out, "\nper-workload breakdown (training-set fit):")?;
-    let breakdown = per_label_metrics(&model, &data, &labels);
+    let breakdown = match breakdown_residual {
+        Some(baseline) => {
+            let model = ResidualLearner::new(M5Learner::new(params), baseline).fit(&data)?;
+            per_label_metrics(&*model, &data, &labels)
+        }
+        None => {
+            let model = ModelTree::fit(&data, &params)?;
+            per_label_metrics(&model, &data, &labels)
+        }
+    };
     write!(out, "{}", breakdown_table(&breakdown))?;
     Ok(())
 }
 
 /// `mtperf analyze`.
+///
+/// Use the same `--features` (and `--machine`) the model was trained with:
+/// the attribute widths must agree, and a mismatch is a typed data error
+/// (exit 65), not a panic.
 pub fn cmd_analyze(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
     let tree = ModelTree::load(args.require("model")?)?;
     let samples = load_samples(args.require("data")?, ingest_policy(args)?)?;
-    let (data, labels) = to_dataset(&samples)?;
+    let (data, labels, _) = to_dataset_mode(&samples, args)?;
     let top: usize = args.numeric("top", 3)?;
+
+    // The model remembers how many attributes it was trained on; a counter
+    // CSV ingested under the wrong --features cannot be classified.
+    let expected = tree.compile().n_attrs();
+    if data.n_attrs() < expected {
+        return Err(CliError::Data(format!(
+            "model expects {expected} attributes but the data has {}; \
+             re-run with the --features the model was trained with",
+            data.n_attrs()
+        )));
+    }
 
     let mut by_workload: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
     for (i, label) in labels.iter().enumerate() {
@@ -336,14 +485,14 @@ pub fn cmd_analyze(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliE
         indices.sort_by(|&a, &b| data.target(a).total_cmp(&data.target(b)));
         let median = indices[indices.len() / 2];
         let row = data.row(median);
-        let class = tree.classify(&row);
+        let class = tree.try_classify(&row)?;
         writeln!(
             out,
             "{workload}: median CPI {:.2}, class {}",
             data.target(median),
             class.leaf
         )?;
-        let ops = analysis::rank_opportunities(&tree, &row);
+        let ops = analysis::rank_opportunities(&tree, &row)?;
         if ops.is_empty() {
             let levers: Vec<&str> = class
                 .high_side_attrs()
@@ -382,7 +531,8 @@ struct Prediction {
 pub fn cmd_predict(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
     let tree = ModelTree::load(args.require("model")?)?;
     let samples = load_samples(args.require("data")?, ingest_policy(args)?)?;
-    let (data, _) = to_dataset(&samples)?;
+    let (data, _, analytic) = to_dataset_mode(&samples, args)?;
+    let residual = residual_baseline(args, &data, analytic)?;
     let format = args
         .options
         .get("format")
@@ -392,9 +542,18 @@ pub fn cmd_predict(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliE
     // latency-sensitive command, and lazy pool start-up plus overhead
     // calibration would otherwise land inside the first prediction.
     parallel::warm_up();
-    let predicted = tree
+    let matrix = data.to_matrix();
+    let mut predicted = tree
         .compile()
-        .try_predict_batch_with(&data.to_matrix(), parallel::global())?;
+        .try_predict_batch_with(&matrix, parallel::global())?;
+    if let Some(baseline) = residual {
+        // Residual reconstruction: one `+` per row in row order, the same
+        // operation ResidualPredictor appends on both its paths, so the
+        // output stays bit-identical to scalar residual prediction.
+        for (r, p) in predicted.iter_mut().enumerate() {
+            *p += matrix.row(r)[baseline];
+        }
+    }
     let records: Vec<Prediction> = samples
         .iter()
         .zip(&predicted)
@@ -439,6 +598,67 @@ pub fn cmd_predict(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliE
             println!("{} predictions -> {path}", records.len());
         }
         None => write!(out, "{rendered}")?,
+    }
+    Ok(())
+}
+
+/// `mtperf sweep`: design-space exploration through a trained model.
+///
+/// Reads a [`sweep::SweepSpec`] JSON file, enumerates the configuration
+/// grid, transplants every section of `--data` onto each configuration,
+/// scores the whole grid through the compiled parallel engine, and prints
+/// the best configurations with per-config counter blame. `--out` writes
+/// the full `mtperf-sweep-v1` JSON report (atomically); `--format json`
+/// prints it to stdout instead of the table.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] for bad options or spec parameters (unknown machine,
+/// zero axis values, oversized grids), [`CliError::Data`] for an unreadable
+/// spec or a model/data width mismatch, [`CliError::Io`] for file errors.
+pub fn cmd_sweep(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let spec_path = args.require("spec")?;
+    let tree = ModelTree::load(args.require("model")?)?;
+    let samples = load_samples(args.require("data")?, ingest_policy(args)?)?;
+    let top: usize = args.numeric("top", 10)?;
+    let format = args
+        .options
+        .get("format")
+        .map(String::as_str)
+        .unwrap_or("table");
+    if !matches!(format, "table" | "json") {
+        return Err(CliError::Usage(format!(
+            "option --format: unknown format {format:?} (expected table or json)"
+        )));
+    }
+    let text = std::fs::read_to_string(spec_path)
+        .map_err(|e| CliError::Io(format!("{spec_path}: {e}")))?;
+    let spec: sweep::SweepSpec =
+        serde_json::from_str(&text).map_err(|e| CliError::Data(format!("{spec_path}: {e}")))?;
+    parallel::warm_up();
+    let report = sweep::run(
+        &spec,
+        &tree,
+        &samples,
+        args.flag("residual"),
+        parallel::global(),
+    )?;
+    if let Some(path) = args.options.get("out") {
+        let mut json =
+            serde_json::to_string_pretty(&report).map_err(|e| CliError::Other(e.to_string()))?;
+        json.push('\n');
+        mtperf_obs::fsio::atomic_write(path, json.as_bytes())
+            .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+        eprintln!("{} configurations -> {path}", report.n_configs);
+    }
+    match format {
+        "json" => {
+            let mut json = serde_json::to_string_pretty(&report)
+                .map_err(|e| CliError::Other(e.to_string()))?;
+            json.push('\n');
+            write!(out, "{json}")?;
+        }
+        _ => write!(out, "{}", sweep::format_table(&report, top))?,
     }
     Ok(())
 }
@@ -640,6 +860,7 @@ pub fn dispatch(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliErro
         "evaluate" => cmd_evaluate(args, out),
         "analyze" => cmd_analyze(args, out),
         "predict" => cmd_predict(args, out),
+        "sweep" => cmd_sweep(args, out),
         "serve" => crate::serve::cmd_serve(args),
         "dst" => cmd_dst(args, out),
         other => Err(CliError::Usage(format!(
@@ -846,7 +1067,7 @@ mod tests {
         );
         let tree = ModelTree::load(&model).unwrap();
         let samples = load_samples(&csv, IngestPolicy::Strict).unwrap();
-        let (data, _) = to_dataset(&samples).unwrap();
+        let data = crate::dataset_from_samples(&samples).unwrap();
         let mut n_rows = 0;
         for (i, line) in lines.enumerate() {
             let p: f64 = line.rsplit(',').next().unwrap().parse().unwrap();

@@ -40,9 +40,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analytic;
 pub mod cli;
 pub mod errors;
 pub mod serve;
+pub mod sweep;
 
 pub use errors::CliError;
 

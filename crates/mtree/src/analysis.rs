@@ -23,7 +23,7 @@ use serde::{Deserialize, Serialize};
 use mtperf_linalg::stats;
 
 use crate::node::{LeafId, Node};
-use crate::{Dataset, ModelTree};
+use crate::{Dataset, ModelTree, MtreeError};
 
 /// One decision on the path from root to leaf.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -104,7 +104,8 @@ impl ModelTree {
     ///
     /// # Panics
     ///
-    /// Panics if `row` is shorter than the attribute count.
+    /// Panics if `row` is shorter than the attribute count; see
+    /// [`ModelTree::try_classify`] for the fallible form.
     pub fn classify(&self, row: &[f64]) -> Classification {
         assert!(row.len() >= self.attr_names().len());
         let mut path = Vec::new();
@@ -136,14 +137,61 @@ impl ModelTree {
             }
         }
     }
+
+    /// Fallible [`ModelTree::classify`]: a row shorter than the attribute
+    /// count is a typed [`MtreeError::RowLengthMismatch`] instead of a
+    /// panic, so callers feeding externally-supplied rows (the CLI, the
+    /// sweep engine) can surface a data error.
+    ///
+    /// # Errors
+    ///
+    /// [`MtreeError::RowLengthMismatch`] when `row` is shorter than the
+    /// tree's attribute count.
+    pub fn try_classify(&self, row: &[f64]) -> Result<Classification, MtreeError> {
+        check_row(self, row)?;
+        Ok(self.classify(row))
+    }
+}
+
+/// Validates that `row` covers every attribute the tree can reference.
+fn check_row(tree: &ModelTree, row: &[f64]) -> Result<(), MtreeError> {
+    let expected = tree.attr_names().len();
+    if row.len() < expected {
+        return Err(MtreeError::RowLengthMismatch {
+            expected,
+            found: row.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Validates a caller-supplied change set against a row of width
+/// `n_attrs`: every index must be in range and no index may repeat.
+fn check_changes(n_attrs: usize, changes: &[(usize, f64)]) -> Result<(), MtreeError> {
+    for (i, &(attr, _)) in changes.iter().enumerate() {
+        if attr >= n_attrs {
+            return Err(MtreeError::AttributeOutOfRange { attr, n_attrs });
+        }
+        if changes[..i].iter().any(|&(seen, _)| seen == attr) {
+            return Err(MtreeError::DuplicateAttribute { attr });
+        }
+    }
+    Ok(())
 }
 
 /// Decomposes the (raw) predicted target for `row` into per-attribute
 /// contributions, sorted by descending absolute fraction.
 ///
 /// Only attributes present in the leaf's linear model appear; split-variable
-/// effects are covered by [`split_impacts`].
-pub fn contributions(tree: &ModelTree, row: &[f64]) -> Vec<Contribution> {
+/// effects are covered by [`split_impacts`]. A zero-term leaf (a constant
+/// class after attribute elimination) yields an empty vector.
+///
+/// # Errors
+///
+/// [`MtreeError::RowLengthMismatch`] when `row` is shorter than the tree's
+/// attribute count.
+pub fn contributions(tree: &ModelTree, row: &[f64]) -> Result<Vec<Contribution>, MtreeError> {
+    check_row(tree, row)?;
     let c = tree.classify(row);
     let leaf = tree.leaf_for(row);
     let model = leaf.model();
@@ -166,17 +214,21 @@ pub fn contributions(tree: &ModelTree, row: &[f64]) -> Vec<Contribution> {
     // total_cmp: a NaN fraction (degenerate leaf model on pathological
     // data) sorts last instead of panicking the analysis.
     out.sort_by(|a, b| b.fraction.abs().total_cmp(&a.fraction.abs()));
-    out
+    Ok(out)
 }
 
 /// Ranks the *positive* contributions — the events whose mitigation the
 /// model predicts would help, best first. This is the paper's answer to the
 /// "what" (order) and "how much" (fraction) questions.
-pub fn rank_opportunities(tree: &ModelTree, row: &[f64]) -> Vec<Contribution> {
-    contributions(tree, row)
+///
+/// # Errors
+///
+/// Same conditions as [`contributions`].
+pub fn rank_opportunities(tree: &ModelTree, row: &[f64]) -> Result<Vec<Contribution>, MtreeError> {
+    Ok(contributions(tree, row)?
         .into_iter()
         .filter(|c| c.amount > 0.0)
-        .collect()
+        .collect())
 }
 
 /// Computes a [`SplitImpact`] for every split node, pre-order.
@@ -239,32 +291,59 @@ fn walk(node: &Node, data: &Dataset, idx: Vec<usize>, out: &mut Vec<SplitImpact>
 /// linear decomposition assumes the section stays in its class after the
 /// optimization, while `what_if` lets it move (e.g. eliminating all L2
 /// misses moves a section from the LM17-like class to the low-L2M subtree).
-pub fn what_if(tree: &ModelTree, row: &[f64], attr: usize, new_value: f64) -> f64 {
-    let mut modified = row.to_vec();
-    modified[attr] = new_value;
-    tree.predict_raw(&modified)
+///
+/// # Errors
+///
+/// [`MtreeError::RowLengthMismatch`] when `row` is shorter than the tree's
+/// attribute count, [`MtreeError::AttributeOutOfRange`] when `attr` indexes
+/// past the end of `row` — previously both were index panics.
+pub fn what_if(
+    tree: &ModelTree,
+    row: &[f64],
+    attr: usize,
+    new_value: f64,
+) -> Result<f64, MtreeError> {
+    what_if_many(tree, row, &[(attr, new_value)])
 }
 
 /// Counterfactual prediction with several attributes forced at once
 /// (e.g. zeroing the whole DTLB event family to model a perfect TLB).
-pub fn what_if_many(tree: &ModelTree, row: &[f64], changes: &[(usize, f64)]) -> f64 {
+///
+/// # Errors
+///
+/// The conditions of [`what_if`], plus [`MtreeError::DuplicateAttribute`]
+/// when `changes` forces the same column twice (ambiguous: only the last
+/// write would win silently).
+pub fn what_if_many(
+    tree: &ModelTree,
+    row: &[f64],
+    changes: &[(usize, f64)],
+) -> Result<f64, MtreeError> {
+    check_row(tree, row)?;
+    check_changes(row.len(), changes)?;
     let mut modified = row.to_vec();
     for &(attr, value) in changes {
         modified[attr] = value;
     }
-    tree.predict_raw(&modified)
+    Ok(tree.predict_raw(&modified))
 }
 
 /// The predicted relative gain from eliminating `attr` entirely
 /// (`what_if(.., 0.0)` against the current prediction); positive means the
 /// model expects an improvement.
-pub fn elimination_gain(tree: &ModelTree, row: &[f64], attr: usize) -> f64 {
+///
+/// # Errors
+///
+/// Same conditions as [`what_if`].
+pub fn elimination_gain(tree: &ModelTree, row: &[f64], attr: usize) -> Result<f64, MtreeError> {
+    check_row(tree, row)?;
+    check_changes(row.len(), &[(attr, 0.0)])?;
     let before = tree.predict_raw(row);
     if before == 0.0 {
-        return 0.0;
+        return Ok(0.0);
     }
-    let after = what_if(tree, row, attr, 0.0);
-    (before - after) / before
+    let after = what_if(tree, row, attr, 0.0)?;
+    Ok((before - after) / before)
 }
 
 /// Pairwise interaction cost of two events, in the sense of Fields et al.
@@ -279,16 +358,28 @@ pub fn elimination_gain(tree: &ModelTree, row: &[f64], attr: usize) -> f64 {
 /// eliminating both is worth more than the sum of the parts (parallel
 /// interaction, e.g. an L2 miss hiding a page walk); negative means the
 /// gains overlap.
-pub fn interaction_cost(tree: &ModelTree, row: &[f64], a: usize, b: usize) -> f64 {
+///
+/// # Errors
+///
+/// The conditions of [`what_if_many`]; `a == b` is a
+/// [`MtreeError::DuplicateAttribute`].
+pub fn interaction_cost(
+    tree: &ModelTree,
+    row: &[f64],
+    a: usize,
+    b: usize,
+) -> Result<f64, MtreeError> {
+    check_row(tree, row)?;
+    check_changes(row.len(), &[(a, 0.0), (b, 0.0)])?;
     let before = tree.predict_raw(row);
     if before == 0.0 {
-        return 0.0;
+        return Ok(0.0);
     }
     let mut both = row.to_vec();
     both[a] = 0.0;
     both[b] = 0.0;
     let gain_both = (before - tree.predict_raw(&both)) / before;
-    gain_both - elimination_gain(tree, row, a) - elimination_gain(tree, row, b)
+    Ok(gain_both - elimination_gain(tree, row, a)? - elimination_gain(tree, row, b)?)
 }
 
 /// Counts how many of `rows` land in each leaf.
@@ -378,7 +469,7 @@ mod tests {
     fn contributions_decompose_prediction() {
         let t = tree();
         let row = [0.001, 0.07];
-        let cs = contributions(&t, &row);
+        let cs = contributions(&t, &row).unwrap();
         let pred = t.predict_raw(&row);
         let leaf_model = t.leaf_for(&row).model();
         let total: f64 = leaf_model.intercept() + cs.iter().map(|c| c.amount).sum::<f64>();
@@ -396,7 +487,7 @@ mod tests {
     #[test]
     fn opportunities_are_positive_and_ranked() {
         let t = tree();
-        let ops = rank_opportunities(&t, &[0.001, 0.07]);
+        let ops = rank_opportunities(&t, &[0.001, 0.07]).unwrap();
         assert!(ops.iter().all(|c| c.amount > 0.0));
         for w in ops.windows(2) {
             assert!(w[0].fraction.abs() >= w[1].fraction.abs());
@@ -426,14 +517,14 @@ mod tests {
         // subtree and drop the prediction markedly.
         let row = [0.03, 0.05];
         let before = t.predict_raw(&row);
-        let after = what_if(&t, &row, 0, 0.0);
+        let after = what_if(&t, &row, 0, 0.0).unwrap();
         assert!(after < before, "{after} vs {before}");
         assert_ne!(
             t.leaf_id_for(&row),
             t.leaf_id_for(&[0.0, 0.05]),
             "class must change"
         );
-        let gain = elimination_gain(&t, &row, 0);
+        let gain = elimination_gain(&t, &row, 0).unwrap();
         assert!(gain > 0.2, "gain = {gain}");
     }
 
@@ -444,7 +535,7 @@ mod tests {
         // prediction must follow the leaf's linear model.
         let row = [0.001, 0.05];
         let leaf = t.leaf_for(&row);
-        let new = what_if(&t, &row, 1, 0.06);
+        let new = what_if(&t, &row, 1, 0.06).unwrap();
         if t.leaf_id_for(&[0.001, 0.06]) == t.leaf_id_for(&row) {
             let expect = leaf.model().predict(&[0.001, 0.06]);
             assert!((new - expect).abs() < 1e-12);
@@ -461,7 +552,7 @@ mod tests {
             && t.leaf_id_for(&row) == t.leaf_id_for(&[0.001, 0.0])
             && t.leaf_id_for(&row) == t.leaf_id_for(&[0.0, 0.0]);
         if same_class {
-            let ic = interaction_cost(&t, &row, 0, 1);
+            let ic = interaction_cost(&t, &row, 0, 1).unwrap();
             assert!(ic.abs() < 1e-9, "ic = {ic}");
         }
     }
@@ -471,7 +562,7 @@ mod tests {
         let t = tree();
         for &row in &[[0.03, 0.07], [0.001, 0.02]] {
             for attr in 0..2 {
-                let g = elimination_gain(&t, &row, attr);
+                let g = elimination_gain(&t, &row, attr).unwrap();
                 assert!(g.is_finite());
                 assert!(g < 1.0, "gain cannot exceed 100%: {g}");
             }
@@ -508,5 +599,87 @@ mod tests {
     fn occupancy_by_label_checks_lengths() {
         let t = tree();
         occupancy_by_label(&t, &[vec![0.0, 0.0]], &[]);
+    }
+
+    #[test]
+    fn what_if_rejects_out_of_range_attr() {
+        let t = tree();
+        let row = [0.03, 0.05];
+        let err = what_if(&t, &row, 7, 0.0).unwrap_err();
+        assert_eq!(
+            err,
+            MtreeError::AttributeOutOfRange {
+                attr: 7,
+                n_attrs: 2
+            }
+        );
+        let err = what_if_many(&t, &row, &[(0, 0.0), (99, 0.0)]).unwrap_err();
+        assert!(matches!(
+            err,
+            MtreeError::AttributeOutOfRange { attr: 99, .. }
+        ));
+        assert!(matches!(
+            elimination_gain(&t, &row, 2).unwrap_err(),
+            MtreeError::AttributeOutOfRange { attr: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn what_if_many_rejects_duplicate_attrs() {
+        let t = tree();
+        let row = [0.03, 0.05];
+        let err = what_if_many(&t, &row, &[(1, 0.0), (1, 0.1)]).unwrap_err();
+        assert_eq!(err, MtreeError::DuplicateAttribute { attr: 1 });
+        assert_eq!(
+            interaction_cost(&t, &row, 0, 0).unwrap_err(),
+            MtreeError::DuplicateAttribute { attr: 0 }
+        );
+    }
+
+    #[test]
+    fn short_rows_are_typed_errors_not_panics() {
+        let t = tree();
+        let short = [0.03];
+        assert_eq!(
+            t.try_classify(&short).unwrap_err(),
+            MtreeError::RowLengthMismatch {
+                expected: 2,
+                found: 1
+            }
+        );
+        assert!(matches!(
+            contributions(&t, &short).unwrap_err(),
+            MtreeError::RowLengthMismatch { .. }
+        ));
+        assert!(matches!(
+            rank_opportunities(&t, &short).unwrap_err(),
+            MtreeError::RowLengthMismatch { .. }
+        ));
+        assert!(matches!(
+            what_if(&t, &short, 0, 0.0).unwrap_err(),
+            MtreeError::RowLengthMismatch { .. }
+        ));
+        assert!(matches!(
+            interaction_cost(&t, &short, 0, 1).unwrap_err(),
+            MtreeError::RowLengthMismatch { .. }
+        ));
+        // A wider row than the tree is fine (extra columns are ignored).
+        assert!(t.try_classify(&[0.03, 0.05, 9.9]).is_ok());
+    }
+
+    #[test]
+    fn contributions_on_zero_term_leaf_are_empty() {
+        // A constant target trains to a single zero-term leaf; the analysis
+        // must degrade to "no opportunities", not panic.
+        let rows: Vec<[f64; 2]> = (0..40).map(|i| [(i % 5) as f64, 1.0]).collect();
+        let ys = vec![2.2; 40];
+        let d = Dataset::from_rows(vec!["a".into(), "b".into()], &rows, &ys).unwrap();
+        let t = ModelTree::fit(&d, &M5Params::default()).unwrap();
+        let cs = contributions(&t, &[1.0, 1.0]).unwrap();
+        assert!(cs.is_empty());
+        assert!(rank_opportunities(&t, &[1.0, 1.0]).unwrap().is_empty());
+        // what_if on the constant tree keeps the constant prediction.
+        let w = what_if(&t, &[1.0, 1.0], 0, 100.0).unwrap();
+        assert!((w - 2.2).abs() < 1e-9);
     }
 }

@@ -162,47 +162,63 @@ impl ModelTable {
         self.intercept[m] + acc
     }
 
-    /// Model-major accumulation: adds model `m`'s terms, in term order, to
-    /// `acc[r]` for every row index in `idx` (`acc` starts at 0.0, the
+    /// Row-quad-major accumulation: adds model `m`'s terms, in term order,
+    /// to `acc[r]` for every row index in `idx` (`acc` starts at 0.0, the
     /// intercept is applied by the caller — the per-row operation sequence
-    /// is exactly [`ModelTable::eval`]'s). Iterating terms in the outer
-    /// loop keeps the inner row loop free of the chained
-    /// `term_attr[t] → row[a]` loads that serialize the per-row form: the
-    /// attribute and coefficient are hoisted once per term and every
-    /// row's multiply-add is independent.
-    /// The row loop runs in 4-wide chunks: the four gather-multiply-adds of
-    /// a chunk touch distinct rows, so they are fully independent and the
-    /// autovectorizer/pipeliner can overlap their loads — and since each
-    /// `acc[r]` still receives exactly the same `+= c * data[...]` in the
-    /// same term order, the chunking cannot change a single bit of output.
+    /// is exactly [`ModelTable::eval`]'s).
+    ///
+    /// The quad iteration is hoisted to the outer loop (the previous
+    /// term-major form re-walked the whole index slice once per term via a
+    /// cloned chunk iterator, touching every `acc[r]` cache line `n_terms`
+    /// times). Each quad loads its four accumulators into locals once, runs
+    /// all terms with the attribute/coefficient pair hoisted per iteration,
+    /// and stores the four sums back once. The four chains are independent,
+    /// so the pipeliner can overlap their gathers without vectorizing —
+    /// this shape no longer depends on the autovectorizer firing at all.
+    ///
+    /// Bit-identity: every row is owned by exactly one model, and its local
+    /// accumulator receives exactly the same `+= c * data[...]` sequence in
+    /// the same term order as the scalar walk — only the interleaving
+    /// *across* rows changes, which cannot affect any row's bit pattern.
     fn accumulate(&self, m: usize, data: &[f64], cols: usize, idx: &[u32], acc: &mut [f64]) {
         let start = self.term_start[m] as usize;
         let end = self.term_start[m + 1] as usize;
+        let attrs = &self.term_attr[start..end];
+        let coefs = &self.term_coef[start..end];
         let quads = idx.chunks_exact(4);
         let tail = quads.remainder();
-        for t in start..end {
-            let a = self.term_attr[t] as usize;
-            let c = self.term_coef[t];
-            for quad in quads.clone() {
-                let [r0, r1, r2, r3] = [
-                    quad[0] as usize,
-                    quad[1] as usize,
-                    quad[2] as usize,
-                    quad[3] as usize,
-                ];
-                let v0 = c * data[r0 * cols + a];
-                let v1 = c * data[r1 * cols + a];
-                let v2 = c * data[r2 * cols + a];
-                let v3 = c * data[r3 * cols + a];
-                acc[r0] += v0;
-                acc[r1] += v1;
-                acc[r2] += v2;
-                acc[r3] += v3;
+        for quad in quads {
+            let [r0, r1, r2, r3] = [
+                quad[0] as usize,
+                quad[1] as usize,
+                quad[2] as usize,
+                quad[3] as usize,
+            ];
+            let (b0, b1, b2, b3) = (r0 * cols, r1 * cols, r2 * cols, r3 * cols);
+            let mut a0 = acc[r0];
+            let mut a1 = acc[r1];
+            let mut a2 = acc[r2];
+            let mut a3 = acc[r3];
+            for (&a, &c) in attrs.iter().zip(coefs) {
+                let a = a as usize;
+                a0 += c * data[b0 + a];
+                a1 += c * data[b1 + a];
+                a2 += c * data[b2 + a];
+                a3 += c * data[b3 + a];
             }
-            for &r in tail {
-                let r = r as usize;
-                acc[r] += c * data[r * cols + a];
+            acc[r0] = a0;
+            acc[r1] = a1;
+            acc[r2] = a2;
+            acc[r3] = a3;
+        }
+        for &r in tail {
+            let r = r as usize;
+            let base = r * cols;
+            let mut sum = acc[r];
+            for (&a, &c) in attrs.iter().zip(coefs) {
+                sum += c * data[base + a as usize];
             }
+            acc[r] = sum;
         }
     }
 

@@ -26,6 +26,22 @@ pub enum MtreeError {
     },
     /// Attribute names must be unique and non-empty.
     BadAttributeNames,
+    /// A caller-supplied attribute index is out of range for the row or
+    /// model it was applied to (e.g. a `what_if` change on a column the
+    /// instance does not have).
+    AttributeOutOfRange {
+        /// The offending attribute index.
+        attr: usize,
+        /// Number of attributes actually available.
+        n_attrs: usize,
+    },
+    /// The same attribute appears more than once in a set of changes that
+    /// must be disjoint (e.g. `what_if_many` forcing one column twice —
+    /// ambiguous, since only the last write would win silently).
+    DuplicateAttribute {
+        /// The attribute index that was repeated.
+        attr: usize,
+    },
     /// Training parameters are inconsistent.
     BadParams(String),
     /// The data itself is degenerate for the requested computation: an
@@ -54,6 +70,15 @@ impl fmt::Display for MtreeError {
             },
             MtreeError::BadAttributeNames => {
                 write!(f, "attribute names must be unique and non-empty")
+            }
+            MtreeError::AttributeOutOfRange { attr, n_attrs } => {
+                write!(
+                    f,
+                    "attribute index {attr} out of range (row has {n_attrs} attributes)"
+                )
+            }
+            MtreeError::DuplicateAttribute { attr } => {
+                write!(f, "attribute index {attr} appears more than once")
             }
             MtreeError::BadParams(msg) => write!(f, "bad training parameters: {msg}"),
             MtreeError::DegenerateData(msg) => write!(f, "degenerate data: {msg}"),
@@ -114,6 +139,15 @@ mod tests {
         assert!(MtreeError::DegenerateData("empty fold".into())
             .to_string()
             .contains("empty fold"));
+        assert!(MtreeError::AttributeOutOfRange {
+            attr: 9,
+            n_attrs: 4
+        }
+        .to_string()
+        .contains("index 9"));
+        assert!(MtreeError::DuplicateAttribute { attr: 3 }
+            .to_string()
+            .contains("more than once"));
     }
 
     #[test]

@@ -58,6 +58,7 @@ mod params;
 mod persist;
 mod phase;
 mod render;
+mod residual;
 mod rules;
 mod split;
 mod tree;
@@ -71,6 +72,7 @@ pub use node::{LeafId, Node};
 pub use params::M5Params;
 pub use persist::PersistError;
 pub use phase::{Phase, PhaseTracker};
+pub use residual::{residual_dataset, ResidualLearner, ResidualPredictor};
 pub use rules::{Condition, Rule, RuleSet};
 pub use split::{best_split, best_split_with, Split};
 pub use tree::ModelTree;

@@ -1,0 +1,177 @@
+//! Property-based tests for the analysis layer on degenerate inputs.
+//!
+//! The what-if/contribution family is the user-facing surface of the
+//! paper's methodology, and it is fed rows from *outside* the training
+//! set — CSV imports, hypothetical machine states, caller-constructed
+//! vectors. This suite fuzzes that surface with the nasty shapes the unit
+//! tests cannot enumerate: constant targets (zero-term leaf models),
+//! constant columns, tiny datasets, short/long rows, out-of-range and
+//! duplicate change lists. The invariant under test is uniform: every
+//! malformed input is a typed [`MtreeError`], every well-formed input a
+//! finite answer — never a panic.
+
+use mtperf_mtree::{analysis, Dataset, M5Params, ModelTree, MtreeError};
+use proptest::prelude::*;
+
+/// Strategy: a dataset over three attributes where one column may be
+/// constant and the target may be constant, piecewise, or linear — the
+/// regimes that produce zero-term leaves, eliminated attributes, and
+/// single-leaf trees.
+fn degenerate_dataset() -> impl Strategy<Value = Dataset> {
+    (
+        prop::collection::vec((-10.0..10.0f64, -10.0..10.0f64, -10.0..10.0f64), 10..50),
+        0u32..3,      // target regime: constant / piecewise / linear
+        0u32..2,      // freeze column 1 to a constant?
+        -5.0..5.0f64, // the constant value
+    )
+        .prop_map(|(xs, regime, freeze, constant)| {
+            let rows: Vec<[f64; 3]> = xs
+                .iter()
+                .map(|&(a, b, c)| [a, if freeze == 1 { constant } else { b }, c])
+                .collect();
+            let ys: Vec<f64> = rows
+                .iter()
+                .map(|r| match regime {
+                    0 => 2.5,
+                    1 => {
+                        if r[0] <= 0.0 {
+                            1.0 + 0.4 * r[2]
+                        } else {
+                            6.0 - 0.2 * r[2]
+                        }
+                    }
+                    _ => 0.5 * r[0] + 0.25 * r[1] - 0.1 * r[2],
+                })
+                .collect();
+            Dataset::from_rows(vec!["a".into(), "b".into(), "c".into()], &rows, &ys).unwrap()
+        })
+}
+
+fn fit(d: &Dataset, min_inst: usize, smooth: bool) -> ModelTree {
+    ModelTree::fit(
+        d,
+        &M5Params::default()
+            .with_min_instances(min_inst)
+            .with_smoothing(smooth),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Well-formed rows get finite answers from the whole analysis family,
+    /// whatever degenerate shape the tree grew into.
+    #[test]
+    fn well_formed_rows_never_panic_or_return_non_finite(
+        d in degenerate_dataset(),
+        min_inst in 2usize..12,
+        smooth in 0u32..2,
+        probe in prop::collection::vec(-20.0..20.0f64, 3),
+    ) {
+        let tree = fit(&d, min_inst, smooth == 1);
+        let class = tree.try_classify(&probe).unwrap();
+        prop_assert!(class.prediction.is_finite());
+
+        let contribs = analysis::contributions(&tree, &probe).unwrap();
+        for c in &contribs {
+            prop_assert!(c.amount.is_finite());
+            prop_assert!(c.fraction.is_finite());
+        }
+        let ops = analysis::rank_opportunities(&tree, &probe).unwrap();
+        prop_assert!(ops.len() <= contribs.len());
+
+        for attr in 0..3 {
+            prop_assert!(analysis::what_if(&tree, &probe, attr, 0.0).unwrap().is_finite());
+            prop_assert!(analysis::elimination_gain(&tree, &probe, attr).unwrap().is_finite());
+        }
+        let combined = analysis::what_if_many(
+            &tree,
+            &probe,
+            &[(0, 0.0), (2, 1.0)],
+        )
+        .unwrap();
+        prop_assert!(combined.is_finite());
+        prop_assert!(analysis::interaction_cost(&tree, &probe, 0, 2).unwrap().is_finite());
+    }
+
+    /// Malformed inputs are typed errors — the exact variants the CLI maps
+    /// to exit 65 — not index panics.
+    #[test]
+    fn malformed_inputs_are_typed_errors(
+        d in degenerate_dataset(),
+        min_inst in 2usize..12,
+        bad_attr in 3usize..20,
+        probe in prop::collection::vec(-20.0..20.0f64, 3),
+    ) {
+        let tree = fit(&d, min_inst, true);
+
+        // Short row: one attribute missing.
+        let short = &probe[..2];
+        prop_assert!(matches!(
+            tree.try_classify(short).unwrap_err(),
+            MtreeError::RowLengthMismatch { .. }
+        ));
+        prop_assert!(matches!(
+            analysis::contributions(&tree, short).unwrap_err(),
+            MtreeError::RowLengthMismatch { .. }
+        ));
+        prop_assert!(matches!(
+            analysis::what_if(&tree, short, 0, 0.0).unwrap_err(),
+            MtreeError::RowLengthMismatch { .. }
+        ));
+
+        // Out-of-range attribute index.
+        prop_assert!(matches!(
+            analysis::what_if(&tree, &probe, bad_attr, 0.0).unwrap_err(),
+            MtreeError::AttributeOutOfRange { attr, .. } if attr == bad_attr
+        ));
+        prop_assert!(matches!(
+            analysis::elimination_gain(&tree, &probe, bad_attr).unwrap_err(),
+            MtreeError::AttributeOutOfRange { .. }
+        ));
+
+        // Duplicate attributes in one change set (including via
+        // interaction_cost's a == b precondition).
+        prop_assert!(matches!(
+            analysis::what_if_many(&tree, &probe, &[(1, 0.5), (1, 0.7)]).unwrap_err(),
+            MtreeError::DuplicateAttribute { attr: 1 }
+        ));
+        prop_assert!(matches!(
+            analysis::interaction_cost(&tree, &probe, 2, 2).unwrap_err(),
+            MtreeError::DuplicateAttribute { attr: 2 }
+        ));
+
+        // Longer-than-needed rows stay accepted (forward compatibility
+        // with augmented feature sets).
+        let mut long = probe.clone();
+        long.push(0.0);
+        prop_assert!(tree.try_classify(&long).is_ok());
+        prop_assert!(analysis::what_if(&tree, &long, 3, 1.0).is_ok());
+    }
+
+    /// A constant-target tree classifies every row to a zero-term model:
+    /// no contributions, no opportunities, and what-if moves nothing.
+    #[test]
+    fn constant_targets_yield_empty_contributions(
+        n in 10usize..40,
+        probe in prop::collection::vec(-10.0..10.0f64, 3),
+        y in -3.0..3.0f64,
+    ) {
+        let rows: Vec<[f64; 3]> = (0..n)
+            .map(|i| [i as f64, (i % 5) as f64, -(i as f64)])
+            .collect();
+        let ys = vec![y; n];
+        let d = Dataset::from_rows(
+            vec!["a".into(), "b".into(), "c".into()],
+            &rows,
+            &ys,
+        )
+        .unwrap();
+        let tree = fit(&d, 4, true);
+        prop_assert!(analysis::contributions(&tree, &probe).unwrap().is_empty());
+        prop_assert!(analysis::rank_opportunities(&tree, &probe).unwrap().is_empty());
+        let moved = analysis::what_if(&tree, &probe, 0, 100.0).unwrap();
+        prop_assert!((moved - y).abs() < 1e-9);
+    }
+}

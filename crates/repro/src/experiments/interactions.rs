@@ -62,7 +62,8 @@ pub fn run(ctx: &Context) {
                 if row[b] == 0.0 {
                     continue;
                 }
-                let ic = analysis::interaction_cost(&ctx.tree, &row, a, b);
+                let ic = analysis::interaction_cost(&ctx.tree, &row, a, b)
+                    .expect("distinct in-range events");
                 if best.is_none_or(|(_, _, prev)| ic.abs() > prev.abs()) {
                     best = Some((a, b, ic));
                 }

@@ -55,7 +55,7 @@ pub fn run(ctx: &Context) {
     let mut best: Option<(usize, analysis::Contribution)> = None;
     for i in (0..ctx.data.n_rows()).step_by(7) {
         let row = ctx.data.row(i);
-        for c in analysis::rank_opportunities(&ctx.tree, &row) {
+        for c in analysis::rank_opportunities(&ctx.tree, &row).expect("row from training data") {
             if !actionable.contains(&ctx.data.attr_name(c.attr)) {
                 continue;
             }

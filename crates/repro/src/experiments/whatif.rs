@@ -63,7 +63,8 @@ fn reroute_gain(ctx: &Context, row: &[f64], events: &[&str]) -> f64 {
         .map(|name| (ctx.data.attr_index(name).expect("known event"), 0.0))
         .collect();
     let before = ctx.tree.predict_raw(row);
-    let after = analysis::what_if_many(&ctx.tree, row, &changes);
+    let after =
+        analysis::what_if_many(&ctx.tree, row, &changes).expect("in-range, distinct events");
     (before - after) / before
 }
 

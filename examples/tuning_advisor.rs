@@ -61,7 +61,7 @@ fn main() {
                 .collect::<Vec<_>>()
                 .join("  &  ")
         );
-        let opportunities = analysis::rank_opportunities(&tree, &row);
+        let opportunities = analysis::rank_opportunities(&tree, &row).expect("row matches tree");
         if opportunities.is_empty() {
             println!("   no in-model opportunities (constant class model);");
             println!("   the split variables on the path above are the levers.");

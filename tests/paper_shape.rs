@@ -185,7 +185,7 @@ fn contribution_ranking_answers_what_and_how_much() {
         .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
         .expect("mcf sections exist");
     let row = f.data.row(idx);
-    let ops = analysis::rank_opportunities(&f.tree, &row);
+    let ops = analysis::rank_opportunities(&f.tree, &row).expect("row matches tree");
     let memory_events = [
         "L2M",
         "L1DM",
