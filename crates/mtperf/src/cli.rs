@@ -134,6 +134,7 @@ COMMANDS
   serve      --model <model.json> [--socket <path>] [--tcp <addr>] [--stdio]
              [--registry <manifest.json>] [--workers N] [--queue-depth N]
              [--tenant-quota N] [--cache-size N] [--deadline-ms N]
+             [--keep-versions N]
              Long-running multi-tenant prediction daemon speaking
              newline-delimited JSON (schema mtperf-serve-v2, a strict
              superset of v1) over stdin/stdout, a Unix socket, and/or a
@@ -146,6 +147,26 @@ COMMANDS
              deadlines, degraded fallback, atomic (kill-safe) saves,
              SIGTERM drain-then-exit. --socket/--tcp alone disable the
              stdio session; add --stdio to serve it alongside.
+             --keep-versions N bounds each model's rollback history:
+             promotes garbage-collect versions beyond the newest N and
+             delete artifacts no resident version references (the active
+             version and rollback targets are never collected).
+  serve --fleet --replicas <ep,ep,...> [--socket <path>] [--tcp <addr>]
+             [--stdio] [--hedge-ms N] [--retry-attempts N]
+             [--retry-base-ms N]
+             Fault-tolerant replica router: speaks mtperf-serve-v2 to
+             clients unchanged while multiplexing over the given replica
+             endpoints (host:port, or socket paths containing '/').
+             Consecutive failures open a per-replica circuit breaker with
+             probed half-open recovery; dispatch is power-of-two-choices
+             on in-flight counts; idempotent ops (predict, health, ready,
+             list) fail over under a deadline-aware retry budget with
+             decorrelated-jitter backoff; predicts slower than --hedge-ms
+             (default 50) are hedged once to a second replica, first
+             well-formed answer wins. Mutating ops broadcast fleet-wide;
+             health merges per-replica reports. When every replica is
+             down the client gets a typed `unavailable` error, never a
+             hang.
   dst        [--seed N] [--seeds N] [--sessions N] [--trace-dir <dir>]
              Deterministic simulation of the serving stack: drives randomized
              client sessions (faulty transports, interleaved multi-connection
@@ -157,6 +178,14 @@ COMMANDS
              --seeds sweeps N consecutive seeds, aggregates coverage across
              the sweep, and fails if the aggregate misses its coverage
              floors; --trace-dir writes one replay trace file per seed.
+             Each seed additionally runs a fleet simulation (2-4 replica
+             engines behind the --fleet router under virtual time, with
+             scripted replica kills/restarts, partition-heal cycles,
+             latency spikes, transport drops, and poisoned promotes on
+             replica subsets) checking the fleet invariants: exactly-once
+             answers despite hedging, no request lost across a replica
+             kill, circuit-open replicas receive only probes, replies
+             route to the issuing connection.
 
 GLOBAL OPTIONS
   --features <counters|analytic>
@@ -248,9 +277,14 @@ fn ingest_policy(args: &Args) -> Result<IngestPolicy, CliError> {
 ///
 /// Under skip/repair the ingest report (with quarantine and repair
 /// diagnostics) goes to stderr, keeping stdout for command output.
+///
+/// The read goes through [`mtperf_obs::fsio::read`], so transient I/O
+/// faults (EINTR-class) are retried with jittered backoff, persistent
+/// ones surface as a typed I/O error (exit 74), and the whole path is
+/// drivable from the deterministic-simulation fs-fault seam.
 fn load_samples(path: &str, policy: IngestPolicy) -> Result<SampleSet, CliError> {
-    let file = File::open(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
-    let (samples, report) = mtperf_counters::read_csv_with_policy(file, policy)?;
+    let bytes = mtperf_obs::fsio::read(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+    let (samples, report) = mtperf_counters::read_csv_with_policy(&bytes[..], policy)?;
     if policy != IngestPolicy::Strict {
         eprintln!("{report}");
     }
@@ -677,6 +711,10 @@ struct SweepCoverage {
     multi_conn_sessions: u64,
     registry_ops: u64,
     cache_lookups: u64,
+    fleet_kills: u64,
+    fleet_circuit_opens: u64,
+    fleet_hedged: u64,
+    fleet_failovers: u64,
 }
 
 impl SweepCoverage {
@@ -691,9 +729,16 @@ impl SweepCoverage {
         self.cache_lookups += r.cache_hits + r.cache_misses;
     }
 
+    fn absorb_fleet(&mut self, r: &crate::serve::fleet::dst::FleetSimReport) {
+        self.fleet_kills += r.replica_kills;
+        self.fleet_circuit_opens += r.circuit_opens;
+        self.fleet_hedged += r.hedged_predicts;
+        self.fleet_failovers += r.failovers;
+    }
+
     /// Floors every aggregate must clear; returns the list of misses.
     fn misses(&self) -> Vec<String> {
-        let floors: [(&str, u64, u64); 8] = [
+        let floors: [(&str, u64, u64); 12] = [
             ("requests", self.requests, 1),
             ("responses", self.responses, 1),
             ("typed_errors", self.typed_errors, 1),
@@ -702,6 +747,10 @@ impl SweepCoverage {
             ("multi_conn_sessions", self.multi_conn_sessions, 1),
             ("registry_ops", self.registry_ops, 1),
             ("cache_lookups", self.cache_lookups, 1),
+            ("fleet_replica_kills", self.fleet_kills, 1),
+            ("fleet_circuit_opens", self.fleet_circuit_opens, 1),
+            ("fleet_hedged_predicts", self.fleet_hedged, 1),
+            ("fleet_failovers", self.fleet_failovers, 1),
         ];
         floors
             .iter()
@@ -764,6 +813,10 @@ pub fn cmd_dst(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError
         multi_conn_sessions: 0,
         registry_ops: 0,
         cache_lookups: 0,
+        fleet_kills: 0,
+        fleet_circuit_opens: 0,
+        fleet_hedged: 0,
+        fleet_failovers: 0,
     };
     for seed in base_seed..base_seed.saturating_add(seeds) {
         let report = crate::serve::dst::run_sim(&crate::serve::dst::SimConfig { seed, sessions });
@@ -805,6 +858,54 @@ pub fn cmd_dst(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError
                 report.violations.len()
             )));
         }
+        let fleet_report =
+            crate::serve::fleet::dst::run_fleet_sim(&crate::serve::fleet::dst::FleetSimConfig {
+                seed,
+                sessions,
+            });
+        coverage.absorb_fleet(&fleet_report);
+        writeln!(
+            out,
+            "dst fleet seed={seed} sessions={sessions} requests={} responses={} \
+             typed_errors={} kills={} restarts={} circuit_opens={} hedged={} failovers={} \
+             unavailable={} broadcasts={} fs_faults={} trace_hash={:016x} verdict={}",
+            fleet_report.requests,
+            fleet_report.responses,
+            fleet_report.typed_errors,
+            fleet_report.replica_kills,
+            fleet_report.replica_restarts,
+            fleet_report.circuit_opens,
+            fleet_report.hedged_predicts,
+            fleet_report.failovers,
+            fleet_report.unavailable,
+            fleet_report.broadcasts,
+            fleet_report.fs_faults,
+            fleet_report.trace_hash(),
+            if fleet_report.passed() {
+                "pass"
+            } else {
+                "FAIL"
+            },
+        )?;
+        if let Some(dir) = &trace_dir {
+            let path = dir.join(format!("dst-fleet-{seed:016x}.trace"));
+            fleet_report
+                .write_trace(&path)
+                .map_err(|e| CliError::Io(format!("{}: {e}", path.display())))?;
+        }
+        if !fleet_report.passed() {
+            for v in &fleet_report.violations {
+                writeln!(out, "dst fleet seed={seed} violation: {v}")?;
+            }
+            writeln!(
+                out,
+                "dst: replay with `mtperf dst --seed {seed} --sessions {sessions}`"
+            )?;
+            return Err(CliError::Other(format!(
+                "dst: fleet seed {seed} violated {} invariant(s)",
+                fleet_report.violations.len()
+            )));
+        }
     }
     if seeds > 1 {
         writeln!(
@@ -819,6 +920,14 @@ pub fn cmd_dst(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError
             coverage.multi_conn_sessions,
             coverage.registry_ops,
             coverage.cache_lookups,
+        )?;
+        writeln!(
+            out,
+            "dst fleet sweep seeds={seeds} kills={} circuit_opens={} hedged={} failovers={}",
+            coverage.fleet_kills,
+            coverage.fleet_circuit_opens,
+            coverage.fleet_hedged,
+            coverage.fleet_failovers,
         )?;
         let misses = coverage.misses();
         if !misses.is_empty() {
@@ -1140,5 +1249,74 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err.exit_code(), 74);
+    }
+
+    /// The training pipeline's file reads go through the fs-fault seam:
+    /// transient (EINTR-class) read faults are absorbed by the bounded
+    /// retry, persistent ones surface as the typed i/o error (exit 74) —
+    /// and neither path ever panics.
+    #[test]
+    fn train_under_seeded_read_faults_retries_then_fails_typed() {
+        use mtperf_detsim::clock::{self, VirtualClock};
+        use mtperf_detsim::fs as simfs;
+        use mtperf_detsim::rng::{self, SimRng};
+        use mtperf_detsim::{FaultScript, FsOp};
+        use std::sync::Arc;
+
+        // Seam installation is process-global; serialize with the DST
+        // harness like every other simulation.
+        let _exclusive = crate::serve::dst::SIM_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+
+        let dir = std::env::temp_dir().join("mtperf-cli-read-fault-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("train-faults.csv");
+        let set: mtperf_counters::SampleSet = (0..16)
+            .map(|i| {
+                let mut events = [0.02; mtperf_counters::N_EVENTS];
+                events[0] = 0.01 * (i % 5) as f64;
+                mtperf_counters::SectionSample::new("w", i, 0.8 + 0.05 * (i % 3) as f64, events)
+            })
+            .collect();
+        let mut buf = Vec::new();
+        mtperf_counters::write_csv(&set, &mut buf).unwrap();
+        std::fs::write(&csv, &buf).unwrap();
+        let csv = csv.display().to_string();
+        let model = dir.join("model.json").display().to_string();
+
+        let script = Arc::new(FaultScript::new());
+        clock::install(VirtualClock::auto());
+        rng::install(Arc::new(SimRng::seed_from_u64(77)));
+        simfs::install(Arc::clone(&script) as Arc<dyn simfs::FaultHook>);
+        let _restore = crate::serve::dst::SeamGuard::new();
+
+        // Two transient faults on the data file: with_retry's 4-deep
+        // backoff schedule absorbs them and the full ingest->fit->save
+        // pipeline still succeeds.
+        script.fail_times(
+            Some(FsOp::Read),
+            "train-faults.csv",
+            std::io::ErrorKind::Interrupted,
+            2,
+        );
+        cmd_train(&args(&["train", "--data", &csv, "--out", &model])).unwrap();
+        assert_eq!(script.injected(), 2, "the transient faults never fired");
+        assert!(std::path::Path::new(&model).exists());
+
+        // A persistent fault exhausts the retries and must surface as the
+        // typed i/o class (exit 74) — never a panic.
+        script.clear();
+        script.fail_always(
+            Some(FsOp::Read),
+            "train-faults.csv",
+            std::io::ErrorKind::PermissionDenied,
+        );
+        let err = cmd_train(&args(&["train", "--data", &csv, "--out", &model])).unwrap_err();
+        assert_eq!(err.exit_code(), 74);
+        assert!(err.to_string().contains("train-faults.csv"), "{err}");
+
+        script.clear();
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

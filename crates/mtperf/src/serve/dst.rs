@@ -161,12 +161,22 @@ impl SimReport {
 
 /// Serializes simulated runs process-wide: the seams are global, so two
 /// concurrent simulations would corrupt each other's time and faults.
-static SIM_LOCK: Mutex<()> = Mutex::new(());
+pub(crate) static SIM_LOCK: Mutex<()> = Mutex::new(());
 
 /// Restores every global seam on scope exit (including panic unwinds), so
 /// a failing simulation cannot leave the process on virtual time.
-struct SeamGuard {
+pub(crate) struct SeamGuard {
     saved_parallelism: Parallelism,
+}
+
+impl SeamGuard {
+    /// Captures the current parallelism setting; the seams themselves are
+    /// restored unconditionally on drop.
+    pub(crate) fn new() -> SeamGuard {
+        SeamGuard {
+            saved_parallelism: parallel::global(),
+        }
+    }
 }
 
 impl Drop for SeamGuard {
@@ -193,7 +203,7 @@ struct SimError {
     kind: Option<String>,
 }
 
-const KNOWN_KINDS: [&str; 10] = [
+pub(crate) const KNOWN_KINDS: [&str; 11] = [
     protocol::E_BAD_REQUEST,
     protocol::E_OVERLOADED,
     protocol::E_DEADLINE,
@@ -204,13 +214,14 @@ const KNOWN_KINDS: [&str; 10] = [
     protocol::E_UNKNOWN_MODEL,
     protocol::E_PROMOTE_FAILED,
     protocol::E_ROLLBACK_FAILED,
+    protocol::E_UNAVAILABLE,
 ];
 
 /// A deterministic tiny model: same shape as the serve unit-test fixture,
 /// trained from a fixed arithmetic dataset so every run of every seed
 /// serves byte-identical predictions. `slope` distinguishes the default
 /// artifact from the alternate one promotes install.
-fn sim_model(slope: f64) -> ModelTree {
+pub(crate) fn sim_model(slope: f64) -> ModelTree {
     let names = vec!["a0".to_string(), "a1".to_string()];
     let rows: Vec<Vec<f64>> = (0..24)
         .map(|r| vec![((r * 7) % 11) as f64, ((r * 3) % 5) as f64])
@@ -229,11 +240,11 @@ fn sim_dir(seed: u64) -> PathBuf {
 }
 
 /// Rewrites sim-dir paths to a stable token before hashing.
-fn sanitize(raw: &[u8], dir: &str) -> String {
+pub(crate) fn sanitize(raw: &[u8], dir: &str) -> String {
     String::from_utf8_lossy(raw).replace(dir, "<sim>")
 }
 
-fn json_path(path: &Path) -> String {
+pub(crate) fn json_path(path: &Path) -> String {
     serde_json::to_string(&path.display().to_string()).unwrap_or_default()
 }
 
@@ -264,7 +275,7 @@ struct SessionPlan {
     touched_fs: bool,
 }
 
-fn fmt_f64_row(row: &[f64]) -> String {
+pub(crate) fn fmt_f64_row(row: &[f64]) -> String {
     let cells: Vec<String> = row.iter().map(|v| format!("{v:?}")).collect();
     format!("[{}]", cells.join(","))
 }
@@ -591,7 +602,7 @@ fn audit_responses(
     n
 }
 
-fn new_shared(reg: Registry) -> Arc<Shared> {
+pub(crate) fn new_shared(reg: Registry) -> Arc<Shared> {
     Arc::new(Shared {
         registry: Mutex::new(reg),
         queue: FairQueue::new(4, 2),
@@ -699,7 +710,7 @@ fn cache_probe(shared: &Arc<Shared>, si: usize, rows_rng: &SimRng, report: &mut 
         .push(format!("s={si} probe row={row} cache_hit={hit}"));
 }
 
-struct VecWriter(Arc<Mutex<Vec<u8>>>);
+pub(crate) struct VecWriter(pub(crate) Arc<Mutex<Vec<u8>>>);
 impl std::io::Write for VecWriter {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
         self.0

@@ -1,0 +1,357 @@
+//! Per-replica health: a circuit-breaker state machine.
+//!
+//! The router judges each replica purely from the outcomes of its own
+//! exchanges — there is no out-of-band health channel — so the state
+//! machine is driven by three events: an admission decision (`admit`), a
+//! completed exchange (`on_success`), and a failed one (`on_failure`).
+//!
+//! ```text
+//!            on_failure (< threshold consecutive)
+//!          ┌──────────────────────────────┐
+//!          ▼                              │
+//!     ┌─────────┐  on_success        ┌─────────┐
+//!     │ Healthy │ ◄───────────────── │ Suspect │
+//!     └─────────┘                    └─────────┘
+//!          ▲                              │ on_failure
+//!          │ on_success                   ▼ (threshold reached)
+//!     ┌──────────┐  admit after     ┌─────────────┐
+//!     │ HalfOpen │ ◄─────────────── │ CircuitOpen │
+//!     └──────────┘  cooldown        └─────────────┘
+//!          │ on_failure (cooldown doubles, capped)  ▲
+//!          └────────────────────────────────────────┘
+//! ```
+//!
+//! While `CircuitOpen`, `admit` refuses all traffic until the cooldown
+//! elapses; the first admission afterwards transitions to `HalfOpen` and
+//! is a **probe** — real client work, but the caller knows a failure is
+//! likelier than usual and should have a fallback ready. A failed probe
+//! reopens the circuit with a doubled (capped) cooldown; a success fully
+//! closes it.
+//!
+//! Time is passed in by the caller (taken from the `clock` seam), never
+//! read here — that keeps the machine a pure function of its event
+//! sequence, which is what the property tests exercise.
+
+use std::time::Duration;
+
+/// The observable health state of one replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Recent exchanges succeeded; full traffic.
+    Healthy,
+    /// Some consecutive failures, below the open threshold; still taking
+    /// full traffic (failures may be the request's fault, not the
+    /// replica's).
+    Suspect,
+    /// Too many consecutive failures: no traffic until the cooldown ends.
+    CircuitOpen,
+    /// Cooldown elapsed; probing with live requests until one resolves.
+    HalfOpen,
+}
+
+/// What the router may send this replica right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Dispatch normally.
+    Normal,
+    /// Dispatch as a recovery probe — expect failure, keep a fallback.
+    Probe,
+    /// Send nothing (circuit open, cooldown running).
+    Refuse,
+}
+
+/// The per-replica circuit breaker. See the module docs for the diagram.
+#[derive(Debug, Clone)]
+pub struct ReplicaHealth {
+    state: HealthState,
+    consecutive_failures: u32,
+    threshold: u32,
+    base_cooldown: Duration,
+    max_cooldown: Duration,
+    /// Current cooldown; doubles on failed probes, always within
+    /// `[base_cooldown, max_cooldown]`.
+    cooldown: Duration,
+    /// Instant (on the caller's clock) the open circuit starts probing.
+    open_until: Duration,
+    circuit_opens: u64,
+    probes: u64,
+}
+
+impl ReplicaHealth {
+    /// A healthy breaker that opens after `threshold` consecutive
+    /// failures (clamped to at least 1) and then refuses traffic for
+    /// `base_cooldown`, doubling up to `max_cooldown` on failed probes.
+    pub fn new(threshold: u32, base_cooldown: Duration, max_cooldown: Duration) -> ReplicaHealth {
+        let max_cooldown = max_cooldown.max(base_cooldown);
+        ReplicaHealth {
+            state: HealthState::Healthy,
+            consecutive_failures: 0,
+            threshold: threshold.max(1),
+            base_cooldown,
+            max_cooldown,
+            cooldown: base_cooldown,
+            open_until: Duration::ZERO,
+            circuit_opens: 0,
+            probes: 0,
+        }
+    }
+
+    /// The current state (for health merges and invariant checks).
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// How many times the circuit has opened over this breaker's life.
+    pub fn circuit_opens(&self) -> u64 {
+        self.circuit_opens
+    }
+
+    /// How many admissions were granted as probes.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Decides what may be sent to the replica at instant `now`.
+    ///
+    /// This is where the `CircuitOpen → HalfOpen` transition happens: the
+    /// first admission after the cooldown is a probe, and every admission
+    /// stays a probe until `on_success`/`on_failure` resolves it.
+    pub fn admit(&mut self, now: Duration) -> Admission {
+        match self.state {
+            HealthState::Healthy | HealthState::Suspect => Admission::Normal,
+            HealthState::CircuitOpen => {
+                if now >= self.open_until {
+                    self.state = HealthState::HalfOpen;
+                    self.probes += 1;
+                    Admission::Probe
+                } else {
+                    Admission::Refuse
+                }
+            }
+            HealthState::HalfOpen => {
+                self.probes += 1;
+                Admission::Probe
+            }
+        }
+    }
+
+    /// A completed, well-formed exchange: fully closes the circuit and
+    /// resets the failure streak and cooldown.
+    pub fn on_success(&mut self) {
+        self.state = HealthState::Healthy;
+        self.consecutive_failures = 0;
+        self.cooldown = self.base_cooldown;
+    }
+
+    /// A failed exchange (connect error, reset, timeout, malformed
+    /// response) observed at instant `now`.
+    pub fn on_failure(&mut self, now: Duration) {
+        match self.state {
+            HealthState::Healthy | HealthState::Suspect => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.threshold {
+                    self.open(now);
+                } else {
+                    self.state = HealthState::Suspect;
+                }
+            }
+            HealthState::HalfOpen => {
+                // Failed probe: back off harder before the next one.
+                self.cooldown = (self.cooldown * 2).min(self.max_cooldown);
+                self.open(now);
+            }
+            // No traffic is admitted while open; a straggling failure
+            // report (e.g. from an exchange admitted just before the
+            // circuit opened) must not extend the cooldown it already
+            // charged for.
+            HealthState::CircuitOpen => {}
+        }
+    }
+
+    fn open(&mut self, now: Duration) {
+        self.state = HealthState::CircuitOpen;
+        self.open_until = now + self.cooldown;
+        self.consecutive_failures = 0;
+        self.circuit_opens += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: Duration = Duration::from_millis(1);
+
+    fn breaker() -> ReplicaHealth {
+        ReplicaHealth::new(2, 10 * MS, 80 * MS)
+    }
+
+    #[test]
+    fn failures_open_the_circuit_at_the_threshold() {
+        let mut h = breaker();
+        h.on_failure(Duration::ZERO);
+        assert_eq!(h.state(), HealthState::Suspect);
+        assert_eq!(h.admit(Duration::ZERO), Admission::Normal);
+        h.on_failure(Duration::ZERO);
+        assert_eq!(h.state(), HealthState::CircuitOpen);
+        assert_eq!(h.circuit_opens(), 1);
+        assert_eq!(h.admit(5 * MS), Admission::Refuse);
+    }
+
+    #[test]
+    fn cooldown_expiry_admits_a_probe_and_success_closes() {
+        let mut h = breaker();
+        h.on_failure(Duration::ZERO);
+        h.on_failure(Duration::ZERO);
+        assert_eq!(h.admit(10 * MS), Admission::Probe);
+        assert_eq!(h.state(), HealthState::HalfOpen);
+        // Until the probe resolves, further admissions stay probes.
+        assert_eq!(h.admit(10 * MS), Admission::Probe);
+        h.on_success();
+        assert_eq!(h.state(), HealthState::Healthy);
+        assert_eq!(h.admit(10 * MS), Admission::Normal);
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_doubled_capped_cooldown() {
+        let mut h = breaker();
+        let mut now = Duration::ZERO;
+        for round in 0..5 {
+            h.on_failure(now);
+            if round == 0 {
+                h.on_failure(now); // reach the threshold the first time
+            }
+            assert_eq!(h.state(), HealthState::CircuitOpen);
+            // 10, 20, 40, 80, 80 (capped) ms of refusal.
+            let expect = (10u64 << round).min(80);
+            assert_eq!(
+                h.admit(now + Duration::from_millis(expect - 1)),
+                Admission::Refuse
+            );
+            now += Duration::from_millis(expect);
+            assert_eq!(h.admit(now), Admission::Probe);
+        }
+        assert_eq!(h.circuit_opens(), 5);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut h = breaker();
+        h.on_failure(Duration::ZERO);
+        h.on_success();
+        h.on_failure(Duration::ZERO);
+        // Two non-consecutive failures: still below threshold.
+        assert_eq!(h.state(), HealthState::Suspect);
+        assert_eq!(h.circuit_opens(), 0);
+    }
+
+    #[test]
+    fn straggler_failure_while_open_does_not_extend_the_cooldown() {
+        let mut h = breaker();
+        h.on_failure(Duration::ZERO);
+        h.on_failure(Duration::ZERO);
+        h.on_failure(9 * MS); // straggler
+        assert_eq!(h.circuit_opens(), 1);
+        assert_eq!(h.admit(10 * MS), Admission::Probe);
+    }
+}
+
+/// Satellite property suite: arbitrary success/failure/admission
+/// sequences, at arbitrary (monotone) times, never reach an invalid
+/// transition or an inconsistent internal state.
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Event {
+        Admit(u64),
+        Success,
+        Failure(u64),
+    }
+
+    fn event() -> impl Strategy<Value = Event> {
+        prop_oneof![
+            (0u64..50).prop_map(Event::Admit),
+            Just(Event::Success),
+            (0u64..50).prop_map(Event::Failure),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_sequences_never_reach_an_invalid_transition(
+            threshold in 1u32..6,
+            base_ms in 1u64..40,
+            max_ms in 1u64..200,
+            events in prop::collection::vec(event(), 0..200),
+        ) {
+            let base = Duration::from_millis(base_ms);
+            let max = Duration::from_millis(max_ms);
+            let mut h = ReplicaHealth::new(threshold, base, max);
+            let mut now = Duration::ZERO;
+            let mut opens_before = 0;
+            for ev in events {
+                let prev = h.state();
+                match ev {
+                    Event::Admit(dt) => {
+                        now += Duration::from_millis(dt);
+                        let adm = h.admit(now);
+                        // Admission is consistent with the post-state.
+                        match adm {
+                            Admission::Normal => prop_assert!(matches!(
+                                h.state(),
+                                HealthState::Healthy | HealthState::Suspect
+                            )),
+                            Admission::Probe => {
+                                prop_assert_eq!(h.state(), HealthState::HalfOpen);
+                            }
+                            Admission::Refuse => {
+                                prop_assert_eq!(h.state(), HealthState::CircuitOpen);
+                            }
+                        }
+                        // admit never changes state except CircuitOpen → HalfOpen.
+                        if h.state() != prev {
+                            prop_assert_eq!(prev, HealthState::CircuitOpen);
+                            prop_assert_eq!(h.state(), HealthState::HalfOpen);
+                        }
+                    }
+                    Event::Success => {
+                        h.on_success();
+                        prop_assert_eq!(h.state(), HealthState::Healthy);
+                    }
+                    Event::Failure(dt) => {
+                        now += Duration::from_millis(dt);
+                        h.on_failure(now);
+                        // Valid transitions out of each state under failure.
+                        match prev {
+                            HealthState::Healthy | HealthState::Suspect => prop_assert!(matches!(
+                                h.state(),
+                                HealthState::Suspect | HealthState::CircuitOpen
+                            )),
+                            HealthState::HalfOpen => {
+                                prop_assert_eq!(h.state(), HealthState::CircuitOpen);
+                            }
+                            HealthState::CircuitOpen => {
+                                prop_assert_eq!(h.state(), HealthState::CircuitOpen);
+                            }
+                        }
+                    }
+                }
+                // Internal consistency after every event.
+                prop_assert!(h.cooldown >= h.base_cooldown && h.cooldown <= h.max_cooldown);
+                prop_assert!(h.consecutive_failures < h.threshold.max(1));
+                if h.state() == HealthState::Healthy && matches!(ev, Event::Success) {
+                    prop_assert_eq!(h.consecutive_failures, 0);
+                }
+                // The opens counter only moves on a Failure event.
+                if h.circuit_opens() > opens_before {
+                    prop_assert!(matches!(ev, Event::Failure(_)));
+                    prop_assert_eq!(h.circuit_opens(), opens_before + 1);
+                }
+                opens_before = h.circuit_opens();
+            }
+        }
+    }
+}

@@ -47,6 +47,7 @@ pub mod admission;
 pub mod cache;
 pub mod dst;
 pub mod engine;
+pub mod fleet;
 pub mod protocol;
 pub mod queue;
 pub mod registry;
@@ -104,6 +105,10 @@ pub struct ServeConfig {
     pub cache_size: usize,
     /// Default per-request deadline applied when a request carries none.
     pub default_deadline_ms: Option<u64>,
+    /// Rollback history bound per model (`--keep-versions N`): promotes
+    /// garbage-collect versions beyond the newest `N`, never touching
+    /// the active version or the last known good. `None` keeps all.
+    pub keep_versions: Option<usize>,
 }
 
 impl ServeConfig {
@@ -143,6 +148,20 @@ impl ServeConfig {
                 CliError::Usage(format!("option --deadline-ms has invalid value {v:?}"))
             })?),
         };
+        let keep_versions = match args.options.get("keep-versions") {
+            None => None,
+            Some(v) => {
+                let n = v.parse::<usize>().map_err(|_| {
+                    CliError::Usage(format!("option --keep-versions has invalid value {v:?}"))
+                })?;
+                if n == 0 {
+                    return Err(CliError::Usage(
+                        "option --keep-versions must be at least 1".to_string(),
+                    ));
+                }
+                Some(n)
+            }
+        };
         let stdio = (socket.is_none() && tcp.is_none()) || args.flag("stdio");
         Ok(ServeConfig {
             model,
@@ -155,6 +174,7 @@ impl ServeConfig {
             tenant_quota,
             cache_size,
             default_deadline_ms,
+            keep_versions,
         })
     }
 }
@@ -215,6 +235,7 @@ pub(crate) fn send(writer: &SharedWriter, resp: &Response) {
     let _ = w.flush();
 }
 
+#[derive(PartialEq, Eq)]
 pub(crate) enum SessionControl {
     Continue,
     Shutdown,
@@ -304,6 +325,10 @@ pub(crate) fn answer(shared: &Arc<Shared>, job: Job) {
 /// (exit 69, `EX_UNAVAILABLE`) when the model cannot be loaded/validated
 /// or a listener cannot be bound.
 pub fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    if args.flag("fleet") {
+        let cfg = fleet::FleetConfig::from_args(args)?;
+        return fleet::run(&cfg);
+    }
     let cfg = ServeConfig::from_args(args)?;
     run(&cfg)
 }
@@ -318,8 +343,9 @@ pub fn run(cfg: &ServeConfig) -> Result<(), CliError> {
     // Start the prediction pool and calibrate its dispatch overhead before
     // the first request arrives, so no client pays the one-time costs.
     parallel::warm_up();
-    let reg = Registry::open(&cfg.model, cfg.registry.as_deref())
+    let mut reg = Registry::open(&cfg.model, cfg.registry.as_deref())
         .map_err(|e| CliError::Unavailable(format!("cannot load model: {e}")))?;
+    reg.set_keep_versions(cfg.keep_versions);
     let shared = Arc::new(Shared {
         registry: Mutex::new(reg),
         queue: FairQueue::new(cfg.queue_depth, cfg.tenant_quota),

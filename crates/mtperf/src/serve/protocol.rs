@@ -99,6 +99,10 @@ pub const E_PROMOTE_FAILED: &str = "promote_failed";
 pub const E_ROLLBACK_FAILED: &str = "rollback_failed";
 /// Every fallback in the degradation ladder failed.
 pub const E_INTERNAL: &str = "internal";
+/// No replica can serve the request right now (fleet brown-out): every
+/// replica holding the model is down, circuit-open, or unreachable. The
+/// request was not (fully) attempted; idempotent ops are safe to retry.
+pub const E_UNAVAILABLE: &str = "unavailable";
 
 /// One parsed request line. Every field is optional at the parse layer;
 /// op-specific validation happens in the session handler so that a missing
@@ -165,8 +169,26 @@ pub struct Health {
     pub cache_misses: u64,
     /// Predicts refused because their tenant's queue quota was full.
     pub quota_refusals: u64,
+    /// Per-model degraded/last-known-good status, one row per registry
+    /// entry. The top-level `degraded` flag is the OR of these rows; a
+    /// fleet router merges the rows, not the flag, so one poisoned model
+    /// on one replica cannot mark the whole fleet degraded.
+    pub per_model: Vec<ModelHealth>,
     /// Drain in progress (SIGTERM or `shutdown` op received).
     pub draining: bool,
+}
+
+/// One model's health row inside a [`Health`] payload.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModelHealth {
+    /// Model name in the registry.
+    pub name: String,
+    /// Serving last known good after a failed promote/reload.
+    pub degraded: bool,
+    /// Active version id — the last-known-good version while degraded.
+    pub active: String,
+    /// What the last failed promote/reload reported, when degraded.
+    pub last_error: Option<String>,
 }
 
 /// One version row of a `list` response.

@@ -132,6 +132,10 @@ struct Manifest {
 pub struct Registry {
     models: BTreeMap<String, Entry>,
     manifest: Option<PathBuf>,
+    /// Rollback-history bound: promotes garbage-collect versions beyond
+    /// the newest `N` per model (`None` keeps everything). The active
+    /// version and every rollback target are never collected.
+    keep_versions: Option<usize>,
 }
 
 impl std::fmt::Debug for Registry {
@@ -159,6 +163,7 @@ impl Registry {
         let mut reg = Registry {
             models: BTreeMap::new(),
             manifest: manifest.map(Path::to_path_buf),
+            keep_versions: None,
         };
         let manifest_text = manifest.filter(|p| p.exists()).map(std::fs::read_to_string);
         match manifest_text {
@@ -367,6 +372,73 @@ impl Registry {
         }
     }
 
+    /// Bounds each model's rollback history to the newest `keep`
+    /// versions. `None` (the default) disables garbage collection;
+    /// `Some(0)` is treated as `Some(1)` (the active version is never
+    /// collectable).
+    pub fn set_keep_versions(&mut self, keep: Option<usize>) {
+        self.keep_versions = keep.map(|n| n.max(1));
+    }
+
+    /// Garbage-collects `name`'s oldest versions down to the configured
+    /// bound, then deletes artifact files no remaining version of any
+    /// model references. The active version and every rollback target
+    /// still on the history stack (including the last known good) are
+    /// refused — the version list may therefore stay above the bound
+    /// when everything in it is protected.
+    fn gc_versions(&mut self, name: &str) {
+        let Some(keep) = self.keep_versions else {
+            return;
+        };
+        let removed_paths: Vec<PathBuf> = {
+            let Some(entry) = self.models.get_mut(name) else {
+                return;
+            };
+            // The history stack itself is bounded first: only the newest
+            // `keep` rollback targets stay protected.
+            if entry.history.len() > keep {
+                let excess = entry.history.len() - keep;
+                entry.history.drain(..excess);
+            }
+            let mut removed = Vec::new();
+            while entry.versions.len() > keep {
+                let protected: std::collections::BTreeSet<usize> = entry
+                    .history
+                    .iter()
+                    .copied()
+                    .chain(std::iter::once(entry.active))
+                    .collect();
+                let Some(victim) = (0..entry.versions.len()).find(|i| !protected.contains(i))
+                else {
+                    break;
+                };
+                let gone = entry.versions.remove(victim);
+                removed.push(gone.path);
+                if entry.active > victim {
+                    entry.active -= 1;
+                }
+                for h in &mut entry.history {
+                    if *h > victim {
+                        *h -= 1;
+                    }
+                }
+            }
+            removed
+        };
+        for path in removed_paths {
+            let still_referenced = self
+                .models
+                .values()
+                .any(|e| e.versions.iter().any(|v| v.path == path));
+            if !still_referenced {
+                // Best-effort: a surviving file is disk waste, not a
+                // correctness problem, and deletion goes through the
+                // fault-injectable seam like every other mutation.
+                let _ = mtperf_obs::fsio::remove_file(&path);
+            }
+        }
+    }
+
     /// Promotes a version to active. With `path`, the artifact is
     /// validated first and installed as a fresh version (id from
     /// `version`, else generated); a validation failure keeps the current
@@ -430,6 +502,7 @@ impl Registry {
         }
         entry.degraded = false;
         entry.last_error = None;
+        self.gc_versions(name);
         self.persist_after_mutation()
     }
 
@@ -493,6 +566,7 @@ impl Registry {
                 }
                 entry.degraded = false;
                 entry.last_error = None;
+                self.gc_versions(DEFAULT_MODEL);
                 let _ = self.persist();
                 Ok(())
             }
@@ -817,6 +891,80 @@ mod tests {
         let reloaded = ModelTree::load(&copy).unwrap();
         assert_eq!(reloaded.to_json(), tiny_tree(2.0).to_json());
         assert!(reg.save("ghost", None).is_err());
+        let _ = std::fs::remove_dir_all(&fx.dir);
+    }
+
+    #[test]
+    fn keep_versions_bounds_history_and_deletes_unreferenced_artifacts() {
+        let fx = fixture("gc");
+        let mut reg = Registry::open(&fx.a, None).unwrap();
+        reg.set_keep_versions(Some(2));
+        // Promote a chain of freshly-copied artifacts so each version has
+        // its own file: c1 -> c2 -> c3.
+        let copies: Vec<PathBuf> = (1..=3)
+            .map(|i| {
+                let p = fx.dir.join(format!("c{i}.json"));
+                std::fs::copy(&fx.b, &p).unwrap();
+                p
+            })
+            .collect();
+        for p in &copies {
+            reg.promote(DEFAULT_MODEL, None, Some(p)).unwrap();
+        }
+        // The bound holds modulo protection: active (c3) plus the newest
+        // two rollback targets survive; the original v1 and c1 are gone.
+        let listing = reg.list();
+        let default = listing.iter().find(|m| m.name == DEFAULT_MODEL).unwrap();
+        assert!(
+            default.versions.len() <= 3,
+            "history unbounded: {default:?}"
+        );
+        assert!(copies[2].exists(), "active artifact must never be deleted");
+        assert!(
+            !default.versions.iter().any(|v| v.id == "v1"),
+            "oldest unprotected version should have been collected: {default:?}"
+        );
+        assert!(!fx.a.exists(), "unreferenced artifact not deleted");
+        // Rollback still works: every surviving history target is intact.
+        reg.rollback(DEFAULT_MODEL).unwrap();
+        assert!(reg.resolve(None, None).is_ok());
+        let _ = std::fs::remove_dir_all(&fx.dir);
+    }
+
+    #[test]
+    fn gc_refuses_active_and_rollback_targets() {
+        let fx = fixture("gc-refuse");
+        let mut reg = Registry::open(&fx.a, None).unwrap();
+        reg.set_keep_versions(Some(1));
+        // One promote: active = new version, history = [v1]. With a bound
+        // of 1 both are protected, so nothing may be collected even
+        // though the list exceeds the bound.
+        reg.promote(DEFAULT_MODEL, None, Some(&fx.b)).unwrap();
+        assert!(fx.a.exists(), "last-known-good artifact must survive GC");
+        assert!(fx.b.exists(), "active artifact must survive GC");
+        assert_eq!(reg.rollback(DEFAULT_MODEL).unwrap(), "v1");
+        assert_eq!(reg.resolve(None, None).unwrap().version, "v1");
+        let _ = std::fs::remove_dir_all(&fx.dir);
+    }
+
+    #[test]
+    fn gc_keeps_artifacts_referenced_by_other_models() {
+        let fx = fixture("gc-shared");
+        let mut reg = Registry::open(&fx.a, None).unwrap();
+        reg.set_keep_versions(Some(1));
+        // Another tenant serves fx.a too: even when the default model's
+        // v1 is collected, the shared artifact file must stay on disk.
+        reg.load("other", None, &fx.a).unwrap();
+        reg.promote(DEFAULT_MODEL, None, Some(&fx.b)).unwrap();
+        // Second promote pushes v1 off the (bounded) history stack.
+        let c = fx.dir.join("c.json");
+        std::fs::copy(&fx.b, &c).unwrap();
+        reg.promote(DEFAULT_MODEL, None, Some(&c)).unwrap();
+        assert!(
+            fx.a.exists(),
+            "artifact referenced by another model was deleted"
+        );
+        assert_eq!(reg.resolve(Some("other"), None).unwrap().version, "v1");
         let _ = std::fs::remove_dir_all(&fx.dir);
     }
 

@@ -223,14 +223,28 @@ fn handle_predict(shared: &Arc<Shared>, req: Request, writer: &SharedWriter) {
 }
 
 fn health_payload(shared: &Shared) -> protocol::Health {
-    let (model_path, degraded, models, versions) = {
+    let (model_path, degraded, models, versions, per_model) = {
         let reg = super::lock_registry(shared);
         let (m, v) = reg.counts();
+        // One health row per model: a fleet router merges these (a model
+        // is fleet-degraded only when *no* replica serves it clean), which
+        // the single global flag cannot express.
+        let per_model: Vec<protocol::ModelHealth> = reg
+            .list()
+            .into_iter()
+            .map(|info| protocol::ModelHealth {
+                last_error: reg.last_error(&info.name),
+                name: info.name,
+                degraded: info.degraded,
+                active: info.active,
+            })
+            .collect();
         (
             reg.default_path().display().to_string(),
             reg.degraded(),
             m,
             v,
+            per_model,
         )
     };
     let draining = shared.draining.load(Ordering::SeqCst);
@@ -251,6 +265,7 @@ fn health_payload(shared: &Shared) -> protocol::Health {
         cache_hits: shared.stats.cache_hits.load(Ordering::Relaxed),
         cache_misses: shared.stats.cache_misses.load(Ordering::Relaxed),
         quota_refusals: shared.stats.quota_refusals.load(Ordering::Relaxed),
+        per_model,
         draining,
     }
 }

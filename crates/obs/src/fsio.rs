@@ -171,6 +171,21 @@ pub fn read(path: impl AsRef<Path>) -> io::Result<Vec<u8>> {
     })
 }
 
+/// Removes a file through the simulation fault hook: [`check`] with
+/// [`FsOp::Remove`] first, under [`with_retry`]. The seam-aware deletion
+/// path for garbage-collecting unreferenced model artifacts.
+///
+/// # Errors
+///
+/// Propagates the underlying (or injected) I/O error after retries.
+pub fn remove_file(path: impl AsRef<Path>) -> io::Result<()> {
+    let path = path.as_ref();
+    with_retry("remove_file", || {
+        check(FsOp::Remove, path)?;
+        fs::remove_file(path)
+    })
+}
+
 /// 64-bit FNV-1a over `bytes` — the workspace's content-checksum function
 /// (same family as the span-identity hash in [`crate::span`]).
 pub fn fnv1a_64(bytes: &[u8]) -> u64 {

@@ -24,7 +24,10 @@ use mtperf::serve::dst::{run_sim, SimConfig};
 /// refusals (72), cache hits (67), and 20 drain/crash restarts.
 const SEED_PROMOTE_RACE: u64 = 100;
 const SESSIONS_PROMOTE_RACE: usize = 60;
-const FINGERPRINT_PROMOTE_RACE: u64 = 0xb42c_5473_3a4b_2ba4;
+// Re-mined 2026-08-08: the health payload grew per-model degradation
+// rows (fleet health merge), changing health-response bytes and hence
+// every out_hash. Same seed, same schedule, same invariants.
+const FINGERPRINT_PROMOTE_RACE: u64 = 0x56bb_dbfb_8c21_46dd;
 
 /// Seed 105 @ 60 sessions. Mined 2026-08-08 from the same sweep.
 ///
@@ -35,7 +38,9 @@ const FINGERPRINT_PROMOTE_RACE: u64 = 0xb42c_5473_3a4b_2ba4;
 /// `Registry::open` on a manifest written under fire.
 const SEED_MANIFEST_FAULTS: u64 = 105;
 const SESSIONS_MANIFEST_FAULTS: usize = 60;
-const FINGERPRINT_MANIFEST_FAULTS: u64 = 0x1f73_09ac_5d0a_48e0;
+// Re-mined 2026-08-08 alongside SEED 100: per-model health rows moved
+// the health-response bytes.
+const FINGERPRINT_MANIFEST_FAULTS: u64 = 0x9bc5_36da_39ce_d4d2;
 
 #[test]
 fn promote_race_seed_replays_to_its_mined_fingerprint() {
